@@ -1,0 +1,73 @@
+#ifndef SPPNET_BENCH_BENCH_UTIL_H_
+#define SPPNET_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the figure/table reproduction harnesses. Each
+// bench binary regenerates one table or figure of the paper and prints
+// it in the paper's units; see EXPERIMENTS.md for the side-by-side
+// comparison with the published values.
+
+#include <cstdio>
+#include <string>
+
+#include "sppnet/model/config.h"
+#include "sppnet/model/trials.h"
+
+namespace sppnet::bench {
+
+/// Default trial counts: heavyweight sweeps (cluster size 1 at graph
+/// size 10000 costs seconds per instance) use fewer trials.
+inline constexpr std::size_t kHeavyTrials = 2;
+inline constexpr std::size_t kLightTrials = 4;
+
+/// Worker threads for the trial runner in the sweep harnesses
+/// (results are bit-identical to serial runs).
+inline constexpr std::size_t kTrialParallelism = 2;
+
+/// Prints the standard bench banner.
+inline void Banner(const char* experiment, const char* paper_claim) {
+  std::printf("=============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper: %s\n", paper_claim);
+  std::printf("=============================================================\n");
+}
+
+/// The four systems of Figures 4/5/6 and A-13/A-14: strongly connected
+/// (TTL 1, best case) and Gnutella-like power-law (outdeg 3.1, TTL 7),
+/// each with and without 2-redundancy.
+struct SweepSystem {
+  const char* name;
+  GraphType graph_type;
+  double avg_outdegree;
+  int ttl;
+  bool redundancy;
+};
+
+inline constexpr SweepSystem kFourSystems[] = {
+    {"strong", GraphType::kStronglyConnected, 0.0, 1, false},
+    {"strong+red", GraphType::kStronglyConnected, 0.0, 1, true},
+    {"power3.1", GraphType::kPowerLaw, 3.1, 7, false},
+    {"power3.1+red", GraphType::kPowerLaw, 3.1, 7, true},
+};
+
+inline Configuration MakeSweepConfig(const SweepSystem& system,
+                                     double cluster_size,
+                                     std::size_t graph_size = 10000) {
+  Configuration c;
+  c.graph_type = system.graph_type;
+  c.graph_size = graph_size;
+  c.cluster_size = cluster_size;
+  c.redundancy = system.redundancy;
+  if (system.avg_outdegree > 0.0) c.avg_outdegree = system.avg_outdegree;
+  c.ttl = system.ttl;
+  return c;
+}
+
+/// Cluster sizes swept by the Figure 4/5 family. Redundant systems need
+/// cluster size >= 2.
+inline constexpr double kClusterSweep[] = {1,   2,    5,    10,   20,  50,
+                                           100, 200,  500,  1000, 2000,
+                                           5000, 10000};
+
+}  // namespace sppnet::bench
+
+#endif  // SPPNET_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,123 @@
+// The paper's founding argument (Section 1): peers differ by orders of
+// magnitude in capability, and the August-2000 Gnutella meltdown
+// happened because dial-up peers carried the same duties as T3 peers.
+// This harness quantifies that: assign measured-style capacities to a
+// population, evaluate the expected per-role loads, and compare three
+// worlds — a pure network, a super-peer network with randomly chosen
+// super-peers, and one whose super-peers are the most capable peers.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "sppnet/io/table.h"
+#include "sppnet/workload/capacity.h"
+
+namespace {
+
+struct Outcome {
+  double sp_overloaded_pct = 0.0;
+  double client_overloaded_pct = 0.0;
+  double all_overloaded_pct = 0.0;
+};
+
+/// Checks every role assignment against sampled capacities. In the
+/// "best peers" policy the `num_sp` largest-uplink peers take the
+/// super-peer slots; in "random" the slots go to arbitrary peers.
+Outcome Evaluate(const sppnet::InstanceLoads& loads,
+                 std::vector<sppnet::PeerCapacity> capacities,
+                 bool capacity_aware) {
+  using sppnet::FitsWithin;
+  const std::size_t num_sp = loads.partner_load.size();
+  if (capacity_aware) {
+    std::sort(capacities.begin(), capacities.end(),
+              [](const auto& a, const auto& b) { return a.up_bps > b.up_bps; });
+  }
+  Outcome out;
+  std::size_t sp_over = 0, cl_over = 0;
+  for (std::size_t i = 0; i < num_sp; ++i) {
+    const auto& lv = loads.partner_load[i];
+    if (!FitsWithin(capacities[i], lv.in_bps, lv.out_bps, lv.proc_hz)) {
+      ++sp_over;
+    }
+  }
+  for (std::size_t i = 0; i < loads.client_load.size(); ++i) {
+    const auto& lv = loads.client_load[i];
+    if (!FitsWithin(capacities[num_sp + i], lv.in_bps, lv.out_bps,
+                    lv.proc_hz)) {
+      ++cl_over;
+    }
+  }
+  const std::size_t total = num_sp + loads.client_load.size();
+  out.sp_overloaded_pct = 100.0 * static_cast<double>(sp_over) /
+                          static_cast<double>(num_sp);
+  out.client_overloaded_pct =
+      loads.client_load.empty()
+          ? 0.0
+          : 100.0 * static_cast<double>(cl_over) /
+                static_cast<double>(loads.client_load.size());
+  out.all_overloaded_pct = 100.0 * static_cast<double>(sp_over + cl_over) /
+                           static_cast<double>(total);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sppnet;
+  using namespace sppnet::bench;
+  Banner("Heterogeneity: who should be a super-peer?",
+         "random role assignment overloads weak peers (the Gnutella "
+         "meltdown); capacity-aware selection fixes it");
+
+  const ModelInputs inputs = ModelInputs::Default();
+  const CapacityDistribution capacities = CapacityDistribution::Default();
+
+  struct System {
+    const char* name;
+    double cluster_size;
+    bool capacity_aware;
+  };
+  constexpr System kSystems[] = {
+      {"pure network (everyone equal)", 1.0, false},
+      {"super-peers, random selection", 10.0, false},
+      {"super-peers, most capable first", 10.0, true},
+      {"super-peers (20), most capable first", 20.0, true},
+  };
+
+  TableWriter table({"System", "SPs overloaded %", "Clients overloaded %",
+                     "All peers overloaded %"});
+  for (const System& system : kSystems) {
+    Configuration config;
+    config.graph_size = 10000;
+    config.cluster_size = system.cluster_size;
+    config.avg_outdegree = 3.1;
+    config.ttl = 7;
+    Rng rng(11);
+    const NetworkInstance inst = GenerateInstance(config, inputs, rng);
+    const InstanceLoads loads = EvaluateInstance(inst, config, inputs);
+
+    std::vector<PeerCapacity> peer_caps;
+    peer_caps.reserve(inst.TotalUsers());
+    Rng cap_rng(13);
+    for (std::size_t i = 0; i < inst.TotalUsers(); ++i) {
+      peer_caps.push_back(capacities.Sample(cap_rng));
+    }
+    const Outcome out =
+        Evaluate(loads, std::move(peer_caps), system.capacity_aware);
+    table.AddRow({system.name, Format(out.sp_overloaded_pct, 3),
+                  Format(out.client_overloaded_pct, 3),
+                  Format(out.all_overloaded_pct, 3)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nReading: in the pure network nearly half the peers (the "
+      "modem/ISDN/DSL-uplink classes) drown in search traffic — the "
+      "paper's explanation of the August 2000 collapse. Random "
+      "super-peer selection is even worse for the unlucky weak "
+      "super-peers; handing the role to the most capable peers nearly "
+      "eliminates overload for the whole system.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Extension: grounding the Appendix-B query model in a concrete
+// workload. Builds real inverted indexes (the data structure Section
+// 3.2 prescribes for super-peers) over a synthetic Zipfian title
+// corpus, measures the induced match/response probabilities, and shows
+// that an analytical QueryModel calibrated from those measurements
+// predicts the empirical behaviour of collections of varying size.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "sppnet/index/corpus.h"
+#include "sppnet/io/table.h"
+
+int main() {
+  using namespace sppnet;
+  using namespace sppnet::bench;
+  Banner("Extension: corpus-calibrated query model vs analytical phi(x)",
+         "measured response probabilities should track the calibrated "
+         "model across collection sizes");
+
+  const TitleCorpus corpus = TitleCorpus::Default();
+
+  // Calibrate the analytical model from one corpus measurement.
+  Rng calibration_rng(11);
+  const CorpusModelEstimate calibration =
+      MeasureCorpusModel(corpus, 20000, 100, 4000, calibration_rng);
+  const QueryModel model(QueryModelParamsFromCorpus(calibration));
+  std::printf("corpus match probability: %.4g (model calibrated to match)\n\n",
+              calibration.match_probability);
+
+  TableWriter table({"Collection size", "P[respond] measured",
+                     "P[respond] model", "E[results] measured",
+                     "E[results] model"});
+  for (const std::size_t size : {10u, 50u, 100u, 500u, 2000u}) {
+    Rng rng(100 + size);
+    const CorpusModelEstimate est =
+        MeasureCorpusModel(corpus, 20000, size, 4000, rng);
+    table.AddRow({Format(size),
+                  Format(est.response_probability, 3),
+                  Format(model.ResponseProbability(
+                             static_cast<double>(size)),
+                         3),
+                  Format(est.match_probability *
+                             static_cast<double>(est.files_sampled),
+                         4),
+                  Format(model.ExpectedResults(
+                             static_cast<double>(est.files_sampled)),
+                         4)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nReading: expected results match by construction, and the "
+      "two-level fit (head mass G of queries matching a fraction F of "
+      "files, long tail matching nothing) tracks the measured response "
+      "probability across two orders of magnitude of collection size; "
+      "the residual slope reflects the corpus not being exactly "
+      "two-level.\n");
+  return 0;
+}

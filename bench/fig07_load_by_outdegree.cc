@@ -1,0 +1,52 @@
+// Figure 7: histogram of individual super-peer outgoing bandwidth as a
+// function of the super-peer's number of neighbors, for power-law
+// topologies with average outdegree 3.1 vs 10 (cluster size 20,
+// GraphSize 10000). Bars show one standard deviation, as in the paper.
+//
+// Paper claims: low-degree nodes in the 3.1 topology carry slightly
+// less load but receive fewer results; a 3.1-topology node with enough
+// neighbors (~7) for full results carries MORE load than most nodes in
+// the 10-topology; the 10-topology's loads sit in a narrow, fair band
+// while the 3.1-topology's hubs are crushed.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "sppnet/io/table.h"
+
+int main() {
+  using namespace sppnet;
+  using namespace sppnet::bench;
+  Banner("Figure 7: SP outgoing bandwidth by #neighbors (outdeg 3.1 vs 10)",
+         "dense overlay is fairer: narrow load band; sparse overlay "
+         "crushes its hubs");
+
+  const ModelInputs inputs = ModelInputs::Default();
+  for (const double outdeg : {3.1, 10.0}) {
+    Configuration config;
+    config.graph_size = 10000;
+    config.cluster_size = 20;
+    config.avg_outdegree = outdeg;
+    config.ttl = 7;
+    TrialOptions options;
+    options.num_trials = 5;
+    options.collect_outdegree_histograms = true;
+    const ConfigurationReport report = RunTrials(config, inputs, options);
+
+    std::printf("\n--- average outdegree %.1f ---\n", outdeg);
+    TableWriter table({"#neighbors", "SPs", "Out bw (bps)", "StdDev"});
+    for (int d = 1; d < report.sp_out_bps_by_outdegree.KeyUpperBound(); ++d) {
+      const RunningStat& stat = report.sp_out_bps_by_outdegree.Group(d);
+      if (stat.count() < 3) continue;  // Skip nearly-empty buckets.
+      table.AddRow({Format(d), Format(stat.count()), FormatSci(stat.Mean()),
+                    FormatSci(stat.StdDev())});
+    }
+    table.Print(std::cout);
+  }
+  std::printf(
+      "\nShape check: in the 3.1 topology load grows steeply with degree "
+      "(hubs overloaded); in the 10 topology loads stay within a "
+      "moderate band.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 9: experimentally determined expected path length (EPL) as a
+// function of the average outdegree of a power-law super-peer overlay,
+// one curve per desired reach in {20, 50, 100, 200, 500, 1000}.
+//
+// Paper claims: EPL falls as outdegree grows, with diminishing returns
+// (e.g. reach 500: outdeg 20 -> EPL ~2.5; doubling outdegree from 50 to
+// 100 changes EPL by only ~.14 — the Appendix E caveat). The closed
+// form log_d(reach) of Appendix F is a lower bound.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "sppnet/common/rng.h"
+#include "sppnet/io/table.h"
+#include "sppnet/topology/metrics.h"
+#include "sppnet/topology/plod.h"
+
+int main() {
+  using namespace sppnet;
+  using namespace sppnet::bench;
+  Banner("Figure 9: expected path length vs average outdegree, per reach",
+         "EPL ~ log_d(reach) with diminishing returns at high outdegree");
+
+  constexpr double kOutdegrees[] = {3.1, 5, 10, 20, 30, 40, 50, 65, 80, 100};
+  constexpr std::size_t kReaches[] = {20, 50, 100, 200, 500, 1000};
+  constexpr std::size_t kSuperPeers = 2000;
+
+  TableWriter table({"AvgOutdeg", "Reach", "EPL (measured)",
+                     "log_d(reach) bound"});
+  Rng rng(2026);
+  for (const double outdeg : kOutdegrees) {
+    PlodParams params;
+    params.target_avg_degree = outdeg;
+    params.max_degree =
+        static_cast<std::uint32_t>(std::max(32.0, 4.0 * outdeg));
+    Rng graph_rng = rng.Split();
+    const Topology topo =
+        Topology::FromGraph(GeneratePlod(kSuperPeers, params, graph_rng));
+    for (const std::size_t reach : kReaches) {
+      Rng sample_rng = rng.Split();
+      const auto epl = MeasureEplForReach(topo, reach, 200, sample_rng);
+      if (!epl.has_value()) continue;
+      table.AddRow({Format(topo.AverageDegree(), 3), Format(reach),
+                    Format(*epl, 3),
+                    Format(EplLogApproximation(topo.AverageDegree(),
+                                               static_cast<double>(reach)),
+                           3)});
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nShape checks: EPL decreases in outdegree, increases in reach; "
+      "outdeg 50 -> 100 moves EPL only slightly. The log_d(reach) column "
+      "approximates the measured EPL (a strict lower bound on "
+      "near-regular graphs; heavy-tailed low-degree overlays can beat it "
+      "because hubs widen the flood beyond the mean branching).\n");
+  return 0;
+}

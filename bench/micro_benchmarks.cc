@@ -1,0 +1,120 @@
+// Google-benchmark microbenchmarks for the library's hot kernels:
+// topology generation, flood traversal, query-model evaluation and the
+// full mean-value evaluation of an instance. These guard the O(n + m)
+// per-source complexity the evaluator depends on.
+
+#include <benchmark/benchmark.h>
+
+#include "sppnet/common/rng.h"
+#include "sppnet/model/evaluator.h"
+#include "sppnet/model/instance.h"
+#include "sppnet/topology/bfs.h"
+#include "sppnet/topology/plod.h"
+#include "sppnet/workload/query_model.h"
+
+namespace sppnet {
+namespace {
+
+void BM_PlodGenerate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  PlodParams params;
+  params.target_avg_degree = 3.1;
+  Rng rng(1);
+  for (auto _ : state) {
+    Graph g = GeneratePlod(n, params, rng);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PlodGenerate)->Arg(1000)->Arg(10000);
+
+void BM_FloodBfs(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  PlodParams params;
+  params.target_avg_degree = 3.1;
+  Rng rng(2);
+  const Topology topo = Topology::FromGraph(GeneratePlod(n, params, rng));
+  FloodScratch scratch;
+  NodeId source = 0;
+  for (auto _ : state) {
+    const FloodStats stats = FloodBfs(topo, source, 7, scratch);
+    benchmark::DoNotOptimize(stats.reached);
+    source = static_cast<NodeId>((source + 1) % n);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FloodBfs)->Arg(1000)->Arg(10000);
+
+void BM_QueryModelConstruction(benchmark::State& state) {
+  QueryModel::Params params;
+  params.num_query_classes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    QueryModel model(params);
+    benchmark::DoNotOptimize(model.MatchProbability());
+  }
+}
+BENCHMARK(BM_QueryModelConstruction)->Arg(500)->Arg(2000);
+
+void BM_QueryModelPhiLookup(benchmark::State& state) {
+  const QueryModel model = QueryModel::Default();
+  double x = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.NoMatchProbability(x));
+    x = x < 1e6 ? x * 1.7 : 1.0;
+  }
+}
+BENCHMARK(BM_QueryModelPhiLookup);
+
+void BM_EvaluateInstanceSparse(benchmark::State& state) {
+  const auto graph_size = static_cast<std::size_t>(state.range(0));
+  const ModelInputs inputs = ModelInputs::Default();
+  Configuration config;
+  config.graph_size = graph_size;
+  config.cluster_size = 10;
+  config.ttl = 7;
+  Rng rng(3);
+  const NetworkInstance inst = GenerateInstance(config, inputs, rng);
+  for (auto _ : state) {
+    const InstanceLoads loads = EvaluateInstance(inst, config, inputs);
+    benchmark::DoNotOptimize(loads.aggregate.in_bps);
+  }
+}
+BENCHMARK(BM_EvaluateInstanceSparse)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EvaluateInstanceComplete(benchmark::State& state) {
+  const ModelInputs inputs = ModelInputs::Default();
+  Configuration config;
+  config.graph_type = GraphType::kStronglyConnected;
+  config.graph_size = static_cast<std::size_t>(state.range(0));
+  config.cluster_size = 1;  // Worst case: one cluster per peer.
+  config.ttl = 1;
+  Rng rng(4);
+  const NetworkInstance inst = GenerateInstance(config, inputs, rng);
+  for (auto _ : state) {
+    const InstanceLoads loads = EvaluateInstance(inst, config, inputs);
+    benchmark::DoNotOptimize(loads.aggregate.in_bps);
+  }
+}
+BENCHMARK(BM_EvaluateInstanceComplete)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GenerateInstance(benchmark::State& state) {
+  const ModelInputs inputs = ModelInputs::Default();
+  Configuration config;
+  config.graph_size = static_cast<std::size_t>(state.range(0));
+  config.cluster_size = 10;
+  Rng rng(5);
+  for (auto _ : state) {
+    const NetworkInstance inst = GenerateInstance(config, inputs, rng);
+    benchmark::DoNotOptimize(inst.indexed_files.back());
+  }
+}
+BENCHMARK(BM_GenerateInstance)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sppnet
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Extension: generalized k-redundancy. The paper introduces k-redundant
+// virtual super-peers but restricts its analysis to k = 2 "because the
+// number of open connections increases so quickly as k increases"
+// (inter-super-peer connections grow as k^2). This harness implements
+// the general case and sweeps k, measuring exactly that tradeoff:
+// per-partner load keeps falling roughly as 1/k, but connections,
+// aggregate processing and join traffic grow — and availability
+// improves dramatically with each extra partner.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "sppnet/io/table.h"
+#include "sppnet/sim/simulator.h"
+
+int main() {
+  using namespace sppnet;
+  using namespace sppnet::bench;
+  Banner("Extension: k-redundancy sweep (the paper analyzes k <= 2)",
+         "individual load ~1/k; connections ~k^2; availability improves "
+         "per extra partner");
+
+  const ModelInputs inputs = ModelInputs::Default();
+
+  TableWriter analytic({"k", "SP in (bps)", "SP proc (Hz)", "Agg bw (bps)",
+                        "Agg proc (Hz)", "Connections"});
+  for (int k = 1; k <= 4; ++k) {
+    Configuration config;
+    config.graph_type = GraphType::kStronglyConnected;
+    config.graph_size = 10000;
+    config.cluster_size = 100;
+    config.ttl = 1;
+    config.redundancy_k = k;
+    TrialOptions options;
+    options.num_trials = 3;
+    const ConfigurationReport r = RunTrials(config, inputs, options);
+    analytic.AddRow({Format(k), FormatSci(r.sp_in_bps.Mean()),
+                     FormatSci(r.sp_proc_hz.Mean()),
+                     FormatSci(r.AggregateBandwidthMean()),
+                     FormatSci(r.aggregate_proc_hz.Mean()),
+                     Format(r.sp_connections.Mean(), 4)});
+  }
+  std::printf("-- analytical (strong, cluster 100, TTL 1) --\n");
+  analytic.Print(std::cout);
+
+  std::printf("\n-- availability under churn (simulator, 400 peers, "
+              "45 s recovery) --\n");
+  TableWriter avail({"k", "Partner failures", "Cluster outages",
+                     "Disconnected frac"});
+  for (int k = 1; k <= 4; ++k) {
+    Configuration config;
+    config.graph_size = 400;
+    config.cluster_size = 10;
+    config.ttl = 4;
+    config.avg_outdegree = 4.0;
+    config.redundancy_k = k;
+    Rng rng(61);
+    const NetworkInstance inst = GenerateInstance(config, inputs, rng);
+    SimOptions options;
+    options.duration_seconds = 2500;
+    options.warmup_seconds = 60;
+    options.enable_churn = true;
+    options.partner_recovery_seconds = 45.0;
+    options.seed = 17;
+    Simulator sim(inst, config, inputs, options);
+    const SimReport r = sim.Run();
+    avail.AddRow({Format(k),
+                  Format(static_cast<std::size_t>(r.partner_failures)),
+                  Format(static_cast<std::size_t>(r.cluster_outages)),
+                  Format(r.client_disconnected_fraction, 3)});
+  }
+  avail.Print(std::cout);
+  std::printf(
+      "\nReading: k = 2 captures most of the per-partner load relief; "
+      "beyond it the k^2 connection growth and duplicated join traffic "
+      "buy mainly availability — consistent with the paper stopping its "
+      "analysis at k = 2.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Section 5.1 rule #2 worked numbers: in the strongly connected system
+// at cluster size 100, introducing 2-redundancy should raise aggregate
+// bandwidth by only ~2.5% while cutting each partner's individual load
+// by ~48% (incoming bandwidth) — driving it down to the level of a
+// non-redundant super-peer at cluster size 40 — and trade ~+17%
+// aggregate processing for ~-41% individual processing.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "sppnet/io/table.h"
+
+int main() {
+  using namespace sppnet;
+  using namespace sppnet::bench;
+  Banner("Rule #2: the super-peer redundancy tradeoff (strong, cluster 100)",
+         "aggregate bw +~2.5%, individual in-bw -~48% (= cluster-40 "
+         "level), proc +17%/-41%");
+
+  const ModelInputs inputs = ModelInputs::Default();
+  TrialOptions options;
+  options.num_trials = 4;
+
+  const auto run = [&](double cs, bool red) {
+    Configuration c;
+    c.graph_type = GraphType::kStronglyConnected;
+    c.graph_size = 10000;
+    c.cluster_size = cs;
+    c.redundancy = red;
+    c.ttl = 1;
+    return RunTrials(c, inputs, options);
+  };
+
+  const ConfigurationReport plain100 = run(100, false);
+  const ConfigurationReport red100 = run(100, true);
+  const ConfigurationReport plain40 = run(40, false);
+  const ConfigurationReport plain50 = run(50, false);
+
+  TableWriter table({"System", "Agg bw (bps)", "Agg proc (Hz)",
+                     "SP in (bps)", "SP out (bps)", "SP proc (Hz)"});
+  const auto add = [&](const char* name, const ConfigurationReport& r) {
+    table.AddRow({name, FormatSci(r.AggregateBandwidthMean()),
+                  FormatSci(r.aggregate_proc_hz.Mean()),
+                  FormatSci(r.sp_in_bps.Mean()), FormatSci(r.sp_out_bps.Mean()),
+                  FormatSci(r.sp_proc_hz.Mean())});
+  };
+  add("cluster 100", plain100);
+  add("cluster 100 + red", red100);
+  add("cluster 50 (half size)", plain50);
+  add("cluster 40", plain40);
+  table.Print(std::cout);
+
+  std::printf("\naggregate bandwidth delta: %+.1f%% (paper: +2.5%%)\n",
+              100.0 * (red100.AggregateBandwidthMean() /
+                           plain100.AggregateBandwidthMean() -
+                       1.0));
+  std::printf("individual incoming bandwidth delta: %+.1f%% (paper: -48%%)\n",
+              100.0 * (red100.sp_in_bps.Mean() / plain100.sp_in_bps.Mean() -
+                       1.0));
+  std::printf("aggregate processing delta: %+.1f%% (paper: +17%%)\n",
+              100.0 * (red100.aggregate_proc_hz.Mean() /
+                           plain100.aggregate_proc_hz.Mean() -
+                       1.0));
+  std::printf("individual processing delta: %+.1f%% (paper: -41%%)\n",
+              100.0 * (red100.sp_proc_hz.Mean() / plain100.sp_proc_hz.Mean() -
+                       1.0));
+  std::printf("redundant partner vs non-redundant cluster-40 SP (in bw): "
+              "%.3e vs %.3e (paper: comparable)\n",
+              red100.sp_in_bps.Mean(), plain40.sp_in_bps.Mean());
+  std::printf("'better than half the cluster size': redundant partner "
+              "(cluster 100) vs plain SP at cluster 50 (in bw): %.3e vs "
+              "%.3e\n",
+              red100.sp_in_bps.Mean(), plain50.sp_in_bps.Mean());
+  return 0;
+}

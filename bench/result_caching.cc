@@ -1,0 +1,63 @@
+// Extension: source-side result caching. Zipf query popularity means
+// a busy super-peer sees the same popular queries over and over; by
+// remembering each flooded query's aggregate result set for a short
+// TTL it can answer repeats instantly — no flood, no remote
+// processing. This harness sweeps the cache TTL and reports hit rate,
+// traffic savings and the freshness tradeoff.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "sppnet/io/table.h"
+#include "sppnet/sim/simulator.h"
+
+int main() {
+  using namespace sppnet;
+  using namespace sppnet::bench;
+  Banner("Extension: super-peer result caching (flood strategy)",
+         "Zipf popularity makes repeats common; the cache trades "
+         "freshness for large savings");
+
+  const ModelInputs inputs = ModelInputs::Default();
+  Configuration config;
+  config.graph_size = 2000;
+  config.cluster_size = 100;  // 20 busy super-peers, ~1 query/s each.
+  config.ttl = 3;
+  config.avg_outdegree = 4.0;
+
+  Rng rng(71);
+  const NetworkInstance inst = GenerateInstance(config, inputs, rng);
+
+  TableWriter table({"Cache TTL (s)", "Hit rate %", "Agg bw (bps)",
+                     "SP proc (Hz)", "Results/query"});
+  double baseline_bw = 0.0;
+  for (const double ttl : {0.0, 30.0, 120.0, 300.0, 900.0}) {
+    SimOptions options;
+    options.duration_seconds = 900;
+    options.warmup_seconds = 90;
+    options.result_cache_ttl_seconds = ttl;
+    options.seed = 5;
+    Simulator sim(inst, config, inputs, options);
+    const SimReport r = sim.Run();
+    const double hit_rate =
+        r.queries_submitted > 0
+            ? 100.0 * static_cast<double>(r.cache_hits) /
+                  static_cast<double>(r.queries_submitted)
+            : 0.0;
+    if (ttl == 0.0) baseline_bw = r.aggregate.TotalBps();
+    const LoadVector sp = InstanceLoads::MeanOf(r.partner_load);
+    table.AddRow({Format(ttl, 3), Format(hit_rate, 3),
+                  FormatSci(r.aggregate.TotalBps()), FormatSci(sp.proc_hz),
+                  Format(r.mean_results_per_query, 4)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nReading: hit rate grows with the TTL (bounded by the query "
+      "popularity skew), and every hit removes an entire flood's worth "
+      "of traffic; at TTL 900 s the aggregate drops well below the "
+      "uncached %.2e bps. The cost is staleness: cached answers miss "
+      "collection changes within the TTL.\n",
+      baseline_bw);
+  return 0;
+}

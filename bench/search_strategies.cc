@@ -1,0 +1,80 @@
+// Extension: search protocols are orthogonal to the super-peer design
+// (Section 2 — "Each of these search protocols can be applied to
+// super-peer networks"). This harness measures the classic
+// cost/quality/latency tradeoff of three protocols over the SAME
+// super-peer clusters: the paper's baseline flood, naive expanding
+// ring (iterative deepening) and k random walks.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "sppnet/io/table.h"
+#include "sppnet/sim/simulator.h"
+
+int main() {
+  using namespace sppnet;
+  using namespace sppnet::bench;
+  Banner("Extension: flood vs expanding ring vs random walks",
+         "ring saves traffic on easily satisfied queries at a latency "
+         "cost; walks bound cost at a results cost");
+
+  const ModelInputs inputs = ModelInputs::Default();
+  Configuration config;
+  config.graph_size = 2000;
+  config.cluster_size = 10;
+  config.ttl = 6;
+  config.avg_outdegree = 4.0;
+
+  Rng rng(55);
+  const NetworkInstance inst = GenerateInstance(config, inputs, rng);
+
+  struct Row {
+    const char* name;
+    SearchStrategy strategy;
+    std::uint32_t satisfaction;
+    std::uint32_t walkers;
+    std::uint32_t walk_ttl;
+  };
+  constexpr Row kRows[] = {
+      {"flood (baseline)", SearchStrategy::kFlood, 0, 0, 0},
+      {"ring, satisfied@10", SearchStrategy::kExpandingRing, 10, 0, 0},
+      {"ring, satisfied@50", SearchStrategy::kExpandingRing, 50, 0, 0},
+      {"ring, insatiable", SearchStrategy::kExpandingRing, 1000000, 0, 0},
+      {"walks, 8 x 20", SearchStrategy::kRandomWalk, 0, 8, 20},
+      {"walks, 32 x 40", SearchStrategy::kRandomWalk, 0, 32, 40},
+  };
+
+  TableWriter table({"Protocol", "Agg bw (bps)", "SP proc (Hz)",
+                     "Results/query", "1st-response (s)", "Rings",
+                     "Dup msgs"});
+  for (const Row& row : kRows) {
+    SimOptions options;
+    options.duration_seconds = 300;
+    options.warmup_seconds = 30;
+    options.seed = 9;
+    options.strategy = row.strategy;
+    if (row.satisfaction != 0) {
+      options.ring_satisfaction_results = row.satisfaction;
+    }
+    if (row.walkers != 0) {
+      options.num_walkers = row.walkers;
+      options.walk_ttl = row.walk_ttl;
+    }
+    Simulator sim(inst, config, inputs, options);
+    const SimReport r = sim.Run();
+    const LoadVector sp = InstanceLoads::MeanOf(r.partner_load);
+    table.AddRow({row.name, FormatSci(r.aggregate.TotalBps()),
+                  FormatSci(sp.proc_hz),
+                  Format(r.mean_results_per_query, 4),
+                  Format(r.mean_first_response_latency, 3),
+                  Format(r.mean_rings_per_query, 3),
+                  Format(static_cast<std::size_t>(r.duplicate_queries))});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nReading: all protocols run over identical clusters, so the "
+      "super-peer design choices (cluster size, redundancy) compose with "
+      "whichever search protocol fits the workload.\n");
+  return 0;
+}

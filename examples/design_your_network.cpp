@@ -1,0 +1,65 @@
+// Example: use the global design procedure (Figure 10) to plan a
+// super-peer deployment.
+//
+// Scenario: a 50000-user community file-sharing network. Volunteers
+// willing to act as super-peers have consumer connections, so each
+// super-peer may spend at most 200 Kbps each way, 20 MHz of CPU and 80
+// open connections on search traffic. Users expect a query to reach at
+// least 5000 peers' collections. Redundant ("virtual") super-peers are
+// acceptable if they are needed to meet the limits.
+
+#include <cstdio>
+
+#include "sppnet/design/procedure.h"
+
+int main() {
+  using namespace sppnet;
+
+  const ModelInputs inputs = ModelInputs::Default();
+
+  DesignGoals goals;
+  goals.num_users = 50000;
+  goals.desired_reach_peers = 5000.0;
+
+  DesignConstraints constraints;
+  constraints.max_individual_in_bps = 200e3;
+  constraints.max_individual_out_bps = 200e3;
+  constraints.max_individual_proc_hz = 20e6;
+  constraints.max_connections = 80.0;
+  constraints.allow_redundancy = true;
+
+  std::printf("Designing a super-peer network for %zu users, reach %.0f "
+              "peers...\n",
+              goals.num_users, goals.desired_reach_peers);
+  const DesignResult result = RunGlobalDesign(goals, constraints, inputs);
+  if (!result.feasible) {
+    std::printf("no feasible design: %s\n", result.note.c_str());
+    return 1;
+  }
+
+  const Configuration& c = result.config;
+  std::printf("\nRecommended configuration (%d candidates evaluated):\n",
+              result.candidates_evaluated);
+  std::printf("  cluster size        : %.0f peers per super-peer%s\n",
+              c.cluster_size, c.redundancy ? " pair (2-redundant)" : "");
+  std::printf("  super-peers         : %zu clusters\n", c.NumClusters());
+  std::printf("  overlay outdegree   : %.0f neighbors per super-peer\n",
+              result.required_outdegree);
+  std::printf("  query TTL           : %d hops\n", c.ttl);
+  std::printf("  connections/partner : %.0f (budget %.0f)\n",
+              result.total_connections, constraints.max_connections);
+
+  const ConfigurationReport& r = result.report;
+  std::printf("\nPredicted steady-state behaviour:\n");
+  std::printf("  super-peer load     : %.0f kbps down, %.0f kbps up, "
+              "%.1f MHz\n",
+              r.sp_in_bps.Mean() / 1e3, r.sp_out_bps.Mean() / 1e3,
+              r.sp_proc_hz.Mean() / 1e6);
+  std::printf("  client load         : %.2f kbps down, %.2f kbps up\n",
+              r.client_in_bps.Mean() / 1e3, r.client_out_bps.Mean() / 1e3);
+  std::printf("  results per query   : %.0f\n", r.results_per_query.Mean());
+  std::printf("  response path length: %.2f hops\n", r.epl.Mean());
+  std::printf("  reach               : %.0f clusters (~%.0f peers)\n",
+              r.reach.Mean(), r.reach.Mean() * c.cluster_size);
+  return 0;
+}

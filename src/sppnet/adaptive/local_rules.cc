@@ -1,0 +1,331 @@
+#include "sppnet/adaptive/local_rules.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sppnet/common/check.h"
+#include "sppnet/model/instance.h"
+#include "sppnet/topology/graph.h"
+
+namespace sppnet {
+namespace {
+
+/// Mutable view of one cluster while the rules rewire the network.
+/// The adaptive controller models the non-redundant case (one super-peer
+/// per cluster); redundancy decisions are covered by the global design
+/// procedure instead.
+struct MutableCluster {
+  std::vector<std::uint32_t> client_files;
+  std::vector<double> client_lifespan;
+  std::uint32_t partner_files = 0;
+  double partner_lifespan = 1.0;
+  std::set<std::uint32_t> neighbors;
+  bool dead = false;
+};
+
+NetworkInstance BuildInstance(const std::vector<MutableCluster>& clusters,
+                              const QueryModel& qm) {
+  const std::size_t n = clusters.size();
+  SPPNET_CHECK(n >= 1);
+  Topology topology = [&] {
+    if (n == 1) return Topology::Complete(1);
+    GraphBuilder builder(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const std::uint32_t j : clusters[i].neighbors) {
+        if (i < j) builder.AddEdge(static_cast<NodeId>(i), j);
+      }
+    }
+    return Topology::FromGraph(builder.Build());
+  }();
+
+  NetworkInstance inst;
+  inst.topology = std::move(topology);
+  inst.redundancy_k = 1;
+  inst.client_offset.resize(n + 1);
+  inst.client_offset[0] = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    inst.client_offset[i + 1] =
+        inst.client_offset[i] + clusters[i].client_files.size();
+  }
+  inst.client_files.reserve(inst.client_offset[n]);
+  inst.client_lifespan.reserve(inst.client_offset[n]);
+  inst.partner_files.resize(n);
+  inst.partner_lifespan.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    inst.client_files.insert(inst.client_files.end(),
+                             clusters[i].client_files.begin(),
+                             clusters[i].client_files.end());
+    inst.client_lifespan.insert(inst.client_lifespan.end(),
+                                clusters[i].client_lifespan.begin(),
+                                clusters[i].client_lifespan.end());
+    inst.partner_files[i] = clusters[i].partner_files;
+    inst.partner_lifespan[i] = clusters[i].partner_lifespan;
+  }
+  ComputeDerivedQuantities(inst, qm);
+  return inst;
+}
+
+std::vector<MutableCluster> FromInstance(const NetworkInstance& inst) {
+  SPPNET_CHECK(inst.redundancy_k == 1);
+  const std::size_t n = inst.NumClusters();
+  std::vector<MutableCluster> clusters(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto files = inst.ClientFiles(i);
+    clusters[i].client_files.assign(files.begin(), files.end());
+    clusters[i].client_lifespan.assign(
+        inst.client_lifespan.begin() +
+            static_cast<std::ptrdiff_t>(inst.client_offset[i]),
+        inst.client_lifespan.begin() +
+            static_cast<std::ptrdiff_t>(inst.client_offset[i + 1]));
+    clusters[i].partner_files = inst.partner_files[i];
+    clusters[i].partner_lifespan = inst.partner_lifespan[i];
+    if (!inst.topology.is_complete()) {
+      for (const NodeId v :
+           inst.topology.graph().Neighbors(static_cast<NodeId>(i))) {
+        clusters[i].neighbors.insert(v);
+      }
+    } else {
+      for (std::uint32_t v = 0; v < n; ++v) {
+        if (v != i) clusters[i].neighbors.insert(v);
+      }
+    }
+  }
+  return clusters;
+}
+
+/// Splits cluster `i`: the client with the largest collection is
+/// promoted to super-peer of a new cluster, which takes half the
+/// remaining clients and every second overlay neighbor.
+void SplitCluster(std::vector<MutableCluster>& clusters, std::size_t i) {
+  MutableCluster& old_cluster = clusters[i];
+  SPPNET_CHECK(old_cluster.client_files.size() >= 2);
+
+  // Promote the most capable client (largest collection as proxy).
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < old_cluster.client_files.size(); ++c) {
+    if (old_cluster.client_files[c] > old_cluster.client_files[best]) best = c;
+  }
+  MutableCluster fresh;
+  fresh.partner_files = old_cluster.client_files[best];
+  fresh.partner_lifespan = old_cluster.client_lifespan[best];
+  old_cluster.client_files.erase(
+      old_cluster.client_files.begin() + static_cast<std::ptrdiff_t>(best));
+  old_cluster.client_lifespan.erase(
+      old_cluster.client_lifespan.begin() + static_cast<std::ptrdiff_t>(best));
+
+  // Move every second client.
+  MutableCluster reduced;
+  reduced.partner_files = old_cluster.partner_files;
+  reduced.partner_lifespan = old_cluster.partner_lifespan;
+  for (std::size_t c = 0; c < old_cluster.client_files.size(); ++c) {
+    MutableCluster& dst = (c % 2 == 0) ? reduced : fresh;
+    dst.client_files.push_back(old_cluster.client_files[c]);
+    dst.client_lifespan.push_back(old_cluster.client_lifespan[c]);
+  }
+
+  // Move every second neighbor edge to the new cluster, and link the
+  // two halves so the overlay stays connected.
+  const auto fresh_id = static_cast<std::uint32_t>(clusters.size());
+  const auto self_id = static_cast<std::uint32_t>(i);
+  std::size_t idx = 0;
+  for (const std::uint32_t nb : old_cluster.neighbors) {
+    if (idx++ % 2 == 0) {
+      reduced.neighbors.insert(nb);
+    } else {
+      fresh.neighbors.insert(nb);
+      clusters[nb].neighbors.erase(self_id);
+      clusters[nb].neighbors.insert(fresh_id);
+    }
+  }
+  reduced.neighbors.insert(fresh_id);
+  fresh.neighbors.insert(self_id);
+
+  clusters[i] = std::move(reduced);
+  clusters.push_back(std::move(fresh));
+}
+
+/// Coalesces cluster `j` into `i`: j's super-peer resigns to become a
+/// client of i, j's clients and neighbors move to i.
+void CoalesceClusters(std::vector<MutableCluster>& clusters, std::size_t i,
+                      std::size_t j) {
+  SPPNET_CHECK(i != j);
+  MutableCluster& a = clusters[i];
+  MutableCluster& b = clusters[j];
+  a.client_files.insert(a.client_files.end(), b.client_files.begin(),
+                        b.client_files.end());
+  a.client_lifespan.insert(a.client_lifespan.end(), b.client_lifespan.begin(),
+                           b.client_lifespan.end());
+  a.client_files.push_back(b.partner_files);
+  a.client_lifespan.push_back(b.partner_lifespan);
+  const auto a_id = static_cast<std::uint32_t>(i);
+  const auto b_id = static_cast<std::uint32_t>(j);
+  for (const std::uint32_t nb : b.neighbors) {
+    if (nb == a_id) continue;
+    clusters[nb].neighbors.erase(b_id);
+    clusters[nb].neighbors.insert(a_id);
+    a.neighbors.insert(nb);
+  }
+  a.neighbors.erase(b_id);
+  b = MutableCluster{};
+  b.dead = true;
+}
+
+/// Removes dead clusters and remaps neighbor ids.
+void Compact(std::vector<MutableCluster>& clusters) {
+  std::vector<std::uint32_t> remap(clusters.size());
+  std::uint32_t next = 0;
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    remap[i] = next;
+    if (!clusters[i].dead) ++next;
+  }
+  std::vector<MutableCluster> compacted;
+  compacted.reserve(next);
+  for (auto& cluster : clusters) {
+    if (cluster.dead) continue;
+    std::set<std::uint32_t> mapped;
+    for (const std::uint32_t nb : cluster.neighbors) mapped.insert(remap[nb]);
+    cluster.neighbors = std::move(mapped);
+    compacted.push_back(std::move(cluster));
+  }
+  clusters = std::move(compacted);
+}
+
+double AvgOutdegree(const std::vector<MutableCluster>& clusters) {
+  if (clusters.empty()) return 0.0;
+  std::size_t sum = 0;
+  for (const auto& c : clusters) sum += c.neighbors.size();
+  return static_cast<double>(sum) / static_cast<double>(clusters.size());
+}
+
+}  // namespace
+
+AdaptiveOutcome RunLocalAdaptation(const Configuration& initial,
+                                   const ModelInputs& inputs,
+                                   const LocalPolicy& policy, Rng& rng) {
+  SPPNET_CHECK_MSG(initial.RedundancyK() == 1,
+                   "the adaptive controller models non-redundant clusters");
+  Configuration config = initial;
+  NetworkInstance seed_instance = GenerateInstance(config, inputs, rng);
+  std::vector<MutableCluster> clusters = FromInstance(seed_instance);
+
+  AdaptiveOutcome outcome;
+  for (int round = 0; round < policy.max_rounds; ++round) {
+    NetworkInstance inst = BuildInstance(clusters, inputs.query_model);
+    InstanceLoads loads = EvaluateInstance(inst, config, inputs);
+
+    AdaptiveRound record;
+    record.round = round;
+    record.num_clusters = clusters.size();
+    record.ttl = config.ttl;
+    record.avg_outdegree = AvgOutdegree(clusters);
+    record.aggregate_bandwidth_bps = loads.aggregate.TotalBps();
+    record.mean_results = loads.mean_results;
+    record.mean_reach = loads.mean_reach;
+    for (const auto& lv : loads.partner_load) {
+      record.max_partner_bandwidth_bps =
+          std::max(record.max_partner_bandwidth_bps, lv.TotalBps());
+    }
+
+    // --- Rule I: split overloaded clusters, coalesce underloaded ones ---
+    const std::size_t n_before = clusters.size();
+    std::vector<std::size_t> overloaded;
+    std::vector<std::size_t> underloaded;
+    for (std::size_t i = 0; i < n_before; ++i) {
+      const LoadVector& lv = loads.partner_load[i];
+      const bool over = lv.TotalBps() > policy.max_bandwidth_bps ||
+                        lv.proc_hz > policy.max_proc_hz;
+      const bool under =
+          lv.TotalBps() < policy.low_utilization * policy.max_bandwidth_bps &&
+          lv.proc_hz < policy.low_utilization * policy.max_proc_hz;
+      if (over && clusters[i].client_files.size() >= 2) {
+        overloaded.push_back(i);
+      } else if (under) {
+        underloaded.push_back(i);
+      }
+    }
+    for (const std::size_t i : overloaded) {
+      SplitCluster(clusters, i);
+      ++record.splits;
+    }
+    // Greedy coalescing of adjacent underloaded pairs, skipping clusters
+    // already consumed this round.
+    std::vector<bool> consumed(clusters.size(), false);
+    for (const std::size_t i : underloaded) {
+      if (consumed[i] || clusters[i].dead) continue;
+      for (const std::uint32_t nb : clusters[i].neighbors) {
+        if (nb >= n_before || consumed[nb] || clusters[nb].dead) continue;
+        const bool nb_under =
+            loads.partner_load[nb].TotalBps() <
+                policy.low_utilization * policy.max_bandwidth_bps &&
+            loads.partner_load[nb].proc_hz <
+                policy.low_utilization * policy.max_proc_hz;
+        if (!nb_under) continue;
+        const double combined = loads.partner_load[i].TotalBps() +
+                                loads.partner_load[nb].TotalBps();
+        if (combined > policy.max_bandwidth_bps) continue;
+        CoalesceClusters(clusters, i, nb);
+        consumed[i] = consumed[nb] = true;
+        ++record.coalesces;
+        break;
+      }
+    }
+    Compact(clusters);
+
+    // --- Rule II: grow outdegree toward the suggested value ---
+    const std::size_t n_now = clusters.size();
+    if (n_now > 2) {
+      for (std::size_t i = 0; i < n_now; ++i) {
+        if (clusters[i].neighbors.size() >=
+            static_cast<std::size_t>(policy.suggested_outdegree)) {
+          continue;
+        }
+        // Pick a random other low-degree cluster to peer with.
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          const auto j = static_cast<std::uint32_t>(rng.NextBounded(n_now));
+          if (j == i || clusters[i].neighbors.count(j) != 0) continue;
+          if (clusters[j].neighbors.size() >=
+              static_cast<std::size_t>(policy.suggested_outdegree)) {
+            continue;
+          }
+          clusters[i].neighbors.insert(j);
+          clusters[j].neighbors.insert(static_cast<std::uint32_t>(i));
+          ++record.edges_added;
+          break;
+        }
+      }
+    }
+
+    // --- Rule III: shrink TTL while reach is unaffected ---
+    if (config.ttl > 1) {
+      NetworkInstance probe = BuildInstance(clusters, inputs.query_model);
+      Configuration shorter = config;
+      shorter.ttl = config.ttl - 1;
+      const InstanceLoads with_shorter =
+          EvaluateInstance(probe, shorter, inputs);
+      const InstanceLoads with_current = EvaluateInstance(probe, config, inputs);
+      if (with_shorter.mean_reach >= 0.98 * with_current.mean_reach) {
+        config.ttl = shorter.ttl;
+        record.ttl_decreased = true;
+      }
+    }
+
+    // Convergence: membership and TTL stable, and edge growth down to
+    // the residual trickle of failed random peering attempts.
+    const std::size_t edge_noise_floor =
+        std::max<std::size_t>(1, clusters.size() / 100);
+    const bool changed = record.splits > 0 || record.coalesces > 0 ||
+                         record.edges_added > edge_noise_floor ||
+                         record.ttl_decreased;
+    outcome.history.push_back(record);
+    if (!changed) {
+      outcome.converged = true;
+      break;
+    }
+  }
+
+  outcome.final_instance = BuildInstance(clusters, inputs.query_model);
+  outcome.final_config = config;
+  return outcome;
+}
+
+}  // namespace sppnet

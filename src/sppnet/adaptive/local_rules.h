@@ -1,0 +1,84 @@
+#ifndef SPPNET_ADAPTIVE_LOCAL_RULES_H_
+#define SPPNET_ADAPTIVE_LOCAL_RULES_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "sppnet/common/rng.h"
+#include "sppnet/model/config.h"
+#include "sppnet/model/evaluator.h"
+
+namespace sppnet {
+
+/// Per-super-peer policy for the local decision rules of Section 5.3.
+/// Super-peers are assumed to be "limitedly altruistic": they accept any
+/// load up to their predefined limit and follow the rules even when a
+/// rule benefits others at their own expense.
+struct LocalPolicy {
+  /// A super-peer whose load exceeds these limits splits its cluster
+  /// (rule I, overload branch).
+  double max_bandwidth_bps = 400e3;  ///< in + out combined.
+  double max_proc_hz = 40e6;
+
+  /// A super-peer whose load sits below this fraction of its limits
+  /// tries to coalesce with another small cluster (rule I, underload
+  /// branch) or to accept a new neighbor (rule II).
+  double low_utilization = 0.25;
+
+  /// "Suggested" outdegree from the global source (Section 3.2); rule II
+  /// grows toward it while resources last.
+  double suggested_outdegree = 10.0;
+
+  int max_rounds = 16;
+};
+
+/// Snapshot of the network after one adaptation round.
+struct AdaptiveRound {
+  int round = 0;
+  std::size_t num_clusters = 0;
+  int ttl = 0;
+  double avg_outdegree = 0.0;
+  double aggregate_bandwidth_bps = 0.0;
+  double max_partner_bandwidth_bps = 0.0;
+  double mean_results = 0.0;
+  double mean_reach = 0.0;
+  std::size_t splits = 0;
+  std::size_t coalesces = 0;
+  std::size_t edges_added = 0;
+  bool ttl_decreased = false;
+};
+
+/// Outcome of an adaptive run: the per-round history and the final
+/// network state (as a NetworkInstance plus the Configuration whose
+/// TTL/rates drove it).
+struct AdaptiveOutcome {
+  std::vector<AdaptiveRound> history;
+  NetworkInstance final_instance;
+  Configuration final_config;
+  bool converged = false;  ///< True if a round made no changes.
+};
+
+/// Runs the Section 5.3 local decision rules round by round, starting
+/// from an instance generated for `initial` (typically a deliberately
+/// bad topology, e.g. today's Gnutella):
+///
+///   I.   A super-peer always accepts clients; an overloaded cluster
+///        splits (a capable client is promoted to super-peer and takes
+///        half the clients), an underloaded one coalesces with an
+///        underloaded neighbor.
+///   II.  A super-peer with spare resources and a stable cluster raises
+///        its outdegree toward the suggested value.
+///   III. The (global) TTL is decreased whenever doing so leaves every
+///        source's reach intact.
+///
+/// Each round re-evaluates the whole network with the mean-value engine,
+/// exactly like the paper's analysis; the decisions themselves use only
+/// the per-node quantities a real super-peer could observe locally.
+AdaptiveOutcome RunLocalAdaptation(const Configuration& initial,
+                                   const ModelInputs& inputs,
+                                   const LocalPolicy& policy, Rng& rng);
+
+}  // namespace sppnet
+
+#endif  // SPPNET_ADAPTIVE_LOCAL_RULES_H_

@@ -1,0 +1,129 @@
+#include "sppnet/bootstrap/discovery.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sppnet/common/check.h"
+#include "sppnet/common/distributions.h"
+#include "sppnet/common/stats.h"
+#include "sppnet/topology/plod.h"
+
+namespace sppnet {
+
+std::vector<std::uint32_t> AssignClients(std::size_t num_clusters,
+                                         std::size_t total_clients,
+                                         AssignmentPolicy policy, Rng& rng) {
+  SPPNET_CHECK(num_clusters >= 1);
+  std::vector<std::uint32_t> counts(num_clusters, 0);
+  switch (policy) {
+    case AssignmentPolicy::kUniformRandom:
+      for (std::size_t c = 0; c < total_clients; ++c) {
+        ++counts[rng.NextBounded(num_clusters)];
+      }
+      break;
+    case AssignmentPolicy::kPowerOfTwoChoices:
+      for (std::size_t c = 0; c < total_clients; ++c) {
+        const std::size_t a = rng.NextBounded(num_clusters);
+        const std::size_t b = rng.NextBounded(num_clusters);
+        ++counts[counts[a] <= counts[b] ? a : b];
+      }
+      break;
+    case AssignmentPolicy::kLeastLoaded:
+      // Deterministic global balancing: counts end up within 1 of the
+      // mean; done in closed form.
+      {
+        const std::uint32_t base =
+            static_cast<std::uint32_t>(total_clients / num_clusters);
+        std::size_t extra = total_clients % num_clusters;
+        for (std::size_t i = 0; i < num_clusters; ++i) {
+          counts[i] = base + (i < extra ? 1 : 0);
+        }
+      }
+      break;
+    case AssignmentPolicy::kNormalModel: {
+      // The paper's model: sample N(c, .2c) per cluster. The total then
+      // only approximates total_clients, exactly as in Step 1.
+      const double mean = static_cast<double>(total_clients) /
+                          static_cast<double>(num_clusters);
+      for (auto& count : counts) {
+        count = static_cast<std::uint32_t>(std::llround(
+            SampleTruncatedNormal(rng, mean, 0.2 * mean, 0.0)));
+      }
+      break;
+    }
+  }
+  return counts;
+}
+
+AssignmentStats SummarizeAssignment(const std::vector<std::uint32_t>& counts) {
+  AssignmentStats stats;
+  if (counts.empty()) return stats;
+  RunningStat rs;
+  double min = counts[0], max = counts[0];
+  for (const std::uint32_t c : counts) {
+    rs.Add(static_cast<double>(c));
+    min = std::min(min, static_cast<double>(c));
+    max = std::max(max, static_cast<double>(c));
+  }
+  stats.mean = rs.Mean();
+  stats.stddev = rs.StdDev();
+  stats.min = min;
+  stats.max = max;
+  stats.cv = stats.mean > 0.0 ? stats.stddev / stats.mean : 0.0;
+  return stats;
+}
+
+NetworkInstance GenerateInstanceWithPolicy(const Configuration& config,
+                                           const ModelInputs& inputs,
+                                           AssignmentPolicy policy, Rng& rng) {
+  const std::size_t n = config.NumClusters();
+  const int k = config.RedundancyK();
+  const double c_mean = config.MeanClientsPerCluster();
+  const auto total_clients = static_cast<std::size_t>(
+      std::llround(c_mean * static_cast<double>(n)));
+
+  Topology topology = [&] {
+    if (config.graph_type == GraphType::kStronglyConnected || n <= 1) {
+      return Topology::Complete(n);
+    }
+    PlodParams plod;
+    plod.target_avg_degree = config.avg_outdegree;
+    plod.alpha = config.plod_alpha;
+    plod.max_degree =
+        config.plod_max_degree != 0
+            ? config.plod_max_degree
+            : static_cast<std::uint32_t>(
+                  std::max(32.0, 4.0 * config.avg_outdegree));
+    return Topology::FromGraph(GeneratePlod(n, plod, rng));
+  }();
+
+  const std::vector<std::uint32_t> clients =
+      AssignClients(n, total_clients, policy, rng);
+
+  NetworkInstance inst;
+  inst.topology = std::move(topology);
+  inst.redundancy_k = k;
+  inst.client_offset.resize(n + 1);
+  inst.client_offset[0] = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    inst.client_offset[i + 1] = inst.client_offset[i] + clients[i];
+  }
+  const std::size_t actual_clients = inst.client_offset[n];
+  inst.client_files.resize(actual_clients);
+  inst.client_lifespan.resize(actual_clients);
+  for (std::size_t i = 0; i < actual_clients; ++i) {
+    inst.client_files[i] = inputs.file_counts.Sample(rng);
+    inst.client_lifespan[i] = inputs.lifespans.Sample(rng);
+  }
+  const std::size_t total_partners = n * static_cast<std::size_t>(k);
+  inst.partner_files.resize(total_partners);
+  inst.partner_lifespan.resize(total_partners);
+  for (std::size_t i = 0; i < total_partners; ++i) {
+    inst.partner_files[i] = inputs.file_counts.Sample(rng);
+    inst.partner_lifespan[i] = inputs.lifespans.Sample(rng);
+  }
+  ComputeDerivedQuantities(inst, inputs.query_model);
+  return inst;
+}
+
+}  // namespace sppnet

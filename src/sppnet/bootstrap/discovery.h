@@ -1,0 +1,60 @@
+#ifndef SPPNET_BOOTSTRAP_DISCOVERY_H_
+#define SPPNET_BOOTSTRAP_DISCOVERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sppnet/common/rng.h"
+#include "sppnet/model/config.h"
+#include "sppnet/model/instance.h"
+
+namespace sppnet {
+
+/// How a discovery service ("pong server", Section 4.1) hands joining
+/// clients to super-peers. The paper assumes any well-constructed
+/// method is "fair, or at least random" and models the resulting
+/// cluster sizes as N(c, .2c); this module lets that assumption be
+/// tested against concrete policies.
+enum class AssignmentPolicy {
+  /// Hand out a uniformly random super-peer (gnutellahosts.com-style).
+  kUniformRandom,
+  /// Probe two random super-peers, join the smaller cluster
+  /// (power-of-two-choices).
+  kPowerOfTwoChoices,
+  /// Always join the smallest cluster (an idealized load balancer that
+  /// needs global knowledge).
+  kLeastLoaded,
+  /// The paper's modelling assumption: draw cluster sizes directly
+  /// from N(c, .2c).
+  kNormalModel,
+};
+
+/// Distributes `total_clients` across `num_clusters` clusters under a
+/// policy; returns the client count per cluster.
+std::vector<std::uint32_t> AssignClients(std::size_t num_clusters,
+                                         std::size_t total_clients,
+                                         AssignmentPolicy policy, Rng& rng);
+
+/// Summary statistics of a cluster-size distribution.
+struct AssignmentStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Coefficient of variation stddev/mean — the balance metric.
+  double cv = 0.0;
+};
+
+AssignmentStats SummarizeAssignment(const std::vector<std::uint32_t>& counts);
+
+/// Generates a network instance whose client populations come from a
+/// discovery policy instead of the paper's N(c, .2c) model. Everything
+/// else (topology, files, lifespans, derived quantities) matches
+/// GenerateInstance.
+NetworkInstance GenerateInstanceWithPolicy(const Configuration& config,
+                                           const ModelInputs& inputs,
+                                           AssignmentPolicy policy, Rng& rng);
+
+}  // namespace sppnet
+
+#endif  // SPPNET_BOOTSTRAP_DISCOVERY_H_

@@ -1,0 +1,29 @@
+#ifndef SPPNET_COMMON_CHECK_H_
+#define SPPNET_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant checking for library code. The library does not use exceptions
+// (per project style); a violated invariant is a programming error and
+// aborts with a source location. Enabled in all build types: the checks
+// guard cheap preconditions only, never hot inner loops.
+#define SPPNET_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "SPPNET_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define SPPNET_CHECK_MSG(cond, msg)                                         \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "SPPNET_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // SPPNET_COMMON_CHECK_H_

@@ -1,0 +1,97 @@
+#include "sppnet/common/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sppnet/common/check.h"
+
+namespace sppnet {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) {
+  SPPNET_CHECK(n >= 1);
+  SPPNET_CHECK(s >= 0.0);
+  pmf_.resize(n);
+  cdf_.resize(n);
+  double norm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    pmf_[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+    norm += pmf_[i];
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    pmf_[i] /= norm;
+    acc += pmf_[i];
+    cdf_[i] = acc;
+  }
+  cdf_.back() = 1.0;  // Guard against accumulated round-off.
+}
+
+std::size_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(std::size_t i) const {
+  SPPNET_CHECK(i < pmf_.size());
+  return pmf_[i];
+}
+
+LogNormalDistribution::LogNormalDistribution(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {
+  SPPNET_CHECK(sigma >= 0.0);
+}
+
+LogNormalDistribution LogNormalDistribution::FromMeanAndMedian(double mean,
+                                                               double median) {
+  SPPNET_CHECK(median > 0.0);
+  SPPNET_CHECK(mean > median);
+  // median = exp(mu); mean = exp(mu + sigma^2 / 2).
+  const double mu = std::log(median);
+  const double sigma = std::sqrt(2.0 * std::log(mean / median));
+  return LogNormalDistribution(mu, sigma);
+}
+
+double LogNormalDistribution::Sample(Rng& rng) const {
+  return std::exp(mu_ + sigma_ * rng.NextGaussian());
+}
+
+double LogNormalDistribution::Mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+BoundedParetoDistribution::BoundedParetoDistribution(double lo, double hi,
+                                                     double alpha)
+    : lo_(lo), hi_(hi), alpha_(alpha) {
+  SPPNET_CHECK(lo > 0.0);
+  SPPNET_CHECK(hi > lo);
+  SPPNET_CHECK(alpha > 0.0);
+}
+
+double BoundedParetoDistribution::Sample(Rng& rng) const {
+  // Inverse-CDF sampling for the bounded Pareto.
+  const double u = rng.NextDouble();
+  const double la = std::pow(lo_, alpha_);
+  const double ha = std::pow(hi_, alpha_);
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha_);
+}
+
+double BoundedParetoDistribution::Mean() const {
+  if (std::abs(alpha_ - 1.0) < 1e-12) {
+    const double la = std::pow(lo_, alpha_);
+    const double ha = std::pow(hi_, alpha_);
+    return la / (1.0 - la / ha) * std::log(hi_ / lo_);
+  }
+  const double la = std::pow(lo_, alpha_);
+  const double ha = std::pow(hi_, alpha_);
+  return (la / (1.0 - la / ha)) * (alpha_ / (alpha_ - 1.0)) *
+         (1.0 / std::pow(lo_, alpha_ - 1.0) - 1.0 / std::pow(hi_, alpha_ - 1.0));
+}
+
+double SampleTruncatedNormal(Rng& rng, double mean, double stddev,
+                             double min_value) {
+  const double x = mean + stddev * rng.NextGaussian();
+  return std::max(x, min_value);
+}
+
+}  // namespace sppnet

@@ -1,0 +1,87 @@
+#ifndef SPPNET_COMMON_DISTRIBUTIONS_H_
+#define SPPNET_COMMON_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sppnet/common/rng.h"
+
+namespace sppnet {
+
+/// Zipf distribution over ranks {0, ..., n-1} with exponent `s`:
+/// P(rank = i) proportional to 1 / (i+1)^s.
+///
+/// Sampling is O(log n) via binary search over the precomputed CDF;
+/// construction is O(n). Used for the query-popularity distribution g(i)
+/// of the paper's query model (Appendix B).
+class ZipfDistribution {
+ public:
+  /// Creates a Zipf distribution over `n` ranks with exponent `s`.
+  /// Requires n >= 1 and s >= 0 (s == 0 is uniform).
+  ZipfDistribution(std::size_t n, double s);
+
+  /// Samples a rank in [0, n).
+  std::size_t Sample(Rng& rng) const;
+
+  /// Probability mass of rank `i`.
+  double Pmf(std::size_t i) const;
+
+  std::size_t size() const { return pmf_.size(); }
+
+ private:
+  std::vector<double> pmf_;
+  std::vector<double> cdf_;
+};
+
+/// Log-normal distribution parameterized by the mean and sigma of the
+/// underlying normal. Used for session lifespans (Saroiu-style heavy tail).
+class LogNormalDistribution {
+ public:
+  /// `mu` and `sigma` are the parameters of log(X) ~ N(mu, sigma^2).
+  LogNormalDistribution(double mu, double sigma);
+
+  /// Builds a log-normal with the given arithmetic mean and median.
+  /// Requires mean > median > 0 (heavy right tail).
+  static LogNormalDistribution FromMeanAndMedian(double mean, double median);
+
+  double Sample(Rng& rng) const;
+
+  /// Arithmetic mean exp(mu + sigma^2/2).
+  double Mean() const;
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Bounded Pareto (power-law) distribution on [lo, hi] with shape `alpha`.
+/// Used for heavy-tailed file counts and for PLOD degree budgets.
+class BoundedParetoDistribution {
+ public:
+  /// Requires 0 < lo < hi and alpha > 0.
+  BoundedParetoDistribution(double lo, double hi, double alpha);
+
+  double Sample(Rng& rng) const;
+
+  /// Analytic arithmetic mean of the bounded Pareto.
+  double Mean() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double alpha_;
+};
+
+/// Samples a normal variate with the given mean and standard deviation,
+/// truncated below at `min_value` (resampled analytically by clamping;
+/// used for the paper's cluster-size distribution N(c, .2c) which must
+/// stay >= `min_value` clients).
+double SampleTruncatedNormal(Rng& rng, double mean, double stddev,
+                             double min_value);
+
+}  // namespace sppnet
+
+#endif  // SPPNET_COMMON_DISTRIBUTIONS_H_

@@ -1,0 +1,99 @@
+#include "sppnet/common/rng.h"
+
+#include <cmath>
+
+#include "sppnet/common/check.h"
+
+namespace sppnet {
+namespace {
+
+// SplitMix64: used to expand a 64-bit seed into generator state.
+std::uint64_t SplitMix64(std::uint64_t* x) {
+  std::uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+std::uint64_t Rng::NextUint64() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  SPPNET_CHECK(bound > 0);
+  // Lemire's method: multiply-shift with rejection of the biased zone.
+  std::uint64_t x = NextUint64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = NextUint64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::NextDouble() {
+  // 53 high-quality bits into [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  SPPNET_CHECK(lo <= hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+std::int64_t Rng::NextInt(std::int64_t lo, std::int64_t hi) {
+  SPPNET_CHECK(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(NextBounded(span));
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  if (has_gauss_spare_) {
+    has_gauss_spare_ = false;
+    return gauss_spare_;
+  }
+  double u, v, s;
+  do {
+    u = NextDouble(-1.0, 1.0);
+    v = NextDouble(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  gauss_spare_ = v * mul;
+  has_gauss_spare_ = true;
+  return u * mul;
+}
+
+Rng Rng::Split() { return Rng(NextUint64()); }
+
+}  // namespace sppnet

@@ -1,0 +1,94 @@
+#include "sppnet/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sppnet/common/check.h"
+
+namespace sppnet {
+
+void RunningStat::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+}
+
+double RunningStat::Mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStat::Variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::StdDev() const { return std::sqrt(Variance()); }
+
+double RunningStat::StdError() const {
+  return count_ == 0 ? 0.0 : StdDev() / std::sqrt(static_cast<double>(count_));
+}
+
+double RunningStat::ConfidenceHalfWidth95() const {
+  return 1.96 * StdError();
+}
+
+Summary Summarize(const std::vector<double>& values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  RunningStat rs;
+  for (double v : sorted) rs.Add(v);
+  s.count = sorted.size();
+  s.mean = rs.Mean();
+  s.stddev = rs.StdDev();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = PercentileSorted(sorted, 0.5);
+  s.p90 = PercentileSorted(sorted, 0.9);
+  s.p99 = PercentileSorted(sorted, 0.99);
+  return s;
+}
+
+double PercentileSorted(const std::vector<double>& sorted, double q) {
+  SPPNET_CHECK(!sorted.empty());
+  SPPNET_CHECK(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto idx = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(idx);
+  if (idx + 1 >= sorted.size()) return sorted.back();
+  return sorted[idx] * (1.0 - frac) + sorted[idx + 1] * frac;
+}
+
+const RunningStat GroupedStat::kEmpty;
+
+void GroupedStat::Add(int key, double x) {
+  SPPNET_CHECK(key >= 0);
+  if (static_cast<std::size_t>(key) >= groups_.size()) {
+    groups_.resize(static_cast<std::size_t>(key) + 1);
+  }
+  groups_[static_cast<std::size_t>(key)].Add(x);
+}
+
+const RunningStat& GroupedStat::Group(int key) const {
+  if (key < 0 || static_cast<std::size_t>(key) >= groups_.size()) {
+    return kEmpty;
+  }
+  return groups_[static_cast<std::size_t>(key)];
+}
+
+}  // namespace sppnet

@@ -1,0 +1,80 @@
+#ifndef SPPNET_COMMON_STATS_H_
+#define SPPNET_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sppnet {
+
+/// Single-pass running mean / variance (Welford's algorithm).
+///
+/// Used everywhere a figure reports "expected value with 95% confidence
+/// interval over repeated trials" (Section 4, Step 4) and for the
+/// histogram bars of Figures 7 and 8 (mean with one standard deviation).
+class RunningStat {
+ public:
+  RunningStat() = default;
+
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void Merge(const RunningStat& other);
+
+  std::size_t count() const { return count_; }
+  double Mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double Variance() const;
+  double StdDev() const;
+  /// Standard error of the mean.
+  double StdError() const;
+  /// Half-width of the 95% confidence interval for the mean, using the
+  /// normal approximation (the paper averages over repeated instance
+  /// trials, n small but distributions well-behaved).
+  double ConfidenceHalfWidth95() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Fixed set of summary statistics extracted from a sample vector.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes a Summary; sorts a copy of `values`. Empty input yields zeros.
+Summary Summarize(const std::vector<double>& values);
+
+/// Percentile (0 <= q <= 1) of `sorted` values by linear interpolation.
+/// `sorted` must be ascending and non-empty.
+double PercentileSorted(const std::vector<double>& sorted, double q);
+
+/// Groups samples by an integer key (e.g., per-outdegree load histograms
+/// of Figures 7 and 8). Keys are dense small integers.
+class GroupedStat {
+ public:
+  /// Adds sample `x` under `key` (key >= 0).
+  void Add(int key, double x);
+
+  /// Largest key observed plus one; 0 when empty.
+  int KeyUpperBound() const { return static_cast<int>(groups_.size()); }
+
+  /// Accumulator for `key`; empty accumulator if never observed.
+  const RunningStat& Group(int key) const;
+
+ private:
+  std::vector<RunningStat> groups_;
+  static const RunningStat kEmpty;
+};
+
+}  // namespace sppnet
+
+#endif  // SPPNET_COMMON_STATS_H_

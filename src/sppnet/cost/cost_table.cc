@@ -1,0 +1,4 @@
+#include "sppnet/cost/cost_table.h"
+
+// CostTable is a constant-carrying aggregate with inline accessors; this
+// translation unit anchors the library target.

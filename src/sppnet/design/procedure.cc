@@ -1,0 +1,218 @@
+#include "sppnet/design/procedure.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sppnet/common/check.h"
+
+namespace sppnet {
+namespace {
+
+/// Flood-tree coverage of `ttl` hops at integer outdegree `d`:
+/// sum_{i=1..ttl} d^i, saturating to avoid overflow.
+double TreeCoverage(int d, int ttl) {
+  double sum = 0.0;
+  double term = 1.0;
+  for (int i = 0; i < ttl; ++i) {
+    term *= static_cast<double>(d);
+    sum += term;
+    if (sum > 1e15) return sum;
+  }
+  return sum;
+}
+
+/// Open connections per partner for a candidate configuration:
+/// clients + co-partners + k connections per neighboring virtual
+/// super-peer (Section 3.2).
+double PartnerConnectionsFor(double cluster_size, int k, int outdegree) {
+  return (cluster_size - static_cast<double>(k)) +
+         static_cast<double>(k - 1) +
+         static_cast<double>(k) * static_cast<double>(outdegree);
+}
+
+/// Descending ladder of candidate cluster sizes for step (3).
+std::vector<double> ClusterLadder(std::size_t num_users, double min_cluster,
+                                  int k) {
+  static constexpr double kLadder[] = {10000, 5000, 2000, 1000, 500, 200,
+                                       100,   50,   20,   10,   5,   3,
+                                       2,     1};
+  std::vector<double> out;
+  for (const double c : kLadder) {
+    if (c > static_cast<double>(num_users)) continue;
+    if (c < std::max(min_cluster, static_cast<double>(k))) continue;
+    out.push_back(c);
+  }
+  if (out.empty()) out.push_back(std::max(min_cluster, static_cast<double>(k)));
+  return out;
+}
+
+bool LoadFits(const ConfigurationReport& report,
+              const DesignConstraints& constraints) {
+  return report.sp_in_bps.Mean() <= constraints.max_individual_in_bps &&
+         report.sp_out_bps.Mean() <= constraints.max_individual_out_bps &&
+         report.sp_proc_hz.Mean() <= constraints.max_individual_proc_hz;
+}
+
+}  // namespace
+
+int RequiredOutdegree(int ttl, double sp_reach) {
+  SPPNET_CHECK(ttl >= 1);
+  SPPNET_CHECK(sp_reach >= 1.0);
+  const double margin = ttl == 1 ? 1.0 : 1.1;
+  const double target = margin * sp_reach;
+  // TTL 1 floods are exact trees: d = ceil(target).
+  if (ttl == 1) return static_cast<int>(std::ceil(target));
+  int d = 2;
+  while (TreeCoverage(d, ttl) < target) ++d;
+  return d;
+}
+
+int SuggestTtl(double avg_outdegree, double sp_reach) {
+  SPPNET_CHECK(sp_reach >= 1.0);
+  if (avg_outdegree <= 1.0 || sp_reach <= avg_outdegree) return 1;
+  const double epl = std::log(sp_reach) / std::log(avg_outdegree);
+  // Appendix F: TTL == ceil(EPL) can under-reach when EPL is close to an
+  // integer, so pad by a small guard band before rounding up.
+  return std::max(1, static_cast<int>(std::ceil(epl + 0.25)));
+}
+
+DesignResult RunGlobalDesign(const DesignGoals& goals,
+                             const DesignConstraints& constraints,
+                             const ModelInputs& inputs,
+                             const DesignOptions& options) {
+  DesignResult result;
+  SPPNET_CHECK(goals.num_users >= 2);
+  SPPNET_CHECK(goals.desired_reach_peers >= 1.0);
+
+  TrialOptions trial_options;
+  trial_options.num_trials = options.trials_per_candidate;
+  trial_options.seed = options.seed;
+
+  const auto record = [&result](int k, int ttl, double cluster_size,
+                                int outdeg, double connections,
+                                std::string verdict) {
+    result.trace.push_back(DesignStep{k, ttl, cluster_size, outdeg,
+                                      connections, std::move(verdict)});
+  };
+
+  // Redundancy is only brought in if the plain design cannot meet the
+  // individual-load constraints (step 3's "apply super-peer redundancy").
+  const int max_k = constraints.allow_redundancy ? 2 : 1;
+  for (int k = 1; k <= max_k; ++k) {
+    // Step (2): start with the most bandwidth-efficient flood, TTL = 1.
+    for (int ttl = 1; ttl <= 12; ++ttl) {
+      const auto ladder =
+          ClusterLadder(goals.num_users, options.min_cluster_size, k);
+      bool connection_budget_exceeded = false;
+      for (const double cluster_size : ladder) {
+        // Super-peer reach implied by the peer reach at this cluster size.
+        const double sp_reach = std::max(
+            1.0, goals.desired_reach_peers / cluster_size);
+        const std::size_t num_clusters = static_cast<std::size_t>(
+            std::llround(static_cast<double>(goals.num_users) / cluster_size));
+        if (static_cast<double>(num_clusters) < sp_reach) {
+          // Cluster too large: even full reach cannot cover the goal.
+          record(k, ttl, cluster_size, 0, 0.0,
+                 "too few super-peers for the reach goal");
+          continue;
+        }
+        const int outdeg = RequiredOutdegree(ttl, sp_reach);
+        if (static_cast<double>(outdeg) >= static_cast<double>(num_clusters)) {
+          record(k, ttl, cluster_size, outdeg, 0.0,
+                 "needs more neighbors than super-peers exist");
+          continue;  // Would demand more neighbors than super-peers exist.
+        }
+        const double connections =
+            PartnerConnectionsFor(cluster_size, k, outdeg);
+        if (connections > constraints.max_connections) {
+          // Step (4) only applies when the *outdegree* blows the budget:
+          // a longer TTL lowers the required outdegree. If the client
+          // connections alone already exceed the budget, this cluster
+          // size is infeasible at any TTL and must not trigger step (4).
+          if (PartnerConnectionsFor(cluster_size, k, 0) <=
+              constraints.max_connections) {
+            connection_budget_exceeded = true;
+            record(k, ttl, cluster_size, outdeg, connections,
+                   "outdegree blows the connection budget (step 4: raise "
+                   "TTL)");
+          } else {
+            record(k, ttl, cluster_size, outdeg, connections,
+                   "client connections alone exceed the budget");
+          }
+          continue;
+        }
+
+        Configuration candidate;
+        candidate.graph_type = sp_reach <= 1.0 || num_clusters <= 1
+                                   ? GraphType::kStronglyConnected
+                                   : GraphType::kPowerLaw;
+        candidate.graph_size = goals.num_users;
+        candidate.cluster_size = cluster_size;
+        candidate.redundancy = (k == 2);
+        candidate.avg_outdegree = static_cast<double>(outdeg);
+        candidate.ttl = ttl;
+        candidate.query_rate = inputs.stats.query_rate_per_user;
+        candidate.update_rate = inputs.stats.update_rate_per_user;
+
+        ConfigurationReport report =
+            RunTrials(candidate, inputs, trial_options);
+        ++result.candidates_evaluated;
+        if (!LoadFits(report, constraints)) {
+          // Step (3): keep decreasing cluster size.
+          record(k, ttl, cluster_size, outdeg, connections,
+                 "individual load exceeds the limits (step 3: shrink "
+                 "cluster)");
+          continue;
+        }
+
+        // Step (5): shrink outdegree while the *measured* reach still
+        // covers the goal. The tree bound is conservative — real graphs
+        // reach further than sum d^i because hubs widen the flood — so
+        // trimming by measurement recovers the slack the margin left.
+        int final_outdeg = outdeg;
+        for (int trim = 0; trim < 64 && final_outdeg > 2; ++trim) {
+          Configuration trimmed = candidate;
+          trimmed.avg_outdegree = static_cast<double>(final_outdeg - 1);
+          ConfigurationReport trimmed_report =
+              RunTrials(trimmed, inputs, trial_options);
+          ++result.candidates_evaluated;
+          if (trimmed_report.reach.Mean() <
+              sp_reach * 0.99) {  // Reach regressed; keep the larger degree.
+            break;
+          }
+          candidate = trimmed;
+          report = std::move(trimmed_report);
+          --final_outdeg;
+        }
+
+        result.feasible = true;
+        result.config = candidate;
+        result.required_outdegree = static_cast<double>(final_outdeg);
+        result.total_connections =
+            PartnerConnectionsFor(cluster_size, k, final_outdeg);
+        record(k, ttl, cluster_size, final_outdeg, result.total_connections,
+               final_outdeg < outdeg
+                   ? "accepted (outdegree trimmed in step 5)"
+                   : "accepted");
+        result.report = std::move(report);
+        result.note = "feasible design found";
+        return result;
+      }
+      if (!connection_budget_exceeded) {
+        // No candidate was rejected for connections at this TTL, so a
+        // longer TTL cannot help this k; move to redundancy or fail.
+        break;
+      }
+    }
+  }
+  result.note =
+      "no configuration satisfies the constraints; decrease the desired "
+      "reach (no configuration is more bandwidth-efficient than TTL=1, "
+      "Figure 10 step 3)";
+  return result;
+}
+
+}  // namespace sppnet

@@ -1,0 +1,93 @@
+#ifndef SPPNET_DESIGN_PROCEDURE_H_
+#define SPPNET_DESIGN_PROCEDURE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sppnet/model/config.h"
+#include "sppnet/model/trials.h"
+
+namespace sppnet {
+
+/// Per-super-peer resource limits supplied by the system designer
+/// (Section 5.2). The paper advises choosing limits far below actual
+/// peer capabilities: expected load excludes bursts, downloads, and the
+/// user's own work.
+struct DesignConstraints {
+  double max_individual_in_bps = 100e3;   ///< 100 Kbps downstream.
+  double max_individual_out_bps = 100e3;  ///< 100 Kbps upstream.
+  double max_individual_proc_hz = 10e6;   ///< 10 MHz of processing.
+  double max_connections = 100.0;         ///< Open-connection budget.
+  bool allow_redundancy = false;          ///< May the design use k=2?
+};
+
+/// Desired global properties of the network.
+struct DesignGoals {
+  std::size_t num_users = 20000;
+  /// Desired reach in peers (results per query are proportional to
+  /// reach, so the designer picks reach from the desired result count).
+  double desired_reach_peers = 3000.0;
+};
+
+/// Tuning knobs for the procedure's internal evaluations.
+struct DesignOptions {
+  std::size_t trials_per_candidate = 2;
+  std::uint64_t seed = 42;
+  double min_cluster_size = 1.0;
+};
+
+/// One considered candidate, for the procedure's decision trace — the
+/// machine version of the paper's Section 5.2 walkthrough.
+struct DesignStep {
+  int k = 1;
+  int ttl = 0;
+  double cluster_size = 0.0;
+  int outdegree = 0;
+  double connections = 0.0;
+  /// Why the candidate was rejected (or "accepted").
+  std::string verdict;
+};
+
+/// Outcome of the global design procedure (Figure 10).
+struct DesignResult {
+  bool feasible = false;
+  Configuration config;              ///< The recommended configuration.
+  double required_outdegree = 0.0;   ///< Inter-super-peer outdegree.
+  double total_connections = 0.0;    ///< Per partner, incl. clients.
+  ConfigurationReport report;        ///< Evaluation of the final config.
+  std::string note;                  ///< Human-readable explanation.
+  int candidates_evaluated = 0;
+  /// Every candidate considered, in order (the decision trace).
+  std::vector<DesignStep> trace;
+};
+
+/// Smallest integer super-peer outdegree d whose TTL-hop flood tree can
+/// cover `sp_reach` super-peers: sum_{i=1..ttl} d^i >= margin * sp_reach.
+/// A 10% margin is applied for ttl >= 2 to absorb the coverage lost to
+/// cycles ("effective outdegree is lower than actual", Appendix F);
+/// one-hop floods are exact and use no margin.
+int RequiredOutdegree(int ttl, double sp_reach);
+
+/// Suggested TTL for a desired reach at a given outdegree, using the
+/// paper's log_d(reach) EPL approximation rounded up with a small guard
+/// band (Appendix F warns that TTL == EPL under-reaches).
+int SuggestTtl(double avg_outdegree, double sp_reach);
+
+/// Runs the global design procedure of Figure 10:
+///   (1) fix the desired reach,
+///   (2) start at TTL = 1,
+///   (3) walk cluster size downward until individual load fits
+///       (applying 2-redundancy if allowed and needed),
+///   (4) if the required outdegree exceeds the connection budget,
+///       increment TTL and retry,
+///   (5) decrease outdegree while the reach is still attainable.
+/// Every candidate is evaluated with the full mean-value analysis.
+DesignResult RunGlobalDesign(const DesignGoals& goals,
+                             const DesignConstraints& constraints,
+                             const ModelInputs& inputs,
+                             const DesignOptions& options = {});
+
+}  // namespace sppnet
+
+#endif  // SPPNET_DESIGN_PROCEDURE_H_

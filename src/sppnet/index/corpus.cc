@@ -1,0 +1,167 @@
+#include "sppnet/index/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sppnet/common/check.h"
+
+namespace sppnet {
+
+TitleCorpus::TitleCorpus(const CorpusParams& params)
+    : params_(params),
+      title_terms_(params.vocabulary_size, params.title_term_exponent),
+      query_terms_(params.vocabulary_size, params.query_term_exponent) {
+  SPPNET_CHECK(params.vocabulary_size >= 2);
+  SPPNET_CHECK(params.min_title_terms >= 1);
+  SPPNET_CHECK(params.max_title_terms >= params.min_title_terms);
+  SPPNET_CHECK(params.min_query_terms >= 1);
+  SPPNET_CHECK(params.max_query_terms >= params.min_query_terms);
+  vocabulary_.reserve(params.vocabulary_size);
+  for (std::size_t i = 0; i < params.vocabulary_size; ++i) {
+    // Built via append rather than operator+ to sidestep a GCC 12
+    // -Wrestrict false positive (PR 105651).
+    std::string term(1, 'w');
+    term += std::to_string(i);
+    vocabulary_.push_back(std::move(term));
+  }
+}
+
+std::string TitleCorpus::SampleTitle(Rng& rng) const {
+  const auto count = static_cast<std::size_t>(
+      rng.NextInt(static_cast<std::int64_t>(params_.min_title_terms),
+                  static_cast<std::int64_t>(params_.max_title_terms)));
+  std::string title;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i > 0) title.push_back(' ');
+    title += vocabulary_[title_terms_.Sample(rng)];
+  }
+  return title;
+}
+
+std::string TitleCorpus::SampleQuery(Rng& rng) const {
+  const auto count = static_cast<std::size_t>(
+      rng.NextInt(static_cast<std::int64_t>(params_.min_query_terms),
+                  static_cast<std::int64_t>(params_.max_query_terms)));
+  std::string query;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i > 0) query.push_back(' ');
+    query += vocabulary_[query_terms_.Sample(rng)];
+  }
+  return query;
+}
+
+std::vector<FileRecord> TitleCorpus::SampleCollection(OwnerId owner,
+                                                      std::size_t num_files,
+                                                      FileId* next_id,
+                                                      Rng& rng) const {
+  SPPNET_CHECK(next_id != nullptr);
+  std::vector<FileRecord> records;
+  records.reserve(num_files);
+  for (std::size_t i = 0; i < num_files; ++i) {
+    FileRecord record;
+    record.id = (*next_id)++;
+    record.owner = owner;
+    record.title = SampleTitle(rng);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+CorpusModelEstimate MeasureCorpusModel(const TitleCorpus& corpus,
+                                       std::size_t num_files,
+                                       std::size_t collection_size,
+                                       std::size_t num_queries, Rng& rng) {
+  SPPNET_CHECK(num_files >= collection_size);
+  SPPNET_CHECK(collection_size >= 1);
+  SPPNET_CHECK(num_queries >= 1);
+
+  // Index the sample, assigning files to owners in collection-sized
+  // blocks so distinct-owner statistics are meaningful.
+  InvertedIndex index;
+  FileId next_id = 1;
+  const std::size_t num_owners =
+      std::max<std::size_t>(1, num_files / collection_size);
+  for (OwnerId owner = 0; owner < num_owners; ++owner) {
+    const auto records =
+        corpus.SampleCollection(owner, collection_size, &next_id, rng);
+    index.InsertCollection(records);
+  }
+  const std::size_t total_files = index.num_files();
+
+  double hit_files = 0.0;
+  std::size_t queries_with_owner0_hit = 0;
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    const QueryResult result = index.Query(corpus.SampleQuery(rng));
+    hit_files += static_cast<double>(result.hits.size());
+    for (const QueryHit& hit : result.hits) {
+      if (hit.owner == 0) {
+        ++queries_with_owner0_hit;
+        break;
+      }
+    }
+  }
+
+  CorpusModelEstimate est;
+  est.files_sampled = total_files;
+  est.queries_sampled = num_queries;
+  est.collection_size = collection_size;
+  est.match_probability = hit_files / (static_cast<double>(num_queries) *
+                                       static_cast<double>(total_files));
+  est.response_probability = static_cast<double>(queries_with_owner0_hit) /
+                             static_cast<double>(num_queries);
+  return est;
+}
+
+QueryModel::Params QueryModelParamsFromCorpus(const CorpusModelEstimate& est) {
+  SPPNET_CHECK(est.match_probability > 0.0);
+  QueryModel::Params params;
+  params.target_match_probability = est.match_probability;
+  // Corpus-induced selection powers are typically far more concentrated
+  // than the default shape: a few head queries match many files while
+  // most match nothing, keeping phi(x) high even for large collections.
+  // Fit the selection exponent (with a generous clamp so concentration
+  // is actually expressible) to the measured response probability at
+  // the calibration collection size.
+  if (est.response_probability <= 0.0 || est.collection_size == 0) {
+    return params;
+  }
+  // Corpus-induced selection powers are strongly two-level: a small
+  // g-mass of head queries matches a sizable fraction F of all files,
+  // while the long tail of conjunctive keyword combinations matches
+  // nothing. Under that shape, with x = calibration collection size:
+  //   match probability     p = G * F
+  //   response probability  P = G * (1 - (1-F)^x)
+  // so the ratio P/p = (1 - (1-F)^x) / F pins down F independently of
+  // the head mass G. Solve by bisection (the ratio is strictly
+  // decreasing in F, from x down to 1), then express the shape through
+  // a steep per-rank decay clamped at F — the p-calibration in the
+  // QueryModel constructor recovers G automatically.
+  const double x = static_cast<double>(est.collection_size);
+  const double ratio = est.response_probability / est.match_probability;
+  if (ratio <= 1.0 || ratio >= x) {
+    return params;  // Degenerate measurement; keep the default shape.
+  }
+  double lo = 1e-9, hi = 1.0;
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double value = (1.0 - std::pow(1.0 - mid, x)) / mid;
+    if (value > ratio) {
+      lo = mid;  // Ratio too high: need a larger F.
+    } else {
+      hi = mid;
+    }
+  }
+  const double head_f = 0.5 * (lo + hi);
+  // Express the two-level shape: a wide, uniform class space (each
+  // specific keyword combination is individually rare, so popularity is
+  // flat across the space) with a steep selection decay clamped at F.
+  // The constructor's p-calibration then clamps exactly the head mass
+  // G = p/F worth of classes at F and leaves the tail at ~0.
+  params.num_query_classes = 20000;
+  params.popularity_exponent = 0.0;
+  params.selection_exponent = 8.0;
+  params.max_selection_power = head_f;
+  return params;
+}
+
+}  // namespace sppnet

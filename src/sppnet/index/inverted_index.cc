@@ -1,0 +1,134 @@
+#include "sppnet/index/inverted_index.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "sppnet/common/check.h"
+
+namespace sppnet {
+namespace {
+
+void InsertSorted(std::vector<FileId>& list, FileId id) {
+  const auto it = std::lower_bound(list.begin(), list.end(), id);
+  if (it == list.end() || *it != id) list.insert(it, id);
+}
+
+void EraseSorted(std::vector<FileId>& list, FileId id) {
+  const auto it = std::lower_bound(list.begin(), list.end(), id);
+  if (it != list.end() && *it == id) list.erase(it);
+}
+
+}  // namespace
+
+std::vector<std::string> InvertedIndex::Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char ch : text) {
+    if (std::isalnum(static_cast<unsigned char>(ch)) != 0) {
+      current.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(ch))));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+bool InvertedIndex::Insert(const FileRecord& record) {
+  if (files_.count(record.id) != 0) return false;
+  StoredFile stored;
+  stored.owner = record.owner;
+  stored.terms = Tokenize(record.title);
+  // Deduplicate terms so erase removes each posting exactly once.
+  std::sort(stored.terms.begin(), stored.terms.end());
+  stored.terms.erase(std::unique(stored.terms.begin(), stored.terms.end()),
+                     stored.terms.end());
+  for (const std::string& term : stored.terms) {
+    InsertSorted(postings_[term], record.id);
+  }
+  files_.emplace(record.id, std::move(stored));
+  return true;
+}
+
+void InvertedIndex::InsertCollection(std::span<const FileRecord> records) {
+  for (const FileRecord& record : records) Insert(record);
+}
+
+bool InvertedIndex::Erase(FileId id) {
+  const auto it = files_.find(id);
+  if (it == files_.end()) return false;
+  for (const std::string& term : it->second.terms) {
+    const auto posting = postings_.find(term);
+    SPPNET_CHECK(posting != postings_.end());
+    EraseSorted(posting->second, id);
+    if (posting->second.empty()) postings_.erase(posting);
+  }
+  files_.erase(it);
+  return true;
+}
+
+std::size_t InvertedIndex::EraseOwner(OwnerId owner) {
+  std::vector<FileId> to_erase;
+  for (const auto& [id, stored] : files_) {
+    if (stored.owner == owner) to_erase.push_back(id);
+  }
+  for (const FileId id : to_erase) Erase(id);
+  return to_erase.size();
+}
+
+QueryResult InvertedIndex::Query(std::string_view query) const {
+  QueryResult result;
+  const std::vector<std::string> terms = Tokenize(query);
+  if (terms.empty()) return result;
+
+  // Gather the posting lists; a missing term means no conjunctive hit.
+  std::vector<const std::vector<FileId>*> lists;
+  lists.reserve(terms.size());
+  for (const std::string& term : terms) {
+    const auto it = postings_.find(term);
+    if (it == postings_.end()) return result;
+    lists.push_back(&it->second);
+  }
+  // Intersect starting from the shortest list.
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  std::vector<FileId> matched(*lists[0]);
+  for (std::size_t i = 1; i < lists.size() && !matched.empty(); ++i) {
+    std::vector<FileId> next;
+    next.reserve(matched.size());
+    std::set_intersection(matched.begin(), matched.end(), lists[i]->begin(),
+                          lists[i]->end(), std::back_inserter(next));
+    matched = std::move(next);
+  }
+
+  result.hits.reserve(matched.size());
+  std::vector<OwnerId> owners;
+  owners.reserve(matched.size());
+  for (const FileId id : matched) {
+    const auto it = files_.find(id);
+    SPPNET_CHECK(it != files_.end());
+    result.hits.push_back(QueryHit{id, it->second.owner});
+    owners.push_back(it->second.owner);
+  }
+  std::sort(owners.begin(), owners.end());
+  result.distinct_owners = static_cast<std::size_t>(
+      std::unique(owners.begin(), owners.end()) - owners.begin());
+  return result;
+}
+
+std::size_t InvertedIndex::ApproximateMemoryBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& [term, list] : postings_) {
+    bytes += term.size() + list.size() * sizeof(FileId) + 48;
+  }
+  for (const auto& [id, stored] : files_) {
+    (void)id;
+    bytes += sizeof(FileId) + sizeof(OwnerId) + 48;
+    for (const auto& term : stored.terms) bytes += term.size() + 16;
+  }
+  return bytes;
+}
+
+}  // namespace sppnet

@@ -1,0 +1,107 @@
+#ifndef SPPNET_INDEX_INVERTED_INDEX_H_
+#define SPPNET_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sppnet {
+
+/// Identifier of a peer that owns files (a client or the super-peer's
+/// own user). Assigned by the caller.
+using OwnerId = std::uint32_t;
+
+/// Identifier of one shared file within an index.
+using FileId = std::uint64_t;
+
+/// Metadata for one shared file, as uploaded at join time. The paper's
+/// metadata record is 72 bytes covering title and attributes; here the
+/// searchable part is the title.
+struct FileRecord {
+  FileId id = 0;
+  OwnerId owner = 0;
+  std::string title;
+};
+
+/// One query hit: a file and its owner (Response messages carry "the
+/// address of each client whose collection produced a result").
+struct QueryHit {
+  FileId file = 0;
+  OwnerId owner = 0;
+};
+
+/// Result of a keyword query over an index.
+struct QueryResult {
+  std::vector<QueryHit> hits;
+  /// Distinct owners among the hits — the K_T of the analysis.
+  std::size_t distinct_owners = 0;
+};
+
+/// The super-peer's index over its clients' data (Section 3.2): an
+/// in-memory inverted index mapping title keywords to posting lists of
+/// files. Supports the three maintenance actions of the paper — join
+/// (bulk insert of a peer's metadata), leave (removal of everything a
+/// peer owns) and update (single-file insert/erase) — plus conjunctive
+/// (all-keywords) queries.
+///
+/// Posting lists are kept sorted by FileId; queries intersect the
+/// lists of the query's keywords, shortest list first. Tokenization is
+/// ASCII lowercase alphanumeric runs.
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  // Movable but not copyable: an index is the mutable state of one
+  // (virtual) super-peer.
+  InvertedIndex(InvertedIndex&&) = default;
+  InvertedIndex& operator=(InvertedIndex&&) = default;
+  InvertedIndex(const InvertedIndex&) = delete;
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
+
+  /// Inserts one file. Duplicate FileIds are rejected (returns false).
+  bool Insert(const FileRecord& record);
+
+  /// Bulk-inserts a joining peer's collection.
+  void InsertCollection(std::span<const FileRecord> records);
+
+  /// Removes one file; returns false if the id is unknown.
+  bool Erase(FileId id);
+
+  /// Removes everything `owner` shares (the peer left). Returns the
+  /// number of files removed.
+  std::size_t EraseOwner(OwnerId owner);
+
+  /// Conjunctive keyword query: files whose title contains every
+  /// keyword of `query`. An empty or all-unknown query yields no hits.
+  QueryResult Query(std::string_view query) const;
+
+  /// Number of indexed files.
+  std::size_t num_files() const { return files_.size(); }
+
+  /// Number of distinct keywords.
+  std::size_t num_terms() const { return postings_.size(); }
+
+  /// Approximate resident bytes (postings + file table + titles);
+  /// super-peers use this to budget their index (rule I decisions).
+  std::size_t ApproximateMemoryBytes() const;
+
+  /// Splits `text` into lowercase alphanumeric tokens.
+  static std::vector<std::string> Tokenize(std::string_view text);
+
+ private:
+  struct StoredFile {
+    OwnerId owner;
+    std::vector<std::string> terms;  // For erase without re-tokenizing.
+  };
+
+  // term -> sorted FileIds.
+  std::unordered_map<std::string, std::vector<FileId>> postings_;
+  std::unordered_map<FileId, StoredFile> files_;
+};
+
+}  // namespace sppnet
+
+#endif  // SPPNET_INDEX_INVERTED_INDEX_H_

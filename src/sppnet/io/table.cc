@@ -1,0 +1,83 @@
+#include "sppnet/io/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "sppnet/common/check.h"
+
+namespace sppnet {
+
+TableWriter::TableWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SPPNET_CHECK(!header_.empty());
+}
+
+void TableWriter::AddRow(std::vector<std::string> row) {
+  SPPNET_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TableWriter::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TableWriter::PrintCsv(std::ostream& os) const {
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) os << ',';
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Format(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+  return buf;
+}
+
+std::string FormatSci(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2e", value);
+  return buf;
+}
+
+std::string Format(std::size_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%zu", value);
+  return buf;
+}
+
+std::string Format(int value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%d", value);
+  return buf;
+}
+
+}  // namespace sppnet

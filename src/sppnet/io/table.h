@@ -1,0 +1,47 @@
+#ifndef SPPNET_IO_TABLE_H_
+#define SPPNET_IO_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sppnet {
+
+/// Minimal column-aligned table writer used by the benchmark harnesses
+/// to print paper-style figure series and tables to stdout.
+///
+/// Usage:
+///   TableWriter t({"ClusterSize", "Bandwidth (bps)", "CI95"});
+///   t.AddRow({Format(cs), FormatSci(bw), FormatSci(ci)});
+///   t.Print(std::cout);
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Writes the header, a rule, and all rows with aligned columns.
+  void Print(std::ostream& os) const;
+
+  /// Writes comma-separated values (for machine consumption).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (general format).
+std::string Format(double value, int digits = 4);
+
+/// Formats in scientific notation with 3 significant digits, matching
+/// the paper's load tables (e.g. "9.08e+08").
+std::string FormatSci(double value);
+
+/// Formats an integer-valued quantity.
+std::string Format(std::size_t value);
+std::string Format(int value);
+
+}  // namespace sppnet
+
+#endif  // SPPNET_IO_TABLE_H_

@@ -1,0 +1,56 @@
+#include "sppnet/model/breakdown.h"
+
+#include "sppnet/model/evaluator.h"
+
+namespace sppnet {
+namespace {
+
+LoadVector Minus(const LoadVector& a, const LoadVector& b) {
+  LoadVector out;
+  out.in_bps = a.in_bps - b.in_bps;
+  out.out_bps = a.out_bps - b.out_bps;
+  out.proc_hz = a.proc_hz - b.proc_hz;
+  return out;
+}
+
+}  // namespace
+
+ActionBreakdown ComputeActionBreakdown(const NetworkInstance& instance,
+                                       const Configuration& config,
+                                       const ModelInputs& inputs) {
+  // Join rates are per-node 1/lifespan and cannot be switched off via
+  // the configuration, so joins form the baseline: evaluate with both
+  // switchable rates zeroed, then difference the query-only and
+  // update-only additions on top of it.
+  Configuration joins_only = config;
+  joins_only.query_rate = 0.0;
+  joins_only.update_rate = 0.0;
+  Configuration with_queries = joins_only;
+  with_queries.query_rate = config.query_rate;
+  Configuration with_updates = joins_only;
+  with_updates.update_rate = config.update_rate;
+
+  const InstanceLoads base = EvaluateInstance(instance, joins_only, inputs);
+  const InstanceLoads queries =
+      EvaluateInstance(instance, with_queries, inputs);
+  const InstanceLoads updates =
+      EvaluateInstance(instance, with_updates, inputs);
+  const InstanceLoads full = EvaluateInstance(instance, config, inputs);
+
+  ActionBreakdown breakdown;
+  breakdown.aggregate_join = base.aggregate;
+  breakdown.aggregate_query = Minus(queries.aggregate, base.aggregate);
+  breakdown.aggregate_update = Minus(updates.aggregate, base.aggregate);
+  breakdown.aggregate_total = full.aggregate;
+
+  const LoadVector sp_base = InstanceLoads::MeanOf(base.partner_load);
+  const LoadVector sp_queries = InstanceLoads::MeanOf(queries.partner_load);
+  const LoadVector sp_updates = InstanceLoads::MeanOf(updates.partner_load);
+  breakdown.sp_join = sp_base;
+  breakdown.sp_query = Minus(sp_queries, sp_base);
+  breakdown.sp_update = Minus(sp_updates, sp_base);
+  breakdown.sp_total = InstanceLoads::MeanOf(full.partner_load);
+  return breakdown;
+}
+
+}  // namespace sppnet

@@ -1,0 +1,52 @@
+#ifndef SPPNET_MODEL_BREAKDOWN_H_
+#define SPPNET_MODEL_BREAKDOWN_H_
+
+#include "sppnet/model/config.h"
+#include "sppnet/model/instance.h"
+#include "sppnet/model/load.h"
+
+namespace sppnet {
+
+/// Load attributed to each of the three macro actions (Section 4.1,
+/// Step 2: query, join, update). Because expected load is linear in
+/// the action rates (equation 1), the attribution is exact:
+/// query + join + update == total, component-wise.
+struct ActionBreakdown {
+  LoadVector aggregate_query;
+  LoadVector aggregate_join;
+  LoadVector aggregate_update;
+  LoadVector aggregate_total;
+
+  /// Mean per-super-peer-partner load by action.
+  LoadVector sp_query;
+  LoadVector sp_join;
+  LoadVector sp_update;
+  LoadVector sp_total;
+
+  /// Fraction of aggregate bandwidth carried by each action.
+  double QueryBandwidthShare() const {
+    return Share(aggregate_query.TotalBps(), aggregate_total.TotalBps());
+  }
+  double JoinBandwidthShare() const {
+    return Share(aggregate_join.TotalBps(), aggregate_total.TotalBps());
+  }
+  double UpdateBandwidthShare() const {
+    return Share(aggregate_update.TotalBps(), aggregate_total.TotalBps());
+  }
+
+ private:
+  static double Share(double part, double whole) {
+    return whole > 0.0 ? part / whole : 0.0;
+  }
+};
+
+/// Decomposes an instance's expected load by action type. Implemented
+/// by re-evaluating with selected rates zeroed and differencing, which
+/// is exact thanks to the linearity of the mean-value analysis.
+ActionBreakdown ComputeActionBreakdown(const NetworkInstance& instance,
+                                       const Configuration& config,
+                                       const ModelInputs& inputs);
+
+}  // namespace sppnet
+
+#endif  // SPPNET_MODEL_BREAKDOWN_H_

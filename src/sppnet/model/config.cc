@@ -1,0 +1,36 @@
+#include "sppnet/model/config.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "sppnet/common/check.h"
+
+namespace sppnet {
+
+std::size_t Configuration::NumClusters() const {
+  SPPNET_CHECK(graph_size >= 1);
+  SPPNET_CHECK(cluster_size >= 1.0);
+  const double n = static_cast<double>(graph_size) / cluster_size;
+  return std::max<std::size_t>(1, static_cast<std::size_t>(std::llround(n)));
+}
+
+double Configuration::MeanClientsPerCluster() const {
+  const double mean = cluster_size - static_cast<double>(RedundancyK());
+  SPPNET_CHECK_MSG(mean >= 0.0,
+                   "cluster size must be >= redundancy degree k");
+  return mean;
+}
+
+std::string Configuration::ToString() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s graph=%zu cluster=%.4g redundancy=%s outdeg=%.4g ttl=%d qrate=%.3g",
+      graph_type == GraphType::kStronglyConnected ? "strong" : "power-law",
+      graph_size, cluster_size, redundancy ? "yes" : "no", avg_outdegree, ttl,
+      query_rate);
+  return buf;
+}
+
+}  // namespace sppnet

@@ -1,0 +1,111 @@
+#ifndef SPPNET_MODEL_CONFIG_H_
+#define SPPNET_MODEL_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "sppnet/cost/cost_table.h"
+#include "sppnet/workload/peer_profile.h"
+#include "sppnet/workload/query_model.h"
+
+namespace sppnet {
+
+/// Overlay graph family (Table 1, "Graph Type").
+enum class GraphType {
+  /// The paper's "strongly connected" best case: a complete graph over
+  /// super-peers; every node is reachable in one hop.
+  kStronglyConnected,
+  /// PLOD power-law overlay reflecting the measured Gnutella topology.
+  kPowerLaw,
+};
+
+/// A system configuration (the paper's Table 1). Describes both the
+/// desired topology and user behaviour; one configuration is evaluated
+/// over several generated instances (Section 4.1, Step 4).
+struct Configuration {
+  GraphType graph_type = GraphType::kPowerLaw;
+
+  /// Total number of peers in the network (super-peers + clients).
+  std::size_t graph_size = 10000;
+
+  /// Nodes per cluster, including the super-peer itself (or both
+  /// partners when `redundancy` is set). Cluster size 1 with no
+  /// redundancy degenerates to a pure P2P network.
+  double cluster_size = 10.0;
+
+  /// Whether 2-redundant ("virtual") super-peers are used (Section 3.2).
+  bool redundancy = false;
+
+  /// Generalized k-redundancy (the paper introduces k-redundant
+  /// virtual super-peers but analyzes only k = 2 because inter-super-
+  /// peer connections grow as k^2; this library implements the general
+  /// case). 0 (default) defers to the `redundancy` flag; any value
+  /// >= 1 overrides it.
+  int redundancy_k = 0;
+
+  /// Suggested average outdegree of the super-peer overlay. Ignored for
+  /// strongly connected graphs.
+  double avg_outdegree = 3.1;
+
+  /// Time-to-live of query messages.
+  int ttl = 7;
+
+  /// Expected queries per user per second (Table 3).
+  double query_rate = 9.26e-3;
+
+  /// Expected updates per user per second.
+  double update_rate = 1.85e-3;
+
+  /// Power-law shape parameter for the PLOD generator.
+  double plod_alpha = 0.8;
+
+  /// Per-node degree cap for the PLOD generator; see
+  /// PlodParams::max_degree. 0 (the default) means "auto": the cap
+  /// scales as max(32, 4 * avg_outdegree) so high-outdegree
+  /// configurations (e.g. the Appendix E sweeps at outdegree 50-100)
+  /// are not clamped, while Gnutella-like graphs keep the Figure 7/8
+  /// hub range.
+  std::uint32_t plod_max_degree = 0;
+
+  /// Number of partners forming each (virtual) super-peer.
+  int RedundancyK() const {
+    if (redundancy_k >= 1) return redundancy_k;
+    return redundancy ? 2 : 1;
+  }
+
+  /// Number of clusters n = GraphSize / ClusterSize (>= 1).
+  std::size_t NumClusters() const;
+
+  /// Mean number of clients per cluster: ClusterSize - k (Section 4.1).
+  double MeanClientsPerCluster() const;
+
+  /// The paper's default configuration (Table 1).
+  static Configuration Defaults() { return Configuration{}; }
+
+  /// Human-readable one-line description (for bench output).
+  std::string ToString() const;
+};
+
+/// Model-wide inputs shared by every configuration: the query model, the
+/// peer-behaviour distributions and the cost constants. Constructing a
+/// QueryModel is comparatively expensive (calibration + table build), so
+/// one ModelInputs is built once and reused across all trials.
+struct ModelInputs {
+  QueryModel query_model;
+  FileCountDistribution file_counts;
+  LifespanDistribution lifespans;
+  CostTable costs;
+  GeneralStats stats;
+
+  /// The default calibration described in DESIGN.md.
+  static ModelInputs Default() {
+    return ModelInputs{QueryModel::Default(), FileCountDistribution::Default(),
+                       LifespanDistribution::Default(), CostTable{},
+                       GeneralStats{}};
+  }
+};
+
+}  // namespace sppnet
+
+#endif  // SPPNET_MODEL_CONFIG_H_

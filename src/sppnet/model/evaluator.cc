@@ -1,0 +1,452 @@
+#include "sppnet/model/evaluator.h"
+
+#include <vector>
+
+#include "sppnet/common/check.h"
+#include "sppnet/topology/bfs.h"
+
+namespace sppnet {
+
+LoadVector InstanceLoads::MeanOf(const std::vector<LoadVector>& loads) {
+  LoadVector sum;
+  for (const auto& l : loads) sum += l;
+  if (!loads.empty()) sum *= 1.0 / static_cast<double>(loads.size());
+  return sum;
+}
+
+namespace {
+
+/// Raw per-entity accumulation in bytes/sec and processing units/sec;
+/// converted to bps / Hz only at the very end.
+struct RawLoad {
+  double in_bytes = 0.0;
+  double out_bytes = 0.0;
+  double units = 0.0;
+};
+
+class Evaluator {
+ public:
+  Evaluator(const NetworkInstance& inst, const Configuration& config,
+            const ModelInputs& inputs)
+      : inst_(inst),
+        config_(config),
+        costs_(inputs.costs),
+        n_(inst.NumClusters()),
+        k_(inst.redundancy_k),
+        qlen_(inputs.stats.query_length_bytes),
+        qbytes_(inputs.costs.QueryBytes(qlen_)),
+        sendq_(inputs.costs.SendQueryUnits(qlen_)),
+        recvq_(inputs.costs.RecvQueryUnits(qlen_)) {
+    cluster_pool_.assign(n_, RawLoad{});
+    partner_raw_.assign(inst.TotalPartners(), RawLoad{});
+    client_raw_.assign(inst.TotalClients(), RawLoad{});
+    conn_.resize(n_);
+    users_.resize(n_);
+    query_rate_of_cluster_.resize(n_);
+    submit_rate_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      conn_[i] = inst.PartnerConnections(i);
+      users_[i] = static_cast<double>(inst.ClusterUsers(i));
+      query_rate_of_cluster_[i] = users_[i] * config.query_rate;
+      submit_rate_[i] =
+          static_cast<double>(inst.NumClients(i)) * config.query_rate;
+    }
+    client_conn_ = inst.ClientConnections();
+  }
+
+  InstanceLoads Run() {
+    out_.results_per_query.assign(n_, 0.0);
+    out_.epl_per_source.assign(n_, 0.0);
+    out_.reach_per_source.assign(n_, 0.0);
+
+    if (inst_.topology.is_complete()) {
+      EvaluateQueriesComplete();
+    } else {
+      EvaluateQueriesSparse();
+    }
+    EvaluateJoinsAndUpdates();
+    return Finalize();
+  }
+
+ private:
+  // --- Response-message composition helpers -------------------------------
+  // A bundle of expected response traffic is described by (msgs, results,
+  // addrs); both bytes and processing costs are linear in those three.
+  double ResponseBytes(double msgs, double results, double addrs) const {
+    return costs_.response_base_bytes * msgs +
+           costs_.response_per_addr_bytes * addrs +
+           costs_.response_per_result_bytes * results;
+  }
+  double SendResponseUnits(double msgs, double results, double addrs,
+                           double connections) const {
+    return costs_.send_response_units * msgs +
+           costs_.send_response_per_addr * addrs +
+           costs_.send_response_per_result * results +
+           msgs * costs_.MultiplexUnits(connections);
+  }
+  double RecvResponseUnits(double msgs, double results, double addrs,
+                           double connections) const {
+    return costs_.recv_response_units * msgs +
+           costs_.recv_response_per_addr * addrs +
+           costs_.recv_response_per_result * results +
+           msgs * costs_.MultiplexUnits(connections);
+  }
+
+  /// Client <-> super-peer traffic that every client-originated query
+  /// incurs inside the source cluster `s`: the submission hop and the
+  /// forwarding of every response (msgs/results/addrs totals) to the
+  /// querying client. Also records the source-side results/EPL outputs.
+  void ApplyIntraClusterQueryTraffic(std::size_t s, double total_msgs,
+                                     double total_results,
+                                     double total_addrs) {
+    const double submit_rate = submit_rate_[s];  // client queries/sec
+    RawLoad& pool = cluster_pool_[s];
+    // Submission hop: one query message client -> one partner.
+    pool.in_bytes += submit_rate * qbytes_;
+    pool.units += submit_rate * (recvq_ + costs_.MultiplexUnits(conn_[s]));
+    // Response forwarding: every response message (network + the local
+    // one assembled from the cluster's own index) is relayed to the
+    // querying client.
+    pool.out_bytes +=
+        submit_rate * ResponseBytes(total_msgs, total_results, total_addrs);
+    pool.units += submit_rate * SendResponseUnits(total_msgs, total_results,
+                                                  total_addrs, conn_[s]);
+    // Client side, per client of cluster s (each submits at query_rate).
+    const double rate = config_.query_rate;
+    RawLoad client_delta;
+    client_delta.out_bytes = rate * qbytes_;
+    client_delta.units =
+        rate * (sendq_ + costs_.MultiplexUnits(client_conn_));
+    client_delta.in_bytes =
+        rate * ResponseBytes(total_msgs, total_results, total_addrs);
+    client_delta.units += rate * RecvResponseUnits(total_msgs, total_results,
+                                                   total_addrs, client_conn_);
+    for (std::size_t c = inst_.client_offset[s];
+         c < inst_.client_offset[s + 1]; ++c) {
+      client_raw_[c].in_bytes += client_delta.in_bytes;
+      client_raw_[c].out_bytes += client_delta.out_bytes;
+      client_raw_[c].units += client_delta.units;
+    }
+  }
+
+  // --- Sparse (power-law) query evaluation ---------------------------------
+  void EvaluateQueriesSparse() {
+    FloodScratch scratch;
+    // Reverse-BFS accumulators; entries are zeroed after each use so the
+    // arrays stay clean across sources.
+    std::vector<double> acc_msgs(n_, 0.0);
+    std::vector<double> acc_results(n_, 0.0);
+    std::vector<double> acc_addrs(n_, 0.0);
+
+    double weighted_results = 0.0;
+    double weighted_epl = 0.0;
+    double weighted_reach = 0.0;
+    double total_weight = 0.0;
+
+    for (std::size_t s = 0; s < n_; ++s) {
+      const double w = query_rate_of_cluster_[s];  // queries/sec from s
+      const FloodStats stats =
+          FloodBfs(inst_.topology, static_cast<NodeId>(s), config_.ttl,
+                   scratch);
+      out_.duplicate_msgs_per_sec += w * stats.duplicates;
+
+      // Flooding costs per reached cluster.
+      for (const NodeId u : scratch.order()) {
+        RawLoad& pool = cluster_pool_[u];
+        const auto t = static_cast<double>(scratch.Transmissions(u));
+        const auto r = static_cast<double>(scratch.Receptions(u));
+        pool.out_bytes += w * t * qbytes_;
+        pool.units += w * t * (sendq_ + costs_.MultiplexUnits(conn_[u]));
+        pool.in_bytes += w * r * qbytes_;
+        pool.units += w * r * (recvq_ + costs_.MultiplexUnits(conn_[u]));
+        // Every reached cluster processes the query over its index once.
+        pool.units +=
+            w * costs_.ProcessQueryUnits(inst_.expected_results[u]);
+      }
+
+      // Response accumulation up the predecessor tree (reverse BFS order:
+      // children are finalized before their parents).
+      const auto& order = scratch.order();
+      double source_msgs = 0.0, source_results = 0.0, source_addrs = 0.0;
+      double epl_num = 0.0, epl_den = 0.0;
+      for (std::size_t idx = order.size(); idx-- > 0;) {
+        const NodeId u = order[idx];
+        const double msgs = acc_msgs[u] + inst_.response_prob[u];
+        const double results = acc_results[u] + inst_.expected_results[u];
+        const double addrs = acc_addrs[u] + inst_.expected_addrs[u];
+        acc_msgs[u] = acc_results[u] = acc_addrs[u] = 0.0;
+
+        if (idx == 0) {  // u == s: receive everything from children.
+          const double rmsgs = msgs - inst_.response_prob[u];
+          const double rres = results - inst_.expected_results[u];
+          const double raddr = addrs - inst_.expected_addrs[u];
+          RawLoad& pool = cluster_pool_[u];
+          pool.in_bytes += w * ResponseBytes(rmsgs, rres, raddr);
+          pool.units += w * RecvResponseUnits(rmsgs, rres, raddr, conn_[u]);
+          source_msgs = msgs;
+          source_results = results;
+          source_addrs = addrs;
+          continue;
+        }
+
+        RawLoad& pool = cluster_pool_[u];
+        // Send own response plus everything forwarded from the subtree.
+        pool.out_bytes += w * ResponseBytes(msgs, results, addrs);
+        pool.units += w * SendResponseUnits(msgs, results, addrs, conn_[u]);
+        // Receive the subtree part (own response originates locally).
+        const double rmsgs = msgs - inst_.response_prob[u];
+        const double rres = results - inst_.expected_results[u];
+        const double raddr = addrs - inst_.expected_addrs[u];
+        pool.in_bytes += w * ResponseBytes(rmsgs, rres, raddr);
+        pool.units += w * RecvResponseUnits(rmsgs, rres, raddr, conn_[u]);
+        // Pass the bundle to the BFS parent.
+        const NodeId parent = scratch.Parent(u);
+        acc_msgs[parent] += msgs;
+        acc_results[parent] += results;
+        acc_addrs[parent] += addrs;
+        // EPL bookkeeping: response messages from u travel Depth(u) hops.
+        epl_num += inst_.response_prob[u] *
+                   static_cast<double>(scratch.Depth(u));
+        epl_den += inst_.response_prob[u];
+      }
+
+      ApplyIntraClusterQueryTraffic(s, source_msgs, source_results,
+                                    source_addrs);
+
+      out_.results_per_query[s] = source_results;
+      out_.epl_per_source[s] = epl_den > 0.0 ? epl_num / epl_den : 0.0;
+      out_.reach_per_source[s] = static_cast<double>(stats.reached);
+      weighted_results += w * source_results;
+      weighted_epl += w * out_.epl_per_source[s];
+      weighted_reach += w * static_cast<double>(stats.reached);
+      total_weight += w;
+    }
+    FinishSourceAverages(weighted_results, weighted_epl, weighted_reach,
+                         total_weight);
+  }
+
+  // --- Complete ("strongly connected") query evaluation -------------------
+  // Every non-source cluster sits at depth 1, so all per-source floods
+  // collapse into totals over clusters: O(n) overall.
+  void EvaluateQueriesComplete() {
+    double sum_rate = 0.0;   // total queries/sec
+    double sum_p = 0.0, sum_n = 0.0, sum_k = 0.0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      sum_rate += query_rate_of_cluster_[i];
+      sum_p += inst_.response_prob[i];
+      sum_n += inst_.expected_results[i];
+      sum_k += inst_.expected_addrs[i];
+    }
+    const auto nd = static_cast<double>(n_);
+    const bool forwards_duplicates = config_.ttl >= 2 && n_ >= 3;
+
+    double weighted_results = 0.0;
+    double weighted_epl = 0.0;
+    double weighted_reach = 0.0;
+
+    for (std::size_t v = 0; v < n_; ++v) {
+      RawLoad& pool = cluster_pool_[v];
+      const double w_own = query_rate_of_cluster_[v];
+      const double w_other = sum_rate - w_own;
+      const double mux = costs_.MultiplexUnits(conn_[v]);
+
+      // As source: flood to all n-1 neighbors and process own query.
+      pool.out_bytes += w_own * (nd - 1.0) * qbytes_;
+      pool.units += w_own * (nd - 1.0) * (sendq_ + mux);
+      pool.units += w_own * costs_.ProcessQueryUnits(inst_.expected_results[v]);
+      // As source: responses arrive directly from every other cluster.
+      {
+        const double msgs = sum_p - inst_.response_prob[v];
+        const double res = sum_n - inst_.expected_results[v];
+        const double addr = sum_k - inst_.expected_addrs[v];
+        pool.in_bytes += w_own * ResponseBytes(msgs, res, addr);
+        pool.units += w_own * RecvResponseUnits(msgs, res, addr, conn_[v]);
+      }
+      // As responder for every foreign query: one fresh reception,
+      // processing, and a direct response back to the source.
+      pool.in_bytes += w_other * qbytes_;
+      pool.units += w_other * (recvq_ + mux);
+      pool.units +=
+          w_other * costs_.ProcessQueryUnits(inst_.expected_results[v]);
+      pool.out_bytes += w_other * ResponseBytes(inst_.response_prob[v],
+                                                inst_.expected_results[v],
+                                                inst_.expected_addrs[v]);
+      pool.units += w_other * SendResponseUnits(inst_.response_prob[v],
+                                                inst_.expected_results[v],
+                                                inst_.expected_addrs[v],
+                                                conn_[v]);
+      // TTL >= 2: depth-1 clusters forward to everyone but the source,
+      // producing n-2 redundant transmissions and receptions each.
+      if (forwards_duplicates) {
+        const double dup = nd - 2.0;
+        pool.out_bytes += w_other * dup * qbytes_;
+        pool.units += w_other * dup * (sendq_ + mux);
+        pool.in_bytes += w_other * dup * qbytes_;
+        pool.units += w_other * dup * (recvq_ + mux);
+      }
+
+      ApplyIntraClusterQueryTraffic(v, sum_p, sum_n, sum_k);
+
+      out_.results_per_query[v] = sum_n;
+      out_.epl_per_source[v] = n_ > 1 ? 1.0 : 0.0;
+      out_.reach_per_source[v] = nd;
+      weighted_results += w_own * sum_n;
+      weighted_epl += w_own * out_.epl_per_source[v];
+      weighted_reach += w_own * nd;
+    }
+    if (forwards_duplicates) {
+      out_.duplicate_msgs_per_sec = sum_rate * (nd - 1.0) * (nd - 2.0);
+    }
+    FinishSourceAverages(weighted_results, weighted_epl, weighted_reach,
+                         sum_rate);
+  }
+
+  void FinishSourceAverages(double weighted_results, double weighted_epl,
+                            double weighted_reach, double total_weight) {
+    if (total_weight > 0.0) {
+      out_.mean_results = weighted_results / total_weight;
+      out_.mean_epl = weighted_epl / total_weight;
+      out_.mean_reach = weighted_reach / total_weight;
+    }
+  }
+
+  // --- Joins and updates (topology-independent) ----------------------------
+  void EvaluateJoinsAndUpdates() {
+    const auto kd = static_cast<double>(k_);
+    const double upd_rate = config_.update_rate;
+    const double client_mux = costs_.MultiplexUnits(client_conn_);
+
+    for (std::size_t i = 0; i < n_; ++i) {
+      const double sp_mux = costs_.MultiplexUnits(conn_[i]);
+
+      // Client joins and updates: a client sends its Join metadata and
+      // Update messages to every partner (aggregate join cost is k times
+      // greater with redundancy, Section 3.2); each partner receives and
+      // indexes the full payload.
+      for (std::size_t c = inst_.client_offset[i];
+           c < inst_.client_offset[i + 1]; ++c) {
+        const auto files = static_cast<double>(inst_.client_files[c]);
+        const double join_rate = 1.0 / inst_.client_lifespan[c];
+        const double join_bytes = costs_.JoinBytes(files);
+
+        client_raw_[c].out_bytes += join_rate * kd * join_bytes;
+        client_raw_[c].units +=
+            join_rate * kd * (costs_.SendJoinUnits(files) + client_mux);
+        client_raw_[c].out_bytes += upd_rate * kd * costs_.UpdateBytes();
+        client_raw_[c].units +=
+            upd_rate * kd * (costs_.send_update_units + client_mux);
+
+        for (int p = 0; p < k_; ++p) {
+          RawLoad& partner = partner_raw_[i * static_cast<std::size_t>(k_) +
+                                          static_cast<std::size_t>(p)];
+          partner.in_bytes += join_rate * join_bytes;
+          partner.units += join_rate * (costs_.RecvJoinUnits(files) +
+                                        costs_.ProcessJoinUnits(files) +
+                                        sp_mux);
+          partner.in_bytes += upd_rate * costs_.UpdateBytes();
+          partner.units += upd_rate * (costs_.recv_update_units +
+                                       costs_.process_update_units + sp_mux);
+        }
+      }
+
+      // Partner churn: a (re)joining partner indexes its own collection
+      // locally and, with 2-redundancy, mirrors it to the other partner.
+      // (Client re-joins triggered by super-peer failure are a dynamic
+      // effect; the discrete-event simulator captures them, the static
+      // mean-value model follows the paper and does not.)
+      for (int p = 0; p < k_; ++p) {
+        const std::size_t slot =
+            i * static_cast<std::size_t>(k_) + static_cast<std::size_t>(p);
+        RawLoad& self = partner_raw_[slot];
+        const auto files = static_cast<double>(inst_.partner_files[slot]);
+        const double join_rate = 1.0 / inst_.partner_lifespan[slot];
+
+        self.units += join_rate * costs_.ProcessJoinUnits(files);
+        self.units += upd_rate * costs_.process_update_units;
+        // Mirror own metadata to every co-partner (k-redundancy: each
+        // partner holds the other partners' data too).
+        for (int q = 0; q < k_; ++q) {
+          if (q == p) continue;
+          RawLoad& other = partner_raw_[i * static_cast<std::size_t>(k_) +
+                                        static_cast<std::size_t>(q)];
+          const double join_bytes = costs_.JoinBytes(files);
+          self.out_bytes += join_rate * join_bytes;
+          self.units += join_rate * (costs_.SendJoinUnits(files) + sp_mux);
+          other.in_bytes += join_rate * join_bytes;
+          other.units += join_rate * (costs_.RecvJoinUnits(files) +
+                                      costs_.ProcessJoinUnits(files) + sp_mux);
+          self.out_bytes += upd_rate * costs_.UpdateBytes();
+          self.units += upd_rate * (costs_.send_update_units + sp_mux);
+          other.in_bytes += upd_rate * costs_.UpdateBytes();
+          other.units += upd_rate * (costs_.recv_update_units +
+                                     costs_.process_update_units + sp_mux);
+        }
+      }
+    }
+  }
+
+  // --- Final conversion ----------------------------------------------------
+  LoadVector Convert(const RawLoad& raw) const {
+    LoadVector lv;
+    lv.in_bps = BytesPerSecToBps(raw.in_bytes);
+    lv.out_bps = BytesPerSecToBps(raw.out_bytes);
+    lv.proc_hz = costs_.UnitsToHz(raw.units);
+    return lv;
+  }
+
+  InstanceLoads Finalize() {
+    const double inv_k = 1.0 / static_cast<double>(k_);
+    out_.partner_load.resize(inst_.TotalPartners());
+    for (std::size_t i = 0; i < n_; ++i) {
+      // Query-phase traffic is spread across partners round-robin; joins
+      // and updates hit each partner in full.
+      const LoadVector shared = Convert(cluster_pool_[i]) * inv_k;
+      for (int p = 0; p < k_; ++p) {
+        const std::size_t slot =
+            i * static_cast<std::size_t>(k_) + static_cast<std::size_t>(p);
+        out_.partner_load[slot] = shared + Convert(partner_raw_[slot]);
+      }
+    }
+    out_.client_load.resize(inst_.TotalClients());
+    for (std::size_t c = 0; c < client_raw_.size(); ++c) {
+      out_.client_load[c] = Convert(client_raw_[c]);
+    }
+    out_.aggregate = LoadVector{};
+    for (const auto& l : out_.partner_load) out_.aggregate += l;
+    for (const auto& l : out_.client_load) out_.aggregate += l;
+    return std::move(out_);
+  }
+
+  const NetworkInstance& inst_;
+  const Configuration& config_;
+  const CostTable& costs_;
+  const std::size_t n_;
+  const int k_;
+  const double qlen_;
+  const double qbytes_;
+  const double sendq_;
+  const double recvq_;
+
+  std::vector<RawLoad> cluster_pool_;   // Query traffic, shared per cluster.
+  std::vector<RawLoad> partner_raw_;    // Join/update traffic, per partner.
+  std::vector<RawLoad> client_raw_;
+  std::vector<double> conn_;            // Open connections per partner.
+  std::vector<double> users_;
+  std::vector<double> query_rate_of_cluster_;
+  std::vector<double> submit_rate_;     // Client-originated queries/sec.
+  double client_conn_ = 1.0;
+
+  InstanceLoads out_;
+};
+
+}  // namespace
+
+InstanceLoads EvaluateInstance(const NetworkInstance& instance,
+                               const Configuration& config,
+                               const ModelInputs& inputs) {
+  SPPNET_CHECK(instance.NumClusters() >= 1);
+  Evaluator evaluator(instance, config, inputs);
+  return evaluator.Run();
+}
+
+}  // namespace sppnet

@@ -1,0 +1,36 @@
+#ifndef SPPNET_MODEL_EVALUATOR_H_
+#define SPPNET_MODEL_EVALUATOR_H_
+
+#include "sppnet/model/config.h"
+#include "sppnet/model/instance.h"
+#include "sppnet/model/load.h"
+
+namespace sppnet {
+
+/// Evaluates the expected load of every node in a generated instance
+/// (Steps 2-3 of the paper's analysis, Section 4.1).
+///
+/// Query costs: one breadth-first flood per source cluster determines
+/// which clusters see the query, the per-cluster query transmissions and
+/// receptions (including duplicates that are received and dropped), and
+/// the predecessor tree along which Response messages travel back to the
+/// source. Expected response-message counts, result counts and address
+/// counts are accumulated up the predecessor tree in reverse BFS order,
+/// which yields every node's exact expected forwarding load in
+/// O(nodes + edges) per source. Complete ("strongly connected")
+/// topologies are evaluated by closed form in O(nodes) total, exploiting
+/// the symmetry that every non-source cluster sits at depth 1.
+///
+/// Join and update costs follow the client <-> super-peer interaction of
+/// Section 3.2; with 2-redundancy every client message is sent to both
+/// partners and partners mirror each other's metadata.
+///
+/// All per-message processing costs include the packet-multiplex
+/// overhead of Appendix A (.01 units per open connection per message).
+InstanceLoads EvaluateInstance(const NetworkInstance& instance,
+                               const Configuration& config,
+                               const ModelInputs& inputs);
+
+}  // namespace sppnet
+
+#endif  // SPPNET_MODEL_EVALUATOR_H_

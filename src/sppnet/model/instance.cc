@@ -1,0 +1,118 @@
+#include "sppnet/model/instance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "sppnet/common/check.h"
+#include "sppnet/common/distributions.h"
+#include "sppnet/topology/plod.h"
+
+namespace sppnet {
+
+NetworkInstance GenerateInstance(const Configuration& config,
+                                 const ModelInputs& inputs, Rng& rng) {
+  const std::size_t n = config.NumClusters();
+  Topology topology = [&] {
+    if (config.graph_type == GraphType::kStronglyConnected || n <= 1) {
+      return Topology::Complete(n);
+    }
+    PlodParams plod;
+    plod.target_avg_degree = config.avg_outdegree;
+    plod.alpha = config.plod_alpha;
+    plod.max_degree =
+        config.plod_max_degree != 0
+            ? config.plod_max_degree
+            : static_cast<std::uint32_t>(
+                  std::max(32.0, 4.0 * config.avg_outdegree));
+    return Topology::FromGraph(GeneratePlod(n, plod, rng));
+  }();
+  return GenerateInstanceWithTopology(std::move(topology), config, inputs,
+                                      rng);
+}
+
+NetworkInstance GenerateInstanceWithTopology(Topology topology,
+                                             const Configuration& config,
+                                             const ModelInputs& inputs,
+                                             Rng& rng) {
+  const std::size_t n = config.NumClusters();
+  SPPNET_CHECK(topology.num_nodes() == n);
+  const int k = config.RedundancyK();
+  const double c_mean = config.MeanClientsPerCluster();
+
+  NetworkInstance inst;
+  inst.topology = std::move(topology);
+  inst.redundancy_k = k;
+
+  // Sample client populations: C ~ N(c, .2c), truncated at zero.
+  std::vector<std::uint32_t> clients(n, 0);
+  if (c_mean > 0.0) {
+    for (auto& c : clients) {
+      const double sampled =
+          SampleTruncatedNormal(rng, c_mean, 0.2 * c_mean, 0.0);
+      c = static_cast<std::uint32_t>(std::llround(sampled));
+    }
+  }
+
+  inst.client_offset.resize(n + 1);
+  inst.client_offset[0] = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    inst.client_offset[i + 1] = inst.client_offset[i] + clients[i];
+  }
+  const std::size_t total_clients = inst.client_offset[n];
+
+  inst.client_files.resize(total_clients);
+  inst.client_lifespan.resize(total_clients);
+  for (std::size_t i = 0; i < total_clients; ++i) {
+    inst.client_files[i] = inputs.file_counts.Sample(rng);
+    inst.client_lifespan[i] = inputs.lifespans.Sample(rng);
+  }
+
+  const std::size_t total_partners = n * static_cast<std::size_t>(k);
+  inst.partner_files.resize(total_partners);
+  inst.partner_lifespan.resize(total_partners);
+  for (std::size_t i = 0; i < total_partners; ++i) {
+    inst.partner_files[i] = inputs.file_counts.Sample(rng);
+    inst.partner_lifespan[i] = inputs.lifespans.Sample(rng);
+  }
+
+  ComputeDerivedQuantities(inst, inputs.query_model);
+  return inst;
+}
+
+void ComputeDerivedQuantities(NetworkInstance& inst,
+                              const QueryModel& qm) {
+  // Derived query-model quantities per cluster (Appendix B). The cluster
+  // index covers every member's files: all clients plus all partners
+  // (each partner indexes the other partners' data as well). E[K] counts
+  // the expected number of distinct cluster members whose collections
+  // produce at least one result — those are the addresses carried in a
+  // Response message.
+  const std::size_t n = inst.NumClusters();
+  const int k = inst.redundancy_k;
+  inst.indexed_files.resize(n);
+  inst.expected_results.resize(n);
+  inst.expected_addrs.resize(n);
+  inst.response_prob.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double x_tot = 0.0;
+    double k_exp = 0.0;
+    for (const std::uint32_t x : inst.ClientFiles(i)) {
+      x_tot += static_cast<double>(x);
+      k_exp += qm.ResponseProbability(static_cast<double>(x));
+    }
+    for (int p = 0; p < k; ++p) {
+      const double x = static_cast<double>(
+          inst.partner_files[i * static_cast<std::size_t>(k) +
+                             static_cast<std::size_t>(p)]);
+      x_tot += x;
+      k_exp += qm.ResponseProbability(x);
+    }
+    inst.indexed_files[i] = x_tot;
+    inst.expected_results[i] = qm.ExpectedResults(x_tot);
+    inst.expected_addrs[i] = k_exp;
+    inst.response_prob[i] = qm.ResponseProbability(x_tot);
+  }
+}
+
+}  // namespace sppnet

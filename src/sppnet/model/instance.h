@@ -1,0 +1,106 @@
+#ifndef SPPNET_MODEL_INSTANCE_H_
+#define SPPNET_MODEL_INSTANCE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sppnet/common/rng.h"
+#include "sppnet/model/config.h"
+#include "sppnet/topology/topology.h"
+
+namespace sppnet {
+
+/// One generated network instance (Section 4.1, Step 1): a topology over
+/// clusters ("virtual" super-peers), per-cluster client populations, and
+/// per-peer file counts and lifespans, plus the per-cluster query-model
+/// quantities derived from them.
+///
+/// Layout: cluster i has RedundancyK() partner slots (partner index
+/// i*k + p) and clients in [client_offset[i], client_offset[i+1]) of the
+/// flat client arrays.
+struct NetworkInstance {
+  Topology topology;  ///< Overlay over clusters.
+  int redundancy_k = 1;
+
+  // --- Per-partner arrays (size NumClusters() * redundancy_k) ---
+  std::vector<std::uint32_t> partner_files;
+  std::vector<double> partner_lifespan;
+
+  // --- Flat client arrays; client_offset has NumClusters()+1 entries ---
+  std::vector<std::size_t> client_offset;
+  std::vector<std::uint32_t> client_files;
+  std::vector<double> client_lifespan;
+
+  // --- Derived per-cluster query-model quantities (Appendix B) ---
+  std::vector<double> indexed_files;     ///< x_tot: files in the cluster index.
+  std::vector<double> expected_results;  ///< E[N_T | I].
+  std::vector<double> expected_addrs;    ///< E[K_T | I].
+  std::vector<double> response_prob;     ///< P[N_T >= 1 | I].
+
+  std::size_t NumClusters() const { return topology.num_nodes(); }
+
+  std::size_t NumClients(std::size_t cluster) const {
+    return client_offset[cluster + 1] - client_offset[cluster];
+  }
+
+  std::size_t TotalClients() const { return client_files.size(); }
+
+  std::size_t TotalPartners() const { return partner_files.size(); }
+
+  /// Users in a cluster: clients plus partners (partners are users too).
+  std::size_t ClusterUsers(std::size_t cluster) const {
+    return NumClients(cluster) + static_cast<std::size_t>(redundancy_k);
+  }
+
+  /// Total users in the network.
+  std::size_t TotalUsers() const { return TotalClients() + TotalPartners(); }
+
+  std::span<const std::uint32_t> ClientFiles(std::size_t cluster) const {
+    return {client_files.data() + client_offset[cluster], NumClients(cluster)};
+  }
+
+  /// Open connections held by each partner of `cluster`: its clients,
+  /// the other partners of its own virtual super-peer, and k connections
+  /// per neighboring virtual super-peer (every partner connects to every
+  /// partner of every neighbor, Section 3.2).
+  double PartnerConnections(std::size_t cluster) const {
+    const auto k = static_cast<double>(redundancy_k);
+    return static_cast<double>(NumClients(cluster)) + (k - 1.0) +
+           k * static_cast<double>(
+                   topology.Degree(static_cast<NodeId>(cluster)));
+  }
+
+  /// Open connections held by a client: one per partner.
+  double ClientConnections() const {
+    return static_cast<double>(redundancy_k);
+  }
+};
+
+/// Generates a network instance from a configuration (Step 1 of the
+/// analysis): builds the overlay (PLOD or complete), samples client
+/// counts from N(c, .2c), assigns every peer a file count and lifespan,
+/// and evaluates the per-cluster query-model quantities.
+NetworkInstance GenerateInstance(const Configuration& config,
+                                 const ModelInputs& inputs, Rng& rng);
+
+/// Like GenerateInstance, but over a caller-supplied overlay (e.g. a
+/// random-regular or small-world graph from topology/generators.h).
+/// `topology.num_nodes()` must equal config.NumClusters(); the
+/// configuration's graph_type/avg_outdegree are ignored.
+NetworkInstance GenerateInstanceWithTopology(Topology topology,
+                                             const Configuration& config,
+                                             const ModelInputs& inputs,
+                                             Rng& rng);
+
+/// (Re)computes the derived per-cluster query-model quantities
+/// (indexed_files, expected_results, expected_addrs, response_prob) from
+/// the membership arrays. Callers that mutate membership — e.g. the
+/// adaptive controller splitting or coalescing clusters — must call this
+/// before evaluating the instance.
+void ComputeDerivedQuantities(NetworkInstance& instance,
+                              const QueryModel& query_model);
+
+}  // namespace sppnet
+
+#endif  // SPPNET_MODEL_INSTANCE_H_

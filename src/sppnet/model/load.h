@@ -1,0 +1,81 @@
+#ifndef SPPNET_MODEL_LOAD_H_
+#define SPPNET_MODEL_LOAD_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sppnet {
+
+/// Load on one entity along the paper's three resource axes (Section 4):
+/// incoming bandwidth, outgoing bandwidth (bits per second — treated as
+/// separate resources because last-mile links are asymmetric), and
+/// processing power (Hz).
+struct LoadVector {
+  double in_bps = 0.0;
+  double out_bps = 0.0;
+  double proc_hz = 0.0;
+
+  LoadVector& operator+=(const LoadVector& other) {
+    in_bps += other.in_bps;
+    out_bps += other.out_bps;
+    proc_hz += other.proc_hz;
+    return *this;
+  }
+
+  LoadVector& operator*=(double s) {
+    in_bps *= s;
+    out_bps *= s;
+    proc_hz *= s;
+    return *this;
+  }
+
+  /// Combined bandwidth (in + out), the y-axis of Figure 4.
+  double TotalBps() const { return in_bps + out_bps; }
+};
+
+inline LoadVector operator+(LoadVector a, const LoadVector& b) {
+  a += b;
+  return a;
+}
+
+inline LoadVector operator*(LoadVector a, double s) {
+  a *= s;
+  return a;
+}
+
+/// Full per-node load breakdown for one evaluated instance — the output
+/// of Step 3 of the analysis (equations 1-4).
+struct InstanceLoads {
+  /// Per-partner load; partner slot p of cluster i is entry i*k + p.
+  std::vector<LoadVector> partner_load;
+
+  /// Per-client load, aligned with NetworkInstance's flat client arrays.
+  std::vector<LoadVector> client_load;
+
+  /// E[R_S]: expected results per query originated in cluster S (eq. 2).
+  std::vector<double> results_per_query;
+
+  /// Response-message-weighted expected path length per source cluster.
+  std::vector<double> epl_per_source;
+
+  /// Flood reach (clusters, incl. source) per source cluster.
+  std::vector<double> reach_per_source;
+
+  /// Aggregate load: sum over every node in the system (eq. 4).
+  LoadVector aggregate;
+
+  /// Query-rate-weighted means over source clusters.
+  double mean_results = 0.0;
+  double mean_epl = 0.0;
+  double mean_reach = 0.0;
+
+  /// Total redundant (received-and-dropped) query messages per second.
+  double duplicate_msgs_per_sec = 0.0;
+
+  /// Mean load over a class of nodes (eq. 3).
+  static LoadVector MeanOf(const std::vector<LoadVector>& loads);
+};
+
+}  // namespace sppnet
+
+#endif  // SPPNET_MODEL_LOAD_H_

@@ -1,0 +1,168 @@
+#include "sppnet/model/trials.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "sppnet/common/rng.h"
+#include "sppnet/model/instance.h"
+
+namespace sppnet {
+namespace {
+
+double Metric(const LoadVector& lv, LoadMetric metric) {
+  switch (metric) {
+    case LoadMetric::kInBps:
+      return lv.in_bps;
+    case LoadMetric::kOutBps:
+      return lv.out_bps;
+    case LoadMetric::kProcHz:
+      return lv.proc_hz;
+    case LoadMetric::kTotalBps:
+      return lv.TotalBps();
+  }
+  return 0.0;
+}
+
+/// Everything one trial contributes to the report, extracted on the
+/// worker so the fold stays cheap and deterministic.
+struct TrialObservation {
+  LoadVector aggregate;
+  LoadVector sp_mean;
+  LoadVector client_mean;
+  bool has_clients = false;
+  double results = 0.0;
+  double epl = 0.0;
+  double reach = 0.0;
+  double duplicates = 0.0;
+  double mean_connections = 0.0;
+  // (degree, out_bps, results) per cluster, only when histograms are on.
+  std::vector<int> degrees;
+  std::vector<double> sp_out_bps;  // One entry per partner.
+  std::vector<double> cluster_results;
+  int redundancy_k = 1;
+};
+
+TrialObservation RunOneTrial(const Configuration& config,
+                             const ModelInputs& inputs, Rng trial_rng,
+                             bool collect_histograms) {
+  const NetworkInstance instance = GenerateInstance(config, inputs, trial_rng);
+  const InstanceLoads loads = EvaluateInstance(instance, config, inputs);
+
+  TrialObservation obs;
+  obs.aggregate = loads.aggregate;
+  obs.sp_mean = InstanceLoads::MeanOf(loads.partner_load);
+  if (!loads.client_load.empty()) {
+    obs.client_mean = InstanceLoads::MeanOf(loads.client_load);
+    obs.has_clients = true;
+  }
+  obs.results = loads.mean_results;
+  obs.epl = loads.mean_epl;
+  obs.reach = loads.mean_reach;
+  obs.duplicates = loads.duplicate_msgs_per_sec;
+
+  const std::size_t n = instance.NumClusters();
+  double conn_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    conn_sum += instance.PartnerConnections(i);
+  }
+  obs.mean_connections = n > 0 ? conn_sum / static_cast<double>(n) : 0.0;
+
+  if (collect_histograms) {
+    const auto k = static_cast<std::size_t>(instance.redundancy_k);
+    obs.redundancy_k = instance.redundancy_k;
+    obs.degrees.reserve(n);
+    obs.cluster_results.reserve(n);
+    obs.sp_out_bps.reserve(n * k);
+    for (std::size_t i = 0; i < n; ++i) {
+      obs.degrees.push_back(static_cast<int>(
+          instance.topology.Degree(static_cast<NodeId>(i))));
+      obs.cluster_results.push_back(loads.results_per_query[i]);
+      for (std::size_t p = 0; p < k; ++p) {
+        obs.sp_out_bps.push_back(loads.partner_load[i * k + p].out_bps);
+      }
+    }
+  }
+  return obs;
+}
+
+}  // namespace
+
+ConfigurationReport RunTrials(const Configuration& config,
+                              const ModelInputs& inputs,
+                              const TrialOptions& options) {
+  // Pre-split one RNG stream per trial so the result is independent of
+  // how trials are scheduled across workers.
+  Rng rng(options.seed);
+  std::vector<Rng> trial_rngs;
+  trial_rngs.reserve(options.num_trials);
+  for (std::size_t t = 0; t < options.num_trials; ++t) {
+    trial_rngs.push_back(rng.Split());
+  }
+
+  std::vector<TrialObservation> observations(options.num_trials);
+  const std::size_t workers = std::max<std::size_t>(
+      1, std::min(options.parallelism, options.num_trials));
+  if (workers <= 1) {
+    for (std::size_t t = 0; t < options.num_trials; ++t) {
+      observations[t] = RunOneTrial(config, inputs, trial_rngs[t],
+                                    options.collect_outdegree_histograms);
+    }
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        for (std::size_t t = w; t < options.num_trials; t += workers) {
+          observations[t] = RunOneTrial(config, inputs, trial_rngs[t],
+                                        options.collect_outdegree_histograms);
+        }
+      });
+    }
+    for (std::thread& thread : pool) thread.join();
+  }
+
+  // Fold in trial order: deterministic regardless of parallelism.
+  ConfigurationReport report;
+  for (const TrialObservation& obs : observations) {
+    report.aggregate_in_bps.Add(obs.aggregate.in_bps);
+    report.aggregate_out_bps.Add(obs.aggregate.out_bps);
+    report.aggregate_proc_hz.Add(obs.aggregate.proc_hz);
+    report.sp_in_bps.Add(obs.sp_mean.in_bps);
+    report.sp_out_bps.Add(obs.sp_mean.out_bps);
+    report.sp_proc_hz.Add(obs.sp_mean.proc_hz);
+    if (obs.has_clients) {
+      report.client_in_bps.Add(obs.client_mean.in_bps);
+      report.client_out_bps.Add(obs.client_mean.out_bps);
+      report.client_proc_hz.Add(obs.client_mean.proc_hz);
+    }
+    report.results_per_query.Add(obs.results);
+    report.epl.Add(obs.epl);
+    report.reach.Add(obs.reach);
+    report.duplicate_msgs_per_sec.Add(obs.duplicates);
+    report.sp_connections.Add(obs.mean_connections);
+    if (!obs.degrees.empty()) {
+      const auto k = static_cast<std::size_t>(obs.redundancy_k);
+      for (std::size_t i = 0; i < obs.degrees.size(); ++i) {
+        report.results_by_outdegree.Add(obs.degrees[i],
+                                        obs.cluster_results[i]);
+        for (std::size_t p = 0; p < k; ++p) {
+          report.sp_out_bps_by_outdegree.Add(obs.degrees[i],
+                                             obs.sp_out_bps[i * k + p]);
+        }
+      }
+    }
+  }
+  return report;
+}
+
+std::vector<double> AllNodeLoads(const InstanceLoads& loads,
+                                 LoadMetric metric) {
+  std::vector<double> out;
+  out.reserve(loads.partner_load.size() + loads.client_load.size());
+  for (const auto& lv : loads.partner_load) out.push_back(Metric(lv, metric));
+  for (const auto& lv : loads.client_load) out.push_back(Metric(lv, metric));
+  return out;
+}
+
+}  // namespace sppnet

@@ -1,0 +1,276 @@
+#include "sppnet/proto/messages.h"
+
+#include <algorithm>
+
+#include "sppnet/common/check.h"
+
+namespace sppnet {
+namespace {
+
+/// Writes a string truncated / NUL-padded to exactly `width` bytes.
+void PutFixedString(ByteWriter& w, const std::string& s, std::size_t width) {
+  const std::size_t n = std::min(s.size(), width);
+  w.PutBytes({reinterpret_cast<const std::uint8_t*>(s.data()), n});
+  w.PutZeros(width - n);
+}
+
+/// Reads a `width`-byte field, trimming trailing NULs.
+std::optional<std::string> GetFixedString(ByteReader& r, std::size_t width) {
+  std::string out;
+  out.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    const auto b = r.GetU8();
+    if (!b.has_value()) return std::nullopt;
+    out.push_back(static_cast<char>(*b));
+  }
+  while (!out.empty() && out.back() == '\0') out.pop_back();
+  return out;
+}
+
+void EncodeMetadata(ByteWriter& w, const JoinMessage::Metadata& m) {
+  w.PutU64(m.file_id);
+  w.PutU32(m.size_kb);
+  PutFixedString(w, m.title, ResultRecord::kTitleBytes);
+}
+
+std::optional<JoinMessage::Metadata> DecodeMetadata(ByteReader& r) {
+  JoinMessage::Metadata m;
+  const auto id = r.GetU64();
+  const auto size = r.GetU32();
+  auto title = GetFixedString(r, ResultRecord::kTitleBytes);
+  if (!id || !size || !title) return std::nullopt;
+  m.file_id = *id;
+  m.size_kb = *size;
+  m.title = std::move(*title);
+  return m;
+}
+
+}  // namespace
+
+void MessageHeader::Encode(ByteWriter& w) const {
+  w.PutBytes(guid);
+  w.PutU8(static_cast<std::uint8_t>(type));
+  w.PutU8(ttl);
+  w.PutU8(hops);
+  w.PutU16(payload_length);
+  w.PutU8(0);  // Reserved, brings the header to 22 bytes.
+}
+
+std::optional<MessageHeader> MessageHeader::Decode(ByteReader& r) {
+  MessageHeader h;
+  for (auto& b : h.guid) {
+    const auto v = r.GetU8();
+    if (!v.has_value()) return std::nullopt;
+    b = *v;
+  }
+  const auto type = r.GetU8();
+  const auto ttl = r.GetU8();
+  const auto hops = r.GetU8();
+  const auto len = r.GetU16();
+  if (!type || !ttl || !hops || !len || !r.Skip(1)) return std::nullopt;
+  h.type = static_cast<MessageType>(*type);
+  h.ttl = *ttl;
+  h.hops = *hops;
+  h.payload_length = *len;
+  return h;
+}
+
+std::vector<std::uint8_t> QueryMessage::Encode() const {
+  ByteWriter w;
+  MessageHeader h = header;
+  h.type = MessageType::kQuery;
+  h.payload_length = static_cast<std::uint16_t>(2 + query.size() + 1);
+  h.Encode(w);
+  w.PutU16(flags);
+  w.PutCString(query);
+  return w.Take();
+}
+
+std::optional<QueryMessage> QueryMessage::Decode(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  QueryMessage m;
+  const auto h = MessageHeader::Decode(r);
+  if (!h || h->type != MessageType::kQuery) return std::nullopt;
+  m.header = *h;
+  const auto flags = r.GetU16();
+  auto query = r.GetCString();
+  if (!flags || !query || !r.AtEnd()) return std::nullopt;
+  m.flags = *flags;
+  m.query = std::move(*query);
+  return m;
+}
+
+std::size_t QueryMessage::WireSizeBytes() const {
+  return kTransportOverheadBytes + kHeaderBytes + 2 + query.size() + 1;
+}
+
+void AddressRecord::Encode(ByteWriter& w) const {
+  w.PutU32(owner);
+  w.PutU32(ipv4);
+  w.PutU16(port);
+  w.PutU32(speed_kbps);
+  w.PutU16(results_from_owner);
+  w.PutZeros(12);
+}
+
+std::optional<AddressRecord> AddressRecord::Decode(ByteReader& r) {
+  AddressRecord a;
+  const auto owner = r.GetU32();
+  const auto ipv4 = r.GetU32();
+  const auto port = r.GetU16();
+  const auto speed = r.GetU32();
+  const auto nres = r.GetU16();
+  if (!owner || !ipv4 || !port || !speed || !nres || !r.Skip(12)) {
+    return std::nullopt;
+  }
+  a.owner = *owner;
+  a.ipv4 = *ipv4;
+  a.port = *port;
+  a.speed_kbps = *speed;
+  a.results_from_owner = *nres;
+  return a;
+}
+
+void ResultRecord::Encode(ByteWriter& w) const {
+  w.PutU64(file_id);
+  w.PutU32(owner);
+  w.PutU32(size_kb);
+  PutFixedString(w, title, kTitleBytes);
+}
+
+std::optional<ResultRecord> ResultRecord::Decode(ByteReader& r) {
+  ResultRecord rec;
+  const auto id = r.GetU64();
+  const auto owner = r.GetU32();
+  const auto size = r.GetU32();
+  auto title = GetFixedString(r, kTitleBytes);
+  if (!id || !owner || !size || !title) return std::nullopt;
+  rec.file_id = *id;
+  rec.owner = *owner;
+  rec.size_kb = *size;
+  rec.title = std::move(*title);
+  return rec;
+}
+
+std::vector<std::uint8_t> ResponseMessage::Encode() const {
+  SPPNET_CHECK(addresses.size() <= 255);
+  ByteWriter w;
+  MessageHeader h = header;
+  h.type = MessageType::kResponse;
+  h.payload_length = static_cast<std::uint16_t>(
+      1 + addresses.size() * kAddressRecordBytes +
+      results.size() * kResultRecordBytes);
+  h.Encode(w);
+  w.PutU8(static_cast<std::uint8_t>(addresses.size()));
+  for (const AddressRecord& a : addresses) a.Encode(w);
+  for (const ResultRecord& rec : results) rec.Encode(w);
+  return w.Take();
+}
+
+std::optional<ResponseMessage> ResponseMessage::Decode(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  ResponseMessage m;
+  const auto h = MessageHeader::Decode(r);
+  if (!h || h->type != MessageType::kResponse) return std::nullopt;
+  m.header = *h;
+  const auto num_addrs = r.GetU8();
+  if (!num_addrs.has_value()) return std::nullopt;
+  for (std::uint8_t i = 0; i < *num_addrs; ++i) {
+    auto a = AddressRecord::Decode(r);
+    if (!a.has_value()) return std::nullopt;
+    m.addresses.push_back(std::move(*a));
+  }
+  if (r.remaining() % kResultRecordBytes != 0) return std::nullopt;
+  while (!r.AtEnd()) {
+    auto rec = ResultRecord::Decode(r);
+    if (!rec.has_value()) return std::nullopt;
+    m.results.push_back(std::move(*rec));
+  }
+  return m;
+}
+
+std::size_t ResponseMessage::WireSizeBytes() const {
+  return kTransportOverheadBytes + kHeaderBytes + 1 +
+         addresses.size() * kAddressRecordBytes +
+         results.size() * kResultRecordBytes;
+}
+
+std::vector<std::uint8_t> JoinMessage::Encode() const {
+  ByteWriter w;
+  MessageHeader h = header;
+  h.type = MessageType::kJoin;
+  h.payload_length =
+      static_cast<std::uint16_t>(1 + files.size() * kMetadataRecordBytes);
+  h.Encode(w);
+  w.PutU8(flags);
+  for (const Metadata& m : files) EncodeMetadata(w, m);
+  return w.Take();
+}
+
+std::optional<JoinMessage> JoinMessage::Decode(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  JoinMessage m;
+  const auto h = MessageHeader::Decode(r);
+  if (!h || h->type != MessageType::kJoin) return std::nullopt;
+  m.header = *h;
+  const auto flags = r.GetU8();
+  if (!flags.has_value()) return std::nullopt;
+  m.flags = *flags;
+  if (r.remaining() % kMetadataRecordBytes != 0) return std::nullopt;
+  while (!r.AtEnd()) {
+    auto meta = DecodeMetadata(r);
+    if (!meta.has_value()) return std::nullopt;
+    m.files.push_back(std::move(*meta));
+  }
+  return m;
+}
+
+std::size_t JoinMessage::WireSizeBytes() const {
+  return kTransportOverheadBytes + kHeaderBytes + 1 +
+         files.size() * kMetadataRecordBytes;
+}
+
+std::vector<std::uint8_t> UpdateMessage::Encode() const {
+  ByteWriter w;
+  MessageHeader h = header;
+  h.type = MessageType::kUpdate;
+  h.payload_length = static_cast<std::uint16_t>(1 + kMetadataRecordBytes);
+  h.Encode(w);
+  w.PutU8(static_cast<std::uint8_t>(op));
+  EncodeMetadata(w, file);
+  return w.Take();
+}
+
+std::optional<UpdateMessage> UpdateMessage::Decode(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  UpdateMessage m;
+  const auto h = MessageHeader::Decode(r);
+  if (!h || h->type != MessageType::kUpdate) return std::nullopt;
+  m.header = *h;
+  const auto op = r.GetU8();
+  if (!op.has_value()) return std::nullopt;
+  m.op = static_cast<Op>(*op);
+  auto meta = DecodeMetadata(r);
+  if (!meta.has_value() || !r.AtEnd()) return std::nullopt;
+  m.file = std::move(*meta);
+  return m;
+}
+
+std::size_t UpdateMessage::WireSizeBytes() const {
+  return kTransportOverheadBytes + kHeaderBytes + 1 + kMetadataRecordBytes;
+}
+
+Guid GuidFromSeed(std::uint64_t seed) {
+  Guid g{};
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    g[i] = static_cast<std::uint8_t>(seed >> 56);
+  }
+  return g;
+}
+
+}  // namespace sppnet

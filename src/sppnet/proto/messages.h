@@ -1,0 +1,154 @@
+#ifndef SPPNET_PROTO_MESSAGES_H_
+#define SPPNET_PROTO_MESSAGES_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sppnet/proto/wire.h"
+
+namespace sppnet {
+
+/// Transport framing (Ethernet + IP + TCP) budgeted per message. The
+/// value is chosen so that total wire sizes reproduce the paper's
+/// Table 2 exactly: header(22) + flags(2) + query + NUL + 57 = 82 +
+/// query length. The CostTable <-> codec consistency is enforced by
+/// tests (proto/messages_test.cc).
+inline constexpr std::size_t kTransportOverheadBytes = 57;
+
+/// Size of the serialized descriptor header ("22-byte Gnutella
+/// header", Section 4.1).
+inline constexpr std::size_t kHeaderBytes = 22;
+
+/// Per-record sizes fixed by the paper's measurements (Table 3).
+inline constexpr std::size_t kAddressRecordBytes = 28;
+inline constexpr std::size_t kResultRecordBytes = 76;
+inline constexpr std::size_t kMetadataRecordBytes = 72;
+
+/// Message discriminator carried in the header.
+enum class MessageType : std::uint8_t {
+  kQuery = 0x80,
+  kResponse = 0x81,
+  kJoin = 0x90,
+  kUpdate = 0x91,
+};
+
+using Guid = std::array<std::uint8_t, 16>;
+
+/// The 22-byte descriptor header: GUID(16) + type(1) + TTL(1) +
+/// hops(1) + payload length(2) + reserved(1).
+struct MessageHeader {
+  Guid guid = {};
+  MessageType type = MessageType::kQuery;
+  std::uint8_t ttl = 0;
+  std::uint8_t hops = 0;
+  std::uint16_t payload_length = 0;
+
+  void Encode(ByteWriter& w) const;
+  static std::optional<MessageHeader> Decode(ByteReader& r);
+};
+
+/// Query: header + 2 flag bytes + NUL-terminated query string.
+/// Wire size = 82 + query length (Table 2).
+struct QueryMessage {
+  MessageHeader header;
+  std::uint16_t flags = 0;
+  std::string query;
+
+  std::vector<std::uint8_t> Encode() const;
+  static std::optional<QueryMessage> Decode(
+      std::span<const std::uint8_t> bytes);
+
+  /// Total bytes on the wire, including transport framing.
+  std::size_t WireSizeBytes() const;
+};
+
+/// One responding peer inside a Response (28 bytes): the "address of
+/// each client whose collection produced a result".
+struct AddressRecord {
+  std::uint32_t owner = 0;
+  std::uint32_t ipv4 = 0;
+  std::uint16_t port = 0;
+  std::uint32_t speed_kbps = 0;
+  std::uint16_t results_from_owner = 0;
+  // 12 reserved bytes on the wire.
+
+  void Encode(ByteWriter& w) const;
+  static std::optional<AddressRecord> Decode(ByteReader& r);
+};
+
+/// One result record (76 bytes): file identity plus a fixed-width
+/// title field (truncated / NUL-padded to 60 bytes).
+struct ResultRecord {
+  static constexpr std::size_t kTitleBytes = 60;
+
+  std::uint64_t file_id = 0;
+  std::uint32_t owner = 0;
+  std::uint32_t size_kb = 0;
+  std::string title;  // At most kTitleBytes on the wire.
+
+  void Encode(ByteWriter& w) const;
+  static std::optional<ResultRecord> Decode(ByteReader& r);
+};
+
+/// Response: header + address count byte + address records + result
+/// records. Wire size = 80 + 28*#addr + 76*#results (Table 2).
+struct ResponseMessage {
+  MessageHeader header;
+  std::vector<AddressRecord> addresses;
+  std::vector<ResultRecord> results;
+
+  std::vector<std::uint8_t> Encode() const;
+  static std::optional<ResponseMessage> Decode(
+      std::span<const std::uint8_t> bytes);
+
+  std::size_t WireSizeBytes() const;
+};
+
+/// Join: header + flags byte + one 72-byte metadata record per file.
+/// Wire size = 80 + 72*#files (Table 2). Collections larger than the
+/// u16 payload-length allows are split across messages by the sender.
+struct JoinMessage {
+  struct Metadata {
+    std::uint64_t file_id = 0;
+    std::uint32_t size_kb = 0;
+    std::string title;  // Truncated / padded to 60 wire bytes.
+  };
+
+  MessageHeader header;
+  std::uint8_t flags = 0;
+  std::vector<Metadata> files;
+
+  std::vector<std::uint8_t> Encode() const;
+  static std::optional<JoinMessage> Decode(
+      std::span<const std::uint8_t> bytes);
+
+  std::size_t WireSizeBytes() const;
+};
+
+/// Update: header + op byte + one metadata record. Wire size = 152
+/// bytes, fixed (Table 2).
+struct UpdateMessage {
+  enum class Op : std::uint8_t { kInsert = 1, kErase = 2, kModify = 3 };
+
+  MessageHeader header;
+  Op op = Op::kInsert;
+  JoinMessage::Metadata file;
+
+  std::vector<std::uint8_t> Encode() const;
+  static std::optional<UpdateMessage> Decode(
+      std::span<const std::uint8_t> bytes);
+
+  std::size_t WireSizeBytes() const;
+};
+
+/// Deterministically derives a GUID from a seed (for tests and the
+/// simulator; real peers would use random GUIDs).
+Guid GuidFromSeed(std::uint64_t seed);
+
+}  // namespace sppnet
+
+#endif  // SPPNET_PROTO_MESSAGES_H_

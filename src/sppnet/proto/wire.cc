@@ -1,0 +1,86 @@
+#include "sppnet/proto/wire.h"
+
+namespace sppnet {
+
+void ByteWriter::PutU16(std::uint16_t v) {
+  buffer_.push_back(static_cast<std::uint8_t>(v));
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::PutU32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::PutU64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::PutBytes(std::span<const std::uint8_t> bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::PutCString(std::string_view s) {
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+  buffer_.push_back(0);
+}
+
+void ByteWriter::PutZeros(std::size_t n) {
+  buffer_.insert(buffer_.end(), n, 0);
+}
+
+std::optional<std::uint8_t> ByteReader::GetU8() {
+  if (remaining() < 1) return std::nullopt;
+  return data_[pos_++];
+}
+
+std::optional<std::uint16_t> ByteReader::GetU16() {
+  if (remaining() < 2) return std::nullopt;
+  std::uint16_t v = data_[pos_];
+  v = static_cast<std::uint16_t>(v | (data_[pos_ + 1] << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::optional<std::uint32_t> ByteReader::GetU32() {
+  if (remaining() < 4) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::optional<std::uint64_t> ByteReader::GetU64() {
+  if (remaining() < 8) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+std::optional<std::string> ByteReader::GetCString() {
+  std::string out;
+  while (pos_ < data_.size()) {
+    const std::uint8_t b = data_[pos_++];
+    if (b == 0) return out;
+    out.push_back(static_cast<char>(b));
+  }
+  return std::nullopt;  // Unterminated.
+}
+
+bool ByteReader::Skip(std::size_t n) {
+  if (remaining() < n) return false;
+  pos_ += n;
+  return true;
+}
+
+}  // namespace sppnet

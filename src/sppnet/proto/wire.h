@@ -1,0 +1,63 @@
+#ifndef SPPNET_PROTO_WIRE_H_
+#define SPPNET_PROTO_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sppnet {
+
+/// Little-endian byte-buffer writer used by the message codecs.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void PutU8(std::uint8_t v) { buffer_.push_back(v); }
+  void PutU16(std::uint16_t v);
+  void PutU32(std::uint32_t v);
+  void PutU64(std::uint64_t v);
+  /// Raw bytes, no length prefix.
+  void PutBytes(std::span<const std::uint8_t> bytes);
+  /// String bytes followed by a NUL terminator (Gnutella-style).
+  void PutCString(std::string_view s);
+  /// Exactly `n` zero bytes (reserved / padding fields).
+  void PutZeros(std::size_t n);
+
+  std::size_t size() const { return buffer_.size(); }
+  const std::vector<std::uint8_t>& bytes() const { return buffer_; }
+  std::vector<std::uint8_t> Take() { return std::move(buffer_); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Bounds-checked little-endian reader. All getters return
+/// std::nullopt once the buffer is exhausted or malformed; the caller
+/// checks once at the end via ok().
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::optional<std::uint8_t> GetU8();
+  std::optional<std::uint16_t> GetU16();
+  std::optional<std::uint32_t> GetU32();
+  std::optional<std::uint64_t> GetU64();
+  /// Reads up to the next NUL (consumed, not returned).
+  std::optional<std::string> GetCString();
+  /// Skips `n` bytes; false if out of range.
+  bool Skip(std::size_t n);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sppnet
+
+#endif  // SPPNET_PROTO_WIRE_H_

@@ -1,0 +1,22 @@
+#include "sppnet/sim/event_queue.h"
+
+#include <cmath>
+
+#include "sppnet/common/check.h"
+
+namespace sppnet {
+
+void EventQueue::Schedule(SimEvent event) {
+  SPPNET_CHECK(std::isfinite(event.time) && event.time >= 0.0);
+  event.seq = next_seq_++;
+  heap_.push(event);
+}
+
+SimEvent EventQueue::Pop() {
+  SPPNET_CHECK(!heap_.empty());
+  SimEvent e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+}  // namespace sppnet

@@ -1,0 +1,55 @@
+#ifndef SPPNET_SIM_EVENT_QUEUE_H_
+#define SPPNET_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace sppnet {
+
+/// One scheduled simulator event. Payload interpretation depends on
+/// `kind`; the simulator defines the kinds. Events at equal timestamps
+/// are delivered in schedule order (FIFO via the sequence number), which
+/// keeps runs bit-for-bit deterministic.
+struct SimEvent {
+  double time = 0.0;
+  std::uint64_t seq = 0;   ///< Assigned by the queue; breaks time ties.
+  std::uint32_t kind = 0;
+  std::uint32_t node = 0;  ///< Destination / acting node.
+  std::uint64_t a = 0;     ///< Kind-specific payload.
+  std::uint64_t b = 0;
+  double x = 0.0;
+};
+
+/// Min-heap of SimEvents ordered by (time, seq).
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  /// Schedules `event` at event.time; assigns the tie-breaking sequence
+  /// number. Times must be finite and >= 0.
+  void Schedule(SimEvent event);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Undefined when empty.
+  double NextTime() const { return heap_.top().time; }
+
+  /// Removes and returns the earliest event.
+  SimEvent Pop();
+
+ private:
+  struct Later {
+    bool operator()(const SimEvent& lhs, const SimEvent& rhs) const {
+      if (lhs.time != rhs.time) return lhs.time > rhs.time;
+      return lhs.seq > rhs.seq;
+    }
+  };
+  std::priority_queue<SimEvent, std::vector<SimEvent>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace sppnet
+
+#endif  // SPPNET_SIM_EVENT_QUEUE_H_

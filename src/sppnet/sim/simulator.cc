@@ -1,0 +1,1089 @@
+#include "sppnet/sim/simulator.h"
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sppnet/common/check.h"
+#include "sppnet/common/rng.h"
+#include "sppnet/index/corpus.h"
+#include "sppnet/index/inverted_index.h"
+#include "sppnet/sim/event_queue.h"
+
+namespace sppnet {
+namespace {
+
+// Event kinds.
+enum : std::uint32_t {
+  kQuerySubmit = 0,
+  kQueryArrive,
+  kResponseArrive,
+  kJoinSubmit,
+  kJoinArrive,
+  kUpdateSubmit,
+  kUpdateArrive,
+  kPartnerFail,
+  kPartnerRecover,
+  kWalkArrive,  // Random-walk query hop.
+  kRingCheck,   // Expanding-ring satisfaction probe.
+};
+
+// Sentinel "upstream" marking a query submitted by the super-peer's own
+// user: results are consumed locally and no submission hop exists.
+constexpr std::uint32_t kSelfUpstream = 0xffffffffu;
+
+// Query payload packing: b = upstream(32) | class(24) | ttl(8).
+std::uint64_t PackQuery(std::uint32_t upstream, std::uint32_t query_class,
+                        std::uint32_t ttl) {
+  return (static_cast<std::uint64_t>(upstream) << 32) |
+         (static_cast<std::uint64_t>(query_class & 0xffffffu) << 8) |
+         static_cast<std::uint64_t>(ttl & 0xffu);
+}
+
+// Response payload packing: b = results(32) | addrs(16) | hops(16).
+std::uint64_t PackResponse(std::uint32_t results, std::uint32_t addrs,
+                           std::uint32_t hops) {
+  return (static_cast<std::uint64_t>(results) << 32) |
+         (static_cast<std::uint64_t>(addrs & 0xffffu) << 16) |
+         static_cast<std::uint64_t>(hops & 0xffffu);
+}
+
+std::uint32_t SampleBinomialApprox(double n, double p, Rng& rng) {
+  const double lambda = n * p;
+  if (lambda <= 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth's Poisson sampler; an accurate stand-in for Binomial(n, p)
+    // when p is tiny (selection powers are ~1e-4).
+    const double limit = std::exp(-lambda);
+    double prod = 1.0;
+    std::uint32_t k = 0;
+    do {
+      ++k;
+      prod *= rng.NextDouble();
+    } while (prod > limit);
+    return k - 1;
+  }
+  const double sigma = std::sqrt(lambda * (1.0 - p));
+  const double x = std::llround(lambda + sigma * rng.NextGaussian());
+  return x <= 0.0 ? 0u : static_cast<std::uint32_t>(x);
+}
+
+}  // namespace
+
+class Simulator::Impl {
+ public:
+  Impl(const NetworkInstance& instance, const Configuration& config,
+       const ModelInputs& inputs, const SimOptions& options)
+      : inst_(instance),
+        config_(config),
+        inputs_(inputs),
+        options_(options),
+        rng_(options.seed),
+        n_(instance.NumClusters()),
+        k_(static_cast<std::size_t>(instance.redundancy_k)),
+        num_partners_(instance.TotalPartners()),
+        num_clients_(instance.TotalClients()) {
+    qbytes_ = inputs.costs.QueryBytes(inputs.stats.query_length_bytes);
+    sendq_ = inputs.costs.SendQueryUnits(inputs.stats.query_length_bytes);
+    recvq_ = inputs.costs.RecvQueryUnits(inputs.stats.query_length_bytes);
+
+    in_bytes_.assign(num_partners_ + num_clients_, 0.0);
+    out_bytes_.assign(num_partners_ + num_clients_, 0.0);
+    units_.assign(num_partners_ + num_clients_, 0.0);
+
+    client_cluster_.resize(num_clients_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t c = inst_.client_offset[i];
+           c < inst_.client_offset[i + 1]; ++c) {
+        client_cluster_[c] = static_cast<std::uint32_t>(i);
+      }
+    }
+    conn_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) conn_[i] = inst_.PartnerConnections(i);
+    client_conn_ = inst_.ClientConnections();
+
+    partner_alive_.assign(num_partners_, true);
+    alive_partners_.assign(n_, static_cast<std::uint32_t>(k_));
+    outage_start_.assign(n_, -1.0);
+    rr_.assign(n_, 0);
+    query_table_.resize(n_);
+
+    if (options_.concrete_index) InitConcreteIndexes();
+  }
+
+  /// Concrete-index mode: build one real inverted index per cluster
+  /// from corpus-sampled collections (owners are node ids).
+  void InitConcreteIndexes() {
+    corpus_ = std::make_unique<TitleCorpus>(CorpusParams{});
+    indexes_.resize(n_);
+    node_collections_.resize(TotalNodes());
+    const auto add_node = [&](std::uint32_t node, std::size_t cluster) {
+      const auto files = static_cast<std::size_t>(FilesOf(node));
+      node_collections_[node] =
+          corpus_->SampleCollection(node, files, &next_file_id_, rng_);
+      indexes_[cluster].InsertCollection(node_collections_[node]);
+    };
+    for (std::uint32_t p = 0; p < num_partners_; ++p) {
+      add_node(p, ClusterOf(p));
+    }
+    for (std::uint32_t c = 0; c < num_clients_; ++c) {
+      const auto node = static_cast<std::uint32_t>(num_partners_ + c);
+      add_node(node, ClusterOf(node));
+    }
+  }
+
+  SimReport Run() {
+    const double end_time =
+        options_.warmup_seconds + options_.duration_seconds;
+
+    // Seed per-user recurring activity.
+    for (std::uint32_t u = 0; u < TotalNodes(); ++u) {
+      ScheduleIn(ExpDelay(config_.query_rate), kQuerySubmit, u);
+      ScheduleIn(ExpDelay(config_.update_rate), kUpdateSubmit, u);
+      ScheduleIn(ExpDelay(1.0 / LifespanOf(u)), kJoinSubmit, u);
+    }
+    if (options_.enable_churn) {
+      for (std::uint32_t p = 0; p < num_partners_; ++p) {
+        ScheduleIn(ExpDelay(1.0 / inst_.partner_lifespan[p]), kPartnerFail, p);
+      }
+    }
+
+    while (!queue_.empty() && queue_.NextTime() <= end_time) {
+      const SimEvent e = queue_.Pop();
+      now_ = e.time;
+      measuring_ = now_ >= options_.warmup_seconds;
+      Dispatch(e);
+    }
+    now_ = end_time;
+    return Finalize();
+  }
+
+ private:
+  // --- Small helpers -------------------------------------------------------
+  std::uint32_t TotalNodes() const {
+    return static_cast<std::uint32_t>(num_partners_ + num_clients_);
+  }
+  bool IsPartner(std::uint32_t node) const { return node < num_partners_; }
+  std::size_t ClusterOf(std::uint32_t node) const {
+    return IsPartner(node) ? node / k_
+                           : client_cluster_[node - num_partners_];
+  }
+  double LifespanOf(std::uint32_t node) const {
+    return IsPartner(node) ? inst_.partner_lifespan[node]
+                           : inst_.client_lifespan[node - num_partners_];
+  }
+  double FilesOf(std::uint32_t node) const {
+    return IsPartner(node)
+               ? static_cast<double>(inst_.partner_files[node])
+               : static_cast<double>(inst_.client_files[node - num_partners_]);
+  }
+  double MuxOf(std::uint32_t node) const {
+    return inputs_.costs.MultiplexUnits(
+        IsPartner(node) ? conn_[ClusterOf(node)] : client_conn_);
+  }
+  double ExpDelay(double rate) const {
+    SPPNET_CHECK(rate > 0.0);
+    // Inverse-CDF exponential; NextDouble() < 1 so log is finite.
+    return -std::log(1.0 - rng_.NextDouble()) / rate;
+  }
+  void ScheduleIn(double delay, std::uint32_t kind, std::uint32_t node,
+                  std::uint64_t a = 0, std::uint64_t b = 0) {
+    SimEvent e;
+    e.time = now_ + delay;
+    e.kind = kind;
+    e.node = node;
+    e.a = a;
+    e.b = b;
+    queue_.Schedule(e);
+  }
+  void AcctSend(std::uint32_t node, double bytes, double units) {
+    if (!measuring_) return;
+    out_bytes_[node] += bytes;
+    units_[node] += units;
+  }
+  void AcctRecv(std::uint32_t node, double bytes, double units) {
+    if (!measuring_) return;
+    in_bytes_[node] += bytes;
+    units_[node] += units;
+  }
+  void AcctProc(std::uint32_t node, double units) {
+    if (!measuring_) return;
+    units_[node] += units;
+  }
+
+  /// Round-robin choice of a live partner of `cluster`; returns
+  /// kSelfUpstream if none is alive (message lost).
+  std::uint32_t PickPartner(std::size_t cluster) {
+    for (std::size_t attempt = 0; attempt < k_; ++attempt) {
+      const std::size_t slot = (rr_[cluster]++) % k_;
+      const auto node = static_cast<std::uint32_t>(cluster * k_ + slot);
+      if (partner_alive_[node]) return node;
+    }
+    return kSelfUpstream;
+  }
+
+  // --- Dispatch -------------------------------------------------------------
+  void Dispatch(const SimEvent& e) {
+    switch (e.kind) {
+      case kQuerySubmit:
+        OnQuerySubmit(e.node);
+        break;
+      case kQueryArrive:
+        OnQueryArrive(e.node, e.a, static_cast<std::uint32_t>(e.b >> 32),
+                      static_cast<std::uint32_t>((e.b >> 8) & 0xffffffu),
+                      static_cast<std::uint32_t>(e.b & 0xffu));
+        break;
+      case kResponseArrive:
+        OnResponseArrive(e.node, e.a, static_cast<std::uint32_t>(e.b >> 32),
+                         static_cast<std::uint32_t>((e.b >> 16) & 0xffffu),
+                         static_cast<std::uint32_t>(e.b & 0xffffu));
+        break;
+      case kJoinSubmit:
+        OnJoinSubmit(e.node);
+        break;
+      case kJoinArrive:
+        OnJoinArrive(e.node, static_cast<std::uint32_t>(e.a), e.x);
+        break;
+      case kUpdateSubmit:
+        OnUpdateSubmit(e.node);
+        break;
+      case kUpdateArrive:
+        OnUpdateArrive(e.node, static_cast<std::uint32_t>(e.a));
+        break;
+      case kPartnerFail:
+        OnPartnerFail(e.node);
+        break;
+      case kPartnerRecover:
+        OnPartnerRecover(e.node);
+        break;
+      case kWalkArrive:
+        OnWalkArrive(e.node, e.a, static_cast<std::uint32_t>(e.b >> 32),
+                     static_cast<std::uint32_t>((e.b >> 8) & 0xffffffu),
+                     static_cast<std::uint32_t>(e.b & 0xffu));
+        break;
+      case kRingCheck:
+        OnRingCheck(e.a);
+        break;
+      default:
+        SPPNET_CHECK_MSG(false, "unknown event kind");
+    }
+  }
+
+  // --- Queries ---------------------------------------------------------------
+
+  /// Per-user-query bookkeeping shared by all strategies. `root` is the
+  /// original query id; expanding-ring retries map their fresh qids back
+  /// to it.
+  struct QueryState {
+    std::uint32_t user = 0;          // Submitting user.
+    std::uint32_t query_class = 0;
+    std::uint32_t ring_ttl = 0;      // Current ring (expanding ring only).
+    double ring_results = 0.0;       // Results from the current ring.
+    double submit_time = 0.0;
+    std::uint64_t cache_key = 0;
+    bool first_response_seen = false;
+  };
+
+  void OnQuerySubmit(std::uint32_t user) {
+    ScheduleIn(ExpDelay(config_.query_rate), kQuerySubmit, user);
+    if (IsPartner(user) && !partner_alive_[user]) return;
+    const auto query_class =
+        static_cast<std::uint32_t>(inputs_.query_model.SampleQueryClass(rng_));
+    if (options_.concrete_index) {
+      // Reserve the qid now so the sampled keyword string is in place
+      // before any cluster matches it (the switch below consumes ids in
+      // order).
+      query_strings_.emplace(next_qid_, corpus_->SampleQuery(rng_));
+    }
+
+    switch (options_.strategy) {
+      case SearchStrategy::kFlood: {
+        const std::uint64_t qid = next_qid_++;
+        if (options_.result_cache_ttl_seconds > 0.0 &&
+            TryAnswerFromCache(user, qid, query_class)) {
+          return;
+        }
+        if (!SubmitToOwnCluster(user, qid, query_class,
+                                static_cast<std::uint32_t>(config_.ttl + 1))) {
+          return;
+        }
+        RecordSubmission(qid, user, query_class, 0);
+        break;
+      }
+      case SearchStrategy::kExpandingRing: {
+        const std::uint64_t qid = next_qid_++;
+        if (!SubmitToOwnCluster(user, qid, query_class, 2)) return;  // Ring 1.
+        RecordSubmission(qid, user, query_class, 1);
+        ScheduleRingCheck(qid, 1);
+        break;
+      }
+      case SearchStrategy::kRandomWalk: {
+        const std::uint64_t qid = next_qid_++;
+        if (!LaunchWalks(user, qid, query_class)) return;
+        RecordSubmission(qid, user, query_class, 0);
+        break;
+      }
+    }
+  }
+
+  void RecordSubmission(std::uint64_t qid, std::uint32_t user,
+                        std::uint32_t query_class, std::uint32_t ring_ttl) {
+    if (measuring_) ++queries_submitted_;
+    QueryState state;
+    state.user = user;
+    state.query_class = query_class;
+    state.ring_ttl = ring_ttl;
+    state.submit_time = now_;
+    state.cache_key = CacheKey(qid, query_class);
+    query_state_.emplace(qid, state);
+    ring_root_.emplace(qid, qid);
+  }
+
+  // --- Source-side result cache (flood strategy) -----------------------------
+  struct CacheEntry {
+    double expires = 0.0;
+    double results = 0.0;
+    double addrs = 0.0;
+    /// Root qid whose responses currently fill this entry; concurrent
+    /// floods of the same query must not double-accumulate.
+    std::uint64_t owner = 0;
+  };
+
+  /// Identity of a query for caching: its class in abstract mode, the
+  /// hash of its keyword string in concrete mode.
+  std::uint64_t CacheKey(std::uint64_t qid, std::uint32_t query_class) const {
+    if (options_.concrete_index) {
+      const auto it = query_strings_.find(qid);
+      if (it != query_strings_.end()) {
+        return std::hash<std::string>{}(it->second);
+      }
+    }
+    return query_class;
+  }
+
+  /// If this cluster flooded the same query recently, answer from the
+  /// cached aggregate result set: one submission hop and one response —
+  /// no flood, no remote work. Returns true when the query was served.
+  bool TryAnswerFromCache(std::uint32_t user, std::uint64_t qid,
+                          std::uint32_t query_class) {
+    const std::size_t cluster = ClusterOf(user);
+    if (result_cache_.empty()) result_cache_.resize(n_);
+    auto& cache = result_cache_[cluster];
+    const std::uint64_t key = CacheKey(qid, query_class);
+    const auto it = cache.find(key);
+    if (it == cache.end() || it->second.expires < now_ ||
+        it->second.results <= 0.0) {
+      return false;
+    }
+    const CacheEntry& entry = it->second;
+    if (measuring_) {
+      ++queries_submitted_;
+      ++cache_hits_;
+      ++responses_delivered_;
+      results_sum_ += entry.results;
+      ++first_responses_;
+    }
+    const auto results = static_cast<std::uint32_t>(entry.results);
+    const auto addrs = static_cast<std::uint32_t>(entry.addrs);
+    const double response_bytes = inputs_.costs.ResponseBytes(
+        static_cast<double>(addrs), static_cast<double>(results));
+    if (IsPartner(user)) {
+      // The partner answers its own user locally: no messages.
+      return true;
+    }
+    const std::uint32_t partner = PickPartner(cluster);
+    if (partner == kSelfUpstream) return true;  // Disconnected anyway.
+    // Submission hop + cached response back to the client.
+    AcctSend(user, qbytes_, sendq_ + MuxOf(user));
+    AcctRecv(partner, qbytes_, recvq_ + MuxOf(partner));
+    AcctSend(partner, response_bytes,
+             inputs_.costs.SendResponseUnits(static_cast<double>(addrs),
+                                             static_cast<double>(results)) +
+                 MuxOf(partner));
+    AcctRecv(user, response_bytes,
+             inputs_.costs.RecvResponseUnits(static_cast<double>(addrs),
+                                             static_cast<double>(results)) +
+                 MuxOf(user));
+    if (measuring_) {
+      latency_sum_ += 2.0 * options_.hop_latency_seconds;
+    }
+    return true;
+  }
+
+  /// Accumulates a delivered response into the source cluster's cache.
+  void PopulateCache(const QueryState& state, std::uint64_t root,
+                     std::uint32_t results, std::uint32_t addrs) {
+    if (options_.result_cache_ttl_seconds <= 0.0 ||
+        options_.strategy != SearchStrategy::kFlood) {
+      return;
+    }
+    if (result_cache_.empty()) result_cache_.resize(n_);
+    auto& cache = result_cache_[ClusterOf(state.user)];
+    CacheEntry& entry = cache[state.cache_key];
+    if (entry.expires < now_) {
+      // Fresh (or expired) entry: restart accumulation for this query.
+      entry.results = 0.0;
+      entry.addrs = 0.0;
+      entry.expires = now_ + options_.result_cache_ttl_seconds;
+      entry.owner = root;
+    }
+    if (entry.owner != root) return;  // A concurrent flood already owns it.
+    entry.results += static_cast<double>(results);
+    entry.addrs += static_cast<double>(addrs);
+  }
+
+  /// Routes a query (with the given hop budget) into the submitting
+  /// user's own cluster: directly for a partner-user, via the
+  /// round-robin submission hop for a client. Returns false if the
+  /// cluster is unreachable (churn).
+  bool SubmitToOwnCluster(std::uint32_t user, std::uint64_t qid,
+                          std::uint32_t query_class, std::uint32_t ttl) {
+    // The source super-peer floods with the full TTL, so the submission
+    // hop carries TTL+1: every OnQueryArrive forwards with ttl-1, and a
+    // node at depth d therefore holds TTL+1-d, forwarding while d < TTL —
+    // exactly the paper's semantics (nodes at depth == TTL do not
+    // forward).
+    if (IsPartner(user)) {
+      OnQueryArrive(user, qid, kSelfUpstream, query_class, ttl);
+      return true;
+    }
+    const std::uint32_t target = PickPartner(ClusterOf(user));
+    if (target == kSelfUpstream) return false;  // Disconnected.
+    AcctSend(user, qbytes_, sendq_ + MuxOf(user));
+    ScheduleIn(options_.hop_latency_seconds, kQueryArrive, target, qid,
+               PackQuery(user, query_class, ttl));
+    return true;
+  }
+
+  // --- Expanding ring ---------------------------------------------------------
+  void ScheduleRingCheck(std::uint64_t root, std::uint32_t ring_ttl) {
+    // Allow one round trip across the ring plus slack before judging.
+    const double wait =
+        (2.0 * static_cast<double>(ring_ttl) + 3.0) *
+        options_.hop_latency_seconds;
+    ScheduleIn(wait, kRingCheck, 0, root);
+  }
+
+  void OnRingCheck(std::uint64_t root) {
+    const auto it = query_state_.find(root);
+    if (it == query_state_.end()) return;
+    QueryState& state = it->second;
+    const bool satisfied =
+        state.ring_results >=
+        static_cast<double>(options_.ring_satisfaction_results);
+    const bool exhausted =
+        state.ring_ttl >= static_cast<std::uint32_t>(config_.ttl);
+    if (satisfied || exhausted) {
+      FinishRingQuery(state);
+      return;
+    }
+    // Grow the ring: a fresh flood with a larger TTL (naive iterative
+    // deepening re-queries the inner rings; that cost is intrinsic to
+    // the technique and shows up in the measurements).
+    if (IsPartner(state.user) && !partner_alive_[state.user]) {
+      FinishRingQuery(state);
+      return;
+    }
+    const std::uint64_t retry_qid = next_qid_++;
+    if (options_.concrete_index) {
+      // The retry re-issues the same keyword string under a fresh qid.
+      const auto root_query = query_strings_.find(root);
+      if (root_query != query_strings_.end()) {
+        query_strings_.emplace(retry_qid, root_query->second);
+      }
+    }
+    state.ring_ttl += 1;
+    state.ring_results = 0.0;
+    ring_root_.emplace(retry_qid, root);
+    if (!SubmitToOwnCluster(state.user, retry_qid, state.query_class,
+                            state.ring_ttl + 1)) {
+      FinishRingQuery(state);
+      return;
+    }
+    ScheduleRingCheck(root, state.ring_ttl);
+  }
+
+  void FinishRingQuery(const QueryState& state) {
+    if (measuring_) {
+      results_sum_ += state.ring_results;
+      rings_sum_ += static_cast<double>(state.ring_ttl);
+      ++ring_queries_finished_;
+    }
+  }
+
+  // --- Random walks -------------------------------------------------------------
+  bool LaunchWalks(std::uint32_t user, std::uint64_t qid,
+                   std::uint32_t query_class) {
+    const std::size_t cluster = ClusterOf(user);
+    // The source cluster always processes the query itself.
+    std::uint32_t source_partner;
+    if (IsPartner(user)) {
+      source_partner = user;
+      OnQueryArrive(user, qid, kSelfUpstream, query_class, 1);
+    } else {
+      source_partner = PickPartner(cluster);
+      if (source_partner == kSelfUpstream) return false;
+      AcctSend(user, qbytes_, sendq_ + MuxOf(user));
+      ScheduleIn(options_.hop_latency_seconds, kQueryArrive, source_partner,
+                 qid, PackQuery(user, query_class, 1));
+    }
+    // Launch the walkers from the source partner.
+    for (std::uint32_t w = 0; w < options_.num_walkers; ++w) {
+      const std::uint32_t target = RandomNeighborPartner(cluster);
+      if (target == kSelfUpstream) break;
+      AcctSend(source_partner, qbytes_, sendq_ + MuxOf(source_partner));
+      ScheduleIn(options_.hop_latency_seconds, kWalkArrive, target, qid,
+                 PackQuery(source_partner, query_class,
+                           options_.walk_ttl & 0xffu));
+    }
+    return true;
+  }
+
+  /// A uniformly random live partner of a random neighbor of `cluster`;
+  /// kSelfUpstream if the cluster has no neighbors.
+  std::uint32_t RandomNeighborPartner(std::size_t cluster) {
+    std::size_t neighbor;
+    if (inst_.topology.is_complete()) {
+      if (n_ <= 1) return kSelfUpstream;
+      do {
+        neighbor = rng_.NextBounded(n_);
+      } while (neighbor == cluster);
+    } else {
+      const auto nbrs =
+          inst_.topology.graph().Neighbors(static_cast<NodeId>(cluster));
+      if (nbrs.empty()) return kSelfUpstream;
+      neighbor = nbrs[rng_.NextBounded(nbrs.size())];
+    }
+    return PickPartner(neighbor);
+  }
+
+  void OnWalkArrive(std::uint32_t partner, std::uint64_t qid,
+                    std::uint32_t source_partner, std::uint32_t query_class,
+                    std::uint32_t ttl) {
+    if (!partner_alive_[partner]) return;
+    AcctRecv(partner, qbytes_, recvq_ + MuxOf(partner));
+    const std::size_t cluster = ClusterOf(partner);
+    // Process only on the cluster's first visit; revisit hops keep
+    // walking but do not re-query the index.
+    const bool fresh =
+        query_table_[cluster].try_emplace(qid, source_partner).second;
+    if (fresh) {
+      const auto [results, addrs] = MatchQuery(cluster, qid, query_class);
+      AcctProc(partner,
+               inputs_.costs.ProcessQueryUnits(static_cast<double>(results)));
+      if (results > 0) {
+        // Walk responses return directly to the source partner (as in
+        // Lv et al.'s random-walk systems) rather than retracing the
+        // whole walk; hops=1 reflects the direct connection.
+        const double bytes = inputs_.costs.ResponseBytes(
+            static_cast<double>(addrs), static_cast<double>(results));
+        AcctSend(partner, bytes,
+                 inputs_.costs.SendResponseUnits(
+                     static_cast<double>(addrs),
+                     static_cast<double>(results)) +
+                     MuxOf(partner));
+        ScheduleIn(options_.hop_latency_seconds, kResponseArrive,
+                   source_partner, qid, PackResponse(results, addrs, 1));
+      }
+    } else if (measuring_) {
+      ++duplicate_queries_;
+    }
+    if (ttl <= 1) return;
+    const std::uint32_t next = RandomNeighborPartner(cluster);
+    if (next == kSelfUpstream) return;
+    AcctSend(partner, qbytes_, sendq_ + MuxOf(partner));
+    ScheduleIn(options_.hop_latency_seconds, kWalkArrive, next, qid,
+               PackQuery(source_partner, query_class, ttl - 1));
+  }
+
+  void OnQueryArrive(std::uint32_t partner, std::uint64_t qid,
+                     std::uint32_t upstream, std::uint32_t query_class,
+                     std::uint32_t ttl) {
+    if (!partner_alive_[partner]) return;  // Message lost.
+    if (upstream != kSelfUpstream) {
+      AcctRecv(partner, qbytes_, recvq_ + MuxOf(partner));
+    }
+    const std::size_t cluster = ClusterOf(partner);
+    const bool fresh = query_table_[cluster].try_emplace(qid, upstream).second;
+    if (!fresh) {
+      if (measuring_) ++duplicate_queries_;
+      return;  // Duplicate: received, then dropped.
+    }
+
+    // Process over the cluster index.
+    const auto [results, addrs] = MatchQuery(cluster, qid, query_class);
+    AcctProc(partner, inputs_.costs.ProcessQueryUnits(
+                          static_cast<double>(results)));
+    if (results > 0) {
+      SendResponse(partner, upstream, qid, results, addrs, /*hops=*/0);
+    }
+
+    // Forward with decremented TTL on every connection except the one
+    // the query arrived on.
+    if (ttl <= 1) return;
+    const std::size_t exclude =
+        (upstream != kSelfUpstream && IsPartner(upstream))
+            ? ClusterOf(upstream)
+            : static_cast<std::size_t>(-1);
+    const auto forward = [&](std::size_t neighbor) {
+      if (neighbor == exclude) return;
+      const std::uint32_t target = PickPartner(neighbor);
+      if (target == kSelfUpstream) return;
+      AcctSend(partner, qbytes_, sendq_ + MuxOf(partner));
+      ScheduleIn(options_.hop_latency_seconds, kQueryArrive, target, qid,
+                 PackQuery(partner, query_class, ttl - 1));
+    };
+    if (inst_.topology.is_complete()) {
+      for (std::size_t w = 0; w < n_; ++w) {
+        if (w != cluster) forward(w);
+      }
+    } else {
+      for (const NodeId w :
+           inst_.topology.graph().Neighbors(static_cast<NodeId>(cluster))) {
+        forward(w);
+      }
+    }
+  }
+
+  /// Determines (results, addresses) for a query over a cluster's
+  /// index: against the real inverted index in concrete mode, or by
+  /// sampling from the Appendix-B query model otherwise.
+  std::pair<std::uint32_t, std::uint32_t> MatchQuery(
+      std::size_t cluster, std::uint64_t qid, std::uint32_t query_class) {
+    if (options_.concrete_index) {
+      const auto it = query_strings_.find(qid);
+      if (it == query_strings_.end()) return {0, 0};
+      const QueryResult qr = indexes_[cluster].Query(it->second);
+      return {static_cast<std::uint32_t>(qr.hits.size()),
+              static_cast<std::uint32_t>(qr.distinct_owners)};
+    }
+    const double f = inputs_.query_model.SelectionPower(query_class);
+    const std::uint32_t results =
+        SampleBinomialApprox(inst_.indexed_files[cluster], f, rng_);
+    if (results == 0) return {0, 0};
+    return {results, SampleAddrs(cluster, f)};
+  }
+
+  /// Expected-value-faithful sampling of the number of distinct cluster
+  /// members whose collections match (the addresses in a Response).
+  std::uint32_t SampleAddrs(std::size_t cluster, double f) {
+    std::uint32_t addrs = 0;
+    for (const std::uint32_t x : inst_.ClientFiles(cluster)) {
+      if (x == 0) continue;
+      const double p = 1.0 - std::pow(1.0 - f, static_cast<double>(x));
+      if (rng_.NextBernoulli(p)) ++addrs;
+    }
+    for (std::size_t p = 0; p < k_; ++p) {
+      const std::uint32_t x = inst_.partner_files[cluster * k_ + p];
+      if (x == 0) continue;
+      const double q = 1.0 - std::pow(1.0 - f, static_cast<double>(x));
+      if (rng_.NextBernoulli(q)) ++addrs;
+    }
+    return addrs == 0 ? 1 : addrs;  // Results imply at least one owner.
+  }
+
+  void SendResponse(std::uint32_t from, std::uint32_t to, std::uint64_t qid,
+                    std::uint32_t results, std::uint32_t addrs,
+                    std::uint32_t hops) {
+    const double bytes = inputs_.costs.ResponseBytes(
+        static_cast<double>(addrs), static_cast<double>(results));
+    if (to == kSelfUpstream) {
+      // The super-peer's own user consumes the results locally.
+      DeliverResults(qid, results, addrs, hops);
+      return;
+    }
+    AcctSend(from,
+             bytes,
+             inputs_.costs.SendResponseUnits(static_cast<double>(addrs),
+                                             static_cast<double>(results)) +
+                 MuxOf(from));
+    // The hop counter mirrors the paper's EPL (hops across the super-peer
+    // overlay); the final super-peer -> client delivery is not an overlay
+    // hop and is excluded so the metric is comparable with the model.
+    const std::uint32_t hop_delta = IsPartner(to) ? 1u : 0u;
+    ScheduleIn(options_.hop_latency_seconds, kResponseArrive, to, qid,
+               PackResponse(results, addrs, hops + hop_delta));
+  }
+
+  void OnResponseArrive(std::uint32_t node, std::uint64_t qid,
+                        std::uint32_t results, std::uint32_t addrs,
+                        std::uint32_t hops) {
+    const double bytes = inputs_.costs.ResponseBytes(
+        static_cast<double>(addrs), static_cast<double>(results));
+    AcctRecv(node, bytes,
+             inputs_.costs.RecvResponseUnits(static_cast<double>(addrs),
+                                             static_cast<double>(results)) +
+                 MuxOf(node));
+    if (!IsPartner(node)) {
+      DeliverResults(qid, results, addrs, hops);
+      return;
+    }
+    if (!partner_alive_[node]) return;
+    const std::size_t cluster = ClusterOf(node);
+    const auto it = query_table_[cluster].find(qid);
+    if (it == query_table_[cluster].end()) return;  // State lost to churn.
+    SendResponse(node, it->second, qid, results, addrs, hops);
+  }
+
+  void DeliverResults(std::uint64_t qid, std::uint32_t results,
+                      std::uint32_t addrs, std::uint32_t hops) {
+    // Map expanding-ring retry qids back to the original query.
+    const auto root_it = ring_root_.find(qid);
+    const std::uint64_t root = root_it != ring_root_.end() ? root_it->second
+                                                           : qid;
+    const auto state_it = query_state_.find(root);
+    if (state_it != query_state_.end()) {
+      QueryState& state = state_it->second;
+      PopulateCache(state, root, results, addrs);
+      if (!state.first_response_seen) {
+        state.first_response_seen = true;
+        if (measuring_) {
+          latency_sum_ += now_ - state.submit_time;
+          ++first_responses_;
+        }
+      }
+      if (options_.strategy == SearchStrategy::kExpandingRing) {
+        state.ring_results += static_cast<double>(results);
+      }
+    }
+    if (!measuring_) return;
+    ++responses_delivered_;
+    hops_sum_ += static_cast<double>(hops);
+    if (options_.strategy != SearchStrategy::kExpandingRing) {
+      // Ring queries account their results when the ring settles
+      // (FinishRingQuery), so inner rings are not double counted.
+      results_sum_ += static_cast<double>(results);
+    }
+  }
+
+  // --- Joins and updates ------------------------------------------------------
+  void ScheduleJoinArrive(std::uint32_t target, std::uint32_t owner,
+                          double files) {
+    SimEvent e;
+    e.time = now_ + options_.hop_latency_seconds;
+    e.kind = kJoinArrive;
+    e.node = target;
+    e.a = owner;
+    e.x = files;
+    queue_.Schedule(e);
+  }
+
+  void OnJoinSubmit(std::uint32_t user) {
+    ScheduleIn(ExpDelay(1.0 / LifespanOf(user)), kJoinSubmit, user);
+    const double files = FilesOf(user);
+    const std::size_t cluster = ClusterOf(user);
+    if (IsPartner(user)) {
+      if (!partner_alive_[user]) return;
+      // Rebuild the index over its own collection; mirror to every
+      // live co-partner.
+      AcctProc(user, inputs_.costs.ProcessJoinUnits(files));
+      for (std::size_t p = 0; p < k_; ++p) {
+        const auto other = static_cast<std::uint32_t>(cluster * k_ + p);
+        if (other == user || !partner_alive_[other]) continue;
+        AcctSend(user, inputs_.costs.JoinBytes(files),
+                 inputs_.costs.SendJoinUnits(files) + MuxOf(user));
+        ScheduleJoinArrive(other, user, files);
+      }
+      return;
+    }
+    for (std::size_t p = 0; p < k_; ++p) {
+      const auto partner = static_cast<std::uint32_t>(cluster * k_ + p);
+      if (!partner_alive_[partner]) continue;
+      AcctSend(user, inputs_.costs.JoinBytes(files),
+               inputs_.costs.SendJoinUnits(files) + MuxOf(user));
+      ScheduleJoinArrive(partner, user, files);
+    }
+  }
+
+  void OnJoinArrive(std::uint32_t partner, std::uint32_t owner,
+                    double files) {
+    if (!partner_alive_[partner]) return;
+    AcctRecv(partner, inputs_.costs.JoinBytes(files),
+             inputs_.costs.RecvJoinUnits(files) +
+                 inputs_.costs.ProcessJoinUnits(files) + MuxOf(partner));
+    if (options_.concrete_index) {
+      // Re-index the joining peer's metadata for real. The k partners
+      // of a cluster share one index object (their contents would be
+      // identical), so the second partner's re-insert is a no-op.
+      InvertedIndex& index = indexes_[ClusterOf(partner)];
+      index.EraseOwner(owner);
+      index.InsertCollection(node_collections_[owner]);
+    }
+  }
+
+  /// Concrete mode: replaces one random file of `user`'s collection
+  /// with a freshly sampled one, and queues the mutation for every
+  /// partner message that will carry it. Returns false if the user
+  /// shares nothing (the update message is still sent — its cost is
+  /// workload-model territory — but no index change happens).
+  bool PrepareConcreteUpdate(std::uint32_t user, std::size_t copies) {
+    auto& collection = node_collections_[user];
+    if (collection.empty()) return false;
+    const std::size_t slot = rng_.NextBounded(collection.size());
+    const FileId old_id = collection[slot].id;
+    FileRecord fresh;
+    fresh.id = next_file_id_++;
+    fresh.owner = user;
+    fresh.title = corpus_->SampleTitle(rng_);
+    collection[slot] = fresh;
+    for (std::size_t i = 0; i < copies; ++i) {
+      pending_updates_[user].emplace_back(old_id, fresh);
+    }
+    return true;
+  }
+
+  void OnUpdateSubmit(std::uint32_t user) {
+    ScheduleIn(ExpDelay(config_.update_rate), kUpdateSubmit, user);
+    const std::size_t cluster = ClusterOf(user);
+    if (IsPartner(user)) {
+      if (!partner_alive_[user]) return;
+      AcctProc(user, inputs_.costs.process_update_units);
+      // Mirror the update to every live co-partner.
+      std::size_t live_others = 0;
+      for (std::size_t p = 0; p < k_; ++p) {
+        const auto other = static_cast<std::uint32_t>(cluster * k_ + p);
+        if (other != user && partner_alive_[other]) ++live_others;
+      }
+      if (options_.concrete_index &&
+          PrepareConcreteUpdate(user, live_others + 1)) {
+        // Apply the partner-user's own update locally right away.
+        ApplyConcreteUpdate(user, cluster);
+      }
+      for (std::size_t p = 0; p < k_; ++p) {
+        const auto other = static_cast<std::uint32_t>(cluster * k_ + p);
+        if (other == user || !partner_alive_[other]) continue;
+        AcctSend(user, inputs_.costs.UpdateBytes(),
+                 inputs_.costs.send_update_units + MuxOf(user));
+        ScheduleIn(options_.hop_latency_seconds, kUpdateArrive, other, user);
+      }
+      return;
+    }
+    std::size_t live_partners = 0;
+    for (std::size_t p = 0; p < k_; ++p) {
+      if (partner_alive_[cluster * k_ + p]) ++live_partners;
+    }
+    if (options_.concrete_index && live_partners > 0) {
+      PrepareConcreteUpdate(user, live_partners);
+    }
+    for (std::size_t p = 0; p < k_; ++p) {
+      const auto partner = static_cast<std::uint32_t>(cluster * k_ + p);
+      if (!partner_alive_[partner]) continue;
+      AcctSend(user, inputs_.costs.UpdateBytes(),
+               inputs_.costs.send_update_units + MuxOf(user));
+      ScheduleIn(options_.hop_latency_seconds, kUpdateArrive, partner, user);
+    }
+  }
+
+  /// Applies one queued concrete update of `owner` to its cluster
+  /// index (erase the old file, insert the replacement). With shared
+  /// per-cluster indexes the second partner's application is a no-op.
+  void ApplyConcreteUpdate(std::uint32_t owner, std::size_t cluster) {
+    const auto it = pending_updates_.find(owner);
+    if (it == pending_updates_.end() || it->second.empty()) return;
+    const auto [old_id, fresh] = it->second.front();
+    it->second.pop_front();
+    InvertedIndex& index = indexes_[cluster];
+    index.Erase(old_id);
+    index.Insert(fresh);
+  }
+
+  void OnUpdateArrive(std::uint32_t partner, std::uint32_t owner) {
+    if (!partner_alive_[partner]) return;
+    AcctRecv(partner, inputs_.costs.UpdateBytes(),
+             inputs_.costs.recv_update_units +
+                 inputs_.costs.process_update_units + MuxOf(partner));
+    if (options_.concrete_index) {
+      ApplyConcreteUpdate(owner, ClusterOf(partner));
+    }
+  }
+
+  // --- Churn / reliability -----------------------------------------------------
+  void OnPartnerFail(std::uint32_t partner) {
+    if (!partner_alive_[partner]) return;
+    partner_alive_[partner] = false;
+    if (measuring_) ++partner_failures_;
+    const std::size_t cluster = ClusterOf(partner);
+    if (--alive_partners_[cluster] == 0) {
+      outage_start_[cluster] = now_;
+      if (measuring_) ++cluster_outages_;
+    }
+    ScheduleIn(options_.partner_recovery_seconds, kPartnerRecover, partner);
+  }
+
+  void OnPartnerRecover(std::uint32_t partner) {
+    partner_alive_[partner] = true;
+    const std::size_t cluster = ClusterOf(partner);
+    if (alive_partners_[cluster]++ == 0 && outage_start_[cluster] >= 0.0) {
+      AccumulateOutage(cluster, now_);
+      outage_start_[cluster] = -1.0;
+    }
+    // The replacement partner starts with an empty index: every client
+    // re-uploads its metadata (the join storm after a failure).
+    for (std::size_t c = inst_.client_offset[cluster];
+         c < inst_.client_offset[cluster + 1]; ++c) {
+      const auto client =
+          static_cast<std::uint32_t>(num_partners_ + c);
+      const auto files = static_cast<double>(inst_.client_files[c]);
+      AcctSend(client, inputs_.costs.JoinBytes(files),
+               inputs_.costs.SendJoinUnits(files) + MuxOf(client));
+      ScheduleJoinArrive(partner, client, files);
+    }
+    ScheduleIn(ExpDelay(1.0 / inst_.partner_lifespan[partner]), kPartnerFail,
+               partner);
+  }
+
+  void AccumulateOutage(std::size_t cluster, double end) {
+    const double start = std::max(outage_start_[cluster],
+                                  options_.warmup_seconds);
+    if (end <= start) return;
+    disconnected_client_seconds_ +=
+        (end - start) * static_cast<double>(inst_.NumClients(cluster));
+  }
+
+  // --- Finalization --------------------------------------------------------------
+  SimReport Finalize() {
+    // Close outages still open at the end of the run.
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (outage_start_[i] >= 0.0) AccumulateOutage(i, now_);
+    }
+
+    SimReport report;
+    report.measured_seconds = options_.duration_seconds;
+    const double inv_t = 1.0 / options_.duration_seconds;
+    const auto to_load = [&](std::uint32_t node) {
+      LoadVector lv;
+      lv.in_bps = BytesPerSecToBps(in_bytes_[node] * inv_t);
+      lv.out_bps = BytesPerSecToBps(out_bytes_[node] * inv_t);
+      lv.proc_hz = inputs_.costs.UnitsToHz(units_[node] * inv_t);
+      return lv;
+    };
+    report.partner_load.resize(num_partners_);
+    for (std::uint32_t p = 0; p < num_partners_; ++p) {
+      report.partner_load[p] = to_load(p);
+      report.aggregate += report.partner_load[p];
+    }
+    report.client_load.resize(num_clients_);
+    for (std::uint32_t c = 0; c < num_clients_; ++c) {
+      report.client_load[c] =
+          to_load(static_cast<std::uint32_t>(num_partners_ + c));
+      report.aggregate += report.client_load[c];
+    }
+    report.queries_submitted = queries_submitted_;
+    report.responses_delivered = responses_delivered_;
+    report.duplicate_queries = duplicate_queries_;
+    const std::uint64_t result_queries =
+        options_.strategy == SearchStrategy::kExpandingRing
+            ? ring_queries_finished_
+            : queries_submitted_;
+    if (result_queries > 0) {
+      report.mean_results_per_query =
+          results_sum_ / static_cast<double>(result_queries);
+    }
+    if (responses_delivered_ > 0) {
+      report.mean_response_hops =
+          hops_sum_ / static_cast<double>(responses_delivered_);
+    }
+    if (first_responses_ > 0) {
+      report.mean_first_response_latency =
+          latency_sum_ / static_cast<double>(first_responses_);
+    }
+    if (ring_queries_finished_ > 0) {
+      report.mean_rings_per_query =
+          rings_sum_ / static_cast<double>(ring_queries_finished_);
+    }
+    report.cache_hits = cache_hits_;
+    if (options_.concrete_index && !indexes_.empty()) {
+      double bytes = 0.0;
+      for (const InvertedIndex& index : indexes_) {
+        bytes += static_cast<double>(index.ApproximateMemoryBytes());
+      }
+      report.mean_index_memory_bytes =
+          bytes / static_cast<double>(indexes_.size());
+    }
+    report.partner_failures = partner_failures_;
+    report.cluster_outages = cluster_outages_;
+    const double client_seconds =
+        options_.duration_seconds * static_cast<double>(num_clients_);
+    if (client_seconds > 0.0) {
+      report.client_disconnected_fraction =
+          disconnected_client_seconds_ / client_seconds;
+    }
+    return report;
+  }
+
+  // --- State -----------------------------------------------------------------
+  NetworkInstance inst_;
+  Configuration config_;
+  ModelInputs inputs_;
+  SimOptions options_;
+  mutable Rng rng_;
+
+  const std::size_t n_;
+  const std::size_t k_;
+  const std::size_t num_partners_;
+  const std::size_t num_clients_;
+
+  double qbytes_ = 0.0, sendq_ = 0.0, recvq_ = 0.0;
+  std::vector<double> conn_;
+  double client_conn_ = 1.0;
+
+  EventQueue queue_;
+  double now_ = 0.0;
+  bool measuring_ = false;
+
+  std::vector<double> in_bytes_, out_bytes_, units_;
+  std::vector<std::uint32_t> client_cluster_;
+  std::vector<std::uint8_t> partner_alive_;
+  std::vector<std::uint32_t> alive_partners_;
+  std::vector<double> outage_start_;
+  std::vector<std::uint32_t> rr_;
+  std::vector<std::unordered_map<std::uint64_t, std::uint32_t>> query_table_;
+
+  std::uint64_t next_qid_ = 0;
+  std::uint64_t queries_submitted_ = 0;
+  std::uint64_t responses_delivered_ = 0;
+  std::uint64_t duplicate_queries_ = 0;
+  std::uint64_t partner_failures_ = 0;
+  std::uint64_t cluster_outages_ = 0;
+  double results_sum_ = 0.0;
+  double hops_sum_ = 0.0;
+  double disconnected_client_seconds_ = 0.0;
+
+  // Per-query strategy state (latency, expanding-ring progress).
+  std::unordered_map<std::uint64_t, QueryState> query_state_;
+  std::unordered_map<std::uint64_t, std::uint64_t> ring_root_;
+  double latency_sum_ = 0.0;
+  std::uint64_t first_responses_ = 0;
+  double rings_sum_ = 0.0;
+  std::uint64_t ring_queries_finished_ = 0;
+
+  // Concrete-index mode state.
+  std::unique_ptr<TitleCorpus> corpus_;
+  std::vector<InvertedIndex> indexes_;                 // One per cluster.
+  std::vector<std::vector<FileRecord>> node_collections_;
+  std::unordered_map<std::uint64_t, std::string> query_strings_;
+  std::unordered_map<std::uint32_t,
+                     std::deque<std::pair<FileId, FileRecord>>>
+      pending_updates_;
+  FileId next_file_id_ = 1;
+
+  // Source-side result caches, one per cluster (lazy-sized).
+  std::vector<std::unordered_map<std::uint64_t, CacheEntry>> result_cache_;
+  std::uint64_t cache_hits_ = 0;
+};
+
+Simulator::Simulator(const NetworkInstance& instance,
+                     const Configuration& config, const ModelInputs& inputs,
+                     const SimOptions& options)
+    : impl_(new Impl(instance, config, inputs, options)) {}
+
+Simulator::~Simulator() { delete impl_; }
+
+SimReport Simulator::Run() { return impl_->Run(); }
+
+}  // namespace sppnet

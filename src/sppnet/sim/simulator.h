@@ -1,0 +1,145 @@
+#ifndef SPPNET_SIM_SIMULATOR_H_
+#define SPPNET_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sppnet/model/config.h"
+#include "sppnet/model/instance.h"
+#include "sppnet/model/load.h"
+
+namespace sppnet {
+
+/// How queries travel across the super-peer overlay. The paper's
+/// analysis uses the baseline Gnutella flood and notes that better
+/// search protocols (e.g. Yang & Garcia-Molina, ICDCS'02) are
+/// orthogonal to the super-peer design; the simulator implements two
+/// such alternatives so the tradeoffs can be measured on top of the
+/// same clusters.
+enum class SearchStrategy {
+  /// Baseline: forward to every neighbor except the arrival edge while
+  /// TTL remains (Section 3.1).
+  kFlood,
+  /// Iterative deepening: try TTL 1, then grow the ring until enough
+  /// results arrived or the TTL budget is exhausted. Saves cost on
+  /// popular content at the price of latency.
+  kExpandingRing,
+  /// k independent random walks; each walker forwards to one random
+  /// neighbor per hop for up to walk_ttl hops.
+  kRandomWalk,
+};
+
+/// Options for a discrete-event run.
+struct SimOptions {
+  /// Simulated seconds of measured traffic (after warmup).
+  double duration_seconds = 300.0;
+  /// Initial seconds excluded from the measurements.
+  double warmup_seconds = 30.0;
+  /// One-way delivery latency per overlay hop (seconds).
+  double hop_latency_seconds = 0.05;
+  std::uint64_t seed = 7;
+
+  /// Reliability mode: super-peer partners fail at the end of their
+  /// sampled lifespans and are replaced after `partner_recovery_seconds`
+  /// (a capable client is promoted / a new partner is found). While a
+  /// cluster has no live partner its clients are disconnected. Client
+  /// joins re-upload metadata to recovering partners.
+  bool enable_churn = false;
+  double partner_recovery_seconds = 30.0;
+
+  /// Concrete-index mode: instead of sampling result counts from the
+  /// Appendix-B probabilistic query model, every (virtual) super-peer
+  /// maintains a real InvertedIndex over titles drawn from a
+  /// TitleCorpus, queries are sampled keyword strings matched
+  /// conjunctively, joins re-upload and re-index actual metadata, and
+  /// updates mutate the index. Slower, but exercises the index
+  /// substrate the paper prescribes ("the super-peer may keep inverted
+  /// lists over the titles", Section 3.2) end to end.
+  bool concrete_index = false;
+
+  /// Source-side result caching (flood strategy only): a super-peer
+  /// remembers the aggregate result set of each query it recently
+  /// flooded for this many seconds; a repeat submission of the same
+  /// query by any of its users is answered from the cache instantly —
+  /// no flood, no remote processing. 0 disables caching. A classic
+  /// efficiency extension on top of the paper's design (cf. Yang &
+  /// Garcia-Molina, ICDCS'02); Zipf query popularity makes repeats
+  /// common at busy super-peers.
+  double result_cache_ttl_seconds = 0.0;
+
+  // --- Search strategy (kFlood reproduces the paper's baseline) ---
+  SearchStrategy strategy = SearchStrategy::kFlood;
+  /// kExpandingRing: stop growing the ring once this many results have
+  /// come back.
+  std::uint32_t ring_satisfaction_results = 50;
+  /// kRandomWalk: number of parallel walkers per query.
+  std::uint32_t num_walkers = 16;
+  /// kRandomWalk: hops each walker may take (independent of the
+  /// configuration TTL, which bounds ring/flood depth).
+  std::uint32_t walk_ttl = 64;
+};
+
+/// Measured outcome of a simulation run.
+struct SimReport {
+  double measured_seconds = 0.0;
+
+  /// Mean measured load per partner slot / client, aligned with the
+  /// NetworkInstance layout (bits per second / Hz, like the analysis).
+  std::vector<LoadVector> partner_load;
+  std::vector<LoadVector> client_load;
+  LoadVector aggregate;
+
+  std::uint64_t queries_submitted = 0;
+  std::uint64_t responses_delivered = 0;
+  std::uint64_t duplicate_queries = 0;
+  double mean_results_per_query = 0.0;
+  /// Mean hops traveled by response messages (the empirical EPL).
+  double mean_response_hops = 0.0;
+  /// Mean seconds from query submission to the first response.
+  double mean_first_response_latency = 0.0;
+  /// Mean final ring TTL per query (kExpandingRing only).
+  double mean_rings_per_query = 0.0;
+  /// Mean resident bytes of a cluster's inverted index
+  /// (concrete_index mode only).
+  double mean_index_memory_bytes = 0.0;
+  /// Queries answered from a super-peer's result cache without
+  /// flooding (result_cache_ttl_seconds > 0 only).
+  std::uint64_t cache_hits = 0;
+
+  // --- Reliability metrics (enable_churn only) ---
+  std::uint64_t partner_failures = 0;
+  /// Episodes during which a cluster had no live partner.
+  std::uint64_t cluster_outages = 0;
+  /// Fraction of client-time spent with no reachable super-peer.
+  double client_disconnected_fraction = 0.0;
+};
+
+/// Discrete-event simulator that executes the super-peer protocol of
+/// Section 3.2 message by message: clients submit queries round-robin to
+/// their partners, super-peers flood queries with TTL and duplicate
+/// dropping, Response messages retrace the query path, and joins/updates
+/// maintain the cluster indexes. Per-node byte and processing-unit
+/// accounting uses the same CostTable as the analytical model, so the
+/// two can be compared directly (the model-validation experiment in
+/// DESIGN.md).
+class Simulator {
+ public:
+  /// The instance is copied; the simulator owns its mutable state.
+  Simulator(const NetworkInstance& instance, const Configuration& config,
+            const ModelInputs& inputs, const SimOptions& options);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
+
+  /// Runs warmup + measurement and returns the report.
+  SimReport Run();
+
+ private:
+  class Impl;
+  Impl* impl_;
+};
+
+}  // namespace sppnet
+
+#endif  // SPPNET_SIM_SIMULATOR_H_

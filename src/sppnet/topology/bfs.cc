@@ -1,0 +1,187 @@
+#include "sppnet/topology/bfs.h"
+
+#include <algorithm>
+
+#include "sppnet/common/check.h"
+
+namespace sppnet {
+
+// Grants bfs.cc access to FloodScratch internals without exposing setters
+// in the public API.
+struct FloodAccess {
+  static void Visit(FloodScratch& s, NodeId u, int depth, NodeId parent) {
+    s.depth_[u] = depth;
+    s.parent_[u] = parent;
+    s.mark_[u] = s.epoch_;
+    s.receptions_[u] = 0;
+    s.transmissions_[u] = 0;
+    s.order_.push_back(u);
+  }
+  static void AddReception(FloodScratch& s, NodeId u) { ++s.receptions_[u]; }
+  static void SetTransmissions(FloodScratch& s, NodeId u, std::uint32_t t) {
+    s.transmissions_[u] = t;
+  }
+  static void SetReceptions(FloodScratch& s, NodeId u, std::uint32_t r) {
+    s.receptions_[u] = r;
+  }
+};
+
+void FloodScratch::Prepare(std::size_t n) {
+  if (depth_.size() != n) {
+    depth_.assign(n, 0);
+    parent_.assign(n, 0);
+    receptions_.assign(n, 0);
+    transmissions_.assign(n, 0);
+    mark_.assign(n, 0);
+    epoch_ = 0;
+  }
+  ++epoch_;
+  if (epoch_ == 0) {  // Epoch counter wrapped; reset marks.
+    std::fill(mark_.begin(), mark_.end(), 0);
+    epoch_ = 1;
+  }
+  order_.clear();
+}
+
+namespace {
+
+FloodStats FloodComplete(std::size_t n, NodeId source, int ttl,
+                         FloodScratch& scratch) {
+  FloodStats stats;
+  FloodAccess::Visit(scratch, source, 0, source);
+  stats.reached = 1;
+  if (ttl < 1 || n <= 1) return stats;
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == source) continue;
+    FloodAccess::Visit(scratch, v, 1, source);
+  }
+  stats.reached = n;
+  stats.depth_sum = static_cast<double>(n - 1);
+
+  const auto fan = static_cast<double>(n - 1);
+  // Source sends to everyone.
+  FloodAccess::SetTransmissions(scratch, source, static_cast<std::uint32_t>(n - 1));
+  stats.transmissions = fan;
+  if (ttl >= 2) {
+    // Every depth-1 node forwards to all connections except the one the
+    // query arrived on (the source): n-2 redundant transmissions each,
+    // received and dropped by the other depth-1 nodes.
+    const auto dup_fan = static_cast<std::uint32_t>(n - 2);
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == source) continue;
+      FloodAccess::SetTransmissions(scratch, v, dup_fan);
+      // Receives 1 fresh (from source) + duplicates from all other
+      // depth-1 nodes.
+      FloodAccess::SetReceptions(scratch, v, 1 + dup_fan);
+    }
+    stats.transmissions += static_cast<double>(n - 1) * dup_fan;
+    stats.duplicates = static_cast<double>(n - 1) * dup_fan;
+  } else {
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == source) continue;
+      FloodAccess::SetReceptions(scratch, v, 1);
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+FloodStats FloodBfs(const Topology& topo, NodeId source, int ttl,
+                    FloodScratch& scratch) {
+  const std::size_t n = topo.num_nodes();
+  SPPNET_CHECK(source < n);
+  SPPNET_CHECK(ttl >= 0);
+  scratch.Prepare(n);
+
+  if (topo.is_complete()) return FloodComplete(n, source, ttl, scratch);
+
+  const Graph& g = topo.graph();
+  FloodStats stats;
+  FloodAccess::Visit(scratch, source, 0, source);
+
+  // order() doubles as the BFS queue: nodes are appended when first
+  // visited and processed in append order.
+  std::size_t head = 0;
+  while (head < scratch.order().size()) {
+    const NodeId u = scratch.order()[head++];
+    const int du = scratch.Depth(u);
+    if (du >= ttl) continue;  // Reached nodes at depth == ttl do not forward.
+    const NodeId pu = scratch.Parent(u);
+    std::uint32_t sent = 0;
+    for (const NodeId v : g.Neighbors(u)) {
+      if (v == pu && u != source) continue;  // Do not send back on arrival edge.
+      ++sent;
+      if (!scratch.Visited(v)) {
+        FloodAccess::Visit(scratch, v, du + 1, u);
+        FloodAccess::AddReception(scratch, v);
+      } else {
+        FloodAccess::AddReception(scratch, v);
+        stats.duplicates += 1.0;
+      }
+    }
+    FloodAccess::SetTransmissions(scratch, u, sent);
+    stats.transmissions += static_cast<double>(sent);
+  }
+
+  stats.reached = scratch.order().size();
+  for (const NodeId u : scratch.order()) {
+    stats.depth_sum += static_cast<double>(scratch.Depth(u));
+  }
+  return stats;
+}
+
+std::optional<double> EplForReach(const Topology& topo, NodeId source,
+                                  std::size_t reach, FloodScratch& scratch) {
+  SPPNET_CHECK(reach >= 1);
+  const std::size_t n = topo.num_nodes();
+  if (reach > n - 1) return std::nullopt;
+  if (topo.is_complete()) return 1.0;
+
+  scratch.Prepare(n);
+  FloodAccess::Visit(scratch, source, 0, source);
+  const Graph& g = topo.graph();
+  double depth_sum = 0.0;
+  std::size_t counted = 0;
+  std::size_t head = 0;
+  while (head < scratch.order().size() && counted < reach) {
+    const NodeId u = scratch.order()[head++];
+    const int du = scratch.Depth(u);
+    for (const NodeId v : g.Neighbors(u)) {
+      if (scratch.Visited(v)) continue;
+      FloodAccess::Visit(scratch, v, du + 1, u);
+      depth_sum += static_cast<double>(du + 1);
+      if (++counted == reach) break;
+    }
+  }
+  if (counted < reach) return std::nullopt;
+  return depth_sum / static_cast<double>(reach);
+}
+
+std::optional<int> MinTtlForFullReach(const Topology& topo, NodeId source,
+                                      FloodScratch& scratch) {
+  const std::size_t n = topo.num_nodes();
+  if (n <= 1) return 0;
+  if (topo.is_complete()) return 1;
+
+  // One unbounded BFS; the answer is the eccentricity of the source.
+  scratch.Prepare(n);
+  FloodAccess::Visit(scratch, source, 0, source);
+  const Graph& g = topo.graph();
+  int max_depth = 0;
+  std::size_t head = 0;
+  while (head < scratch.order().size()) {
+    const NodeId u = scratch.order()[head++];
+    const int du = scratch.Depth(u);
+    for (const NodeId v : g.Neighbors(u)) {
+      if (scratch.Visited(v)) continue;
+      FloodAccess::Visit(scratch, v, du + 1, u);
+      max_depth = std::max(max_depth, du + 1);
+    }
+  }
+  if (scratch.order().size() < n) return std::nullopt;
+  return max_depth;
+}
+
+}  // namespace sppnet

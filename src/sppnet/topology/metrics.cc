@@ -1,0 +1,87 @@
+#include "sppnet/topology/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sppnet/common/check.h"
+#include "sppnet/topology/bfs.h"
+
+namespace sppnet {
+
+ReachSummary MeasureReach(const Topology& topo, int ttl,
+                          std::size_t num_sources, Rng& rng) {
+  const std::size_t n = topo.num_nodes();
+  SPPNET_CHECK(n > 0);
+  num_sources = std::min(num_sources, n);
+  SPPNET_CHECK(num_sources > 0);
+
+  FloodScratch scratch;
+  ReachSummary out;
+  double reach_sum = 0.0;
+  double epl_sum = 0.0;
+  double dup_sum = 0.0;
+  for (std::size_t i = 0; i < num_sources; ++i) {
+    const auto source = static_cast<NodeId>(rng.NextBounded(n));
+    const FloodStats stats = FloodBfs(topo, source, ttl, scratch);
+    reach_sum += static_cast<double>(stats.reached);
+    if (stats.reached > 1) {
+      epl_sum += stats.depth_sum / static_cast<double>(stats.reached - 1);
+    }
+    dup_sum += stats.duplicates;
+  }
+  const auto s = static_cast<double>(num_sources);
+  out.mean_reach = reach_sum / s;
+  out.mean_epl = epl_sum / s;
+  out.mean_duplicates = dup_sum / s;
+  out.sources_sampled = num_sources;
+  return out;
+}
+
+std::optional<double> MeasureEplForReach(const Topology& topo,
+                                         std::size_t reach,
+                                         std::size_t num_sources, Rng& rng) {
+  const std::size_t n = topo.num_nodes();
+  SPPNET_CHECK(n > 0);
+  num_sources = std::min(num_sources, n);
+  SPPNET_CHECK(num_sources > 0);
+
+  FloodScratch scratch;
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < num_sources; ++i) {
+    const auto source = static_cast<NodeId>(rng.NextBounded(n));
+    if (const auto epl = EplForReach(topo, source, reach, scratch)) {
+      sum += *epl;
+      ++counted;
+    }
+  }
+  if (counted == 0) return std::nullopt;
+  return sum / static_cast<double>(counted);
+}
+
+double EplLogApproximation(double avg_outdegree, double reach) {
+  SPPNET_CHECK(avg_outdegree > 1.0);
+  SPPNET_CHECK(reach >= 1.0);
+  return std::log(reach) / std::log(avg_outdegree);
+}
+
+std::optional<int> MeasureMinTtlForFullReach(const Topology& topo,
+                                             std::size_t num_sources,
+                                             Rng& rng) {
+  const std::size_t n = topo.num_nodes();
+  SPPNET_CHECK(n > 0);
+  num_sources = std::min(num_sources, n);
+  SPPNET_CHECK(num_sources > 0);
+
+  FloodScratch scratch;
+  int max_ttl = 0;
+  for (std::size_t i = 0; i < num_sources; ++i) {
+    const auto source = static_cast<NodeId>(rng.NextBounded(n));
+    const auto ttl = MinTtlForFullReach(topo, source, scratch);
+    if (!ttl.has_value()) return std::nullopt;
+    max_ttl = std::max(max_ttl, *ttl);
+  }
+  return max_ttl;
+}
+
+}  // namespace sppnet

@@ -1,0 +1,46 @@
+#ifndef SPPNET_TOPOLOGY_METRICS_H_
+#define SPPNET_TOPOLOGY_METRICS_H_
+
+#include <cstddef>
+#include <optional>
+
+#include "sppnet/common/rng.h"
+#include "sppnet/topology/topology.h"
+
+namespace sppnet {
+
+/// Summary of flood behaviour averaged over sampled source nodes.
+struct ReachSummary {
+  double mean_reach = 0.0;       ///< Mean nodes reached (incl. source).
+  double mean_epl = 0.0;         ///< Mean response path length (hops).
+  double mean_duplicates = 0.0;  ///< Mean redundant messages per flood.
+  std::size_t sources_sampled = 0;
+};
+
+/// Floods from `num_sources` uniformly sampled sources with the given TTL
+/// and averages reach, expected path length and duplicate counts.
+/// `num_sources` is clamped to the node count.
+ReachSummary MeasureReach(const Topology& topo, int ttl,
+                          std::size_t num_sources, Rng& rng);
+
+/// Mean EPL for a desired reach (Figure 9): averages the per-source
+/// nearest-`reach` mean depth over sampled sources. Sources whose
+/// component is smaller than `reach` are skipped; returns std::nullopt if
+/// every sampled source was skipped.
+std::optional<double> MeasureEplForReach(const Topology& topo,
+                                         std::size_t reach,
+                                         std::size_t num_sources, Rng& rng);
+
+/// The paper's closed-form EPL lower bound log_d(reach) (Appendix F),
+/// for average outdegree d > 1.
+double EplLogApproximation(double avg_outdegree, double reach);
+
+/// Smallest TTL that attains full reach from sampled sources (i.e. the
+/// max over sampled eccentricities); std::nullopt if disconnected.
+std::optional<int> MeasureMinTtlForFullReach(const Topology& topo,
+                                             std::size_t num_sources,
+                                             Rng& rng);
+
+}  // namespace sppnet
+
+#endif  // SPPNET_TOPOLOGY_METRICS_H_

@@ -1,0 +1,4 @@
+#include "sppnet/topology/topology.h"
+
+// Topology is header-only today; this translation unit anchors the library
+// target and reserves a home for future out-of-line members.

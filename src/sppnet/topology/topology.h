@@ -1,0 +1,69 @@
+#ifndef SPPNET_TOPOLOGY_TOPOLOGY_H_
+#define SPPNET_TOPOLOGY_TOPOLOGY_H_
+
+#include <utility>
+
+#include "sppnet/common/check.h"
+#include "sppnet/topology/graph.h"
+
+namespace sppnet {
+
+/// An overlay topology over super-peers: either an explicit sparse graph
+/// (power-law, Section 3.2) or the implicit complete graph the paper calls
+/// "strongly connected" (Section 4.1, Step 1).
+///
+/// The complete graph is never materialized: at cluster size 1 it would
+/// have ~5*10^7 edges for the default 10000-peer network. Algorithms that
+/// consume a Topology (BFS, the evaluator) branch on is_complete() and use
+/// closed forms for the complete case.
+class Topology {
+ public:
+  /// An empty topology (zero nodes); useful as a default-constructed
+  /// placeholder before a real topology is assigned.
+  Topology() : Topology(std::size_t{0}) {}
+
+  /// The complete graph on `n` nodes (the paper's "strongly connected").
+  static Topology Complete(std::size_t n) { return Topology(n); }
+
+  /// Wraps an explicit sparse graph.
+  static Topology FromGraph(Graph g) { return Topology(std::move(g)); }
+
+  bool is_complete() const { return is_complete_; }
+
+  std::size_t num_nodes() const {
+    return is_complete_ ? complete_n_ : graph_.num_nodes();
+  }
+
+  std::size_t Degree(NodeId u) const {
+    if (is_complete_) {
+      SPPNET_CHECK(u < complete_n_);
+      return complete_n_ - 1;
+    }
+    return graph_.Degree(u);
+  }
+
+  double AverageDegree() const {
+    if (is_complete_) {
+      return complete_n_ <= 1 ? 0.0 : static_cast<double>(complete_n_ - 1);
+    }
+    return graph_.AverageDegree();
+  }
+
+  /// Underlying sparse graph. Must not be called on a complete topology.
+  const Graph& graph() const {
+    SPPNET_CHECK(!is_complete_);
+    return graph_;
+  }
+
+ private:
+  explicit Topology(std::size_t n) : is_complete_(true), complete_n_(n), graph_(0) {}
+  explicit Topology(Graph g) : is_complete_(false), complete_n_(0), graph_(std::move(g)) {}
+
+  bool is_complete_;
+  std::size_t complete_n_;
+  Graph graph_;
+};
+
+}  // namespace sppnet
+
+#endif  // SPPNET_TOPOLOGY_TOPOLOGY_H_

@@ -1,0 +1,76 @@
+#ifndef SPPNET_TRANSFER_TRANSFER_H_
+#define SPPNET_TRANSFER_TRANSFER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sppnet/common/rng.h"
+#include "sppnet/common/stats.h"
+#include "sppnet/workload/capacity.h"
+
+namespace sppnet {
+
+/// Options for the download-plane simulation.
+///
+/// In a super-peer network "all peers (including clients) are equal in
+/// terms of download" (Section 1): after a query returns addresses,
+/// the requester fetches the file directly from an owner, outside the
+/// search overlay. The paper deliberately excludes download costs from
+/// its load model but warns the designer to budget for them ("the
+/// expected load is for search only, and not for download", Section
+/// 5.2). This module simulates that plane so the search-vs-download
+/// budget split can be quantified.
+struct TransferOptions {
+  double duration_seconds = 3600.0;
+  /// Download attempts per user per second — the paper derives its
+  /// update rate from the OpenNap download rate, so the default
+  /// mirrors it.
+  double download_rate_per_user = 1.85e-3;
+  /// Mean file size in megabytes (2001-era MP3).
+  double mean_file_mb = 4.0;
+  /// Log-normal spread of file sizes.
+  double file_size_sigma = 0.8;
+  /// Upload slots per serving peer; requests beyond them queue FIFO.
+  std::uint32_t upload_slots = 3;
+  /// A requester abandons a queue after this long.
+  double patience_seconds = 1800.0;
+  std::uint64_t seed = 29;
+};
+
+/// Outcome of a transfer simulation.
+struct TransferReport {
+  std::uint64_t requests = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t abandoned = 0;
+  /// Completion time stats (seconds), over transfers that finished
+  /// inside the simulated window (long transfers are censored).
+  Summary completion_seconds;
+  /// Uncensored service-time stats (seconds) over *started* transfers:
+  /// size / granted rate, excluding queue wait.
+  Summary planned_duration_seconds;
+  /// Queue wait stats (seconds), over started transfers.
+  Summary wait_seconds;
+  /// Mean upstream bandwidth spent on uploads per serving peer (bps).
+  double mean_upload_bps = 0.0;
+  /// Upstream bandwidth of the busiest serving peer (bps).
+  double max_upload_bps = 0.0;
+  /// Fraction of serving peers saturated (all slots busy) at least
+  /// half the time.
+  double often_saturated_fraction = 0.0;
+};
+
+/// Discrete-event simulation of the download plane over a population
+/// of `num_peers` peers with sampled last-mile capacities. Each
+/// request picks a random serving peer weighted by popularity skew
+/// (popular content lives on many peers; the requester picks one of
+/// the owners returned by search — modeled as a Zipf choice over
+/// peers). A serving peer divides its upstream budget evenly across
+/// its busy slots; a request queues when all slots are busy and is
+/// abandoned after `patience_seconds`.
+TransferReport SimulateTransfers(std::size_t num_peers,
+                                 const CapacityDistribution& capacities,
+                                 const TransferOptions& options);
+
+}  // namespace sppnet
+
+#endif  // SPPNET_TRANSFER_TRANSFER_H_

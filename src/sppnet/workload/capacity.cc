@@ -1,0 +1,58 @@
+#include "sppnet/workload/capacity.h"
+
+#include "sppnet/common/check.h"
+
+namespace sppnet {
+
+CapacityDistribution CapacityDistribution::Default() {
+  // ~20% of nominal link speed budgeted for search; processing budgets
+  // scale with the device class. Fractions follow the broad shape of
+  // the 2001-era measurements: many modem/DSL users, few server-class
+  // peers.
+  return CapacityDistribution({
+      {"modem-56k", 0.25, {11e3, 7e3, 5e6}},
+      {"isdn-128k", 0.10, {26e3, 26e3, 8e6}},
+      {"cable-dsl", 0.45, {600e3, 120e3, 50e6}},
+      {"t1", 0.15, {1.5e6, 1.5e6, 150e6}},
+      {"t3-campus", 0.05, {9e6, 9e6, 400e6}},
+  });
+}
+
+CapacityDistribution::CapacityDistribution(std::vector<Class> classes)
+    : classes_(std::move(classes)) {
+  SPPNET_CHECK(!classes_.empty());
+  double total = 0.0;
+  for (const Class& c : classes_) {
+    SPPNET_CHECK(c.fraction > 0.0);
+    total += c.fraction;
+  }
+  SPPNET_CHECK_MSG(total > 0.99 && total < 1.01,
+                   "class fractions must sum to 1");
+}
+
+PeerCapacity CapacityDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  double acc = 0.0;
+  const Class* chosen = &classes_.back();
+  for (const Class& c : classes_) {
+    acc += c.fraction;
+    if (u < acc) {
+      chosen = &c;
+      break;
+    }
+  }
+  const double jitter = rng.NextDouble(0.75, 1.25);
+  PeerCapacity cap = chosen->capacity;
+  cap.down_bps *= jitter;
+  cap.up_bps *= jitter;
+  cap.proc_hz *= jitter;
+  return cap;
+}
+
+bool FitsWithin(const PeerCapacity& capacity, double in_bps, double out_bps,
+                double proc_hz) {
+  return in_bps <= capacity.down_bps && out_bps <= capacity.up_bps &&
+         proc_hz <= capacity.proc_hz;
+}
+
+}  // namespace sppnet

@@ -1,0 +1,56 @@
+#ifndef SPPNET_WORKLOAD_CAPACITY_H_
+#define SPPNET_WORKLOAD_CAPACITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "sppnet/common/rng.h"
+
+namespace sppnet {
+
+/// A peer's resource capacity along the paper's load axes. The paper
+/// motivates super-peers with the measured heterogeneity of peer
+/// capabilities — "up to 3 orders of magnitude difference in
+/// bandwidth" (Saroiu et al.) — and argues capable peers should carry
+/// the search load.
+struct PeerCapacity {
+  double down_bps = 0.0;  ///< Downstream bandwidth budget for search.
+  double up_bps = 0.0;    ///< Upstream bandwidth budget for search.
+  double proc_hz = 0.0;   ///< Processing budget for search.
+};
+
+/// Mixture model of last-mile connectivity classes, patterned on the
+/// Saroiu et al. measurement (dial-up through campus links). Budgets
+/// represent the *fraction of the link a user devotes to search* — the
+/// paper advises designing far below raw capability (Section 5.2) — so
+/// each class budgets ~20% of its nominal link.
+class CapacityDistribution {
+ public:
+  struct Class {
+    const char* name;
+    double fraction;   ///< Share of the population.
+    PeerCapacity capacity;
+  };
+
+  /// The default five-class mixture: modem, ISDN, cable/DSL, T1, T3+.
+  static CapacityDistribution Default();
+
+  explicit CapacityDistribution(std::vector<Class> classes);
+
+  /// Samples one peer's capacity (class mixture; within-class budgets
+  /// jittered +-25% to avoid artificial ties).
+  PeerCapacity Sample(Rng& rng) const;
+
+  const std::vector<Class>& classes() const { return classes_; }
+
+ private:
+  std::vector<Class> classes_;
+};
+
+/// True if `load` fits inside `capacity` on every axis.
+bool FitsWithin(const PeerCapacity& capacity, double in_bps, double out_bps,
+                double proc_hz);
+
+}  // namespace sppnet
+
+#endif  // SPPNET_WORKLOAD_CAPACITY_H_

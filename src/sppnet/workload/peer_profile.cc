@@ -1,0 +1,49 @@
+#include "sppnet/workload/peer_profile.h"
+
+#include <cmath>
+
+#include "sppnet/common/check.h"
+
+namespace sppnet {
+
+FileCountDistribution::FileCountDistribution(const Params& params)
+    : params_(params),
+      pareto_(params.pareto_min, params.pareto_max, params.pareto_alpha),
+      scale_(1.0) {
+  SPPNET_CHECK(params.free_rider_fraction >= 0.0 &&
+               params.free_rider_fraction < 1.0);
+  SPPNET_CHECK(params.target_mean > 0.0);
+  // Mean over all peers = (1 - f) * pareto_mean * scale. Solve for scale.
+  const double sharer_mean = pareto_.Mean();
+  SPPNET_CHECK(sharer_mean > 0.0);
+  scale_ = params.target_mean /
+           ((1.0 - params.free_rider_fraction) * sharer_mean);
+}
+
+std::uint32_t FileCountDistribution::Sample(Rng& rng) const {
+  if (rng.NextBernoulli(params_.free_rider_fraction)) return 0;
+  const double x = pareto_.Sample(rng) * scale_;
+  // Round to nearest, but sharers always own at least one file.
+  const auto count = static_cast<std::uint32_t>(std::llround(x));
+  return count == 0 ? 1 : count;
+}
+
+LifespanDistribution::LifespanDistribution(const Params& params)
+    : params_(params),
+      lognormal_(LogNormalDistribution::FromMeanAndMedian(
+          params.mean_seconds, params.median_seconds)) {
+  SPPNET_CHECK(params.mean_seconds > 0.0);
+}
+
+double LifespanDistribution::Sample(Rng& rng) const {
+  return lognormal_.Sample(rng);
+}
+
+double LifespanDistribution::JoinRate() const {
+  // For log L ~ N(mu, sigma^2): E[1/L] = exp(-mu + sigma^2/2).
+  const double mu = lognormal_.mu();
+  const double sigma = lognormal_.sigma();
+  return std::exp(-mu + 0.5 * sigma * sigma);
+}
+
+}  // namespace sppnet

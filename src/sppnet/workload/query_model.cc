@@ -1,0 +1,97 @@
+#include "sppnet/workload/query_model.h"
+
+#include <cmath>
+
+#include "sppnet/common/check.h"
+
+namespace sppnet {
+
+QueryModel::QueryModel(const Params& params)
+    : params_(params),
+      popularity_(params.num_query_classes, params.popularity_exponent) {
+  SPPNET_CHECK(params.num_query_classes >= 1);
+  SPPNET_CHECK(params.target_match_probability > 0.0);
+  SPPNET_CHECK(params.max_selection_power > 0.0 &&
+               params.max_selection_power <= 1.0);
+
+  const std::size_t m = params.num_query_classes;
+  std::vector<double> raw(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    raw[j] = std::pow(static_cast<double>(j + 1), -params.selection_exponent);
+  }
+
+  // Calibrate a scale c with f(j) = min(c * raw(j), clamp) such that
+  // sum_j g(j) f(j) == target. With clamping this is solved by fixed
+  // point: split classes into clamped and free sets and re-solve for c
+  // over the free mass until the split stabilizes.
+  const double target = params.target_match_probability;
+  const double clamp = params.max_selection_power;
+  double c = target;  // Any positive starting point.
+  for (int iter = 0; iter < 64; ++iter) {
+    double clamped_mass = 0.0;  // sum of g over clamped classes * clamp
+    double free_mass = 0.0;     // sum of g * raw over free classes
+    for (std::size_t j = 0; j < m; ++j) {
+      if (c * raw[j] >= clamp) {
+        clamped_mass += popularity_.Pmf(j) * clamp;
+      } else {
+        free_mass += popularity_.Pmf(j) * raw[j];
+      }
+    }
+    SPPNET_CHECK_MSG(clamped_mass < target || free_mass > 0.0,
+                     "target match probability unreachable under clamp");
+    const double next_c =
+        free_mass > 0.0 ? (target - clamped_mass) / free_mass : c;
+    if (std::abs(next_c - c) <= 1e-12 * std::max(1.0, std::abs(c))) {
+      c = next_c;
+      break;
+    }
+    c = next_c;
+  }
+  SPPNET_CHECK_MSG(c > 0.0, "selection-power calibration failed");
+
+  selection_.resize(m);
+  match_probability_ = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    selection_[j] = std::min(c * raw[j], clamp);
+    match_probability_ += popularity_.Pmf(j) * selection_[j];
+  }
+
+  BuildPhiTable();
+}
+
+double QueryModel::NoMatchProbabilityExact(double files) const {
+  SPPNET_CHECK(files >= 0.0);
+  double phi = 0.0;
+  for (std::size_t j = 0; j < selection_.size(); ++j) {
+    phi += popularity_.Pmf(j) * std::pow(1.0 - selection_[j], files);
+  }
+  return phi;
+}
+
+void QueryModel::BuildPhiTable() {
+  // Uniform grid over t = log1p(x) up to x = 1e7 files; phi is smooth and
+  // monotone in t so linear interpolation is accurate.
+  constexpr std::size_t kGridSize = 768;
+  constexpr double kMaxFiles = 1e7;
+  phi_t_max_ = std::log1p(kMaxFiles);
+  phi_dt_ = phi_t_max_ / static_cast<double>(kGridSize - 1);
+  phi_table_.resize(kGridSize);
+  for (std::size_t i = 0; i < kGridSize; ++i) {
+    const double t = phi_dt_ * static_cast<double>(i);
+    const double x = std::expm1(t);
+    phi_table_[i] = NoMatchProbabilityExact(x);
+  }
+}
+
+double QueryModel::NoMatchProbability(double files) const {
+  SPPNET_CHECK(files >= 0.0);
+  if (files == 0.0) return 1.0;
+  const double t = std::log1p(files);
+  if (t >= phi_t_max_) return NoMatchProbabilityExact(files);
+  const double pos = t / phi_dt_;
+  const auto idx = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(idx);
+  return phi_table_[idx] * (1.0 - frac) + phi_table_[idx + 1] * frac;
+}
+
+}  // namespace sppnet

@@ -1,0 +1,103 @@
+#ifndef SPPNET_WORKLOAD_QUERY_MODEL_H_
+#define SPPNET_WORKLOAD_QUERY_MODEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "sppnet/common/distributions.h"
+#include "sppnet/common/rng.h"
+
+namespace sppnet {
+
+/// The query model of Appendix B (originally from Yang & Garcia-Molina,
+/// "Comparing hybrid peer-to-peer systems", VLDB 2001).
+///
+/// Two distributions over query classes j:
+///   g(j) — probability a submitted query is query j (popularity),
+///   f(j) — probability a random file matches query j (selection power).
+/// A collection of x files then returns Binomial(x, f(j)) results for
+/// query j, giving (equations 5-6 of the paper):
+///   E[N_T | I]        = x_tot * sum_j g(j) f(j)
+///   P[T responds | I] = 1 - sum_j g(j) (1 - f(j))^{x_tot}
+///   E[K_T | I]        = sum_clients (1 - sum_j g(j) (1 - f(j))^{x_i})
+///
+/// We do not have the OpenNap measurement data the paper used, so g is
+/// Zipf and f is a clamped power law, jointly calibrated so the overall
+/// match probability sum_j g f hits a target (default 5.3e-4). That
+/// target reproduces the paper's own result counts: ~270 expected results
+/// at reach 3000 peers (Figure 11) and ~890 at full reach 10000
+/// (Figure 8), given the default mean of 168 files/peer.
+class QueryModel {
+ public:
+  struct Params {
+    std::size_t num_query_classes = 2000;
+    /// Zipf exponent of g (query popularity).
+    double popularity_exponent = 1.0;
+    /// Power-law exponent of the raw selection powers f(j) ~ (j+1)^-s.
+    double selection_exponent = 0.5;
+    /// Calibration target for sum_j g(j) f(j).
+    double target_match_probability = 5.3e-4;
+    /// Upper clamp on any single selection power.
+    double max_selection_power = 0.2;
+  };
+
+  explicit QueryModel(const Params& params);
+
+  static QueryModel Default() { return QueryModel(Params{}); }
+
+  /// sum_j g(j) f(j): probability a random file matches a random query.
+  double MatchProbability() const { return match_probability_; }
+
+  /// E[N_T | I]: expected results from an index of `files_indexed` files.
+  double ExpectedResults(double files_indexed) const {
+    return files_indexed * match_probability_;
+  }
+
+  /// phi(x) = sum_j g(j) (1 - f(j))^x: probability a collection of x
+  /// files matches nothing. Evaluated through a precomputed log-spaced
+  /// interpolation table (exact at x = 0; relative error < 1e-3 across
+  /// the table range), because the evaluator calls this once per peer
+  /// per instance.
+  double NoMatchProbability(double files) const;
+
+  /// 1 - phi(x): probability a collection of x files yields >= 1 result.
+  double ResponseProbability(double files) const {
+    return 1.0 - NoMatchProbability(files);
+  }
+
+  /// Exact O(num_query_classes) evaluation of phi(x); used by tests to
+  /// bound the interpolation error.
+  double NoMatchProbabilityExact(double files) const;
+
+  // --- Sampling interface (used by the discrete-event simulator) ---
+
+  /// Draws a query class according to g.
+  std::size_t SampleQueryClass(Rng& rng) const { return popularity_.Sample(rng); }
+
+  /// Selection power f(j) of class `j`.
+  double SelectionPower(std::size_t j) const { return selection_[j]; }
+
+  /// Popularity g(j) of class `j`.
+  double Popularity(std::size_t j) const { return popularity_.Pmf(j); }
+
+  std::size_t num_query_classes() const { return selection_.size(); }
+
+  const Params& params() const { return params_; }
+
+ private:
+  void BuildPhiTable();
+
+  Params params_;
+  ZipfDistribution popularity_;
+  std::vector<double> selection_;
+  double match_probability_ = 0.0;
+
+  // phi interpolation table over t = log1p(x), uniform grid.
+  std::vector<double> phi_table_;
+  double phi_t_max_ = 0.0;
+  double phi_dt_ = 0.0;
+};
+
+}  // namespace sppnet
+
+#endif  // SPPNET_WORKLOAD_QUERY_MODEL_H_

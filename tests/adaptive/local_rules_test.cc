@@ -1,0 +1,164 @@
+#include "sppnet/adaptive/local_rules.h"
+
+#include <gtest/gtest.h>
+
+namespace sppnet {
+namespace {
+
+class LocalRulesTest : public ::testing::Test {
+ protected:
+  const ModelInputs inputs_ = ModelInputs::Default();
+};
+
+TEST_F(LocalRulesTest, RunsAndRecordsHistory) {
+  Configuration initial;
+  initial.graph_size = 1000;
+  initial.cluster_size = 5;
+  initial.avg_outdegree = 3.1;
+  initial.ttl = 7;
+  LocalPolicy policy;
+  policy.max_rounds = 6;
+  Rng rng(1);
+  const AdaptiveOutcome outcome =
+      RunLocalAdaptation(initial, inputs_, policy, rng);
+  ASSERT_FALSE(outcome.history.empty());
+  EXPECT_LE(outcome.history.size(), 6u);
+  EXPECT_GE(outcome.final_instance.NumClusters(), 1u);
+  for (const auto& round : outcome.history) {
+    EXPECT_GT(round.num_clusters, 0u);
+    EXPECT_GT(round.aggregate_bandwidth_bps, 0.0);
+  }
+}
+
+TEST_F(LocalRulesTest, RuleIIIGrowsOutdegreeTowardSuggestion) {
+  Configuration initial;
+  initial.graph_size = 1000;
+  initial.cluster_size = 5;
+  initial.avg_outdegree = 3.1;
+  initial.ttl = 7;
+  LocalPolicy policy;
+  policy.suggested_outdegree = 8.0;
+  policy.max_rounds = 10;
+  Rng rng(2);
+  const AdaptiveOutcome outcome =
+      RunLocalAdaptation(initial, inputs_, policy, rng);
+  const AdaptiveRound& last = outcome.history.back();
+  EXPECT_GT(last.avg_outdegree, outcome.history.front().avg_outdegree);
+  EXPECT_GT(last.avg_outdegree, 6.0);
+  // Coalescing merges neighbor sets, so the mean can overshoot the
+  // suggestion somewhat — but not unboundedly.
+  EXPECT_LE(last.avg_outdegree, 2.0 * policy.suggested_outdegree);
+}
+
+TEST_F(LocalRulesTest, TtlDecreasesWhenReachUnaffected) {
+  Configuration initial;
+  initial.graph_size = 500;
+  initial.cluster_size = 10;
+  initial.avg_outdegree = 6.0;
+  initial.ttl = 10;  // Deliberately excessive for 50 clusters.
+  LocalPolicy policy;
+  policy.max_rounds = 10;
+  Rng rng(3);
+  const AdaptiveOutcome outcome =
+      RunLocalAdaptation(initial, inputs_, policy, rng);
+  EXPECT_LT(outcome.final_config.ttl, 10);
+  // Coverage must not have collapsed: compare the fraction of clusters
+  // reached (coalescing legitimately shrinks the absolute cluster
+  // count, so raw reach numbers are not comparable across rounds).
+  const AdaptiveRound& first = outcome.history.front();
+  const AdaptiveRound& last = outcome.history.back();
+  const double frac_before =
+      first.mean_reach / static_cast<double>(first.num_clusters);
+  const double frac_after =
+      last.mean_reach / static_cast<double>(last.num_clusters);
+  EXPECT_GE(frac_after, 0.9 * frac_before);
+}
+
+TEST_F(LocalRulesTest, OverloadedClustersSplit) {
+  Configuration initial;
+  initial.graph_size = 600;
+  initial.cluster_size = 60;  // 10 big clusters.
+  initial.avg_outdegree = 3.0;
+  initial.ttl = 4;
+  LocalPolicy policy;
+  // Force overload: tiny limits.
+  policy.max_bandwidth_bps = 1e3;
+  policy.max_proc_hz = 1e4;
+  policy.max_rounds = 3;
+  Rng rng(4);
+  const AdaptiveOutcome outcome =
+      RunLocalAdaptation(initial, inputs_, policy, rng);
+  EXPECT_GT(outcome.history.front().splits, 0u);
+  EXPECT_GT(outcome.final_instance.NumClusters(), 10u);
+}
+
+TEST_F(LocalRulesTest, UnderloadedClustersCoalesce) {
+  Configuration initial;
+  initial.graph_size = 400;
+  initial.cluster_size = 2;  // 200 tiny clusters.
+  initial.avg_outdegree = 4.0;
+  initial.ttl = 5;
+  LocalPolicy policy;
+  // Generous limits: everything is underloaded.
+  policy.max_bandwidth_bps = 1e9;
+  policy.max_proc_hz = 1e12;
+  policy.max_rounds = 4;
+  Rng rng(5);
+  const AdaptiveOutcome outcome =
+      RunLocalAdaptation(initial, inputs_, policy, rng);
+  std::size_t coalesces = 0;
+  for (const auto& round : outcome.history) coalesces += round.coalesces;
+  EXPECT_GT(coalesces, 0u);
+  EXPECT_LT(outcome.final_instance.NumClusters(), 200u);
+}
+
+TEST_F(LocalRulesTest, AdaptationReducesMaxIndividualLoad) {
+  // Start from a Gnutella-like bad topology: the rules should flatten
+  // the worst super-peer load substantially (the Section 5.3 goal).
+  Configuration initial;
+  initial.graph_size = 2000;
+  initial.cluster_size = 4;
+  initial.avg_outdegree = 3.1;
+  initial.ttl = 7;
+  LocalPolicy policy;
+  policy.max_rounds = 12;
+  Rng rng(6);
+  const AdaptiveOutcome outcome =
+      RunLocalAdaptation(initial, inputs_, policy, rng);
+  const double before = outcome.history.front().max_partner_bandwidth_bps;
+  const double after = outcome.history.back().max_partner_bandwidth_bps;
+  EXPECT_LT(after, 0.8 * before);
+}
+
+TEST_F(LocalRulesTest, ConservesUserPopulation) {
+  Configuration initial;
+  initial.graph_size = 800;
+  initial.cluster_size = 8;
+  initial.avg_outdegree = 3.1;
+  initial.ttl = 6;
+  LocalPolicy policy;
+  policy.max_rounds = 8;
+  Rng rng(7);
+
+  Rng probe(7);
+  const NetworkInstance seed_inst = GenerateInstance(initial, inputs_, probe);
+  const std::size_t users_before = seed_inst.TotalUsers();
+
+  const AdaptiveOutcome outcome =
+      RunLocalAdaptation(initial, inputs_, policy, rng);
+  // Splits and coalesces move users between roles but never create or
+  // destroy them.
+  EXPECT_EQ(outcome.final_instance.TotalUsers(), users_before);
+}
+
+TEST_F(LocalRulesTest, RejectsRedundantConfigurations) {
+  Configuration initial;
+  initial.redundancy = true;
+  LocalPolicy policy;
+  Rng rng(8);
+  EXPECT_DEATH(RunLocalAdaptation(initial, inputs_, policy, rng),
+               "non-redundant");
+}
+
+}  // namespace
+}  // namespace sppnet

@@ -1,0 +1,96 @@
+#include "sppnet/bootstrap/discovery.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "sppnet/model/evaluator.h"
+
+namespace sppnet {
+namespace {
+
+TEST(AssignClientsTest, ExactTotalsForAssigningPolicies) {
+  Rng rng(1);
+  for (const auto policy :
+       {AssignmentPolicy::kUniformRandom, AssignmentPolicy::kPowerOfTwoChoices,
+        AssignmentPolicy::kLeastLoaded}) {
+    const auto counts = AssignClients(100, 937, policy, rng);
+    EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0u), 937u);
+  }
+}
+
+TEST(AssignClientsTest, NormalModelApproximatesTotal) {
+  Rng rng(2);
+  const auto counts =
+      AssignClients(200, 2000, AssignmentPolicy::kNormalModel, rng);
+  const auto total = std::accumulate(counts.begin(), counts.end(), 0u);
+  EXPECT_NEAR(static_cast<double>(total), 2000.0, 200.0);
+}
+
+TEST(AssignClientsTest, LeastLoadedIsPerfectlyBalanced) {
+  Rng rng(3);
+  const auto counts =
+      AssignClients(7, 100, AssignmentPolicy::kLeastLoaded, rng);
+  const AssignmentStats stats = SummarizeAssignment(counts);
+  EXPECT_LE(stats.max - stats.min, 1.0);
+}
+
+TEST(AssignClientsTest, BalanceOrderingAcrossPolicies) {
+  // Classic balls-into-bins: least-loaded < power-of-two < uniform in
+  // imbalance (coefficient of variation).
+  Rng a(4), b(4), c(4);
+  const auto uniform =
+      AssignClients(500, 10000, AssignmentPolicy::kUniformRandom, a);
+  const auto po2 =
+      AssignClients(500, 10000, AssignmentPolicy::kPowerOfTwoChoices, b);
+  const auto least =
+      AssignClients(500, 10000, AssignmentPolicy::kLeastLoaded, c);
+  const double cv_uniform = SummarizeAssignment(uniform).cv;
+  const double cv_po2 = SummarizeAssignment(po2).cv;
+  const double cv_least = SummarizeAssignment(least).cv;
+  EXPECT_LT(cv_po2, cv_uniform);
+  EXPECT_LT(cv_least, cv_po2);
+}
+
+TEST(AssignClientsTest, NormalModelMatchesPaperSpread) {
+  // The paper's N(c, .2c) has CV ~ 0.2 by construction.
+  Rng rng(5);
+  const auto counts =
+      AssignClients(1000, 20000, AssignmentPolicy::kNormalModel, rng);
+  const AssignmentStats stats = SummarizeAssignment(counts);
+  EXPECT_NEAR(stats.cv, 0.2, 0.03);
+}
+
+TEST(GenerateInstanceWithPolicyTest, ProducesConsistentInstance) {
+  const ModelInputs inputs = ModelInputs::Default();
+  Configuration config;
+  config.graph_size = 1000;
+  config.cluster_size = 10;
+  Rng rng(6);
+  const NetworkInstance inst = GenerateInstanceWithPolicy(
+      config, inputs, AssignmentPolicy::kPowerOfTwoChoices, rng);
+  EXPECT_EQ(inst.NumClusters(), 100u);
+  EXPECT_EQ(inst.TotalClients(), 900u);
+  // Derived quantities must be populated.
+  for (std::size_t i = 0; i < inst.NumClusters(); ++i) {
+    EXPECT_GE(inst.response_prob[i], 0.0);
+    EXPECT_LE(inst.response_prob[i], 1.0);
+  }
+}
+
+TEST(GenerateInstanceWithPolicyTest, EvaluableByTheEngine) {
+  const ModelInputs inputs = ModelInputs::Default();
+  Configuration config;
+  config.graph_size = 500;
+  config.cluster_size = 10;
+  Rng rng(7);
+  const NetworkInstance inst = GenerateInstanceWithPolicy(
+      config, inputs, AssignmentPolicy::kLeastLoaded, rng);
+  const InstanceLoads loads = EvaluateInstance(inst, config, inputs);
+  EXPECT_GT(loads.aggregate.TotalBps(), 0.0);
+  EXPECT_NEAR(loads.aggregate.in_bps, loads.aggregate.out_bps,
+              1e-9 * loads.aggregate.in_bps);
+}
+
+}  // namespace
+}  // namespace sppnet

@@ -1,0 +1,145 @@
+#include "sppnet/common/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sppnet/common/rng.h"
+
+namespace sppnet {
+namespace {
+
+TEST(ZipfDistributionTest, PmfSumsToOne) {
+  const ZipfDistribution zipf(1000, 1.0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < zipf.size(); ++i) sum += zipf.Pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ZipfDistributionTest, PmfIsMonotoneDecreasing) {
+  const ZipfDistribution zipf(500, 0.8);
+  for (std::size_t i = 1; i < zipf.size(); ++i) {
+    EXPECT_LE(zipf.Pmf(i), zipf.Pmf(i - 1));
+  }
+}
+
+TEST(ZipfDistributionTest, ExponentZeroIsUniform) {
+  const ZipfDistribution zipf(100, 0.0);
+  for (std::size_t i = 0; i < zipf.size(); ++i) {
+    EXPECT_NEAR(zipf.Pmf(i), 0.01, 1e-12);
+  }
+}
+
+TEST(ZipfDistributionTest, SingleRankAlwaysSampled) {
+  const ZipfDistribution zipf(1, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+TEST(ZipfDistributionTest, SampleFrequenciesMatchPmf) {
+  const ZipfDistribution zipf(50, 1.0);
+  Rng rng(7);
+  std::vector<int> counts(50, 0);
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Sample(rng)];
+  // Check the head ranks where counts are large enough for tight bounds.
+  for (std::size_t i = 0; i < 5; ++i) {
+    const double expected = zipf.Pmf(i) * kSamples;
+    EXPECT_NEAR(static_cast<double>(counts[i]), expected, 0.05 * expected)
+        << "rank " << i;
+  }
+}
+
+// Property sweep: Zipf ratios between consecutive ranks follow (i+1/i)^s.
+class ZipfRatioTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfRatioTest, ConsecutiveRankRatio) {
+  const double s = GetParam();
+  const ZipfDistribution zipf(64, s);
+  for (std::size_t i = 1; i < 10; ++i) {
+    const double expect =
+        std::pow(static_cast<double>(i + 1) / static_cast<double>(i), s);
+    EXPECT_NEAR(zipf.Pmf(i - 1) / zipf.Pmf(i), expect, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfRatioTest,
+                         ::testing::Values(0.25, 0.5, 1.0, 1.5, 2.0));
+
+TEST(LogNormalDistributionTest, FromMeanAndMedianRecoversMoments) {
+  const auto dist = LogNormalDistribution::FromMeanAndMedian(1080.0, 600.0);
+  EXPECT_NEAR(dist.Mean(), 1080.0, 1e-6);
+  // Median of samples should approximate 600.
+  Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 100000; ++i) samples.push_back(dist.Sample(rng));
+  std::nth_element(samples.begin(), samples.begin() + 50000, samples.end());
+  EXPECT_NEAR(samples[50000], 600.0, 25.0);
+}
+
+TEST(LogNormalDistributionTest, SampleMeanConverges) {
+  const auto dist = LogNormalDistribution::FromMeanAndMedian(1080.0, 600.0);
+  Rng rng(5);
+  double sum = 0.0;
+  constexpr int kSamples = 400000;
+  for (int i = 0; i < kSamples; ++i) sum += dist.Sample(rng);
+  EXPECT_NEAR(sum / kSamples, 1080.0, 40.0);
+}
+
+TEST(LogNormalDistributionTest, SamplesArePositive) {
+  const auto dist = LogNormalDistribution::FromMeanAndMedian(10.0, 2.0);
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(dist.Sample(rng), 0.0);
+}
+
+// Property sweep over bounded-Pareto parameters: the analytic mean must
+// match the empirical mean.
+class BoundedParetoMeanTest
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(BoundedParetoMeanTest, AnalyticMeanMatchesEmpirical) {
+  const auto [lo, hi, alpha] = GetParam();
+  const BoundedParetoDistribution dist(lo, hi, alpha);
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kSamples = 300000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = dist.Sample(rng);
+    ASSERT_GE(x, lo);
+    ASSERT_LE(x, hi);
+    sum += x;
+  }
+  const double empirical = sum / kSamples;
+  EXPECT_NEAR(empirical, dist.Mean(), 0.05 * dist.Mean());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BoundedParetoMeanTest,
+    ::testing::Values(std::make_tuple(8.0, 20000.0, 1.2),
+                      std::make_tuple(1.0, 100.0, 0.5),
+                      std::make_tuple(1.0, 100.0, 1.0),  // alpha == 1 branch
+                      std::make_tuple(10.0, 1000.0, 2.0),
+                      std::make_tuple(2.0, 50.0, 1.5)));
+
+TEST(TruncatedNormalTest, NeverBelowMinimum) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(SampleTruncatedNormal(rng, 1.0, 5.0, 0.0), 0.0);
+  }
+}
+
+TEST(TruncatedNormalTest, MeanApproximatelyPreservedWhenFarFromBound) {
+  Rng rng(17);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += SampleTruncatedNormal(rng, 100.0, 5.0, 0.0);
+  }
+  EXPECT_NEAR(sum / kSamples, 100.0, 0.5);
+}
+
+}  // namespace
+}  // namespace sppnet

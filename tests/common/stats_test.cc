@@ -1,0 +1,104 @@
+#include "sppnet/common/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sppnet {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.Mean(), 0.0);
+  EXPECT_EQ(rs.Variance(), 0.0);
+  EXPECT_EQ(rs.StdError(), 0.0);
+}
+
+TEST(RunningStatTest, SingleSample) {
+  RunningStat rs;
+  rs.Add(5.0);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.Mean(), 5.0);
+  EXPECT_EQ(rs.Variance(), 0.0);
+}
+
+TEST(RunningStatTest, KnownMeanAndVariance) {
+  RunningStat rs;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.Add(x);
+  EXPECT_DOUBLE_EQ(rs.Mean(), 5.0);
+  // Sample variance with n-1 denominator: sum sq dev = 32, n-1 = 7.
+  EXPECT_NEAR(rs.Variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStatTest, MergeMatchesSequential) {
+  RunningStat all, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(static_cast<double>(i));
+    all.Add(x);
+    (i < 37 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.Mean(), all.Mean(), 1e-12);
+  EXPECT_NEAR(left.Variance(), all.Variance(), 1e-12);
+}
+
+TEST(RunningStatTest, MergeWithEmptyIsIdentity) {
+  RunningStat a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  const double mean = a.Mean();
+  a.Merge(empty);
+  EXPECT_DOUBLE_EQ(a.Mean(), mean);
+  empty.Merge(a);
+  EXPECT_DOUBLE_EQ(empty.Mean(), mean);
+}
+
+TEST(RunningStatTest, ConfidenceIntervalShrinksWithSamples) {
+  RunningStat small, large;
+  for (int i = 0; i < 10; ++i) small.Add(i % 2 == 0 ? 1.0 : -1.0);
+  for (int i = 0; i < 1000; ++i) large.Add(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_GT(small.ConfidenceHalfWidth95(), large.ConfidenceHalfWidth95());
+}
+
+TEST(SummarizeTest, EmptyInput) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(SummarizeTest, BasicStatistics) {
+  const Summary s = Summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenValues) {
+  const std::vector<double> sorted = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 1.0), 10.0);
+}
+
+TEST(PercentileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(PercentileSorted({42.0}, 0.7), 42.0);
+}
+
+TEST(GroupedStatTest, GroupsAreIndependent) {
+  GroupedStat g;
+  g.Add(2, 10.0);
+  g.Add(2, 20.0);
+  g.Add(5, 7.0);
+  EXPECT_DOUBLE_EQ(g.Group(2).Mean(), 15.0);
+  EXPECT_DOUBLE_EQ(g.Group(5).Mean(), 7.0);
+  EXPECT_EQ(g.Group(3).count(), 0u);
+  EXPECT_EQ(g.Group(100).count(), 0u);  // Out of range -> empty.
+  EXPECT_EQ(g.KeyUpperBound(), 6);
+}
+
+}  // namespace
+}  // namespace sppnet

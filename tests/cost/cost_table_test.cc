@@ -1,0 +1,78 @@
+#include "sppnet/cost/cost_table.h"
+
+#include <gtest/gtest.h>
+
+namespace sppnet {
+namespace {
+
+TEST(CostTableTest, QueryMessageSizeMatchesGnutellaProtocol) {
+  // 22-byte Gnutella header + 2 flag bytes + query string + Ethernet and
+  // TCP/IP headers = 82 + len (Section 4.1).
+  const CostTable costs;
+  EXPECT_DOUBLE_EQ(costs.QueryBytes(12.0), 94.0);
+  EXPECT_DOUBLE_EQ(costs.QueryBytes(0.0), 82.0);
+}
+
+TEST(CostTableTest, ResponseSizeLinearInAddrsAndResults) {
+  const CostTable costs;
+  EXPECT_DOUBLE_EQ(costs.ResponseBytes(0.0, 0.0), 80.0);
+  EXPECT_DOUBLE_EQ(costs.ResponseBytes(2.0, 3.0), 80.0 + 56.0 + 228.0);
+}
+
+TEST(CostTableTest, JoinSizePerPaperExample) {
+  // Section 4.1 worked example: a client with x files sends 80 + 72x
+  // bytes of outgoing bandwidth to join.
+  const CostTable costs;
+  EXPECT_DOUBLE_EQ(costs.JoinBytes(10.0), 80.0 + 720.0);
+}
+
+TEST(CostTableTest, JoinProcessingPerPaperExample) {
+  // Same example: client-side processing is .44 + .2x (+ .01 per open
+  // connection, accounted separately as the multiplex term).
+  const CostTable costs;
+  EXPECT_DOUBLE_EQ(costs.SendJoinUnits(10.0), 0.44 + 2.0);
+}
+
+TEST(CostTableTest, MultiplexPerAppendixA) {
+  // Appendix A: .01 units per open connection per message.
+  const CostTable costs;
+  EXPECT_DOUBLE_EQ(costs.MultiplexUnits(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(costs.MultiplexUnits(0.0), 0.0);
+}
+
+TEST(CostTableTest, UnitConversionUsesMeasuredCycleCount) {
+  // 1 unit = 7200 cycles on the paper's P-III 930 MHz measurement box.
+  const CostTable costs;
+  EXPECT_DOUBLE_EQ(costs.UnitsToHz(1.0), 7200.0);
+  EXPECT_DOUBLE_EQ(costs.UnitsToHz(1000.0), 7.2e6);
+}
+
+TEST(CostTableTest, BandwidthConversion) {
+  EXPECT_DOUBLE_EQ(BytesPerSecToBps(1.0), 8.0);
+  EXPECT_DOUBLE_EQ(BytesPerSecToBps(125000.0), 1e6);
+}
+
+TEST(CostTableTest, ProcessingCostsArePositiveAndOrdered) {
+  const CostTable costs;
+  // Receiving costs slightly more than sending (protocol parsing).
+  EXPECT_GT(costs.RecvQueryUnits(12.0), costs.SendQueryUnits(12.0));
+  EXPECT_GT(costs.RecvJoinUnits(5.0), costs.SendJoinUnits(5.0));
+  EXPECT_GT(costs.recv_update_units, costs.send_update_units);
+  // Index operations dominate per-message costs.
+  EXPECT_GT(costs.ProcessQueryUnits(0.0), costs.RecvQueryUnits(12.0));
+  EXPECT_GT(costs.ProcessJoinUnits(1.0), costs.RecvJoinUnits(1.0));
+}
+
+TEST(CostTableTest, UpdateMessageSize) {
+  const CostTable costs;
+  EXPECT_DOUBLE_EQ(costs.UpdateBytes(), 152.0);
+}
+
+TEST(CostTableTest, CustomTableFlowsThroughDerivedCosts) {
+  CostTable costs;
+  costs.response_per_result_bytes = 100.0;
+  EXPECT_DOUBLE_EQ(costs.ResponseBytes(0.0, 2.0), 80.0 + 200.0);
+}
+
+}  // namespace
+}  // namespace sppnet

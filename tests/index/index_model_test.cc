@@ -1,0 +1,152 @@
+// Model-based test of InvertedIndex: a long random sequence of
+// insert / erase / erase-owner / query operations is replayed against
+// a trivially correct reference implementation (linear scan over a
+// map); every query result must match exactly.
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sppnet/common/rng.h"
+#include "sppnet/index/inverted_index.h"
+
+namespace sppnet {
+namespace {
+
+/// The reference: stores (id -> record), answers queries by scanning.
+class ReferenceIndex {
+ public:
+  bool Insert(const FileRecord& record) {
+    return files_.emplace(record.id, record).second;
+  }
+
+  bool Erase(FileId id) { return files_.erase(id) > 0; }
+
+  std::size_t EraseOwner(OwnerId owner) {
+    std::size_t erased = 0;
+    for (auto it = files_.begin(); it != files_.end();) {
+      if (it->second.owner == owner) {
+        it = files_.erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+    return erased;
+  }
+
+  std::vector<FileId> Query(const std::string& query) const {
+    const auto terms = InvertedIndex::Tokenize(query);
+    std::vector<FileId> hits;
+    if (terms.empty()) return hits;
+    for (const auto& [id, record] : files_) {
+      const auto title_terms = InvertedIndex::Tokenize(record.title);
+      bool all = true;
+      for (const auto& term : terms) {
+        if (std::find(title_terms.begin(), title_terms.end(), term) ==
+            title_terms.end()) {
+          all = false;
+          break;
+        }
+      }
+      if (all) hits.push_back(id);
+    }
+    return hits;  // std::map iteration is already id-sorted.
+  }
+
+  std::size_t size() const { return files_.size(); }
+
+ private:
+  std::map<FileId, FileRecord> files_;
+};
+
+std::string RandomTitle(Rng& rng) {
+  // Small vocabulary so queries frequently hit and collide.
+  static constexpr const char* kWords[] = {"red",  "blue", "moon", "sun",
+                                           "wolf", "sea",  "rock", "song"};
+  const int n = static_cast<int>(rng.NextInt(1, 4));
+  std::string title;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) title.push_back(' ');
+    title += kWords[rng.NextBounded(8)];
+  }
+  return title;
+}
+
+TEST(IndexModelTest, RandomOperationsMatchReference) {
+  Rng rng(321);
+  InvertedIndex index;
+  ReferenceIndex reference;
+  std::vector<FileId> live_ids;
+  FileId next_id = 1;
+
+  for (int step = 0; step < 4000; ++step) {
+    const std::uint64_t op = rng.NextBounded(10);
+    if (op < 5) {  // Insert.
+      FileRecord record;
+      record.id = next_id++;
+      record.owner = static_cast<OwnerId>(rng.NextBounded(6));
+      record.title = RandomTitle(rng);
+      ASSERT_EQ(index.Insert(record), reference.Insert(record));
+      live_ids.push_back(record.id);
+    } else if (op < 7 && !live_ids.empty()) {  // Erase one file.
+      const std::size_t pick = rng.NextBounded(live_ids.size());
+      const FileId id = live_ids[pick];
+      ASSERT_EQ(index.Erase(id), reference.Erase(id));
+      live_ids.erase(live_ids.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else if (op == 7) {  // Erase a whole owner.
+      const auto owner = static_cast<OwnerId>(rng.NextBounded(6));
+      ASSERT_EQ(index.EraseOwner(owner), reference.EraseOwner(owner));
+      live_ids.clear();  // Rebuild the live list lazily below.
+    } else {  // Query.
+      const std::string q = RandomTitle(rng);
+      const QueryResult got = index.Query(q);
+      const std::vector<FileId> want = reference.Query(q);
+      ASSERT_EQ(got.hits.size(), want.size()) << "query " << q;
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(got.hits[i].file, want[i]) << "query " << q;
+      }
+    }
+    ASSERT_EQ(index.num_files(), reference.size());
+    if (live_ids.empty() && reference.size() > 0) {
+      // Refresh the live-id list after EraseOwner invalidated it.
+      const QueryResult all_red = index.Query("red");
+      for (const QueryHit& hit : all_red.hits) live_ids.push_back(hit.file);
+      if (live_ids.empty()) {
+        const QueryResult all_blue = index.Query("blue");
+        for (const QueryHit& hit : all_blue.hits) {
+          live_ids.push_back(hit.file);
+        }
+      }
+    }
+  }
+}
+
+TEST(IndexModelTest, DistinctOwnersMatchesReference) {
+  Rng rng(654);
+  InvertedIndex index;
+  ReferenceIndex reference;
+  FileId next_id = 1;
+  for (int i = 0; i < 500; ++i) {
+    FileRecord record;
+    record.id = next_id++;
+    record.owner = static_cast<OwnerId>(rng.NextBounded(4));
+    record.title = RandomTitle(rng);
+    index.Insert(record);
+    reference.Insert(record);
+  }
+  for (const char* q : {"red", "blue moon", "wolf sea", "sun"}) {
+    const QueryResult got = index.Query(q);
+    std::vector<OwnerId> owners;
+    for (const QueryHit& hit : got.hits) owners.push_back(hit.owner);
+    std::sort(owners.begin(), owners.end());
+    owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
+    EXPECT_EQ(got.distinct_owners, owners.size()) << q;
+  }
+}
+
+}  // namespace
+}  // namespace sppnet

@@ -1,0 +1,141 @@
+#include "sppnet/index/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+namespace sppnet {
+namespace {
+
+FileRecord Rec(FileId id, OwnerId owner, std::string title) {
+  return FileRecord{id, owner, std::move(title)};
+}
+
+TEST(TokenizeTest, LowercasesAndSplits) {
+  const auto tokens = InvertedIndex::Tokenize("The Quick-Brown FOX_42!");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0], "the");
+  EXPECT_EQ(tokens[1], "quick");
+  EXPECT_EQ(tokens[2], "brown");
+  EXPECT_EQ(tokens[3], "fox");
+  EXPECT_EQ(tokens[4], "42");
+}
+
+TEST(TokenizeTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(InvertedIndex::Tokenize("").empty());
+  EXPECT_TRUE(InvertedIndex::Tokenize("--- !!! ---").empty());
+}
+
+TEST(InvertedIndexTest, SingleTermQuery) {
+  InvertedIndex index;
+  index.Insert(Rec(1, 10, "blue moon rising"));
+  index.Insert(Rec(2, 11, "red moon"));
+  index.Insert(Rec(3, 10, "blue sky"));
+  const QueryResult r = index.Query("moon");
+  ASSERT_EQ(r.hits.size(), 2u);
+  EXPECT_EQ(r.distinct_owners, 2u);
+}
+
+TEST(InvertedIndexTest, ConjunctiveQueryIntersects) {
+  InvertedIndex index;
+  index.Insert(Rec(1, 1, "blue moon rising"));
+  index.Insert(Rec(2, 1, "red moon"));
+  index.Insert(Rec(3, 2, "blue sky moon"));
+  const QueryResult r = index.Query("blue moon");
+  ASSERT_EQ(r.hits.size(), 2u);
+  EXPECT_EQ(r.hits[0].file, 1u);
+  EXPECT_EQ(r.hits[1].file, 3u);
+  EXPECT_EQ(r.distinct_owners, 2u);
+}
+
+TEST(InvertedIndexTest, UnknownTermYieldsNothing) {
+  InvertedIndex index;
+  index.Insert(Rec(1, 1, "alpha beta"));
+  EXPECT_TRUE(index.Query("gamma").hits.empty());
+  EXPECT_TRUE(index.Query("alpha gamma").hits.empty());
+  EXPECT_TRUE(index.Query("").hits.empty());
+}
+
+TEST(InvertedIndexTest, QueryIsCaseInsensitive) {
+  InvertedIndex index;
+  index.Insert(Rec(1, 1, "Blue Moon"));
+  EXPECT_EQ(index.Query("BLUE moon").hits.size(), 1u);
+}
+
+TEST(InvertedIndexTest, DuplicateIdRejected) {
+  InvertedIndex index;
+  EXPECT_TRUE(index.Insert(Rec(1, 1, "a b")));
+  EXPECT_FALSE(index.Insert(Rec(1, 2, "c d")));
+  EXPECT_EQ(index.num_files(), 1u);
+}
+
+TEST(InvertedIndexTest, RepeatedTermInTitleCountsOnce) {
+  InvertedIndex index;
+  index.Insert(Rec(1, 1, "moon moon moon"));
+  EXPECT_EQ(index.Query("moon").hits.size(), 1u);
+  // Erasing must fully clean up despite the repeated term.
+  EXPECT_TRUE(index.Erase(1));
+  EXPECT_EQ(index.num_terms(), 0u);
+}
+
+TEST(InvertedIndexTest, EraseRemovesPostings) {
+  InvertedIndex index;
+  index.Insert(Rec(1, 1, "alpha beta"));
+  index.Insert(Rec(2, 1, "alpha gamma"));
+  EXPECT_TRUE(index.Erase(1));
+  EXPECT_FALSE(index.Erase(1));
+  EXPECT_EQ(index.Query("alpha").hits.size(), 1u);
+  EXPECT_TRUE(index.Query("beta").hits.empty());
+  EXPECT_EQ(index.num_files(), 1u);
+}
+
+TEST(InvertedIndexTest, EraseOwnerRemovesWholeCollection) {
+  InvertedIndex index;
+  index.Insert(Rec(1, 7, "a x"));
+  index.Insert(Rec(2, 7, "b x"));
+  index.Insert(Rec(3, 8, "c x"));
+  EXPECT_EQ(index.EraseOwner(7), 2u);
+  EXPECT_EQ(index.num_files(), 1u);
+  const QueryResult r = index.Query("x");
+  ASSERT_EQ(r.hits.size(), 1u);
+  EXPECT_EQ(r.hits[0].owner, 8u);
+}
+
+TEST(InvertedIndexTest, InsertCollectionBulkLoads) {
+  InvertedIndex index;
+  std::vector<FileRecord> records;
+  for (FileId id = 1; id <= 50; ++id) {
+    records.push_back(Rec(id, static_cast<OwnerId>(id % 5), "shared title"));
+  }
+  index.InsertCollection(records);
+  EXPECT_EQ(index.num_files(), 50u);
+  const QueryResult r = index.Query("shared");
+  EXPECT_EQ(r.hits.size(), 50u);
+  EXPECT_EQ(r.distinct_owners, 5u);
+}
+
+TEST(InvertedIndexTest, MemoryAccountingGrowsAndShrinks) {
+  InvertedIndex index;
+  const std::size_t empty = index.ApproximateMemoryBytes();
+  for (FileId id = 1; id <= 100; ++id) {
+    index.Insert(Rec(id, 1, "some reasonably long file title " +
+                                std::to_string(id)));
+  }
+  const std::size_t full = index.ApproximateMemoryBytes();
+  EXPECT_GT(full, empty + 100 * 40);
+  index.EraseOwner(1);
+  EXPECT_LT(index.ApproximateMemoryBytes(), full / 2);
+}
+
+TEST(InvertedIndexTest, HitsAreSortedByFileId) {
+  InvertedIndex index;
+  index.Insert(Rec(30, 1, "z"));
+  index.Insert(Rec(10, 1, "z"));
+  index.Insert(Rec(20, 1, "z"));
+  const QueryResult r = index.Query("z");
+  ASSERT_EQ(r.hits.size(), 3u);
+  EXPECT_EQ(r.hits[0].file, 10u);
+  EXPECT_EQ(r.hits[1].file, 20u);
+  EXPECT_EQ(r.hits[2].file, 30u);
+}
+
+}  // namespace
+}  // namespace sppnet

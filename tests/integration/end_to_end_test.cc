@@ -1,0 +1,93 @@
+// End-to-end integration: the Figure 10 design procedure produces a
+// configuration from resource constraints; the discrete-event
+// simulator then *executes* that configuration and must confirm the
+// promised behaviour — this closes the loop between the analytical
+// design path and the protocol implementation.
+
+#include <gtest/gtest.h>
+
+#include "sppnet/design/procedure.h"
+#include "sppnet/sim/simulator.h"
+
+namespace sppnet {
+namespace {
+
+TEST(EndToEndTest, DesignedNetworkHonorsConstraintsUnderSimulation) {
+  const ModelInputs inputs = ModelInputs::Default();
+
+  DesignGoals goals;
+  goals.num_users = 3000;
+  goals.desired_reach_peers = 800.0;
+  DesignConstraints constraints;
+  constraints.max_individual_in_bps = 150e3;
+  constraints.max_individual_out_bps = 150e3;
+  constraints.max_individual_proc_hz = 15e6;
+  constraints.max_connections = 60.0;
+  DesignOptions design_options;
+  design_options.trials_per_candidate = 2;
+
+  const DesignResult design =
+      RunGlobalDesign(goals, constraints, inputs, design_options);
+  ASSERT_TRUE(design.feasible) << design.note;
+
+  Rng rng(404);
+  const NetworkInstance inst = GenerateInstance(design.config, inputs, rng);
+  SimOptions sim_options;
+  sim_options.duration_seconds = 400;
+  sim_options.warmup_seconds = 40;
+  Simulator sim(inst, design.config, inputs, sim_options);
+  const SimReport measured = sim.Run();
+
+  // The simulated network must deliver the designed reach (in peers)
+  // and keep measured super-peer loads within ~30% of the limits the
+  // designer specified (simulation noise + expectation vs sample).
+  const LoadVector sp = InstanceLoads::MeanOf(measured.partner_load);
+  EXPECT_LE(sp.in_bps, 1.3 * constraints.max_individual_in_bps);
+  EXPECT_LE(sp.out_bps, 1.3 * constraints.max_individual_out_bps);
+  EXPECT_LE(sp.proc_hz, 1.3 * constraints.max_individual_proc_hz);
+  EXPECT_GT(measured.mean_results_per_query, 0.0);
+
+  // Results should be consistent with the analytical prediction.
+  EXPECT_NEAR(measured.mean_results_per_query,
+              design.report.results_per_query.Mean(),
+              0.35 * design.report.results_per_query.Mean());
+}
+
+TEST(EndToEndTest, RedundantDesignSurvivesChurnBetterThanPlain) {
+  // Design a network, then stress both its plain and 2-redundant
+  // variants under churn: the redundant one must deliver better
+  // availability at comparable per-partner load.
+  const ModelInputs inputs = ModelInputs::Default();
+  Configuration config;
+  config.graph_size = 1000;
+  config.cluster_size = 10;
+  config.ttl = 4;
+  config.avg_outdegree = 6.0;
+
+  SimOptions churn;
+  churn.duration_seconds = 1200;
+  churn.warmup_seconds = 60;
+  churn.enable_churn = true;
+  churn.partner_recovery_seconds = 45.0;
+
+  Rng rng_plain(7);
+  const NetworkInstance plain = GenerateInstance(config, inputs, rng_plain);
+  Simulator sim_plain(plain, config, inputs, churn);
+  const SimReport r_plain = sim_plain.Run();
+
+  Configuration red_config = config;
+  red_config.redundancy = true;
+  Rng rng_red(7);
+  const NetworkInstance red = GenerateInstance(red_config, inputs, rng_red);
+  Simulator sim_red(red, red_config, inputs, churn);
+  const SimReport r_red = sim_red.Run();
+
+  EXPECT_LT(r_red.client_disconnected_fraction,
+            0.6 * r_plain.client_disconnected_fraction);
+  const double sp_plain = InstanceLoads::MeanOf(r_plain.partner_load).TotalBps();
+  const double sp_red = InstanceLoads::MeanOf(r_red.partner_load).TotalBps();
+  EXPECT_LT(sp_red, sp_plain);  // Redundancy also lightens each partner.
+}
+
+}  // namespace
+}  // namespace sppnet

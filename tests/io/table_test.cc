@@ -1,0 +1,68 @@
+#include "sppnet/io/table.h"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace sppnet {
+namespace {
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(TableWriterTest, PrintsHeaderRuleAndRows) {
+  TableWriter t({"A", "LongHeader"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longvalue", "2"});
+  std::ostringstream os;
+  t.Print(os);
+  const auto lines = Lines(os.str());
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[0].find("LongHeader"), std::string::npos);
+  EXPECT_EQ(lines[1].find_first_not_of('-'), std::string::npos);
+  EXPECT_NE(lines[2].find('x'), std::string::npos);
+  EXPECT_NE(lines[3].find("longvalue"), std::string::npos);
+}
+
+TEST(TableWriterTest, ColumnsAligned) {
+  TableWriter t({"A", "B"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longvalue", "2"});
+  std::ostringstream os;
+  t.Print(os);
+  const auto lines = Lines(os.str());
+  // Second column starts at the same offset in every data line.
+  const auto col_b_header = lines[0].find('B');
+  EXPECT_EQ(lines[2].find('1'), col_b_header);
+  EXPECT_EQ(lines[3].find('2'), col_b_header);
+}
+
+TEST(TableWriterTest, CsvOutput) {
+  TableWriter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(FormatTest, GeneralFormat) {
+  EXPECT_EQ(Format(3.14159, 3), "3.14");
+  EXPECT_EQ(Format(1000000.0, 4), "1e+06");
+  EXPECT_EQ(Format(std::size_t{42}), "42");
+  EXPECT_EQ(Format(-7), "-7");
+}
+
+TEST(FormatTest, ScientificMatchesPaperStyle) {
+  EXPECT_EQ(FormatSci(9.08e8), "9.08e+08");
+  EXPECT_EQ(FormatSci(0.0), "0.00e+00");
+}
+
+}  // namespace
+}  // namespace sppnet

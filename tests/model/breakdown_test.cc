@@ -1,0 +1,100 @@
+#include "sppnet/model/breakdown.h"
+
+#include <gtest/gtest.h>
+
+namespace sppnet {
+namespace {
+
+class BreakdownTest : public ::testing::Test {
+ protected:
+  const ModelInputs inputs_ = ModelInputs::Default();
+
+  NetworkInstance Make(const Configuration& c, std::uint64_t seed) {
+    Rng rng(seed);
+    return GenerateInstance(c, inputs_, rng);
+  }
+};
+
+TEST_F(BreakdownTest, ComponentsSumToTotal) {
+  Configuration c;
+  c.graph_size = 600;
+  c.cluster_size = 10;
+  c.ttl = 5;
+  const NetworkInstance inst = Make(c, 1);
+  const ActionBreakdown b = ComputeActionBreakdown(inst, c, inputs_);
+  // Linearity of the mean-value analysis makes the decomposition exact.
+  EXPECT_NEAR(b.aggregate_query.TotalBps() + b.aggregate_join.TotalBps() +
+                  b.aggregate_update.TotalBps(),
+              b.aggregate_total.TotalBps(),
+              1e-6 * b.aggregate_total.TotalBps());
+  EXPECT_NEAR(b.aggregate_query.proc_hz + b.aggregate_join.proc_hz +
+                  b.aggregate_update.proc_hz,
+              b.aggregate_total.proc_hz, 1e-6 * b.aggregate_total.proc_hz);
+  EXPECT_NEAR(b.sp_query.in_bps + b.sp_join.in_bps + b.sp_update.in_bps,
+              b.sp_total.in_bps, 1e-6 * b.sp_total.in_bps);
+}
+
+TEST_F(BreakdownTest, SharesSumToOne) {
+  Configuration c;
+  c.graph_size = 400;
+  c.cluster_size = 10;
+  const NetworkInstance inst = Make(c, 2);
+  const ActionBreakdown b = ComputeActionBreakdown(inst, c, inputs_);
+  EXPECT_NEAR(b.QueryBandwidthShare() + b.JoinBandwidthShare() +
+                  b.UpdateBandwidthShare(),
+              1.0, 1e-6);
+}
+
+TEST_F(BreakdownTest, UpdatesAreNegligibleAtDefaults) {
+  // Section 4.1: "the cost of updates is low relative to the cost of
+  // queries and joins, [so] the overall performance of the system is
+  // not sensitive to the value of the update rate."
+  Configuration c;
+  c.graph_size = 1000;
+  c.cluster_size = 10;
+  const NetworkInstance inst = Make(c, 3);
+  const ActionBreakdown b = ComputeActionBreakdown(inst, c, inputs_);
+  EXPECT_LT(b.UpdateBandwidthShare(), 0.05);
+  EXPECT_GT(b.QueryBandwidthShare(), 0.5);
+}
+
+TEST_F(BreakdownTest, QueriesDominateAtDefaultRates) {
+  Configuration c;
+  c.graph_size = 1000;
+  c.cluster_size = 10;
+  const NetworkInstance inst = Make(c, 4);
+  const ActionBreakdown b = ComputeActionBreakdown(inst, c, inputs_);
+  EXPECT_GT(b.aggregate_query.TotalBps(), b.aggregate_join.TotalBps());
+  EXPECT_GT(b.aggregate_join.TotalBps(), b.aggregate_update.TotalBps());
+}
+
+TEST_F(BreakdownTest, LowQueryRateMakesJoinsDominant) {
+  Configuration c;
+  c.graph_type = GraphType::kStronglyConnected;
+  c.graph_size = 1000;
+  c.cluster_size = 100;
+  c.ttl = 1;
+  c.query_rate = 9.26e-5;  // Queries:joins ~ 0.1.
+  const NetworkInstance inst = Make(c, 5);
+  const ActionBreakdown b = ComputeActionBreakdown(inst, c, inputs_);
+  EXPECT_GT(b.JoinBandwidthShare(), b.QueryBandwidthShare());
+}
+
+TEST_F(BreakdownTest, AllComponentsNonNegative) {
+  Configuration c;
+  c.graph_size = 400;
+  c.cluster_size = 8;
+  c.redundancy = true;
+  const NetworkInstance inst = Make(c, 6);
+  const ActionBreakdown b = ComputeActionBreakdown(inst, c, inputs_);
+  for (const LoadVector* lv :
+       {&b.aggregate_query, &b.aggregate_join, &b.aggregate_update,
+        &b.sp_query, &b.sp_join, &b.sp_update}) {
+    EXPECT_GE(lv->in_bps, -1e-9);
+    EXPECT_GE(lv->out_bps, -1e-9);
+    EXPECT_GE(lv->proc_hz, -1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace sppnet

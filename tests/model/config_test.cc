@@ -1,0 +1,77 @@
+#include "sppnet/model/config.h"
+
+#include <gtest/gtest.h>
+
+namespace sppnet {
+namespace {
+
+TEST(ConfigurationTest, DefaultsMatchTableOne) {
+  const Configuration c = Configuration::Defaults();
+  EXPECT_EQ(c.graph_type, GraphType::kPowerLaw);
+  EXPECT_EQ(c.graph_size, 10000u);
+  EXPECT_DOUBLE_EQ(c.cluster_size, 10.0);
+  EXPECT_FALSE(c.redundancy);
+  EXPECT_DOUBLE_EQ(c.avg_outdegree, 3.1);
+  EXPECT_EQ(c.ttl, 7);
+  EXPECT_DOUBLE_EQ(c.query_rate, 9.26e-3);
+  EXPECT_DOUBLE_EQ(c.update_rate, 1.85e-3);
+}
+
+TEST(ConfigurationTest, NumClustersDividesGraphSize) {
+  Configuration c;
+  c.graph_size = 10000;
+  c.cluster_size = 10.0;
+  EXPECT_EQ(c.NumClusters(), 1000u);
+  c.cluster_size = 10000.0;
+  EXPECT_EQ(c.NumClusters(), 1u);
+  c.cluster_size = 1.0;
+  EXPECT_EQ(c.NumClusters(), 10000u);
+}
+
+TEST(ConfigurationTest, NumClustersRoundsToNearest) {
+  Configuration c;
+  c.graph_size = 100;
+  c.cluster_size = 3.0;
+  EXPECT_EQ(c.NumClusters(), 33u);
+}
+
+TEST(ConfigurationTest, RedundancyDegree) {
+  Configuration c;
+  EXPECT_EQ(c.RedundancyK(), 1);
+  c.redundancy = true;
+  EXPECT_EQ(c.RedundancyK(), 2);
+}
+
+TEST(ConfigurationTest, MeanClientsAccountsForPartners) {
+  Configuration c;
+  c.cluster_size = 10.0;
+  EXPECT_DOUBLE_EQ(c.MeanClientsPerCluster(), 9.0);
+  c.redundancy = true;
+  EXPECT_DOUBLE_EQ(c.MeanClientsPerCluster(), 8.0);
+}
+
+TEST(ConfigurationTest, PureNetworkHasNoClients) {
+  Configuration c;
+  c.cluster_size = 1.0;
+  EXPECT_DOUBLE_EQ(c.MeanClientsPerCluster(), 0.0);
+}
+
+TEST(ConfigurationTest, ToStringMentionsKeyParameters) {
+  Configuration c;
+  c.redundancy = true;
+  const std::string s = c.ToString();
+  EXPECT_NE(s.find("power-law"), std::string::npos);
+  EXPECT_NE(s.find("redundancy=yes"), std::string::npos);
+  EXPECT_NE(s.find("ttl=7"), std::string::npos);
+}
+
+TEST(ModelInputsTest, DefaultBundleIsConsistent) {
+  const ModelInputs inputs = ModelInputs::Default();
+  EXPECT_DOUBLE_EQ(inputs.stats.query_rate_per_user, 9.26e-3);
+  EXPECT_GT(inputs.query_model.MatchProbability(), 0.0);
+  EXPECT_GT(inputs.file_counts.Mean(), 0.0);
+  EXPECT_GT(inputs.lifespans.Mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace sppnet

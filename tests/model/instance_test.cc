@@ -1,0 +1,171 @@
+#include "sppnet/model/instance.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace sppnet {
+namespace {
+
+class InstanceTest : public ::testing::Test {
+ protected:
+  const ModelInputs inputs_ = ModelInputs::Default();
+};
+
+TEST_F(InstanceTest, ClusterCountMatchesConfiguration) {
+  Configuration c;
+  c.graph_size = 1000;
+  c.cluster_size = 10;
+  Rng rng(1);
+  const NetworkInstance inst = GenerateInstance(c, inputs_, rng);
+  EXPECT_EQ(inst.NumClusters(), 100u);
+  EXPECT_EQ(inst.TotalPartners(), 100u);
+  EXPECT_EQ(inst.redundancy_k, 1);
+}
+
+TEST_F(InstanceTest, RedundantInstanceHasTwoPartnersPerCluster) {
+  Configuration c;
+  c.graph_size = 1000;
+  c.cluster_size = 10;
+  c.redundancy = true;
+  Rng rng(2);
+  const NetworkInstance inst = GenerateInstance(c, inputs_, rng);
+  EXPECT_EQ(inst.redundancy_k, 2);
+  EXPECT_EQ(inst.TotalPartners(), 2 * inst.NumClusters());
+  // Mean clients per cluster should be ~8 (cluster size 10, k = 2).
+  const double mean_clients = static_cast<double>(inst.TotalClients()) /
+                              static_cast<double>(inst.NumClusters());
+  EXPECT_NEAR(mean_clients, 8.0, 0.5);
+}
+
+TEST_F(InstanceTest, ClientCountsFollowNormalDistribution) {
+  Configuration c;
+  c.graph_size = 20000;
+  c.cluster_size = 20;
+  Rng rng(3);
+  const NetworkInstance inst = GenerateInstance(c, inputs_, rng);
+  // Mean 19, stddev .2*19: nearly all clusters within [19 - 4*3.8, ...].
+  double sum = 0.0;
+  for (std::size_t i = 0; i < inst.NumClusters(); ++i) {
+    sum += static_cast<double>(inst.NumClients(i));
+  }
+  const double mean = sum / static_cast<double>(inst.NumClusters());
+  EXPECT_NEAR(mean, 19.0, 1.0);
+  // There must be spread (not all clusters identical).
+  bool varies = false;
+  for (std::size_t i = 1; i < inst.NumClusters(); ++i) {
+    if (inst.NumClients(i) != inst.NumClients(0)) varies = true;
+  }
+  EXPECT_TRUE(varies);
+}
+
+TEST_F(InstanceTest, PureNetworkDegeneratesToClusterSizeOne) {
+  Configuration c;
+  c.graph_size = 500;
+  c.cluster_size = 1;
+  Rng rng(4);
+  const NetworkInstance inst = GenerateInstance(c, inputs_, rng);
+  EXPECT_EQ(inst.TotalClients(), 0u);
+  EXPECT_EQ(inst.ClusterUsers(0), 1u);
+}
+
+TEST_F(InstanceTest, StronglyConnectedUsesCompleteTopology) {
+  Configuration c;
+  c.graph_type = GraphType::kStronglyConnected;
+  c.graph_size = 1000;
+  c.cluster_size = 10;
+  Rng rng(5);
+  const NetworkInstance inst = GenerateInstance(c, inputs_, rng);
+  EXPECT_TRUE(inst.topology.is_complete());
+  EXPECT_EQ(inst.topology.Degree(0), 99u);
+}
+
+TEST_F(InstanceTest, SingleClusterIsComplete) {
+  Configuration c;
+  c.graph_size = 100;
+  c.cluster_size = 100;
+  Rng rng(6);
+  const NetworkInstance inst = GenerateInstance(c, inputs_, rng);
+  EXPECT_EQ(inst.NumClusters(), 1u);
+  EXPECT_TRUE(inst.topology.is_complete());
+}
+
+TEST_F(InstanceTest, IndexedFilesEqualsMemberSum) {
+  Configuration c;
+  c.graph_size = 500;
+  c.cluster_size = 10;
+  c.redundancy = true;
+  Rng rng(7);
+  const NetworkInstance inst = GenerateInstance(c, inputs_, rng);
+  for (std::size_t i = 0; i < inst.NumClusters(); ++i) {
+    double sum = 0.0;
+    for (const std::uint32_t x : inst.ClientFiles(i)) sum += x;
+    sum += inst.partner_files[i * 2];
+    sum += inst.partner_files[i * 2 + 1];
+    EXPECT_DOUBLE_EQ(inst.indexed_files[i], sum);
+  }
+}
+
+TEST_F(InstanceTest, DerivedQuantitiesAreConsistent) {
+  Configuration c;
+  c.graph_size = 1000;
+  c.cluster_size = 10;
+  Rng rng(8);
+  const NetworkInstance inst = GenerateInstance(c, inputs_, rng);
+  for (std::size_t i = 0; i < inst.NumClusters(); ++i) {
+    EXPECT_NEAR(inst.expected_results[i],
+                inputs_.query_model.ExpectedResults(inst.indexed_files[i]),
+                1e-9);
+    EXPECT_GE(inst.response_prob[i], 0.0);
+    EXPECT_LE(inst.response_prob[i], 1.0);
+    // E[K] <= cluster members; >= response probability of the whole index.
+    EXPECT_LE(inst.expected_addrs[i],
+              static_cast<double>(inst.ClusterUsers(i)));
+    EXPECT_GE(inst.expected_addrs[i], 0.0);
+  }
+}
+
+TEST_F(InstanceTest, PartnerConnectionsFormula) {
+  Configuration c;
+  c.graph_size = 400;
+  c.cluster_size = 10;
+  c.redundancy = true;
+  Rng rng(9);
+  const NetworkInstance inst = GenerateInstance(c, inputs_, rng);
+  for (std::size_t i = 0; i < std::min<std::size_t>(inst.NumClusters(), 10);
+       ++i) {
+    const double expected =
+        static_cast<double>(inst.NumClients(i)) + 1.0 +
+        2.0 * static_cast<double>(inst.topology.Degree(
+                  static_cast<NodeId>(i)));
+    EXPECT_DOUBLE_EQ(inst.PartnerConnections(i), expected);
+  }
+  EXPECT_DOUBLE_EQ(inst.ClientConnections(), 2.0);
+}
+
+TEST_F(InstanceTest, GenerationIsDeterministic) {
+  Configuration c;
+  c.graph_size = 500;
+  c.cluster_size = 5;
+  Rng a(42), b(42);
+  const NetworkInstance ia = GenerateInstance(c, inputs_, a);
+  const NetworkInstance ib = GenerateInstance(c, inputs_, b);
+  ASSERT_EQ(ia.TotalClients(), ib.TotalClients());
+  EXPECT_EQ(ia.client_files, ib.client_files);
+  EXPECT_EQ(ia.partner_files, ib.partner_files);
+}
+
+TEST_F(InstanceTest, RecomputeDerivedAfterMutation) {
+  Configuration c;
+  c.graph_size = 200;
+  c.cluster_size = 10;
+  Rng rng(10);
+  NetworkInstance inst = GenerateInstance(c, inputs_, rng);
+  const double before = inst.indexed_files[0];
+  inst.client_files[inst.client_offset[0]] += 500;
+  ComputeDerivedQuantities(inst, inputs_.query_model);
+  EXPECT_DOUBLE_EQ(inst.indexed_files[0], before + 500.0);
+}
+
+}  // namespace
+}  // namespace sppnet

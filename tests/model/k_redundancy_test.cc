@@ -1,0 +1,159 @@
+// Tests for generalized k-redundancy (k > 2): an extension the paper
+// names but does not analyze.
+
+#include <gtest/gtest.h>
+
+#include "sppnet/model/trials.h"
+#include "sppnet/sim/simulator.h"
+
+namespace sppnet {
+namespace {
+
+class KRedundancyTest : public ::testing::Test {
+ protected:
+  const ModelInputs inputs_ = ModelInputs::Default();
+
+  Configuration MakeConfig(int k) const {
+    Configuration c;
+    c.graph_type = GraphType::kStronglyConnected;
+    c.graph_size = 2000;
+    c.cluster_size = 50;
+    c.ttl = 1;
+    c.redundancy_k = k;
+    return c;
+  }
+};
+
+TEST_F(KRedundancyTest, RedundancyKOverridesBool) {
+  Configuration c;
+  EXPECT_EQ(c.RedundancyK(), 1);
+  c.redundancy = true;
+  EXPECT_EQ(c.RedundancyK(), 2);
+  c.redundancy_k = 3;
+  EXPECT_EQ(c.RedundancyK(), 3);
+  c.redundancy = false;
+  EXPECT_EQ(c.RedundancyK(), 3);
+  c.redundancy_k = 1;
+  EXPECT_EQ(c.RedundancyK(), 1);
+}
+
+TEST_F(KRedundancyTest, InstanceHasKPartnersPerCluster) {
+  Rng rng(1);
+  const NetworkInstance inst = GenerateInstance(MakeConfig(3), inputs_, rng);
+  EXPECT_EQ(inst.redundancy_k, 3);
+  EXPECT_EQ(inst.TotalPartners(), 3 * inst.NumClusters());
+  // Mean clients per cluster = cluster size - k.
+  const double mean_clients = static_cast<double>(inst.TotalClients()) /
+                              static_cast<double>(inst.NumClusters());
+  EXPECT_NEAR(mean_clients, 47.0, 1.5);
+}
+
+TEST_F(KRedundancyTest, ConnectionsGrowQuadratically) {
+  // Inter-super-peer connections per partner grow linearly in k, so the
+  // *total* across a virtual super-peer pair of neighbors grows as k^2
+  // (Section 3.2).
+  Rng rng(2);
+  Configuration c2 = MakeConfig(2);
+  c2.graph_type = GraphType::kPowerLaw;
+  c2.avg_outdegree = 4.0;
+  c2.ttl = 3;
+  Configuration c4 = c2;
+  c4.redundancy_k = 4;
+  const NetworkInstance i2 = GenerateInstance(c2, inputs_, rng);
+  Rng rng2(2);
+  const NetworkInstance i4 = GenerateInstance(c4, inputs_, rng2);
+  // Per-partner overlay connections: k * degree (+ clients + k-1).
+  const double overlay2 =
+      2.0 * static_cast<double>(i2.topology.Degree(0));
+  const double overlay4 =
+      4.0 * static_cast<double>(i4.topology.Degree(0));
+  EXPECT_GT(overlay4, overlay2);
+  // Per virtual super-peer: k partners x k links per neighbor = k^2.
+  EXPECT_DOUBLE_EQ(2.0 * overlay2 / static_cast<double>(i2.topology.Degree(0)),
+                   4.0);
+  EXPECT_DOUBLE_EQ(4.0 * overlay4 / static_cast<double>(i4.topology.Degree(0)),
+                   16.0);
+}
+
+TEST_F(KRedundancyTest, IndividualQueryLoadFallsWithK) {
+  TrialOptions options;
+  options.num_trials = 3;
+  double prev = 1e300;
+  for (int k = 1; k <= 4; ++k) {
+    const ConfigurationReport r = RunTrials(MakeConfig(k), inputs_, options);
+    EXPECT_LT(r.sp_in_bps.Mean(), prev) << "k=" << k;
+    prev = r.sp_in_bps.Mean();
+  }
+}
+
+TEST_F(KRedundancyTest, AggregateJoinCostGrowsWithK) {
+  // Client joins are duplicated to every partner: with queries switched
+  // off, aggregate load must grow roughly linearly in k.
+  TrialOptions options;
+  options.num_trials = 3;
+  Configuration c1 = MakeConfig(1);
+  c1.query_rate = 0.0;
+  c1.update_rate = 0.0;
+  Configuration c3 = MakeConfig(3);
+  c3.query_rate = 0.0;
+  c3.update_rate = 0.0;
+  const double agg1 =
+      RunTrials(c1, inputs_, options).AggregateBandwidthMean();
+  const double agg3 =
+      RunTrials(c3, inputs_, options).AggregateBandwidthMean();
+  EXPECT_GT(agg3, 2.0 * agg1);
+  EXPECT_LT(agg3, 4.5 * agg1);
+}
+
+TEST_F(KRedundancyTest, SystemBytesConserveAtK3) {
+  Configuration c = MakeConfig(3);
+  Rng rng(3);
+  const NetworkInstance inst = GenerateInstance(c, inputs_, rng);
+  const InstanceLoads loads = EvaluateInstance(inst, c, inputs_);
+  EXPECT_NEAR(loads.aggregate.in_bps, loads.aggregate.out_bps,
+              1e-9 * loads.aggregate.in_bps);
+}
+
+TEST_F(KRedundancyTest, SimulatorHandlesK3) {
+  Configuration c;
+  c.graph_size = 300;
+  c.cluster_size = 10;
+  c.ttl = 4;
+  c.avg_outdegree = 4.0;
+  c.redundancy_k = 3;
+  Rng rng(4);
+  const NetworkInstance inst = GenerateInstance(c, inputs_, rng);
+  SimOptions options;
+  options.duration_seconds = 200;
+  options.warmup_seconds = 20;
+  Simulator sim(inst, c, inputs_, options);
+  const SimReport r = sim.Run();
+  EXPECT_GT(r.mean_results_per_query, 0.0);
+  EXPECT_NEAR(r.aggregate.in_bps, r.aggregate.out_bps,
+              0.03 * r.aggregate.out_bps);
+}
+
+TEST_F(KRedundancyTest, AvailabilityImprovesWithK) {
+  SimOptions churn;
+  churn.duration_seconds = 1200;
+  churn.warmup_seconds = 60;
+  churn.enable_churn = true;
+  churn.partner_recovery_seconds = 60.0;
+  double prev = 1.0;
+  for (int k = 1; k <= 3; ++k) {
+    Configuration c;
+    c.graph_size = 300;
+    c.cluster_size = 10;
+    c.ttl = 3;
+    c.redundancy_k = k;
+    Rng rng(5);
+    const NetworkInstance inst = GenerateInstance(c, inputs_, rng);
+    Simulator sim(inst, c, inputs_, churn);
+    const SimReport r = sim.Run();
+    EXPECT_LT(r.client_disconnected_fraction, prev) << "k=" << k;
+    prev = r.client_disconnected_fraction;
+  }
+}
+
+}  // namespace
+}  // namespace sppnet

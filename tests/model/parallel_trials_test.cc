@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "sppnet/model/trials.h"
+
+namespace sppnet {
+namespace {
+
+TEST(ParallelTrialsTest, BitIdenticalToSerial) {
+  const ModelInputs inputs = ModelInputs::Default();
+  Configuration config;
+  config.graph_size = 600;
+  config.cluster_size = 10;
+  config.ttl = 5;
+
+  TrialOptions serial;
+  serial.num_trials = 6;
+  serial.seed = 31337;
+  TrialOptions parallel = serial;
+  parallel.parallelism = 4;
+
+  const ConfigurationReport a = RunTrials(config, inputs, serial);
+  const ConfigurationReport b = RunTrials(config, inputs, parallel);
+
+  EXPECT_DOUBLE_EQ(a.aggregate_in_bps.Mean(), b.aggregate_in_bps.Mean());
+  EXPECT_DOUBLE_EQ(a.aggregate_in_bps.Variance(),
+                   b.aggregate_in_bps.Variance());
+  EXPECT_DOUBLE_EQ(a.sp_proc_hz.Mean(), b.sp_proc_hz.Mean());
+  EXPECT_DOUBLE_EQ(a.results_per_query.Mean(), b.results_per_query.Mean());
+  EXPECT_DOUBLE_EQ(a.epl.Mean(), b.epl.Mean());
+  EXPECT_DOUBLE_EQ(a.sp_connections.Mean(), b.sp_connections.Mean());
+}
+
+TEST(ParallelTrialsTest, HistogramsIdenticalToSerial) {
+  const ModelInputs inputs = ModelInputs::Default();
+  Configuration config;
+  config.graph_size = 400;
+  config.cluster_size = 20;
+  TrialOptions serial;
+  serial.num_trials = 4;
+  serial.collect_outdegree_histograms = true;
+  TrialOptions parallel = serial;
+  parallel.parallelism = 3;
+
+  const ConfigurationReport a = RunTrials(config, inputs, serial);
+  const ConfigurationReport b = RunTrials(config, inputs, parallel);
+  ASSERT_EQ(a.results_by_outdegree.KeyUpperBound(),
+            b.results_by_outdegree.KeyUpperBound());
+  for (int d = 0; d < a.results_by_outdegree.KeyUpperBound(); ++d) {
+    EXPECT_EQ(a.results_by_outdegree.Group(d).count(),
+              b.results_by_outdegree.Group(d).count());
+    EXPECT_DOUBLE_EQ(a.results_by_outdegree.Group(d).Mean(),
+                     b.results_by_outdegree.Group(d).Mean());
+    EXPECT_DOUBLE_EQ(a.sp_out_bps_by_outdegree.Group(d).Mean(),
+                     b.sp_out_bps_by_outdegree.Group(d).Mean());
+  }
+}
+
+TEST(ParallelTrialsTest, MoreWorkersThanTrials) {
+  const ModelInputs inputs = ModelInputs::Default();
+  Configuration config;
+  config.graph_size = 200;
+  config.cluster_size = 10;
+  TrialOptions options;
+  options.num_trials = 2;
+  options.parallelism = 16;
+  const ConfigurationReport r = RunTrials(config, inputs, options);
+  EXPECT_EQ(r.aggregate_in_bps.count(), 2u);
+}
+
+}  // namespace
+}  // namespace sppnet

@@ -1,0 +1,167 @@
+// Integration tests: the paper's four "rules of thumb" (Section 5.1)
+// must emerge from the evaluation engine on scaled-down networks.
+
+#include <gtest/gtest.h>
+
+#include "sppnet/model/trials.h"
+
+namespace sppnet {
+namespace {
+
+class RulesOfThumbTest : public ::testing::Test {
+ protected:
+  ConfigurationReport Run(const Configuration& c, std::size_t trials = 3) {
+    TrialOptions options;
+    options.num_trials = trials;
+    options.seed = 4242;
+    return RunTrials(c, inputs_, options);
+  }
+
+  const ModelInputs inputs_ = ModelInputs::Default();
+};
+
+// Rule #1a: increasing cluster size decreases aggregate load.
+TEST_F(RulesOfThumbTest, LargerClustersReduceAggregateLoad) {
+  Configuration c;
+  c.graph_type = GraphType::kStronglyConnected;
+  c.graph_size = 2000;
+  c.ttl = 1;
+  double prev = 1e300;
+  for (const double cs : {1.0, 10.0, 100.0}) {
+    c.cluster_size = cs;
+    const double agg = Run(c).AggregateBandwidthMean();
+    EXPECT_LT(agg, prev) << "cluster size " << cs;
+    prev = agg;
+  }
+}
+
+// Rule #1b: increasing cluster size increases individual load.
+TEST_F(RulesOfThumbTest, LargerClustersIncreaseIndividualLoad) {
+  Configuration c;
+  c.graph_type = GraphType::kStronglyConnected;
+  c.graph_size = 2000;
+  c.ttl = 1;
+  double prev = 0.0;
+  for (const double cs : {10.0, 50.0, 100.0, 200.0}) {
+    c.cluster_size = cs;
+    const ConfigurationReport r = Run(c);
+    const double individual = r.sp_in_bps.Mean() + r.sp_out_bps.Mean();
+    EXPECT_GT(individual, prev) << "cluster size " << cs;
+    prev = individual;
+  }
+}
+
+// Rule #1 exception: incoming bandwidth peaks near half the network and
+// dips at a single cluster (Figure 5).
+TEST_F(RulesOfThumbTest, IncomingBandwidthExceptionAtFullCluster) {
+  Configuration c;
+  c.graph_type = GraphType::kStronglyConnected;
+  c.graph_size = 10000;  // Paper scale: the dip needs queries >> joins.
+  c.ttl = 1;
+  c.cluster_size = 5000.0;
+  const double at_half = Run(c).sp_in_bps.Mean();
+  c.cluster_size = 10000.0;
+  const double at_full = Run(c).sp_in_bps.Mean();
+  EXPECT_LT(at_full, at_half);
+}
+
+// Rule #2: redundancy roughly halves individual load at tiny aggregate
+// bandwidth cost but raises aggregate processing.
+TEST_F(RulesOfThumbTest, RedundancyTradeoffs) {
+  Configuration c;
+  c.graph_type = GraphType::kStronglyConnected;
+  c.graph_size = 10000;  // The paper's Section 5.1 numbers use 10000.
+  c.cluster_size = 100;
+  c.ttl = 1;
+  const ConfigurationReport plain = Run(c);
+  c.redundancy = true;
+  const ConfigurationReport red = Run(c);
+
+  // Individual incoming bandwidth drops substantially (paper: ~48%).
+  EXPECT_LT(red.sp_in_bps.Mean(), 0.65 * plain.sp_in_bps.Mean());
+  // Aggregate bandwidth within a few percent (paper: +2.5%).
+  EXPECT_NEAR(red.AggregateBandwidthMean(), plain.AggregateBandwidthMean(),
+              0.08 * plain.AggregateBandwidthMean());
+  // Aggregate processing increases (paper: ~17%).
+  EXPECT_GT(red.aggregate_proc_hz.Mean(), plain.aggregate_proc_hz.Mean());
+  // Individual processing decreases (paper: ~41%).
+  EXPECT_LT(red.sp_proc_hz.Mean(), 0.75 * plain.sp_proc_hz.Mean());
+}
+
+// Rule #3: raising everyone's outdegree shortens the EPL.
+TEST_F(RulesOfThumbTest, HigherOutdegreeShortensEpl) {
+  Configuration c;
+  c.graph_size = 2000;
+  c.cluster_size = 10;
+  c.ttl = 7;
+  c.avg_outdegree = 3.1;
+  const ConfigurationReport sparse = Run(c);
+  c.avg_outdegree = 10.0;
+  const ConfigurationReport dense = Run(c);
+  EXPECT_LT(dense.epl.Mean(), sparse.epl.Mean());
+  EXPECT_GE(dense.results_per_query.Mean(),
+            0.95 * sparse.results_per_query.Mean());
+}
+
+// Rule #3 caveat (Appendix E): beyond the EPL knee, more outdegree only
+// adds redundant queries and load.
+TEST_F(RulesOfThumbTest, ExcessOutdegreeHurts) {
+  Configuration c;
+  c.graph_size = 2000;
+  c.cluster_size = 20;  // 100 super-peers.
+  c.ttl = 2;
+  c.avg_outdegree = 30.0;
+  const ConfigurationReport moderate = Run(c);
+  c.avg_outdegree = 60.0;
+  const ConfigurationReport excessive = Run(c);
+  // Both reach everything...
+  EXPECT_NEAR(moderate.reach.Mean(), 100.0, 3.0);
+  EXPECT_NEAR(excessive.reach.Mean(), 100.0, 3.0);
+  // ...but the denser overlay pays more.
+  EXPECT_GT(excessive.sp_out_bps.Mean(), moderate.sp_out_bps.Mean());
+  EXPECT_GT(excessive.duplicate_msgs_per_sec.Mean(),
+            moderate.duplicate_msgs_per_sec.Mean());
+}
+
+// Rule #4: past full reach, lower TTL saves load without losing results.
+TEST_F(RulesOfThumbTest, MinimizeTtl) {
+  Configuration c;
+  c.graph_size = 2000;
+  c.cluster_size = 10;
+  c.avg_outdegree = 20.0;
+  c.ttl = 3;
+  const ConfigurationReport lean = Run(c);
+  c.ttl = 5;
+  const ConfigurationReport fat = Run(c);
+  EXPECT_NEAR(lean.results_per_query.Mean(), fat.results_per_query.Mean(),
+              0.02 * fat.results_per_query.Mean());
+  EXPECT_LT(lean.aggregate_in_bps.Mean(), fat.aggregate_in_bps.Mean());
+}
+
+// Appendix C: with a join-heavy workload, redundancy's aggregate cost
+// grows and its individual benefit shrinks, but both effects keep their
+// sign.
+TEST_F(RulesOfThumbTest, LowQueryRateWeakensRedundancyBenefit) {
+  Configuration c;
+  c.graph_type = GraphType::kStronglyConnected;
+  c.graph_size = 2000;
+  c.cluster_size = 100;
+  c.ttl = 1;
+
+  Configuration red = c;
+  red.redundancy = true;
+  const double gain_high_rate =
+      Run(c).sp_in_bps.Mean() / Run(red).sp_in_bps.Mean();
+
+  c.query_rate = 9.26e-4;  // Queries:joins ~ 1 instead of ~10.
+  red.query_rate = 9.26e-4;
+  const double gain_low_rate =
+      Run(c).sp_in_bps.Mean() / Run(red).sp_in_bps.Mean();
+
+  EXPECT_GT(gain_high_rate, 1.0);
+  EXPECT_GT(gain_low_rate, 1.0);
+  EXPECT_LT(gain_low_rate, gain_high_rate);
+}
+
+}  // namespace
+}  // namespace sppnet

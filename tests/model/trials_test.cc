@@ -1,0 +1,119 @@
+#include "sppnet/model/trials.h"
+
+#include <gtest/gtest.h>
+
+namespace sppnet {
+namespace {
+
+class TrialsTest : public ::testing::Test {
+ protected:
+  const ModelInputs inputs_ = ModelInputs::Default();
+};
+
+TEST_F(TrialsTest, CollectsRequestedNumberOfTrials) {
+  Configuration c;
+  c.graph_size = 300;
+  c.cluster_size = 10;
+  TrialOptions options;
+  options.num_trials = 4;
+  const ConfigurationReport report = RunTrials(c, inputs_, options);
+  EXPECT_EQ(report.aggregate_in_bps.count(), 4u);
+  EXPECT_EQ(report.results_per_query.count(), 4u);
+  EXPECT_EQ(report.sp_connections.count(), 4u);
+}
+
+TEST_F(TrialsTest, DeterministicForSameSeed) {
+  Configuration c;
+  c.graph_size = 300;
+  c.cluster_size = 10;
+  TrialOptions options;
+  options.num_trials = 3;
+  options.seed = 99;
+  const ConfigurationReport a = RunTrials(c, inputs_, options);
+  const ConfigurationReport b = RunTrials(c, inputs_, options);
+  EXPECT_DOUBLE_EQ(a.aggregate_in_bps.Mean(), b.aggregate_in_bps.Mean());
+  EXPECT_DOUBLE_EQ(a.epl.Mean(), b.epl.Mean());
+}
+
+TEST_F(TrialsTest, DifferentSeedsVary) {
+  Configuration c;
+  c.graph_size = 300;
+  c.cluster_size = 10;
+  TrialOptions a_opt, b_opt;
+  a_opt.num_trials = b_opt.num_trials = 2;
+  a_opt.seed = 1;
+  b_opt.seed = 2;
+  const ConfigurationReport a = RunTrials(c, inputs_, a_opt);
+  const ConfigurationReport b = RunTrials(c, inputs_, b_opt);
+  EXPECT_NE(a.aggregate_in_bps.Mean(), b.aggregate_in_bps.Mean());
+}
+
+TEST_F(TrialsTest, ConfidenceIntervalsAvailable) {
+  Configuration c;
+  c.graph_size = 300;
+  c.cluster_size = 10;
+  TrialOptions options;
+  options.num_trials = 5;
+  const ConfigurationReport report = RunTrials(c, inputs_, options);
+  EXPECT_GT(report.aggregate_in_bps.ConfidenceHalfWidth95(), 0.0);
+  // The CI should be small relative to the mean for this stable metric.
+  EXPECT_LT(report.aggregate_in_bps.ConfidenceHalfWidth95(),
+            0.25 * report.aggregate_in_bps.Mean());
+}
+
+TEST_F(TrialsTest, OutdegreeHistogramsOnRequest) {
+  Configuration c;
+  c.graph_size = 400;
+  c.cluster_size = 20;
+  TrialOptions options;
+  options.num_trials = 2;
+  options.collect_outdegree_histograms = true;
+  const ConfigurationReport report = RunTrials(c, inputs_, options);
+  // Some outdegree bucket must hold samples, and bucket counts must sum
+  // to the number of clusters times trials.
+  std::size_t total = 0;
+  for (int d = 0; d < report.results_by_outdegree.KeyUpperBound(); ++d) {
+    total += report.results_by_outdegree.Group(d).count();
+  }
+  EXPECT_EQ(total, 20u * 2u);  // 400/20 clusters per trial, 2 trials.
+}
+
+TEST_F(TrialsTest, HistogramsSkippedByDefault) {
+  Configuration c;
+  c.graph_size = 400;
+  c.cluster_size = 20;
+  TrialOptions options;
+  options.num_trials = 1;
+  const ConfigurationReport report = RunTrials(c, inputs_, options);
+  EXPECT_EQ(report.sp_out_bps_by_outdegree.KeyUpperBound(), 0);
+}
+
+TEST_F(TrialsTest, AllNodeLoadsFlattensPartnersAndClients) {
+  Configuration c;
+  c.graph_size = 200;
+  c.cluster_size = 10;
+  c.redundancy = true;
+  Rng rng(5);
+  const NetworkInstance inst = GenerateInstance(c, inputs_, rng);
+  const InstanceLoads loads = EvaluateInstance(inst, c, inputs_);
+  const auto flat = AllNodeLoads(loads, LoadMetric::kOutBps);
+  EXPECT_EQ(flat.size(), loads.partner_load.size() + loads.client_load.size());
+  EXPECT_DOUBLE_EQ(flat[0], loads.partner_load[0].out_bps);
+  const auto total = AllNodeLoads(loads, LoadMetric::kTotalBps);
+  EXPECT_DOUBLE_EQ(total[0], loads.partner_load[0].TotalBps());
+}
+
+TEST_F(TrialsTest, AggregateBandwidthMeanCombinesInAndOut) {
+  Configuration c;
+  c.graph_size = 200;
+  c.cluster_size = 10;
+  TrialOptions options;
+  options.num_trials = 2;
+  const ConfigurationReport report = RunTrials(c, inputs_, options);
+  EXPECT_DOUBLE_EQ(report.AggregateBandwidthMean(),
+                   report.aggregate_in_bps.Mean() +
+                       report.aggregate_out_bps.Mean());
+}
+
+}  // namespace
+}  // namespace sppnet

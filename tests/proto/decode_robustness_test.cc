@@ -1,0 +1,121 @@
+// Robustness sweep over the wire codecs: decoding must never crash or
+// mis-size on truncated, padded or bit-flipped buffers — it either
+// returns a well-formed message or std::nullopt.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sppnet/common/rng.h"
+#include "sppnet/proto/messages.h"
+
+namespace sppnet {
+namespace {
+
+std::vector<std::uint8_t> SampleEncoded(Rng& rng) {
+  switch (rng.NextBounded(4)) {
+    case 0: {
+      QueryMessage m;
+      m.header.guid = GuidFromSeed(rng.NextUint64());
+      m.header.ttl = static_cast<std::uint8_t>(rng.NextBounded(10));
+      m.query.assign(rng.NextBounded(40), 'q');
+      return m.Encode();
+    }
+    case 1: {
+      ResponseMessage m;
+      m.addresses.resize(rng.NextBounded(5));
+      m.results.resize(rng.NextBounded(8));
+      for (auto& r : m.results) r.title = "some file title";
+      return m.Encode();
+    }
+    case 2: {
+      JoinMessage m;
+      m.files.resize(rng.NextBounded(6));
+      for (auto& f : m.files) f.title = "join title";
+      return m.Encode();
+    }
+    default: {
+      UpdateMessage m;
+      m.file.title = "update title";
+      return m.Encode();
+    }
+  }
+}
+
+void TryAllDecoders(const std::vector<std::uint8_t>& bytes) {
+  // None of these may crash; results are unchecked on purpose.
+  (void)QueryMessage::Decode(bytes);
+  (void)ResponseMessage::Decode(bytes);
+  (void)JoinMessage::Decode(bytes);
+  (void)UpdateMessage::Decode(bytes);
+}
+
+TEST(DecodeRobustnessTest, TruncationsNeverCrash) {
+  Rng rng(1);
+  for (int round = 0; round < 50; ++round) {
+    const auto bytes = SampleEncoded(rng);
+    for (std::size_t len = 0; len <= bytes.size(); ++len) {
+      TryAllDecoders({bytes.begin(),
+                      bytes.begin() + static_cast<std::ptrdiff_t>(len)});
+    }
+  }
+}
+
+TEST(DecodeRobustnessTest, BitFlipsNeverCrash) {
+  Rng rng(2);
+  for (int round = 0; round < 300; ++round) {
+    auto bytes = SampleEncoded(rng);
+    if (bytes.empty()) continue;
+    // Flip up to 4 random bits.
+    const int flips = 1 + static_cast<int>(rng.NextBounded(4));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.NextBounded(bytes.size());
+      bytes[pos] = static_cast<std::uint8_t>(
+          bytes[pos] ^ static_cast<std::uint8_t>(1u << rng.NextBounded(8)));
+    }
+    TryAllDecoders(bytes);
+  }
+}
+
+TEST(DecodeRobustnessTest, RandomGarbageNeverCrashes) {
+  Rng rng(3);
+  for (int round = 0; round < 300; ++round) {
+    std::vector<std::uint8_t> garbage(rng.NextBounded(200));
+    for (auto& b : garbage) {
+      b = static_cast<std::uint8_t>(rng.NextBounded(256));
+    }
+    TryAllDecoders(garbage);
+  }
+}
+
+TEST(DecodeRobustnessTest, PaddingIsRejected) {
+  Rng rng(4);
+  for (int round = 0; round < 50; ++round) {
+    auto bytes = SampleEncoded(rng);
+    bytes.push_back(0xab);  // One trailing byte breaks record framing.
+    // Typed decoders that check record alignment must reject it.
+    EXPECT_FALSE(QueryMessage::Decode(bytes).has_value() &&
+                 bytes[16] == static_cast<std::uint8_t>(MessageType::kQuery));
+    (void)ResponseMessage::Decode(bytes);
+    (void)JoinMessage::Decode(bytes);
+    (void)UpdateMessage::Decode(bytes);
+  }
+}
+
+TEST(DecodeRobustnessTest, EncodeDecodeIsIdempotent) {
+  Rng rng(5);
+  for (int round = 0; round < 100; ++round) {
+    QueryMessage m;
+    m.header.guid = GuidFromSeed(rng.NextUint64());
+    m.flags = static_cast<std::uint16_t>(rng.NextBounded(65536));
+    m.query.assign(rng.NextBounded(60), 'x');
+    const auto once = m.Encode();
+    const auto decoded = QueryMessage::Decode(once);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->Encode(), once);
+  }
+}
+
+}  // namespace
+}  // namespace sppnet

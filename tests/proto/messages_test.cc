@@ -1,0 +1,192 @@
+#include "sppnet/proto/messages.h"
+
+#include <gtest/gtest.h>
+
+#include "sppnet/cost/cost_table.h"
+
+namespace sppnet {
+namespace {
+
+TEST(MessageHeaderTest, SerializesToTwentyTwoBytes) {
+  ByteWriter w;
+  MessageHeader h;
+  h.guid = GuidFromSeed(1);
+  h.Encode(w);
+  EXPECT_EQ(w.size(), kHeaderBytes);
+}
+
+TEST(MessageHeaderTest, RoundTrip) {
+  MessageHeader h;
+  h.guid = GuidFromSeed(42);
+  h.type = MessageType::kResponse;
+  h.ttl = 7;
+  h.hops = 3;
+  h.payload_length = 512;
+  ByteWriter w;
+  h.Encode(w);
+  ByteReader r(w.bytes());
+  const auto decoded = MessageHeader::Decode(r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->guid, h.guid);
+  EXPECT_EQ(decoded->type, MessageType::kResponse);
+  EXPECT_EQ(decoded->ttl, 7);
+  EXPECT_EQ(decoded->hops, 3);
+  EXPECT_EQ(decoded->payload_length, 512);
+}
+
+TEST(QueryMessageTest, RoundTrip) {
+  QueryMessage m;
+  m.header.guid = GuidFromSeed(5);
+  m.header.ttl = 7;
+  m.flags = 0x0102;
+  m.query = "blue moon rising";
+  const auto bytes = m.Encode();
+  const auto decoded = QueryMessage::Decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->query, m.query);
+  EXPECT_EQ(decoded->flags, m.flags);
+  EXPECT_EQ(decoded->header.ttl, 7);
+}
+
+TEST(QueryMessageTest, WireSizeMatchesCostTable) {
+  // The codec and Table 2 must agree byte for byte: 82 + query length.
+  const CostTable costs;
+  for (const std::size_t len : {0u, 1u, 12u, 40u, 200u}) {
+    QueryMessage m;
+    m.query.assign(len, 'q');
+    EXPECT_EQ(static_cast<double>(m.WireSizeBytes()),
+              costs.QueryBytes(static_cast<double>(len)))
+        << "len=" << len;
+    // Encoded payload size + transport framing == WireSizeBytes.
+    EXPECT_EQ(m.Encode().size() + kTransportOverheadBytes, m.WireSizeBytes());
+  }
+}
+
+TEST(ResponseMessageTest, RoundTrip) {
+  ResponseMessage m;
+  m.header.guid = GuidFromSeed(9);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    AddressRecord a;
+    a.owner = 100 + i;
+    a.ipv4 = 0x0a000001 + i;
+    a.port = static_cast<std::uint16_t>(6346 + i);
+    a.speed_kbps = 768;
+    a.results_from_owner = static_cast<std::uint16_t>(i + 1);
+    m.addresses.push_back(a);
+  }
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ResultRecord r;
+    r.file_id = 1000 + i;
+    r.owner = 100 + static_cast<std::uint32_t>(i % 3);
+    r.size_kb = 4096;
+    r.title = "result number " + std::to_string(i);
+    m.results.push_back(r);
+  }
+  const auto bytes = m.Encode();
+  const auto decoded = ResponseMessage::Decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->addresses.size(), 3u);
+  ASSERT_EQ(decoded->results.size(), 5u);
+  EXPECT_EQ(decoded->addresses[2].owner, 102u);
+  EXPECT_EQ(decoded->results[4].title, "result number 4");
+  EXPECT_EQ(decoded->results[4].file_id, 1004u);
+}
+
+TEST(ResponseMessageTest, WireSizeMatchesCostTable) {
+  const CostTable costs;
+  for (const std::size_t addrs : {0u, 1u, 4u, 20u}) {
+    for (const std::size_t results : {0u, 1u, 10u}) {
+      ResponseMessage m;
+      m.addresses.resize(addrs);
+      m.results.resize(results);
+      EXPECT_EQ(static_cast<double>(m.WireSizeBytes()),
+                costs.ResponseBytes(static_cast<double>(addrs),
+                                    static_cast<double>(results)));
+      EXPECT_EQ(m.Encode().size() + kTransportOverheadBytes,
+                m.WireSizeBytes());
+    }
+  }
+}
+
+TEST(ResultRecordTest, LongTitleTruncatedOnWire) {
+  ResultRecord r;
+  r.title.assign(200, 'x');
+  ByteWriter w;
+  r.Encode(w);
+  EXPECT_EQ(w.size(), kResultRecordBytes);
+  ByteReader reader(w.bytes());
+  const auto decoded = ResultRecord::Decode(reader);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->title.size(), ResultRecord::kTitleBytes);
+}
+
+TEST(JoinMessageTest, RoundTrip) {
+  JoinMessage m;
+  m.header.guid = GuidFromSeed(11);
+  for (std::uint64_t i = 0; i < 7; ++i) {
+    JoinMessage::Metadata meta;
+    meta.file_id = i;
+    meta.size_kb = static_cast<std::uint32_t>(100 * i);
+    meta.title = "file " + std::to_string(i);
+    m.files.push_back(meta);
+  }
+  const auto decoded = JoinMessage::Decode(m.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->files.size(), 7u);
+  EXPECT_EQ(decoded->files[3].title, "file 3");
+  EXPECT_EQ(decoded->files[6].size_kb, 600u);
+}
+
+TEST(JoinMessageTest, WireSizeMatchesCostTable) {
+  const CostTable costs;
+  for (const std::size_t files : {0u, 1u, 10u, 168u}) {
+    JoinMessage m;
+    m.files.resize(files);
+    EXPECT_EQ(static_cast<double>(m.WireSizeBytes()),
+              costs.JoinBytes(static_cast<double>(files)));
+    EXPECT_EQ(m.Encode().size() + kTransportOverheadBytes, m.WireSizeBytes());
+  }
+}
+
+TEST(UpdateMessageTest, RoundTripAndFixedSize) {
+  const CostTable costs;
+  UpdateMessage m;
+  m.header.guid = GuidFromSeed(13);
+  m.op = UpdateMessage::Op::kErase;
+  m.file.file_id = 777;
+  m.file.title = "gone";
+  EXPECT_EQ(static_cast<double>(m.WireSizeBytes()), costs.UpdateBytes());
+  const auto decoded = UpdateMessage::Decode(m.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->op, UpdateMessage::Op::kErase);
+  EXPECT_EQ(decoded->file.file_id, 777u);
+  EXPECT_EQ(decoded->file.title, "gone");
+}
+
+TEST(DecodeTest, RejectsWrongType) {
+  QueryMessage q;
+  q.query = "x";
+  const auto bytes = q.Encode();
+  EXPECT_FALSE(ResponseMessage::Decode(bytes).has_value());
+  EXPECT_FALSE(JoinMessage::Decode(bytes).has_value());
+  EXPECT_FALSE(UpdateMessage::Decode(bytes).has_value());
+}
+
+TEST(DecodeTest, RejectsTruncatedBuffers) {
+  ResponseMessage m;
+  m.addresses.resize(2);
+  m.results.resize(2);
+  auto bytes = m.Encode();
+  bytes.pop_back();
+  EXPECT_FALSE(ResponseMessage::Decode(bytes).has_value());
+  bytes.resize(10);
+  EXPECT_FALSE(ResponseMessage::Decode(bytes).has_value());
+}
+
+TEST(GuidTest, DeterministicAndDistinct) {
+  EXPECT_EQ(GuidFromSeed(1), GuidFromSeed(1));
+  EXPECT_NE(GuidFromSeed(1), GuidFromSeed(2));
+}
+
+}  // namespace
+}  // namespace sppnet

@@ -1,0 +1,78 @@
+#include "sppnet/proto/wire.h"
+
+#include <gtest/gtest.h>
+
+namespace sppnet {
+namespace {
+
+TEST(ByteWriterTest, LittleEndianLayout) {
+  ByteWriter w;
+  w.PutU16(0x1234);
+  w.PutU32(0xdeadbeef);
+  const auto& b = w.bytes();
+  ASSERT_EQ(b.size(), 6u);
+  EXPECT_EQ(b[0], 0x34);
+  EXPECT_EQ(b[1], 0x12);
+  EXPECT_EQ(b[2], 0xef);
+  EXPECT_EQ(b[3], 0xbe);
+  EXPECT_EQ(b[4], 0xad);
+  EXPECT_EQ(b[5], 0xde);
+}
+
+TEST(ByteWriterTest, CStringAppendsTerminator) {
+  ByteWriter w;
+  w.PutCString("abc");
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[3], 0u);
+}
+
+TEST(ByteWriterTest, ZerosAndSize) {
+  ByteWriter w;
+  w.PutZeros(5);
+  w.PutU8(1);
+  EXPECT_EQ(w.size(), 6u);
+}
+
+TEST(WireRoundTripTest, AllScalarTypes) {
+  ByteWriter w;
+  w.PutU8(0x7f);
+  w.PutU16(0xbeef);
+  w.PutU32(0x12345678);
+  w.PutU64(0xfedcba9876543210ULL);
+  w.PutCString("hello world");
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.GetU8(), 0x7f);
+  EXPECT_EQ(r.GetU16(), 0xbeef);
+  EXPECT_EQ(r.GetU32(), 0x12345678u);
+  EXPECT_EQ(r.GetU64(), 0xfedcba9876543210ULL);
+  EXPECT_EQ(r.GetCString(), "hello world");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteReaderTest, TruncatedReadsFail) {
+  const std::uint8_t data[] = {1, 2, 3};
+  ByteReader r({data, 3});
+  EXPECT_TRUE(r.GetU16().has_value());
+  EXPECT_FALSE(r.GetU16().has_value());  // Only 1 byte left.
+  EXPECT_TRUE(r.GetU8().has_value());
+  EXPECT_FALSE(r.GetU8().has_value());
+}
+
+TEST(ByteReaderTest, UnterminatedCStringFails) {
+  const std::uint8_t data[] = {'a', 'b', 'c'};
+  ByteReader r({data, 3});
+  EXPECT_FALSE(r.GetCString().has_value());
+}
+
+TEST(ByteReaderTest, SkipBounds) {
+  const std::uint8_t data[] = {1, 2, 3, 4};
+  ByteReader r({data, 4});
+  EXPECT_TRUE(r.Skip(3));
+  EXPECT_FALSE(r.Skip(2));
+  EXPECT_TRUE(r.Skip(1));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+}  // namespace
+}  // namespace sppnet

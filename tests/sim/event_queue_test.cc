@@ -1,0 +1,88 @@
+#include "sppnet/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace sppnet {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  for (const double t : {5.0, 1.0, 3.0, 2.0, 4.0}) {
+    SimEvent e;
+    e.time = t;
+    q.Schedule(e);
+  }
+  double prev = -1.0;
+  while (!q.empty()) {
+    const SimEvent e = q.Pop();
+    EXPECT_GT(e.time, prev);
+    prev = e.time;
+  }
+}
+
+TEST(EventQueueTest, TiesBreakInScheduleOrder) {
+  EventQueue q;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    SimEvent e;
+    e.time = 1.0;
+    e.node = i;
+    q.Schedule(e);
+  }
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(q.Pop().node, i);
+  }
+}
+
+TEST(EventQueueTest, NextTimeReflectsEarliest) {
+  EventQueue q;
+  SimEvent a;
+  a.time = 7.0;
+  q.Schedule(a);
+  EXPECT_DOUBLE_EQ(q.NextTime(), 7.0);
+  SimEvent b;
+  b.time = 2.0;
+  q.Schedule(b);
+  EXPECT_DOUBLE_EQ(q.NextTime(), 2.0);
+}
+
+TEST(EventQueueTest, PayloadRoundTrips) {
+  EventQueue q;
+  SimEvent e;
+  e.time = 1.0;
+  e.kind = 3;
+  e.node = 42;
+  e.a = 0xdeadbeefcafeULL;
+  e.b = 77;
+  e.x = 2.5;
+  q.Schedule(e);
+  const SimEvent out = q.Pop();
+  EXPECT_EQ(out.kind, 3u);
+  EXPECT_EQ(out.node, 42u);
+  EXPECT_EQ(out.a, 0xdeadbeefcafeULL);
+  EXPECT_EQ(out.b, 77u);
+  EXPECT_DOUBLE_EQ(out.x, 2.5);
+}
+
+TEST(EventQueueTest, InterleavedScheduleAndPop) {
+  EventQueue q;
+  SimEvent e;
+  e.time = 1.0;
+  q.Schedule(e);
+  EXPECT_DOUBLE_EQ(q.Pop().time, 1.0);
+  e.time = 3.0;
+  q.Schedule(e);
+  e.time = 2.0;
+  q.Schedule(e);
+  EXPECT_DOUBLE_EQ(q.Pop().time, 2.0);
+  EXPECT_DOUBLE_EQ(q.Pop().time, 3.0);
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace sppnet

@@ -1,0 +1,85 @@
+// Tests for source-side result caching in the simulator.
+
+#include <gtest/gtest.h>
+
+#include "sppnet/sim/simulator.h"
+
+namespace sppnet {
+namespace {
+
+class ResultCacheTest : public ::testing::Test {
+ protected:
+  const ModelInputs inputs_ = ModelInputs::Default();
+
+  Configuration MakeConfig() const {
+    Configuration c;
+    c.graph_size = 500;
+    // Big clusters: many users share one cache, so popular queries
+    // repeat within the TTL.
+    c.cluster_size = 100;
+    c.ttl = 3;
+    c.avg_outdegree = 3.0;
+    return c;
+  }
+
+  SimReport Run(double cache_ttl, double duration = 400) {
+    const Configuration c = MakeConfig();
+    Rng rng(41);
+    const NetworkInstance inst = GenerateInstance(c, inputs_, rng);
+    SimOptions options;
+    options.duration_seconds = duration;
+    options.warmup_seconds = 40;
+    options.result_cache_ttl_seconds = cache_ttl;
+    options.seed = 6;
+    Simulator sim(inst, c, inputs_, options);
+    return sim.Run();
+  }
+};
+
+TEST_F(ResultCacheTest, DisabledByDefault) {
+  const SimReport r = Run(0.0);
+  EXPECT_EQ(r.cache_hits, 0u);
+}
+
+TEST_F(ResultCacheTest, PopularQueriesHitTheCache) {
+  const SimReport r = Run(300.0);
+  EXPECT_GT(r.cache_hits, 0u);
+  // Hits are a meaningful fraction under Zipf popularity with ~1 query
+  // per cluster-second.
+  EXPECT_GT(static_cast<double>(r.cache_hits),
+            0.02 * static_cast<double>(r.queries_submitted));
+}
+
+TEST_F(ResultCacheTest, CachingReducesTraffic) {
+  const SimReport without = Run(0.0);
+  const SimReport with = Run(300.0);
+  EXPECT_LT(with.aggregate.TotalBps(), without.aggregate.TotalBps());
+  // Cached answers still count as answered queries with results.
+  EXPECT_GT(with.mean_results_per_query,
+            0.5 * without.mean_results_per_query);
+}
+
+TEST_F(ResultCacheTest, LongerTtlMoreHits) {
+  const SimReport short_ttl = Run(30.0);
+  const SimReport long_ttl = Run(600.0);
+  EXPECT_GT(long_ttl.cache_hits, short_ttl.cache_hits);
+}
+
+TEST_F(ResultCacheTest, CachedResultsApproximateFloodedOnes) {
+  // The per-query mean with caching should stay in the neighborhood of
+  // the uncached mean: the cache replays what a flood of the same
+  // query collected moments earlier.
+  const SimReport without = Run(0.0, 600);
+  const SimReport with = Run(200.0, 600);
+  EXPECT_NEAR(with.mean_results_per_query, without.mean_results_per_query,
+              0.35 * without.mean_results_per_query);
+}
+
+TEST_F(ResultCacheTest, BytesStillConserve) {
+  const SimReport r = Run(300.0);
+  EXPECT_NEAR(r.aggregate.in_bps, r.aggregate.out_bps,
+              0.03 * r.aggregate.out_bps);
+}
+
+}  // namespace
+}  // namespace sppnet

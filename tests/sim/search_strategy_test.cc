@@ -1,0 +1,160 @@
+// Tests for the alternative search strategies (the paper treats routing
+// protocols as orthogonal to super-peer design; the simulator offers
+// expanding ring and random walks next to the baseline flood).
+
+#include <gtest/gtest.h>
+
+#include "sppnet/sim/simulator.h"
+
+namespace sppnet {
+namespace {
+
+class SearchStrategyTest : public ::testing::Test {
+ protected:
+  const ModelInputs inputs_ = ModelInputs::Default();
+
+  Configuration MakeConfig() const {
+    Configuration c;
+    c.graph_size = 600;
+    c.cluster_size = 10;
+    c.ttl = 6;
+    c.avg_outdegree = 4.0;
+    return c;
+  }
+
+  SimReport Run(const Configuration& c, SearchStrategy strategy,
+                std::uint64_t seed = 21) {
+    Rng rng(seed);
+    const NetworkInstance inst = GenerateInstance(c, inputs_, rng);
+    SimOptions options;
+    options.duration_seconds = 300;
+    options.warmup_seconds = 30;
+    options.strategy = strategy;
+    options.seed = 5;
+    Simulator sim(inst, c, inputs_, options);
+    return sim.Run();
+  }
+};
+
+TEST_F(SearchStrategyTest, ExpandingRingDeliversResults) {
+  const SimReport r = Run(MakeConfig(), SearchStrategy::kExpandingRing);
+  EXPECT_GT(r.queries_submitted, 0u);
+  EXPECT_GT(r.responses_delivered, 0u);
+  EXPECT_GT(r.mean_results_per_query, 0.0);
+  EXPECT_GE(r.mean_rings_per_query, 1.0);
+  EXPECT_LE(r.mean_rings_per_query, 6.0);
+}
+
+TEST_F(SearchStrategyTest, ExpandingRingStopsEarlyWhenSatisfied) {
+  // With a tiny satisfaction threshold the first ring usually suffices;
+  // with a huge one the ring must grow to the TTL budget.
+  Configuration c = MakeConfig();
+  Rng rng(22);
+  const NetworkInstance inst = GenerateInstance(c, inputs_, rng);
+  SimOptions easy;
+  easy.duration_seconds = 200;
+  easy.warmup_seconds = 20;
+  easy.strategy = SearchStrategy::kExpandingRing;
+  easy.ring_satisfaction_results = 1;
+  SimOptions greedy = easy;
+  greedy.ring_satisfaction_results = 100000;
+
+  Simulator sim_easy(inst, c, inputs_, easy);
+  Simulator sim_greedy(inst, c, inputs_, greedy);
+  const SimReport r_easy = sim_easy.Run();
+  const SimReport r_greedy = sim_greedy.Run();
+  EXPECT_LT(r_easy.mean_rings_per_query, r_greedy.mean_rings_per_query);
+  // An insatiable ring always runs to the full TTL.
+  EXPECT_NEAR(r_greedy.mean_rings_per_query, 6.0, 0.2);
+}
+
+TEST_F(SearchStrategyTest, ExpandingRingCheaperThanFloodWhenEasilySatisfied) {
+  Configuration c = MakeConfig();
+  Rng rng(23);
+  const NetworkInstance inst = GenerateInstance(c, inputs_, rng);
+  SimOptions flood;
+  flood.duration_seconds = 250;
+  flood.warmup_seconds = 25;
+  SimOptions ring = flood;
+  ring.strategy = SearchStrategy::kExpandingRing;
+  ring.ring_satisfaction_results = 5;
+
+  Simulator sim_flood(inst, c, inputs_, flood);
+  Simulator sim_ring(inst, c, inputs_, ring);
+  const SimReport r_flood = sim_flood.Run();
+  const SimReport r_ring = sim_ring.Run();
+  // Easily satisfied queries never leave the small rings: much less
+  // total traffic, fewer results.
+  EXPECT_LT(r_ring.aggregate.TotalBps(), 0.7 * r_flood.aggregate.TotalBps());
+  EXPECT_LT(r_ring.mean_results_per_query, r_flood.mean_results_per_query);
+  // But higher latency to the first response (rings take time).
+  EXPECT_GE(r_ring.mean_first_response_latency,
+            0.8 * r_flood.mean_first_response_latency);
+}
+
+TEST_F(SearchStrategyTest, RandomWalkDeliversResultsAtBoundedCost) {
+  Configuration c = MakeConfig();
+  Rng rng(24);
+  const NetworkInstance inst = GenerateInstance(c, inputs_, rng);
+  SimOptions flood;
+  flood.duration_seconds = 250;
+  flood.warmup_seconds = 25;
+  SimOptions walk = flood;
+  walk.strategy = SearchStrategy::kRandomWalk;
+  walk.num_walkers = 4;
+  walk.walk_ttl = 10;
+
+  Simulator sim_flood(inst, c, inputs_, flood);
+  Simulator sim_walk(inst, c, inputs_, walk);
+  const SimReport r_flood = sim_flood.Run();
+  const SimReport r_walk = sim_walk.Run();
+
+  EXPECT_GT(r_walk.mean_results_per_query, 0.0);
+  // 4 walkers x 10 hops cover at most ~40 of the 60 clusters (far fewer
+  // after revisits), while the flood reaches nearly all of them: walks
+  // trade results for much lower traffic.
+  EXPECT_LT(r_walk.mean_results_per_query, r_flood.mean_results_per_query);
+  EXPECT_LT(r_walk.aggregate.TotalBps(), 0.7 * r_flood.aggregate.TotalBps());
+}
+
+TEST_F(SearchStrategyTest, MoreWalkersFindMoreResults) {
+  Configuration c = MakeConfig();
+  Rng rng(25);
+  const NetworkInstance inst = GenerateInstance(c, inputs_, rng);
+  SimOptions few;
+  few.duration_seconds = 250;
+  few.warmup_seconds = 25;
+  few.strategy = SearchStrategy::kRandomWalk;
+  few.num_walkers = 2;
+  few.walk_ttl = 20;
+  SimOptions many = few;
+  many.num_walkers = 16;
+
+  Simulator sim_few(inst, c, inputs_, few);
+  Simulator sim_many(inst, c, inputs_, many);
+  const SimReport r_few = sim_few.Run();
+  const SimReport r_many = sim_many.Run();
+  EXPECT_GT(r_many.mean_results_per_query,
+            1.5 * r_few.mean_results_per_query);
+}
+
+TEST_F(SearchStrategyTest, FloodLatencyScalesWithHopDelay) {
+  Configuration c = MakeConfig();
+  Rng rng(26);
+  const NetworkInstance inst = GenerateInstance(c, inputs_, rng);
+  SimOptions fast;
+  fast.duration_seconds = 150;
+  fast.warmup_seconds = 15;
+  fast.hop_latency_seconds = 0.02;
+  SimOptions slow = fast;
+  slow.hop_latency_seconds = 0.2;
+  Simulator sim_fast(inst, c, inputs_, fast);
+  Simulator sim_slow(inst, c, inputs_, slow);
+  const SimReport r_fast = sim_fast.Run();
+  const SimReport r_slow = sim_slow.Run();
+  EXPECT_GT(r_slow.mean_first_response_latency,
+            5.0 * r_fast.mean_first_response_latency);
+}
+
+}  // namespace
+}  // namespace sppnet

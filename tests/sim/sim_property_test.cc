@@ -1,0 +1,97 @@
+// Property sweep over the discrete-event simulator: conservation and
+// sanity invariants across strategies, redundancy degrees and modes.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "sppnet/sim/simulator.h"
+
+namespace sppnet {
+namespace {
+
+struct SimGridPoint {
+  SearchStrategy strategy;
+  int redundancy_k;
+  bool concrete;
+  int ttl;
+};
+
+class SimPropertyTest : public ::testing::TestWithParam<SimGridPoint> {
+ protected:
+  static const ModelInputs& Inputs() {
+    static const ModelInputs* inputs = new ModelInputs(ModelInputs::Default());
+    return *inputs;
+  }
+};
+
+TEST_P(SimPropertyTest, ConservationAndSanity) {
+  const SimGridPoint point = GetParam();
+  Configuration config;
+  config.graph_size = 300;
+  config.cluster_size = 10;
+  config.redundancy_k = point.redundancy_k;
+  config.ttl = point.ttl;
+  config.avg_outdegree = 4.0;
+
+  Rng rng(777);
+  const NetworkInstance inst = GenerateInstance(config, Inputs(), rng);
+
+  SimOptions options;
+  options.duration_seconds = 200;
+  options.warmup_seconds = 20;
+  options.strategy = point.strategy;
+  options.concrete_index = point.concrete;
+  options.num_walkers = 6;
+  options.walk_ttl = 15;
+  options.ring_satisfaction_results = 20;
+  Simulator sim(inst, config, Inputs(), options);
+  const SimReport r = sim.Run();
+
+  // Traffic flowed and every byte sent was received (up to boundary
+  // effects of in-flight messages).
+  ASSERT_GT(r.queries_submitted, 0u);
+  ASSERT_GT(r.aggregate.TotalBps(), 0.0);
+  EXPECT_NEAR(r.aggregate.in_bps, r.aggregate.out_bps,
+              0.03 * r.aggregate.out_bps);
+
+  // Per-node loads are non-negative and shaped like the instance.
+  EXPECT_EQ(r.partner_load.size(), inst.TotalPartners());
+  EXPECT_EQ(r.client_load.size(), inst.TotalClients());
+  for (const auto& lv : r.partner_load) {
+    ASSERT_GE(lv.in_bps, 0.0);
+    ASSERT_GE(lv.out_bps, 0.0);
+    ASSERT_GE(lv.proc_hz, 0.0);
+  }
+
+  // Latency is at least one hop for client-originated queries and
+  // bounded by the ring budget.
+  if (r.responses_delivered > 0) {
+    EXPECT_GT(r.mean_first_response_latency, 0.0);
+    EXPECT_LT(r.mean_first_response_latency, 60.0);
+    EXPECT_GE(r.mean_response_hops, 0.0);
+  }
+
+  // No churn configured: nothing may fail or disconnect.
+  EXPECT_EQ(r.partner_failures, 0u);
+  EXPECT_EQ(r.cluster_outages, 0u);
+  EXPECT_EQ(r.client_disconnected_fraction, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SimPropertyTest,
+    ::testing::Values(
+        SimGridPoint{SearchStrategy::kFlood, 1, false, 4},
+        SimGridPoint{SearchStrategy::kFlood, 2, false, 4},
+        SimGridPoint{SearchStrategy::kFlood, 3, false, 3},
+        SimGridPoint{SearchStrategy::kFlood, 1, true, 4},
+        SimGridPoint{SearchStrategy::kFlood, 2, true, 3},
+        SimGridPoint{SearchStrategy::kExpandingRing, 1, false, 5},
+        SimGridPoint{SearchStrategy::kExpandingRing, 2, false, 4},
+        SimGridPoint{SearchStrategy::kExpandingRing, 1, true, 4},
+        SimGridPoint{SearchStrategy::kRandomWalk, 1, false, 4},
+        SimGridPoint{SearchStrategy::kRandomWalk, 2, false, 4},
+        SimGridPoint{SearchStrategy::kRandomWalk, 1, true, 4}));
+
+}  // namespace
+}  // namespace sppnet

@@ -1,0 +1,85 @@
+// Model-validation integration test: the discrete-event simulator and
+// the analytical mean-value engine must agree on per-class loads,
+// result counts and path lengths (the sim_validation experiment in
+// DESIGN.md). Agreement within ~15% over a few hundred simulated
+// seconds validates both the closed-form accounting and the protocol
+// implementation against each other.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "sppnet/model/evaluator.h"
+#include "sppnet/sim/simulator.h"
+
+namespace sppnet {
+namespace {
+
+struct Scenario {
+  std::size_t graph_size;
+  double cluster_size;
+  bool redundancy;
+  int ttl;
+  double outdegree;
+};
+
+class SimVsModelTest : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(SimVsModelTest, LoadsAgree) {
+  const Scenario s = GetParam();
+  const ModelInputs inputs = ModelInputs::Default();
+  Configuration c;
+  c.graph_size = s.graph_size;
+  c.cluster_size = s.cluster_size;
+  c.redundancy = s.redundancy;
+  c.ttl = s.ttl;
+  c.avg_outdegree = s.outdegree;
+
+  Rng rng(17);
+  const NetworkInstance inst = GenerateInstance(c, inputs, rng);
+  const InstanceLoads analytic = EvaluateInstance(inst, c, inputs);
+
+  SimOptions options;
+  options.duration_seconds = 500;
+  options.warmup_seconds = 50;
+  options.seed = 23;
+  Simulator sim(inst, c, inputs, options);
+  const SimReport measured = sim.Run();
+
+  const LoadVector sp_model = InstanceLoads::MeanOf(analytic.partner_load);
+  const LoadVector sp_sim = InstanceLoads::MeanOf(measured.partner_load);
+
+  EXPECT_NEAR(sp_sim.in_bps, sp_model.in_bps, 0.15 * sp_model.in_bps);
+  EXPECT_NEAR(sp_sim.out_bps, sp_model.out_bps, 0.15 * sp_model.out_bps);
+  EXPECT_NEAR(sp_sim.proc_hz, sp_model.proc_hz, 0.15 * sp_model.proc_hz);
+  EXPECT_NEAR(measured.aggregate.TotalBps(), analytic.aggregate.TotalBps(),
+              0.15 * analytic.aggregate.TotalBps());
+  EXPECT_NEAR(measured.mean_results_per_query, analytic.mean_results,
+              0.2 * analytic.mean_results);
+  EXPECT_NEAR(measured.mean_response_hops, analytic.mean_epl,
+              0.2 * analytic.mean_epl + 0.1);
+
+  if (!inst.client_files.empty()) {
+    // Client outgoing traffic is dominated by join uploads, whose rate
+    // is driven by the rare (large-library, short-session) tail — a few
+    // hundred simulated seconds only see a handful of those events, so
+    // the client-side tolerance is wider than the super-peer one.
+    const LoadVector cl_model = InstanceLoads::MeanOf(analytic.client_load);
+    const LoadVector cl_sim = InstanceLoads::MeanOf(measured.client_load);
+    EXPECT_NEAR(cl_sim.out_bps, cl_model.out_bps, 0.30 * cl_model.out_bps);
+    EXPECT_NEAR(cl_sim.in_bps, cl_model.in_bps, 0.25 * cl_model.in_bps);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, SimVsModelTest,
+    ::testing::Values(
+        Scenario{400, 10.0, false, 4, 4.0},   // Paper-like defaults, small.
+        Scenario{400, 10.0, true, 4, 4.0},    // With 2-redundancy.
+        Scenario{200, 1.0, false, 3, 3.1},    // Pure P2P degenerate case.
+        Scenario{300, 20.0, false, 7, 3.1},   // Deep TTL, Gnutella degree.
+        Scenario{400, 20.0, false, 2, 10.0}   // Short TTL, high degree.
+        ));
+
+}  // namespace
+}  // namespace sppnet

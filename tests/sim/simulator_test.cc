@@ -1,0 +1,198 @@
+#include "sppnet/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "sppnet/model/instance.h"
+
+namespace sppnet {
+namespace {
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  const ModelInputs inputs_ = ModelInputs::Default();
+
+  NetworkInstance Make(const Configuration& c, std::uint64_t seed) {
+    Rng rng(seed);
+    return GenerateInstance(c, inputs_, rng);
+  }
+};
+
+TEST_F(SimulatorTest, ProducesTrafficAndResults) {
+  Configuration c;
+  c.graph_size = 200;
+  c.cluster_size = 10;
+  c.ttl = 4;
+  c.avg_outdegree = 4.0;
+  const NetworkInstance inst = Make(c, 1);
+  SimOptions options;
+  options.duration_seconds = 120;
+  options.warmup_seconds = 20;
+  Simulator sim(inst, c, inputs_, options);
+  const SimReport report = sim.Run();
+  EXPECT_GT(report.queries_submitted, 0u);
+  EXPECT_GT(report.responses_delivered, 0u);
+  EXPECT_GT(report.mean_results_per_query, 0.0);
+  EXPECT_GT(report.aggregate.TotalBps(), 0.0);
+  EXPECT_EQ(report.partner_load.size(), inst.TotalPartners());
+  EXPECT_EQ(report.client_load.size(), inst.TotalClients());
+}
+
+TEST_F(SimulatorTest, DeterministicForSameSeed) {
+  Configuration c;
+  c.graph_size = 150;
+  c.cluster_size = 10;
+  c.ttl = 3;
+  const NetworkInstance inst = Make(c, 2);
+  SimOptions options;
+  options.duration_seconds = 60;
+  options.warmup_seconds = 10;
+  Simulator a(inst, c, inputs_, options);
+  Simulator b(inst, c, inputs_, options);
+  const SimReport ra = a.Run();
+  const SimReport rb = b.Run();
+  EXPECT_EQ(ra.queries_submitted, rb.queries_submitted);
+  EXPECT_EQ(ra.responses_delivered, rb.responses_delivered);
+  EXPECT_DOUBLE_EQ(ra.aggregate.TotalBps(), rb.aggregate.TotalBps());
+}
+
+TEST_F(SimulatorTest, BytesConserveAcrossSendersAndReceivers) {
+  Configuration c;
+  c.graph_size = 200;
+  c.cluster_size = 10;
+  c.ttl = 4;
+  const NetworkInstance inst = Make(c, 3);
+  SimOptions options;
+  options.duration_seconds = 150;
+  options.warmup_seconds = 20;
+  Simulator sim(inst, c, inputs_, options);
+  const SimReport report = sim.Run();
+  // In-flight messages at the measurement boundaries introduce a small
+  // mismatch; it must stay a tiny fraction of the traffic.
+  EXPECT_NEAR(report.aggregate.in_bps, report.aggregate.out_bps,
+              0.02 * report.aggregate.out_bps);
+}
+
+TEST_F(SimulatorTest, TtlLimitsResults) {
+  Configuration c;
+  c.graph_size = 400;
+  c.cluster_size = 10;
+  c.avg_outdegree = 3.1;
+  const NetworkInstance inst = Make(c, 4);
+  SimOptions options;
+  options.duration_seconds = 120;
+  options.warmup_seconds = 20;
+  Configuration shallow = c;
+  shallow.ttl = 1;
+  Configuration deep = c;
+  deep.ttl = 8;
+  Simulator sim_shallow(inst, shallow, inputs_, options);
+  Simulator sim_deep(inst, deep, inputs_, options);
+  const SimReport a = sim_shallow.Run();
+  const SimReport b = sim_deep.Run();
+  EXPECT_LT(a.mean_results_per_query, b.mean_results_per_query);
+}
+
+TEST_F(SimulatorTest, DuplicatesAppearOnlyWithCycles) {
+  Configuration c;
+  c.graph_size = 200;
+  c.cluster_size = 10;
+  c.ttl = 1;  // One-hop floods cannot produce duplicates.
+  const NetworkInstance inst = Make(c, 5);
+  SimOptions options;
+  options.duration_seconds = 100;
+  options.warmup_seconds = 10;
+  Simulator sim(inst, c, inputs_, options);
+  const SimReport report = sim.Run();
+  EXPECT_EQ(report.duplicate_queries, 0u);
+}
+
+TEST_F(SimulatorTest, RedundantPartnersShareQueryLoad) {
+  Configuration c;
+  c.graph_size = 300;
+  c.cluster_size = 10;
+  c.redundancy = true;
+  c.ttl = 4;
+  const NetworkInstance inst = Make(c, 6);
+  SimOptions options;
+  options.duration_seconds = 200;
+  options.warmup_seconds = 20;
+  Simulator sim(inst, c, inputs_, options);
+  const SimReport report = sim.Run();
+  // Round-robin: the two partners of a cluster see similar traffic.
+  double ratio_sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < inst.NumClusters(); ++i) {
+    const double a = report.partner_load[i * 2].TotalBps();
+    const double b = report.partner_load[i * 2 + 1].TotalBps();
+    if (a + b <= 0.0) continue;
+    ratio_sum += std::min(a, b) / std::max(a, b);
+    ++counted;
+  }
+  ASSERT_GT(counted, 0u);
+  EXPECT_GT(ratio_sum / static_cast<double>(counted), 0.5);
+}
+
+TEST_F(SimulatorTest, ChurnDisconnectsClientsWithoutRedundancy) {
+  Configuration c;
+  c.graph_size = 200;
+  c.cluster_size = 10;
+  c.ttl = 3;
+  const NetworkInstance inst = Make(c, 7);
+  SimOptions options;
+  options.duration_seconds = 1500;
+  options.warmup_seconds = 50;
+  options.enable_churn = true;
+  options.partner_recovery_seconds = 60.0;
+  Simulator sim(inst, c, inputs_, options);
+  const SimReport report = sim.Run();
+  EXPECT_GT(report.partner_failures, 0u);
+  // With k = 1 every failure is an outage.
+  EXPECT_EQ(report.cluster_outages, report.partner_failures);
+  EXPECT_GT(report.client_disconnected_fraction, 0.0);
+}
+
+TEST_F(SimulatorTest, RedundancyImprovesAvailability) {
+  Configuration c;
+  c.graph_size = 200;
+  c.cluster_size = 10;
+  c.ttl = 3;
+  SimOptions options;
+  options.duration_seconds = 1500;
+  options.warmup_seconds = 50;
+  options.enable_churn = true;
+  options.partner_recovery_seconds = 60.0;
+
+  const NetworkInstance plain = Make(c, 8);
+  Simulator sim_plain(plain, c, inputs_, options);
+  const SimReport a = sim_plain.Run();
+
+  Configuration red = c;
+  red.redundancy = true;
+  const NetworkInstance redundant = Make(red, 8);
+  Simulator sim_red(redundant, red, inputs_, options);
+  const SimReport b = sim_red.Run();
+
+  // Both partners must fail inside one recovery window for an outage:
+  // availability improves by an order of magnitude (Section 3.2).
+  EXPECT_LT(b.client_disconnected_fraction,
+            0.5 * a.client_disconnected_fraction);
+  EXPECT_LT(b.cluster_outages, a.cluster_outages);
+}
+
+TEST_F(SimulatorTest, WarmupExcludedFromMeasurement) {
+  Configuration c;
+  c.graph_size = 100;
+  c.cluster_size = 10;
+  c.ttl = 2;
+  const NetworkInstance inst = Make(c, 9);
+  SimOptions options;
+  options.duration_seconds = 1.0;  // Measure almost nothing...
+  options.warmup_seconds = 200.0;  // ...after a long warmup.
+  Simulator sim(inst, c, inputs_, options);
+  const SimReport report = sim.Run();
+  // Per-second rates must stay bounded (no warmup traffic leaking in).
+  EXPECT_LT(report.queries_submitted, 50u);
+}
+
+}  // namespace
+}  // namespace sppnet

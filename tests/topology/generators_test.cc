@@ -1,0 +1,95 @@
+#include "sppnet/topology/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "sppnet/topology/metrics.h"
+#include "sppnet/topology/plod.h"
+
+namespace sppnet {
+namespace {
+
+TEST(RandomRegularTest, DegreesAreNearlyUniform) {
+  Rng rng(1);
+  const Graph g = GenerateRandomRegular(500, 6, rng);
+  std::size_t at_target = 0;
+  for (NodeId u = 0; u < 500; ++u) {
+    EXPECT_LE(g.Degree(u), 6u);
+    if (g.Degree(u) == 6) ++at_target;
+  }
+  // Stub matching loses a few stubs; nearly all nodes hit the target.
+  EXPECT_GT(at_target, 450u);
+  EXPECT_NEAR(g.AverageDegree(), 6.0, 0.2);
+}
+
+TEST(RandomRegularTest, NoHubs) {
+  Rng rng(2);
+  const Graph g = GenerateRandomRegular(1000, 4, rng);
+  for (NodeId u = 0; u < 1000; ++u) {
+    EXPECT_LE(g.Degree(u), 4u);
+  }
+}
+
+TEST(RandomRegularTest, UsuallyConnectedAtModerateDegree) {
+  // A random 6-regular graph on 500 nodes is connected w.h.p.
+  Rng rng(3);
+  const Graph g = GenerateRandomRegular(500, 6, rng);
+  EXPECT_EQ(CountComponents(g), 1u);
+}
+
+TEST(RandomRegularTest, Deterministic) {
+  Rng a(7), b(7);
+  const Graph ga = GenerateRandomRegular(300, 5, a);
+  const Graph gb = GenerateRandomRegular(300, 5, b);
+  ASSERT_EQ(ga.num_edges(), gb.num_edges());
+  for (NodeId u = 0; u < 300; ++u) EXPECT_EQ(ga.Degree(u), gb.Degree(u));
+}
+
+TEST(SmallWorldTest, LatticeWhenBetaZero) {
+  Rng rng(4);
+  const Graph g = GenerateSmallWorld(100, 4, 0.0, rng);
+  // Pure ring lattice: every node has exactly `degree` neighbors, and
+  // they are the nearest ring neighbors.
+  for (NodeId u = 0; u < 100; ++u) {
+    ASSERT_EQ(g.Degree(u), 4u);
+    EXPECT_TRUE(g.HasEdge(u, (u + 1) % 100));
+    EXPECT_TRUE(g.HasEdge(u, (u + 2) % 100));
+  }
+  EXPECT_EQ(CountComponents(g), 1u);
+}
+
+TEST(SmallWorldTest, RewiringShortensPaths) {
+  // The defining small-world effect: a little rewiring collapses the
+  // lattice's long paths.
+  Rng a(5), b(5);
+  const Topology lattice =
+      Topology::FromGraph(GenerateSmallWorld(600, 6, 0.0, a));
+  const Topology rewired =
+      Topology::FromGraph(GenerateSmallWorld(600, 6, 0.2, b));
+  Rng sample_a(9), sample_b(9);
+  const auto epl_lattice = MeasureEplForReach(lattice, 300, 50, sample_a);
+  const auto epl_rewired = MeasureEplForReach(rewired, 300, 50, sample_b);
+  ASSERT_TRUE(epl_lattice.has_value());
+  ASSERT_TRUE(epl_rewired.has_value());
+  EXPECT_LT(*epl_rewired, 0.5 * *epl_lattice);
+}
+
+TEST(SmallWorldTest, MeanDegreePreservedUnderRewiring) {
+  Rng rng(6);
+  const Graph g = GenerateSmallWorld(400, 6, 0.5, rng);
+  EXPECT_NEAR(g.AverageDegree(), 6.0, 0.3);
+}
+
+TEST(SmallWorldTest, FullRewirePlausiblyRandom) {
+  Rng rng(8);
+  const Graph g = GenerateSmallWorld(500, 4, 1.0, rng);
+  // Degrees now vary (not all exactly 4) but the mean holds.
+  EXPECT_NEAR(g.AverageDegree(), 4.0, 0.3);
+  bool varies = false;
+  for (NodeId u = 1; u < 500; ++u) {
+    if (g.Degree(u) != g.Degree(0)) varies = true;
+  }
+  EXPECT_TRUE(varies);
+}
+
+}  // namespace
+}  // namespace sppnet

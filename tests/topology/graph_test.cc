@@ -1,0 +1,105 @@
+#include "sppnet/topology/graph.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "sppnet/topology/topology.h"
+
+namespace sppnet {
+namespace {
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  GraphBuilder builder(5);
+  const Graph g = builder.Build();
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (NodeId u = 0; u < 5; ++u) EXPECT_EQ(g.Degree(u), 0u);
+}
+
+TEST(GraphBuilderTest, SelfLoopsRejected) {
+  GraphBuilder builder(3);
+  EXPECT_FALSE(builder.AddEdge(1, 1));
+  EXPECT_TRUE(builder.AddEdge(0, 1));
+  const Graph g = builder.Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilderTest, DuplicateEdgesDeduplicated) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);  // Same edge, reversed.
+  builder.AddEdge(0, 1);  // Same edge again.
+  builder.AddEdge(2, 3);
+  const Graph g = builder.Build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(1), 1u);
+}
+
+TEST(GraphTest, NeighborsAreSortedAndSymmetric) {
+  GraphBuilder builder(6);
+  builder.AddEdge(3, 1);
+  builder.AddEdge(3, 5);
+  builder.AddEdge(3, 0);
+  builder.AddEdge(2, 3);
+  const Graph g = builder.Build();
+  const auto nbrs = g.Neighbors(3);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  for (const NodeId v : nbrs) {
+    EXPECT_TRUE(g.HasEdge(v, 3)) << "edge symmetry broken at " << v;
+  }
+}
+
+TEST(GraphTest, HasEdge) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(2, 3);
+  const Graph g = builder.Build();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(1, 3));
+}
+
+TEST(GraphTest, AverageDegree) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  const Graph g = builder.Build();
+  // 2 edges over 4 nodes: mean degree = 2*2/4 = 1.
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 1.0);
+}
+
+TEST(TopologyTest, CompleteDegrees) {
+  const Topology t = Topology::Complete(10);
+  EXPECT_TRUE(t.is_complete());
+  EXPECT_EQ(t.num_nodes(), 10u);
+  for (NodeId u = 0; u < 10; ++u) EXPECT_EQ(t.Degree(u), 9u);
+  EXPECT_DOUBLE_EQ(t.AverageDegree(), 9.0);
+}
+
+TEST(TopologyTest, CompleteSingleton) {
+  const Topology t = Topology::Complete(1);
+  EXPECT_EQ(t.Degree(0), 0u);
+  EXPECT_DOUBLE_EQ(t.AverageDegree(), 0.0);
+}
+
+TEST(TopologyTest, SparseWrapsGraph) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  const Topology t = Topology::FromGraph(builder.Build());
+  EXPECT_FALSE(t.is_complete());
+  EXPECT_EQ(t.num_nodes(), 3u);
+  EXPECT_EQ(t.Degree(0), 1u);
+  EXPECT_EQ(t.Degree(2), 0u);
+}
+
+TEST(TopologyTest, DefaultIsEmpty) {
+  const Topology t;
+  EXPECT_EQ(t.num_nodes(), 0u);
+}
+
+}  // namespace
+}  // namespace sppnet

@@ -1,0 +1,108 @@
+#include "sppnet/topology/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sppnet/topology/plod.h"
+
+namespace sppnet {
+namespace {
+
+Topology MakePlod(std::size_t n, double avg_degree, std::uint64_t seed) {
+  Rng rng(seed);
+  PlodParams params;
+  params.target_avg_degree = avg_degree;
+  return Topology::FromGraph(GeneratePlod(n, params, rng));
+}
+
+TEST(MeasureReachTest, CompleteTopologyFullReach) {
+  const Topology full = Topology::Complete(30);
+  Rng rng(1);
+  const ReachSummary summary = MeasureReach(full, 1, 10, rng);
+  EXPECT_DOUBLE_EQ(summary.mean_reach, 30.0);
+  EXPECT_DOUBLE_EQ(summary.mean_epl, 1.0);
+  EXPECT_DOUBLE_EQ(summary.mean_duplicates, 0.0);
+}
+
+TEST(MeasureReachTest, ReachGrowsWithTtl) {
+  const Topology topo = MakePlod(2000, 3.1, 42);
+  Rng rng(2);
+  double prev = 0.0;
+  for (int ttl = 1; ttl <= 6; ++ttl) {
+    Rng local(2);  // Same sources for comparability.
+    const ReachSummary s = MeasureReach(topo, ttl, 50, local);
+    EXPECT_GE(s.mean_reach, prev) << "ttl " << ttl;
+    prev = s.mean_reach;
+  }
+}
+
+TEST(MeasureReachTest, ConnectedGraphEventuallyFullReach) {
+  const Topology topo = MakePlod(500, 4.0, 7);
+  Rng rng(3);
+  const ReachSummary s = MeasureReach(topo, 32, 20, rng);
+  EXPECT_DOUBLE_EQ(s.mean_reach, 500.0);
+}
+
+TEST(MeasureEplForReachTest, GrowsWithReach) {
+  const Topology topo = MakePlod(2000, 10.0, 11);
+  Rng a(5), b(5);
+  const auto epl_small = MeasureEplForReach(topo, 20, 50, a);
+  const auto epl_large = MeasureEplForReach(topo, 1000, 50, b);
+  ASSERT_TRUE(epl_small.has_value());
+  ASSERT_TRUE(epl_large.has_value());
+  EXPECT_LT(*epl_small, *epl_large);
+}
+
+TEST(MeasureEplForReachTest, ShrinksWithOutdegree) {
+  // Rule #3: higher average outdegree reduces the EPL for a fixed reach.
+  const Topology sparse = MakePlod(2000, 3.1, 13);
+  const Topology dense = MakePlod(2000, 10.0, 13);
+  Rng a(7), b(7);
+  const auto epl_sparse = MeasureEplForReach(sparse, 500, 60, a);
+  const auto epl_dense = MeasureEplForReach(dense, 500, 60, b);
+  ASSERT_TRUE(epl_sparse.has_value());
+  ASSERT_TRUE(epl_dense.has_value());
+  EXPECT_GT(*epl_sparse, *epl_dense);
+}
+
+TEST(MeasureEplForReachTest, UnreachableReachIsNullopt) {
+  const Topology topo = MakePlod(100, 3.1, 17);
+  Rng rng(9);
+  EXPECT_FALSE(MeasureEplForReach(topo, 100, 10, rng).has_value());
+}
+
+TEST(EplLogApproximationTest, MatchesClosedForm) {
+  EXPECT_NEAR(EplLogApproximation(10.0, 1000.0), 3.0, 1e-12);
+  EXPECT_NEAR(EplLogApproximation(20.0, 400.0), 2.0, 1e-12);
+}
+
+TEST(EplLogApproximationTest, IsLowerBoundOnMeasuredEpl) {
+  // Appendix F: log_d(reach) is a lower bound in a graph because cycles
+  // reduce the effective outdegree.
+  const Topology topo = MakePlod(3000, 10.0, 19);
+  Rng rng(11);
+  const auto measured = MeasureEplForReach(topo, 500, 60, rng);
+  ASSERT_TRUE(measured.has_value());
+  const double bound = EplLogApproximation(topo.AverageDegree(), 500.0);
+  EXPECT_GE(*measured, bound - 0.05);
+}
+
+TEST(MeasureMinTtlForFullReachTest, CompleteIsOne) {
+  const Topology full = Topology::Complete(20);
+  Rng rng(13);
+  EXPECT_EQ(MeasureMinTtlForFullReach(full, 5, rng), 1);
+}
+
+TEST(MeasureMinTtlForFullReachTest, ConsistentWithReach) {
+  const Topology topo = MakePlod(500, 6.0, 23);
+  Rng a(15);
+  const auto min_ttl = MeasureMinTtlForFullReach(topo, 30, a);
+  ASSERT_TRUE(min_ttl.has_value());
+  Rng b(15);
+  const ReachSummary at_min = MeasureReach(topo, *min_ttl, 30, b);
+  EXPECT_DOUBLE_EQ(at_min.mean_reach, 500.0);
+}
+
+}  // namespace
+}  // namespace sppnet

@@ -1,0 +1,107 @@
+#include "sppnet/topology/plod.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "sppnet/common/rng.h"
+
+namespace sppnet {
+namespace {
+
+TEST(PlodTest, DeterministicForSameSeed) {
+  PlodParams params;
+  Rng a(1), b(1);
+  const Graph ga = GeneratePlod(200, params, a);
+  const Graph gb = GeneratePlod(200, params, b);
+  ASSERT_EQ(ga.num_edges(), gb.num_edges());
+  for (NodeId u = 0; u < 200; ++u) {
+    ASSERT_EQ(ga.Degree(u), gb.Degree(u));
+  }
+}
+
+TEST(PlodTest, ConnectedWhenRequested) {
+  PlodParams params;
+  params.ensure_connected = true;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed);
+    const Graph g = GeneratePlod(500, params, rng);
+    EXPECT_EQ(CountComponents(g), 1u) << "seed " << seed;
+  }
+}
+
+TEST(PlodTest, NoIsolatedNodesAfterRepair) {
+  PlodParams params;
+  Rng rng(3);
+  const Graph g = GeneratePlod(1000, params, rng);
+  for (NodeId u = 0; u < 1000; ++u) {
+    EXPECT_GE(g.Degree(u), 1u) << "node " << u;
+  }
+}
+
+TEST(PlodTest, DegreeCapRespected) {
+  PlodParams params;
+  params.max_degree = 6;
+  params.ensure_connected = false;  // Repair edges may exceed the cap.
+  Rng rng(5);
+  const Graph g = GeneratePlod(2000, params, rng);
+  for (NodeId u = 0; u < 2000; ++u) {
+    EXPECT_LE(g.Degree(u), 6u);
+  }
+}
+
+TEST(PlodTest, DegreeDistributionIsSkewed) {
+  PlodParams params;
+  params.target_avg_degree = 3.1;
+  params.max_degree = 32;
+  Rng rng(7);
+  const Graph g = GeneratePlod(5000, params, rng);
+  // A power law should produce both leaves and hubs well above the mean.
+  std::size_t leaves = 0;
+  std::size_t hubs = 0;
+  for (NodeId u = 0; u < 5000; ++u) {
+    if (g.Degree(u) <= 1) ++leaves;
+    if (g.Degree(u) >= 10) ++hubs;
+  }
+  EXPECT_GT(leaves, 500u);
+  EXPECT_GT(hubs, 20u);
+}
+
+// Property sweep: the achieved mean degree tracks the target across
+// targets and sizes.
+class PlodMeanDegreeTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(PlodMeanDegreeTest, MeanDegreeNearTarget) {
+  const auto [n, target] = GetParam();
+  PlodParams params;
+  params.target_avg_degree = target;
+  params.max_degree =
+      static_cast<std::uint32_t>(std::max(32.0, 6.0 * target));
+  Rng rng(11);
+  const Graph g = GeneratePlod(n, params, rng);
+  // Stub matching drops collisions, so allow 15% slack.
+  EXPECT_NEAR(g.AverageDegree(), target, 0.15 * target)
+      << "n=" << n << " target=" << target;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PlodMeanDegreeTest,
+    ::testing::Values(std::make_tuple(std::size_t{500}, 3.1),
+                      std::make_tuple(std::size_t{2000}, 3.1),
+                      std::make_tuple(std::size_t{2000}, 10.0),
+                      std::make_tuple(std::size_t{1000}, 20.0),
+                      std::make_tuple(std::size_t{500}, 50.0)));
+
+TEST(CountComponentsTest, DisconnectedGraph) {
+  GraphBuilder builder(6);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(2, 3);
+  const Graph g = builder.Build();
+  // Components: {0,1}, {2,3}, {4}, {5}.
+  EXPECT_EQ(CountComponents(g), 4u);
+}
+
+}  // namespace
+}  // namespace sppnet

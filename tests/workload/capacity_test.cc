@@ -1,0 +1,76 @@
+#include "sppnet/workload/capacity.h"
+
+#include <gtest/gtest.h>
+
+namespace sppnet {
+namespace {
+
+TEST(CapacityDistributionTest, FractionsSumToOne) {
+  const CapacityDistribution dist = CapacityDistribution::Default();
+  double total = 0.0;
+  for (const auto& c : dist.classes()) total += c.fraction;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(CapacityDistributionTest, ClassFrequenciesMatchFractions) {
+  const CapacityDistribution dist = CapacityDistribution::Default();
+  Rng rng(1);
+  // Classify samples by nearest nominal uplink.
+  std::size_t modem_like = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const PeerCapacity cap = dist.Sample(rng);
+    if (cap.up_bps < 10e3) ++modem_like;  // Only the 56k class fits.
+  }
+  EXPECT_NEAR(static_cast<double>(modem_like) / kSamples, 0.25, 0.01);
+}
+
+TEST(CapacityDistributionTest, ThreeOrdersOfMagnitudeSpread) {
+  // The paper cites "up to 3 orders of magnitude difference in
+  // bandwidth" across peers; the default mixture must reproduce that.
+  const CapacityDistribution dist = CapacityDistribution::Default();
+  Rng rng(2);
+  double min_up = 1e300, max_up = 0.0;
+  for (int i = 0; i < 50000; ++i) {
+    const PeerCapacity cap = dist.Sample(rng);
+    min_up = std::min(min_up, cap.up_bps);
+    max_up = std::max(max_up, cap.up_bps);
+  }
+  EXPECT_GT(max_up / min_up, 1000.0);
+}
+
+TEST(CapacityDistributionTest, JitterStaysBounded) {
+  const CapacityDistribution dist = CapacityDistribution::Default();
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const PeerCapacity cap = dist.Sample(rng);
+    EXPECT_GE(cap.up_bps, 7e3 * 0.75);       // Weakest class, min jitter.
+    EXPECT_LE(cap.down_bps, 9e6 * 1.25);     // Strongest class, max jitter.
+    EXPECT_GT(cap.proc_hz, 0.0);
+  }
+}
+
+TEST(CapacityDistributionTest, RejectsBadFractions) {
+  EXPECT_DEATH(CapacityDistribution({{"only", 0.5, {1, 1, 1}}}), "sum to 1");
+}
+
+TEST(FitsWithinTest, AllAxesChecked) {
+  const PeerCapacity cap{100.0, 50.0, 1000.0};
+  EXPECT_TRUE(FitsWithin(cap, 100.0, 50.0, 1000.0));
+  EXPECT_FALSE(FitsWithin(cap, 101.0, 10.0, 10.0));
+  EXPECT_FALSE(FitsWithin(cap, 10.0, 51.0, 10.0));
+  EXPECT_FALSE(FitsWithin(cap, 10.0, 10.0, 1001.0));
+}
+
+TEST(CapacityDistributionTest, Deterministic) {
+  const CapacityDistribution dist = CapacityDistribution::Default();
+  Rng a(9), b(9);
+  for (int i = 0; i < 100; ++i) {
+    const PeerCapacity x = dist.Sample(a);
+    const PeerCapacity y = dist.Sample(b);
+    EXPECT_DOUBLE_EQ(x.up_bps, y.up_bps);
+  }
+}
+
+}  // namespace
+}  // namespace sppnet

@@ -1,0 +1,97 @@
+#include "sppnet/workload/peer_profile.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+namespace sppnet {
+namespace {
+
+TEST(FileCountDistributionTest, MeanMatchesTarget) {
+  const FileCountDistribution dist = FileCountDistribution::Default();
+  Rng rng(1);
+  double sum = 0.0;
+  constexpr int kSamples = 400000;
+  for (int i = 0; i < kSamples; ++i) sum += dist.Sample(rng);
+  EXPECT_NEAR(sum / kSamples, dist.Mean(), 0.05 * dist.Mean());
+}
+
+TEST(FileCountDistributionTest, FreeRiderFraction) {
+  const FileCountDistribution dist = FileCountDistribution::Default();
+  Rng rng(3);
+  int zeros = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (dist.Sample(rng) == 0) ++zeros;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / kSamples,
+              dist.params().free_rider_fraction, 0.01);
+}
+
+TEST(FileCountDistributionTest, SharersOwnAtLeastOneFile) {
+  FileCountDistribution::Params params;
+  params.free_rider_fraction = 0.0;
+  const FileCountDistribution dist(params);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(dist.Sample(rng), 1u);
+}
+
+TEST(FileCountDistributionTest, CustomMeanRespected) {
+  FileCountDistribution::Params params;
+  params.target_mean = 340.0;
+  const FileCountDistribution dist(params);
+  Rng rng(7);
+  double sum = 0.0;
+  constexpr int kSamples = 400000;
+  for (int i = 0; i < kSamples; ++i) sum += dist.Sample(rng);
+  EXPECT_NEAR(sum / kSamples, 340.0, 0.05 * 340.0);
+}
+
+TEST(FileCountDistributionTest, HeavyTailPresent) {
+  const FileCountDistribution dist = FileCountDistribution::Default();
+  Rng rng(9);
+  std::uint32_t max_seen = 0;
+  for (int i = 0; i < 200000; ++i) {
+    max_seen = std::max(max_seen, dist.Sample(rng));
+  }
+  // Some peer should share far more than the mean of 168 files.
+  EXPECT_GT(max_seen, 2000u);
+}
+
+TEST(LifespanDistributionTest, ArithmeticMeanMatchesTarget) {
+  const LifespanDistribution dist = LifespanDistribution::Default();
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kSamples = 400000;
+  for (int i = 0; i < kSamples; ++i) sum += dist.Sample(rng);
+  EXPECT_NEAR(sum / kSamples, dist.Mean(), 0.04 * dist.Mean());
+}
+
+TEST(LifespanDistributionTest, QueriesPerSessionIsTen) {
+  // Appendix C: a user submits ~10 queries per session on average under
+  // the default query rate: query_rate * E[L] = 10.
+  const LifespanDistribution dist = LifespanDistribution::Default();
+  EXPECT_NEAR(9.26e-3 * dist.Mean(), 10.0, 0.01);
+}
+
+TEST(LifespanDistributionTest, EffectiveJoinRateMatchesClosedForm) {
+  // Per-node join rates are 1/L_i; the class documents that their mean
+  // E[1/L] is ~3x the naive 1/E[L] because sessions are short-skewed.
+  const LifespanDistribution dist = LifespanDistribution::Default();
+  Rng rng(12);
+  double inv_sum = 0.0;
+  constexpr int kSamples = 400000;
+  for (int i = 0; i < kSamples; ++i) inv_sum += 1.0 / dist.Sample(rng);
+  EXPECT_NEAR(inv_sum / kSamples, dist.JoinRate(), 0.04 * dist.JoinRate());
+  EXPECT_GT(dist.JoinRate(), 2.0 / dist.Mean());
+}
+
+TEST(LifespanDistributionTest, SamplesPositive) {
+  const LifespanDistribution dist = LifespanDistribution::Default();
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(dist.Sample(rng), 0.0);
+}
+
+}  // namespace
+}  // namespace sppnet

@@ -1,0 +1,127 @@
+#include "sppnet/workload/query_model.h"
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sppnet/common/rng.h"
+
+namespace sppnet {
+namespace {
+
+TEST(QueryModelTest, MatchProbabilityHitsCalibrationTarget) {
+  const QueryModel model = QueryModel::Default();
+  EXPECT_NEAR(model.MatchProbability(),
+              model.params().target_match_probability,
+              1e-9 * model.params().target_match_probability);
+}
+
+TEST(QueryModelTest, SelectionPowersRespectClamp) {
+  const QueryModel model = QueryModel::Default();
+  for (std::size_t j = 0; j < model.num_query_classes(); ++j) {
+    EXPECT_GT(model.SelectionPower(j), 0.0);
+    EXPECT_LE(model.SelectionPower(j), model.params().max_selection_power);
+  }
+}
+
+TEST(QueryModelTest, SelectionPowersMonotoneDecreasing) {
+  const QueryModel model = QueryModel::Default();
+  for (std::size_t j = 1; j < model.num_query_classes(); ++j) {
+    EXPECT_LE(model.SelectionPower(j), model.SelectionPower(j - 1));
+  }
+}
+
+TEST(QueryModelTest, ExpectedResultsLinearInIndexSize) {
+  const QueryModel model = QueryModel::Default();
+  const double r1 = model.ExpectedResults(1000.0);
+  const double r2 = model.ExpectedResults(2000.0);
+  EXPECT_NEAR(r2, 2.0 * r1, 1e-9);
+}
+
+TEST(QueryModelTest, PaperResultCountsReproduced) {
+  // The calibration must reproduce the paper's own numbers: ~270 results
+  // at reach 3000 peers and ~890 at full reach 10000, with the default
+  // mean of 168 files per peer (Figures 8 and 11; see DESIGN.md).
+  const QueryModel model = QueryModel::Default();
+  EXPECT_NEAR(model.ExpectedResults(3000.0 * 168.0), 267.0, 15.0);
+  EXPECT_NEAR(model.ExpectedResults(10000.0 * 168.0), 890.0, 50.0);
+}
+
+TEST(QueryModelTest, NoMatchProbabilityBoundsAndMonotonicity) {
+  const QueryModel model = QueryModel::Default();
+  EXPECT_DOUBLE_EQ(model.NoMatchProbability(0.0), 1.0);
+  double prev = 1.0;
+  for (const double x : {1.0, 10.0, 100.0, 1000.0, 1e4, 1e5, 1e6}) {
+    const double phi = model.NoMatchProbability(x);
+    EXPECT_GT(phi, 0.0);
+    EXPECT_LE(phi, prev);
+    prev = phi;
+  }
+}
+
+TEST(QueryModelTest, InterpolationMatchesExactEvaluation) {
+  const QueryModel model = QueryModel::Default();
+  for (const double x : {1.0, 7.0, 50.0, 168.0, 1234.0, 9999.0, 123456.0}) {
+    const double exact = model.NoMatchProbabilityExact(x);
+    const double fast = model.NoMatchProbability(x);
+    EXPECT_NEAR(fast, exact, 2e-3) << "x=" << x;
+  }
+}
+
+TEST(QueryModelTest, ResponseProbabilityComplementsNoMatch) {
+  const QueryModel model = QueryModel::Default();
+  for (const double x : {0.0, 10.0, 500.0}) {
+    EXPECT_DOUBLE_EQ(model.ResponseProbability(x),
+                     1.0 - model.NoMatchProbability(x));
+  }
+}
+
+TEST(QueryModelTest, SampleQueryClassFollowsPopularity) {
+  const QueryModel model = QueryModel::Default();
+  Rng rng(3);
+  std::vector<int> counts(model.num_query_classes(), 0);
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) ++counts[model.SampleQueryClass(rng)];
+  const double expected0 = model.Popularity(0) * kSamples;
+  EXPECT_NEAR(static_cast<double>(counts[0]), expected0, 0.05 * expected0);
+}
+
+// Property sweep: calibration holds across model sizes and exponents.
+class QueryModelCalibrationTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double, double>> {
+};
+
+TEST_P(QueryModelCalibrationTest, TargetAlwaysHit) {
+  const auto [classes, pop_exp, sel_exp] = GetParam();
+  QueryModel::Params params;
+  params.num_query_classes = classes;
+  params.popularity_exponent = pop_exp;
+  params.selection_exponent = sel_exp;
+  const QueryModel model(params);
+  EXPECT_NEAR(model.MatchProbability(), params.target_match_probability,
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QueryModelCalibrationTest,
+    ::testing::Values(std::make_tuple(std::size_t{100}, 1.0, 0.5),
+                      std::make_tuple(std::size_t{2000}, 0.8, 0.5),
+                      std::make_tuple(std::size_t{2000}, 1.2, 1.0),
+                      std::make_tuple(std::size_t{5000}, 1.0, 0.0),
+                      std::make_tuple(std::size_t{500}, 0.0, 0.5)));
+
+TEST(QueryModelTest, ExpectedResultsConsistentWithPerClassSum) {
+  // E[N] must equal sum_j g(j) * x * f(j) by definition (equation 5).
+  const QueryModel model = QueryModel::Default();
+  const double x = 5000.0;
+  double direct = 0.0;
+  for (std::size_t j = 0; j < model.num_query_classes(); ++j) {
+    direct += model.Popularity(j) * x * model.SelectionPower(j);
+  }
+  EXPECT_NEAR(model.ExpectedResults(x), direct, 1e-6 * direct);
+}
+
+}  // namespace
+}  // namespace sppnet
