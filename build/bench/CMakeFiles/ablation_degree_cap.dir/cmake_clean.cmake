@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_degree_cap.dir/ablation_degree_cap.cc.o"
+  "CMakeFiles/ablation_degree_cap.dir/ablation_degree_cap.cc.o.d"
+  "ablation_degree_cap"
+  "ablation_degree_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_degree_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multiplex.dir/ablation_multiplex.cc.o"
+  "CMakeFiles/ablation_multiplex.dir/ablation_multiplex.cc.o.d"
+  "ablation_multiplex"
+  "ablation_multiplex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multiplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/action_breakdown.dir/action_breakdown.cc.o"
+  "CMakeFiles/action_breakdown.dir/action_breakdown.cc.o.d"
+  "action_breakdown"
+  "action_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/action_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

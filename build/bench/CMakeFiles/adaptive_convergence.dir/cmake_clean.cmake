@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_convergence.dir/adaptive_convergence.cc.o"
+  "CMakeFiles/adaptive_convergence.dir/adaptive_convergence.cc.o.d"
+  "adaptive_convergence"
+  "adaptive_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_aware_selection.dir/capacity_aware_selection.cc.o"
+  "CMakeFiles/capacity_aware_selection.dir/capacity_aware_selection.cc.o.d"
+  "capacity_aware_selection"
+  "capacity_aware_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_aware_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

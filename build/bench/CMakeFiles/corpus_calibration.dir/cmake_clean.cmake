@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_calibration.dir/corpus_calibration.cc.o"
+  "CMakeFiles/corpus_calibration.dir/corpus_calibration.cc.o.d"
+  "corpus_calibration"
+  "corpus_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discovery_policies.dir/discovery_policies.cc.o"
+  "CMakeFiles/discovery_policies.dir/discovery_policies.cc.o.d"
+  "discovery_policies"
+  "discovery_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discovery_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

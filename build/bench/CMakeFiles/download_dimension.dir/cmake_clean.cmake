@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/download_dimension.dir/download_dimension.cc.o"
+  "CMakeFiles/download_dimension.dir/download_dimension.cc.o.d"
+  "download_dimension"
+  "download_dimension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/download_dimension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

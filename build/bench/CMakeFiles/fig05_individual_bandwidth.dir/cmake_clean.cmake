@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_individual_bandwidth.dir/fig05_individual_bandwidth.cc.o"
+  "CMakeFiles/fig05_individual_bandwidth.dir/fig05_individual_bandwidth.cc.o.d"
+  "fig05_individual_bandwidth"
+  "fig05_individual_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_individual_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_individual_processing.dir/fig06_individual_processing.cc.o"
+  "CMakeFiles/fig06_individual_processing.dir/fig06_individual_processing.cc.o.d"
+  "fig06_individual_processing"
+  "fig06_individual_processing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_individual_processing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

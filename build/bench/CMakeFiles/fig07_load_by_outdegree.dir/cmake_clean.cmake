@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_load_by_outdegree.dir/fig07_load_by_outdegree.cc.o"
+  "CMakeFiles/fig07_load_by_outdegree.dir/fig07_load_by_outdegree.cc.o.d"
+  "fig07_load_by_outdegree"
+  "fig07_load_by_outdegree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_load_by_outdegree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_results_by_outdegree.dir/fig08_results_by_outdegree.cc.o"
+  "CMakeFiles/fig08_results_by_outdegree.dir/fig08_results_by_outdegree.cc.o.d"
+  "fig08_results_by_outdegree"
+  "fig08_results_by_outdegree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_results_by_outdegree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

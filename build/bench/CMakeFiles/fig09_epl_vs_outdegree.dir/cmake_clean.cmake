@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_epl_vs_outdegree.dir/fig09_epl_vs_outdegree.cc.o"
+  "CMakeFiles/fig09_epl_vs_outdegree.dir/fig09_epl_vs_outdegree.cc.o.d"
+  "fig09_epl_vs_outdegree"
+  "fig09_epl_vs_outdegree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_epl_vs_outdegree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

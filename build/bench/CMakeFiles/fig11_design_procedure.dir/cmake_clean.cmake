@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_design_procedure.dir/fig11_design_procedure.cc.o"
+  "CMakeFiles/fig11_design_procedure.dir/fig11_design_procedure.cc.o.d"
+  "fig11_design_procedure"
+  "fig11_design_procedure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_design_procedure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

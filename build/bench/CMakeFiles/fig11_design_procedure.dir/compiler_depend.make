@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_design_procedure.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_load_rank.dir/fig12_load_rank.cc.o"
+  "CMakeFiles/fig12_load_rank.dir/fig12_load_rank.cc.o.d"
+  "fig12_load_rank"
+  "fig12_load_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_load_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

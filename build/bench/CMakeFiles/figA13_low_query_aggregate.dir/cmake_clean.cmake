@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figA13_low_query_aggregate.dir/figA13_low_query_aggregate.cc.o"
+  "CMakeFiles/figA13_low_query_aggregate.dir/figA13_low_query_aggregate.cc.o.d"
+  "figA13_low_query_aggregate"
+  "figA13_low_query_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figA13_low_query_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

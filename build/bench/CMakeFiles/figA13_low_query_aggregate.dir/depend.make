@@ -1,0 +1,2 @@
+# Empty dependencies file for figA13_low_query_aggregate.
+# This may be replaced when dependencies are built.

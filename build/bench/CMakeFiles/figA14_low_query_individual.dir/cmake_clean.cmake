@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figA14_low_query_individual.dir/figA14_low_query_individual.cc.o"
+  "CMakeFiles/figA14_low_query_individual.dir/figA14_low_query_individual.cc.o.d"
+  "figA14_low_query_individual"
+  "figA14_low_query_individual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figA14_low_query_individual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

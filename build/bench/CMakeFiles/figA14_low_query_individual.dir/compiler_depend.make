@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for figA14_low_query_individual.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for figA14_low_query_individual.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/figA15_outdegree_caveat.cc" "bench/CMakeFiles/figA15_outdegree_caveat.dir/figA15_outdegree_caveat.cc.o" "gcc" "bench/CMakeFiles/figA15_outdegree_caveat.dir/figA15_outdegree_caveat.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sppnet/proto/CMakeFiles/sppnet_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sppnet/bootstrap/CMakeFiles/sppnet_bootstrap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sppnet/transfer/CMakeFiles/sppnet_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/sppnet/design/CMakeFiles/sppnet_design.dir/DependInfo.cmake"
+  "/root/repo/build/src/sppnet/adaptive/CMakeFiles/sppnet_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/sppnet/sim/CMakeFiles/sppnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sppnet/index/CMakeFiles/sppnet_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/sppnet/model/CMakeFiles/sppnet_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sppnet/topology/CMakeFiles/sppnet_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sppnet/workload/CMakeFiles/sppnet_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sppnet/cost/CMakeFiles/sppnet_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/sppnet/io/CMakeFiles/sppnet_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sppnet/common/CMakeFiles/sppnet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

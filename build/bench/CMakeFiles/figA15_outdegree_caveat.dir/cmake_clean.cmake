@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figA15_outdegree_caveat.dir/figA15_outdegree_caveat.cc.o"
+  "CMakeFiles/figA15_outdegree_caveat.dir/figA15_outdegree_caveat.cc.o.d"
+  "figA15_outdegree_caveat"
+  "figA15_outdegree_caveat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figA15_outdegree_caveat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for figA15_outdegree_caveat.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redundancy_k_sweep.dir/redundancy_k_sweep.cc.o"
+  "CMakeFiles/redundancy_k_sweep.dir/redundancy_k_sweep.cc.o.d"
+  "redundancy_k_sweep"
+  "redundancy_k_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redundancy_k_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

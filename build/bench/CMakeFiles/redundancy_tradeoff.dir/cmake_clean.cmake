@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redundancy_tradeoff.dir/redundancy_tradeoff.cc.o"
+  "CMakeFiles/redundancy_tradeoff.dir/redundancy_tradeoff.cc.o.d"
+  "redundancy_tradeoff"
+  "redundancy_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redundancy_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

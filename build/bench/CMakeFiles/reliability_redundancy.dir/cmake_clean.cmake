@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_redundancy.dir/reliability_redundancy.cc.o"
+  "CMakeFiles/reliability_redundancy.dir/reliability_redundancy.cc.o.d"
+  "reliability_redundancy"
+  "reliability_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

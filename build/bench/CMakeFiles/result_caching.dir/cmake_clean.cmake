@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/result_caching.dir/result_caching.cc.o"
+  "CMakeFiles/result_caching.dir/result_caching.cc.o.d"
+  "result_caching"
+  "result_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/result_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule4_ttl_minimization.dir/rule4_ttl_minimization.cc.o"
+  "CMakeFiles/rule4_ttl_minimization.dir/rule4_ttl_minimization.cc.o.d"
+  "rule4_ttl_minimization"
+  "rule4_ttl_minimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule4_ttl_minimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rule4_ttl_minimization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_strategies.dir/search_strategies.cc.o"
+  "CMakeFiles/search_strategies.dir/search_strategies.cc.o.d"
+  "search_strategies"
+  "search_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

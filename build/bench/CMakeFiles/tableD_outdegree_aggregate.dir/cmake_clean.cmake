@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableD_outdegree_aggregate.dir/tableD_outdegree_aggregate.cc.o"
+  "CMakeFiles/tableD_outdegree_aggregate.dir/tableD_outdegree_aggregate.cc.o.d"
+  "tableD_outdegree_aggregate"
+  "tableD_outdegree_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableD_outdegree_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_families.dir/topology_families.cc.o"
+  "CMakeFiles/topology_families.dir/topology_families.cc.o.d"
+  "topology_families"
+  "topology_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

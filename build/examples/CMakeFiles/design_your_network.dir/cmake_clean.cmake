@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_your_network.dir/design_your_network.cpp.o"
+  "CMakeFiles/design_your_network.dir/design_your_network.cpp.o.d"
+  "design_your_network"
+  "design_your_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_your_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

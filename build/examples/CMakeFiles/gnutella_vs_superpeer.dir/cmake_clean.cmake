@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnutella_vs_superpeer.dir/gnutella_vs_superpeer.cpp.o"
+  "CMakeFiles/gnutella_vs_superpeer.dir/gnutella_vs_superpeer.cpp.o.d"
+  "gnutella_vs_superpeer"
+  "gnutella_vs_superpeer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnutella_vs_superpeer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gnutella_vs_superpeer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyword_search.dir/keyword_search.cpp.o"
+  "CMakeFiles/keyword_search.dir/keyword_search.cpp.o.d"
+  "keyword_search"
+  "keyword_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyword_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_simulation.dir/live_simulation.cpp.o"
+  "CMakeFiles/live_simulation.dir/live_simulation.cpp.o.d"
+  "live_simulation"
+  "live_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

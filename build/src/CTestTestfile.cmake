@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sppnet/common")
+subdirs("sppnet/topology")
+subdirs("sppnet/workload")
+subdirs("sppnet/cost")
+subdirs("sppnet/index")
+subdirs("sppnet/proto")
+subdirs("sppnet/model")
+subdirs("sppnet/bootstrap")
+subdirs("sppnet/sim")
+subdirs("sppnet/transfer")
+subdirs("sppnet/design")
+subdirs("sppnet/adaptive")
+subdirs("sppnet/io")

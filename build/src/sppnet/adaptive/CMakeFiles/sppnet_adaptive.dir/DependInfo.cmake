@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sppnet/adaptive/local_rules.cc" "src/sppnet/adaptive/CMakeFiles/sppnet_adaptive.dir/local_rules.cc.o" "gcc" "src/sppnet/adaptive/CMakeFiles/sppnet_adaptive.dir/local_rules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sppnet/common/CMakeFiles/sppnet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sppnet/model/CMakeFiles/sppnet_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sppnet/sim/CMakeFiles/sppnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sppnet/topology/CMakeFiles/sppnet_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sppnet/cost/CMakeFiles/sppnet_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/sppnet/index/CMakeFiles/sppnet_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/sppnet/workload/CMakeFiles/sppnet_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sppnet_adaptive.dir/local_rules.cc.o"
+  "CMakeFiles/sppnet_adaptive.dir/local_rules.cc.o.d"
+  "libsppnet_adaptive.a"
+  "libsppnet_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sppnet_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sppnet_bootstrap.dir/discovery.cc.o"
+  "CMakeFiles/sppnet_bootstrap.dir/discovery.cc.o.d"
+  "libsppnet_bootstrap.a"
+  "libsppnet_bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sppnet_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sppnet_common.dir/distributions.cc.o"
+  "CMakeFiles/sppnet_common.dir/distributions.cc.o.d"
+  "CMakeFiles/sppnet_common.dir/rng.cc.o"
+  "CMakeFiles/sppnet_common.dir/rng.cc.o.d"
+  "CMakeFiles/sppnet_common.dir/stats.cc.o"
+  "CMakeFiles/sppnet_common.dir/stats.cc.o.d"
+  "libsppnet_common.a"
+  "libsppnet_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sppnet_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sppnet_cost.dir/cost_table.cc.o"
+  "CMakeFiles/sppnet_cost.dir/cost_table.cc.o.d"
+  "libsppnet_cost.a"
+  "libsppnet_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sppnet_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/sppnet/cost/CMakeFiles/sppnet_cost.dir/cost_table.cc.o: \
+ /root/repo/src/sppnet/cost/cost_table.cc /usr/include/stdc-predef.h \
+ /root/repo/src/sppnet/cost/cost_table.h

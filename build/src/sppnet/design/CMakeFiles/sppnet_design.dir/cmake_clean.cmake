@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sppnet_design.dir/procedure.cc.o"
+  "CMakeFiles/sppnet_design.dir/procedure.cc.o.d"
+  "libsppnet_design.a"
+  "libsppnet_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sppnet_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sppnet_index.dir/corpus.cc.o"
+  "CMakeFiles/sppnet_index.dir/corpus.cc.o.d"
+  "CMakeFiles/sppnet_index.dir/inverted_index.cc.o"
+  "CMakeFiles/sppnet_index.dir/inverted_index.cc.o.d"
+  "libsppnet_index.a"
+  "libsppnet_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sppnet_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

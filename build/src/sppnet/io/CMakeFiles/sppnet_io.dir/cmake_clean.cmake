@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sppnet_io.dir/table.cc.o"
+  "CMakeFiles/sppnet_io.dir/table.cc.o.d"
+  "libsppnet_io.a"
+  "libsppnet_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sppnet_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sppnet/model/breakdown.cc" "src/sppnet/model/CMakeFiles/sppnet_model.dir/breakdown.cc.o" "gcc" "src/sppnet/model/CMakeFiles/sppnet_model.dir/breakdown.cc.o.d"
+  "/root/repo/src/sppnet/model/config.cc" "src/sppnet/model/CMakeFiles/sppnet_model.dir/config.cc.o" "gcc" "src/sppnet/model/CMakeFiles/sppnet_model.dir/config.cc.o.d"
+  "/root/repo/src/sppnet/model/evaluator.cc" "src/sppnet/model/CMakeFiles/sppnet_model.dir/evaluator.cc.o" "gcc" "src/sppnet/model/CMakeFiles/sppnet_model.dir/evaluator.cc.o.d"
+  "/root/repo/src/sppnet/model/instance.cc" "src/sppnet/model/CMakeFiles/sppnet_model.dir/instance.cc.o" "gcc" "src/sppnet/model/CMakeFiles/sppnet_model.dir/instance.cc.o.d"
+  "/root/repo/src/sppnet/model/trials.cc" "src/sppnet/model/CMakeFiles/sppnet_model.dir/trials.cc.o" "gcc" "src/sppnet/model/CMakeFiles/sppnet_model.dir/trials.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sppnet/common/CMakeFiles/sppnet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sppnet/topology/CMakeFiles/sppnet_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sppnet/workload/CMakeFiles/sppnet_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sppnet/cost/CMakeFiles/sppnet_cost.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

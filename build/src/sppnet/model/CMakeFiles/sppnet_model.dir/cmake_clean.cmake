@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sppnet_model.dir/breakdown.cc.o"
+  "CMakeFiles/sppnet_model.dir/breakdown.cc.o.d"
+  "CMakeFiles/sppnet_model.dir/config.cc.o"
+  "CMakeFiles/sppnet_model.dir/config.cc.o.d"
+  "CMakeFiles/sppnet_model.dir/evaluator.cc.o"
+  "CMakeFiles/sppnet_model.dir/evaluator.cc.o.d"
+  "CMakeFiles/sppnet_model.dir/instance.cc.o"
+  "CMakeFiles/sppnet_model.dir/instance.cc.o.d"
+  "CMakeFiles/sppnet_model.dir/trials.cc.o"
+  "CMakeFiles/sppnet_model.dir/trials.cc.o.d"
+  "libsppnet_model.a"
+  "libsppnet_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sppnet_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

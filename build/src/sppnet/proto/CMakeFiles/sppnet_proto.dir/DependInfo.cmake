@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sppnet/proto/messages.cc" "src/sppnet/proto/CMakeFiles/sppnet_proto.dir/messages.cc.o" "gcc" "src/sppnet/proto/CMakeFiles/sppnet_proto.dir/messages.cc.o.d"
+  "/root/repo/src/sppnet/proto/wire.cc" "src/sppnet/proto/CMakeFiles/sppnet_proto.dir/wire.cc.o" "gcc" "src/sppnet/proto/CMakeFiles/sppnet_proto.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sppnet/common/CMakeFiles/sppnet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sppnet/cost/CMakeFiles/sppnet_cost.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sppnet_proto.dir/messages.cc.o"
+  "CMakeFiles/sppnet_proto.dir/messages.cc.o.d"
+  "CMakeFiles/sppnet_proto.dir/wire.cc.o"
+  "CMakeFiles/sppnet_proto.dir/wire.cc.o.d"
+  "libsppnet_proto.a"
+  "libsppnet_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sppnet_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

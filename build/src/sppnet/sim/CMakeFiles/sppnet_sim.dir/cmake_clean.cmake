@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sppnet_sim.dir/event_queue.cc.o"
+  "CMakeFiles/sppnet_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/sppnet_sim.dir/simulator.cc.o"
+  "CMakeFiles/sppnet_sim.dir/simulator.cc.o.d"
+  "libsppnet_sim.a"
+  "libsppnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sppnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sppnet/topology/bfs.cc" "src/sppnet/topology/CMakeFiles/sppnet_topology.dir/bfs.cc.o" "gcc" "src/sppnet/topology/CMakeFiles/sppnet_topology.dir/bfs.cc.o.d"
+  "/root/repo/src/sppnet/topology/generators.cc" "src/sppnet/topology/CMakeFiles/sppnet_topology.dir/generators.cc.o" "gcc" "src/sppnet/topology/CMakeFiles/sppnet_topology.dir/generators.cc.o.d"
+  "/root/repo/src/sppnet/topology/graph.cc" "src/sppnet/topology/CMakeFiles/sppnet_topology.dir/graph.cc.o" "gcc" "src/sppnet/topology/CMakeFiles/sppnet_topology.dir/graph.cc.o.d"
+  "/root/repo/src/sppnet/topology/metrics.cc" "src/sppnet/topology/CMakeFiles/sppnet_topology.dir/metrics.cc.o" "gcc" "src/sppnet/topology/CMakeFiles/sppnet_topology.dir/metrics.cc.o.d"
+  "/root/repo/src/sppnet/topology/plod.cc" "src/sppnet/topology/CMakeFiles/sppnet_topology.dir/plod.cc.o" "gcc" "src/sppnet/topology/CMakeFiles/sppnet_topology.dir/plod.cc.o.d"
+  "/root/repo/src/sppnet/topology/topology.cc" "src/sppnet/topology/CMakeFiles/sppnet_topology.dir/topology.cc.o" "gcc" "src/sppnet/topology/CMakeFiles/sppnet_topology.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sppnet/common/CMakeFiles/sppnet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

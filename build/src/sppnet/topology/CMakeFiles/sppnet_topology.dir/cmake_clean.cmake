@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sppnet_topology.dir/bfs.cc.o"
+  "CMakeFiles/sppnet_topology.dir/bfs.cc.o.d"
+  "CMakeFiles/sppnet_topology.dir/generators.cc.o"
+  "CMakeFiles/sppnet_topology.dir/generators.cc.o.d"
+  "CMakeFiles/sppnet_topology.dir/graph.cc.o"
+  "CMakeFiles/sppnet_topology.dir/graph.cc.o.d"
+  "CMakeFiles/sppnet_topology.dir/metrics.cc.o"
+  "CMakeFiles/sppnet_topology.dir/metrics.cc.o.d"
+  "CMakeFiles/sppnet_topology.dir/plod.cc.o"
+  "CMakeFiles/sppnet_topology.dir/plod.cc.o.d"
+  "CMakeFiles/sppnet_topology.dir/topology.cc.o"
+  "CMakeFiles/sppnet_topology.dir/topology.cc.o.d"
+  "libsppnet_topology.a"
+  "libsppnet_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sppnet_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sppnet_transfer.dir/transfer.cc.o"
+  "CMakeFiles/sppnet_transfer.dir/transfer.cc.o.d"
+  "libsppnet_transfer.a"
+  "libsppnet_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sppnet_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

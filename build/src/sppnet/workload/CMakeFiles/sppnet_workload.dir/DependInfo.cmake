@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sppnet/workload/capacity.cc" "src/sppnet/workload/CMakeFiles/sppnet_workload.dir/capacity.cc.o" "gcc" "src/sppnet/workload/CMakeFiles/sppnet_workload.dir/capacity.cc.o.d"
+  "/root/repo/src/sppnet/workload/peer_profile.cc" "src/sppnet/workload/CMakeFiles/sppnet_workload.dir/peer_profile.cc.o" "gcc" "src/sppnet/workload/CMakeFiles/sppnet_workload.dir/peer_profile.cc.o.d"
+  "/root/repo/src/sppnet/workload/query_model.cc" "src/sppnet/workload/CMakeFiles/sppnet_workload.dir/query_model.cc.o" "gcc" "src/sppnet/workload/CMakeFiles/sppnet_workload.dir/query_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sppnet/common/CMakeFiles/sppnet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

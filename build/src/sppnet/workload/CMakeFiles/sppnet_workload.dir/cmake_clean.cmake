@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sppnet_workload.dir/capacity.cc.o"
+  "CMakeFiles/sppnet_workload.dir/capacity.cc.o.d"
+  "CMakeFiles/sppnet_workload.dir/peer_profile.cc.o"
+  "CMakeFiles/sppnet_workload.dir/peer_profile.cc.o.d"
+  "CMakeFiles/sppnet_workload.dir/query_model.cc.o"
+  "CMakeFiles/sppnet_workload.dir/query_model.cc.o.d"
+  "libsppnet_workload.a"
+  "libsppnet_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sppnet_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concrete_index_test.dir/sim/concrete_index_test.cc.o"
+  "CMakeFiles/concrete_index_test.dir/sim/concrete_index_test.cc.o.d"
+  "concrete_index_test"
+  "concrete_index_test.pdb"
+  "concrete_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concrete_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

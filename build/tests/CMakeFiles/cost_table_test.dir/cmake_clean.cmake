@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_table_test.dir/cost/cost_table_test.cc.o"
+  "CMakeFiles/cost_table_test.dir/cost/cost_table_test.cc.o.d"
+  "cost_table_test"
+  "cost_table_test.pdb"
+  "cost_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k_redundancy_test.dir/model/k_redundancy_test.cc.o"
+  "CMakeFiles/k_redundancy_test.dir/model/k_redundancy_test.cc.o.d"
+  "k_redundancy_test"
+  "k_redundancy_test.pdb"
+  "k_redundancy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k_redundancy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

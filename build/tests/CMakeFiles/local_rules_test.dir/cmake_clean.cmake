@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_rules_test.dir/adaptive/local_rules_test.cc.o"
+  "CMakeFiles/local_rules_test.dir/adaptive/local_rules_test.cc.o.d"
+  "local_rules_test"
+  "local_rules_test.pdb"
+  "local_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

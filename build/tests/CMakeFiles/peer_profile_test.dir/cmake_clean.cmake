@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peer_profile_test.dir/workload/peer_profile_test.cc.o"
+  "CMakeFiles/peer_profile_test.dir/workload/peer_profile_test.cc.o.d"
+  "peer_profile_test"
+  "peer_profile_test.pdb"
+  "peer_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peer_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

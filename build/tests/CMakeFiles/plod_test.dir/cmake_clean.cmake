@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plod_test.dir/topology/plod_test.cc.o"
+  "CMakeFiles/plod_test.dir/topology/plod_test.cc.o.d"
+  "plod_test"
+  "plod_test.pdb"
+  "plod_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plod_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

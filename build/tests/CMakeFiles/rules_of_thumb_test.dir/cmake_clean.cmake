@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rules_of_thumb_test.dir/model/rules_of_thumb_test.cc.o"
+  "CMakeFiles/rules_of_thumb_test.dir/model/rules_of_thumb_test.cc.o.d"
+  "rules_of_thumb_test"
+  "rules_of_thumb_test.pdb"
+  "rules_of_thumb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rules_of_thumb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

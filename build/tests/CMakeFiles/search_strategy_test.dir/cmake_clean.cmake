@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_strategy_test.dir/sim/search_strategy_test.cc.o"
+  "CMakeFiles/search_strategy_test.dir/sim/search_strategy_test.cc.o.d"
+  "search_strategy_test"
+  "search_strategy_test.pdb"
+  "search_strategy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_strategy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
