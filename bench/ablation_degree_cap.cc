@@ -22,6 +22,10 @@ int main() {
          "outdeg 3.1, TTL 7)",
          "cap 6 reproduces the crawl's reach ~3000 and EPL ~6.5; looser "
          "caps over-expand");
+  BenchRun run("ablation_degree_cap");
+  run.Config("graph_size", 20000);
+  run.Config("avg_outdegree", 3.1);
+  run.Config("ttl", 7);
 
   TableWriter table({"Degree cap", "Avg degree", "Max degree",
                      "Reach @ TTL 7", "EPL"});
@@ -42,7 +46,7 @@ int main() {
                   Format(topo.AverageDegree(), 3), Format(max_degree),
                   Format(reach.mean_reach, 4), Format(reach.mean_epl, 3)});
   }
-  table.Print(std::cout);
+  run.Emit(table);
   std::printf("\nPaper reference point: reach ~3000 of 20000, EPL 6.5 "
               "(Figure 11, 'Today').\n");
   return 0;

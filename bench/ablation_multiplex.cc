@@ -16,6 +16,10 @@ int main() {
   Banner("Ablation: packet-multiplex (select) overhead on vs off",
          "the Figure 6 small-cluster processing blow-up is entirely the "
          "multiplex term");
+  BenchRun run("ablation_multiplex");
+  run.Config("graph_size", 10000);
+  run.Config("ttl", 1);
+  run.Config("num_trials", 3);
 
   ModelInputs with = ModelInputs::Default();
   ModelInputs without = ModelInputs::Default();
@@ -38,7 +42,7 @@ int main() {
                   FormatSci(off.sp_proc_hz.Mean()),
                   Format(on.sp_proc_hz.Mean() / off.sp_proc_hz.Mean(), 3)});
   }
-  table.Print(std::cout);
+  run.Emit(table);
   std::printf(
       "\nReading: at cluster 1 (10000 open connections per super-peer) "
       "the multiplex term multiplies processing several-fold; by cluster "

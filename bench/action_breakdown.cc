@@ -18,6 +18,9 @@ int main() {
   Banner("Load decomposition by macro action (query / join / update)",
          "index maintenance is cheap next to query processing at the "
          "default rates");
+  BenchRun run("action_breakdown");
+  run.Config("graph_size", 10000);
+  run.Config("ttl", 1);
 
   const ModelInputs inputs = ModelInputs::Default();
   TableWriter table({"ClusterSize", "Query share", "Join share",
@@ -38,7 +41,7 @@ int main() {
                   Format(b.UpdateBandwidthShare(), 3),
                   FormatSci(b.sp_query.proc_hz), FormatSci(b.sp_join.proc_hz)});
   }
-  table.Print(std::cout);
+  run.Emit(table);
   std::printf(
       "\nReading: queries dominate bandwidth at every cluster size; the "
       "update share stays in the low percent range, which is why the "

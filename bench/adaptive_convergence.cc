@@ -19,6 +19,11 @@ int main() {
   Banner("Section 5.3: convergence of local decision rules",
          "max individual load falls, TTL contracts, outdegree grows to "
          "the suggested value");
+  BenchRun run("adaptive_convergence");
+  run.Config("graph_size", 4000);
+  run.Config("cluster_size", 4);
+  run.Config("suggested_outdegree", 10.0);
+  run.Config("max_rounds", 16);
 
   const ModelInputs inputs = ModelInputs::Default();
   Configuration initial;
@@ -46,7 +51,7 @@ int main() {
                   Format(r.mean_results, 3), Format(r.splits),
                   Format(r.coalesces), Format(r.edges_added)});
   }
-  table.Print(std::cout);
+  run.Emit(table);
 
   const AdaptiveRound& first = outcome.history.front();
   const AdaptiveRound& last = outcome.history.back();

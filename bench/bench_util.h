@@ -6,13 +6,140 @@
 // it in the paper's units; see EXPERIMENTS.md for the side-by-side
 // comparison with the published values.
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
 
+#include "sppnet/io/json.h"
+#include "sppnet/io/table.h"
 #include "sppnet/model/config.h"
 #include "sppnet/model/trials.h"
+#include "sppnet/obs/export.h"
+#include "sppnet/obs/metrics.h"
 
 namespace sppnet::bench {
+
+/// Machine-readable bench report. Every bench binary creates one of
+/// these, emits its tables through it, and on destruction (or an
+/// explicit Write()) a `BENCH_<name>.json` file is written into the
+/// working directory alongside the printed output — the artifact that
+/// makes the perf/accuracy trajectory trackable across PRs. Schema
+/// (documented in EXPERIMENTS.md):
+///
+///   {"schema_version": 1, "bench": "<name>",
+///    "config": {key: value, ...},            // swept parameters
+///    "tables": [{"name": ..., "columns": [...], "rows": [[...], ...]}],
+///    "metrics": {...},                       // obs registry dump
+///    "timings": {"wall_seconds": W}}
+///
+/// Table cells are the exact strings printed to stdout; counters in
+/// "metrics" are bit-reproducible, while "timings" and timer values
+/// are wall-clock and vary run to run.
+class BenchRun {
+ public:
+  explicit BenchRun(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+  BenchRun(const BenchRun&) = delete;
+  BenchRun& operator=(const BenchRun&) = delete;
+  ~BenchRun() { Write(); }
+
+  void Config(std::string key, std::string value) {
+    config_.emplace_back(std::move(key), std::move(value), false);
+  }
+  void Config(std::string key, const char* value) {
+    Config(std::move(key), std::string(value));
+  }
+  void Config(std::string key, double value) {
+    config_.emplace_back(std::move(key), Format(value, 17), true);
+  }
+  void Config(std::string key, std::size_t value) {
+    config_.emplace_back(std::move(key), Format(value), true);
+  }
+  void Config(std::string key, int value) {
+    config_.emplace_back(std::move(key), Format(value), true);
+  }
+
+  /// Records `table` under `label` and prints it to stdout (the
+  /// single call site replacing table.Print(std::cout)).
+  void Emit(const TableWriter& table, std::string label = "main") {
+    table.Print(std::cout);
+    tables_.emplace_back(std::move(label), table);
+  }
+
+  /// Registry serialized into the report's "metrics" section; hand
+  /// this to SimOptions::metrics / TrialOptions::metrics.
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// Writes BENCH_<name>.json; idempotent (the destructor calls it).
+  void Write() {
+    if (written_) return;
+    written_ = true;
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    JsonWriter w(out);
+    w.BeginObject();
+    w.Key("schema_version").Number(1);
+    w.Key("bench").String(name_);
+    w.Key("config").BeginObject();
+    for (const auto& [key, value, is_number] : config_) {
+      w.Key(key);
+      if (is_number) {
+        double parsed = 0.0;
+        std::sscanf(value.c_str(), "%lf", &parsed);
+        w.Number(parsed);
+      } else {
+        w.String(value);
+      }
+    }
+    w.EndObject();
+    w.Key("tables").BeginArray();
+    for (const auto& [label, table] : tables_) {
+      w.BeginObject();
+      w.Key("name").String(label);
+      w.Key("columns").BeginArray();
+      for (const std::string& column : table.header()) w.String(column);
+      w.EndArray();
+      w.Key("rows").BeginArray();
+      for (const auto& row : table.rows()) {
+        w.BeginArray();
+        for (const std::string& cell : row) w.String(cell);
+        w.EndArray();
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("metrics");
+    WriteMetricsJson(w, metrics_);
+    w.Key("timings").BeginObject();
+    w.Key("wall_seconds").Number(wall_seconds);
+    w.EndObject();
+    w.EndObject();
+    out << '\n';
+    std::printf("\n[bench json] wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::tuple<std::string, std::string, bool>> config_;
+  std::vector<std::pair<std::string, TableWriter>> tables_;
+  MetricsRegistry metrics_;
+  bool written_ = false;
+};
 
 /// Default trial counts: heavyweight sweeps (cluster size 1 at graph
 /// size 10000 costs seconds per instance) use fewer trials.

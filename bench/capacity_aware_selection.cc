@@ -71,6 +71,10 @@ int main() {
   Banner("Heterogeneity: who should be a super-peer?",
          "random role assignment overloads weak peers (the Gnutella "
          "meltdown); capacity-aware selection fixes it");
+  BenchRun run("capacity_aware_selection");
+  run.Config("graph_size", 10000);
+  run.Config("avg_outdegree", 3.1);
+  run.Config("ttl", 7);
 
   const ModelInputs inputs = ModelInputs::Default();
   const CapacityDistribution capacities = CapacityDistribution::Default();
@@ -111,7 +115,7 @@ int main() {
                   Format(out.client_overloaded_pct, 3),
                   Format(out.all_overloaded_pct, 3)});
   }
-  table.Print(std::cout);
+  run.Emit(table);
   std::printf(
       "\nReading: in the pure network nearly half the peers (the "
       "modem/ISDN/DSL-uplink classes) drown in search traffic — the "

@@ -18,6 +18,9 @@ int main() {
   Banner("Extension: corpus-calibrated query model vs analytical phi(x)",
          "measured response probabilities should track the calibrated "
          "model across collection sizes");
+  BenchRun run("corpus_calibration");
+  run.Config("title_samples", 20000);
+  run.Config("query_samples", 4000);
 
   const TitleCorpus corpus = TitleCorpus::Default();
 
@@ -48,7 +51,7 @@ int main() {
                              static_cast<double>(est.files_sampled)),
                          4)});
   }
-  table.Print(std::cout);
+  run.Emit(table);
   std::printf(
       "\nReading: expected results match by construction, and the "
       "two-level fit (head mass G of queries matching a fraction F of "

@@ -19,6 +19,10 @@ int main() {
   Banner("Extension: client discovery / assignment policies",
          "the paper's N(c,.2c) assumption vs uniform random, "
          "power-of-two-choices and an ideal balancer");
+  BenchRun run("discovery_policies");
+  run.Config("graph_size", 10000);
+  run.Config("cluster_size", 10);
+  run.Config("ttl", 7);
 
   const ModelInputs inputs = ModelInputs::Default();
   Configuration config;
@@ -58,7 +62,7 @@ int main() {
     table.AddRow({row.name, Format(stats.cv, 3), Format(stats.max, 3),
                   FormatSci(sp.mean), Format(sp.p99 / sp.mean, 3)});
   }
-  table.Print(std::cout);
+  run.Emit(table);
   std::printf(
       "\nReading: cluster-size imbalance barely moves the super-peer "
       "load spread — outdegree (the overlay), not client assignment, "

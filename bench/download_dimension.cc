@@ -20,6 +20,8 @@ int main() {
   Banner("The download plane vs the search plane",
          "downloads dominate a peer's bandwidth budget; search must be "
          "provisioned far below link capacity");
+  BenchRun run("download_dimension");
+  run.Config("num_trials", 3);
 
   const ModelInputs inputs = ModelInputs::Default();
   const CapacityDistribution caps = CapacityDistribution::Default();
@@ -68,7 +70,7 @@ int main() {
                   Format(static_cast<std::size_t>(r.abandoned)),
                   Format(r.mean_upload_bps / 1e3, 4)});
   }
-  table.Print(std::cout);
+  run.Emit(table);
   std::printf(
       "\nReading: a client's search traffic (~0.3 kbps up) is noise next "
       "to serving even one upload (tens to hundreds of kbps) — the "

@@ -16,6 +16,9 @@ int main() {
   Banner("Figure 4: aggregate bandwidth (in+out) vs cluster size",
          "steep drop then knee at ~200 (strong) / ~1000 (power-law); "
          "redundancy ~unchanged");
+  BenchRun run("fig04_aggregate_bandwidth");
+  run.Config("graph_size", 10000);
+  run.Config("parallelism", kTrialParallelism);
 
   const ModelInputs inputs = ModelInputs::Default();
   TableWriter table({"ClusterSize", "System", "Aggregate bw (bps)",
@@ -36,7 +39,7 @@ int main() {
                     Format(report.results_per_query.Mean(), 3)});
     }
   }
-  table.Print(std::cout);
+  run.Emit(table);
   std::printf(
       "\nShape checks: load at cluster 1 should exceed the knee value "
       "several-fold; redundant curves should track non-redundant ones.\n");

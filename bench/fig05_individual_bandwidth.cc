@@ -17,6 +17,9 @@ int main() {
   Banner("Figure 5: individual super-peer incoming bandwidth vs cluster size",
          "grows with cluster size; max near GraphSize/2, dip at GraphSize; "
          "redundancy roughly halves it");
+  BenchRun run("fig05_individual_bandwidth");
+  run.Config("graph_size", 10000);
+  run.Config("parallelism", kTrialParallelism);
 
   const ModelInputs inputs = ModelInputs::Default();
   TableWriter table({"ClusterSize", "System", "SP in (bps)", "CI95",
@@ -37,7 +40,7 @@ int main() {
                     FormatSci(report.sp_out_bps.Mean())});
     }
   }
-  table.Print(std::cout);
+  run.Emit(table);
   std::printf(
       "\nShape checks: strong curve at 5000 >> at 10000 (the Figure 5 "
       "exception); redundant SP in-bw ~half of non-redundant at equal "

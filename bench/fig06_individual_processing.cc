@@ -18,6 +18,9 @@ int main() {
   Banner("Figure 6: individual super-peer processing load vs cluster size",
          "strong topology: U-shape — connection (multiplex) overhead "
          "dominates at tiny clusters");
+  BenchRun run("fig06_individual_processing");
+  run.Config("graph_size", 10000);
+  run.Config("parallelism", kTrialParallelism);
 
   const ModelInputs inputs = ModelInputs::Default();
   TableWriter table(
@@ -39,7 +42,7 @@ int main() {
                     Format(report.sp_connections.Mean(), 4)});
     }
   }
-  table.Print(std::cout);
+  run.Emit(table);
   std::printf(
       "\nShape check: strong topology processing at cluster 1 (10000 "
       "connections each) should exceed the minimum around cluster "

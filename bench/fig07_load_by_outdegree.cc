@@ -21,6 +21,11 @@ int main() {
   Banner("Figure 7: SP outgoing bandwidth by #neighbors (outdeg 3.1 vs 10)",
          "dense overlay is fairer: narrow load band; sparse overlay "
          "crushes its hubs");
+  BenchRun run("fig07_load_by_outdegree");
+  run.Config("graph_size", 10000);
+  run.Config("cluster_size", 20);
+  run.Config("ttl", 7);
+  run.Config("num_trials", 5);
 
   const ModelInputs inputs = ModelInputs::Default();
   for (const double outdeg : {3.1, 10.0}) {
@@ -42,7 +47,7 @@ int main() {
       table.AddRow({Format(d), Format(stat.count()), FormatSci(stat.Mean()),
                     FormatSci(stat.StdDev())});
     }
-    table.Print(std::cout);
+    run.Emit(table, "outdeg_" + Format(outdeg, 3));
   }
   std::printf(
       "\nShape check: in the 3.1 topology load grows steeply with degree "

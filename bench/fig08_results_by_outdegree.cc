@@ -19,6 +19,11 @@ int main() {
   Banner("Figure 8: results per query by #neighbors (outdeg 3.1 vs 10)",
          "~750 results for 3-neighbor nodes at outdeg 3.1 vs ~890 at "
          "outdeg 10 (full reach)");
+  BenchRun run("fig08_results_by_outdegree");
+  run.Config("graph_size", 10000);
+  run.Config("cluster_size", 20);
+  run.Config("ttl", 7);
+  run.Config("num_trials", 5);
 
   const ModelInputs inputs = ModelInputs::Default();
   for (const double outdeg : {3.1, 10.0}) {
@@ -41,7 +46,7 @@ int main() {
       table.AddRow({Format(d), Format(stat.count()), Format(stat.Mean(), 4),
                     Format(stat.StdDev(), 3)});
     }
-    table.Print(std::cout);
+    run.Emit(table, "outdeg_" + Format(outdeg, 3));
   }
   std::printf(
       "\nShape check: results rise with #neighbors in the 3.1 topology "

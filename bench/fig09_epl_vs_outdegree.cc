@@ -22,6 +22,7 @@ int main() {
   using namespace sppnet::bench;
   Banner("Figure 9: expected path length vs average outdegree, per reach",
          "EPL ~ log_d(reach) with diminishing returns at high outdegree");
+  BenchRun run("fig09_epl_vs_outdegree");
 
   constexpr double kOutdegrees[] = {3.1, 5, 10, 20, 30, 40, 50, 65, 80, 100};
   constexpr std::size_t kReaches[] = {20, 50, 100, 200, 500, 1000};
@@ -49,7 +50,7 @@ int main() {
                            3)});
     }
   }
-  table.Print(std::cout);
+  run.Emit(table);
   std::printf(
       "\nShape checks: EPL decreases in outdegree, increases in reach; "
       "outdeg 50 -> 100 moves EPL only slightly. The log_d(reach) column "

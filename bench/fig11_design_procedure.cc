@@ -20,6 +20,9 @@ int main() {
   Banner("Figure 11: aggregate load, today's Gnutella vs procedure output",
          "new design improves every aggregate by a large factor at equal "
          "results; redundancy ~free");
+  BenchRun run("fig11_design_procedure");
+  run.Config("graph_size", 20000);
+  run.Config("num_trials", 2);
 
   const ModelInputs inputs = ModelInputs::Default();
   TrialOptions trials;
@@ -80,7 +83,7 @@ int main() {
   add("Today", today_report);
   add("New", design.report);
   add("New w/ Red.", red_report);
-  table.Print(std::cout);
+  run.Emit(table);
 
   const double bw_gain = 1.0 - design.report.aggregate_in_bps.Mean() /
                                    today_report.aggregate_in_bps.Mean();

@@ -17,6 +17,9 @@ int main() {
   using namespace sppnet::bench;
   Banner("Figure A-13: aggregate bandwidth vs cluster size, low query rate",
          "flatter decline; redundancy costs ~14% at cluster 100 (strong)");
+  BenchRun run("figA13_low_query_aggregate");
+  run.Config("graph_size", 10000);
+  run.Config("parallelism", kTrialParallelism);
 
   const ModelInputs inputs = ModelInputs::Default();
   TableWriter table({"ClusterSize", "System", "Aggregate bw (bps)", "CI95"});
@@ -36,7 +39,7 @@ int main() {
                     FormatSci(report.aggregate_in_bps.ConfidenceHalfWidth95())});
     }
   }
-  table.Print(std::cout);
+  run.Emit(table);
   std::printf(
       "\nShape checks: decline with cluster size flatter than Figure 4; "
       "redundant curves now sit visibly above non-redundant ones.\n");

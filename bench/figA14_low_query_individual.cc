@@ -18,6 +18,9 @@ int main() {
   Banner("Figure A-14: individual SP incoming bandwidth, low query rate",
          "join-dominated: load keeps rising toward cluster = GraphSize; "
          "redundancy benefit shrinks to ~30%");
+  BenchRun run("figA14_low_query_individual");
+  run.Config("graph_size", 10000);
+  run.Config("parallelism", kTrialParallelism);
 
   const ModelInputs inputs = ModelInputs::Default();
   TableWriter table({"ClusterSize", "System", "SP in (bps)", "CI95"});
@@ -41,7 +44,7 @@ int main() {
       }
     }
   }
-  table.Print(std::cout);
+  run.Emit(table);
   std::printf("\nredundancy at cluster 100 (strong): SP in-bw %.3e -> %.3e "
               "(-%.0f%%; paper: ~-30%%)\n",
               plain100, red100, 100.0 * (1.0 - red100 / plain100));

@@ -16,6 +16,10 @@ int main() {
   Banner("Figure A-15: individual SP load, outdeg 50 vs 100 (TTL 2)",
          "outdeg 50 beats 100 at every cluster size: same EPL, more "
          "redundant queries");
+  BenchRun run("figA15_outdegree_caveat");
+  run.Config("graph_size", 10000);
+  run.Config("ttl", 2);
+  run.Config("num_trials", 3);
 
   const ModelInputs inputs = ModelInputs::Default();
   TableWriter table({"ClusterSize", "AvgOutdeg", "SP out (bps)",
@@ -36,7 +40,7 @@ int main() {
                     FormatSci(r.duplicate_msgs_per_sec.Mean())});
     }
   }
-  table.Print(std::cout);
+  run.Emit(table);
   std::printf(
       "\nShape check: at every cluster size the outdeg-100 rows carry "
       "higher SP load and far more redundant messages at (nearly) equal "

@@ -5,9 +5,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "sppnet/common/rng.h"
 #include "sppnet/model/evaluator.h"
 #include "sppnet/model/instance.h"
+#include "sppnet/obs/metrics.h"
+#include "sppnet/sim/simulator.h"
 #include "sppnet/topology/bfs.h"
 #include "sppnet/topology/plod.h"
 #include "sppnet/workload/query_model.h"
@@ -114,7 +120,89 @@ void BM_GenerateInstance(benchmark::State& state) {
 }
 BENCHMARK(BM_GenerateInstance)->Arg(10000)->Unit(benchmark::kMillisecond);
 
+// --- Observability-layer kernels: the acceptance bar is that metrics
+// stay well under 5% of simulator cost, so the instrument operations
+// themselves must be a handful of nanoseconds.
+
+void BM_MetricsCounterIncrement(benchmark::State& state) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("bench.counter");
+  for (auto _ : state) {
+    counter.Increment();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_MetricsCounterIncrement);
+
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+  MetricsRegistry registry;
+  Histogram& histogram =
+      registry.GetHistogram("bench.hist", {0, 1, 2, 3, 4, 5, 6, 7});
+  double x = 0.0;
+  for (auto _ : state) {
+    histogram.Observe(x);
+    x = x < 7.0 ? x + 1.0 : 0.0;
+    benchmark::DoNotOptimize(histogram);
+  }
+}
+BENCHMARK(BM_MetricsHistogramObserve);
+
+/// Whole-simulator overhead check: the same seeded run with and
+/// without a metrics registry attached (compare the two times; the
+/// delta is the full cost of the observability layer).
+void BM_SimulatorRun(benchmark::State& state) {
+  const bool with_metrics = state.range(0) != 0;
+  const ModelInputs inputs = ModelInputs::Default();
+  Configuration config;
+  config.graph_size = 400;
+  config.cluster_size = 10;
+  config.ttl = 4;
+  config.avg_outdegree = 4.0;
+  Rng rng(21);
+  const NetworkInstance inst = GenerateInstance(config, inputs, rng);
+  for (auto _ : state) {
+    MetricsRegistry registry;
+    SimOptions options;
+    options.duration_seconds = 30;
+    options.warmup_seconds = 5;
+    options.seed = 7;
+    if (with_metrics) options.metrics = &registry;
+    Simulator sim(inst, config, inputs, options);
+    const SimReport report = sim.Run();
+    benchmark::DoNotOptimize(report.queries_submitted);
+  }
+}
+BENCHMARK(BM_SimulatorRun)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace sppnet
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): in addition to the console
+// table, always write the results as google-benchmark JSON to
+// BENCH_micro_benchmarks.json so the perf trajectory is trackable
+// across PRs like every other bench binary. An explicit
+// --benchmark_out on the command line wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_micro_benchmarks.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!has_out) {
+    std::printf("\n[bench json] wrote BENCH_micro_benchmarks.json\n");
+  }
+  return 0;
+}

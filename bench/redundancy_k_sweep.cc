@@ -20,6 +20,10 @@ int main() {
   Banner("Extension: k-redundancy sweep (the paper analyzes k <= 2)",
          "individual load ~1/k; connections ~k^2; availability improves "
          "per extra partner");
+  BenchRun run("redundancy_k_sweep");
+  run.Config("analytic_graph_size", 10000);
+  run.Config("sim_graph_size", 400);
+  run.Config("sim_duration_seconds", 2500.0);
 
   const ModelInputs inputs = ModelInputs::Default();
 
@@ -42,7 +46,7 @@ int main() {
                      Format(r.sp_connections.Mean(), 4)});
   }
   std::printf("-- analytical (strong, cluster 100, TTL 1) --\n");
-  analytic.Print(std::cout);
+  run.Emit(analytic, "analytic");
 
   std::printf("\n-- availability under churn (simulator, 400 peers, "
               "45 s recovery) --\n");
@@ -58,6 +62,7 @@ int main() {
     Rng rng(61);
     const NetworkInstance inst = GenerateInstance(config, inputs, rng);
     SimOptions options;
+      options.metrics = &run.metrics();
     options.duration_seconds = 2500;
     options.warmup_seconds = 60;
     options.enable_churn = true;
@@ -70,7 +75,7 @@ int main() {
                   Format(static_cast<std::size_t>(r.cluster_outages)),
                   Format(r.client_disconnected_fraction, 3)});
   }
-  avail.Print(std::cout);
+  run.Emit(avail, "availability");
   std::printf(
       "\nReading: k = 2 captures most of the per-partner load relief; "
       "beyond it the k^2 connection growth and duplicated join traffic "

@@ -18,6 +18,10 @@ int main() {
   Banner("Reliability: client availability under churn, k=1 vs k=2",
          "2-redundancy cuts cluster outages and disconnected time by an "
          "order of magnitude");
+  BenchRun run("reliability_redundancy");
+  run.Config("graph_size", 400);
+  run.Config("cluster_size", 10);
+  run.Config("duration_seconds", 3000.0);
 
   const ModelInputs inputs = ModelInputs::Default();
   TableWriter table({"Recovery (s)", "k", "Partner failures",
@@ -34,6 +38,7 @@ int main() {
       Rng rng(31);
       const NetworkInstance inst = GenerateInstance(config, inputs, rng);
       SimOptions options;
+      options.metrics = &run.metrics();
       options.duration_seconds = 3000;
       options.warmup_seconds = 60;
       options.enable_churn = true;
@@ -47,7 +52,7 @@ int main() {
                     Format(report.client_disconnected_fraction, 3)});
     }
   }
-  table.Print(std::cout);
+  run.Emit(table);
   std::printf(
       "\nShape check: at every recovery delay, k=2 rows show far fewer "
       "outages and a much smaller disconnected fraction, at the price of "

@@ -18,6 +18,11 @@ int main() {
   Banner("Extension: super-peer result caching (flood strategy)",
          "Zipf popularity makes repeats common; the cache trades "
          "freshness for large savings");
+  BenchRun run("result_caching");
+  run.Config("graph_size", 2000);
+  run.Config("cluster_size", 100);
+  run.Config("ttl", 3);
+  run.Config("duration_seconds", 900.0);
 
   const ModelInputs inputs = ModelInputs::Default();
   Configuration config;
@@ -34,6 +39,7 @@ int main() {
   double baseline_bw = 0.0;
   for (const double ttl : {0.0, 30.0, 120.0, 300.0, 900.0}) {
     SimOptions options;
+      options.metrics = &run.metrics();
     options.duration_seconds = 900;
     options.warmup_seconds = 90;
     options.result_cache_ttl_seconds = ttl;
@@ -51,7 +57,7 @@ int main() {
                   FormatSci(r.aggregate.TotalBps()), FormatSci(sp.proc_hz),
                   Format(r.mean_results_per_query, 4)});
   }
-  table.Print(std::cout);
+  run.Emit(table);
   std::printf(
       "\nReading: hit rate grows with the TTL (bounded by the query "
       "popularity skew), and every hit removes an entire flood's worth "

@@ -18,6 +18,11 @@ int main() {
   Banner("Extension: flood vs expanding ring vs random walks",
          "ring saves traffic on easily satisfied queries at a latency "
          "cost; walks bound cost at a results cost");
+  BenchRun run("search_strategies");
+  run.Config("graph_size", 2000);
+  run.Config("cluster_size", 10);
+  run.Config("ttl", 6);
+  run.Config("duration_seconds", 300.0);
 
   const ModelInputs inputs = ModelInputs::Default();
   Configuration config;
@@ -50,6 +55,7 @@ int main() {
                      "Dup msgs"});
   for (const Row& row : kRows) {
     SimOptions options;
+      options.metrics = &run.metrics();
     options.duration_seconds = 300;
     options.warmup_seconds = 30;
     options.seed = 9;
@@ -71,7 +77,7 @@ int main() {
                   Format(r.mean_rings_per_query, 3),
                   Format(static_cast<std::size_t>(r.duplicate_queries))});
   }
-  table.Print(std::cout);
+  run.Emit(table);
   std::printf(
       "\nReading: all protocols run over identical clusters, so the "
       "super-peer design choices (cluster size, redundancy) compose with "

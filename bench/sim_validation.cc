@@ -17,6 +17,9 @@ int main() {
   using namespace sppnet::bench;
   Banner("Validation: analytical model vs discrete-event simulator",
          "per-class loads, results and EPL should agree within ~10-15%");
+  BenchRun run("sim_validation");
+  run.Config("graph_size", 1000);
+  run.Config("duration_seconds", 400.0);
 
   const ModelInputs inputs = ModelInputs::Default();
 
@@ -48,6 +51,7 @@ int main() {
     const InstanceLoads analytic = EvaluateInstance(inst, config, inputs);
 
     SimOptions options;
+      options.metrics = &run.metrics();
     options.duration_seconds = 400;
     options.warmup_seconds = 40;
     options.seed = 7;
@@ -69,6 +73,6 @@ int main() {
         measured.mean_results_per_query);
     add("EPL (hops)", analytic.mean_epl, measured.mean_response_hops);
   }
-  table.Print(std::cout);
+  run.Emit(table);
   return 0;
 }

@@ -18,6 +18,11 @@ int main() {
   Banner("Appendix D Table 2: aggregate load, outdeg 3.1 vs 10 (cluster 100)",
          "denser overlay: equal-or-lower bandwidth, slightly higher "
          "processing, shorter EPL");
+  BenchRun run("tableD_outdegree_aggregate");
+  run.Config("graph_size", 10000);
+  run.Config("cluster_size", 100);
+  run.Config("ttl", 7);
+  run.Config("num_trials", 4);
 
   const ModelInputs inputs = ModelInputs::Default();
   TableWriter table({"AvgOutdeg", "In bw (bps)", "Out bw (bps)", "Proc (Hz)",
@@ -37,6 +42,6 @@ int main() {
                   Format(r.results_per_query.Mean(), 4),
                   Format(r.epl.Mean(), 3)});
   }
-  table.Print(std::cout);
+  run.Emit(table);
   return 0;
 }

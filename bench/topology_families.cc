@@ -23,6 +23,10 @@ int main() {
   Banner("Open question: overlay families at equal outdegree",
          "fair overlays (regular / rewired small world) match the power "
          "law's efficiency without crushing hubs");
+  BenchRun run("topology_families");
+  run.Config("graph_size", 10000);
+  run.Config("cluster_size", 10);
+  run.Config("avg_outdegree", 6.0);
 
   const ModelInputs inputs = ModelInputs::Default();
   Configuration config;
@@ -93,7 +97,7 @@ int main() {
                   FormatSci(loads.aggregate.TotalBps()), FormatSci(sp.p99),
                   Format(sp.max / sp.median, 3)});
   }
-  table.Print(std::cout);
+  run.Emit(table);
   std::printf(
       "\nReading: hubs are what buy the power law its reach at a given "
       "TTL — at the price of a ~30x max/median load spread. A random "

@@ -1,0 +1,190 @@
+#include "sppnet/io/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+#include "sppnet/common/check.h"
+
+namespace sppnet {
+
+void AppendJsonEscaped(std::string_view value, std::string& out) {
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+JsonWriter::JsonWriter(std::ostream& os, int indent)
+    : os_(os), indent_(indent) {}
+
+void JsonWriter::NewlineIndent() {
+  if (indent_ <= 0) return;
+  os_ << '\n'
+      << std::string(indent_ * static_cast<int>(stack_.size()), ' ');
+}
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) {
+    SPPNET_CHECK_MSG(!root_written_, "second root JSON value");
+    root_written_ = true;
+    return;
+  }
+  if (stack_.back() == Scope::kObject) {
+    SPPNET_CHECK_MSG(pending_key_, "object value requires a preceding Key()");
+    pending_key_ = false;
+    return;  // Key() already emitted the separator and indentation.
+  }
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  NewlineIndent();
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  SPPNET_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kObject,
+                   "Key() outside an object");
+  SPPNET_CHECK_MSG(!pending_key_, "Key() while a key is already pending");
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  NewlineIndent();
+  std::string escaped;
+  AppendJsonEscaped(key, escaped);
+  os_ << '"' << escaped << "\": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  os_ << '{';
+  stack_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  SPPNET_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kObject,
+                   "EndObject() without an open object");
+  SPPNET_CHECK_MSG(!pending_key_, "EndObject() with a dangling key");
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) NewlineIndent();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  os_ << '[';
+  stack_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  SPPNET_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kArray,
+                   "EndArray() without an open array");
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) NewlineIndent();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  std::string escaped;
+  AppendJsonEscaped(value, escaped);
+  os_ << '"' << escaped << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    // JSON has no Inf/NaN; null is the conventional stand-in.
+    os_ << "null";
+    return *this;
+  }
+  // Integral values print as integers (2^53 bounds exact doubles).
+  if (value == std::floor(value) && std::abs(value) < 9.007199254740992e15) {
+    os_ << static_cast<std::int64_t>(value);
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // Trim to the shortest representation that still round-trips.
+  for (int digits = 1; digits < 17; ++digits) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", digits, value);
+    double parsed = 0.0;
+    std::sscanf(shorter, "%lf", &parsed);
+    if (parsed == value) {
+      os_ << shorter;
+      return *this;
+    }
+  }
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(std::uint64_t value) {
+  BeforeValue();
+  os_ << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(std::int64_t value) {
+  BeforeValue();
+  os_ << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  os_ << (value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  os_ << "null";
+  return *this;
+}
+
+bool JsonWriter::Done() const { return root_written_ && stack_.empty(); }
+
+}  // namespace sppnet

@@ -1,0 +1,76 @@
+#ifndef SPPNET_IO_JSON_H_
+#define SPPNET_IO_JSON_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+namespace sppnet {
+
+/// Minimal streaming JSON writer for the machine-readable outputs of
+/// the observability layer (`BENCH_<name>.json`, metrics dumps). Emits
+/// deterministic text: keys are written in the order the caller
+/// provides them, doubles round-trip exactly (max_digits10), and
+/// strings are escaped per RFC 8259. No exceptions; structural misuse
+/// (closing an object that is not open, a value without a pending key
+/// inside an object) aborts through SPPNET_CHECK.
+///
+/// Usage:
+///   JsonWriter w(os);
+///   w.BeginObject();
+///   w.Key("bench").String("fig04");
+///   w.Key("rows").BeginArray();
+///   w.Number(1.5).Number(2.5);
+///   w.EndArray();
+///   w.EndObject();
+class JsonWriter {
+ public:
+  /// Writes to `os`; `indent` spaces per nesting level (0 = compact).
+  explicit JsonWriter(std::ostream& os, int indent = 2);
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Writes an object key; the next call must write its value.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);
+  JsonWriter& Number(std::uint64_t value);
+  JsonWriter& Number(std::int64_t value);
+  JsonWriter& Number(int value) {
+    return Number(static_cast<std::int64_t>(value));
+  }
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// True once the root value is complete and the nesting is balanced.
+  bool Done() const;
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void BeforeValue();
+  void NewlineIndent();
+
+  std::ostream& os_;
+  int indent_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;
+  bool pending_key_ = false;
+  bool root_written_ = false;
+};
+
+/// Escapes `value` for embedding inside a JSON string literal
+/// (quotes not included).
+void AppendJsonEscaped(std::string_view value, std::string& out);
+
+}  // namespace sppnet
+
+#endif  // SPPNET_IO_JSON_H_

@@ -26,6 +26,10 @@ class TableWriter {
   /// Writes comma-separated values (for machine consumption).
   void PrintCsv(std::ostream& os) const;
 
+  /// Accessors for serializers (the BENCH_<name>.json reports).
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,11 +1,13 @@
 #include "sppnet/model/trials.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 #include <vector>
 
 #include "sppnet/common/rng.h"
 #include "sppnet/model/instance.h"
+#include "sppnet/obs/metrics.h"
 
 namespace sppnet {
 namespace {
@@ -41,15 +43,24 @@ struct TrialObservation {
   std::vector<double> sp_out_bps;  // One entry per partner.
   std::vector<double> cluster_results;
   int redundancy_k = 1;
+  // Wall-clock phase timings, measured on the worker and folded into
+  // the report-only trial timers (never into seeded behaviour).
+  double generate_seconds = 0.0;
+  double evaluate_seconds = 0.0;
 };
 
 TrialObservation RunOneTrial(const Configuration& config,
                              const ModelInputs& inputs, Rng trial_rng,
                              bool collect_histograms) {
+  const auto t0 = std::chrono::steady_clock::now();
   const NetworkInstance instance = GenerateInstance(config, inputs, trial_rng);
+  const auto t1 = std::chrono::steady_clock::now();
   const InstanceLoads loads = EvaluateInstance(instance, config, inputs);
+  const auto t2 = std::chrono::steady_clock::now();
 
   TrialObservation obs;
+  obs.generate_seconds = std::chrono::duration<double>(t1 - t0).count();
+  obs.evaluate_seconds = std::chrono::duration<double>(t2 - t1).count();
   obs.aggregate = loads.aggregate;
   obs.sp_mean = InstanceLoads::MeanOf(loads.partner_load);
   if (!loads.client_load.empty()) {
@@ -122,9 +133,23 @@ ConfigurationReport RunTrials(const Configuration& config,
     for (std::thread& thread : pool) thread.join();
   }
 
-  // Fold in trial order: deterministic regardless of parallelism.
+  // Fold in trial order: deterministic regardless of parallelism. The
+  // metrics fold happens here, on one thread, for the same reason.
+  Counter* trials_completed = nullptr;
+  WallTimer* generate_timer = nullptr;
+  WallTimer* evaluate_timer = nullptr;
+  if (options.metrics != nullptr) {
+    trials_completed = &options.metrics->GetCounter("trials.completed");
+    generate_timer = &options.metrics->GetTimer("trials.generate");
+    evaluate_timer = &options.metrics->GetTimer("trials.evaluate");
+  }
   ConfigurationReport report;
   for (const TrialObservation& obs : observations) {
+    if (trials_completed != nullptr) {
+      trials_completed->Increment();
+      generate_timer->Record(obs.generate_seconds);
+      evaluate_timer->Record(obs.evaluate_seconds);
+    }
     report.aggregate_in_bps.Add(obs.aggregate.in_bps);
     report.aggregate_out_bps.Add(obs.aggregate.out_bps);
     report.aggregate_proc_hz.Add(obs.aggregate.proc_hz);

@@ -10,6 +10,8 @@
 
 namespace sppnet {
 
+class MetricsRegistry;
+
 /// Options for Step 4 of the analysis: repeated trials over fresh
 /// instances of one configuration, averaged with confidence intervals.
 struct TrialOptions {
@@ -22,6 +24,13 @@ struct TrialOptions {
   /// serial run regardless of the value: per-trial RNG streams are
   /// pre-split and observations are folded in trial order.
   std::size_t parallelism = 1;
+  /// Optional observability sink (see obs/metrics.h). When set, the
+  /// runner publishes the "trials.completed" counter plus the
+  /// "trials.generate" / "trials.evaluate" wall-clock phase timers.
+  /// Counters are folded in trial order and are bit-identical across
+  /// parallelism settings; the timers are report-only wall-clock
+  /// values and carry no determinism guarantee. Not owned.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Cross-trial summary of one configuration: E[E[M|I]] = E[M] per the

@@ -1,0 +1,84 @@
+#include "sppnet/obs/export.h"
+
+#include <ostream>
+
+#include "sppnet/io/json.h"
+#include "sppnet/io/table.h"
+
+namespace sppnet {
+
+void WriteMetricsJson(JsonWriter& w, const MetricsRegistry& registry) {
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, counter] : registry.counters()) {
+    w.Key(name).Number(counter.value());
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, gauge] : registry.gauges()) {
+    w.Key(name).Number(gauge.value());
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, histogram] : registry.histograms()) {
+    w.Key(name).BeginObject();
+    w.Key("upper_bounds").BeginArray();
+    for (const double b : histogram.upper_bounds()) w.Number(b);
+    w.EndArray();
+    w.Key("bucket_counts").BeginArray();
+    for (const std::uint64_t c : histogram.bucket_counts()) w.Number(c);
+    w.EndArray();
+    w.Key("count").Number(histogram.count());
+    w.Key("sum").Number(histogram.sum());
+    w.EndObject();
+  }
+  w.EndObject();
+  w.Key("timers").BeginObject();
+  for (const auto& [name, timer] : registry.timers()) {
+    w.Key(name).BeginObject();
+    w.Key("count").Number(timer.count());
+    w.Key("total_seconds").Number(timer.total_seconds());
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+}
+
+void WriteMetricsJson(std::ostream& os, const MetricsRegistry& registry) {
+  JsonWriter w(os);
+  WriteMetricsJson(w, registry);
+  os << '\n';
+}
+
+void WriteMetricsCsv(std::ostream& os, const MetricsRegistry& registry) {
+  os << "kind,name,field,value\n";
+  for (const auto& [name, counter] : registry.counters()) {
+    os << "counter," << name << ",value," << counter.value() << '\n';
+  }
+  for (const auto& [name, gauge] : registry.gauges()) {
+    os << "gauge," << name << ",value," << Format(gauge.value(), 17) << '\n';
+  }
+  for (const auto& [name, histogram] : registry.histograms()) {
+    const auto& bounds = histogram.upper_bounds();
+    const auto& counts = histogram.bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      os << "histogram," << name << ",le_";
+      if (i < bounds.size()) {
+        os << Format(bounds[i], 17);
+      } else {
+        os << "inf";
+      }
+      os << ',' << counts[i] << '\n';
+    }
+    os << "histogram," << name << ",count," << histogram.count() << '\n';
+    os << "histogram," << name << ",sum," << Format(histogram.sum(), 17)
+       << '\n';
+  }
+  for (const auto& [name, timer] : registry.timers()) {
+    os << "timer," << name << ",count," << timer.count() << '\n';
+    os << "timer," << name << ",total_seconds,"
+       << Format(timer.total_seconds(), 17) << '\n';
+  }
+}
+
+}  // namespace sppnet

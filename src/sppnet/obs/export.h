@@ -1,0 +1,33 @@
+#ifndef SPPNET_OBS_EXPORT_H_
+#define SPPNET_OBS_EXPORT_H_
+
+#include <iosfwd>
+
+#include "sppnet/obs/metrics.h"
+
+namespace sppnet {
+
+class JsonWriter;
+
+/// Serializes `registry` as one JSON object:
+///   {"counters": {name: value, ...},
+///    "gauges": {name: value, ...},
+///    "histograms": {name: {"upper_bounds": [...], "bucket_counts": [...],
+///                          "count": n, "sum": s}, ...},
+///    "timers": {name: {"count": n, "total_seconds": s}, ...}}
+/// Instruments appear in name order, so two registries with identical
+/// contents produce byte-identical JSON. Timer values are wall-clock
+/// and therefore the only non-reproducible part of the dump.
+void WriteMetricsJson(std::ostream& os, const MetricsRegistry& registry);
+
+/// Same serialization, emitted as a value inside an enclosing JSON
+/// document (used by the bench reports).
+void WriteMetricsJson(JsonWriter& writer, const MetricsRegistry& registry);
+
+/// Flat CSV form: `kind,name,field,value` rows, one line per scalar
+/// (histograms expand to one row per bucket plus count/sum).
+void WriteMetricsCsv(std::ostream& os, const MetricsRegistry& registry);
+
+}  // namespace sppnet
+
+#endif  // SPPNET_OBS_EXPORT_H_

@@ -1,0 +1,77 @@
+#include "sppnet/obs/metrics.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sppnet/common/check.h"
+
+namespace sppnet {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      counts_(upper_bounds_.size() + 1, 0) {
+  SPPNET_CHECK_MSG(
+      std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()),
+      "histogram bounds must be ascending");
+}
+
+void Histogram::Observe(double x) {
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), x);
+  counts_[static_cast<std::size_t>(it - upper_bounds_.begin())] += 1;
+  ++count_;
+  sum_ += x;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  SPPNET_CHECK_MSG(upper_bounds_ == other.upper_bounds_,
+                   "merging histograms with different bounds");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> upper_bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    SPPNET_CHECK_MSG(it->second.upper_bounds() == upper_bounds,
+                     "histogram re-registered with different bounds");
+    return it->second;
+  }
+  return histograms_
+      .emplace(std::string(name), Histogram(std::move(upper_bounds)))
+      .first->second;
+}
+
+WallTimer& MetricsRegistry::GetTimer(std::string_view name) {
+  const auto it = timers_.find(name);
+  if (it != timers_.end()) return it->second;
+  return timers_.emplace(std::string(name), WallTimer{}).first->second;
+}
+
+std::uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+double MetricsRegistry::GaugeValue(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second.value();
+}
+
+}  // namespace sppnet

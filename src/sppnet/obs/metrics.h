@@ -1,0 +1,161 @@
+#ifndef SPPNET_OBS_METRICS_H_
+#define SPPNET_OBS_METRICS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sppnet {
+
+/// Monotonically increasing event count. Counter values are part of the
+/// deterministic surface: with the same seed they must be bit-identical
+/// across runs and across trial parallelism settings.
+class Counter {
+ public:
+  void Increment(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value (e.g. a high-water mark set via
+/// SetMax). Gauges derived from protocol state are deterministic.
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  /// Keeps the maximum of the current value and `v` (high-water marks).
+  void SetMax(double v) {
+    if (v > value_) value_ = v;
+  }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram. Buckets are defined by inclusive upper
+/// bounds; an observation larger than the last bound lands in the
+/// overflow bucket. Bounds are fixed at registration so the shape of
+/// the export never depends on the data.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double x);
+
+  /// Adds `other`'s observations into this histogram. Both must have
+  /// been constructed with identical bounds (checked).
+  void Merge(const Histogram& other);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  /// Per-bucket (non-cumulative) counts; size = upper_bounds().size() + 1,
+  /// the last entry being the overflow bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Wall-clock duration accumulator. Timers are REPORT-ONLY: their
+/// values come from std::chrono::steady_clock, so they differ run to
+/// run and are excluded from every determinism guarantee. Nothing in
+/// the library may branch on a Timer value.
+class WallTimer {
+ public:
+  void Record(double seconds) {
+    ++count_;
+    total_seconds_ += seconds;
+  }
+  std::uint64_t count() const { return count_; }
+  double total_seconds() const { return total_seconds_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double total_seconds_ = 0.0;
+};
+
+/// RAII helper measuring one wall-clock span into a WallTimer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(WallTimer* timer)
+      : timer_(timer), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (timer_ != nullptr) timer_->Record(ElapsedSeconds());
+  }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  WallTimer* timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Registry of named instruments. Handles returned by the getters are
+/// stable for the registry's lifetime (node-based storage). Lookup by
+/// name is intended for setup paths; hot loops should hold the returned
+/// reference. Not thread-safe: concurrent phases must accumulate
+/// locally and fold into the registry from one thread (the pattern the
+/// trial runner uses), which is also what keeps counter values
+/// independent of scheduling.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the named instrument.
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  /// `upper_bounds` must be ascending; ignored (and checked for
+  /// equality) when the histogram already exists.
+  Histogram& GetHistogram(std::string_view name,
+                          std::vector<double> upper_bounds);
+  WallTimer& GetTimer(std::string_view name);
+
+  /// Name-ordered iteration (std::map) so exports are deterministic.
+  const std::map<std::string, Counter, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Gauge, std::less<>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+  const std::map<std::string, WallTimer, std::less<>>& timers() const {
+    return timers_;
+  }
+
+  /// Counter value by name; 0 when absent (convenient in tests).
+  std::uint64_t CounterValue(std::string_view name) const;
+  /// Gauge value by name; 0.0 when absent.
+  double GaugeValue(std::string_view name) const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+  std::map<std::string, WallTimer, std::less<>> timers_;
+};
+
+}  // namespace sppnet
+
+#endif  // SPPNET_OBS_METRICS_H_

@@ -92,6 +92,10 @@ std::optional<QueryMessage> QueryMessage::Decode(
   QueryMessage m;
   const auto h = MessageHeader::Decode(r);
   if (!h || h->type != MessageType::kQuery) return std::nullopt;
+  // Strict framing: the header's payload length must match the
+  // buffer exactly, so truncation at a record boundary (or trailing
+  // padding) is rejected instead of decoding as a shorter message.
+  if (h->payload_length != r.remaining()) return std::nullopt;
   m.header = *h;
   const auto flags = r.GetU16();
   auto query = r.GetCString();
@@ -174,6 +178,10 @@ std::optional<ResponseMessage> ResponseMessage::Decode(
   ResponseMessage m;
   const auto h = MessageHeader::Decode(r);
   if (!h || h->type != MessageType::kResponse) return std::nullopt;
+  // Strict framing: the header's payload length must match the
+  // buffer exactly, so truncation at a record boundary (or trailing
+  // padding) is rejected instead of decoding as a shorter message.
+  if (h->payload_length != r.remaining()) return std::nullopt;
   m.header = *h;
   const auto num_addrs = r.GetU8();
   if (!num_addrs.has_value()) return std::nullopt;
@@ -215,6 +223,10 @@ std::optional<JoinMessage> JoinMessage::Decode(
   JoinMessage m;
   const auto h = MessageHeader::Decode(r);
   if (!h || h->type != MessageType::kJoin) return std::nullopt;
+  // Strict framing: the header's payload length must match the
+  // buffer exactly, so truncation at a record boundary (or trailing
+  // padding) is rejected instead of decoding as a shorter message.
+  if (h->payload_length != r.remaining()) return std::nullopt;
   m.header = *h;
   const auto flags = r.GetU8();
   if (!flags.has_value()) return std::nullopt;
@@ -250,6 +262,10 @@ std::optional<UpdateMessage> UpdateMessage::Decode(
   UpdateMessage m;
   const auto h = MessageHeader::Decode(r);
   if (!h || h->type != MessageType::kUpdate) return std::nullopt;
+  // Strict framing: the header's payload length must match the
+  // buffer exactly, so truncation at a record boundary (or trailing
+  // padding) is rejected instead of decoding as a shorter message.
+  if (h->payload_length != r.remaining()) return std::nullopt;
   m.header = *h;
   const auto op = r.GetU8();
   if (!op.has_value()) return std::nullopt;

@@ -1,5 +1,6 @@
 #include "sppnet/sim/simulator.h"
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <deque>
@@ -13,6 +14,7 @@
 #include "sppnet/common/rng.h"
 #include "sppnet/index/corpus.h"
 #include "sppnet/index/inverted_index.h"
+#include "sppnet/obs/metrics.h"
 #include "sppnet/sim/event_queue.h"
 
 namespace sppnet {
@@ -32,6 +34,14 @@ enum : std::uint32_t {
   kWalkArrive,  // Random-walk query hop.
   kRingCheck,   // Expanding-ring satisfaction probe.
 };
+
+// Wire message classes for the observability counters. Every
+// accounted send/receive names its class so the per-type counters
+// reconcile with the byte accounting by construction.
+enum class Msg : std::size_t { kQuery = 0, kResponse, kJoin, kUpdate };
+inline constexpr std::size_t kNumMsgTypes = 4;
+inline constexpr const char* kMsgNames[kNumMsgTypes] = {"query", "response",
+                                                        "join", "update"};
 
 // Sentinel "upstream" marking a query submitted by the super-peer's own
 // user: results are consumed locally and no submission hop exists.
@@ -71,6 +81,16 @@ std::uint32_t SampleBinomialApprox(double n, double p, Rng& rng) {
   const double sigma = std::sqrt(lambda * (1.0 - p));
   const double x = std::llround(lambda + sigma * rng.NextGaussian());
   return x <= 0.0 ? 0u : static_cast<std::uint32_t>(x);
+}
+
+// Buckets of the per-response overlay-hop histogram: one bucket per
+// hop count 0..15 plus overflow (TTLs in every experiment are <= 8).
+std::vector<double> HopHistogramBounds() {
+  std::vector<double> bounds(16);
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    bounds[i] = static_cast<double>(i);
+  }
+  return bounds;
 }
 
 }  // namespace
@@ -155,6 +175,7 @@ class Simulator::Impl {
 
     while (!queue_.empty() && queue_.NextTime() <= end_time) {
       const SimEvent e = queue_.Pop();
+      ++events_dispatched_;
       now_ = e.time;
       measuring_ = now_ >= options_.warmup_seconds;
       Dispatch(e);
@@ -200,16 +221,19 @@ class Simulator::Impl {
     e.a = a;
     e.b = b;
     queue_.Schedule(e);
+    if (queue_.size() > queue_depth_hwm_) queue_depth_hwm_ = queue_.size();
   }
-  void AcctSend(std::uint32_t node, double bytes, double units) {
+  void AcctSend(std::uint32_t node, Msg msg, double bytes, double units) {
     if (!measuring_) return;
     out_bytes_[node] += bytes;
     units_[node] += units;
+    ++msg_sent_[static_cast<std::size_t>(msg)];
   }
-  void AcctRecv(std::uint32_t node, double bytes, double units) {
+  void AcctRecv(std::uint32_t node, Msg msg, double bytes, double units) {
     if (!measuring_) return;
     in_bytes_[node] += bytes;
     units_[node] += units;
+    ++msg_recv_[static_cast<std::size_t>(msg)];
   }
   void AcctProc(std::uint32_t node, double units) {
     if (!measuring_) return;
@@ -304,9 +328,9 @@ class Simulator::Impl {
     switch (options_.strategy) {
       case SearchStrategy::kFlood: {
         const std::uint64_t qid = next_qid_++;
-        if (options_.result_cache_ttl_seconds > 0.0 &&
-            TryAnswerFromCache(user, qid, query_class)) {
-          return;
+        if (options_.result_cache_ttl_seconds > 0.0) {
+          if (TryAnswerFromCache(user, qid, query_class)) return;
+          if (measuring_) ++cache_misses_;
         }
         if (!SubmitToOwnCluster(user, qid, query_class,
                                 static_cast<std::uint32_t>(config_.ttl + 1))) {
@@ -399,13 +423,13 @@ class Simulator::Impl {
     const std::uint32_t partner = PickPartner(cluster);
     if (partner == kSelfUpstream) return true;  // Disconnected anyway.
     // Submission hop + cached response back to the client.
-    AcctSend(user, qbytes_, sendq_ + MuxOf(user));
-    AcctRecv(partner, qbytes_, recvq_ + MuxOf(partner));
-    AcctSend(partner, response_bytes,
+    AcctSend(user, Msg::kQuery, qbytes_, sendq_ + MuxOf(user));
+    AcctRecv(partner, Msg::kQuery, qbytes_, recvq_ + MuxOf(partner));
+    AcctSend(partner, Msg::kResponse, response_bytes,
              inputs_.costs.SendResponseUnits(static_cast<double>(addrs),
                                              static_cast<double>(results)) +
                  MuxOf(partner));
-    AcctRecv(user, response_bytes,
+    AcctRecv(user, Msg::kResponse, response_bytes,
              inputs_.costs.RecvResponseUnits(static_cast<double>(addrs),
                                              static_cast<double>(results)) +
                  MuxOf(user));
@@ -454,7 +478,7 @@ class Simulator::Impl {
     }
     const std::uint32_t target = PickPartner(ClusterOf(user));
     if (target == kSelfUpstream) return false;  // Disconnected.
-    AcctSend(user, qbytes_, sendq_ + MuxOf(user));
+    AcctSend(user, Msg::kQuery, qbytes_, sendq_ + MuxOf(user));
     ScheduleIn(options_.hop_latency_seconds, kQueryArrive, target, qid,
                PackQuery(user, query_class, ttl));
     return true;
@@ -528,7 +552,7 @@ class Simulator::Impl {
     } else {
       source_partner = PickPartner(cluster);
       if (source_partner == kSelfUpstream) return false;
-      AcctSend(user, qbytes_, sendq_ + MuxOf(user));
+      AcctSend(user, Msg::kQuery, qbytes_, sendq_ + MuxOf(user));
       ScheduleIn(options_.hop_latency_seconds, kQueryArrive, source_partner,
                  qid, PackQuery(user, query_class, 1));
     }
@@ -536,7 +560,8 @@ class Simulator::Impl {
     for (std::uint32_t w = 0; w < options_.num_walkers; ++w) {
       const std::uint32_t target = RandomNeighborPartner(cluster);
       if (target == kSelfUpstream) break;
-      AcctSend(source_partner, qbytes_, sendq_ + MuxOf(source_partner));
+      AcctSend(source_partner, Msg::kQuery, qbytes_,
+               sendq_ + MuxOf(source_partner));
       ScheduleIn(options_.hop_latency_seconds, kWalkArrive, target, qid,
                  PackQuery(source_partner, query_class,
                            options_.walk_ttl & 0xffu));
@@ -566,7 +591,7 @@ class Simulator::Impl {
                     std::uint32_t source_partner, std::uint32_t query_class,
                     std::uint32_t ttl) {
     if (!partner_alive_[partner]) return;
-    AcctRecv(partner, qbytes_, recvq_ + MuxOf(partner));
+    AcctRecv(partner, Msg::kQuery, qbytes_, recvq_ + MuxOf(partner));
     const std::size_t cluster = ClusterOf(partner);
     // Process only on the cluster's first visit; revisit hops keep
     // walking but do not re-query the index.
@@ -582,7 +607,7 @@ class Simulator::Impl {
         // whole walk; hops=1 reflects the direct connection.
         const double bytes = inputs_.costs.ResponseBytes(
             static_cast<double>(addrs), static_cast<double>(results));
-        AcctSend(partner, bytes,
+        AcctSend(partner, Msg::kResponse, bytes,
                  inputs_.costs.SendResponseUnits(
                      static_cast<double>(addrs),
                      static_cast<double>(results)) +
@@ -596,7 +621,7 @@ class Simulator::Impl {
     if (ttl <= 1) return;
     const std::uint32_t next = RandomNeighborPartner(cluster);
     if (next == kSelfUpstream) return;
-    AcctSend(partner, qbytes_, sendq_ + MuxOf(partner));
+    AcctSend(partner, Msg::kQuery, qbytes_, sendq_ + MuxOf(partner));
     ScheduleIn(options_.hop_latency_seconds, kWalkArrive, next, qid,
                PackQuery(source_partner, query_class, ttl - 1));
   }
@@ -606,7 +631,7 @@ class Simulator::Impl {
                      std::uint32_t ttl) {
     if (!partner_alive_[partner]) return;  // Message lost.
     if (upstream != kSelfUpstream) {
-      AcctRecv(partner, qbytes_, recvq_ + MuxOf(partner));
+      AcctRecv(partner, Msg::kQuery, qbytes_, recvq_ + MuxOf(partner));
     }
     const std::size_t cluster = ClusterOf(partner);
     const bool fresh = query_table_[cluster].try_emplace(qid, upstream).second;
@@ -634,7 +659,7 @@ class Simulator::Impl {
       if (neighbor == exclude) return;
       const std::uint32_t target = PickPartner(neighbor);
       if (target == kSelfUpstream) return;
-      AcctSend(partner, qbytes_, sendq_ + MuxOf(partner));
+      AcctSend(partner, Msg::kQuery, qbytes_, sendq_ + MuxOf(partner));
       ScheduleIn(options_.hop_latency_seconds, kQueryArrive, target, qid,
                  PackQuery(partner, query_class, ttl - 1));
     };
@@ -697,8 +722,7 @@ class Simulator::Impl {
       DeliverResults(qid, results, addrs, hops);
       return;
     }
-    AcctSend(from,
-             bytes,
+    AcctSend(from, Msg::kResponse, bytes,
              inputs_.costs.SendResponseUnits(static_cast<double>(addrs),
                                              static_cast<double>(results)) +
                  MuxOf(from));
@@ -715,7 +739,7 @@ class Simulator::Impl {
                         std::uint32_t hops) {
     const double bytes = inputs_.costs.ResponseBytes(
         static_cast<double>(addrs), static_cast<double>(results));
-    AcctRecv(node, bytes,
+    AcctRecv(node, Msg::kResponse, bytes,
              inputs_.costs.RecvResponseUnits(static_cast<double>(addrs),
                                              static_cast<double>(results)) +
                  MuxOf(node));
@@ -754,6 +778,7 @@ class Simulator::Impl {
     if (!measuring_) return;
     ++responses_delivered_;
     hops_sum_ += static_cast<double>(hops);
+    hop_histogram_.Observe(static_cast<double>(hops));
     if (options_.strategy != SearchStrategy::kExpandingRing) {
       // Ring queries account their results when the ring settles
       // (FinishRingQuery), so inner rings are not double counted.
@@ -771,6 +796,7 @@ class Simulator::Impl {
     e.a = owner;
     e.x = files;
     queue_.Schedule(e);
+    if (queue_.size() > queue_depth_hwm_) queue_depth_hwm_ = queue_.size();
   }
 
   void OnJoinSubmit(std::uint32_t user) {
@@ -785,7 +811,7 @@ class Simulator::Impl {
       for (std::size_t p = 0; p < k_; ++p) {
         const auto other = static_cast<std::uint32_t>(cluster * k_ + p);
         if (other == user || !partner_alive_[other]) continue;
-        AcctSend(user, inputs_.costs.JoinBytes(files),
+        AcctSend(user, Msg::kJoin, inputs_.costs.JoinBytes(files),
                  inputs_.costs.SendJoinUnits(files) + MuxOf(user));
         ScheduleJoinArrive(other, user, files);
       }
@@ -794,7 +820,7 @@ class Simulator::Impl {
     for (std::size_t p = 0; p < k_; ++p) {
       const auto partner = static_cast<std::uint32_t>(cluster * k_ + p);
       if (!partner_alive_[partner]) continue;
-      AcctSend(user, inputs_.costs.JoinBytes(files),
+      AcctSend(user, Msg::kJoin, inputs_.costs.JoinBytes(files),
                inputs_.costs.SendJoinUnits(files) + MuxOf(user));
       ScheduleJoinArrive(partner, user, files);
     }
@@ -803,7 +829,7 @@ class Simulator::Impl {
   void OnJoinArrive(std::uint32_t partner, std::uint32_t owner,
                     double files) {
     if (!partner_alive_[partner]) return;
-    AcctRecv(partner, inputs_.costs.JoinBytes(files),
+    AcctRecv(partner, Msg::kJoin, inputs_.costs.JoinBytes(files),
              inputs_.costs.RecvJoinUnits(files) +
                  inputs_.costs.ProcessJoinUnits(files) + MuxOf(partner));
     if (options_.concrete_index) {
@@ -857,7 +883,7 @@ class Simulator::Impl {
       for (std::size_t p = 0; p < k_; ++p) {
         const auto other = static_cast<std::uint32_t>(cluster * k_ + p);
         if (other == user || !partner_alive_[other]) continue;
-        AcctSend(user, inputs_.costs.UpdateBytes(),
+        AcctSend(user, Msg::kUpdate, inputs_.costs.UpdateBytes(),
                  inputs_.costs.send_update_units + MuxOf(user));
         ScheduleIn(options_.hop_latency_seconds, kUpdateArrive, other, user);
       }
@@ -873,7 +899,7 @@ class Simulator::Impl {
     for (std::size_t p = 0; p < k_; ++p) {
       const auto partner = static_cast<std::uint32_t>(cluster * k_ + p);
       if (!partner_alive_[partner]) continue;
-      AcctSend(user, inputs_.costs.UpdateBytes(),
+      AcctSend(user, Msg::kUpdate, inputs_.costs.UpdateBytes(),
                inputs_.costs.send_update_units + MuxOf(user));
       ScheduleIn(options_.hop_latency_seconds, kUpdateArrive, partner, user);
     }
@@ -894,7 +920,7 @@ class Simulator::Impl {
 
   void OnUpdateArrive(std::uint32_t partner, std::uint32_t owner) {
     if (!partner_alive_[partner]) return;
-    AcctRecv(partner, inputs_.costs.UpdateBytes(),
+    AcctRecv(partner, Msg::kUpdate, inputs_.costs.UpdateBytes(),
              inputs_.costs.recv_update_units +
                  inputs_.costs.process_update_units + MuxOf(partner));
     if (options_.concrete_index) {
@@ -917,6 +943,7 @@ class Simulator::Impl {
 
   void OnPartnerRecover(std::uint32_t partner) {
     partner_alive_[partner] = true;
+    if (measuring_) ++partner_recoveries_;
     const std::size_t cluster = ClusterOf(partner);
     if (alive_partners_[cluster]++ == 0 && outage_start_[cluster] >= 0.0) {
       AccumulateOutage(cluster, now_);
@@ -929,7 +956,7 @@ class Simulator::Impl {
       const auto client =
           static_cast<std::uint32_t>(num_partners_ + c);
       const auto files = static_cast<double>(inst_.client_files[c]);
-      AcctSend(client, inputs_.costs.JoinBytes(files),
+      AcctSend(client, Msg::kJoin, inputs_.costs.JoinBytes(files),
                inputs_.costs.SendJoinUnits(files) + MuxOf(client));
       ScheduleJoinArrive(partner, client, files);
     }
@@ -1013,7 +1040,36 @@ class Simulator::Impl {
       report.client_disconnected_fraction =
           disconnected_client_seconds_ / client_seconds;
     }
+    if (options_.metrics != nullptr) PublishMetrics(*options_.metrics);
     return report;
+  }
+
+  /// Publishes the run's tallies into the attached registry. Counters
+  /// and the hop histogram cover the measurement window (warmup
+  /// excluded), matching the SimReport fields they reconcile with;
+  /// the event-queue high-water mark and dispatch count cover the
+  /// whole run. Values accumulate, so several runs may share a
+  /// registry.
+  void PublishMetrics(MetricsRegistry& m) {
+    for (std::size_t t = 0; t < kNumMsgTypes; ++t) {
+      const std::string type = kMsgNames[t];
+      m.GetCounter("sim.msg." + type + ".sent").Increment(msg_sent_[t]);
+      m.GetCounter("sim.msg." + type + ".received").Increment(msg_recv_[t]);
+    }
+    m.GetCounter("sim.queries.submitted").Increment(queries_submitted_);
+    m.GetCounter("sim.queries.duplicate").Increment(duplicate_queries_);
+    m.GetCounter("sim.responses.delivered").Increment(responses_delivered_);
+    m.GetCounter("sim.cache.hits").Increment(cache_hits_);
+    m.GetCounter("sim.cache.misses").Increment(cache_misses_);
+    m.GetCounter("sim.churn.partner_failures").Increment(partner_failures_);
+    m.GetCounter("sim.churn.partner_recoveries")
+        .Increment(partner_recoveries_);
+    m.GetCounter("sim.churn.cluster_outages").Increment(cluster_outages_);
+    m.GetCounter("sim.events.dispatched").Increment(events_dispatched_);
+    m.GetGauge("sim.event_queue.depth_hwm")
+        .SetMax(static_cast<double>(queue_depth_hwm_));
+    m.GetHistogram("sim.response.hops", HopHistogramBounds())
+        .Merge(hop_histogram_);
   }
 
   // --- State -----------------------------------------------------------------
@@ -1075,6 +1131,17 @@ class Simulator::Impl {
   // Source-side result caches, one per cluster (lazy-sized).
   std::vector<std::unordered_map<std::uint64_t, CacheEntry>> result_cache_;
   std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+
+  // Observability tallies (see PublishMetrics). All of these are
+  // derived purely from protocol actions, so they are bit-identical
+  // across runs with the same seed.
+  std::array<std::uint64_t, kNumMsgTypes> msg_sent_ = {};
+  std::array<std::uint64_t, kNumMsgTypes> msg_recv_ = {};
+  std::uint64_t partner_recoveries_ = 0;
+  std::size_t queue_depth_hwm_ = 0;
+  std::uint64_t events_dispatched_ = 0;
+  Histogram hop_histogram_{HopHistogramBounds()};
 };
 
 Simulator::Simulator(const NetworkInstance& instance,

@@ -10,6 +10,8 @@
 
 namespace sppnet {
 
+class MetricsRegistry;
+
 /// How queries travel across the super-peer overlay. The paper's
 /// analysis uses the baseline Gnutella flood and notes that better
 /// search protocols (e.g. Yang & Garcia-Molina, ICDCS'02) are
@@ -66,6 +68,17 @@ struct SimOptions {
   /// Garcia-Molina, ICDCS'02); Zipf query popularity makes repeats
   /// common at busy super-peers.
   double result_cache_ttl_seconds = 0.0;
+
+  /// Optional observability sink (see obs/metrics.h). When set, the
+  /// run publishes protocol counters ("sim.msg.query.sent", cache
+  /// hits/misses, failover episodes, ...), the event-queue high-water
+  /// mark gauge and the per-response hop histogram into the registry at
+  /// the end of Run(). Purely observational: attaching a registry never
+  /// changes simulated behaviour, and every published counter /
+  /// histogram value is bit-identical across runs with the same seed.
+  /// Values are accumulated (Increment/Merge), so several runs may
+  /// share one registry. Not owned; must outlive the simulator.
+  MetricsRegistry* metrics = nullptr;
 
   // --- Search strategy (kFlood reproduces the paper's baseline) ---
   SearchStrategy strategy = SearchStrategy::kFlood;

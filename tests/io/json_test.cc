@@ -1,0 +1,165 @@
+#include "sppnet/io/json.h"
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace sppnet {
+namespace {
+
+std::string Compact(const std::string& pretty) {
+  // Strip the indentation whitespace so shape assertions stay readable.
+  std::string out;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : pretty) {
+    if (in_string) {
+      out += c;
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      out += c;
+      continue;
+    }
+    if (c == '\n' || c == ' ') continue;
+    out += c;
+  }
+  return out;
+}
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject().EndObject();
+  EXPECT_TRUE(w.Done());
+  EXPECT_EQ(os.str(), "{}");
+
+  std::ostringstream os2;
+  JsonWriter w2(os2);
+  w2.BeginArray().EndArray();
+  EXPECT_EQ(os2.str(), "[]");
+}
+
+TEST(JsonWriterTest, NestedStructure) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("name").String("sppnet");
+  w.Key("values").BeginArray().Number(std::int64_t{1}).Number(std::int64_t{2})
+      .EndArray();
+  w.Key("nested").BeginObject().Key("flag").Bool(true).EndObject();
+  w.Key("none").Null();
+  w.EndObject();
+  EXPECT_TRUE(w.Done());
+  EXPECT_EQ(Compact(os.str()),
+            "{\"name\":\"sppnet\",\"values\":[1,2],"
+            "\"nested\":{\"flag\":true},\"none\":null}");
+}
+
+TEST(JsonWriterTest, StringEscaping) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.String("a\"b\\c\nd\te\x01");
+  EXPECT_EQ(os.str(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+
+  std::string out;
+  AppendJsonEscaped("plain", out);
+  EXPECT_EQ(out, "plain");
+}
+
+TEST(JsonWriterTest, IntegralDoublesPrintAsIntegers) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginArray();
+  w.Number(400.0).Number(-3.0).Number(0.0).Number(1e6);
+  w.EndArray();
+  EXPECT_EQ(Compact(os.str()), "[400,-3,0,1000000]");
+}
+
+TEST(JsonWriterTest, DoublesRoundTripShortest) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginArray();
+  w.Number(0.5).Number(3.14).Number(1.0 / 3.0);
+  w.EndArray();
+  const std::string json = Compact(os.str());
+  EXPECT_EQ(json.substr(0, 10), "[0.5,3.14,");
+  // The 1/3 representation must parse back to exactly the same double.
+  double parsed = 0.0;
+  std::sscanf(json.c_str() + 10, "%lf", &parsed);
+  EXPECT_EQ(parsed, 1.0 / 3.0);
+}
+
+TEST(JsonWriterTest, NonFiniteBecomesNull) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginArray();
+  w.Number(std::numeric_limits<double>::infinity());
+  w.Number(std::numeric_limits<double>::quiet_NaN());
+  w.EndArray();
+  EXPECT_EQ(Compact(os.str()), "[null,null]");
+}
+
+TEST(JsonWriterTest, LargeUnsignedIsExact) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.Number(std::uint64_t{18446744073709551615u});
+  EXPECT_EQ(os.str(), "18446744073709551615");
+}
+
+TEST(JsonWriterTest, KeyEscaping) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject().Key("a\"b").String("v").EndObject();
+  EXPECT_EQ(Compact(os.str()), "{\"a\\\"b\":\"v\"}");
+}
+
+TEST(JsonWriterTest, DoneIsFalseWhileOpen) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  EXPECT_FALSE(w.Done());
+  w.BeginObject();
+  EXPECT_FALSE(w.Done());
+  w.EndObject();
+  EXPECT_TRUE(w.Done());
+}
+
+TEST(JsonWriterDeathTest, ValueWithoutKeyAborts) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  EXPECT_DEATH(w.Number(std::int64_t{1}), "preceding Key");
+}
+
+TEST(JsonWriterDeathTest, KeyOutsideObjectAborts) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  EXPECT_DEATH(w.Key("k"), "outside an object");
+}
+
+TEST(JsonWriterDeathTest, MismatchedEndAborts) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginArray();
+  EXPECT_DEATH(w.EndObject(), "without an open object");
+}
+
+TEST(JsonWriterDeathTest, SecondRootAborts) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.Number(std::int64_t{1});
+  EXPECT_DEATH(w.Number(std::int64_t{2}), "second root");
+}
+
+}  // namespace
+}  // namespace sppnet

@@ -1,9 +1,65 @@
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "sppnet/model/trials.h"
 
 namespace sppnet {
 namespace {
+
+/// Bitwise comparison of two accumulators: parallel runs must fold the
+/// observations in trial order, so even the floating-point error terms
+/// (Welford's M2) match exactly — EXPECT_DOUBLE_EQ would hide an
+/// ordering bug that happens to round the same way.
+void ExpectStatIdentical(const RunningStat& a, const RunningStat& b,
+                         const char* what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.Mean(), b.Mean());
+  EXPECT_EQ(a.Variance(), b.Variance());
+  EXPECT_EQ(a.StdDev(), b.StdDev());
+  EXPECT_EQ(a.StdError(), b.StdError());
+  EXPECT_EQ(a.ConfidenceHalfWidth95(), b.ConfidenceHalfWidth95());
+}
+
+/// Every RunningStat of the report, by name.
+void ExpectReportIdentical(const ConfigurationReport& a,
+                           const ConfigurationReport& b) {
+  ExpectStatIdentical(a.aggregate_in_bps, b.aggregate_in_bps,
+                      "aggregate_in_bps");
+  ExpectStatIdentical(a.aggregate_out_bps, b.aggregate_out_bps,
+                      "aggregate_out_bps");
+  ExpectStatIdentical(a.aggregate_proc_hz, b.aggregate_proc_hz,
+                      "aggregate_proc_hz");
+  ExpectStatIdentical(a.sp_in_bps, b.sp_in_bps, "sp_in_bps");
+  ExpectStatIdentical(a.sp_out_bps, b.sp_out_bps, "sp_out_bps");
+  ExpectStatIdentical(a.sp_proc_hz, b.sp_proc_hz, "sp_proc_hz");
+  ExpectStatIdentical(a.client_in_bps, b.client_in_bps, "client_in_bps");
+  ExpectStatIdentical(a.client_out_bps, b.client_out_bps, "client_out_bps");
+  ExpectStatIdentical(a.client_proc_hz, b.client_proc_hz, "client_proc_hz");
+  ExpectStatIdentical(a.results_per_query, b.results_per_query,
+                      "results_per_query");
+  ExpectStatIdentical(a.epl, b.epl, "epl");
+  ExpectStatIdentical(a.reach, b.reach, "reach");
+  ExpectStatIdentical(a.duplicate_msgs_per_sec, b.duplicate_msgs_per_sec,
+                      "duplicate_msgs_per_sec");
+  ExpectStatIdentical(a.sp_connections, b.sp_connections, "sp_connections");
+
+  ASSERT_EQ(a.sp_out_bps_by_outdegree.KeyUpperBound(),
+            b.sp_out_bps_by_outdegree.KeyUpperBound());
+  ASSERT_EQ(a.results_by_outdegree.KeyUpperBound(),
+            b.results_by_outdegree.KeyUpperBound());
+  for (int d = 0; d < a.sp_out_bps_by_outdegree.KeyUpperBound(); ++d) {
+    ExpectStatIdentical(a.sp_out_bps_by_outdegree.Group(d),
+                        b.sp_out_bps_by_outdegree.Group(d),
+                        "sp_out_bps_by_outdegree");
+  }
+  for (int d = 0; d < a.results_by_outdegree.KeyUpperBound(); ++d) {
+    ExpectStatIdentical(a.results_by_outdegree.Group(d),
+                        b.results_by_outdegree.Group(d),
+                        "results_by_outdegree");
+  }
+}
 
 TEST(ParallelTrialsTest, BitIdenticalToSerial) {
   const ModelInputs inputs = ModelInputs::Default();
@@ -53,6 +109,28 @@ TEST(ParallelTrialsTest, HistogramsIdenticalToSerial) {
     EXPECT_DOUBLE_EQ(a.sp_out_bps_by_outdegree.Group(d).Mean(),
                      b.sp_out_bps_by_outdegree.Group(d).Mean());
   }
+}
+
+TEST(ParallelTrialsTest, FullReportIdenticalAcrossParallelism128) {
+  const ModelInputs inputs = ModelInputs::Default();
+  Configuration config;
+  config.graph_size = 500;
+  config.cluster_size = 10;
+  config.ttl = 5;
+  config.graph_type = GraphType::kPowerLaw;
+  config.avg_outdegree = 3.1;
+
+  std::vector<ConfigurationReport> reports;
+  for (const std::size_t parallelism : {1u, 2u, 8u}) {
+    TrialOptions options;
+    options.num_trials = 7;
+    options.seed = 777;
+    options.collect_outdegree_histograms = true;
+    options.parallelism = parallelism;
+    reports.push_back(RunTrials(config, inputs, options));
+  }
+  ExpectReportIdentical(reports[0], reports[1]);
+  ExpectReportIdentical(reports[0], reports[2]);
 }
 
 TEST(ParallelTrialsTest, MoreWorkersThanTrials) {

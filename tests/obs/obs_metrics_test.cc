@@ -1,0 +1,152 @@
+#include "sppnet/obs/metrics.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sppnet/obs/export.h"
+
+namespace sppnet {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndSetMax) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.Set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.SetMax(2.0);  // Lower: no change.
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.SetMax(7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(HistogramTest, BucketsByInclusiveUpperBound) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);   // Bucket 0 (<= 1).
+  h.Observe(1.0);   // Bucket 0 (inclusive).
+  h.Observe(1.5);   // Bucket 1.
+  h.Observe(4.0);   // Bucket 2.
+  h.Observe(100.0); // Overflow.
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 100.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), h.sum() / 5.0);
+}
+
+TEST(HistogramTest, MergeAddsCountsAndSum) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 2.0});
+  a.Observe(0.5);
+  b.Observe(1.5);
+  b.Observe(9.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.bucket_counts()[0], 1u);
+  EXPECT_EQ(a.bucket_counts()[1], 1u);
+  EXPECT_EQ(a.bucket_counts()[2], 1u);
+  EXPECT_DOUBLE_EQ(a.sum(), 11.0);
+}
+
+TEST(WallTimerTest, AccumulatesSpans) {
+  WallTimer t;
+  t.Record(0.25);
+  t.Record(0.5);
+  EXPECT_EQ(t.count(), 2u);
+  EXPECT_DOUBLE_EQ(t.total_seconds(), 0.75);
+}
+
+TEST(ScopedTimerTest, RecordsNonNegativeSpan) {
+  WallTimer t;
+  { ScopedTimer scope(&t); }
+  EXPECT_EQ(t.count(), 1u);
+  EXPECT_GE(t.total_seconds(), 0.0);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndNamed) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("a");
+  // Interleave enough registrations to force rebalancing if storage
+  // were not node-based.
+  for (int i = 0; i < 100; ++i) {
+    std::string name = "c";
+    name += std::to_string(i);
+    registry.GetCounter(name);
+  }
+  Counter& a_again = registry.GetCounter("a");
+  EXPECT_EQ(&a, &a_again);
+  a.Increment(5);
+  EXPECT_EQ(registry.CounterValue("a"), 5u);
+  EXPECT_EQ(registry.CounterValue("missing"), 0u);
+}
+
+TEST(MetricsRegistryTest, HistogramReRegistrationReturnsSameInstance) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("h", {1.0, 2.0});
+  h.Observe(0.5);
+  Histogram& again = registry.GetHistogram("h", {1.0, 2.0});
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.count(), 1u);
+}
+
+TEST(MetricsRegistryTest, IterationIsNameOrdered) {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta");
+  registry.GetCounter("alpha");
+  registry.GetCounter("mid");
+  std::vector<std::string> names;
+  for (const auto& [name, counter] : registry.counters()) {
+    names.push_back(name);
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+TEST(MetricsExportTest, JsonIsDeterministicForEqualContents) {
+  const auto fill = [](MetricsRegistry& r) {
+    r.GetCounter("b").Increment(2);
+    r.GetCounter("a").Increment(1);
+    r.GetGauge("g").Set(1.25);
+    r.GetHistogram("h", {1.0, 2.0}).Observe(1.5);
+  };
+  MetricsRegistry r1, r2;
+  fill(r1);
+  fill(r2);
+  std::ostringstream s1, s2;
+  WriteMetricsJson(s1, r1);
+  WriteMetricsJson(s2, r2);
+  EXPECT_EQ(s1.str(), s2.str());
+  // Spot-check shape.
+  EXPECT_NE(s1.str().find("\"counters\""), std::string::npos);
+  EXPECT_NE(s1.str().find("\"a\": 1"), std::string::npos);
+  EXPECT_NE(s1.str().find("\"bucket_counts\""), std::string::npos);
+}
+
+TEST(MetricsExportTest, CsvListsEveryInstrument) {
+  MetricsRegistry r;
+  r.GetCounter("c").Increment(3);
+  r.GetGauge("g").Set(0.5);
+  r.GetHistogram("h", {1.0}).Observe(2.0);
+  r.GetTimer("t").Record(0.1);
+  std::ostringstream os;
+  WriteMetricsCsv(os, r);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("kind,name,field,value"), std::string::npos);
+  EXPECT_NE(csv.find("counter,c,value,3"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,g,value,0.5"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,h,le_inf,1"), std::string::npos);
+  EXPECT_NE(csv.find("timer,t,count,1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sppnet

@@ -1,0 +1,202 @@
+// Reconciliation between the observability layer and the primary
+// outputs it shadows: every sim counter published by
+// Simulator::PublishMetrics must agree with the corresponding
+// SimReport field, and the trial-runner counter must be bit-identical
+// across parallelism settings. This is the guard that keeps the
+// metrics registry an *observation* of the protocol rather than a
+// second, driftable implementation of its bookkeeping.
+
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sppnet/common/rng.h"
+#include "sppnet/model/config.h"
+#include "sppnet/model/instance.h"
+#include "sppnet/model/trials.h"
+#include "sppnet/obs/export.h"
+#include "sppnet/obs/metrics.h"
+#include "sppnet/sim/simulator.h"
+
+namespace sppnet {
+namespace {
+
+struct SimSetup {
+  Configuration config;
+  ModelInputs inputs = ModelInputs::Default();
+  NetworkInstance instance;
+};
+
+SimSetup MakeSetup(std::uint64_t instance_seed) {
+  SimSetup s;
+  s.config.graph_size = 300;
+  s.config.cluster_size = 10;
+  s.config.ttl = 4;
+  s.config.avg_outdegree = 4.0;
+  Rng rng(instance_seed);
+  s.instance = GenerateInstance(s.config, s.inputs, rng);
+  return s;
+}
+
+SimReport RunWithMetrics(const SimSetup& s, SimOptions options,
+                         MetricsRegistry& metrics) {
+  options.metrics = &metrics;
+  Simulator sim(s.instance, s.config, s.inputs, options);
+  return sim.Run();
+}
+
+TEST(SimReconcileTest, ReliabilityRunCountersMatchReport) {
+  const SimSetup s = MakeSetup(11);
+  SimOptions options;
+  options.duration_seconds = 120.0;
+  options.warmup_seconds = 10.0;
+  options.seed = 5;
+  options.enable_churn = true;
+  options.partner_recovery_seconds = 20.0;
+
+  MetricsRegistry m;
+  const SimReport report = RunWithMetrics(s, options, m);
+
+  // Churn actually happened — otherwise the test proves nothing.
+  ASSERT_GT(report.partner_failures, 0u);
+  ASSERT_GT(report.cluster_outages, 0u);
+
+  EXPECT_EQ(m.CounterValue("sim.churn.partner_failures"),
+            report.partner_failures);
+  EXPECT_EQ(m.CounterValue("sim.churn.cluster_outages"),
+            report.cluster_outages);
+  EXPECT_EQ(m.CounterValue("sim.queries.submitted"),
+            report.queries_submitted);
+  EXPECT_EQ(m.CounterValue("sim.responses.delivered"),
+            report.responses_delivered);
+  EXPECT_EQ(m.CounterValue("sim.queries.duplicate"),
+            report.duplicate_queries);
+  EXPECT_EQ(m.CounterValue("sim.cache.hits"), report.cache_hits);
+
+  // Every recovery follows a failure within the same run; at most the
+  // tail failures can still be pending when the clock stops.
+  EXPECT_LE(m.CounterValue("sim.churn.partner_recoveries"),
+            m.CounterValue("sim.churn.partner_failures"));
+
+  // Join traffic (client re-uploads on recovery) exists in churn mode.
+  EXPECT_GT(m.CounterValue("sim.msg.join.sent"), 0u);
+  EXPECT_GT(m.CounterValue("sim.events.dispatched"), 0u);
+  EXPECT_GT(m.GaugeValue("sim.event_queue.depth_hwm"), 0.0);
+}
+
+TEST(SimReconcileTest, CacheRunHitCounterMatchesReport) {
+  const SimSetup s = MakeSetup(12);
+  SimOptions options;
+  options.duration_seconds = 120.0;
+  options.warmup_seconds = 10.0;
+  options.seed = 6;
+  options.result_cache_ttl_seconds = 30.0;
+
+  MetricsRegistry m;
+  const SimReport report = RunWithMetrics(s, options, m);
+
+  ASSERT_GT(report.cache_hits, 0u);
+  EXPECT_EQ(m.CounterValue("sim.cache.hits"), report.cache_hits);
+  // Hits and misses partition the measured submissions.
+  EXPECT_EQ(m.CounterValue("sim.cache.hits") +
+                m.CounterValue("sim.cache.misses"),
+            report.queries_submitted);
+}
+
+TEST(SimReconcileTest, HopHistogramMatchesReportMoments) {
+  const SimSetup s = MakeSetup(13);
+  SimOptions options;
+  options.duration_seconds = 60.0;
+  options.warmup_seconds = 10.0;
+  options.seed = 7;
+
+  MetricsRegistry m;
+  const SimReport report = RunWithMetrics(s, options, m);
+  ASSERT_GT(report.responses_delivered, 0u);
+
+  const auto& histograms = m.histograms();
+  const auto it = histograms.find("sim.response.hops");
+  ASSERT_NE(it, histograms.end());
+  const Histogram& hops = it->second;
+  EXPECT_EQ(hops.count(), report.responses_delivered);
+  EXPECT_NEAR(hops.Mean(), report.mean_response_hops, 1e-12);
+}
+
+TEST(SimReconcileTest, CountersBitIdenticalAcrossRepeatedRuns) {
+  const SimSetup s = MakeSetup(14);
+  SimOptions options;
+  options.duration_seconds = 90.0;
+  options.warmup_seconds = 10.0;
+  options.seed = 8;
+  options.enable_churn = true;
+
+  MetricsRegistry first, second;
+  RunWithMetrics(s, options, first);
+  RunWithMetrics(s, options, second);
+
+  // Counters, the gauge and the histogram are all deterministic, so
+  // the full deterministic sections of the export must match byte for
+  // byte (no timers are registered by the simulator).
+  ASSERT_TRUE(first.timers().empty());
+  std::ostringstream a, b;
+  WriteMetricsJson(a, first);
+  WriteMetricsJson(b, second);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(SimReconcileTest, SharedRegistryAccumulatesAcrossRuns) {
+  const SimSetup s = MakeSetup(15);
+  SimOptions options;
+  options.duration_seconds = 60.0;
+  options.warmup_seconds = 10.0;
+  options.seed = 9;
+
+  MetricsRegistry once, twice;
+  const SimReport r1 = RunWithMetrics(s, options, once);
+  RunWithMetrics(s, options, twice);
+  RunWithMetrics(s, options, twice);
+  EXPECT_EQ(twice.CounterValue("sim.queries.submitted"),
+            2 * r1.queries_submitted);
+  const auto it = twice.histograms().find("sim.response.hops");
+  ASSERT_NE(it, twice.histograms().end());
+  EXPECT_EQ(it->second.count(), 2 * r1.responses_delivered);
+}
+
+TEST(TrialMetricsTest, CompletedCounterIdenticalAcrossParallelism) {
+  Configuration config;
+  config.graph_size = 500;
+  config.cluster_size = 20;
+  config.ttl = 4;
+  config.avg_outdegree = 3.1;
+  config.graph_type = GraphType::kPowerLaw;
+  const ModelInputs inputs = ModelInputs::Default();
+
+  std::vector<std::uint64_t> completed;
+  for (const std::size_t parallelism : {1u, 2u, 8u}) {
+    TrialOptions options;
+    options.num_trials = 6;
+    options.seed = 99;
+    options.parallelism = parallelism;
+    MetricsRegistry m;
+    options.metrics = &m;
+    RunTrials(config, inputs, options);
+    completed.push_back(m.CounterValue("trials.completed"));
+    // Wall-clock phase timers recorded one span per trial.
+    const auto& timers = m.timers();
+    const auto gen = timers.find("trials.generate");
+    const auto eval = timers.find("trials.evaluate");
+    ASSERT_NE(gen, timers.end());
+    ASSERT_NE(eval, timers.end());
+    EXPECT_EQ(gen->second.count(), options.num_trials);
+    EXPECT_EQ(eval->second.count(), options.num_trials);
+    EXPECT_GE(gen->second.total_seconds(), 0.0);
+  }
+  EXPECT_EQ(completed[0], 6u);
+  EXPECT_EQ(completed[0], completed[1]);
+  EXPECT_EQ(completed[0], completed[2]);
+}
+
+}  // namespace
+}  // namespace sppnet

@@ -1,6 +1,11 @@
 #include "sppnet/sim/event_queue.h"
 
+#include <cstdint>
+#include <vector>
+
 #include <gtest/gtest.h>
+
+#include "sppnet/common/rng.h"
 
 namespace sppnet {
 namespace {
@@ -82,6 +87,123 @@ TEST(EventQueueTest, InterleavedScheduleAndPop) {
   EXPECT_DOUBLE_EQ(q.Pop().time, 2.0);
   EXPECT_DOUBLE_EQ(q.Pop().time, 3.0);
   EXPECT_TRUE(q.empty());
+}
+
+// --- Determinism stress ------------------------------------------------
+//
+// The simulator's bit-reproducibility hinges on one documented rule:
+// equal-time events pop in Schedule() order (FIFO), implemented by the
+// monotone sequence number attached at Schedule() time. These tests
+// hammer that rule with thousands of colliding timestamps, because a
+// heap without the tiebreaker passes small happy-path tests yet
+// reorders under real load.
+
+TEST(EventQueueStressTest, ThousandsOfCollidingTimestampsPopFifo) {
+  // 5000 events over only 7 distinct timestamps: ~700 collisions per
+  // timestamp. Tag each event with its global schedule index and check
+  // the pop order is (time, schedule index) lexicographic.
+  EventQueue q;
+  Rng rng(2024);
+  const double kTimes[] = {0.0, 1.0, 1.5, 2.0, 2.5, 3.0, 10.0};
+  constexpr std::uint64_t kNumEvents = 5000;
+  for (std::uint64_t i = 0; i < kNumEvents; ++i) {
+    SimEvent e;
+    e.time = kTimes[rng.NextBounded(std::size(kTimes))];
+    e.a = i;  // Global schedule order.
+    q.Schedule(e);
+  }
+  ASSERT_EQ(q.size(), kNumEvents);
+
+  double prev_time = -1.0;
+  std::uint64_t prev_index = 0;
+  bool first = true;
+  std::uint64_t popped = 0;
+  while (!q.empty()) {
+    const SimEvent e = q.Pop();
+    if (!first && e.time == prev_time) {
+      // Same timestamp: strictly increasing schedule order (FIFO).
+      EXPECT_GT(e.a, prev_index);
+    } else if (!first) {
+      EXPECT_GT(e.time, prev_time);
+    }
+    prev_time = e.time;
+    prev_index = e.a;
+    first = false;
+    ++popped;
+  }
+  EXPECT_EQ(popped, kNumEvents);
+}
+
+TEST(EventQueueStressTest, FifoSurvivesInterleavedPops) {
+  // Schedule/pop interleaving must not disturb the FIFO rule: events
+  // scheduled *after* some pops still sort behind earlier same-time
+  // events that are still queued.
+  EventQueue q;
+  Rng rng(99);
+  std::uint64_t next_index = 0;
+  double prev_time = -1.0;
+  std::uint64_t prev_index = 0;
+  bool first = true;
+  for (int round = 0; round < 200; ++round) {
+    const std::uint64_t burst = 1 + rng.NextBounded(25);
+    for (std::uint64_t i = 0; i < burst; ++i) {
+      SimEvent e;
+      // Times never go below what was already popped (simulator
+      // invariant: no scheduling in the past).
+      e.time = (prev_time < 0.0 ? 0.0 : prev_time) +
+               static_cast<double>(rng.NextBounded(3));
+      e.a = next_index++;
+      q.Schedule(e);
+    }
+    const std::uint64_t pops = 1 + rng.NextBounded(burst);
+    for (std::uint64_t i = 0; i < pops && !q.empty(); ++i) {
+      const SimEvent e = q.Pop();
+      if (!first) {
+        ASSERT_GE(e.time, prev_time);
+        if (e.time == prev_time) {
+          ASSERT_GT(e.a, prev_index);
+        }
+      }
+      prev_time = e.time;
+      prev_index = e.a;
+      first = false;
+    }
+  }
+  // Drain the rest under the same invariant.
+  while (!q.empty()) {
+    const SimEvent e = q.Pop();
+    ASSERT_GE(e.time, prev_time);
+    if (e.time == prev_time) {
+      ASSERT_GT(e.a, prev_index);
+    }
+    prev_time = e.time;
+    prev_index = e.a;
+  }
+}
+
+TEST(EventQueueStressTest, IdenticalScheduleSequenceDrainsIdentically) {
+  // Two queues fed the same sequence drain byte-identically — the
+  // property the whole-simulator determinism tests build on.
+  const auto feed = [](EventQueue& q) {
+    Rng rng(7);
+    for (std::uint64_t i = 0; i < 3000; ++i) {
+      SimEvent e;
+      e.time = static_cast<double>(rng.NextBounded(50)) * 0.25;
+      e.node = static_cast<std::uint32_t>(i);
+      q.Schedule(e);
+    }
+  };
+  EventQueue a, b;
+  feed(a);
+  feed(b);
+  while (!a.empty()) {
+    ASSERT_FALSE(b.empty());
+    const SimEvent ea = a.Pop();
+    const SimEvent eb = b.Pop();
+    ASSERT_EQ(ea.time, eb.time);
+    ASSERT_EQ(ea.node, eb.node);
+  }
+  EXPECT_TRUE(b.empty());
 }
 
 }  // namespace
