@@ -1,8 +1,20 @@
 #include "sppnet/model/evaluator.h"
 
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "sppnet/common/check.h"
+#include "sppnet/obs/metrics.h"
 #include "sppnet/topology/bfs.h"
 
 namespace sppnet {
@@ -22,6 +34,73 @@ struct RawLoad {
   double in_bytes = 0.0;
   double out_bytes = 0.0;
   double units = 0.0;
+};
+
+constexpr std::uint16_t kUnreachedDepth = 0xFFFF;
+
+/// One (source, node) element of a batch's canonical flood: the reach
+/// list of a source is ordered by (depth ascending, node id ascending),
+/// entry 0 being the source itself. `parent_idx` indexes the same list
+/// (always smaller than the entry's own index) and names the canonical
+/// BFS-tree parent: the minimum-id neighbor one level closer to the
+/// source. `recv` is the number of query transmissions the node
+/// receives, after correcting for children not sending back on their
+/// arrival edge.
+struct ReachEntry {
+  NodeId node = 0;
+  std::uint32_t parent_idx = 0;
+  std::uint32_t own_pos = 0;  // Slot in the batch-compact arrays.
+  std::uint32_t recv = 0;
+  std::uint16_t depth = 0;
+};
+
+/// Everything one 64-source batch contributes to the evaluation,
+/// extracted on the worker so the fold (which runs on one thread, in
+/// batch order) stays cheap and deterministic.
+struct BatchResult {
+  // Sparse per-cluster query-phase load, node ids ascending.
+  std::vector<std::pair<NodeId, RawLoad>> pool_delta;
+  double weighted_results = 0.0;
+  double weighted_epl = 0.0;
+  double weighted_reach = 0.0;
+  double total_weight = 0.0;
+  double duplicates = 0.0;  // Sum over batch sources of w * dup.
+  // Deterministic kernel tallies.
+  std::uint64_t levels = 0;
+  std::uint64_t frontier_entries = 0;
+  std::uint64_t reached = 0;
+  std::size_t scratch_bytes = 0;  // Size-based, so parallelism-independent.
+  // Wall-clock phase times; report-only.
+  double expand_seconds = 0.0;
+  double accumulate_seconds = 0.0;
+};
+
+/// Per-worker reusable state. Dense arrays are indexed by node id; the
+/// compact arrays have one slot per distinct node reached by the current
+/// batch. Every value read during a batch is (re)initialized by that
+/// batch, so results never depend on which batches a worker ran before —
+/// the property that makes parallelism bit-transparent.
+struct BatchScratch {
+  explicit BatchScratch(std::size_t n)
+      : pos_of(n, 0), depth_of(n, kUnreachedDepth), idx_of(n, 0) {}
+
+  BatchedBfs bfs;
+  std::vector<std::uint32_t> pos_of;
+  std::vector<std::uint16_t> depth_of;  // Sentinel kUnreachedDepth.
+  std::vector<std::uint32_t> idx_of;
+  std::vector<NodeId> union_nodes;  // Distinct reached nodes, ascending.
+  std::vector<RawLoad> pool;
+  // Batch-compact weighted sums over the batch's sources (w = source
+  // query rate): query transmissions/receptions and reach...
+  std::vector<double> wt, wr, wreach;
+  // ...response bundles sent (excluding each source's own row)...
+  std::vector<double> snd_m, snd_r, snd_a;
+  // ...and subtree-only bundles received (children's, excluding the
+  // node's own response — summed directly so no cancellation occurs).
+  std::vector<double> sub_m, sub_r, sub_a;
+  // Reverse-BFS accumulators, zeroed after each use.
+  std::vector<double> acc_m, acc_r, acc_a;
+  std::array<std::vector<ReachEntry>, kBfsWordBits> reach;
 };
 
 class Evaluator {
@@ -54,7 +133,7 @@ class Evaluator {
     client_conn_ = inst.ClientConnections();
   }
 
-  InstanceLoads Run() {
+  InstanceLoads Run(const EvalOptions& options) {
     out_.results_per_query.assign(n_, 0.0);
     out_.epl_per_source.assign(n_, 0.0);
     out_.reach_per_source.assign(n_, 0.0);
@@ -62,7 +141,7 @@ class Evaluator {
     if (inst_.topology.is_complete()) {
       EvaluateQueriesComplete();
     } else {
-      EvaluateQueriesSparse();
+      EvaluateQueriesBatched(options);
     }
     EvaluateJoinsAndUpdates();
     return Finalize();
@@ -95,28 +174,30 @@ class Evaluator {
   /// Client <-> super-peer traffic that every client-originated query
   /// incurs inside the source cluster `s`: the submission hop and the
   /// forwarding of every response (msgs/results/addrs totals) to the
-  /// querying client. Also records the source-side results/EPL outputs.
+  /// querying client. `source_pool` is cluster s's query-traffic pool
+  /// (batch-local in the batched path). Client entries are only ever
+  /// touched by their own cluster's source, so writing them from a
+  /// worker is race-free and order-independent.
   void ApplyIntraClusterQueryTraffic(std::size_t s, double total_msgs,
-                                     double total_results,
-                                     double total_addrs) {
+                                     double total_results, double total_addrs,
+                                     RawLoad& source_pool) {
     const double submit_rate = submit_rate_[s];  // client queries/sec
-    RawLoad& pool = cluster_pool_[s];
     // Submission hop: one query message client -> one partner.
-    pool.in_bytes += submit_rate * qbytes_;
-    pool.units += submit_rate * (recvq_ + costs_.MultiplexUnits(conn_[s]));
+    source_pool.in_bytes += submit_rate * qbytes_;
+    source_pool.units +=
+        submit_rate * (recvq_ + costs_.MultiplexUnits(conn_[s]));
     // Response forwarding: every response message (network + the local
     // one assembled from the cluster's own index) is relayed to the
     // querying client.
-    pool.out_bytes +=
+    source_pool.out_bytes +=
         submit_rate * ResponseBytes(total_msgs, total_results, total_addrs);
-    pool.units += submit_rate * SendResponseUnits(total_msgs, total_results,
-                                                  total_addrs, conn_[s]);
+    source_pool.units += submit_rate * SendResponseUnits(
+                             total_msgs, total_results, total_addrs, conn_[s]);
     // Client side, per client of cluster s (each submits at query_rate).
     const double rate = config_.query_rate;
     RawLoad client_delta;
     client_delta.out_bytes = rate * qbytes_;
-    client_delta.units =
-        rate * (sendq_ + costs_.MultiplexUnits(client_conn_));
+    client_delta.units = rate * (sendq_ + costs_.MultiplexUnits(client_conn_));
     client_delta.in_bytes =
         rate * ResponseBytes(total_msgs, total_results, total_addrs);
     client_delta.units += rate * RecvResponseUnits(total_msgs, total_results,
@@ -130,106 +211,378 @@ class Evaluator {
   }
 
   // --- Sparse (power-law) query evaluation ---------------------------------
-  void EvaluateQueriesSparse() {
-    FloodScratch scratch;
-    // Reverse-BFS accumulators; entries are zeroed after each use so the
-    // arrays stay clean across sources.
-    std::vector<double> acc_msgs(n_, 0.0);
-    std::vector<double> acc_results(n_, 0.0);
-    std::vector<double> acc_addrs(n_, 0.0);
+  //
+  // Sources are processed in batches of 64 by the batched BFS kernel.
+  // One batch is evaluated in three stages, all of them shared between
+  // the bit-parallel and scalar-reference engines (the engines differ
+  // only in how the kernel's integer level lists are produced, which is
+  // why their floating-point outputs are bit-identical):
+  //
+  //   1. Dispatch the kernel's per-level (node, source-word) lists into
+  //      per-source canonical reach lists, and derive each entry's
+  //      canonical parent and reception count with one fused scan over
+  //      its neighbors.
+  //   2. Per source, run the flooding-cost and reverse response-tree
+  //      recurrences, but accumulate only the *weighted integer/bundle
+  //      sums* per reached node (the load algebra is linear in them).
+  //   3. Once per reached node per batch, expand those sums into the
+  //      RawLoad pool using the per-node cost constants.
+  //
+  // Per-batch results are folded into the global pools in batch order on
+  // the calling thread, so evaluation parallelism never reorders any
+  // floating-point reduction (the model/trials.cc contract).
 
-    double weighted_results = 0.0;
-    double weighted_epl = 0.0;
-    double weighted_reach = 0.0;
-    double total_weight = 0.0;
+  BatchResult ComputeBatch(std::size_t b, BatchedBfs::Kernel kernel,
+                           BatchScratch& sc) {
+    const Graph& graph = inst_.topology.graph();
+    BatchResult res;
+    const std::size_t begin = b * kBfsWordBits;
+    const std::size_t end = std::min(n_, begin + kBfsWordBits);
+    const std::size_t batch_size = end - begin;
+    std::array<NodeId, kBfsWordBits> sources;
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      sources[i] = static_cast<NodeId>(begin + i);
+    }
 
-    for (std::size_t s = 0; s < n_; ++s) {
-      const double w = query_rate_of_cluster_[s];  // queries/sec from s
-      const FloodStats stats =
-          FloodBfs(inst_.topology, static_cast<NodeId>(s), config_.ttl,
-                   scratch);
-      out_.duplicate_msgs_per_sec += w * stats.duplicates;
+    const auto t0 = std::chrono::steady_clock::now();
+    sc.bfs.Run(graph, {sources.data(), batch_size}, config_.ttl, kernel);
+    const auto t1 = std::chrono::steady_clock::now();
+    res.expand_seconds = std::chrono::duration<double>(t1 - t0).count();
 
-      // Flooding costs per reached cluster.
-      for (const NodeId u : scratch.order()) {
-        RawLoad& pool = cluster_pool_[u];
-        const auto t = static_cast<double>(scratch.Transmissions(u));
-        const auto r = static_cast<double>(scratch.Receptions(u));
-        pool.out_bytes += w * t * qbytes_;
-        pool.units += w * t * (sendq_ + costs_.MultiplexUnits(conn_[u]));
-        pool.in_bytes += w * r * qbytes_;
-        pool.units += w * r * (recvq_ + costs_.MultiplexUnits(conn_[u]));
-        // Every reached cluster processes the query over its index once.
-        pool.units +=
-            w * costs_.ProcessQueryUnits(inst_.expected_results[u]);
+    // Union of reached nodes -> batch-compact positions.
+    const int num_levels = sc.bfs.num_levels();
+    sc.union_nodes.clear();
+    std::uint64_t frontier_entries = 0;
+    for (int d = 0; d < num_levels; ++d) {
+      const auto level = sc.bfs.Level(d);
+      frontier_entries += level.size();
+      for (const BatchLevelEntry& e : level) sc.union_nodes.push_back(e.node);
+    }
+    std::sort(sc.union_nodes.begin(), sc.union_nodes.end());
+    sc.union_nodes.erase(
+        std::unique(sc.union_nodes.begin(), sc.union_nodes.end()),
+        sc.union_nodes.end());
+    const std::size_t m = sc.union_nodes.size();
+    for (std::uint32_t p = 0; p < m; ++p) sc.pos_of[sc.union_nodes[p]] = p;
+    sc.pool.assign(m, RawLoad{});
+    sc.wt.assign(m, 0.0);
+    sc.wr.assign(m, 0.0);
+    sc.wreach.assign(m, 0.0);
+    sc.snd_m.assign(m, 0.0);
+    sc.snd_r.assign(m, 0.0);
+    sc.snd_a.assign(m, 0.0);
+    sc.sub_m.assign(m, 0.0);
+    sc.sub_r.assign(m, 0.0);
+    sc.sub_a.assign(m, 0.0);
+    sc.acc_m.assign(m, 0.0);
+    sc.acc_r.assign(m, 0.0);
+    sc.acc_a.assign(m, 0.0);
+
+    // Dispatch levels into per-source canonical reach lists: levels
+    // ascending, node ids ascending within a level, so each list comes
+    // out in (depth, node) order with the source at index 0.
+    for (std::size_t i = 0; i < batch_size; ++i) sc.reach[i].clear();
+    for (int d = 0; d < num_levels; ++d) {
+      for (const BatchLevelEntry& e : sc.bfs.Level(d)) {
+        std::uint64_t word = e.word;
+        while (word != 0) {
+          const int i = std::countr_zero(word);
+          word &= word - 1;
+          sc.reach[static_cast<std::size_t>(i)].push_back(
+              {e.node, 0, 0, 0, static_cast<std::uint16_t>(d)});
+        }
+      }
+    }
+
+    const auto ttl16 = static_cast<std::uint16_t>(config_.ttl);
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      const std::size_t s = begin + i;
+      const double w = query_rate_of_cluster_[s];
+      std::vector<ReachEntry>& list = sc.reach[i];
+      const auto r_count = static_cast<std::uint32_t>(list.size());
+      res.reached += r_count;
+
+      for (std::uint32_t idx = 0; idx < r_count; ++idx) {
+        ReachEntry& e = list[idx];
+        sc.depth_of[e.node] = e.depth;
+        sc.idx_of[e.node] = idx;
+        e.own_pos = sc.pos_of[e.node];
       }
 
-      // Response accumulation up the predecessor tree (reverse BFS order:
-      // children are finalized before their parents).
-      const auto& order = scratch.order();
+      // Fused neighbor scan: the canonical parent is the first (== the
+      // minimum-id, neighbors being sorted) neighbor one level closer
+      // to the source; `recv` starts as the count of forwarding
+      // neighbors and is corrected below for children that do not send
+      // back on their arrival edge. Entry 0 is the only depth-0 entry
+      // (the source), which has no parent.
+      {
+        ReachEntry& e = list[0];
+        std::uint32_t fwd = 0;
+        for (const NodeId v : graph.Neighbors(e.node)) {
+          fwd += sc.depth_of[v] < ttl16 ? 1 : 0;
+        }
+        e.recv = fwd;
+        e.parent_idx = 0;
+      }
+      for (std::uint32_t idx = 1; idx < r_count; ++idx) {
+        ReachEntry& e = list[idx];
+        const auto want = static_cast<std::uint16_t>(e.depth - 1);
+        std::uint32_t fwd = 0;
+        NodeId parent = e.node;
+        bool have_parent = false;
+        for (const NodeId v : graph.Neighbors(e.node)) {
+          const std::uint16_t dv = sc.depth_of[v];
+          fwd += dv < ttl16 ? 1 : 0;
+          if (!have_parent && dv == want) {
+            parent = v;
+            have_parent = true;
+          }
+        }
+        e.recv = fwd;
+        e.parent_idx = sc.idx_of[parent];
+      }
+      std::uint64_t recv_total = 0;
+      for (std::uint32_t idx = 1; idx < r_count; ++idx) {
+        const ReachEntry& e = list[idx];
+        if (e.depth < ttl16) --list[e.parent_idx].recv;
+      }
+      for (std::uint32_t idx = 0; idx < r_count; ++idx) {
+        recv_total += list[idx].recv;
+      }
+
+      // Flooding costs: weighted transmission/reception/reach sums.
+      for (std::uint32_t idx = 0; idx < r_count; ++idx) {
+        const ReachEntry& e = list[idx];
+        const double t =
+            e.depth < ttl16
+                ? static_cast<double>(graph.Degree(e.node)) -
+                      (idx != 0 ? 1.0 : 0.0)
+                : 0.0;
+        sc.wt[e.own_pos] += w * t;
+        sc.wr[e.own_pos] += w * static_cast<double>(e.recv);
+        sc.wreach[e.own_pos] += w;
+      }
+
+      // Response accumulation up the canonical predecessor tree
+      // (reverse canonical order: children are finalized before their
+      // parents, since parent_idx < idx).
       double source_msgs = 0.0, source_results = 0.0, source_addrs = 0.0;
       double epl_num = 0.0, epl_den = 0.0;
-      for (std::size_t idx = order.size(); idx-- > 0;) {
-        const NodeId u = order[idx];
-        const double msgs = acc_msgs[u] + inst_.response_prob[u];
-        const double results = acc_results[u] + inst_.expected_results[u];
-        const double addrs = acc_addrs[u] + inst_.expected_addrs[u];
-        acc_msgs[u] = acc_results[u] = acc_addrs[u] = 0.0;
-
-        if (idx == 0) {  // u == s: receive everything from children.
-          const double rmsgs = msgs - inst_.response_prob[u];
-          const double rres = results - inst_.expected_results[u];
-          const double raddr = addrs - inst_.expected_addrs[u];
-          RawLoad& pool = cluster_pool_[u];
-          pool.in_bytes += w * ResponseBytes(rmsgs, rres, raddr);
-          pool.units += w * RecvResponseUnits(rmsgs, rres, raddr, conn_[u]);
+      for (std::uint32_t idx = r_count; idx-- > 0;) {
+        const ReachEntry& e = list[idx];
+        const std::uint32_t pos = e.own_pos;
+        const NodeId u = e.node;
+        const double am = sc.acc_m[pos];
+        const double ar = sc.acc_r[pos];
+        const double aa = sc.acc_a[pos];
+        sc.acc_m[pos] = sc.acc_r[pos] = sc.acc_a[pos] = 0.0;
+        const double msgs = am + inst_.response_prob[u];
+        const double results = ar + inst_.expected_results[u];
+        const double addrs = aa + inst_.expected_addrs[u];
+        // Receive the subtree part (own response originates locally).
+        sc.sub_m[pos] += w * am;
+        sc.sub_r[pos] += w * ar;
+        sc.sub_a[pos] += w * aa;
+        if (idx == 0) {  // u == s: nothing sent onward.
           source_msgs = msgs;
           source_results = results;
           source_addrs = addrs;
           continue;
         }
-
-        RawLoad& pool = cluster_pool_[u];
         // Send own response plus everything forwarded from the subtree.
-        pool.out_bytes += w * ResponseBytes(msgs, results, addrs);
-        pool.units += w * SendResponseUnits(msgs, results, addrs, conn_[u]);
-        // Receive the subtree part (own response originates locally).
-        const double rmsgs = msgs - inst_.response_prob[u];
-        const double rres = results - inst_.expected_results[u];
-        const double raddr = addrs - inst_.expected_addrs[u];
-        pool.in_bytes += w * ResponseBytes(rmsgs, rres, raddr);
-        pool.units += w * RecvResponseUnits(rmsgs, rres, raddr, conn_[u]);
-        // Pass the bundle to the BFS parent.
-        const NodeId parent = scratch.Parent(u);
-        acc_msgs[parent] += msgs;
-        acc_results[parent] += results;
-        acc_addrs[parent] += addrs;
-        // EPL bookkeeping: response messages from u travel Depth(u) hops.
-        epl_num += inst_.response_prob[u] *
-                   static_cast<double>(scratch.Depth(u));
+        sc.snd_m[pos] += w * msgs;
+        sc.snd_r[pos] += w * results;
+        sc.snd_a[pos] += w * addrs;
+        // Pass the bundle to the canonical parent.
+        const std::uint32_t parent_pos = list[e.parent_idx].own_pos;
+        sc.acc_m[parent_pos] += msgs;
+        sc.acc_r[parent_pos] += results;
+        sc.acc_a[parent_pos] += addrs;
+        // EPL bookkeeping: response messages from u travel depth hops.
+        epl_num += inst_.response_prob[u] * static_cast<double>(e.depth);
         epl_den += inst_.response_prob[u];
       }
 
       ApplyIntraClusterQueryTraffic(s, source_msgs, source_results,
-                                    source_addrs);
+                                    source_addrs, sc.pool[list[0].own_pos]);
 
       out_.results_per_query[s] = source_results;
       out_.epl_per_source[s] = epl_den > 0.0 ? epl_num / epl_den : 0.0;
-      out_.reach_per_source[s] = static_cast<double>(stats.reached);
-      weighted_results += w * source_results;
-      weighted_epl += w * out_.epl_per_source[s];
-      weighted_reach += w * static_cast<double>(stats.reached);
-      total_weight += w;
+      out_.reach_per_source[s] = static_cast<double>(r_count);
+      res.weighted_results += w * source_results;
+      res.weighted_epl += w * out_.epl_per_source[s];
+      res.weighted_reach += w * static_cast<double>(r_count);
+      res.total_weight += w;
+      res.duplicates +=
+          w * static_cast<double>(recv_total -
+                                  static_cast<std::uint64_t>(r_count - 1));
+
+      for (const ReachEntry& e : list) sc.depth_of[e.node] = kUnreachedDepth;
     }
+
+    // Expand the weighted sums into per-node loads, once per reached
+    // node per batch: the load algebra is linear in the per-source
+    // bundles, so summing bundles first is exact up to FP reassociation
+    // — and the reassociation is fixed here, shared by both engines.
+    for (std::uint32_t p = 0; p < m; ++p) {
+      const NodeId u = sc.union_nodes[p];
+      RawLoad& pool = sc.pool[p];
+      const double mux = costs_.MultiplexUnits(conn_[u]);
+      pool.out_bytes += sc.wt[p] * qbytes_;
+      pool.units += sc.wt[p] * (sendq_ + mux);
+      pool.in_bytes += sc.wr[p] * qbytes_;
+      pool.units += sc.wr[p] * (recvq_ + mux);
+      // Every reached cluster processes the query over its index once.
+      pool.units +=
+          sc.wreach[p] * costs_.ProcessQueryUnits(inst_.expected_results[u]);
+      pool.out_bytes += ResponseBytes(sc.snd_m[p], sc.snd_r[p], sc.snd_a[p]);
+      pool.units +=
+          SendResponseUnits(sc.snd_m[p], sc.snd_r[p], sc.snd_a[p], conn_[u]);
+      pool.in_bytes += ResponseBytes(sc.sub_m[p], sc.sub_r[p], sc.sub_a[p]);
+      pool.units +=
+          RecvResponseUnits(sc.sub_m[p], sc.sub_r[p], sc.sub_a[p], conn_[u]);
+    }
+    res.pool_delta.reserve(m);
+    for (std::uint32_t p = 0; p < m; ++p) {
+      res.pool_delta.emplace_back(sc.union_nodes[p], sc.pool[p]);
+    }
+
+    res.levels = static_cast<std::uint64_t>(num_levels);
+    res.frontier_entries = frontier_entries;
+    // Size-based footprint accounting (capacities depend on worker
+    // history, sizes do not — the gauge must be parallelism-invariant).
+    std::size_t reach_entries = 0;
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      reach_entries += sc.reach[i].size();
+    }
+    res.scratch_bytes =
+        n_ * (sizeof(std::uint32_t) * 2 + sizeof(std::uint16_t)) +
+        2 * n_ * sizeof(std::uint64_t) +
+        m * (sizeof(NodeId) + sizeof(RawLoad) + 12 * sizeof(double)) +
+        static_cast<std::size_t>(frontier_entries) * sizeof(BatchLevelEntry) +
+        reach_entries * sizeof(ReachEntry);
+    res.accumulate_seconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t1)
+                                 .count();
+    return res;
+  }
+
+  void EvaluateQueriesBatched(const EvalOptions& options) {
+    SPPNET_CHECK(config_.ttl >= 0);
+    SPPNET_CHECK(config_.ttl < kUnreachedDepth);
+    const std::size_t num_batches = WordsForBits(n_);
+    const BatchedBfs::Kernel kernel = options.engine == EvalEngine::kBatched
+                                          ? BatchedBfs::Kernel::kBitParallel
+                                          : BatchedBfs::Kernel::kScalarReference;
+
+    double weighted_results = 0.0;
+    double weighted_epl = 0.0;
+    double weighted_reach = 0.0;
+    double total_weight = 0.0;
+    std::uint64_t levels_total = 0;
+    std::uint64_t frontier_total = 0;
+    std::uint64_t reached_total = 0;
+    std::size_t scratch_bytes_max = 0;
+    double expand_seconds = 0.0;
+    double accumulate_seconds = 0.0;
+    const auto fold = [&](BatchResult&& r) {
+      for (const auto& [u, delta] : r.pool_delta) {
+        RawLoad& pool = cluster_pool_[u];
+        pool.in_bytes += delta.in_bytes;
+        pool.out_bytes += delta.out_bytes;
+        pool.units += delta.units;
+      }
+      weighted_results += r.weighted_results;
+      weighted_epl += r.weighted_epl;
+      weighted_reach += r.weighted_reach;
+      total_weight += r.total_weight;
+      out_.duplicate_msgs_per_sec += r.duplicates;
+      levels_total += r.levels;
+      frontier_total += r.frontier_entries;
+      reached_total += r.reached;
+      scratch_bytes_max = std::max(scratch_bytes_max, r.scratch_bytes);
+      expand_seconds += r.expand_seconds;
+      accumulate_seconds += r.accumulate_seconds;
+    };
+
+    const std::size_t workers =
+        std::max<std::size_t>(1, std::min(options.parallelism, num_batches));
+    if (workers <= 1) {
+      BatchScratch scratch(n_);
+      for (std::size_t b = 0; b < num_batches; ++b) {
+        fold(ComputeBatch(b, kernel, scratch));
+      }
+    } else {
+      // Workers claim batches in order off an atomic counter; the
+      // calling thread folds results strictly in batch order. The
+      // in-flight window bounds buffered results (and so memory) while
+      // still letting fast workers run ahead.
+      std::mutex mu;
+      std::condition_variable space_available;
+      std::condition_variable result_ready;
+      std::map<std::size_t, BatchResult> ready;
+      std::size_t fold_cursor = 0;
+      std::atomic<std::size_t> next_batch{0};
+      const std::size_t window = 2 * workers;
+
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (std::size_t t = 0; t < workers; ++t) {
+        pool.emplace_back([&] {
+          BatchScratch scratch(n_);
+          while (true) {
+            const std::size_t b = next_batch.fetch_add(1);
+            if (b >= num_batches) break;
+            {
+              std::unique_lock<std::mutex> lock(mu);
+              space_available.wait(
+                  lock, [&] { return b < fold_cursor + window; });
+            }
+            BatchResult r = ComputeBatch(b, kernel, scratch);
+            {
+              std::lock_guard<std::mutex> lock(mu);
+              ready.emplace(b, std::move(r));
+            }
+            result_ready.notify_all();
+          }
+        });
+      }
+      for (std::size_t b = 0; b < num_batches; ++b) {
+        BatchResult r;
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          result_ready.wait(lock, [&] { return ready.count(b) != 0; });
+          r = std::move(ready.at(b));
+          ready.erase(b);
+          ++fold_cursor;
+        }
+        space_available.notify_all();
+        fold(std::move(r));
+      }
+      for (std::thread& thread : pool) thread.join();
+    }
+
     FinishSourceAverages(weighted_results, weighted_epl, weighted_reach,
                          total_weight);
+    if (options.metrics != nullptr) {
+      options.metrics->GetCounter("eval.sources").Increment(n_);
+      options.metrics->GetCounter("eval.bfs.batches").Increment(num_batches);
+      options.metrics->GetCounter("eval.bfs.levels").Increment(levels_total);
+      options.metrics->GetCounter("eval.bfs.frontier_entries")
+          .Increment(frontier_total);
+      options.metrics->GetCounter("eval.reached").Increment(reached_total);
+      options.metrics->GetGauge("eval.scratch.bytes")
+          .SetMax(static_cast<double>(scratch_bytes_max));
+      options.metrics->GetTimer("eval.bfs.expand").Record(expand_seconds);
+      options.metrics->GetTimer("eval.accumulate").Record(accumulate_seconds);
+    }
   }
 
   // --- Complete ("strongly connected") query evaluation -------------------
   // Every non-source cluster sits at depth 1, so all per-source floods
   // collapse into totals over clusters: O(n) overall.
   void EvaluateQueriesComplete() {
-    double sum_rate = 0.0;   // total queries/sec
+    double sum_rate = 0.0;  // total queries/sec
     double sum_p = 0.0, sum_n = 0.0, sum_k = 0.0;
     for (std::size_t i = 0; i < n_; ++i) {
       sum_rate += query_rate_of_cluster_[i];
@@ -285,7 +638,7 @@ class Evaluator {
         pool.units += w_other * dup * (recvq_ + mux);
       }
 
-      ApplyIntraClusterQueryTraffic(v, sum_p, sum_n, sum_k);
+      ApplyIntraClusterQueryTraffic(v, sum_p, sum_n, sum_k, pool);
 
       out_.results_per_query[v] = sum_n;
       out_.epl_per_source[v] = n_ > 1 ? 1.0 : 0.0;
@@ -444,9 +797,16 @@ class Evaluator {
 InstanceLoads EvaluateInstance(const NetworkInstance& instance,
                                const Configuration& config,
                                const ModelInputs& inputs) {
+  return EvaluateInstance(instance, config, inputs, EvalOptions{});
+}
+
+InstanceLoads EvaluateInstance(const NetworkInstance& instance,
+                               const Configuration& config,
+                               const ModelInputs& inputs,
+                               const EvalOptions& options) {
   SPPNET_CHECK(instance.NumClusters() >= 1);
   Evaluator evaluator(instance, config, inputs);
-  return evaluator.Run();
+  return evaluator.Run(options);
 }
 
 }  // namespace sppnet

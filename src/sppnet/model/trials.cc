@@ -47,18 +47,49 @@ struct TrialObservation {
   // the report-only trial timers (never into seeded behaviour).
   double generate_seconds = 0.0;
   double evaluate_seconds = 0.0;
+  // Deterministic eval.bfs.* kernel tallies (bit-identical across every
+  // parallelism setting) plus report-only evaluation phase times.
+  std::uint64_t eval_sources = 0;
+  std::uint64_t eval_batches = 0;
+  std::uint64_t eval_levels = 0;
+  std::uint64_t eval_frontier_entries = 0;
+  std::uint64_t eval_reached = 0;
+  double eval_scratch_bytes = 0.0;
+  double eval_expand_seconds = 0.0;
+  double eval_accumulate_seconds = 0.0;
 };
+
+double TimerSeconds(const MetricsRegistry& metrics, const char* name) {
+  const auto it = metrics.timers().find(name);
+  return it == metrics.timers().end() ? 0.0 : it->second.total_seconds();
+}
 
 TrialObservation RunOneTrial(const Configuration& config,
                              const ModelInputs& inputs, Rng trial_rng,
-                             bool collect_histograms) {
+                             const TrialOptions& options) {
+  const bool collect_histograms = options.collect_outdegree_histograms;
   const auto t0 = std::chrono::steady_clock::now();
   const NetworkInstance instance = GenerateInstance(config, inputs, trial_rng);
   const auto t1 = std::chrono::steady_clock::now();
-  const InstanceLoads loads = EvaluateInstance(instance, config, inputs);
+  MetricsRegistry eval_metrics;
+  EvalOptions eval_options;
+  eval_options.engine = options.eval_engine;
+  eval_options.parallelism = options.eval_parallelism;
+  eval_options.metrics = &eval_metrics;
+  const InstanceLoads loads =
+      EvaluateInstance(instance, config, inputs, eval_options);
   const auto t2 = std::chrono::steady_clock::now();
 
   TrialObservation obs;
+  obs.eval_sources = eval_metrics.CounterValue("eval.sources");
+  obs.eval_batches = eval_metrics.CounterValue("eval.bfs.batches");
+  obs.eval_levels = eval_metrics.CounterValue("eval.bfs.levels");
+  obs.eval_frontier_entries =
+      eval_metrics.CounterValue("eval.bfs.frontier_entries");
+  obs.eval_reached = eval_metrics.CounterValue("eval.reached");
+  obs.eval_scratch_bytes = eval_metrics.GaugeValue("eval.scratch.bytes");
+  obs.eval_expand_seconds = TimerSeconds(eval_metrics, "eval.bfs.expand");
+  obs.eval_accumulate_seconds = TimerSeconds(eval_metrics, "eval.accumulate");
   obs.generate_seconds = std::chrono::duration<double>(t1 - t0).count();
   obs.evaluate_seconds = std::chrono::duration<double>(t2 - t1).count();
   obs.aggregate = loads.aggregate;
@@ -116,8 +147,7 @@ ConfigurationReport RunTrials(const Configuration& config,
       1, std::min(options.parallelism, options.num_trials));
   if (workers <= 1) {
     for (std::size_t t = 0; t < options.num_trials; ++t) {
-      observations[t] = RunOneTrial(config, inputs, trial_rngs[t],
-                                    options.collect_outdegree_histograms);
+      observations[t] = RunOneTrial(config, inputs, trial_rngs[t], options);
     }
   } else {
     std::vector<std::thread> pool;
@@ -125,8 +155,7 @@ ConfigurationReport RunTrials(const Configuration& config,
     for (std::size_t w = 0; w < workers; ++w) {
       pool.emplace_back([&, w] {
         for (std::size_t t = w; t < options.num_trials; t += workers) {
-          observations[t] = RunOneTrial(config, inputs, trial_rngs[t],
-                                        options.collect_outdegree_histograms);
+          observations[t] = RunOneTrial(config, inputs, trial_rngs[t], options);
         }
       });
     }
@@ -149,6 +178,16 @@ ConfigurationReport RunTrials(const Configuration& config,
       trials_completed->Increment();
       generate_timer->Record(obs.generate_seconds);
       evaluate_timer->Record(obs.evaluate_seconds);
+      MetricsRegistry& m = *options.metrics;
+      m.GetCounter("eval.sources").Increment(obs.eval_sources);
+      m.GetCounter("eval.bfs.batches").Increment(obs.eval_batches);
+      m.GetCounter("eval.bfs.levels").Increment(obs.eval_levels);
+      m.GetCounter("eval.bfs.frontier_entries")
+          .Increment(obs.eval_frontier_entries);
+      m.GetCounter("eval.reached").Increment(obs.eval_reached);
+      m.GetGauge("eval.scratch.bytes").SetMax(obs.eval_scratch_bytes);
+      m.GetTimer("eval.bfs.expand").Record(obs.eval_expand_seconds);
+      m.GetTimer("eval.accumulate").Record(obs.eval_accumulate_seconds);
     }
     report.aggregate_in_bps.Add(obs.aggregate.in_bps);
     report.aggregate_out_bps.Add(obs.aggregate.out_bps);

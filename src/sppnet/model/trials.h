@@ -24,12 +24,21 @@ struct TrialOptions {
   /// serial run regardless of the value: per-trial RNG streams are
   /// pre-split and observations are folded in trial order.
   std::size_t parallelism = 1;
+  /// BFS kernel for per-trial evaluation (see EvalOptions::engine).
+  /// Both engines produce bit-identical reports.
+  EvalEngine eval_engine = EvalEngine::kBatched;
+  /// Worker threads *within* each trial's evaluation, sharding source
+  /// batches (see EvalOptions::parallelism). Bit-transparent like
+  /// `parallelism`; the two compose (trials x batches workers).
+  std::size_t eval_parallelism = 1;
   /// Optional observability sink (see obs/metrics.h). When set, the
   /// runner publishes the "trials.completed" counter plus the
-  /// "trials.generate" / "trials.evaluate" wall-clock phase timers.
-  /// Counters are folded in trial order and are bit-identical across
-  /// parallelism settings; the timers are report-only wall-clock
-  /// values and carry no determinism guarantee. Not owned.
+  /// "trials.generate" / "trials.evaluate" wall-clock phase timers,
+  /// and folds the per-trial eval.bfs.* kernel counters/gauges and
+  /// phase timers emitted by the evaluation engine. Counters are
+  /// folded in trial order and are bit-identical across parallelism
+  /// settings; the timers are report-only wall-clock values and carry
+  /// no determinism guarantee. Not owned.
   MetricsRegistry* metrics = nullptr;
 };
 

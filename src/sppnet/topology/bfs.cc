@@ -184,4 +184,141 @@ std::optional<int> MinTtlForFullReach(const Topology& topo, NodeId source,
   return max_depth;
 }
 
+void BatchedBfs::PrepareRun(const Graph& graph,
+                            std::span<const NodeId> sources) {
+  SPPNET_CHECK(!sources.empty());
+  SPPNET_CHECK(sources.size() <= kBfsWordBits);
+  const std::size_t n = graph.num_nodes();
+  if (num_nodes_ != n) {
+    visited_.assign(n, 0);
+    next_.assign(n, 0);
+    num_nodes_ = n;
+  } else {
+    // Every visited node appears in at least one level entry, so the
+    // previous run's output doubles as the clear list.
+    for (const BatchLevelEntry& e : entries_) visited_[e.node] = 0;
+  }
+  entries_.clear();
+  level_offsets_.assign(1, 0);
+
+  // Level 0: seed the source bits, then emit one entry per distinct
+  // source node (several sources may share a node).
+  touched_.clear();
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const NodeId s = sources[i];
+    SPPNET_CHECK(s < n);
+    if (visited_[s] == 0) touched_.push_back(s);
+    visited_[s] |= std::uint64_t{1} << i;
+  }
+  std::sort(touched_.begin(), touched_.end());
+  for (const NodeId s : touched_) entries_.push_back({s, visited_[s]});
+  level_offsets_.push_back(entries_.size());
+}
+
+void BatchedBfs::Run(const Graph& graph, std::span<const NodeId> sources,
+                     int max_depth, Kernel kernel) {
+  SPPNET_CHECK(max_depth >= 0);
+  PrepareRun(graph, sources);
+  if (kernel == Kernel::kBitParallel) {
+    RunBitParallel(graph, max_depth);
+  } else {
+    RunScalarReference(graph, sources, max_depth);
+  }
+}
+
+void BatchedBfs::RunBitParallel(const Graph& graph, int max_depth) {
+  const std::size_t* offsets = graph.offsets().data();
+  const NodeId* adjacency = graph.adjacency().data();
+  for (int depth = 0; depth < max_depth; ++depth) {
+    const std::size_t begin = level_offsets_[depth];
+    const std::size_t end = level_offsets_[depth + 1];
+    touched_.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      const NodeId u = entries_[i].node;
+      const std::uint64_t w = entries_[i].word;
+      for (std::size_t a = offsets[u]; a < offsets[u + 1]; ++a) {
+        const NodeId v = adjacency[a];
+        const std::uint64_t fresh = w & ~visited_[v];
+        if (fresh != 0) {
+          if (next_[v] == 0) touched_.push_back(v);
+          next_[v] |= fresh;
+        }
+      }
+    }
+    if (touched_.empty()) break;
+    std::sort(touched_.begin(), touched_.end());
+    for (const NodeId v : touched_) {
+      const std::uint64_t w = next_[v];
+      next_[v] = 0;
+      visited_[v] |= w;
+      entries_.push_back({v, w});
+    }
+    level_offsets_.push_back(entries_.size());
+  }
+}
+
+void BatchedBfs::RunScalarReference(const Graph& graph,
+                                    std::span<const NodeId> sources,
+                                    int max_depth) {
+  // 64 ordinary queue BFS traversals; (depth, node, bit) triples are
+  // bucketed afterwards into the same canonical per-level shape the
+  // bit-parallel kernel emits.
+  std::vector<std::pair<std::pair<int, NodeId>, std::uint64_t>> raw;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const std::uint64_t bit = std::uint64_t{1} << i;
+    queue_.clear();
+    queue_.emplace_back(sources[i], 0);
+    std::size_t head = 0;
+    while (head < queue_.size()) {
+      const auto [u, du] = queue_[head++];
+      if (du == max_depth) continue;
+      for (const NodeId v : graph.Neighbors(u)) {
+        if ((visited_[v] & bit) != 0) continue;
+        visited_[v] |= bit;
+        raw.push_back({{du + 1, v}, bit});
+        queue_.emplace_back(v, du + 1);
+      }
+    }
+  }
+  std::sort(raw.begin(), raw.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t i = 0;
+  int level = 1;
+  while (i < raw.size()) {
+    SPPNET_CHECK(raw[i].first.first == level);  // Levels are contiguous.
+    while (i < raw.size() && raw[i].first.first == level) {
+      BatchLevelEntry entry{raw[i].first.second, 0};
+      while (i < raw.size() && raw[i].first ==
+                                   std::make_pair(level, entry.node)) {
+        entry.word |= raw[i].second;
+        ++i;
+      }
+      entries_.push_back(entry);
+    }
+    level_offsets_.push_back(entries_.size());
+    ++level;
+  }
+}
+
+int BatchedBfs::Depth(std::size_t source_bit, NodeId u) const {
+  const std::uint64_t bit = std::uint64_t{1} << source_bit;
+  for (int d = 0; d < num_levels(); ++d) {
+    const std::span<const BatchLevelEntry> level = Level(d);
+    const auto it = std::lower_bound(
+        level.begin(), level.end(), u,
+        [](const BatchLevelEntry& e, NodeId node) { return e.node < node; });
+    if (it != level.end() && it->node == u && (it->word & bit) != 0) return d;
+  }
+  return -1;
+}
+
+std::size_t BatchedBfs::MemoryBytes() const {
+  return visited_.capacity() * sizeof(std::uint64_t) +
+         next_.capacity() * sizeof(std::uint64_t) +
+         touched_.capacity() * sizeof(NodeId) +
+         entries_.capacity() * sizeof(BatchLevelEntry) +
+         level_offsets_.capacity() * sizeof(std::size_t) +
+         queue_.capacity() * sizeof(std::pair<NodeId, int>);
+}
+
 }  // namespace sppnet

@@ -82,6 +82,72 @@ std::optional<double> EplForReach(const Topology& topo, NodeId source,
 std::optional<int> MinTtlForFullReach(const Topology& topo, NodeId source,
                                       FloodScratch& scratch);
 
+/// One element of a batched-BFS level: bit i of `word` set means the
+/// flood from the batch's i-th source first reaches `node` at this level.
+struct BatchLevelEntry {
+  NodeId node = 0;
+  std::uint64_t word = 0;
+};
+
+/// Multi-source BFS over the CSR adjacency that advances up to
+/// kBfsWordBits (= 64) source frontiers per pass: each node carries one
+/// frontier/visited bit per source, so one word-wide OR-and-mask expands
+/// an edge for every flood in the batch at once.
+///
+/// The output is a per-depth list of (node, source-word) entries with node
+/// ids ascending within each level — a canonical form that does not depend
+/// on which kernel produced it. The scalar reference kernel (64 ordinary
+/// queue BFS traversals bucketed into the same shape) exists to pin the
+/// bit-parallel kernel down: both must produce bit-identical levels, which
+/// is what tests/topology/batched_bfs_test.cc enforces and what lets the
+/// evaluation engine swap kernels without perturbing any downstream
+/// floating-point arithmetic.
+///
+/// Depths are truncated at `max_depth` (the flood TTL): a node first
+/// reached at depth d is recorded iff d <= max_depth. State is recycled
+/// across Run() calls; instances are cheap to keep per worker thread.
+class BatchedBfs {
+ public:
+  enum class Kernel { kBitParallel, kScalarReference };
+
+  /// Runs `sources.size()` (<= kBfsWordBits, > 0) simultaneous floods.
+  /// Duplicate source nodes are allowed and produce independent floods.
+  void Run(const Graph& graph, std::span<const NodeId> sources, int max_depth,
+           Kernel kernel = Kernel::kBitParallel);
+
+  /// Number of recorded levels; levels 0..num_levels()-1 are non-empty.
+  int num_levels() const { return static_cast<int>(level_offsets_.size()) - 1; }
+
+  /// Entries of one level, node ids strictly ascending.
+  std::span<const BatchLevelEntry> Level(int depth) const {
+    return {entries_.data() + level_offsets_[depth],
+            level_offsets_[depth + 1] - level_offsets_[depth]};
+  }
+
+  /// Depth of `u` in the flood from the `source_bit`-th source, or -1 if
+  /// unreached within max_depth. O(levels * log n); intended for tests.
+  int Depth(std::size_t source_bit, NodeId u) const;
+
+  /// Bytes currently held by scratch + output arrays (capacity, not
+  /// size) — the bench reports this as bytes/node.
+  std::size_t MemoryBytes() const;
+
+ private:
+  void PrepareRun(const Graph& graph, std::span<const NodeId> sources);
+  void SealLevel();
+  void RunBitParallel(const Graph& graph, int max_depth);
+  void RunScalarReference(const Graph& graph,
+                          std::span<const NodeId> sources, int max_depth);
+
+  std::vector<std::uint64_t> visited_;  // One source-bit word per node.
+  std::vector<std::uint64_t> next_;     // Level under construction.
+  std::vector<NodeId> touched_;         // Nodes with nonzero next_ word.
+  std::vector<BatchLevelEntry> entries_;     // All levels, concatenated.
+  std::vector<std::size_t> level_offsets_;   // num_levels() + 1 fenceposts.
+  std::vector<std::pair<NodeId, int>> queue_;  // Scalar-reference BFS queue.
+  std::size_t num_nodes_ = 0;
+};
+
 }  // namespace sppnet
 
 #endif  // SPPNET_TOPOLOGY_BFS_H_

@@ -10,6 +10,15 @@ namespace sppnet {
 /// Node identifier within a topology. Dense, 0-based.
 using NodeId = std::uint32_t;
 
+/// Bits per frontier word of the batched BFS kernel: one bit per source
+/// in a batch, so a single word-wide OR advances 64 floods at once.
+inline constexpr std::size_t kBfsWordBits = 64;
+
+/// Number of 64-bit words needed for one bit per item.
+inline constexpr std::size_t WordsForBits(std::size_t n) {
+  return (n + kBfsWordBits - 1) / kBfsWordBits;
+}
+
 /// Immutable undirected graph in compressed sparse row (CSR) form.
 ///
 /// Built once from an edge list via GraphBuilder, then queried with
@@ -44,6 +53,12 @@ class Graph {
   bool HasEdge(NodeId u, NodeId v) const;
 
   double AverageDegree() const;
+
+  /// Raw CSR arrays for kernels that stream the adjacency directly
+  /// (offsets() has num_nodes()+1 entries; Neighbors(u) ==
+  /// adjacency()[offsets()[u] .. offsets()[u+1])).
+  std::span<const std::size_t> offsets() const { return offsets_; }
+  std::span<const NodeId> adjacency() const { return adjacency_; }
 
  private:
   friend class GraphBuilder;

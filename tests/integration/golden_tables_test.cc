@@ -1,0 +1,142 @@
+// Golden regression pins for the paper-facing bench tables: a scaled-
+// down fig04 (aggregate bandwidth vs cluster size) and fig07 (SP out-
+// bandwidth by #neighbors) built with the exact row-construction logic
+// of the bench binaries, from a fixed seed. The expected strings are
+// the tables' full printed output; if an engine or model change shifts
+// a single formatted digit, the diff shows up here instead of silently
+// in EXPERIMENTS.md. Goldens were generated with the batched engine,
+// which the identity suite proves bit-equal to the scalar reference,
+// so the pins hold for both engines.
+//
+// To regenerate after an *intentional* model change: run with
+// --gtest_filter='GoldenTablesTest.*' and copy the "Actual" block from
+// the failure message (both strings print in full on mismatch).
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sppnet/io/table.h"
+#include "sppnet/model/trials.h"
+
+namespace sppnet {
+namespace {
+
+std::string Render(const TableWriter& table) {
+  std::ostringstream os;
+  table.Print(os);
+  return os.str();
+}
+
+// Mirrors bench/fig04_aggregate_bandwidth.cc at graph size 400 with a
+// three-point cluster sweep over the two non-redundant systems.
+TEST(GoldenTablesTest, Fig04AggregateBandwidthSmallConfig) {
+  const ModelInputs inputs = ModelInputs::Default();
+  TableWriter table({"ClusterSize", "System", "Aggregate bw (bps)",
+                     "CI95 (in)", "Results/query"});
+  struct System {
+    const char* name;
+    GraphType graph_type;
+    double avg_outdegree;
+    int ttl;
+  };
+  constexpr System kSystems[] = {
+      {"strong", GraphType::kStronglyConnected, 0.0, 1},
+      {"power3.1", GraphType::kPowerLaw, 3.1, 7},
+  };
+  for (const System& system : kSystems) {
+    for (const double cs : {1.0, 10.0, 50.0}) {
+      Configuration config;
+      config.graph_type = system.graph_type;
+      config.graph_size = 400;
+      config.cluster_size = cs;
+      config.ttl = system.ttl;
+      if (system.avg_outdegree > 0.0) {
+        config.avg_outdegree = system.avg_outdegree;
+      }
+      TrialOptions options;
+      options.num_trials = 2;
+      options.seed = 42;
+      options.parallelism = 2;
+      const ConfigurationReport report = RunTrials(config, inputs, options);
+      table.AddRow({Format(static_cast<std::size_t>(cs)), system.name,
+                    FormatSci(report.AggregateBandwidthMean()),
+                    FormatSci(report.aggregate_in_bps.ConfidenceHalfWidth95()),
+                    Format(report.results_per_query.Mean(), 3)});
+    }
+  }
+
+  const std::string kGolden =
+      "ClusterSize  System    Aggregate bw (bps)  CI95 (in)  Results/query\n"
+      "-------------------------------------------------------------------\n"
+      "1            strong    2.50e+06            4.02e+04   31\n"
+      "10           strong    8.15e+05            5.66e+04   31\n"
+      "50           strong    5.86e+05            7.56e+04   31.1\n"
+      "1            power3.1  5.72e+06            7.37e+04   30.1\n"
+      "10           power3.1  1.66e+06            1.51e+05   30.8\n"
+      "50           power3.1  8.25e+05            1.28e+05   32.3\n";
+  EXPECT_EQ(Render(table), kGolden);
+}
+
+// Mirrors bench/fig07_load_by_outdegree.cc at graph size 400, cluster
+// size 5 (same TTL 7, same >=3-observation bucket filter).
+TEST(GoldenTablesTest, Fig07LoadByOutdegreeSmallConfig) {
+  const ModelInputs inputs = ModelInputs::Default();
+  for (const double outdeg : {3.1, 10.0}) {
+    Configuration config;
+    config.graph_size = 400;
+    config.cluster_size = 5;
+    config.avg_outdegree = outdeg;
+    config.ttl = 7;
+    TrialOptions options;
+    options.num_trials = 2;
+    options.seed = 42;
+    options.collect_outdegree_histograms = true;
+    options.parallelism = 2;
+    const ConfigurationReport report = RunTrials(config, inputs, options);
+    TableWriter table({"#neighbors", "SPs", "Out bw (bps)", "StdDev"});
+    for (int d = 1; d < report.sp_out_bps_by_outdegree.KeyUpperBound(); ++d) {
+      const RunningStat& stat = report.sp_out_bps_by_outdegree.Group(d);
+      if (stat.count() < 3) continue;
+      table.AddRow({Format(d), Format(stat.count()), FormatSci(stat.Mean()),
+                    FormatSci(stat.StdDev())});
+    }
+    SCOPED_TRACE(testing::Message() << "outdegree " << outdeg);
+    if (outdeg == 3.1) {
+      const std::string kGolden =
+          "#neighbors  SPs  Out bw (bps)  StdDev\n"
+          "---------------------------------------\n"
+          "1           41   2.87e+03      1.51e+03\n"
+          "2           62   7.78e+03      3.85e+03\n"
+          "3           17   1.32e+04      5.51e+03\n"
+          "4           17   1.50e+04      3.22e+03\n"
+          "5           6    2.28e+04      5.13e+03\n"
+          "6           5    2.60e+04      5.99e+03\n"
+          "7           3    3.11e+04      3.90e+03\n";
+      EXPECT_EQ(Render(table), kGolden);
+    } else {
+      const std::string kGolden =
+          "#neighbors  SPs  Out bw (bps)  StdDev\n"
+          "---------------------------------------\n"
+          "4           22   1.13e+04      1.56e+03\n"
+          "5           28   1.43e+04      1.38e+03\n"
+          "6           22   1.71e+04      1.29e+03\n"
+          "7           17   2.01e+04      1.14e+03\n"
+          "8           11   2.27e+04      9.68e+02\n"
+          "9           11   2.60e+04      1.70e+03\n"
+          "10          5    2.81e+04      9.04e+02\n"
+          "11          4    3.46e+04      7.73e+03\n"
+          "12          5    3.49e+04      1.66e+03\n"
+          "13          4    3.92e+04      7.95e+02\n"
+          "14          6    4.50e+04      1.01e+04\n"
+          "15          4    4.48e+04      1.11e+03\n"
+          "18          3    5.54e+04      4.03e+03\n"
+          "32          3    1.04e+05      6.25e+03\n";
+      EXPECT_EQ(Render(table), kGolden);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sppnet

@@ -1,0 +1,170 @@
+// Edge cases of Graph/GraphBuilder that the generator-driven tests never
+// hit: duplicate edges inserted across batches and in both orientations,
+// a maximum-degree hub, out-of-range node ids near 2^32, and HasEdge
+// queries against absent/self/out-of-range endpoints.
+
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "sppnet/topology/graph.h"
+
+namespace sppnet {
+namespace {
+
+TEST(GraphBuilderEdgeCasesTest, DuplicateEdgesAcrossBatchesDeduplicate) {
+  GraphBuilder builder(6);
+  // Batch 1.
+  EXPECT_TRUE(builder.AddEdge(0, 1));
+  EXPECT_TRUE(builder.AddEdge(1, 2));
+  EXPECT_TRUE(builder.AddEdge(4, 5));
+  // Batch 2 repeats batch 1's edges, some in the reverse orientation,
+  // interleaved with new ones.
+  EXPECT_TRUE(builder.AddEdge(1, 0));
+  EXPECT_TRUE(builder.AddEdge(2, 3));
+  EXPECT_TRUE(builder.AddEdge(2, 1));
+  EXPECT_TRUE(builder.AddEdge(5, 4));
+  EXPECT_TRUE(builder.AddEdge(0, 1));
+  EXPECT_EQ(builder.num_pending_edges(), 8u);  // Dedup happens at Build().
+
+  const Graph g = builder.Build();
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_EQ(g.Degree(2), 2u);
+  EXPECT_EQ(g.Degree(3), 1u);
+  EXPECT_EQ(g.Degree(4), 1u);
+  EXPECT_EQ(g.Degree(5), 1u);
+  // HasEdge is orientation-agnostic.
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(5, 4));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(3, 4));
+  // Neighbor spans are sorted and duplicate-free.
+  for (NodeId u = 0; u < 6; ++u) {
+    const auto nbrs = g.Neighbors(u);
+    for (std::size_t i = 1; i < nbrs.size(); ++i) {
+      EXPECT_LT(nbrs[i - 1], nbrs[i]);
+    }
+  }
+}
+
+TEST(GraphBuilderEdgeCasesTest, MaxDegreeHub) {
+  constexpr std::size_t kNodes = 300;
+  GraphBuilder builder(kNodes);
+  // Every leaf connects to hub 0, half of them inserted twice in
+  // opposite orientations.
+  for (NodeId v = 1; v < kNodes; ++v) {
+    EXPECT_TRUE(builder.AddEdge(0, v));
+    if (v % 2 == 0) {
+      EXPECT_TRUE(builder.AddEdge(v, 0));
+    }
+  }
+  const Graph g = builder.Build();
+  EXPECT_EQ(g.Degree(0), kNodes - 1);  // Maximum possible degree.
+  EXPECT_EQ(g.num_edges(), kNodes - 1);
+  for (NodeId v = 1; v < kNodes; ++v) {
+    EXPECT_TRUE(g.HasEdge(0, v));
+    EXPECT_TRUE(g.HasEdge(v, 0));
+    EXPECT_EQ(g.Degree(v), 1u);
+  }
+  EXPECT_FALSE(g.HasEdge(1, 2));
+  EXPECT_NEAR(g.AverageDegree(),
+              2.0 * static_cast<double>(kNodes - 1) / kNodes, 1e-12);
+}
+
+TEST(GraphBuilderEdgeCasesTest, NodeIdNearUint32MaxRejected) {
+  constexpr NodeId kHuge = std::numeric_limits<NodeId>::max();  // 2^32 - 1
+  GraphBuilder builder(8);
+  EXPECT_DEATH(builder.AddEdge(0, kHuge), "num_nodes");
+  EXPECT_DEATH(builder.AddEdge(kHuge, 0), "num_nodes");
+  EXPECT_DEATH(builder.AddEdge(kHuge - 1, kHuge), "num_nodes");
+  // The first in-range id past the boundary is also rejected.
+  EXPECT_DEATH(builder.AddEdge(0, 8), "num_nodes");
+  // In-range ids still work afterwards.
+  EXPECT_TRUE(builder.AddEdge(0, 7));
+  const Graph g = builder.Build();
+  EXPECT_TRUE(g.HasEdge(0, 7));
+}
+
+TEST(GraphBuilderEdgeCasesTest, SelfLoopsIgnored) {
+  GraphBuilder builder(3);
+  EXPECT_FALSE(builder.AddEdge(1, 1));
+  EXPECT_EQ(builder.num_pending_edges(), 0u);
+  EXPECT_TRUE(builder.AddEdge(0, 1));
+  const Graph g = builder.Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.HasEdge(1, 1));
+}
+
+TEST(GraphBuilderEdgeCasesTest, BuilderIsEmptyAfterBuild) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(2, 3);
+  const Graph first = builder.Build();
+  EXPECT_EQ(first.num_edges(), 2u);
+  EXPECT_EQ(builder.num_pending_edges(), 0u);
+  const Graph second = builder.Build();
+  EXPECT_EQ(second.num_nodes(), 4u);
+  EXPECT_EQ(second.num_edges(), 0u);
+  EXPECT_EQ(second.Degree(0), 0u);
+}
+
+TEST(GraphEdgeCasesTest, HasEdgeOnIsolatedAndEmptyGraphs) {
+  const Graph empty(0);
+  EXPECT_EQ(empty.num_nodes(), 0u);
+  EXPECT_EQ(empty.num_edges(), 0u);
+
+  const Graph isolated(5);
+  for (NodeId u = 0; u < 5; ++u) {
+    EXPECT_EQ(isolated.Degree(u), 0u);
+    for (NodeId v = 0; v < 5; ++v) {
+      EXPECT_FALSE(isolated.HasEdge(u, v));
+    }
+  }
+  EXPECT_EQ(isolated.AverageDegree(), 0.0);
+}
+
+TEST(GraphEdgeCasesTest, HasEdgeAgainstAbsentHighTarget) {
+  // The target id is only searched for inside u's neighbor span, so a
+  // query against an id beyond num_nodes is well-defined and false.
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  const Graph g = builder.Build();
+  EXPECT_FALSE(g.HasEdge(0, std::numeric_limits<NodeId>::max()));
+  EXPECT_FALSE(g.HasEdge(0, 1000));
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST(GraphEdgeCasesTest, WordHelpers) {
+  EXPECT_EQ(kBfsWordBits, 64u);
+  EXPECT_EQ(WordsForBits(0), 0u);
+  EXPECT_EQ(WordsForBits(1), 1u);
+  EXPECT_EQ(WordsForBits(64), 1u);
+  EXPECT_EQ(WordsForBits(65), 2u);
+  EXPECT_EQ(WordsForBits(1u << 20), (1u << 20) / 64);
+}
+
+TEST(GraphEdgeCasesTest, RawCsrSpansMatchNeighborView) {
+  GraphBuilder builder(5);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 4);
+  builder.AddEdge(2, 3);
+  const Graph g = builder.Build();
+  const auto offsets = g.offsets();
+  const auto adjacency = g.adjacency();
+  ASSERT_EQ(offsets.size(), g.num_nodes() + 1);
+  ASSERT_EQ(adjacency.size(), 2 * g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto nbrs = g.Neighbors(u);
+    ASSERT_EQ(nbrs.size(), offsets[u + 1] - offsets[u]);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_EQ(adjacency[offsets[u] + i], nbrs[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sppnet
