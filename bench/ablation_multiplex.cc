@@ -34,7 +34,7 @@ int main() {
     config.cluster_size = cs;
     config.ttl = 1;
     TrialOptions options;
-    options.num_trials = 3;
+    options.num_trials = SmokeTrials(3);
     const ConfigurationReport on = RunTrials(config, with, options);
     const ConfigurationReport off = RunTrials(config, without, options);
     table.AddRow({Format(static_cast<std::size_t>(cs)),

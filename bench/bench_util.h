@@ -6,8 +6,10 @@
 // it in the paper's units; see EXPERIMENTS.md for the side-by-side
 // comparison with the published values.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -145,6 +147,33 @@ class BenchRun {
 /// size 10000 costs seconds per instance) use fewer trials.
 inline constexpr std::size_t kHeavyTrials = 2;
 inline constexpr std::size_t kLightTrials = 4;
+
+/// CI smoke mode: when the environment variable SPPNET_BENCH_SMOKE is
+/// set (non-empty and not "0"), benches shrink their trial counts and
+/// simulated durations so that every binary finishes in seconds while
+/// still printing its tables and writing a schema-complete
+/// BENCH_<name>.json. Smoke numbers are NOT paper-comparable — the CI
+/// job only checks that the bench runs and its JSON validates.
+inline bool SmokeMode() {
+  const char* env = std::getenv("SPPNET_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+/// `trials` in full runs, 1 in smoke mode.
+inline std::size_t SmokeTrials(std::size_t trials) {
+  return SmokeMode() ? std::min<std::size_t>(trials, 1) : trials;
+}
+
+/// Simulated duration capped to `cap` (default 60 s) in smoke mode.
+inline double SmokeSimSeconds(double seconds, double cap = 60.0) {
+  return SmokeMode() ? std::min(seconds, cap) : seconds;
+}
+
+/// Generic size reducer for sweep dimensions in smoke mode.
+inline std::size_t SmokeCount(std::size_t full, std::size_t smoke) {
+  return SmokeMode() ? std::min(full, smoke) : full;
+}
 
 /// Worker threads for the trial runner in the sweep harnesses
 /// (results are bit-identical to serial runs).

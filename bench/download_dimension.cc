@@ -29,12 +29,12 @@ int main() {
   // Search-plane load for the default super-peer network.
   Configuration config = Configuration::Defaults();
   TrialOptions trials;
-  trials.num_trials = 3;
+  trials.num_trials = SmokeTrials(3);
   const ConfigurationReport search = RunTrials(config, inputs, trials);
 
   // Download plane for the same population.
   TransferOptions transfer;
-  transfer.duration_seconds = 7200.0;
+  transfer.duration_seconds = SmokeSimSeconds(7200.0);
   const TransferReport downloads = SimulateTransfers(2000, caps, transfer);
 
   std::printf("search plane (per node, expected):\n");
@@ -62,7 +62,7 @@ int main() {
   for (const std::uint32_t slots : {1u, 2u, 3u, 6u, 12u}) {
     TransferOptions t = transfer;
     t.upload_slots = slots;
-    t.duration_seconds = 3600.0;
+    t.duration_seconds = SmokeSimSeconds(3600.0);
     const TransferReport r = SimulateTransfers(1000, caps, t);
     table.AddRow({Format(static_cast<std::size_t>(slots)),
                   Format(r.completion_seconds.median, 4),

@@ -31,9 +31,10 @@ int main() {
       if (system.redundancy && cs < 2.0) continue;
       const Configuration config = MakeSweepConfig(system, cs);
       TrialOptions options;
-      options.num_trials = config.graph_type == GraphType::kPowerLaw && cs <= 2
-                               ? kHeavyTrials
-                               : kLightTrials;
+      options.num_trials =
+          SmokeTrials(config.graph_type == GraphType::kPowerLaw && cs <= 2
+                          ? kHeavyTrials
+                          : kLightTrials);
       options.parallelism = kTrialParallelism;
       const ConfigurationReport report = RunTrials(config, inputs, options);
       table.AddRow({Format(static_cast<std::size_t>(cs)), system.name,

@@ -35,7 +35,7 @@ int main() {
     config.avg_outdegree = outdeg;
     config.ttl = 7;
     TrialOptions options;
-    options.num_trials = 5;
+    options.num_trials = SmokeTrials(5);
     options.collect_outdegree_histograms = true;
     const ConfigurationReport report = RunTrials(config, inputs, options);
 

@@ -26,7 +26,7 @@ int main() {
 
   const ModelInputs inputs = ModelInputs::Default();
   TrialOptions trials;
-  trials.num_trials = 2;
+  trials.num_trials = SmokeTrials(2);
 
   // "Today": pure Gnutella, 20000 peers, outdegree 3.1, TTL 7. The
   // crawl-calibrated degree cap 6 reproduces the measured flood: reach

@@ -31,9 +31,10 @@ int main() {
       Configuration config = MakeSweepConfig(system, cs);
       config.query_rate = 9.26e-4;
       TrialOptions options;
-      options.num_trials = config.graph_type == GraphType::kPowerLaw && cs <= 2
-                               ? kHeavyTrials
-                               : kLightTrials;
+      options.num_trials =
+          SmokeTrials(config.graph_type == GraphType::kPowerLaw && cs <= 2
+                          ? kHeavyTrials
+                          : kLightTrials);
       options.parallelism = kTrialParallelism;
       const ConfigurationReport report = RunTrials(config, inputs, options);
       table.AddRow({Format(static_cast<std::size_t>(cs)), system.name,

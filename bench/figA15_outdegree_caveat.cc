@@ -32,7 +32,7 @@ int main() {
       config.avg_outdegree = outdeg;
       config.ttl = 2;
       TrialOptions options;
-      options.num_trials = 3;
+      options.num_trials = SmokeTrials(3);
       const ConfigurationReport r = RunTrials(config, inputs, options);
       table.AddRow({Format(static_cast<std::size_t>(cs)),
                     Format(outdeg, 3), FormatSci(r.sp_out_bps.Mean()),

@@ -37,7 +37,7 @@ int main() {
     config.ttl = 1;
     config.redundancy_k = k;
     TrialOptions options;
-    options.num_trials = 3;
+    options.num_trials = SmokeTrials(3);
     const ConfigurationReport r = RunTrials(config, inputs, options);
     analytic.AddRow({Format(k), FormatSci(r.sp_in_bps.Mean()),
                      FormatSci(r.sp_proc_hz.Mean()),
@@ -63,7 +63,7 @@ int main() {
     const NetworkInstance inst = GenerateInstance(config, inputs, rng);
     SimOptions options;
       options.metrics = &run.metrics();
-    options.duration_seconds = 2500;
+    options.duration_seconds = SmokeSimSeconds(2500);
     options.warmup_seconds = 60;
     options.enable_churn = true;
     options.partner_recovery_seconds = 45.0;

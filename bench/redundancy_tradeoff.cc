@@ -24,7 +24,7 @@ int main() {
 
   const ModelInputs inputs = ModelInputs::Default();
   TrialOptions options;
-  options.num_trials = 4;
+  options.num_trials = SmokeTrials(4);
 
   const auto run = [&](double cs, bool red) {
     Configuration c;

@@ -39,7 +39,7 @@ int main() {
       const NetworkInstance inst = GenerateInstance(config, inputs, rng);
       SimOptions options;
       options.metrics = &run.metrics();
-      options.duration_seconds = 3000;
+      options.duration_seconds = SmokeSimSeconds(3000);
       options.warmup_seconds = 60;
       options.enable_churn = true;
       options.partner_recovery_seconds = recovery;

@@ -40,7 +40,7 @@ int main() {
   for (const double ttl : {0.0, 30.0, 120.0, 300.0, 900.0}) {
     SimOptions options;
       options.metrics = &run.metrics();
-    options.duration_seconds = 900;
+    options.duration_seconds = SmokeSimSeconds(900);
     options.warmup_seconds = 90;
     options.result_cache_ttl_seconds = ttl;
     options.seed = 5;

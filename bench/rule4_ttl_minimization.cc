@@ -33,7 +33,7 @@ int main() {
   for (int ttl = 1; ttl <= 6; ++ttl) {
     config.ttl = ttl;
     TrialOptions options;
-    options.num_trials = 3;
+    options.num_trials = SmokeTrials(3);
     const ConfigurationReport r = RunTrials(config, inputs, options);
     in_at[ttl] = r.aggregate_in_bps.Mean();
     table.AddRow({Format(ttl), FormatSci(r.aggregate_in_bps.Mean()),

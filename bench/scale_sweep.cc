@@ -95,7 +95,7 @@ int Main() {
          "model evaluation is the scalable path; reach ~ N^0 per source "
          "keeps per-source cost flat as the overlay grows");
 
-  std::size_t max_n = 1000000;
+  std::size_t max_n = SmokeMode() ? 10000 : 1000000;
   if (const char* cap = std::getenv("SPPNET_SCALE_MAX_N")) {
     max_n = std::strtoull(cap, nullptr, 10);
   }

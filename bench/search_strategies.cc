@@ -56,7 +56,7 @@ int main() {
   for (const Row& row : kRows) {
     SimOptions options;
       options.metrics = &run.metrics();
-    options.duration_seconds = 300;
+    options.duration_seconds = SmokeSimSeconds(300);
     options.warmup_seconds = 30;
     options.seed = 9;
     options.strategy = row.strategy;

@@ -52,7 +52,7 @@ int main() {
 
     SimOptions options;
       options.metrics = &run.metrics();
-    options.duration_seconds = 400;
+    options.duration_seconds = SmokeSimSeconds(400);
     options.warmup_seconds = 40;
     options.seed = 7;
     Simulator sim(inst, config, inputs, options);

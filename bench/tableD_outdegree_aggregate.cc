@@ -34,7 +34,7 @@ int main() {
     config.avg_outdegree = outdeg;
     config.ttl = 7;
     TrialOptions options;
-    options.num_trials = 4;
+    options.num_trials = SmokeTrials(4);
     const ConfigurationReport r = RunTrials(config, inputs, options);
     table.AddRow({Format(outdeg, 3), FormatSci(r.aggregate_in_bps.Mean()),
                   FormatSci(r.aggregate_out_bps.Mean()),

@@ -55,6 +55,32 @@ std::vector<std::uint32_t> AssignClients(std::size_t num_clusters,
   return counts;
 }
 
+std::size_t PickRejoinCluster(const std::vector<std::uint32_t>& eligible,
+                              const std::vector<std::uint32_t>& sizes,
+                              AssignmentPolicy policy, Rng& rng) {
+  SPPNET_CHECK(!eligible.empty());
+  SPPNET_CHECK(sizes.size() == eligible.size());
+  switch (policy) {
+    case AssignmentPolicy::kPowerOfTwoChoices: {
+      const std::size_t a = rng.NextBounded(eligible.size());
+      const std::size_t b = rng.NextBounded(eligible.size());
+      return sizes[a] <= sizes[b] ? a : b;
+    }
+    case AssignmentPolicy::kLeastLoaded: {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < sizes.size(); ++i) {
+        if (sizes[i] < sizes[best]) best = i;
+      }
+      return best;
+    }
+    case AssignmentPolicy::kUniformRandom:
+    case AssignmentPolicy::kNormalModel:
+      return rng.NextBounded(eligible.size());
+  }
+  SPPNET_CHECK_MSG(false, "unknown assignment policy");
+  return 0;
+}
+
 AssignmentStats SummarizeAssignment(const std::vector<std::uint32_t>& counts) {
   AssignmentStats stats;
   if (counts.empty()) return stats;

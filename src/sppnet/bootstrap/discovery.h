@@ -47,6 +47,17 @@ struct AssignmentStats {
 
 AssignmentStats SummarizeAssignment(const std::vector<std::uint32_t>& counts);
 
+/// Single-client assignment for mid-session re-join: an orphaned client
+/// (its whole virtual super-peer is down) asks the discovery service
+/// for a new home among `eligible` clusters (those with at least one
+/// live partner). `sizes[i]` is the current population of
+/// `eligible[i]`, used by the size-aware policies. kNormalModel has no
+/// per-client meaning and falls back to kUniformRandom. Returns an
+/// index into `eligible`; `eligible` must be non-empty.
+std::size_t PickRejoinCluster(const std::vector<std::uint32_t>& eligible,
+                              const std::vector<std::uint32_t>& sizes,
+                              AssignmentPolicy policy, Rng& rng);
+
 /// Generates a network instance whose client populations come from a
 /// discovery policy instead of the paper's N(c, .2c) model. Everything
 /// else (topology, files, lifespans, derived quantities) matches

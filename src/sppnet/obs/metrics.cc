@@ -74,4 +74,19 @@ double MetricsRegistry::GaugeValue(std::string_view name) const {
   return it == gauges_.end() ? 0.0 : it->second.value();
 }
 
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, counter] : other.counters_) {
+    GetCounter(name).Increment(counter.value());
+  }
+  for (const auto& [name, gauge] : other.gauges_) {
+    GetGauge(name).SetMax(gauge.value());
+  }
+  for (const auto& [name, histogram] : other.histograms_) {
+    GetHistogram(name, histogram.upper_bounds()).Merge(histogram);
+  }
+  for (const auto& [name, timer] : other.timers_) {
+    GetTimer(name).Merge(timer);
+  }
+}
+
 }  // namespace sppnet

@@ -78,6 +78,11 @@ class WallTimer {
     ++count_;
     total_seconds_ += seconds;
   }
+  /// Adds another timer's spans into this one (registry folds).
+  void Merge(const WallTimer& other) {
+    count_ += other.count_;
+    total_seconds_ += other.total_seconds_;
+  }
   std::uint64_t count() const { return count_; }
   double total_seconds() const { return total_seconds_; }
 
@@ -148,6 +153,14 @@ class MetricsRegistry {
   std::uint64_t CounterValue(std::string_view name) const;
   /// Gauge value by name; 0.0 when absent.
   double GaugeValue(std::string_view name) const;
+
+  /// Folds another registry into this one: counters add, gauges keep
+  /// the maximum (every exported gauge is a high-water mark), histograms
+  /// merge (bounds must match), timers add. The fold is the
+  /// parallel-trial pattern: workers accumulate into local registries,
+  /// one thread merges them in trial order, so merged counter and
+  /// histogram values are independent of scheduling.
+  void MergeFrom(const MetricsRegistry& other);
 
  private:
   std::map<std::string, Counter, std::less<>> counters_;

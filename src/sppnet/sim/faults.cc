@@ -1,0 +1,75 @@
+#include "sppnet/sim/faults.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sppnet/common/check.h"
+
+namespace sppnet {
+namespace {
+
+// Salt separating the fault-decision stream from the protocol stream
+// seeded with the same 64-bit simulation seed (an arbitrary odd
+// constant; SplitMix64 seeding mixes it thoroughly).
+constexpr std::uint64_t kFaultStreamSalt = 0x9e3779b97f4a7c15ull;
+
+}  // namespace
+
+void FaultPlan::Validate() const {
+  SPPNET_CHECK_MSG(crash_rate_per_partner >= 0.0 &&
+                       std::isfinite(crash_rate_per_partner),
+                   "crash rate must be finite and >= 0");
+  SPPNET_CHECK_MSG(crash_recovery_seconds > 0.0,
+                   "crash recovery time must be > 0");
+  SPPNET_CHECK_MSG(message_drop_probability >= 0.0 &&
+                       message_drop_probability <= 1.0,
+                   "drop probability must be in [0, 1]");
+  SPPNET_CHECK_MSG(max_delay_jitter_seconds >= 0.0 &&
+                       std::isfinite(max_delay_jitter_seconds),
+                   "delay jitter must be finite and >= 0");
+  SPPNET_CHECK_MSG(request_timeout_seconds >= 0.0 &&
+                       std::isfinite(request_timeout_seconds),
+                   "request timeout must be finite and >= 0");
+  if (TimeoutsEnabled()) {
+    SPPNET_CHECK_MSG(max_retries >= 1,
+                     "retry budget must be >= 1 when timeouts are enabled");
+    SPPNET_CHECK_MSG(backoff_base_seconds > 0.0, "backoff base must be > 0");
+    SPPNET_CHECK_MSG(backoff_factor >= 1.0, "backoff factor must be >= 1");
+    SPPNET_CHECK_MSG(backoff_cap_seconds >= backoff_base_seconds,
+                     "backoff cap must be >= the base");
+  }
+  SPPNET_CHECK_MSG(max_retries >= 0, "retry budget must be >= 0");
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t sim_seed)
+    : plan_(plan), rng_(sim_seed ^ kFaultStreamSalt) {
+  plan_.Validate();
+}
+
+bool FaultInjector::ShouldDropDelivery() {
+  if (plan_.message_drop_probability <= 0.0) return false;
+  return rng_.NextBernoulli(plan_.message_drop_probability);
+}
+
+double FaultInjector::DeliveryJitter() {
+  if (plan_.max_delay_jitter_seconds <= 0.0) return 0.0;
+  return rng_.NextDouble() * plan_.max_delay_jitter_seconds;
+}
+
+double FaultInjector::NextCrashDelay() {
+  SPPNET_CHECK(plan_.crash_rate_per_partner > 0.0);
+  // Inverse-CDF exponential; NextDouble() < 1 so the log is finite.
+  return -std::log(1.0 - rng_.NextDouble()) / plan_.crash_rate_per_partner;
+}
+
+double FaultInjector::RetryBackoff(int retry) const {
+  SPPNET_CHECK(retry >= 1);
+  double delay = plan_.backoff_base_seconds;
+  for (int i = 1; i < retry; ++i) {
+    delay *= plan_.backoff_factor;
+    if (delay >= plan_.backoff_cap_seconds) break;
+  }
+  return std::min(delay, plan_.backoff_cap_seconds);
+}
+
+}  // namespace sppnet

@@ -1,0 +1,127 @@
+#ifndef SPPNET_SIM_FAULTS_H_
+#define SPPNET_SIM_FAULTS_H_
+
+#include <cstdint>
+
+#include "sppnet/common/rng.h"
+
+namespace sppnet {
+
+/// Deterministic fault-injection plan for the discrete-event simulator.
+///
+/// The paper's reliability argument (Section 3.2: k-redundant "virtual"
+/// super-peers make the probability that *all* partners fail before any
+/// can be replaced much lower than a single super-peer failing) assumes
+/// a recovery protocol it never spells out. This plan drives both halves
+/// of the missing piece: the *faults* — super-peer crashes mid-session
+/// (on top of, and independent from, the end-of-lifespan churn of
+/// `SimOptions::enable_churn`), silent message drops, and delivery-delay
+/// jitter — and the knobs of the *recovery* protocol the simulator runs
+/// against them (per-request timeout, bounded exponential-backoff retry,
+/// failover across surviving partners, re-join via discovery).
+///
+/// Determinism: every stochastic decision of the fault layer draws from
+/// a dedicated `Rng` stream salted from the simulation seed (see
+/// `FaultInjector`), never from the simulator's protocol stream. A draw
+/// happens only when the corresponding rate is non-zero, and a plan with
+/// `Active() == false` is never consulted at all — so a zero-rate run is
+/// bit-identical to a run without the fault layer ("pay for what you
+/// use"), and any active plan is bit-reproducible from the seed.
+struct FaultPlan {
+  // --- Injection -----------------------------------------------------------
+  /// Poisson rate (events/second) of mid-session crashes per partner.
+  /// A crash takes the partner down for `crash_recovery_seconds`
+  /// regardless of its sampled lifespan; crash events hitting an
+  /// already-down partner are no-ops (the clock keeps running).
+  double crash_rate_per_partner = 0.0;
+  /// Seconds a crashed partner stays down before a replacement is
+  /// promoted (mirrors SimOptions::partner_recovery_seconds for churn).
+  double crash_recovery_seconds = 30.0;
+  /// Probability that any scheduled overlay delivery (query, response,
+  /// join, update, walk hop) is silently lost in transit. The sender's
+  /// cost is still accounted — the bytes left its link.
+  double message_drop_probability = 0.0;
+  /// Extra one-way delivery delay, uniform in [0, max). 0 disables.
+  double max_delay_jitter_seconds = 0.0;
+
+  // --- Recovery protocol ---------------------------------------------------
+  /// Per-request timeout: seconds a submitting user waits for the first
+  /// response before declaring the attempt lost and retrying. 0
+  /// disables timeouts/retries (queries then degrade exactly as in the
+  /// churn-only simulator). Applies to the kFlood strategy, the
+  /// paper's baseline.
+  double request_timeout_seconds = 0.0;
+  /// Retry budget per query (beyond the initial attempt). Must be >= 1
+  /// when timeouts are enabled — a timeout with no retry would turn
+  /// every transient fault into a permanent failure, which is never a
+  /// meaningful configuration.
+  int max_retries = 3;
+  /// First retry is delayed by `backoff_base_seconds`; each further
+  /// retry multiplies the delay by `backoff_factor`, capped at
+  /// `backoff_cap_seconds` (bounded exponential backoff).
+  double backoff_base_seconds = 0.5;
+  double backoff_factor = 2.0;
+  double backoff_cap_seconds = 8.0;
+
+  /// True when the plan injects any fault or arms the recovery
+  /// machinery. An inactive plan leaves the simulator's event stream,
+  /// RNG consumption, report and published metrics bit-identical to a
+  /// run without the fault layer.
+  bool Active() const {
+    return crash_rate_per_partner > 0.0 || message_drop_probability > 0.0 ||
+           max_delay_jitter_seconds > 0.0 || request_timeout_seconds > 0.0;
+  }
+
+  /// True when per-request timeouts (and therefore retries) are armed.
+  bool TimeoutsEnabled() const { return request_timeout_seconds > 0.0; }
+
+  /// Aborts (SPPNET_CHECK) on invalid configurations: negative rates or
+  /// delays, drop probability outside [0, 1], non-positive recovery
+  /// time, a zero retry budget with timeouts enabled, or a backoff
+  /// schedule that is not monotone-bounded.
+  void Validate() const;
+};
+
+/// The fault layer's stochastic decisions, threaded through one
+/// dedicated deterministic RNG stream. The stream is derived from the
+/// simulation seed with a fixed salt, so (a) fault decisions are
+/// bit-reproducible, and (b) they never perturb the simulator's
+/// protocol stream — enabling jitter cannot change which query class
+/// the next user samples.
+class FaultInjector {
+ public:
+  /// Validates `plan`; derives the fault stream from `sim_seed`.
+  FaultInjector(const FaultPlan& plan, std::uint64_t sim_seed);
+
+  const FaultPlan& plan() const { return plan_; }
+  bool active() const { return plan_.Active(); }
+
+  /// True if the next delivery should be silently dropped. Draws from
+  /// the fault stream only when the drop probability is non-zero.
+  bool ShouldDropDelivery();
+
+  /// Extra delivery delay in [0, max_delay_jitter_seconds). Draws only
+  /// when jitter is enabled; 0.0 otherwise.
+  double DeliveryJitter();
+
+  /// Delay until a partner's next mid-session crash (exponential with
+  /// the plan's crash rate). Must not be called at rate 0.
+  double NextCrashDelay();
+
+  /// Deterministic bounded-exponential retry delay before retry number
+  /// `retry` (1-based): base * factor^(retry-1), capped. No RNG.
+  double RetryBackoff(int retry) const;
+
+  /// The underlying fault stream, for fault-layer decisions made by
+  /// collaborators (the discovery re-join pick). Never hand this to
+  /// protocol code — protocol randomness has its own stream.
+  Rng& stream() { return rng_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+};
+
+}  // namespace sppnet
+
+#endif  // SPPNET_SIM_FAULTS_H_

@@ -1,0 +1,123 @@
+#include "sppnet/sim/sim_trials.h"
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sppnet/common/rng.h"
+#include "sppnet/model/instance.h"
+#include "sppnet/obs/metrics.h"
+
+namespace sppnet {
+namespace {
+
+/// Everything one trial contributes, extracted on the worker so the
+/// fold stays cheap and deterministic.
+struct SimTrialObservation {
+  SimReport report;
+  double partner_total_bps = 0.0;
+  double partner_proc_hz = 0.0;
+  std::unique_ptr<MetricsRegistry> metrics;
+};
+
+SimTrialObservation RunOneSimTrial(const Configuration& config,
+                                   const ModelInputs& inputs, Rng trial_rng,
+                                   const SimTrialOptions& options) {
+  // The instance stream and the simulation seed both derive from the
+  // pre-split trial stream, so a trial's outcome is independent of
+  // which worker runs it.
+  const std::uint64_t sim_seed = trial_rng.NextUint64();
+  const NetworkInstance instance = GenerateInstance(config, inputs, trial_rng);
+
+  SimTrialObservation obs;
+  obs.metrics = std::make_unique<MetricsRegistry>();
+  SimOptions sim_options = options.sim;
+  sim_options.seed = sim_seed;
+  sim_options.metrics = obs.metrics.get();
+  Simulator simulator(instance, config, inputs, sim_options);
+  obs.report = simulator.Run();
+
+  double total_bps = 0.0;
+  double proc_hz = 0.0;
+  for (const LoadVector& lv : obs.report.partner_load) {
+    total_bps += lv.TotalBps();
+    proc_hz += lv.proc_hz;
+  }
+  if (!obs.report.partner_load.empty()) {
+    const auto count = static_cast<double>(obs.report.partner_load.size());
+    obs.partner_total_bps = total_bps / count;
+    obs.partner_proc_hz = proc_hz / count;
+  }
+  return obs;
+}
+
+}  // namespace
+
+SimTrialReport RunSimTrials(const Configuration& config,
+                            const ModelInputs& inputs,
+                            const SimTrialOptions& options) {
+  // Pre-split one RNG stream per trial so the result is independent of
+  // how trials are scheduled across workers.
+  Rng rng(options.seed);
+  std::vector<Rng> trial_rngs;
+  trial_rngs.reserve(options.num_trials);
+  for (std::size_t t = 0; t < options.num_trials; ++t) {
+    trial_rngs.push_back(rng.Split());
+  }
+
+  std::vector<SimTrialObservation> observations(options.num_trials);
+  const std::size_t workers = std::max<std::size_t>(
+      1, std::min(options.parallelism, options.num_trials));
+  if (workers <= 1) {
+    for (std::size_t t = 0; t < options.num_trials; ++t) {
+      observations[t] = RunOneSimTrial(config, inputs, trial_rngs[t], options);
+    }
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        for (std::size_t t = w; t < options.num_trials; t += workers) {
+          observations[t] =
+              RunOneSimTrial(config, inputs, trial_rngs[t], options);
+        }
+      });
+    }
+    for (std::thread& thread : pool) thread.join();
+  }
+
+  // Fold in trial order: deterministic regardless of parallelism. The
+  // registry merge happens here, on one thread, for the same reason.
+  SimTrialReport report;
+  report.trials = options.num_trials;
+  for (const SimTrialObservation& obs : observations) {
+    if (options.metrics != nullptr) {
+      options.metrics->GetCounter("sim_trials.completed").Increment();
+      options.metrics->MergeFrom(*obs.metrics);
+    }
+    const SimReport& r = obs.report;
+    report.cluster_outage_fraction.Add(r.cluster_outage_fraction);
+    report.client_disconnected_fraction.Add(r.client_disconnected_fraction);
+    report.query_success_rate.Add(r.query_success_rate);
+    report.mean_recovery_latency_seconds.Add(r.mean_recovery_latency_seconds);
+    report.partner_total_bps.Add(obs.partner_total_bps);
+    report.partner_proc_hz.Add(obs.partner_proc_hz);
+    report.queries_submitted += r.queries_submitted;
+    report.responses_delivered += r.responses_delivered;
+    report.partner_failures += r.partner_failures;
+    report.partner_recoveries += r.partner_recoveries;
+    report.cluster_outages += r.cluster_outages;
+    report.faults_crashes += r.faults_crashes;
+    report.faults_messages_dropped += r.faults_messages_dropped;
+    report.faults_request_timeouts += r.faults_request_timeouts;
+    report.faults_retries += r.faults_retries;
+    report.faults_failover_episodes += r.faults_failover_episodes;
+    report.faults_client_rejoins += r.faults_client_rejoins;
+    report.queries_succeeded += r.queries_succeeded;
+    report.queries_failed += r.queries_failed;
+  }
+  return report;
+}
+
+}  // namespace sppnet

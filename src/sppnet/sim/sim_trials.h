@@ -1,0 +1,76 @@
+#ifndef SPPNET_SIM_SIM_TRIALS_H_
+#define SPPNET_SIM_SIM_TRIALS_H_
+
+#include <cstdint>
+
+#include "sppnet/common/stats.h"
+#include "sppnet/model/config.h"
+#include "sppnet/sim/simulator.h"
+
+namespace sppnet {
+
+class MetricsRegistry;
+
+/// Options for repeated simulator trials over fresh instances of one
+/// configuration — the discrete-event mirror of model/trials.h.
+struct SimTrialOptions {
+  std::size_t num_trials = 4;
+  std::uint64_t seed = 42;
+  /// Worker threads for the trials. Results — the report and every
+  /// merged metric — are bit-identical to the serial run regardless of
+  /// the value: per-trial RNG streams are pre-split, each trial
+  /// publishes into its own local registry, and everything is folded
+  /// into `metrics` on one thread in trial order.
+  std::size_t parallelism = 1;
+  /// Per-trial simulation options. `sim.seed` is overwritten with a
+  /// per-trial derived seed and `sim.metrics` with the trial's local
+  /// registry; every other field applies to each trial as-is.
+  SimOptions sim;
+  /// Optional observability sink: receives every per-trial sim.*
+  /// instrument (folded in trial order) plus "sim_trials.completed".
+  /// Not owned.
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// Cross-trial summary of the reliability surface of one configuration.
+/// RunningStats carry per-trial observations (mean + CI); the counter
+/// totals accumulate across all trials.
+struct SimTrialReport {
+  std::size_t trials = 0;
+
+  /// Fraction of cluster-time with no live partner, per trial — the
+  /// measured counterpart of the analytical k-redundancy prediction
+  /// (lambda*r / (1 + lambda*r))^k.
+  RunningStat cluster_outage_fraction;
+  RunningStat client_disconnected_fraction;
+  RunningStat query_success_rate;
+  RunningStat mean_recovery_latency_seconds;
+  /// Mean per-partner load, per trial (the availability price tag).
+  RunningStat partner_total_bps;
+  RunningStat partner_proc_hz;
+
+  std::uint64_t queries_submitted = 0;
+  std::uint64_t responses_delivered = 0;
+  std::uint64_t partner_failures = 0;
+  std::uint64_t partner_recoveries = 0;
+  std::uint64_t cluster_outages = 0;
+  std::uint64_t faults_crashes = 0;
+  std::uint64_t faults_messages_dropped = 0;
+  std::uint64_t faults_request_timeouts = 0;
+  std::uint64_t faults_retries = 0;
+  std::uint64_t faults_failover_episodes = 0;
+  std::uint64_t faults_client_rejoins = 0;
+  std::uint64_t queries_succeeded = 0;
+  std::uint64_t queries_failed = 0;
+};
+
+/// Runs `options.num_trials` generate-and-simulate rounds for `config`
+/// and folds the results. Deterministic in (config, inputs, options):
+/// bit-identical across parallelism settings.
+SimTrialReport RunSimTrials(const Configuration& config,
+                            const ModelInputs& inputs,
+                            const SimTrialOptions& options);
+
+}  // namespace sppnet
+
+#endif  // SPPNET_SIM_SIM_TRIALS_H_

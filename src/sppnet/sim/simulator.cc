@@ -1,5 +1,6 @@
 #include "sppnet/sim/simulator.h"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <cstdint>
@@ -10,12 +11,14 @@
 #include <utility>
 #include <vector>
 
+#include "sppnet/bootstrap/discovery.h"
 #include "sppnet/common/check.h"
 #include "sppnet/common/rng.h"
 #include "sppnet/index/corpus.h"
 #include "sppnet/index/inverted_index.h"
 #include "sppnet/obs/metrics.h"
 #include "sppnet/sim/event_queue.h"
+#include "sppnet/sim/faults.h"
 
 namespace sppnet {
 namespace {
@@ -31,8 +34,11 @@ enum : std::uint32_t {
   kUpdateArrive,
   kPartnerFail,
   kPartnerRecover,
-  kWalkArrive,  // Random-walk query hop.
-  kRingCheck,   // Expanding-ring satisfaction probe.
+  kWalkArrive,     // Random-walk query hop.
+  kRingCheck,      // Expanding-ring satisfaction probe.
+  kPartnerCrash,   // Injected mid-session crash clock (fault layer).
+  kRequestCheck,   // Per-request timeout probe (recovery protocol).
+  kRetrySubmit,    // Backed-off query retry (recovery protocol).
 };
 
 // Wire message classes for the observability counters. Every
@@ -93,6 +99,19 @@ std::vector<double> HopHistogramBounds() {
   return bounds;
 }
 
+// Buckets for the client recovery-latency histogram (seconds from an
+// orphaning outage to re-connection): roughly geometric, spanning
+// sub-recovery-time episodes up to long multi-outage waits.
+std::vector<double> RecoveryLatencyBounds() {
+  return {1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0, 640.0};
+}
+
+// Buckets for the orphaned-clients-per-outage histogram (cluster sizes
+// in the experiments range from a handful to a few hundred clients).
+std::vector<double> OrphanCountBounds() {
+  return {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0};
+}
+
 }  // namespace
 
 class Simulator::Impl {
@@ -107,7 +126,10 @@ class Simulator::Impl {
         n_(instance.NumClusters()),
         k_(static_cast<std::size_t>(instance.redundancy_k)),
         num_partners_(instance.TotalPartners()),
-        num_clients_(instance.TotalClients()) {
+        num_clients_(instance.TotalClients()),
+        injector_(options.faults, options.seed),
+        fault_active_(options.faults.Active()),
+        recovery_enabled_(fault_active_ && options.faults.TimeoutsEnabled()) {
     qbytes_ = inputs.costs.QueryBytes(inputs.stats.query_length_bytes);
     sendq_ = inputs.costs.SendQueryUnits(inputs.stats.query_length_bytes);
     recvq_ = inputs.costs.RecvQueryUnits(inputs.stats.query_length_bytes);
@@ -132,6 +154,24 @@ class Simulator::Impl {
     outage_start_.assign(n_, -1.0);
     rr_.assign(n_, 0);
     query_table_.resize(n_);
+
+    if (fault_active_) {
+      // Mutable membership: clients can re-join other clusters via
+      // discovery, so cluster composition diverges from the instance
+      // layout. Member lists keep insertion order — iteration (and
+      // therefore the event stream) is deterministic.
+      client_current_cluster_ = client_cluster_;
+      cluster_members_.resize(n_);
+      for (std::size_t i = 0; i < n_; ++i) {
+        cluster_members_[i].reserve(inst_.client_offset[i + 1] -
+                                    inst_.client_offset[i]);
+        for (std::size_t c = inst_.client_offset[i];
+             c < inst_.client_offset[i + 1]; ++c) {
+          cluster_members_[i].push_back(static_cast<std::uint32_t>(c));
+        }
+      }
+      orphaned_since_.assign(num_clients_, -1.0);
+    }
 
     if (options_.concrete_index) InitConcreteIndexes();
   }
@@ -172,6 +212,14 @@ class Simulator::Impl {
         ScheduleIn(ExpDelay(1.0 / inst_.partner_lifespan[p]), kPartnerFail, p);
       }
     }
+    if (fault_active_ && injector_.plan().crash_rate_per_partner > 0.0) {
+      // Independent Poisson crash clock per partner slot; crashes on a
+      // dead partner are no-ops, so up-times stay memoryless (the
+      // analytical availability model relies on this — DESIGN.md §8).
+      for (std::uint32_t p = 0; p < num_partners_; ++p) {
+        ScheduleIn(injector_.NextCrashDelay(), kPartnerCrash, p);
+      }
+    }
 
     while (!queue_.empty() && queue_.NextTime() <= end_time) {
       const SimEvent e = queue_.Pop();
@@ -191,8 +239,9 @@ class Simulator::Impl {
   }
   bool IsPartner(std::uint32_t node) const { return node < num_partners_; }
   std::size_t ClusterOf(std::uint32_t node) const {
-    return IsPartner(node) ? node / k_
-                           : client_cluster_[node - num_partners_];
+    if (IsPartner(node)) return node / k_;
+    const std::uint32_t c = node - num_partners_;
+    return fault_active_ ? client_current_cluster_[c] : client_cluster_[c];
   }
   double LifespanOf(std::uint32_t node) const {
     return IsPartner(node) ? inst_.partner_lifespan[node]
@@ -223,6 +272,22 @@ class Simulator::Impl {
     queue_.Schedule(e);
     if (queue_.size() > queue_depth_hwm_) queue_depth_hwm_ = queue_.size();
   }
+  /// Delivery of an overlay message, through the fault layer: the
+  /// message may be silently dropped or arrive late by a jittered
+  /// amount. The sender's cost was already accounted — the bytes left
+  /// its link either way. Control events (timers, checks) bypass this
+  /// and use ScheduleIn directly; they are local, not messages.
+  void Deliver(double delay, std::uint32_t kind, std::uint32_t node,
+               std::uint64_t a = 0, std::uint64_t b = 0) {
+    if (fault_active_) {
+      if (injector_.ShouldDropDelivery()) {
+        if (measuring_) ++messages_dropped_;
+        return;
+      }
+      delay += injector_.DeliveryJitter();
+    }
+    ScheduleIn(delay, kind, node, a, b);
+  }
   void AcctSend(std::uint32_t node, Msg msg, double bytes, double units) {
     if (!measuring_) return;
     out_bytes_[node] += bytes;
@@ -241,12 +306,21 @@ class Simulator::Impl {
   }
 
   /// Round-robin choice of a live partner of `cluster`; returns
-  /// kSelfUpstream if none is alive (message lost).
+  /// kSelfUpstream if none is alive (message lost). Skipping a dead
+  /// preferred slot is the k-redundancy failover in action; the fault
+  /// layer counts those episodes.
   std::uint32_t PickPartner(std::size_t cluster) {
+    bool preferred_dead = false;
     for (std::size_t attempt = 0; attempt < k_; ++attempt) {
       const std::size_t slot = (rr_[cluster]++) % k_;
       const auto node = static_cast<std::uint32_t>(cluster * k_ + slot);
-      if (partner_alive_[node]) return node;
+      if (partner_alive_[node]) {
+        if (preferred_dead && fault_active_ && measuring_) {
+          ++failover_episodes_;
+        }
+        return node;
+      }
+      preferred_dead = true;
     }
     return kSelfUpstream;
   }
@@ -283,7 +357,16 @@ class Simulator::Impl {
         OnPartnerFail(e.node);
         break;
       case kPartnerRecover:
-        OnPartnerRecover(e.node);
+        OnPartnerRecover(e.node, /*churn_origin=*/e.a != 0);
+        break;
+      case kPartnerCrash:
+        OnPartnerCrash(e.node);
+        break;
+      case kRequestCheck:
+        OnRequestCheck(e.node, e.a, static_cast<std::uint32_t>(e.b));
+        break;
+      case kRetrySubmit:
+        OnRetrySubmit(e.node, e.a, static_cast<std::uint32_t>(e.b));
         break;
       case kWalkArrive:
         OnWalkArrive(e.node, e.a, static_cast<std::uint32_t>(e.b >> 32),
@@ -329,14 +412,24 @@ class Simulator::Impl {
       case SearchStrategy::kFlood: {
         const std::uint64_t qid = next_qid_++;
         if (options_.result_cache_ttl_seconds > 0.0) {
-          if (TryAnswerFromCache(user, qid, query_class)) return;
+          if (TryAnswerFromCache(user, qid, query_class)) {
+            // A cache-served query trivially succeeded.
+            if (recovery_enabled_ && measuring_) ++queries_succeeded_;
+            return;
+          }
           if (measuring_) ++cache_misses_;
         }
-        if (!SubmitToOwnCluster(user, qid, query_class,
+        if (!SubmitWithFailover(user, qid, query_class,
                                 static_cast<std::uint32_t>(config_.ttl + 1))) {
+          // No live partner anywhere: the query cannot be routed.
+          if (recovery_enabled_ && measuring_) ++queries_failed_;
           return;
         }
         RecordSubmission(qid, user, query_class, 0);
+        if (recovery_enabled_) {
+          ScheduleIn(injector_.plan().request_timeout_seconds, kRequestCheck,
+                     user, qid, /*retries_used=*/0);
+        }
         break;
       }
       case SearchStrategy::kExpandingRing: {
@@ -479,9 +572,22 @@ class Simulator::Impl {
     const std::uint32_t target = PickPartner(ClusterOf(user));
     if (target == kSelfUpstream) return false;  // Disconnected.
     AcctSend(user, Msg::kQuery, qbytes_, sendq_ + MuxOf(user));
-    ScheduleIn(options_.hop_latency_seconds, kQueryArrive, target, qid,
-               PackQuery(user, query_class, ttl));
+    Deliver(options_.hop_latency_seconds, kQueryArrive, target, qid,
+            PackQuery(user, query_class, ttl));
     return true;
+  }
+
+  /// SubmitToOwnCluster with fault-mode recovery: a client whose whole
+  /// cluster is down first re-joins a surviving cluster via the
+  /// bootstrap discovery service; only when no cluster in the network
+  /// has a live partner does the submission fail.
+  bool SubmitWithFailover(std::uint32_t user, std::uint64_t qid,
+                          std::uint32_t query_class, std::uint32_t ttl) {
+    if (fault_active_ && !IsPartner(user) &&
+        alive_partners_[ClusterOf(user)] == 0) {
+      if (!RejoinViaDiscovery(user)) return false;
+    }
+    return SubmitToOwnCluster(user, qid, query_class, ttl);
   }
 
   // --- Expanding ring ---------------------------------------------------------
@@ -553,8 +659,8 @@ class Simulator::Impl {
       source_partner = PickPartner(cluster);
       if (source_partner == kSelfUpstream) return false;
       AcctSend(user, Msg::kQuery, qbytes_, sendq_ + MuxOf(user));
-      ScheduleIn(options_.hop_latency_seconds, kQueryArrive, source_partner,
-                 qid, PackQuery(user, query_class, 1));
+      Deliver(options_.hop_latency_seconds, kQueryArrive, source_partner,
+              qid, PackQuery(user, query_class, 1));
     }
     // Launch the walkers from the source partner.
     for (std::uint32_t w = 0; w < options_.num_walkers; ++w) {
@@ -562,9 +668,9 @@ class Simulator::Impl {
       if (target == kSelfUpstream) break;
       AcctSend(source_partner, Msg::kQuery, qbytes_,
                sendq_ + MuxOf(source_partner));
-      ScheduleIn(options_.hop_latency_seconds, kWalkArrive, target, qid,
-                 PackQuery(source_partner, query_class,
-                           options_.walk_ttl & 0xffu));
+      Deliver(options_.hop_latency_seconds, kWalkArrive, target, qid,
+              PackQuery(source_partner, query_class,
+                        options_.walk_ttl & 0xffu));
     }
     return true;
   }
@@ -612,8 +718,8 @@ class Simulator::Impl {
                      static_cast<double>(addrs),
                      static_cast<double>(results)) +
                      MuxOf(partner));
-        ScheduleIn(options_.hop_latency_seconds, kResponseArrive,
-                   source_partner, qid, PackResponse(results, addrs, 1));
+        Deliver(options_.hop_latency_seconds, kResponseArrive,
+                source_partner, qid, PackResponse(results, addrs, 1));
       }
     } else if (measuring_) {
       ++duplicate_queries_;
@@ -622,8 +728,8 @@ class Simulator::Impl {
     const std::uint32_t next = RandomNeighborPartner(cluster);
     if (next == kSelfUpstream) return;
     AcctSend(partner, Msg::kQuery, qbytes_, sendq_ + MuxOf(partner));
-    ScheduleIn(options_.hop_latency_seconds, kWalkArrive, next, qid,
-               PackQuery(source_partner, query_class, ttl - 1));
+    Deliver(options_.hop_latency_seconds, kWalkArrive, next, qid,
+            PackQuery(source_partner, query_class, ttl - 1));
   }
 
   void OnQueryArrive(std::uint32_t partner, std::uint64_t qid,
@@ -660,8 +766,8 @@ class Simulator::Impl {
       const std::uint32_t target = PickPartner(neighbor);
       if (target == kSelfUpstream) return;
       AcctSend(partner, Msg::kQuery, qbytes_, sendq_ + MuxOf(partner));
-      ScheduleIn(options_.hop_latency_seconds, kQueryArrive, target, qid,
-                 PackQuery(partner, query_class, ttl - 1));
+      Deliver(options_.hop_latency_seconds, kQueryArrive, target, qid,
+              PackQuery(partner, query_class, ttl - 1));
     };
     if (inst_.topology.is_complete()) {
       for (std::size_t w = 0; w < n_; ++w) {
@@ -730,8 +836,8 @@ class Simulator::Impl {
     // overlay); the final super-peer -> client delivery is not an overlay
     // hop and is excluded so the metric is comparable with the model.
     const std::uint32_t hop_delta = IsPartner(to) ? 1u : 0u;
-    ScheduleIn(options_.hop_latency_seconds, kResponseArrive, to, qid,
-               PackResponse(results, addrs, hops + hop_delta));
+    Deliver(options_.hop_latency_seconds, kResponseArrive, to, qid,
+            PackResponse(results, addrs, hops + hop_delta));
   }
 
   void OnResponseArrive(std::uint32_t node, std::uint64_t qid,
@@ -789,8 +895,18 @@ class Simulator::Impl {
   // --- Joins and updates ------------------------------------------------------
   void ScheduleJoinArrive(std::uint32_t target, std::uint32_t owner,
                           double files) {
+    // Joins carry a float payload (e.x), so the fault layer is applied
+    // inline instead of through Deliver.
+    double delay = options_.hop_latency_seconds;
+    if (fault_active_) {
+      if (injector_.ShouldDropDelivery()) {
+        if (measuring_) ++messages_dropped_;
+        return;
+      }
+      delay += injector_.DeliveryJitter();
+    }
     SimEvent e;
-    e.time = now_ + options_.hop_latency_seconds;
+    e.time = now_ + delay;
     e.kind = kJoinArrive;
     e.node = target;
     e.a = owner;
@@ -885,7 +1001,7 @@ class Simulator::Impl {
         if (other == user || !partner_alive_[other]) continue;
         AcctSend(user, Msg::kUpdate, inputs_.costs.UpdateBytes(),
                  inputs_.costs.send_update_units + MuxOf(user));
-        ScheduleIn(options_.hop_latency_seconds, kUpdateArrive, other, user);
+        Deliver(options_.hop_latency_seconds, kUpdateArrive, other, user);
       }
       return;
     }
@@ -901,7 +1017,7 @@ class Simulator::Impl {
       if (!partner_alive_[partner]) continue;
       AcctSend(user, Msg::kUpdate, inputs_.costs.UpdateBytes(),
                inputs_.costs.send_update_units + MuxOf(user));
-      ScheduleIn(options_.hop_latency_seconds, kUpdateArrive, partner, user);
+      Deliver(options_.hop_latency_seconds, kUpdateArrive, partner, user);
     }
   }
 
@@ -929,47 +1045,231 @@ class Simulator::Impl {
   }
 
   // --- Churn / reliability -----------------------------------------------------
-  void OnPartnerFail(std::uint32_t partner) {
-    if (!partner_alive_[partner]) return;
+
+  /// Takes a live partner down for `recovery_seconds` and schedules the
+  /// recovery. `churn_origin` tags end-of-lifespan failures: only those
+  /// restart the lifespan clock on recovery (injected crashes have
+  /// their own Poisson clock, which keeps ticking independently).
+  void FailPartner(std::uint32_t partner, double recovery_seconds,
+                   bool churn_origin) {
     partner_alive_[partner] = false;
     if (measuring_) ++partner_failures_;
     const std::size_t cluster = ClusterOf(partner);
     if (--alive_partners_[cluster] == 0) {
       outage_start_[cluster] = now_;
       if (measuring_) ++cluster_outages_;
+      if (fault_active_) OrphanClusterClients(cluster);
     }
-    ScheduleIn(options_.partner_recovery_seconds, kPartnerRecover, partner);
+    ScheduleIn(recovery_seconds, kPartnerRecover, partner,
+               churn_origin ? 1 : 0);
   }
 
-  void OnPartnerRecover(std::uint32_t partner) {
+  void OnPartnerFail(std::uint32_t partner) {
+    if (!partner_alive_[partner]) return;
+    FailPartner(partner, options_.partner_recovery_seconds,
+                /*churn_origin=*/true);
+  }
+
+  void OnPartnerCrash(std::uint32_t partner) {
+    // The crash clock keeps ticking whether or not the partner is up;
+    // a crash hitting a dead partner is a no-op, which keeps up-times
+    // memoryless (the analytical availability model in DESIGN.md §8
+    // relies on exactly this renewal structure).
+    ScheduleIn(injector_.NextCrashDelay(), kPartnerCrash, partner);
+    if (!partner_alive_[partner]) return;
+    if (measuring_) ++crashes_;
+    FailPartner(partner, injector_.plan().crash_recovery_seconds,
+                /*churn_origin=*/false);
+  }
+
+  void OnPartnerRecover(std::uint32_t partner, bool churn_origin) {
     partner_alive_[partner] = true;
     if (measuring_) ++partner_recoveries_;
     const std::size_t cluster = ClusterOf(partner);
     if (alive_partners_[cluster]++ == 0 && outage_start_[cluster] >= 0.0) {
       AccumulateOutage(cluster, now_);
       outage_start_[cluster] = -1.0;
+      if (fault_active_) ReconnectOrphans(cluster);
     }
     // The replacement partner starts with an empty index: every client
-    // re-uploads its metadata (the join storm after a failure).
-    for (std::size_t c = inst_.client_offset[cluster];
-         c < inst_.client_offset[cluster + 1]; ++c) {
-      const auto client =
-          static_cast<std::uint32_t>(num_partners_ + c);
-      const auto files = static_cast<double>(inst_.client_files[c]);
-      AcctSend(client, Msg::kJoin, inputs_.costs.JoinBytes(files),
-               inputs_.costs.SendJoinUnits(files) + MuxOf(client));
-      ScheduleJoinArrive(partner, client, files);
+    // re-uploads its metadata (the join storm after a failure). With an
+    // active fault plan membership is mutable, so the storm covers the
+    // cluster's current members rather than the instance layout.
+    if (fault_active_) {
+      for (const std::uint32_t c : cluster_members_[cluster]) {
+        SendJoinStormUpload(partner, c);
+      }
+    } else {
+      for (std::size_t c = inst_.client_offset[cluster];
+           c < inst_.client_offset[cluster + 1]; ++c) {
+        SendJoinStormUpload(partner, static_cast<std::uint32_t>(c));
+      }
     }
-    ScheduleIn(ExpDelay(1.0 / inst_.partner_lifespan[partner]), kPartnerFail,
-               partner);
+    if (churn_origin && options_.enable_churn) {
+      ScheduleIn(ExpDelay(1.0 / inst_.partner_lifespan[partner]), kPartnerFail,
+                 partner);
+    }
+  }
+
+  /// One client's metadata re-upload to a recovering partner (`c` is a
+  /// client index, not a node id).
+  void SendJoinStormUpload(std::uint32_t partner, std::uint32_t c) {
+    const auto client = static_cast<std::uint32_t>(num_partners_ + c);
+    const auto files = static_cast<double>(inst_.client_files[c]);
+    AcctSend(client, Msg::kJoin, inputs_.costs.JoinBytes(files),
+             inputs_.costs.SendJoinUnits(files) + MuxOf(client));
+    ScheduleJoinArrive(partner, client, files);
   }
 
   void AccumulateOutage(std::size_t cluster, double end) {
     const double start = std::max(outage_start_[cluster],
                                   options_.warmup_seconds);
     if (end <= start) return;
-    disconnected_client_seconds_ +=
-        (end - start) * static_cast<double>(inst_.NumClients(cluster));
+    outage_seconds_ += end - start;
+    // Whole-cluster client accounting only applies while membership is
+    // static; with an active fault plan clients accrue individually
+    // (AccrueOrphanTime), since re-joins end their episodes early.
+    if (!fault_active_) {
+      disconnected_client_seconds_ +=
+          (end - start) * static_cast<double>(inst_.NumClients(cluster));
+    }
+  }
+
+  // --- Fault recovery: orphans, re-join, timeouts & retries --------------------
+
+  /// Marks every current member of `cluster` orphaned (its last live
+  /// partner just went down).
+  void OrphanClusterClients(std::size_t cluster) {
+    if (measuring_) {
+      orphaned_clients_hist_.Observe(
+          static_cast<double>(cluster_members_[cluster].size()));
+    }
+    for (const std::uint32_t c : cluster_members_[cluster]) {
+      if (orphaned_since_[c] < 0.0) orphaned_since_[c] = now_;
+    }
+  }
+
+  /// Ends the orphan episodes of `cluster`'s members: a partner came
+  /// back, so they are connected again.
+  void ReconnectOrphans(std::size_t cluster) {
+    for (const std::uint32_t c : cluster_members_[cluster]) {
+      AccrueOrphanTime(c, /*observe_latency=*/true);
+    }
+  }
+
+  /// Closes client `c`'s orphan episode at `now_`: adds its
+  /// disconnected time (clipped to the measurement window) and, for
+  /// real recoveries, observes the recovery-latency histogram.
+  void AccrueOrphanTime(std::uint32_t c, bool observe_latency) {
+    if (orphaned_since_[c] < 0.0) return;
+    const double start = std::max(orphaned_since_[c], options_.warmup_seconds);
+    if (now_ > start) disconnected_client_seconds_ += now_ - start;
+    if (observe_latency && measuring_) {
+      recovery_latency_hist_.Observe(now_ - orphaned_since_[c]);
+    }
+    orphaned_since_[c] = -1.0;
+  }
+
+  /// Moves an orphaned client to a surviving cluster via the bootstrap
+  /// discovery service (Section 4.1's pong-server role). Returns false
+  /// when no cluster in the network has a live partner.
+  bool RejoinViaDiscovery(std::uint32_t user) {
+    const std::uint32_t c = user - num_partners_;
+    std::vector<std::uint32_t> eligible;
+    std::vector<std::uint32_t> sizes;
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (alive_partners_[i] > 0) {
+        eligible.push_back(static_cast<std::uint32_t>(i));
+        sizes.push_back(
+            static_cast<std::uint32_t>(cluster_members_[i].size()));
+      }
+    }
+    if (eligible.empty()) return false;
+    const std::size_t pick =
+        PickRejoinCluster(eligible, sizes, AssignmentPolicy::kUniformRandom,
+                          injector_.stream());
+    const std::uint32_t new_cluster = eligible[pick];
+    auto& members = cluster_members_[client_current_cluster_[c]];
+    members.erase(std::find(members.begin(), members.end(), c));
+    cluster_members_[new_cluster].push_back(c);
+    client_current_cluster_[c] = new_cluster;
+    if (measuring_) ++client_rejoins_;
+    AccrueOrphanTime(c, /*observe_latency=*/true);
+    // The client uploads its metadata to the new cluster's live
+    // partners — a fresh join.
+    const auto files = static_cast<double>(inst_.client_files[c]);
+    for (std::size_t p = 0; p < k_; ++p) {
+      const auto partner = static_cast<std::uint32_t>(new_cluster * k_ + p);
+      if (!partner_alive_[partner]) continue;
+      AcctSend(user, Msg::kJoin, inputs_.costs.JoinBytes(files),
+               inputs_.costs.SendJoinUnits(files) + MuxOf(user));
+      ScheduleJoinArrive(partner, user, files);
+    }
+    return true;
+  }
+
+  /// Per-request timeout probe for a flood query. Success means at
+  /// least one response arrived — graceful degradation: partial results
+  /// from a degraded flood still count. Tallies cover queries submitted
+  /// inside the measurement window whose checks fire before the run
+  /// ends.
+  void OnRequestCheck(std::uint32_t user, std::uint64_t root,
+                      std::uint32_t retries_used) {
+    const auto it = query_state_.find(root);
+    if (it == query_state_.end()) return;
+    const QueryState& state = it->second;
+    const bool counted = state.submit_time >= options_.warmup_seconds;
+    if (state.first_response_seen) {
+      if (counted) ++queries_succeeded_;
+      return;
+    }
+    if (counted) ++request_timeouts_;
+    if (retries_used >=
+        static_cast<std::uint32_t>(injector_.plan().max_retries)) {
+      if (counted) ++queries_failed_;
+      return;
+    }
+    ScheduleIn(injector_.RetryBackoff(static_cast<int>(retries_used) + 1),
+               kRetrySubmit, user, root, retries_used + 1);
+  }
+
+  /// Backed-off retry of a timed-out flood query: a fresh qid re-floods
+  /// the network (duplicate tables have marked the root qid), mapped
+  /// back to the root via ring_root_ exactly like expanding-ring
+  /// retries.
+  void OnRetrySubmit(std::uint32_t user, std::uint64_t root,
+                     std::uint32_t retry_number) {
+    const auto it = query_state_.find(root);
+    if (it == query_state_.end()) return;
+    QueryState& state = it->second;
+    const bool counted = state.submit_time >= options_.warmup_seconds;
+    if (state.first_response_seen) {
+      // A response raced the backoff: the query succeeded after all.
+      if (counted) ++queries_succeeded_;
+      return;
+    }
+    if (IsPartner(user) && !partner_alive_[user]) {
+      // The submitting partner-user died with its state.
+      if (counted) ++queries_failed_;
+      return;
+    }
+    const std::uint64_t retry_qid = next_qid_++;
+    if (options_.concrete_index) {
+      // The retry re-issues the same keyword string under a fresh qid.
+      const auto root_query = query_strings_.find(root);
+      if (root_query != query_strings_.end()) {
+        query_strings_.emplace(retry_qid, root_query->second);
+      }
+    }
+    ring_root_.emplace(retry_qid, root);
+    if (counted) ++retries_;
+    if (!SubmitWithFailover(user, retry_qid, state.query_class,
+                            static_cast<std::uint32_t>(config_.ttl + 1))) {
+      if (counted) ++queries_failed_;
+      return;
+    }
+    ScheduleIn(injector_.plan().request_timeout_seconds, kRequestCheck, user,
+               root, retry_number);
   }
 
   // --- Finalization --------------------------------------------------------------
@@ -977,6 +1277,13 @@ class Simulator::Impl {
     // Close outages still open at the end of the run.
     for (std::size_t i = 0; i < n_; ++i) {
       if (outage_start_[i] >= 0.0) AccumulateOutage(i, now_);
+    }
+    if (fault_active_) {
+      // Clients still orphaned at the end accrue their disconnected
+      // time but never recovered — no latency observation.
+      for (std::uint32_t c = 0; c < num_clients_; ++c) {
+        AccrueOrphanTime(c, /*observe_latency=*/false);
+      }
     }
 
     SimReport report;
@@ -1033,13 +1340,33 @@ class Simulator::Impl {
           bytes / static_cast<double>(indexes_.size());
     }
     report.partner_failures = partner_failures_;
+    report.partner_recoveries = partner_recoveries_;
     report.cluster_outages = cluster_outages_;
+    const double cluster_seconds =
+        options_.duration_seconds * static_cast<double>(n_);
+    if (cluster_seconds > 0.0) {
+      report.cluster_outage_fraction = outage_seconds_ / cluster_seconds;
+    }
     const double client_seconds =
         options_.duration_seconds * static_cast<double>(num_clients_);
     if (client_seconds > 0.0) {
       report.client_disconnected_fraction =
           disconnected_client_seconds_ / client_seconds;
     }
+    report.faults_crashes = crashes_;
+    report.faults_messages_dropped = messages_dropped_;
+    report.faults_request_timeouts = request_timeouts_;
+    report.faults_retries = retries_;
+    report.faults_failover_episodes = failover_episodes_;
+    report.faults_client_rejoins = client_rejoins_;
+    report.queries_succeeded = queries_succeeded_;
+    report.queries_failed = queries_failed_;
+    const std::uint64_t completed = queries_succeeded_ + queries_failed_;
+    if (completed > 0) {
+      report.query_success_rate = static_cast<double>(queries_succeeded_) /
+                                  static_cast<double>(completed);
+    }
+    report.mean_recovery_latency_seconds = recovery_latency_hist_.Mean();
     if (options_.metrics != nullptr) PublishMetrics(*options_.metrics);
     return report;
   }
@@ -1070,6 +1397,26 @@ class Simulator::Impl {
         .SetMax(static_cast<double>(queue_depth_hwm_));
     m.GetHistogram("sim.response.hops", HopHistogramBounds())
         .Merge(hop_histogram_);
+    // Fault-layer instruments exist only for active plans, keeping the
+    // inactive-plan registry surface bit-identical to a build without
+    // the fault layer.
+    if (fault_active_) {
+      m.GetCounter("sim.faults.crashes").Increment(crashes_);
+      m.GetCounter("sim.faults.messages_dropped").Increment(messages_dropped_);
+      m.GetCounter("sim.faults.request_timeouts").Increment(request_timeouts_);
+      m.GetCounter("sim.faults.retries").Increment(retries_);
+      m.GetCounter("sim.faults.failover_episodes")
+          .Increment(failover_episodes_);
+      m.GetCounter("sim.faults.client_rejoins").Increment(client_rejoins_);
+      m.GetCounter("sim.faults.queries.succeeded")
+          .Increment(queries_succeeded_);
+      m.GetCounter("sim.faults.queries.failed").Increment(queries_failed_);
+      m.GetHistogram("sim.faults.recovery_latency_seconds",
+                     RecoveryLatencyBounds())
+          .Merge(recovery_latency_hist_);
+      m.GetHistogram("sim.faults.orphaned_clients", OrphanCountBounds())
+          .Merge(orphaned_clients_hist_);
+    }
   }
 
   // --- State -----------------------------------------------------------------
@@ -1142,6 +1489,27 @@ class Simulator::Impl {
   std::size_t queue_depth_hwm_ = 0;
   std::uint64_t events_dispatched_ = 0;
   Histogram hop_histogram_{HopHistogramBounds()};
+
+  // Fault-injection & recovery state. The injector owns its own salted
+  // RNG stream; everything below it is consulted only when
+  // fault_active_ (pay-for-what-you-use determinism).
+  FaultInjector injector_;
+  const bool fault_active_;
+  const bool recovery_enabled_;
+  std::vector<std::uint32_t> client_current_cluster_;  // Per client index.
+  std::vector<std::vector<std::uint32_t>> cluster_members_;
+  std::vector<double> orphaned_since_;  // -1 when connected.
+  double outage_seconds_ = 0.0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+  std::uint64_t request_timeouts_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t failover_episodes_ = 0;
+  std::uint64_t client_rejoins_ = 0;
+  std::uint64_t queries_succeeded_ = 0;
+  std::uint64_t queries_failed_ = 0;
+  Histogram recovery_latency_hist_{RecoveryLatencyBounds()};
+  Histogram orphaned_clients_hist_{OrphanCountBounds()};
 };
 
 Simulator::Simulator(const NetworkInstance& instance,

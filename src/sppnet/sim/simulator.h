@@ -7,6 +7,7 @@
 #include "sppnet/model/config.h"
 #include "sppnet/model/instance.h"
 #include "sppnet/model/load.h"
+#include "sppnet/sim/faults.h"
 
 namespace sppnet {
 
@@ -48,6 +49,16 @@ struct SimOptions {
   /// joins re-upload metadata to recovering partners.
   bool enable_churn = false;
   double partner_recovery_seconds = 30.0;
+
+  /// Fault-injection & recovery plan (see sim/faults.h): mid-session
+  /// super-peer crashes, message drops and delivery jitter, answered by
+  /// per-request timeouts with bounded-backoff retries, failover to
+  /// surviving partners and re-join via bootstrap discovery. The
+  /// default plan is inactive, and an inactive plan leaves the run
+  /// bit-identical to a build without the fault layer (it is never
+  /// consulted); an active plan draws all of its decisions from a
+  /// dedicated RNG stream salted from `seed`.
+  FaultPlan faults;
 
   /// Concrete-index mode: instead of sampling result counts from the
   /// Appendix-B probabilistic query model, every (virtual) super-peer
@@ -119,12 +130,52 @@ struct SimReport {
   /// flooding (result_cache_ttl_seconds > 0 only).
   std::uint64_t cache_hits = 0;
 
-  // --- Reliability metrics (enable_churn only) ---
+  // --- Reliability metrics (enable_churn and/or active FaultPlan) ---
+  /// Partner-down events from any cause: end-of-lifespan churn plus
+  /// injected mid-session crashes (the crash subset is
+  /// `faults_crashes`).
   std::uint64_t partner_failures = 0;
+  /// Partners brought back up (each failure recovers after its delay;
+  /// at most the tail failures are still pending at the end of a run).
+  std::uint64_t partner_recoveries = 0;
   /// Episodes during which a cluster had no live partner.
   std::uint64_t cluster_outages = 0;
-  /// Fraction of client-time spent with no reachable super-peer.
+  /// Fraction of cluster-time spent with no live partner — the measured
+  /// availability complement that the analytical k-redundancy model
+  /// predicts as (lambda*r / (1 + lambda*r))^k (DESIGN.md §8).
+  double cluster_outage_fraction = 0.0;
+  /// Fraction of client-time spent with no reachable super-peer. With
+  /// an active fault plan this is per-client (a client stops accruing
+  /// when it re-joins another cluster); churn-only runs account whole
+  /// clusters, as before.
   double client_disconnected_fraction = 0.0;
+
+  // --- Fault-injection & recovery metrics (active FaultPlan only) ---
+  /// Injected mid-session crashes that took a live partner down.
+  std::uint64_t faults_crashes = 0;
+  /// Deliveries silently lost by the fault layer.
+  std::uint64_t faults_messages_dropped = 0;
+  /// Per-request timeouts that fired with no response seen.
+  std::uint64_t faults_request_timeouts = 0;
+  /// Query retries submitted after a timeout.
+  std::uint64_t faults_retries = 0;
+  /// Messages routed around a dead preferred partner to a surviving
+  /// co-partner (the k-redundancy failover actually happening).
+  std::uint64_t faults_failover_episodes = 0;
+  /// Orphaned clients that re-joined another cluster via discovery.
+  std::uint64_t faults_client_rejoins = 0;
+  /// Queries with >= 1 response by their final timeout check (partial
+  /// results count: degraded floods still succeed).
+  std::uint64_t queries_succeeded = 0;
+  /// Queries that exhausted the retry budget with no response, or could
+  /// not be routed to any live partner.
+  std::uint64_t queries_failed = 0;
+  /// queries_succeeded / (queries_succeeded + queries_failed); 0 when
+  /// no query completed a timeout check.
+  double query_success_rate = 0.0;
+  /// Mean seconds from a client losing its last partner to re-joining a
+  /// cluster (via discovery) or its own cluster recovering.
+  double mean_recovery_latency_seconds = 0.0;
 };
 
 /// Discrete-event simulator that executes the super-peer protocol of

@@ -86,6 +86,80 @@ TEST(SimReconcileTest, ReliabilityRunCountersMatchReport) {
   EXPECT_GT(m.GaugeValue("sim.event_queue.depth_hwm"), 0.0);
 }
 
+TEST(SimReconcileTest, ChurnRecoveriesCounterMatchesReport) {
+  const SimSetup s = MakeSetup(16);
+  SimOptions options;
+  options.duration_seconds = 150.0;
+  options.warmup_seconds = 10.0;
+  options.seed = 4;
+  options.enable_churn = true;
+  options.partner_recovery_seconds = 15.0;
+
+  MetricsRegistry m;
+  const SimReport report = RunWithMetrics(s, options, m);
+
+  // partner_failures / partner_recoveries are 1:1 between the report
+  // and the registry — the reconciliation the fault layer also relies
+  // on when it reuses the churn bookkeeping.
+  ASSERT_GT(report.partner_recoveries, 0u);
+  EXPECT_EQ(m.CounterValue("sim.churn.partner_failures"),
+            report.partner_failures);
+  EXPECT_EQ(m.CounterValue("sim.churn.partner_recoveries"),
+            report.partner_recoveries);
+  EXPECT_LE(report.partner_recoveries, report.partner_failures);
+}
+
+TEST(SimReconcileTest, FaultRunCountersMatchReport) {
+  const SimSetup s = MakeSetup(17);
+  SimOptions options;
+  options.duration_seconds = 200.0;
+  options.warmup_seconds = 10.0;
+  options.seed = 3;
+  options.faults.crash_rate_per_partner = 8.0e-3;
+  options.faults.crash_recovery_seconds = 20.0;
+  options.faults.message_drop_probability = 0.01;
+  options.faults.max_delay_jitter_seconds = 0.05;
+  options.faults.request_timeout_seconds = 2.0;
+
+  MetricsRegistry m;
+  const SimReport report = RunWithMetrics(s, options, m);
+
+  // Faults actually happened — otherwise the test proves nothing.
+  ASSERT_GT(report.faults_crashes, 0u);
+  ASSERT_GT(report.faults_messages_dropped, 0u);
+  ASSERT_GT(report.queries_succeeded, 0u);
+
+  EXPECT_EQ(m.CounterValue("sim.faults.crashes"), report.faults_crashes);
+  EXPECT_EQ(m.CounterValue("sim.faults.messages_dropped"),
+            report.faults_messages_dropped);
+  EXPECT_EQ(m.CounterValue("sim.faults.request_timeouts"),
+            report.faults_request_timeouts);
+  EXPECT_EQ(m.CounterValue("sim.faults.retries"), report.faults_retries);
+  EXPECT_EQ(m.CounterValue("sim.faults.failover_episodes"),
+            report.faults_failover_episodes);
+  EXPECT_EQ(m.CounterValue("sim.faults.client_rejoins"),
+            report.faults_client_rejoins);
+  EXPECT_EQ(m.CounterValue("sim.faults.queries.succeeded"),
+            report.queries_succeeded);
+  EXPECT_EQ(m.CounterValue("sim.faults.queries.failed"),
+            report.queries_failed);
+  // Crash-driven failures flow through the shared churn bookkeeping.
+  EXPECT_EQ(m.CounterValue("sim.churn.partner_failures"),
+            report.partner_failures);
+  EXPECT_EQ(m.CounterValue("sim.churn.partner_recoveries"),
+            report.partner_recoveries);
+
+  // The recovery-latency histogram observes completed recovery
+  // episodes; its mean is the report's summary statistic.
+  const auto& histograms = m.histograms();
+  const auto it = histograms.find("sim.faults.recovery_latency_seconds");
+  ASSERT_NE(it, histograms.end());
+  if (it->second.count() > 0) {
+    EXPECT_NEAR(it->second.Mean(), report.mean_recovery_latency_seconds,
+                1e-12);
+  }
+}
+
 TEST(SimReconcileTest, CacheRunHitCounterMatchesReport) {
   const SimSetup s = MakeSetup(12);
   SimOptions options;

@@ -1,0 +1,340 @@
+// Fault-injection layer: plan validation death tests, the
+// pay-for-what-you-use zero-rate identity, bit-reproducibility across
+// trial parallelism, and the sim-vs-model availability check holding
+// the measured cluster-outage fraction to the analytical k-redundancy
+// prediction u^k (Section 3.2 / Section 6).
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sppnet/common/rng.h"
+#include "sppnet/model/config.h"
+#include "sppnet/model/instance.h"
+#include "sppnet/obs/export.h"
+#include "sppnet/obs/metrics.h"
+#include "sppnet/sim/faults.h"
+#include "sppnet/sim/sim_trials.h"
+#include "sppnet/sim/simulator.h"
+
+namespace sppnet {
+namespace {
+
+std::string MetricsJson(const MetricsRegistry& metrics) {
+  std::ostringstream out;
+  WriteMetricsJson(out, metrics);
+  return out.str();
+}
+
+TEST(FaultPlanDeathTest, RejectsInvalidConfigs) {
+  {
+    FaultPlan plan;
+    plan.crash_rate_per_partner = -1.0e-3;
+    EXPECT_DEATH(plan.Validate(), "crash rate");
+  }
+  {
+    FaultPlan plan;
+    plan.crash_recovery_seconds = 0.0;
+    EXPECT_DEATH(plan.Validate(), "recovery time");
+  }
+  {
+    FaultPlan plan;
+    plan.message_drop_probability = 1.5;
+    EXPECT_DEATH(plan.Validate(), "drop probability");
+  }
+  {
+    FaultPlan plan;
+    plan.max_delay_jitter_seconds = -0.1;
+    EXPECT_DEATH(plan.Validate(), "delay jitter");
+  }
+  {
+    // A retry budget of zero with timeouts enabled would turn every
+    // transient fault into a permanent failure.
+    FaultPlan plan;
+    plan.request_timeout_seconds = 2.0;
+    plan.max_retries = 0;
+    EXPECT_DEATH(plan.Validate(), "retry budget");
+  }
+  {
+    FaultPlan plan;
+    plan.request_timeout_seconds = 2.0;
+    plan.backoff_factor = 0.5;
+    EXPECT_DEATH(plan.Validate(), "backoff factor");
+  }
+  {
+    FaultPlan plan;
+    plan.request_timeout_seconds = 2.0;
+    plan.backoff_cap_seconds = 0.1;  // below the 0.5 s base
+    EXPECT_DEATH(plan.Validate(), "backoff cap");
+  }
+  {
+    FaultPlan plan;
+    plan.max_retries = -1;  // invalid even with timeouts disabled
+    EXPECT_DEATH(plan.Validate(), "retry budget");
+  }
+  {
+    // The injector validates on construction, so an invalid plan can
+    // never reach the simulator.
+    FaultPlan plan;
+    plan.message_drop_probability = -0.25;
+    EXPECT_DEATH(FaultInjector(plan, 7), "drop probability");
+  }
+}
+
+TEST(FaultPlanTest, DefaultPlanIsValidAndInactive) {
+  FaultPlan plan;
+  plan.Validate();
+  EXPECT_FALSE(plan.Active());
+  EXPECT_FALSE(plan.TimeoutsEnabled());
+  plan.request_timeout_seconds = 1.0;
+  EXPECT_TRUE(plan.Active());
+  EXPECT_TRUE(plan.TimeoutsEnabled());
+}
+
+TEST(FaultInjectorTest, RetryBackoffIsBoundedExponential) {
+  FaultPlan plan;
+  plan.request_timeout_seconds = 1.0;
+  plan.backoff_base_seconds = 0.5;
+  plan.backoff_factor = 2.0;
+  plan.backoff_cap_seconds = 3.0;
+  FaultInjector injector(plan, 1);
+  EXPECT_DOUBLE_EQ(injector.RetryBackoff(1), 0.5);
+  EXPECT_DOUBLE_EQ(injector.RetryBackoff(2), 1.0);
+  EXPECT_DOUBLE_EQ(injector.RetryBackoff(3), 2.0);
+  EXPECT_DOUBLE_EQ(injector.RetryBackoff(4), 3.0);  // capped
+  EXPECT_DOUBLE_EQ(injector.RetryBackoff(40), 3.0);
+}
+
+struct SimSetup {
+  Configuration config;
+  ModelInputs inputs = ModelInputs::Default();
+  NetworkInstance instance;
+};
+
+SimSetup MakeSetup(std::uint64_t instance_seed, int k = 0) {
+  SimSetup s;
+  s.config.graph_size = 200;
+  s.config.cluster_size = 10;
+  if (k >= 1) s.config.redundancy_k = k;
+  s.config.ttl = 4;
+  s.config.avg_outdegree = 4.0;
+  Rng rng(instance_seed);
+  s.instance = GenerateInstance(s.config, s.inputs, rng);
+  return s;
+}
+
+// The pay-for-what-you-use contract: a plan whose rates are all zero is
+// never consulted, so the run — report and published metrics, down to
+// the byte — is identical to a run without the fault layer, even when
+// the plan's non-rate knobs differ from the defaults.
+TEST(FaultSimTest, ZeroRatePlanIsBitIdenticalToNoFaultLayer) {
+  const SimSetup s = MakeSetup(21);
+  SimOptions base;
+  base.duration_seconds = 200.0;
+  base.warmup_seconds = 20.0;
+  base.seed = 5;
+  base.enable_churn = true;  // fault layer must coexist with churn
+
+  MetricsRegistry base_metrics;
+  base.metrics = &base_metrics;
+  const SimReport baseline = Simulator(s.instance, s.config, s.inputs,
+                                       base).Run();
+
+  SimOptions zeroed = base;
+  MetricsRegistry zeroed_metrics;
+  zeroed.metrics = &zeroed_metrics;
+  zeroed.faults.crash_recovery_seconds = 3.0;
+  zeroed.faults.max_retries = 11;
+  zeroed.faults.backoff_base_seconds = 0.125;
+  zeroed.faults.backoff_cap_seconds = 64.0;
+  ASSERT_FALSE(zeroed.faults.Active());
+  const SimReport control = Simulator(s.instance, s.config, s.inputs,
+                                      zeroed).Run();
+
+  EXPECT_EQ(baseline.queries_submitted, control.queries_submitted);
+  EXPECT_EQ(baseline.responses_delivered, control.responses_delivered);
+  EXPECT_EQ(baseline.duplicate_queries, control.duplicate_queries);
+  EXPECT_EQ(baseline.partner_failures, control.partner_failures);
+  EXPECT_EQ(baseline.cluster_outages, control.cluster_outages);
+  EXPECT_EQ(baseline.client_disconnected_fraction,
+            control.client_disconnected_fraction);
+  EXPECT_EQ(baseline.aggregate.in_bps, control.aggregate.in_bps);
+  EXPECT_EQ(baseline.aggregate.out_bps, control.aggregate.out_bps);
+  EXPECT_EQ(baseline.mean_response_hops, control.mean_response_hops);
+  // No sim.faults.* metrics may appear, and everything else must match
+  // byte for byte.
+  EXPECT_EQ(control.faults_crashes, 0u);
+  EXPECT_EQ(zeroed_metrics.CounterValue("sim.faults.crashes"), 0u);
+  EXPECT_EQ(zeroed_metrics.counters().count("sim.faults.crashes"), 0u);
+  EXPECT_EQ(MetricsJson(base_metrics), MetricsJson(zeroed_metrics));
+}
+
+FaultPlan ActiveTestPlan() {
+  FaultPlan plan;
+  plan.crash_rate_per_partner = 5.0e-3;
+  plan.crash_recovery_seconds = 20.0;
+  plan.message_drop_probability = 0.01;
+  plan.max_delay_jitter_seconds = 0.05;
+  plan.request_timeout_seconds = 2.0;
+  return plan;
+}
+
+// An active plan run twice from the same seed reproduces every fault
+// counter and histogram bit for bit.
+TEST(FaultSimTest, ActivePlanIsBitReproducibleFromSeed) {
+  const SimSetup s = MakeSetup(22, /*k=*/2);
+  SimOptions options;
+  options.duration_seconds = 300.0;
+  options.warmup_seconds = 20.0;
+  options.seed = 9;
+  options.faults = ActiveTestPlan();
+
+  MetricsRegistry first, second;
+  options.metrics = &first;
+  const SimReport a = Simulator(s.instance, s.config, s.inputs,
+                                options).Run();
+  options.metrics = &second;
+  const SimReport b = Simulator(s.instance, s.config, s.inputs,
+                                options).Run();
+
+  ASSERT_GT(a.faults_crashes, 0u);
+  ASSERT_GT(a.faults_messages_dropped, 0u);
+  EXPECT_EQ(a.faults_crashes, b.faults_crashes);
+  EXPECT_EQ(a.faults_request_timeouts, b.faults_request_timeouts);
+  EXPECT_EQ(a.faults_retries, b.faults_retries);
+  EXPECT_EQ(a.queries_succeeded, b.queries_succeeded);
+  EXPECT_EQ(a.queries_failed, b.queries_failed);
+  EXPECT_EQ(a.cluster_outage_fraction, b.cluster_outage_fraction);
+  EXPECT_EQ(MetricsJson(first), MetricsJson(second));
+}
+
+// Graceful degradation: under aggressive faults the run completes with
+// partial results — queries succeed and fail, nothing aborts, and the
+// success classification covers every counted query.
+TEST(FaultSimTest, AggressiveFaultsDegradeGracefully) {
+  const SimSetup s = MakeSetup(23, /*k=*/1);
+  SimOptions options;
+  options.duration_seconds = 400.0;
+  options.warmup_seconds = 20.0;
+  options.seed = 17;
+  options.faults = ActiveTestPlan();
+  options.faults.crash_rate_per_partner = 2.0e-2;  // u ~ 0.29
+  options.faults.message_drop_probability = 0.05;
+
+  const SimReport report = Simulator(s.instance, s.config, s.inputs,
+                                     options).Run();
+  EXPECT_GT(report.queries_succeeded, 0u);
+  EXPECT_GT(report.faults_request_timeouts, 0u);
+  EXPECT_GT(report.faults_retries, 0u);
+  EXPECT_GT(report.faults_client_rejoins, 0u);
+  EXPECT_GT(report.query_success_rate, 0.5);
+  EXPECT_LE(report.query_success_rate, 1.0);
+  EXPECT_GT(report.cluster_outage_fraction, 0.0);
+  // Succeeded + failed covers every query that reached a verdict; the
+  // tail still in flight at the horizon is the only gap.
+  EXPECT_LE(report.queries_succeeded + report.queries_failed,
+            report.queries_submitted);
+  EXPECT_GE(report.queries_succeeded + report.queries_failed,
+            report.queries_submitted * 9 / 10);
+}
+
+// The acceptance gate for deterministic parallelism: every sim.faults.*
+// counter and histogram — the whole merged registry — is bit-identical
+// across trial parallelism 1, 2 and 8.
+TEST(FaultSimTest, FaultMetricsBitIdenticalAcrossParallelism) {
+  Configuration config;
+  config.graph_size = 200;
+  config.cluster_size = 10;
+  config.redundancy_k = 2;
+  config.ttl = 4;
+  config.avg_outdegree = 4.0;
+  const ModelInputs inputs = ModelInputs::Default();
+
+  std::vector<std::string> exports;
+  std::vector<SimTrialReport> reports;
+  for (const std::size_t parallelism : {1u, 2u, 8u}) {
+    SimTrialOptions options;
+    options.num_trials = 5;
+    options.seed = 77;
+    options.parallelism = parallelism;
+    options.sim.duration_seconds = 150.0;
+    options.sim.warmup_seconds = 15.0;
+    options.sim.faults = ActiveTestPlan();
+    MetricsRegistry m;
+    options.metrics = &m;
+    reports.push_back(RunSimTrials(config, inputs, options));
+    EXPECT_EQ(m.CounterValue("sim_trials.completed"), 5u);
+    exports.push_back(MetricsJson(m));
+  }
+  ASSERT_GT(reports[0].faults_crashes, 0u);
+  ASSERT_GT(reports[0].faults_messages_dropped, 0u);
+  EXPECT_EQ(exports[0], exports[1]);
+  EXPECT_EQ(exports[0], exports[2]);
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    EXPECT_EQ(reports[0].faults_crashes, reports[i].faults_crashes);
+    EXPECT_EQ(reports[0].faults_retries, reports[i].faults_retries);
+    EXPECT_EQ(reports[0].queries_succeeded, reports[i].queries_succeeded);
+    EXPECT_EQ(reports[0].queries_failed, reports[i].queries_failed);
+    EXPECT_EQ(reports[0].cluster_outage_fraction.Mean(),
+              reports[i].cluster_outage_fraction.Mean());
+    EXPECT_EQ(reports[0].query_success_rate.Mean(),
+              reports[i].query_success_rate.Mean());
+  }
+}
+
+// Sim-vs-model: with per-partner crash rate lambda and recovery time r,
+// one partner is down u = lambda*r / (1 + lambda*r) of the time
+// (crashes on a down partner are no-ops, so up-times are memoryless),
+// and independent partners make a k-redundant cluster fully dark a
+// fraction u^k of the time. The measured cluster-outage fraction must
+// track that prediction at k in {1, 2, 3}.
+TEST(FaultSimVsModelTest, AvailabilityMatchesKRedundancyPrediction) {
+  const double rate = 1.0e-2;
+  const double recovery = 20.0;
+  const double u = rate * recovery / (1.0 + rate * recovery);
+  const ModelInputs inputs = ModelInputs::Default();
+
+  for (const int k : {1, 2, 3}) {
+    Configuration config;
+    config.graph_size = 200;
+    config.cluster_size = 10;
+    config.redundancy_k = k;
+    config.ttl = 4;
+    config.avg_outdegree = 4.0;
+
+    SimTrialOptions options;
+    options.num_trials = 4;
+    options.seed = 101;
+    options.parallelism = 2;
+    options.sim.duration_seconds = 800.0;
+    options.sim.warmup_seconds = 40.0;
+    options.sim.faults.crash_rate_per_partner = rate;
+    options.sim.faults.crash_recovery_seconds = recovery;
+    options.sim.faults.request_timeout_seconds = 2.0;
+    const SimTrialReport report = RunSimTrials(config, inputs, options);
+
+    const double predicted = std::pow(u, k);
+    const double measured = report.cluster_outage_fraction.Mean();
+    ASSERT_GT(measured, 0.0) << "k=" << k;
+    // Tolerance documented in EXPERIMENTS.md: the k = 3 event (all
+    // three partners down at once) is rare at this horizon, so its
+    // estimate is noisier than k = 1.
+    const double tolerance = k < 3 ? 0.25 : 0.45;
+    EXPECT_NEAR(measured / predicted, 1.0, tolerance)
+        << "k=" << k << " predicted=" << predicted
+        << " measured=" << measured;
+
+    // Redundancy must also keep queries succeeding: at k >= 2 the
+    // recovery protocol turns almost every crash into a non-event.
+    if (k >= 2) {
+      EXPECT_GT(report.query_success_rate.Mean(), 0.99);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sppnet

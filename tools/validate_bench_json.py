@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validate BENCH_<name>.json files against the bench report schema.
+
+The schema is documented in EXPERIMENTS.md and produced by
+bench/bench_util.h (BenchRun::Write). CI's bench-smoke job runs every
+bench binary with SPPNET_BENCH_SMOKE=1 and then runs this validator
+over the emitted files, so a bench that silently stops writing a
+parseable, schema-complete report fails the build rather than rotting.
+
+Usage: validate_bench_json.py FILE [FILE...]
+Exits non-zero and prints one line per violation.
+"""
+
+import json
+import sys
+
+
+def validate(path):
+    errors = []
+
+    def err(msg):
+        errors.append(f"{path}: {msg}")
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or invalid JSON: {e}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top-level value is not an object"]
+
+    # bench/micro_benchmarks delegates its report to Google Benchmark's
+    # --benchmark_out, whose schema we accept as-is: a 'context' object
+    # plus a non-empty 'benchmarks' array.
+    if "context" in doc and "benchmarks" in doc:
+        if not isinstance(doc["context"], dict):
+            err("'context' must be an object")
+        if not isinstance(doc["benchmarks"], list) or not doc["benchmarks"]:
+            err("'benchmarks' must be a non-empty array")
+        return errors
+
+    for key in ("schema_version", "bench", "config", "tables", "metrics",
+                "timings"):
+        if key not in doc:
+            err(f"missing required key '{key}'")
+    if errors:
+        return errors
+
+    if doc["schema_version"] != 1:
+        err(f"schema_version is {doc['schema_version']!r}, expected 1")
+    if not isinstance(doc["bench"], str) or not doc["bench"]:
+        err("'bench' must be a non-empty string")
+    elif f"BENCH_{doc['bench']}.json" not in path.replace("\\", "/"):
+        err(f"'bench' is {doc['bench']!r} but the filename disagrees")
+    if not isinstance(doc["config"], dict):
+        err("'config' must be an object")
+
+    if not isinstance(doc["tables"], list) or not doc["tables"]:
+        err("'tables' must be a non-empty array")
+    else:
+        for i, table in enumerate(doc["tables"]):
+            where = f"tables[{i}]"
+            if not isinstance(table, dict):
+                err(f"{where} is not an object")
+                continue
+            for key in ("name", "columns", "rows"):
+                if key not in table:
+                    err(f"{where} missing '{key}'")
+            if not isinstance(table.get("columns"), list) or not table.get(
+                    "columns"):
+                err(f"{where}.columns must be a non-empty array")
+                continue
+            width = len(table["columns"])
+            rows = table.get("rows")
+            if not isinstance(rows, list):
+                err(f"{where}.rows must be an array")
+                continue
+            for j, row in enumerate(rows):
+                if not isinstance(row, list) or len(row) != width:
+                    err(f"{where}.rows[{j}] does not have {width} cells")
+
+    metrics = doc["metrics"]
+    if not isinstance(metrics, dict):
+        err("'metrics' must be an object")
+    else:
+        for section in ("counters", "gauges", "histograms", "timers"):
+            if section not in metrics:
+                err(f"'metrics' missing '{section}' section")
+
+    timings = doc["timings"]
+    if not isinstance(timings, dict) or "wall_seconds" not in timings:
+        err("'timings' must be an object with 'wall_seconds'")
+    elif not isinstance(timings["wall_seconds"], (int, float)):
+        err("'timings.wall_seconds' must be a number")
+
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: validate_bench_json.py FILE [FILE...]", file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv[1:]:
+        errors = validate(path)
+        if errors:
+            failures += 1
+            for line in errors:
+                print(line, file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    if failures:
+        print(f"{failures} of {len(argv) - 1} files failed validation",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
