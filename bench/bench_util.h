@@ -7,6 +7,7 @@
 // comparison with the published values.
 
 #include <algorithm>
+#include <charconv>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -57,7 +58,11 @@ class BenchRun {
     Config(std::move(key), std::string(value));
   }
   void Config(std::string key, double value) {
-    config_.emplace_back(std::move(key), Format(value, 17), true);
+    // Locale-independent shortest round-trip (the stored string is
+    // re-parsed with std::from_chars at Write() time).
+    char buf[40];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+    config_.emplace_back(std::move(key), std::string(buf, res.ptr), true);
   }
   void Config(std::string key, std::size_t value) {
     config_.emplace_back(std::move(key), Format(value), true);
@@ -100,7 +105,7 @@ class BenchRun {
       w.Key(key);
       if (is_number) {
         double parsed = 0.0;
-        std::sscanf(value.c_str(), "%lf", &parsed);
+        std::from_chars(value.data(), value.data() + value.size(), parsed);
         w.Number(parsed);
       } else {
         w.String(value);

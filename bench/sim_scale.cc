@@ -1,0 +1,240 @@
+// Scale sweep for the discrete-event simulator core: flood baseline at
+// N = 1e3 / 1e4 / 1e5 clusters, production engine (deterministic
+// calendar queue + dense per-query state) timed against the reference
+// engine (binary heap + hash-map state). Both runs of every size are
+// checked bitwise-identical at the SimReport level — the in-bench half
+// of the engine-equivalence contract (tests/sim/engine_equivalence_test
+// holds the full 2x2 matrix and the pre-overhaul goldens).
+//
+// The sweep reports events/sec (whole run: warmup + measurement) and
+// the per-node scratch footprint of the event queue and the per-query
+// state, from the sim.queue.* / sim.state.* gauges. Simulated duration
+// shrinks as N grows so the reference hash-map backend stays within CI
+// memory; events/sec is duration-independent (steady-state event mix).
+//
+// SPPNET_SIM_SCALE_MAX_N caps the sweep (CI smoke runs set it down).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "sppnet/common/rng.h"
+#include "sppnet/io/table.h"
+#include "sppnet/model/instance.h"
+#include "sppnet/obs/metrics.h"
+#include "sppnet/sim/simulator.h"
+
+namespace sppnet::bench {
+namespace {
+
+/// Bitwise SimReport comparison: every field, including the load
+/// vectors. Any drift between engines is an overhaul bug.
+bool ReportsIdentical(const SimReport& a, const SimReport& b) {
+  if (a.partner_load.size() != b.partner_load.size() ||
+      a.client_load.size() != b.client_load.size()) {
+    return false;
+  }
+  const auto same = [](double x, double y) {
+    return std::memcmp(&x, &y, sizeof(double)) == 0;
+  };
+  for (std::size_t i = 0; i < a.partner_load.size(); ++i) {
+    if (std::memcmp(&a.partner_load[i], &b.partner_load[i],
+                    sizeof(LoadVector)) != 0) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.client_load.size(); ++i) {
+    if (std::memcmp(&a.client_load[i], &b.client_load[i],
+                    sizeof(LoadVector)) != 0) {
+      return false;
+    }
+  }
+  return std::memcmp(&a.aggregate, &b.aggregate, sizeof(LoadVector)) == 0 &&
+         same(a.measured_seconds, b.measured_seconds) &&
+         a.events_scheduled == b.events_scheduled &&
+         a.events_dispatched == b.events_dispatched &&
+         a.queue_depth_hwm == b.queue_depth_hwm &&
+         a.queries_submitted == b.queries_submitted &&
+         a.responses_delivered == b.responses_delivered &&
+         a.duplicate_queries == b.duplicate_queries &&
+         same(a.mean_results_per_query, b.mean_results_per_query) &&
+         same(a.mean_response_hops, b.mean_response_hops) &&
+         same(a.mean_first_response_latency, b.mean_first_response_latency) &&
+         same(a.mean_rings_per_query, b.mean_rings_per_query) &&
+         same(a.mean_index_memory_bytes, b.mean_index_memory_bytes) &&
+         a.cache_hits == b.cache_hits &&
+         a.partner_failures == b.partner_failures &&
+         a.partner_recoveries == b.partner_recoveries &&
+         a.cluster_outages == b.cluster_outages &&
+         same(a.cluster_outage_fraction, b.cluster_outage_fraction) &&
+         same(a.client_disconnected_fraction,
+              b.client_disconnected_fraction) &&
+         a.faults_crashes == b.faults_crashes &&
+         a.faults_messages_dropped == b.faults_messages_dropped &&
+         a.faults_request_timeouts == b.faults_request_timeouts &&
+         a.faults_retries == b.faults_retries &&
+         a.faults_failover_episodes == b.faults_failover_episodes &&
+         a.faults_client_rejoins == b.faults_client_rejoins &&
+         a.queries_succeeded == b.queries_succeeded &&
+         a.queries_failed == b.queries_failed &&
+         same(a.query_success_rate, b.query_success_rate) &&
+         same(a.mean_recovery_latency_seconds,
+              b.mean_recovery_latency_seconds);
+}
+
+struct EngineRun {
+  const char* label;
+  double seconds = 0.0;
+  double queue_bytes = 0.0;
+  double state_bytes = 0.0;
+  SimReport report;
+};
+
+EngineRun RunEngine(const NetworkInstance& inst, const Configuration& config,
+                    const ModelInputs& inputs, const SimOptions& base,
+                    SimEngine engine, SimStateBackend backend) {
+  EngineRun result;
+  result.label = engine == SimEngine::kCalendar ? "calendar+dense"
+                                                : "heap+map_ref";
+  SimOptions options = base;
+  options.engine = engine;
+  options.state_backend = backend;
+  // Best of two runs, timing the event loop only (construction is
+  // engine-independent setup): the runs are bit-identical, so the
+  // second measurement is a pure noise reduction, not a different
+  // workload. Both engines get the same treatment.
+  for (int rep = 0; rep < 2; ++rep) {
+    MetricsRegistry metrics;
+    options.metrics = &metrics;
+    Simulator sim(inst, config, inputs, options);
+    const auto t0 = std::chrono::steady_clock::now();
+    result.report = sim.Run();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (rep == 0 || seconds < result.seconds) result.seconds = seconds;
+    result.queue_bytes = metrics.GaugeValue("sim.queue.scratch_bytes");
+    result.state_bytes = metrics.GaugeValue("sim.state.scratch_bytes");
+  }
+  return result;
+}
+
+int Main() {
+  Banner("Simulator scale sweep: calendar queue + dense state, N = 1e3-1e5",
+         "the discrete-event cross-check must keep pace with the "
+         "analytical model so Section 4/6 validation runs at the same N");
+
+  std::size_t max_n = SmokeMode() ? 10000 : 100000;
+  if (const char* cap = std::getenv("SPPNET_SIM_SCALE_MAX_N")) {
+    max_n = std::strtoull(cap, nullptr, 10);
+  }
+
+  BenchRun run("sim_scale");
+  run.Config("graph_type", "power_law");
+  run.Config("avg_outdegree", 4.0);
+  run.Config("cluster_size", 10.0);
+  run.Config("ttl", 4);
+  run.Config("strategy", "flood");
+  run.Config("max_n", max_n);
+
+  const ModelInputs inputs = ModelInputs::Default();
+  TableWriter table({"N", "engine", "run_s", "events", "Kev/s",
+                     "queue_B/node", "state_B/node", "speedup"});
+  bool identity_ok = true;
+  double speedup_1e4 = 0.0;
+
+  struct SizePoint {
+    std::size_t n;
+    double duration;
+  };
+  // Duration shrinks with N: the reference hash-map backend's duplicate
+  // tables grow with (clusters x queries), and the sweep must fit CI
+  // memory. Rates (events/sec) are steady-state, so this only trades
+  // measurement time, not comparability.
+  const SizePoint kSizes[] = {
+      {1000, SmokeSimSeconds(60.0, 10.0)},
+      {10000, SmokeSimSeconds(30.0, 5.0)},
+      {100000, SmokeSimSeconds(10.0, 2.0)},
+  };
+
+  for (const SizePoint& point : kSizes) {
+    if (point.n > max_n) continue;
+    Configuration config;
+    config.graph_type = GraphType::kPowerLaw;
+    config.graph_size = point.n;
+    config.cluster_size = 10.0;
+    config.avg_outdegree = 4.0;
+    config.ttl = 4;
+    Rng rng(1903);  // One fixed instance per size, as in scale_sweep.
+    const NetworkInstance inst = GenerateInstance(config, inputs, rng);
+
+    SimOptions base;
+    base.duration_seconds = point.duration;
+    base.warmup_seconds = point.duration / 10.0;
+    base.seed = 7;
+
+    const EngineRun reference =
+        RunEngine(inst, config, inputs, base, SimEngine::kHeapReference,
+                  SimStateBackend::kMapReference);
+    const EngineRun production =
+        RunEngine(inst, config, inputs, base, SimEngine::kCalendar,
+                  SimStateBackend::kDense);
+
+    if (!ReportsIdentical(reference.report, production.report)) {
+      identity_ok = false;
+      std::printf("IDENTITY VIOLATION at N=%zu: calendar+dense drifted "
+                  "from heap+map\n",
+                  point.n);
+    }
+
+    const double events =
+        static_cast<double>(production.report.events_dispatched);
+    const double speedup = reference.seconds / production.seconds;
+    if (point.n == 10000) speedup_1e4 = speedup;
+    std::printf("\nN=%zu: %.0f events, queue HWM %llu, %.2fs sim time\n",
+                point.n, events,
+                static_cast<unsigned long long>(
+                    production.report.queue_depth_hwm),
+                point.duration);
+
+    const auto n_nodes = static_cast<double>(point.n);
+    for (const EngineRun* r : {&reference, &production}) {
+      table.AddRow(
+          {Format(point.n), r->label, Format(r->seconds, 4),
+           Format(production.report.events_dispatched),
+           Format(events / r->seconds / 1e3, 2),
+           r->queue_bytes > 0.0 ? Format(r->queue_bytes / n_nodes, 2)
+                                : std::string("-"),
+           Format(r->state_bytes / n_nodes, 2),
+           r == &production ? Format(speedup, 3) : std::string("-")});
+    }
+    run.metrics()
+        .GetGauge("sim_scale.events_per_sec.n" + Format(point.n))
+        .Set(events / production.seconds);
+    run.metrics()
+        .GetGauge("sim_scale.speedup.n" + Format(point.n))
+        .Set(speedup);
+    run.metrics()
+        .GetGauge("sim_scale.state_bytes_per_node.n" + Format(point.n))
+        .Set(production.state_bytes / n_nodes);
+  }
+
+  std::printf("\n");
+  run.Emit(table, "sim_scale");
+  run.Config("identity_ok", identity_ok ? "true" : "false");
+  std::printf("\nSimReport bit-identity across engines: %s\n",
+              identity_ok ? "OK" : "FAILED");
+  if (speedup_1e4 > 0.0) {
+    std::printf("Speedup at N=1e4 (calendar+dense vs heap+map): %.2fx\n",
+                speedup_1e4);
+  }
+  return identity_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sppnet::bench
+
+int main() { return sppnet::bench::Main(); }

@@ -1,5 +1,6 @@
 #include "sppnet/io/json.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <ostream>
@@ -144,20 +145,13 @@ JsonWriter& JsonWriter::Number(double value) {
     os_ << static_cast<std::int64_t>(value);
     return *this;
   }
+  // std::to_chars produces the shortest representation that round-trips
+  // and, unlike the printf family, never consults the global C locale —
+  // a comma-decimal locale (e.g. de_DE) must not invalidate the JSON.
   char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
-  // Trim to the shortest representation that still round-trips.
-  for (int digits = 1; digits < 17; ++digits) {
-    char shorter[40];
-    std::snprintf(shorter, sizeof(shorter), "%.*g", digits, value);
-    double parsed = 0.0;
-    std::sscanf(shorter, "%lf", &parsed);
-    if (parsed == value) {
-      os_ << shorter;
-      return *this;
-    }
-  }
-  os_ << buf;
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  SPPNET_CHECK(res.ec == std::errc());
+  os_.write(buf, res.ptr - buf);
   return *this;
 }
 

@@ -7,8 +7,11 @@
 
 namespace sppnet {
 
-void WriteMetricsJson(JsonWriter& w, const MetricsRegistry& registry) {
-  w.BeginObject();
+namespace {
+
+/// Emits the counters/gauges/histograms sections shared by both writers.
+void WriteDeterministicSections(JsonWriter& w,
+                                const MetricsRegistry& registry) {
   w.Key("counters").BeginObject();
   for (const auto& [name, counter] : registry.counters()) {
     w.Key(name).Number(counter.value());
@@ -33,6 +36,13 @@ void WriteMetricsJson(JsonWriter& w, const MetricsRegistry& registry) {
     w.EndObject();
   }
   w.EndObject();
+}
+
+}  // namespace
+
+void WriteMetricsJson(JsonWriter& w, const MetricsRegistry& registry) {
+  w.BeginObject();
+  WriteDeterministicSections(w, registry);
   w.Key("timers").BeginObject();
   for (const auto& [name, timer] : registry.timers()) {
     w.Key(name).BeginObject();
@@ -47,6 +57,20 @@ void WriteMetricsJson(JsonWriter& w, const MetricsRegistry& registry) {
 void WriteMetricsJson(std::ostream& os, const MetricsRegistry& registry) {
   JsonWriter w(os);
   WriteMetricsJson(w, registry);
+  os << '\n';
+}
+
+void WriteDeterministicMetricsJson(JsonWriter& w,
+                                   const MetricsRegistry& registry) {
+  w.BeginObject();
+  WriteDeterministicSections(w, registry);
+  w.EndObject();
+}
+
+void WriteDeterministicMetricsJson(std::ostream& os,
+                                   const MetricsRegistry& registry) {
+  JsonWriter w(os);
+  WriteDeterministicMetricsJson(w, registry);
   os << '\n';
 }
 

@@ -24,6 +24,15 @@ void WriteMetricsJson(std::ostream& os, const MetricsRegistry& registry);
 /// document (used by the bench reports).
 void WriteMetricsJson(JsonWriter& writer, const MetricsRegistry& registry);
 
+/// WriteMetricsJson minus the "timers" section: only the bit-reproducible
+/// instruments (counters, gauges, histograms). Two same-seed runs of any
+/// deterministic component produce byte-identical output, which is what
+/// the reproducibility tests compare.
+void WriteDeterministicMetricsJson(std::ostream& os,
+                                   const MetricsRegistry& registry);
+void WriteDeterministicMetricsJson(JsonWriter& writer,
+                                   const MetricsRegistry& registry);
+
 /// Flat CSV form: `kind,name,field,value` rows, one line per scalar
 /// (histograms expand to one row per bucket plus count/sum).
 void WriteMetricsCsv(std::ostream& os, const MetricsRegistry& registry);

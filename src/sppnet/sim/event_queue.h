@@ -21,22 +21,34 @@ struct SimEvent {
   double x = 0.0;
 };
 
+/// Pending-event structure driving the simulator main loop. The
+/// calendar queue is the O(1)-amortized production engine; the binary
+/// heap is the reference implementation both engines are held
+/// bit-identical against (tests/sim/engine_equivalence_test.cc) —
+/// the same pattern as EvalEngine in model/evaluator.h.
+enum class SimEngine {
+  /// Deterministic bucketed calendar queue (R. Brown, CACM 1988).
+  kCalendar,
+  /// std::priority_queue min-heap; O(log n) per operation.
+  kHeapReference,
+};
+
 /// Min-heap of SimEvents ordered by (time, seq).
 class EventQueue {
  public:
   EventQueue() = default;
 
   /// Schedules `event` at event.time; assigns the tie-breaking sequence
-  /// number. Times must be finite and >= 0.
+  /// number. Times must be finite and >= 0 (checked).
   void Schedule(SimEvent event);
 
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
 
-  /// Time of the earliest pending event. Undefined when empty.
-  double NextTime() const { return heap_.top().time; }
+  /// Time of the earliest pending event. Aborts when empty.
+  double NextTime() const;
 
-  /// Removes and returns the earliest event.
+  /// Removes and returns the earliest event. Aborts when empty.
   SimEvent Pop();
 
  private:
@@ -48,6 +60,180 @@ class EventQueue {
   };
   std::priority_queue<SimEvent, std::vector<SimEvent>, Later> heap_;
   std::uint64_t next_seq_ = 0;
+};
+
+/// Deterministic calendar queue (R. Brown, "Calendar Queues", CACM
+/// 1988): a power-of-two array of unsorted buckets, each holding the
+/// events whose time falls in one `width`-second slice ("day") of the
+/// calendar; a day maps to bucket `day & (nbuckets-1)`, so the array
+/// wraps around once per `nbuckets * width` seconds ("year").
+///
+/// Delivery order is (time, seq). When the front day of the calendar
+/// is reached, its events are extracted from the bucket in one pass
+/// and sorted by (time, seq) into a staged "today" run served in
+/// order — one O(k log k) sort per k-event day instead of a bucket
+/// rescan per pop. The simulator's flood waves make this essential:
+/// one wave schedules hundreds of deliveries with identical
+/// timestamps (one day), and per-pop rescans would be O(k^2) per
+/// wave. Selection is by (time, seq) everywhere — never by storage
+/// position — so the swap-erase removal, the staging extraction and
+/// the resize-time redistribution below can never affect order, and
+/// the pop sequence is bit-identical to the binary heap's by
+/// construction. The bucket count adapts to the live event count and
+/// the bucket width to the observed mean inter-dequeue gap; both
+/// inputs are functions of the popped event sequence alone, so the
+/// resize schedule (and everything downstream) is deterministic too.
+///
+/// Complexity: O(1) amortized per operation while the event population
+/// is reasonably stationary (the simulator's is: per-user Poisson
+/// clocks dominate), degrading gracefully to a global scan when the
+/// calendar empties out far from the next event.
+class CalendarQueue {
+ public:
+  CalendarQueue();
+
+  /// Schedules `event` at event.time; assigns the tie-breaking sequence
+  /// number. Times must be finite and >= 0 (checked).
+  void Schedule(SimEvent event);
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// Time of the earliest pending event. Aborts when empty.
+  double NextTime() const;
+
+  /// Removes and returns the earliest event. Aborts when empty.
+  SimEvent Pop();
+
+  /// Engine introspection for the obs layer (sim.queue.*). Counts are
+  /// deterministic: the resize schedule depends only on the event
+  /// sequence.
+  std::uint64_t resizes() const { return resizes_; }
+  std::size_t num_buckets() const { return buckets_.size(); }
+  double bucket_width_seconds() const { return width_; }
+  /// Scan-effort counters (deterministic): empty-day probes, slot
+  /// visits during day scans, and whole-calendar fallback scans.
+  std::uint64_t day_steps() const { return day_steps_; }
+  std::uint64_t slot_visits() const { return slot_visits_; }
+  std::uint64_t global_scans() const { return global_scans_; }
+  /// Approximate resident bytes of the bucket array (capacity-based).
+  std::size_t ApproxMemoryBytes() const;
+
+ private:
+  std::uint64_t DayOf(double time) const {
+    // Multiplication by the cached reciprocal, not division — this
+    // runs once per Schedule and once per scanned slot. Any monotone
+    // time -> day mapping is correct (the day bands stay ordered), so
+    // the reciprocal's rounding is harmless; all slots of a given
+    // width derive their day through this same function. Far-future
+    // times collapse into one final "day" instead of overflowing the
+    // cast; order among them is still resolved by (time, seq) when
+    // that day is scanned.
+    const double day = time * inv_width_;
+    return day >= 9.0e18 ? static_cast<std::uint64_t>(9.0e18)
+                         : static_cast<std::uint64_t>(day);
+  }
+  std::size_t BucketSideSize() const {
+    return size_ - (today_.size() - today_pos_);
+  }
+  /// Locates the earliest (time, seq) bucket-side slot and caches its
+  /// position; advances cur_day_ to that event's day. Requires
+  /// BucketSideSize() > 0. Never touches the staged day.
+  void FindMin() const;
+  /// True when the staged run's front beats the bucket-side minimum
+  /// (resolving min_valid_ via FindMin as needed). Requires size_ > 0.
+  bool TodayWins() const;
+  /// Extracts every slot of `day` from its bucket, sorts them by
+  /// (time, seq) and makes them the staged run.
+  void StageDay(std::uint64_t day);
+  /// Doubles / halves the bucket array and re-derives the bucket width
+  /// from the mean inter-dequeue gap observed since the last resize.
+  /// Flushes the staged run back into the buckets (day values change
+  /// with the width).
+  void Resize(std::size_t new_buckets);
+
+  /// A bucket holds bare events; a slot's day is re-derived on scan via
+  /// DayOf (every resident slot was inserted under the current width,
+  /// since Resize re-buckets everything).
+  mutable std::vector<std::vector<SimEvent>> buckets_;
+  double width_;
+  double inv_width_;  ///< Always 1.0 / width_.
+  std::size_t size_ = 0;
+  std::uint64_t next_seq_ = 0;
+  /// The day the next bucket-side scan starts from (only days >=
+  /// cur_day_ can hold the bucket-side minimum: pops advance it, and a
+  /// Schedule into an earlier day rewinds it).
+  mutable std::uint64_t cur_day_ = 0;
+
+  // Staged front day: its events live here (removed from the buckets),
+  // sorted ascending by (time, seq), served from today_pos_.
+  std::vector<SimEvent> today_;
+  std::size_t today_pos_ = 0;
+  std::uint64_t today_day_ = 0;
+  bool today_active_ = false;
+
+  // Cached bucket-side minimum (valid between FindMin and the next
+  // bucket-side mutation): location, plus a (time, seq) copy so the
+  // Schedule / TodayWins hot paths compare against it without loading
+  // the bucket (a near-guaranteed cache miss).
+  mutable bool min_valid_ = false;
+  mutable std::size_t min_bucket_ = 0;
+  mutable std::size_t min_slot_ = 0;
+  mutable double min_time_ = 0.0;
+  mutable std::uint64_t min_seq_ = 0;
+
+  // Width adaptation: mean gap between consecutively popped event times
+  // since the last resize.
+  double last_pop_time_ = 0.0;
+  bool have_last_pop_ = false;
+  double gap_sum_ = 0.0;
+  std::uint64_t gap_count_ = 0;
+  std::uint64_t pops_since_resize_ = 0;
+
+  std::uint64_t resizes_ = 0;
+  mutable std::uint64_t day_steps_ = 0;
+  mutable std::uint64_t slot_visits_ = 0;
+  mutable std::uint64_t global_scans_ = 0;
+};
+
+/// The queue the simulator actually talks to: dispatches every call to
+/// the engine selected at construction. Both engines deliver the same
+/// (time, seq) order, so a run's event stream is engine-independent.
+class SimEventQueue {
+ public:
+  explicit SimEventQueue(SimEngine engine) : engine_(engine) {}
+
+  void Schedule(const SimEvent& event) {
+    if (engine_ == SimEngine::kCalendar) {
+      calendar_.Schedule(event);
+    } else {
+      heap_.Schedule(event);
+    }
+  }
+  bool empty() const {
+    return engine_ == SimEngine::kCalendar ? calendar_.empty() : heap_.empty();
+  }
+  std::size_t size() const {
+    return engine_ == SimEngine::kCalendar ? calendar_.size() : heap_.size();
+  }
+  double NextTime() const {
+    return engine_ == SimEngine::kCalendar ? calendar_.NextTime()
+                                           : heap_.NextTime();
+  }
+  SimEvent Pop() {
+    return engine_ == SimEngine::kCalendar ? calendar_.Pop() : heap_.Pop();
+  }
+
+  SimEngine engine() const { return engine_; }
+  /// Null for the heap engine (it has no engine-specific stats).
+  const CalendarQueue* calendar() const {
+    return engine_ == SimEngine::kCalendar ? &calendar_ : nullptr;
+  }
+
+ private:
+  SimEngine engine_;
+  EventQueue heap_;
+  CalendarQueue calendar_;
 };
 
 }  // namespace sppnet

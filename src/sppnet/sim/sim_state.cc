@@ -1,0 +1,180 @@
+#include "sppnet/sim/sim_state.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+namespace sppnet {
+namespace {
+
+/// Estimated heap bytes per unordered_map node (libstdc++: node header
+/// + payload, plus the bucket-array pointer amortized per element).
+template <typename K, typename V>
+std::size_t MapEntryBytes() {
+  return sizeof(std::pair<const K, V>) + 2 * sizeof(void*);
+}
+
+}  // namespace
+
+SimState::SimState(SimStateBackend backend, std::size_t num_clusters)
+    : backend_(backend), num_clusters_(num_clusters) {
+  if (backend_ == SimStateBackend::kDense) {
+    dense_cache_.resize(num_clusters_);
+  } else {
+    map_table_.resize(num_clusters_);
+    map_cache_.resize(num_clusters_);
+  }
+}
+
+QueryState& SimState::Claim(std::uint64_t qid) {
+  if (backend_ == SimStateBackend::kDense) {
+    EnsureSlot(state_slots_, qid, QueryState{});
+    EnsureSlot(state_live_, qid, std::uint8_t{0});
+    SPPNET_CHECK(!state_live_[qid]);
+    state_live_[qid] = 1;
+    state_slots_[qid] = QueryState{};
+    return state_slots_[qid];
+  }
+  return map_state_.try_emplace(qid).first->second;
+}
+
+QueryState* SimState::Find(std::uint64_t qid) {
+  if (backend_ == SimStateBackend::kDense) {
+    if (qid >= state_live_.size() || !state_live_[qid]) return nullptr;
+    return &state_slots_[qid];
+  }
+  const auto it = map_state_.find(qid);
+  return it == map_state_.end() ? nullptr : &it->second;
+}
+
+void SimState::SetRoot(std::uint64_t qid, std::uint64_t root) {
+  if (backend_ == SimStateBackend::kDense) {
+    EnsureSlot(root_slots_, qid, kNoRoot);
+    if (root_slots_[qid] == kNoRoot) root_slots_[qid] = root;
+    return;
+  }
+  map_root_.emplace(qid, root);
+}
+
+std::uint64_t SimState::RootOf(std::uint64_t qid) const {
+  if (backend_ == SimStateBackend::kDense) {
+    if (qid >= root_slots_.size() || root_slots_[qid] == kNoRoot) return qid;
+    return root_slots_[qid];
+  }
+  const auto it = map_root_.find(qid);
+  return it == map_root_.end() ? qid : it->second;
+}
+
+void SimState::SetQueryString(std::uint64_t qid, const std::string& text) {
+  if (backend_ == SimStateBackend::kDense) {
+    EnsureSlot(symbol_slots_, qid, kNoSymbol);
+    if (symbol_slots_[qid] != kNoSymbol) return;  // emplace semantics.
+    const auto [it, inserted] = symbol_lookup_.try_emplace(
+        text, static_cast<std::uint32_t>(symbol_texts_.size()));
+    if (inserted) {
+      symbol_texts_.push_back(text);
+      // Hashing once at intern time matches hashing on demand: equal
+      // strings hash equal.
+      symbol_hashes_.push_back(std::hash<std::string>{}(text));
+    }
+    symbol_slots_[qid] = it->second;
+    ++interned_count_;
+    return;
+  }
+  if (map_strings_.emplace(qid, text).second) ++interned_count_;
+}
+
+void SimState::ShareQueryString(std::uint64_t root, std::uint64_t retry_qid) {
+  if (backend_ == SimStateBackend::kDense) {
+    if (root >= symbol_slots_.size() || symbol_slots_[root] == kNoSymbol) {
+      return;
+    }
+    EnsureSlot(symbol_slots_, retry_qid, kNoSymbol);
+    if (symbol_slots_[retry_qid] != kNoSymbol) return;
+    symbol_slots_[retry_qid] = symbol_slots_[root];
+    ++interned_count_;
+    return;
+  }
+  const auto it = map_strings_.find(root);
+  if (it == map_strings_.end()) return;
+  if (map_strings_.emplace(retry_qid, it->second).second) ++interned_count_;
+}
+
+const std::string* SimState::QueryString(std::uint64_t qid) const {
+  if (backend_ == SimStateBackend::kDense) {
+    if (qid >= symbol_slots_.size() || symbol_slots_[qid] == kNoSymbol) {
+      return nullptr;
+    }
+    return &symbol_texts_[symbol_slots_[qid]];
+  }
+  const auto it = map_strings_.find(qid);
+  return it == map_strings_.end() ? nullptr : &it->second;
+}
+
+bool SimState::QueryStringHash(std::uint64_t qid, std::uint64_t* out) const {
+  if (backend_ == SimStateBackend::kDense) {
+    if (qid >= symbol_slots_.size() || symbol_slots_[qid] == kNoSymbol) {
+      return false;
+    }
+    *out = symbol_hashes_[symbol_slots_[qid]];
+    return true;
+  }
+  const auto it = map_strings_.find(qid);
+  if (it == map_strings_.end()) return false;
+  *out = std::hash<std::string>{}(it->second);
+  return true;
+}
+
+QueryCacheEntry* SimState::FindCacheEntry(std::size_t cluster,
+                                          std::uint64_t key) {
+  if (backend_ == SimStateBackend::kDense) {
+    return dense_cache_[cluster].Find(key);
+  }
+  const auto it = map_cache_[cluster].find(key);
+  return it == map_cache_[cluster].end() ? nullptr : &it->second;
+}
+
+QueryCacheEntry& SimState::CacheEntrySlot(std::size_t cluster,
+                                          std::uint64_t key) {
+  if (backend_ == SimStateBackend::kDense) {
+    return *dense_cache_[cluster].FindOrInsert(key).first;
+  }
+  return map_cache_[cluster][key];
+}
+
+std::size_t SimState::ApproxScratchBytes() const {
+  std::size_t bytes = 0;
+  if (backend_ == SimStateBackend::kDense) {
+    for (const auto& table : dense_table_) bytes += table.ApproxMemoryBytes();
+    for (const auto& cache : dense_cache_) bytes += cache.ApproxMemoryBytes();
+    bytes += dense_table_.capacity() * sizeof(dense_table_[0]);
+    bytes += dense_cache_.capacity() * sizeof(dense_cache_[0]);
+    bytes += state_slots_.capacity() * sizeof(QueryState);
+    bytes += state_live_.capacity();
+    bytes += root_slots_.capacity() * sizeof(std::uint64_t);
+    bytes += symbol_slots_.capacity() * sizeof(std::uint32_t);
+    bytes += symbol_hashes_.capacity() * sizeof(std::uint64_t);
+    for (const std::string& text : symbol_texts_) {
+      bytes += sizeof(std::string) + text.capacity();
+    }
+    bytes += symbol_lookup_.size() *
+             MapEntryBytes<std::string, std::uint32_t>();
+    return bytes;
+  }
+  for (const auto& table : map_table_) {
+    bytes += table.size() * MapEntryBytes<std::uint64_t, std::uint32_t>();
+  }
+  for (const auto& cache : map_cache_) {
+    bytes += cache.size() * MapEntryBytes<std::uint64_t, QueryCacheEntry>();
+  }
+  bytes += map_table_.capacity() * sizeof(map_table_[0]);
+  bytes += map_cache_.capacity() * sizeof(map_cache_[0]);
+  bytes += map_state_.size() * MapEntryBytes<std::uint64_t, QueryState>();
+  bytes += map_root_.size() * MapEntryBytes<std::uint64_t, std::uint64_t>();
+  for (const auto& [qid, text] : map_strings_) {
+    bytes += MapEntryBytes<std::uint64_t, std::string>() + text.capacity();
+  }
+  return bytes;
+}
+
+}  // namespace sppnet

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <deque>
@@ -19,6 +20,7 @@
 #include "sppnet/obs/metrics.h"
 #include "sppnet/sim/event_queue.h"
 #include "sppnet/sim/faults.h"
+#include "sppnet/sim/sim_state.h"
 
 namespace sppnet {
 namespace {
@@ -127,9 +129,12 @@ class Simulator::Impl {
         k_(static_cast<std::size_t>(instance.redundancy_k)),
         num_partners_(instance.TotalPartners()),
         num_clients_(instance.TotalClients()),
+        queue_(options.engine),
+        state_(options.state_backend, instance.NumClusters()),
         injector_(options.faults, options.seed),
         fault_active_(options.faults.Active()),
         recovery_enabled_(fault_active_ && options.faults.TimeoutsEnabled()) {
+    const auto init_start = std::chrono::steady_clock::now();
     qbytes_ = inputs.costs.QueryBytes(inputs.stats.query_length_bytes);
     sendq_ = inputs.costs.SendQueryUnits(inputs.stats.query_length_bytes);
     recvq_ = inputs.costs.RecvQueryUnits(inputs.stats.query_length_bytes);
@@ -153,7 +158,6 @@ class Simulator::Impl {
     alive_partners_.assign(n_, static_cast<std::uint32_t>(k_));
     outage_start_.assign(n_, -1.0);
     rr_.assign(n_, 0);
-    query_table_.resize(n_);
 
     if (fault_active_) {
       // Mutable membership: clients can re-join other clusters via
@@ -174,6 +178,9 @@ class Simulator::Impl {
     }
 
     if (options_.concrete_index) InitConcreteIndexes();
+    init_seconds_ = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - init_start)
+                        .count();
   }
 
   /// Concrete-index mode: build one real inverted index per cluster
@@ -198,6 +205,7 @@ class Simulator::Impl {
   }
 
   SimReport Run() {
+    const auto run_start = std::chrono::steady_clock::now();
     const double end_time =
         options_.warmup_seconds + options_.duration_seconds;
 
@@ -229,6 +237,9 @@ class Simulator::Impl {
       Dispatch(e);
     }
     now_ = end_time;
+    run_seconds_ = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - run_start)
+                       .count();
     return Finalize();
   }
 
@@ -270,6 +281,7 @@ class Simulator::Impl {
     e.a = a;
     e.b = b;
     queue_.Schedule(e);
+    ++events_scheduled_;
     if (queue_.size() > queue_depth_hwm_) queue_depth_hwm_ = queue_.size();
   }
   /// Delivery of an overlay message, through the fault layer: the
@@ -382,19 +394,9 @@ class Simulator::Impl {
   }
 
   // --- Queries ---------------------------------------------------------------
-
-  /// Per-user-query bookkeeping shared by all strategies. `root` is the
-  /// original query id; expanding-ring retries map their fresh qids back
-  /// to it.
-  struct QueryState {
-    std::uint32_t user = 0;          // Submitting user.
-    std::uint32_t query_class = 0;
-    std::uint32_t ring_ttl = 0;      // Current ring (expanding ring only).
-    double ring_results = 0.0;       // Results from the current ring.
-    double submit_time = 0.0;
-    std::uint64_t cache_key = 0;
-    bool first_response_seen = false;
-  };
+  // Per-user-query bookkeeping (QueryState, keyed by root qid) lives in
+  // SimState (sim/sim_state.h); expanding-ring / retry qids map back to
+  // their root through it.
 
   void OnQuerySubmit(std::uint32_t user) {
     ScheduleIn(ExpDelay(config_.query_rate), kQuerySubmit, user);
@@ -405,7 +407,7 @@ class Simulator::Impl {
       // Reserve the qid now so the sampled keyword string is in place
       // before any cluster matches it (the switch below consumes ids in
       // order).
-      query_strings_.emplace(next_qid_, corpus_->SampleQuery(rng_));
+      state_.SetQueryString(next_qid_, corpus_->SampleQuery(rng_));
     }
 
     switch (options_.strategy) {
@@ -451,34 +453,23 @@ class Simulator::Impl {
   void RecordSubmission(std::uint64_t qid, std::uint32_t user,
                         std::uint32_t query_class, std::uint32_t ring_ttl) {
     if (measuring_) ++queries_submitted_;
-    QueryState state;
+    QueryState& state = state_.Claim(qid);
     state.user = user;
     state.query_class = query_class;
     state.ring_ttl = ring_ttl;
     state.submit_time = now_;
     state.cache_key = CacheKey(qid, query_class);
-    query_state_.emplace(qid, state);
-    ring_root_.emplace(qid, qid);
+    state_.SetRoot(qid, qid);
   }
 
   // --- Source-side result cache (flood strategy) -----------------------------
-  struct CacheEntry {
-    double expires = 0.0;
-    double results = 0.0;
-    double addrs = 0.0;
-    /// Root qid whose responses currently fill this entry; concurrent
-    /// floods of the same query must not double-accumulate.
-    std::uint64_t owner = 0;
-  };
 
   /// Identity of a query for caching: its class in abstract mode, the
   /// hash of its keyword string in concrete mode.
   std::uint64_t CacheKey(std::uint64_t qid, std::uint32_t query_class) const {
     if (options_.concrete_index) {
-      const auto it = query_strings_.find(qid);
-      if (it != query_strings_.end()) {
-        return std::hash<std::string>{}(it->second);
-      }
+      std::uint64_t hash = 0;
+      if (state_.QueryStringHash(qid, &hash)) return hash;
     }
     return query_class;
   }
@@ -489,15 +480,12 @@ class Simulator::Impl {
   bool TryAnswerFromCache(std::uint32_t user, std::uint64_t qid,
                           std::uint32_t query_class) {
     const std::size_t cluster = ClusterOf(user);
-    if (result_cache_.empty()) result_cache_.resize(n_);
-    auto& cache = result_cache_[cluster];
     const std::uint64_t key = CacheKey(qid, query_class);
-    const auto it = cache.find(key);
-    if (it == cache.end() || it->second.expires < now_ ||
-        it->second.results <= 0.0) {
+    const QueryCacheEntry* found = state_.FindCacheEntry(cluster, key);
+    if (found == nullptr || found->expires < now_ || found->results <= 0.0) {
       return false;
     }
-    const CacheEntry& entry = it->second;
+    const QueryCacheEntry& entry = *found;
     if (measuring_) {
       ++queries_submitted_;
       ++cache_hits_;
@@ -539,9 +527,8 @@ class Simulator::Impl {
         options_.strategy != SearchStrategy::kFlood) {
       return;
     }
-    if (result_cache_.empty()) result_cache_.resize(n_);
-    auto& cache = result_cache_[ClusterOf(state.user)];
-    CacheEntry& entry = cache[state.cache_key];
+    QueryCacheEntry& entry =
+        state_.CacheEntrySlot(ClusterOf(state.user), state.cache_key);
     if (entry.expires < now_) {
       // Fresh (or expired) entry: restart accumulation for this query.
       entry.results = 0.0;
@@ -600,9 +587,9 @@ class Simulator::Impl {
   }
 
   void OnRingCheck(std::uint64_t root) {
-    const auto it = query_state_.find(root);
-    if (it == query_state_.end()) return;
-    QueryState& state = it->second;
+    QueryState* found = state_.Find(root);
+    if (found == nullptr) return;
+    QueryState& state = *found;
     const bool satisfied =
         state.ring_results >=
         static_cast<double>(options_.ring_satisfaction_results);
@@ -622,14 +609,11 @@ class Simulator::Impl {
     const std::uint64_t retry_qid = next_qid_++;
     if (options_.concrete_index) {
       // The retry re-issues the same keyword string under a fresh qid.
-      const auto root_query = query_strings_.find(root);
-      if (root_query != query_strings_.end()) {
-        query_strings_.emplace(retry_qid, root_query->second);
-      }
+      state_.ShareQueryString(root, retry_qid);
     }
     state.ring_ttl += 1;
     state.ring_results = 0.0;
-    ring_root_.emplace(retry_qid, root);
+    state_.SetRoot(retry_qid, root);
     if (!SubmitToOwnCluster(state.user, retry_qid, state.query_class,
                             state.ring_ttl + 1)) {
       FinishRingQuery(state);
@@ -701,8 +685,7 @@ class Simulator::Impl {
     const std::size_t cluster = ClusterOf(partner);
     // Process only on the cluster's first visit; revisit hops keep
     // walking but do not re-query the index.
-    const bool fresh =
-        query_table_[cluster].try_emplace(qid, source_partner).second;
+    const bool fresh = state_.MarkSeen(cluster, qid, source_partner);
     if (fresh) {
       const auto [results, addrs] = MatchQuery(cluster, qid, query_class);
       AcctProc(partner,
@@ -740,7 +723,7 @@ class Simulator::Impl {
       AcctRecv(partner, Msg::kQuery, qbytes_, recvq_ + MuxOf(partner));
     }
     const std::size_t cluster = ClusterOf(partner);
-    const bool fresh = query_table_[cluster].try_emplace(qid, upstream).second;
+    const bool fresh = state_.MarkSeen(cluster, qid, upstream);
     if (!fresh) {
       if (measuring_) ++duplicate_queries_;
       return;  // Duplicate: received, then dropped.
@@ -787,9 +770,9 @@ class Simulator::Impl {
   std::pair<std::uint32_t, std::uint32_t> MatchQuery(
       std::size_t cluster, std::uint64_t qid, std::uint32_t query_class) {
     if (options_.concrete_index) {
-      const auto it = query_strings_.find(qid);
-      if (it == query_strings_.end()) return {0, 0};
-      const QueryResult qr = indexes_[cluster].Query(it->second);
+      const std::string* text = state_.QueryString(qid);
+      if (text == nullptr) return {0, 0};
+      const QueryResult qr = indexes_[cluster].Query(*text);
       return {static_cast<std::uint32_t>(qr.hits.size()),
               static_cast<std::uint32_t>(qr.distinct_owners)};
     }
@@ -855,20 +838,18 @@ class Simulator::Impl {
     }
     if (!partner_alive_[node]) return;
     const std::size_t cluster = ClusterOf(node);
-    const auto it = query_table_[cluster].find(qid);
-    if (it == query_table_[cluster].end()) return;  // State lost to churn.
-    SendResponse(node, it->second, qid, results, addrs, hops);
+    const std::uint32_t* upstream = state_.Upstream(cluster, qid);
+    if (upstream == nullptr) return;  // State lost to churn.
+    SendResponse(node, *upstream, qid, results, addrs, hops);
   }
 
   void DeliverResults(std::uint64_t qid, std::uint32_t results,
                       std::uint32_t addrs, std::uint32_t hops) {
     // Map expanding-ring retry qids back to the original query.
-    const auto root_it = ring_root_.find(qid);
-    const std::uint64_t root = root_it != ring_root_.end() ? root_it->second
-                                                           : qid;
-    const auto state_it = query_state_.find(root);
-    if (state_it != query_state_.end()) {
-      QueryState& state = state_it->second;
+    const std::uint64_t root = state_.RootOf(qid);
+    QueryState* found = state_.Find(root);
+    if (found != nullptr) {
+      QueryState& state = *found;
       PopulateCache(state, root, results, addrs);
       if (!state.first_response_seen) {
         state.first_response_seen = true;
@@ -912,6 +893,7 @@ class Simulator::Impl {
     e.a = owner;
     e.x = files;
     queue_.Schedule(e);
+    ++events_scheduled_;
     if (queue_.size() > queue_depth_hwm_) queue_depth_hwm_ = queue_.size();
   }
 
@@ -1215,9 +1197,9 @@ class Simulator::Impl {
   /// ends.
   void OnRequestCheck(std::uint32_t user, std::uint64_t root,
                       std::uint32_t retries_used) {
-    const auto it = query_state_.find(root);
-    if (it == query_state_.end()) return;
-    const QueryState& state = it->second;
+    const QueryState* found = state_.Find(root);
+    if (found == nullptr) return;
+    const QueryState& state = *found;
     const bool counted = state.submit_time >= options_.warmup_seconds;
     if (state.first_response_seen) {
       if (counted) ++queries_succeeded_;
@@ -1239,9 +1221,9 @@ class Simulator::Impl {
   /// retries.
   void OnRetrySubmit(std::uint32_t user, std::uint64_t root,
                      std::uint32_t retry_number) {
-    const auto it = query_state_.find(root);
-    if (it == query_state_.end()) return;
-    QueryState& state = it->second;
+    QueryState* found = state_.Find(root);
+    if (found == nullptr) return;
+    QueryState& state = *found;
     const bool counted = state.submit_time >= options_.warmup_seconds;
     if (state.first_response_seen) {
       // A response raced the backoff: the query succeeded after all.
@@ -1256,12 +1238,9 @@ class Simulator::Impl {
     const std::uint64_t retry_qid = next_qid_++;
     if (options_.concrete_index) {
       // The retry re-issues the same keyword string under a fresh qid.
-      const auto root_query = query_strings_.find(root);
-      if (root_query != query_strings_.end()) {
-        query_strings_.emplace(retry_qid, root_query->second);
-      }
+      state_.ShareQueryString(root, retry_qid);
     }
-    ring_root_.emplace(retry_qid, root);
+    state_.SetRoot(retry_qid, root);
     if (counted) ++retries_;
     if (!SubmitWithFailover(user, retry_qid, state.query_class,
                             static_cast<std::uint32_t>(config_.ttl + 1))) {
@@ -1288,6 +1267,9 @@ class Simulator::Impl {
 
     SimReport report;
     report.measured_seconds = options_.duration_seconds;
+    report.events_scheduled = events_scheduled_;
+    report.events_dispatched = events_dispatched_;
+    report.queue_depth_hwm = queue_depth_hwm_;
     const double inv_t = 1.0 / options_.duration_seconds;
     const auto to_load = [&](std::uint32_t node) {
       LoadVector lv;
@@ -1374,9 +1356,18 @@ class Simulator::Impl {
   /// Publishes the run's tallies into the attached registry. Counters
   /// and the hop histogram cover the measurement window (warmup
   /// excluded), matching the SimReport fields they reconcile with;
-  /// the event-queue high-water mark and dispatch count cover the
-  /// whole run. Values accumulate, so several runs may share a
-  /// registry.
+  /// the event-queue high-water mark and the scheduled/dispatched
+  /// counts cover the whole run. Values accumulate, so several runs
+  /// may share a registry.
+  ///
+  /// Instrument contract (mirrors eval.bfs.* in model/evaluator.h):
+  /// protocol-level instruments are bit-identical across engines,
+  /// state backends and parallelism; the engine-specific sim.queue.*
+  /// internals (calendar only) and sim.state.* footprint gauges
+  /// describe the chosen implementation, so they are identical across
+  /// parallelism but naturally differ between engines/backends. The
+  /// sim.time.* timers are wall-clock (report-only nondeterminism,
+  /// excluded from deterministic-section comparisons).
   void PublishMetrics(MetricsRegistry& m) {
     for (std::size_t t = 0; t < kNumMsgTypes; ++t) {
       const std::string type = kMsgNames[t];
@@ -1393,8 +1384,27 @@ class Simulator::Impl {
         .Increment(partner_recoveries_);
     m.GetCounter("sim.churn.cluster_outages").Increment(cluster_outages_);
     m.GetCounter("sim.events.dispatched").Increment(events_dispatched_);
+    m.GetCounter("sim.queue.scheduled").Increment(events_scheduled_);
     m.GetGauge("sim.event_queue.depth_hwm")
         .SetMax(static_cast<double>(queue_depth_hwm_));
+    if (const CalendarQueue* cal = queue_.calendar(); cal != nullptr) {
+      m.GetCounter("sim.queue.resizes").Increment(cal->resizes());
+      m.GetCounter("sim.queue.day_steps").Increment(cal->day_steps());
+      m.GetCounter("sim.queue.slot_visits").Increment(cal->slot_visits());
+      m.GetCounter("sim.queue.global_scans").Increment(cal->global_scans());
+      m.GetGauge("sim.queue.buckets")
+          .SetMax(static_cast<double>(cal->num_buckets()));
+      m.GetGauge("sim.queue.scratch_bytes")
+          .SetMax(static_cast<double>(cal->ApproxMemoryBytes()));
+    }
+    m.GetCounter("sim.state.duplicate_entries")
+        .Increment(state_.duplicate_entries());
+    m.GetCounter("sim.state.query_strings")
+        .Increment(state_.interned_strings());
+    m.GetGauge("sim.state.scratch_bytes")
+        .SetMax(static_cast<double>(state_.ApproxScratchBytes()));
+    m.GetTimer("sim.time.init_seconds").Record(init_seconds_);
+    m.GetTimer("sim.time.run_seconds").Record(run_seconds_);
     m.GetHistogram("sim.response.hops", HopHistogramBounds())
         .Merge(hop_histogram_);
     // Fault-layer instruments exist only for active plans, keeping the
@@ -1435,7 +1445,10 @@ class Simulator::Impl {
   std::vector<double> conn_;
   double client_conn_ = 1.0;
 
-  EventQueue queue_;
+  SimEventQueue queue_;
+  /// Duplicate tables, per-root query state, retry-root mapping, query
+  /// strings and result caches (engine-checked dense / map backends).
+  SimState state_;
   double now_ = 0.0;
   bool measuring_ = false;
 
@@ -1445,7 +1458,6 @@ class Simulator::Impl {
   std::vector<std::uint32_t> alive_partners_;
   std::vector<double> outage_start_;
   std::vector<std::uint32_t> rr_;
-  std::vector<std::unordered_map<std::uint64_t, std::uint32_t>> query_table_;
 
   std::uint64_t next_qid_ = 0;
   std::uint64_t queries_submitted_ = 0;
@@ -1457,26 +1469,22 @@ class Simulator::Impl {
   double hops_sum_ = 0.0;
   double disconnected_client_seconds_ = 0.0;
 
-  // Per-query strategy state (latency, expanding-ring progress).
-  std::unordered_map<std::uint64_t, QueryState> query_state_;
-  std::unordered_map<std::uint64_t, std::uint64_t> ring_root_;
+  // Per-query strategy tallies (latency, expanding-ring progress); the
+  // state itself lives in state_.
   double latency_sum_ = 0.0;
   std::uint64_t first_responses_ = 0;
   double rings_sum_ = 0.0;
   std::uint64_t ring_queries_finished_ = 0;
 
-  // Concrete-index mode state.
+  // Concrete-index mode state (query strings live in state_).
   std::unique_ptr<TitleCorpus> corpus_;
   std::vector<InvertedIndex> indexes_;                 // One per cluster.
   std::vector<std::vector<FileRecord>> node_collections_;
-  std::unordered_map<std::uint64_t, std::string> query_strings_;
   std::unordered_map<std::uint32_t,
                      std::deque<std::pair<FileId, FileRecord>>>
       pending_updates_;
   FileId next_file_id_ = 1;
 
-  // Source-side result caches, one per cluster (lazy-sized).
-  std::vector<std::unordered_map<std::uint64_t, CacheEntry>> result_cache_;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
 
@@ -1488,7 +1496,12 @@ class Simulator::Impl {
   std::uint64_t partner_recoveries_ = 0;
   std::size_t queue_depth_hwm_ = 0;
   std::uint64_t events_dispatched_ = 0;
+  std::uint64_t events_scheduled_ = 0;
   Histogram hop_histogram_{HopHistogramBounds()};
+  // Wall-clock phase timers (report-only; never feed back into the
+  // simulation — see the WallTimer contract in obs/metrics.h).
+  double init_seconds_ = 0.0;
+  double run_seconds_ = 0.0;
 
   // Fault-injection & recovery state. The injector owns its own salted
   // RNG stream; everything below it is consulted only when

@@ -7,7 +7,9 @@
 #include "sppnet/model/config.h"
 #include "sppnet/model/instance.h"
 #include "sppnet/model/load.h"
+#include "sppnet/sim/event_queue.h"
 #include "sppnet/sim/faults.h"
+#include "sppnet/sim/sim_state.h"
 
 namespace sppnet {
 
@@ -41,6 +43,15 @@ struct SimOptions {
   /// One-way delivery latency per overlay hop (seconds).
   double hop_latency_seconds = 0.05;
   std::uint64_t seed = 7;
+
+  /// Event-queue engine. Both deliver the identical (time, seq) event
+  /// stream — the reference heap exists to prove it (the engine
+  /// equivalence suite) and to measure against (bench/sim_scale).
+  SimEngine engine = SimEngine::kCalendar;
+  /// Per-query state storage. Both backends are semantically identical;
+  /// kMapReference preserves the original hash-map containers for the
+  /// same two purposes.
+  SimStateBackend state_backend = SimStateBackend::kDense;
 
   /// Reliability mode: super-peer partners fail at the end of their
   /// sampled lifespans and are replaced after `partner_recovery_seconds`
@@ -103,9 +114,19 @@ struct SimOptions {
   std::uint32_t walk_ttl = 64;
 };
 
-/// Measured outcome of a simulation run.
+/// Measured outcome of a simulation run. Every field is
+/// engine-independent: reports are bit-identical across SimEngine and
+/// SimStateBackend choices (engine-specific internals — bucket counts,
+/// scratch bytes — are published through the obs registry only).
 struct SimReport {
   double measured_seconds = 0.0;
+
+  /// Whole-run event totals (warmup included), reconciled 1:1 with the
+  /// sim.queue.scheduled / sim.events.dispatched counters and the
+  /// sim.event_queue.depth_hwm gauge.
+  std::uint64_t events_scheduled = 0;
+  std::uint64_t events_dispatched = 0;
+  std::uint64_t queue_depth_hwm = 0;
 
   /// Mean measured load per partner slot / client, aligned with the
   /// NetworkInstance layout (bits per second / Hz, like the analysis).

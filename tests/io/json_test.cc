@@ -1,8 +1,12 @@
 #include "sppnet/io/json.h"
 
+#include <charconv>
+#include <clocale>
 #include <cstdint>
+#include <cstdio>
 #include <limits>
 #include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -98,6 +102,53 @@ TEST(JsonWriterTest, DoublesRoundTripShortest) {
   double parsed = 0.0;
   std::sscanf(json.c_str() + 10, "%lf", &parsed);
   EXPECT_EQ(parsed, 1.0 / 3.0);
+}
+
+// Regression: Number(double) used to format through snprintf("%.17g"),
+// which honours the global C locale — under a comma-decimal locale
+// (de_DE and friends) the output became "0,5" and every BENCH_*.json
+// was silently invalid. std::to_chars never consults the locale.
+TEST(JsonWriterTest, DoublesIgnoreCommaDecimalLocale) {
+  const char* const kCommaLocales[] = {"de_DE.UTF-8", "de_DE.utf8", "de_DE",
+                                       "fr_FR.UTF-8", "fr_FR.utf8", "fr_FR"};
+  const char* previous = std::setlocale(LC_ALL, nullptr);
+  const std::string saved = previous != nullptr ? previous : "C";
+  bool locale_set = false;
+  for (const char* name : kCommaLocales) {
+    if (std::setlocale(LC_ALL, name) != nullptr) {
+      locale_set = true;
+      break;
+    }
+  }
+  if (!locale_set) {
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+  // Confirm the chosen locale really uses ',' — otherwise the test
+  // would pass vacuously.
+  char probe[32];
+  std::snprintf(probe, sizeof(probe), "%.1f", 0.5);
+  const bool comma_locale = std::string(probe).find(',') != std::string::npos;
+
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginArray();
+  w.Number(0.5).Number(3.14).Number(1.0 / 3.0);
+  w.EndArray();
+  const std::string json = Compact(os.str());
+  std::setlocale(LC_ALL, saved.c_str());
+
+  if (!comma_locale) {
+    GTEST_SKIP() << "locale does not use a comma decimal separator";
+  }
+  EXPECT_EQ(json.substr(0, 10), "[0.5,3.14,");
+  // Values must be '.'-separated and round-trip exactly; from_chars is
+  // locale-independent, so a comma would fail the parse.
+  double parsed = 0.0;
+  const char* begin = json.c_str() + 10;
+  const auto res = std::from_chars(begin, json.c_str() + json.size(), parsed);
+  EXPECT_EQ(res.ec, std::errc());
+  EXPECT_EQ(parsed, 1.0 / 3.0);
+  EXPECT_EQ(*res.ptr, ']') << "number not fully consumed: " << json;
 }
 
 TEST(JsonWriterTest, NonFiniteBecomesNull) {

@@ -84,6 +84,23 @@ TEST(SimReconcileTest, ReliabilityRunCountersMatchReport) {
   EXPECT_GT(m.CounterValue("sim.msg.join.sent"), 0u);
   EXPECT_GT(m.CounterValue("sim.events.dispatched"), 0u);
   EXPECT_GT(m.GaugeValue("sim.event_queue.depth_hwm"), 0.0);
+
+  // Event-queue totals are reconciled 1:1 with the report's whole-run
+  // fields; every dispatched event was scheduled first.
+  ASSERT_GT(report.events_scheduled, 0u);
+  ASSERT_GT(report.events_dispatched, 0u);
+  ASSERT_GT(report.queue_depth_hwm, 0u);
+  EXPECT_EQ(m.CounterValue("sim.queue.scheduled"), report.events_scheduled);
+  EXPECT_EQ(m.CounterValue("sim.events.dispatched"),
+            report.events_dispatched);
+  EXPECT_EQ(m.GaugeValue("sim.event_queue.depth_hwm"),
+            static_cast<double>(report.queue_depth_hwm));
+  EXPECT_LE(report.events_dispatched, report.events_scheduled);
+  EXPECT_LE(report.queue_depth_hwm, report.events_scheduled);
+
+  // Per-query state instruments observed real protocol activity.
+  EXPECT_GT(m.CounterValue("sim.state.duplicate_entries"), 0u);
+  EXPECT_GT(m.GaugeValue("sim.state.scratch_bytes"), 0.0);
 }
 
 TEST(SimReconcileTest, ChurnRecoveriesCounterMatchesReport) {
@@ -211,12 +228,18 @@ TEST(SimReconcileTest, CountersBitIdenticalAcrossRepeatedRuns) {
   RunWithMetrics(s, options, second);
 
   // Counters, the gauge and the histogram are all deterministic, so
-  // the full deterministic sections of the export must match byte for
-  // byte (no timers are registered by the simulator).
-  ASSERT_TRUE(first.timers().empty());
+  // the deterministic sections of the export must match byte for byte.
+  // The simulator additionally publishes wall-clock phase timers
+  // (sim.time.*) — present in both registries but excluded from the
+  // comparison, which is exactly what WriteDeterministicMetricsJson is
+  // for.
+  ASSERT_NE(first.timers().find("sim.time.run_seconds"),
+            first.timers().end());
+  ASSERT_NE(first.timers().find("sim.time.init_seconds"),
+            first.timers().end());
   std::ostringstream a, b;
-  WriteMetricsJson(a, first);
-  WriteMetricsJson(b, second);
+  WriteDeterministicMetricsJson(a, first);
+  WriteDeterministicMetricsJson(b, second);
   EXPECT_EQ(a.str(), b.str());
 }
 

@@ -1,0 +1,373 @@
+// Engine-equivalence goldens: the calendar event queue and the dense
+// per-query state backend must be *bitwise* indistinguishable from the
+// reference heap / hash-map implementations — and from the pre-overhaul
+// simulator. Every case runs the full 2x2 {SimEngine} x
+// {SimStateBackend} matrix, asserts the four SimReports bit-identical,
+// asserts the protocol-level obs instruments identical (engine-specific
+// sim.queue.* / sim.state.* instruments are allowed to differ), and
+// pins the report digest to a golden generated from the simulator
+// BEFORE the calendar queue and dense state existed. A digest change
+// here means the overhaul changed protocol behaviour, which it must
+// never do.
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sppnet/common/rng.h"
+#include "sppnet/model/config.h"
+#include "sppnet/model/instance.h"
+#include "sppnet/obs/export.h"
+#include "sppnet/obs/metrics.h"
+#include "sppnet/sim/faults.h"
+#include "sppnet/sim/sim_trials.h"
+#include "sppnet/sim/simulator.h"
+
+namespace sppnet {
+namespace {
+
+// FNV-1a over the bit patterns of every report field that existed
+// before the overhaul, in declaration order. Excluded by design:
+// mean_index_memory_bytes (estimated from stdlib container capacities,
+// so its exact value is toolchain-dependent) and the three whole-run
+// event totals added by this change (they did not exist when the
+// goldens were generated; they are compared across the matrix
+// separately below). Must match the generator that produced the pinned
+// digests byte for byte.
+std::uint64_t ReportDigest(const SimReport& r) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  const auto mix_d = [&](double d) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  const auto mix_load = [&](const LoadVector& lv) {
+    mix_d(lv.in_bps);
+    mix_d(lv.out_bps);
+    mix_d(lv.proc_hz);
+  };
+  mix_d(r.measured_seconds);
+  for (const LoadVector& lv : r.partner_load) mix_load(lv);
+  for (const LoadVector& lv : r.client_load) mix_load(lv);
+  mix_load(r.aggregate);
+  mix(r.queries_submitted);
+  mix(r.responses_delivered);
+  mix(r.duplicate_queries);
+  mix_d(r.mean_results_per_query);
+  mix_d(r.mean_response_hops);
+  mix_d(r.mean_first_response_latency);
+  mix_d(r.mean_rings_per_query);
+  mix(r.cache_hits);
+  mix(r.partner_failures);
+  mix(r.partner_recoveries);
+  mix(r.cluster_outages);
+  mix_d(r.cluster_outage_fraction);
+  mix_d(r.client_disconnected_fraction);
+  mix(r.faults_crashes);
+  mix(r.faults_messages_dropped);
+  mix(r.faults_request_timeouts);
+  mix(r.faults_retries);
+  mix(r.faults_failover_episodes);
+  mix(r.faults_client_rejoins);
+  mix(r.queries_succeeded);
+  mix(r.queries_failed);
+  mix_d(r.query_success_rate);
+  mix_d(r.mean_recovery_latency_seconds);
+  return h;
+}
+
+// The deterministic registry sections minus the engine-specific
+// instruments: sim.queue.* and sim.state.* describe queue buckets,
+// resizes and scratch bytes, which legitimately differ between engines.
+// Everything else — protocol counters, the depth high-water mark, the
+// hop histogram — must be byte-identical across the matrix.
+std::string ProtocolMetricsJson(const MetricsRegistry& m) {
+  const auto engine_specific = [](std::string_view name) {
+    return name.rfind("sim.queue.", 0) == 0 ||
+           name.rfind("sim.state.", 0) == 0;
+  };
+  MetricsRegistry filtered;
+  for (const auto& [name, counter] : m.counters()) {
+    if (!engine_specific(name)) {
+      filtered.GetCounter(name).Increment(counter.value());
+    }
+  }
+  for (const auto& [name, gauge] : m.gauges()) {
+    if (!engine_specific(name)) filtered.GetGauge(name).Set(gauge.value());
+  }
+  for (const auto& [name, histogram] : m.histograms()) {
+    if (!engine_specific(name)) {
+      filtered.GetHistogram(name, histogram.upper_bounds()).Merge(histogram);
+    }
+  }
+  std::ostringstream out;
+  WriteDeterministicMetricsJson(out, filtered);
+  return out.str();
+}
+
+struct GoldenCase {
+  const char* name;
+  std::uint64_t digest;
+  Configuration config;
+  std::uint64_t instance_seed;
+  SimOptions options;
+};
+
+FaultPlan ActivePlan() {
+  FaultPlan plan;
+  plan.crash_rate_per_partner = 2e-3;
+  plan.crash_recovery_seconds = 15.0;
+  plan.message_drop_probability = 0.01;
+  plan.max_delay_jitter_seconds = 0.05;
+  plan.request_timeout_seconds = 2.0;
+  plan.max_retries = 3;
+  return plan;
+}
+
+FaultPlan ZeroRatePlan() {
+  FaultPlan plan;
+  plan.crash_rate_per_partner = 0.0;
+  plan.message_drop_probability = 0.0;
+  plan.max_delay_jitter_seconds = 0.0;
+  plan.request_timeout_seconds = 0.0;
+  return plan;
+}
+
+// All golden digests were generated against the pre-overhaul simulator
+// (std::priority_queue + unordered_map state, the only implementation
+// at the time). Do not regenerate them to make a failure pass.
+std::vector<GoldenCase> GoldenCases() {
+  std::vector<GoldenCase> cases;
+  {
+    GoldenCase c{"flood_plod", 0xa9c5873452eb3e5full, {}, 101, {}};
+    c.config.graph_size = 400;
+    c.config.cluster_size = 10.0;
+    c.config.ttl = 4;
+    c.config.avg_outdegree = 4.0;
+    c.options.seed = 11;
+    cases.push_back(c);
+  }
+  {
+    GoldenCase c{"flood_complete", 0x0218d8a5be5cf245ull, {}, 102, {}};
+    c.config.graph_type = GraphType::kStronglyConnected;
+    c.config.graph_size = 300;
+    c.config.cluster_size = 10.0;
+    c.config.ttl = 1;
+    c.options.seed = 12;
+    cases.push_back(c);
+  }
+  {
+    GoldenCase c{"ring_plod", 0xabc7450774b9487full, {}, 103, {}};
+    c.config.graph_size = 400;
+    c.config.cluster_size = 10.0;
+    c.config.ttl = 5;
+    c.config.avg_outdegree = 4.0;
+    c.options.strategy = SearchStrategy::kExpandingRing;
+    c.options.ring_satisfaction_results = 30;
+    c.options.seed = 13;
+    cases.push_back(c);
+  }
+  {
+    GoldenCase c{"walk_plod", 0xdb9e662bf82b6f46ull, {}, 104, {}};
+    c.config.graph_size = 400;
+    c.config.cluster_size = 10.0;
+    c.config.ttl = 4;
+    c.config.avg_outdegree = 4.0;
+    c.options.strategy = SearchStrategy::kRandomWalk;
+    c.options.num_walkers = 8;
+    c.options.walk_ttl = 32;
+    c.options.seed = 14;
+    cases.push_back(c);
+  }
+  {
+    GoldenCase c{"churn_plod", 0x69a0bd51b6db4f6aull, {}, 105, {}};
+    c.config.graph_size = 400;
+    c.config.cluster_size = 10.0;
+    c.config.ttl = 4;
+    c.config.avg_outdegree = 4.0;
+    c.options.enable_churn = true;
+    c.options.partner_recovery_seconds = 20.0;
+    c.options.seed = 15;
+    cases.push_back(c);
+  }
+  {
+    GoldenCase c{"faults_active", 0x72f19adb26bedf54ull, {}, 106, {}};
+    c.config.graph_size = 400;
+    c.config.cluster_size = 10.0;
+    c.config.redundancy = true;
+    c.config.ttl = 4;
+    c.config.avg_outdegree = 4.0;
+    c.options.faults = ActivePlan();
+    c.options.seed = 16;
+    cases.push_back(c);
+  }
+  {
+    // Same configuration and seeds as churn_plod but with an explicitly
+    // constructed zero-rate plan: pinned to the SAME digest — the
+    // inactive-plan bit-identity contract of the fault layer, now also
+    // holding across both engines and both state backends.
+    GoldenCase c{"churn_plod_zero_rate_plan", 0x69a0bd51b6db4f6aull, {}, 105,
+                 {}};
+    c.config.graph_size = 400;
+    c.config.cluster_size = 10.0;
+    c.config.ttl = 4;
+    c.config.avg_outdegree = 4.0;
+    c.options.enable_churn = true;
+    c.options.partner_recovery_seconds = 20.0;
+    c.options.faults = ZeroRatePlan();
+    c.options.seed = 15;
+    cases.push_back(c);
+  }
+  {
+    // Concrete-index + result cache: exercises the interned query
+    // strings and the per-cluster cache tables, the two state pieces
+    // with the subtlest dense-backend rewrites.
+    GoldenCase c{"concrete_cache_plod", 0x803b5184d94f833bull, {}, 107, {}};
+    c.config.graph_size = 200;
+    c.config.cluster_size = 10.0;
+    c.config.ttl = 3;
+    c.config.avg_outdegree = 4.0;
+    c.options.concrete_index = true;
+    c.options.result_cache_ttl_seconds = 30.0;
+    c.options.seed = 17;
+    cases.push_back(c);
+  }
+  for (GoldenCase& c : cases) {
+    c.options.duration_seconds = 120.0;
+    c.options.warmup_seconds = 12.0;
+  }
+  return cases;
+}
+
+struct MatrixRun {
+  SimReport report;
+  std::string protocol_metrics;
+};
+
+MatrixRun RunCombo(const GoldenCase& c, SimEngine engine,
+                   SimStateBackend backend) {
+  const ModelInputs inputs = ModelInputs::Default();
+  Rng rng(c.instance_seed);
+  const NetworkInstance instance = GenerateInstance(c.config, inputs, rng);
+  SimOptions options = c.options;
+  options.engine = engine;
+  options.state_backend = backend;
+  MetricsRegistry metrics;
+  options.metrics = &metrics;
+  Simulator sim(instance, c.config, inputs, options);
+  return {sim.Run(), ProtocolMetricsJson(metrics)};
+}
+
+class EngineEquivalenceTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EngineEquivalenceTest, MatrixBitIdenticalAndPinnedToPreOverhaulGolden) {
+  const GoldenCase c = GoldenCases()[GetParam()];
+
+  const MatrixRun baseline =
+      RunCombo(c, SimEngine::kHeapReference, SimStateBackend::kMapReference);
+  const std::uint64_t baseline_digest = ReportDigest(baseline.report);
+
+  // The reference-engine run reproduces the pre-overhaul simulator
+  // exactly.
+  EXPECT_EQ(baseline_digest, c.digest) << c.name;
+
+  const struct {
+    SimEngine engine;
+    SimStateBackend backend;
+    const char* label;
+  } combos[] = {
+      {SimEngine::kHeapReference, SimStateBackend::kDense, "heap+dense"},
+      {SimEngine::kCalendar, SimStateBackend::kMapReference, "calendar+map"},
+      {SimEngine::kCalendar, SimStateBackend::kDense, "calendar+dense"},
+  };
+  for (const auto& combo : combos) {
+    const MatrixRun run = RunCombo(c, combo.engine, combo.backend);
+    SCOPED_TRACE(std::string(c.name) + " / " + combo.label);
+    EXPECT_EQ(ReportDigest(run.report), baseline_digest);
+    // The whole-run event totals postdate the goldens; hold them equal
+    // across the matrix directly (scheduling the identical event stream
+    // must count identically).
+    EXPECT_EQ(run.report.events_scheduled, baseline.report.events_scheduled);
+    EXPECT_EQ(run.report.events_dispatched,
+              baseline.report.events_dispatched);
+    EXPECT_EQ(run.report.queue_depth_hwm, baseline.report.queue_depth_hwm);
+    // Index memory is excluded from the digest (toolchain-dependent),
+    // but within one build it cannot depend on the engine.
+    EXPECT_EQ(run.report.mean_index_memory_bytes,
+              baseline.report.mean_index_memory_bytes);
+    EXPECT_EQ(run.protocol_metrics, baseline.protocol_metrics);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGoldenCases, EngineEquivalenceTest,
+                         ::testing::Range<std::size_t>(0, 8),
+                         [](const auto& info) {
+                           return GoldenCases()[info.param].name;
+                         });
+
+TEST(EngineEquivalenceTrialsTest, BitIdenticalAcrossParallelismAndEngines) {
+  Configuration config;
+  config.graph_size = 300;
+  config.cluster_size = 10.0;
+  config.redundancy = true;
+  config.ttl = 4;
+  config.avg_outdegree = 4.0;
+  const ModelInputs inputs = ModelInputs::Default();
+
+  const auto run = [&](SimEngine engine, SimStateBackend backend,
+                       std::size_t parallelism) {
+    SimTrialOptions options;
+    options.num_trials = 4;
+    options.seed = 77;
+    options.parallelism = parallelism;
+    options.sim.duration_seconds = 60.0;
+    options.sim.warmup_seconds = 10.0;
+    options.sim.enable_churn = true;
+    options.sim.faults = ActivePlan();
+    options.sim.engine = engine;
+    options.sim.state_backend = backend;
+    MetricsRegistry metrics;
+    options.metrics = &metrics;
+    const SimTrialReport report = RunSimTrials(config, inputs, options);
+    // Fold the cross-trial surface into one comparable string: the
+    // protocol-level metrics (identical across engines AND parallelism)
+    // plus the trial report's counter totals and per-trial means.
+    std::ostringstream out;
+    out << ProtocolMetricsJson(metrics) << report.trials << ','
+        << report.queries_submitted << ',' << report.responses_delivered
+        << ',' << report.partner_failures << ',' << report.partner_recoveries
+        << ',' << report.cluster_outages << ',' << report.faults_crashes
+        << ',' << report.faults_messages_dropped << ','
+        << report.faults_retries << ',' << report.queries_succeeded << ','
+        << report.queries_failed << ','
+        << report.cluster_outage_fraction.Mean() << ','
+        << report.query_success_rate.Mean() << ','
+        << report.mean_recovery_latency_seconds.Mean();
+    return out.str();
+  };
+
+  const std::string reference =
+      run(SimEngine::kHeapReference, SimStateBackend::kMapReference, 1);
+  for (const std::size_t parallelism : {std::size_t{1}, std::size_t{2},
+                                        std::size_t{8}}) {
+    EXPECT_EQ(run(SimEngine::kCalendar, SimStateBackend::kDense, parallelism),
+              reference)
+        << "parallelism=" << parallelism;
+  }
+  EXPECT_EQ(run(SimEngine::kHeapReference, SimStateBackend::kMapReference, 8),
+            reference);
+}
+
+}  // namespace
+}  // namespace sppnet

@@ -25,8 +25,11 @@ namespace sppnet {
 namespace {
 
 std::string MetricsJson(const MetricsRegistry& metrics) {
+  // Deterministic sections only: the simulator also publishes
+  // wall-clock phase timers, which are the one part of the registry
+  // that legitimately differs between bit-identical runs.
   std::ostringstream out;
-  WriteMetricsJson(out, metrics);
+  WriteDeterministicMetricsJson(out, metrics);
   return out.str();
 }
 

@@ -1,0 +1,271 @@
+// Unit coverage for the dense per-query state backend: the FlatMap64
+// open-addressing table in isolation, and SimState's dense vs
+// map-reference backends held to identical observable semantics op by
+// op (the whole-simulator version of this contract lives in
+// engine_equivalence_test.cc).
+
+#include "sppnet/sim/sim_state.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sppnet/common/rng.h"
+
+namespace sppnet {
+namespace {
+
+TEST(FlatMap64Test, FindOnEmptyReturnsNull) {
+  FlatMap64<std::uint32_t> m;
+  EXPECT_EQ(m.Find(0), nullptr);
+  EXPECT_EQ(m.Find(~std::uint64_t{0}), nullptr);
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(FlatMap64Test, InsertFindRoundTrip) {
+  FlatMap64<std::uint32_t> m;
+  const auto [slot, inserted] = m.FindOrInsert(42);
+  ASSERT_TRUE(inserted);
+  EXPECT_EQ(*slot, 0u);  // Fresh slots are value-initialized.
+  *slot = 7;
+  const auto [again, inserted_again] = m.FindOrInsert(42);
+  EXPECT_FALSE(inserted_again);
+  EXPECT_EQ(*again, 7u);
+  ASSERT_NE(m.Find(42), nullptr);
+  EXPECT_EQ(*m.Find(42), 7u);
+  EXPECT_EQ(m.Find(43), nullptr);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap64Test, GrowthPreservesEntries) {
+  FlatMap64<std::uint64_t> m;
+  constexpr std::uint64_t kNumKeys = 10000;
+  for (std::uint64_t i = 0; i < kNumKeys; ++i) {
+    // Sequential qid-like keys — the production access pattern the
+    // splitmix64 scramble exists for.
+    *m.FindOrInsert(i).first = i * 3 + 1;
+  }
+  EXPECT_EQ(m.size(), kNumKeys);
+  EXPECT_GE(m.Capacity(), kNumKeys);
+  EXPECT_GT(m.ApproxMemoryBytes(), 0u);
+  for (std::uint64_t i = 0; i < kNumKeys; ++i) {
+    ASSERT_NE(m.Find(i), nullptr) << i;
+    ASSERT_EQ(*m.Find(i), i * 3 + 1) << i;
+  }
+  EXPECT_EQ(m.Find(kNumKeys), nullptr);
+}
+
+TEST(FlatMap64Test, ClearIsGenerationBumpNotStorageWipe) {
+  FlatMap64<std::uint32_t> m;
+  for (std::uint64_t i = 0; i < 100; ++i) *m.FindOrInsert(i).first = 1;
+  const std::size_t capacity = m.Capacity();
+  m.Clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.Capacity(), capacity);  // O(1): storage untouched.
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(m.Find(i), nullptr) << i;
+  }
+  // Reinsertion after Clear starts from value-initialized slots again.
+  const auto [slot, inserted] = m.FindOrInsert(5);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(*slot, 0u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap64Test, AdversarialKeysCollideWithoutLoss) {
+  // Keys differing only in high bits, plus wide-spread randoms: linear
+  // probing must keep every entry reachable.
+  FlatMap64<std::uint64_t> m;
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    keys.push_back(i << 56);
+    keys.push_back((i << 32) | 0xabcdef);
+  }
+  Rng rng(31337);
+  for (int i = 0; i < 500; ++i) keys.push_back(rng.NextUint64());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    *m.FindOrInsert(keys[i]).first = i;
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_NE(m.Find(keys[i]), nullptr) << i;
+    // Duplicated random keys keep the last write; re-derive expected.
+    std::size_t expected = i;
+    for (std::size_t j = i + 1; j < keys.size(); ++j) {
+      if (keys[j] == keys[i]) expected = j;
+    }
+    ASSERT_EQ(*m.Find(keys[i]), expected) << i;
+  }
+}
+
+// --- SimState backend parity --------------------------------------------
+//
+// Drive both backends through the same operation sequence and assert
+// every observable return value matches. The simulator relies on this
+// parity for the bitwise engine-equivalence goldens; these tests localize
+// a violation to the specific operation instead of a whole-run digest.
+
+struct BackendPair {
+  SimState dense{SimStateBackend::kDense, 8};
+  SimState map{SimStateBackend::kMapReference, 8};
+};
+
+TEST(SimStateParityTest, MarkSeenAndUpstream) {
+  BackendPair s;
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t cluster = rng.NextBounded(8);
+    const std::uint64_t qid = rng.NextBounded(300);
+    const auto upstream = static_cast<std::uint32_t>(rng.NextBounded(50));
+    ASSERT_EQ(s.dense.MarkSeen(cluster, qid, upstream),
+              s.map.MarkSeen(cluster, qid, upstream));
+    const std::uint32_t* du = s.dense.Upstream(cluster, qid);
+    const std::uint32_t* mu = s.map.Upstream(cluster, qid);
+    ASSERT_NE(du, nullptr);
+    ASSERT_NE(mu, nullptr);
+    ASSERT_EQ(*du, *mu);  // First writer wins in both backends.
+  }
+  EXPECT_EQ(s.dense.duplicate_entries(), s.map.duplicate_entries());
+  EXPECT_EQ(s.dense.Upstream(0, 999999), nullptr);
+  EXPECT_EQ(s.map.Upstream(0, 999999), nullptr);
+}
+
+TEST(SimStateParityTest, ClaimFindAndRootMapping) {
+  BackendPair s;
+  for (std::uint64_t qid = 0; qid < 200; qid += 2) {
+    QueryState& d = s.dense.Claim(qid);
+    QueryState& m = s.map.Claim(qid);
+    d.user = m.user = static_cast<std::uint32_t>(qid);
+    d.submit_time = m.submit_time = 0.5 * static_cast<double>(qid);
+  }
+  for (std::uint64_t qid = 0; qid < 220; ++qid) {
+    QueryState* d = s.dense.Find(qid);
+    QueryState* m = s.map.Find(qid);
+    ASSERT_EQ(d == nullptr, m == nullptr) << qid;
+    if (d != nullptr) {
+      ASSERT_EQ(d->user, m->user);
+      ASSERT_EQ(d->submit_time, m->submit_time);
+    }
+  }
+  // Root mapping: unmapped qids resolve to themselves; the first
+  // SetRoot binding wins (emplace semantics) in both backends.
+  EXPECT_EQ(s.dense.RootOf(17), 17u);
+  EXPECT_EQ(s.map.RootOf(17), 17u);
+  s.dense.SetRoot(100, 4);
+  s.map.SetRoot(100, 4);
+  s.dense.SetRoot(100, 9);  // Must not overwrite.
+  s.map.SetRoot(100, 9);
+  EXPECT_EQ(s.dense.RootOf(100), 4u);
+  EXPECT_EQ(s.map.RootOf(100), 4u);
+}
+
+TEST(SimStateParityTest, QueryStringInterningAndHashes) {
+  BackendPair s;
+  s.dense.SetQueryString(1, "alpha");
+  s.map.SetQueryString(1, "alpha");
+  s.dense.SetQueryString(2, "beta");
+  s.map.SetQueryString(2, "beta");
+  s.dense.SetQueryString(3, "alpha");  // Same text, distinct qid.
+  s.map.SetQueryString(3, "alpha");
+  s.dense.SetQueryString(1, "gamma");  // Emplace: must not overwrite.
+  s.map.SetQueryString(1, "gamma");
+
+  for (std::uint64_t qid : {1ull, 2ull, 3ull}) {
+    const std::string* d = s.dense.QueryString(qid);
+    const std::string* m = s.map.QueryString(qid);
+    ASSERT_NE(d, nullptr);
+    ASSERT_NE(m, nullptr);
+    ASSERT_EQ(*d, *m);
+    std::uint64_t dh = 0, mh = 0;
+    ASSERT_TRUE(s.dense.QueryStringHash(qid, &dh));
+    ASSERT_TRUE(s.map.QueryStringHash(qid, &mh));
+    // The dense backend's precomputed hash equals hashing on demand.
+    ASSERT_EQ(dh, mh);
+    ASSERT_EQ(dh, std::hash<std::string>{}(*d));
+  }
+  EXPECT_EQ(*s.dense.QueryString(1), "alpha");
+  EXPECT_EQ(s.dense.QueryString(7), nullptr);
+  EXPECT_EQ(s.map.QueryString(7), nullptr);
+  std::uint64_t unused = 0;
+  EXPECT_FALSE(s.dense.QueryStringHash(7, &unused));
+  EXPECT_FALSE(s.map.QueryStringHash(7, &unused));
+  // interned_strings counts qid -> string bindings, not distinct texts.
+  EXPECT_EQ(s.dense.interned_strings(), 3u);
+  EXPECT_EQ(s.map.interned_strings(), 3u);
+
+  // ShareQueryString: retry qids borrow the root's string; sharing from
+  // a string-less root is a no-op; an existing binding is kept.
+  s.dense.ShareQueryString(2, 10);
+  s.map.ShareQueryString(2, 10);
+  ASSERT_NE(s.dense.QueryString(10), nullptr);
+  EXPECT_EQ(*s.dense.QueryString(10), "beta");
+  EXPECT_EQ(*s.map.QueryString(10), "beta");
+  s.dense.ShareQueryString(999, 11);  // Root has no string.
+  s.map.ShareQueryString(999, 11);
+  EXPECT_EQ(s.dense.QueryString(11), nullptr);
+  EXPECT_EQ(s.map.QueryString(11), nullptr);
+  s.dense.ShareQueryString(1, 10);  // 10 already bound to "beta".
+  s.map.ShareQueryString(1, 10);
+  EXPECT_EQ(*s.dense.QueryString(10), "beta");
+  EXPECT_EQ(*s.map.QueryString(10), "beta");
+  EXPECT_EQ(s.dense.interned_strings(), s.map.interned_strings());
+}
+
+TEST(SimStateParityTest, ResultCacheEntries) {
+  BackendPair s;
+  EXPECT_EQ(s.dense.FindCacheEntry(3, 77), nullptr);
+  EXPECT_EQ(s.map.FindCacheEntry(3, 77), nullptr);
+  QueryCacheEntry& d = s.dense.CacheEntrySlot(3, 77);
+  QueryCacheEntry& m = s.map.CacheEntrySlot(3, 77);
+  EXPECT_EQ(d.expires, 0.0);  // Fresh entries value-initialized.
+  EXPECT_EQ(m.expires, 0.0);
+  d.expires = m.expires = 12.5;
+  d.results = m.results = 4.0;
+  d.owner = m.owner = 9;
+  ASSERT_NE(s.dense.FindCacheEntry(3, 77), nullptr);
+  ASSERT_NE(s.map.FindCacheEntry(3, 77), nullptr);
+  EXPECT_EQ(s.dense.FindCacheEntry(3, 77)->owner, 9u);
+  EXPECT_EQ(s.map.FindCacheEntry(3, 77)->owner, 9u);
+  // Same key in another cluster is independent.
+  EXPECT_EQ(s.dense.FindCacheEntry(4, 77), nullptr);
+  EXPECT_EQ(s.map.FindCacheEntry(4, 77), nullptr);
+  // Slot access on an existing key returns the live entry.
+  EXPECT_EQ(s.dense.CacheEntrySlot(3, 77).results, 4.0);
+  EXPECT_EQ(s.map.CacheEntrySlot(3, 77).results, 4.0);
+}
+
+TEST(SimStateTest, ScratchBytesTrackPopulation) {
+  BackendPair s;
+  Rng rng(21);
+  for (std::uint64_t qid = 0; qid < 5000; ++qid) {
+    s.dense.Claim(qid);
+    s.map.Claim(qid);
+    s.dense.SetRoot(qid, qid);
+    s.map.SetRoot(qid, qid);
+    for (int c = 0; c < 3; ++c) {
+      const std::size_t cluster = rng.NextBounded(8);
+      const auto up = static_cast<std::uint32_t>(rng.NextBounded(40));
+      s.dense.MarkSeen(cluster, qid, up);
+      s.map.MarkSeen(cluster, qid, up);
+    }
+  }
+  // Absolute bytes are layout-dependent; what must hold is that both
+  // estimates are positive and grew with the population. (Whether dense
+  // beats the maps is workload-dependent — the per-node figures for the
+  // real simulator workload are measured in bench/sim_scale.)
+  EXPECT_GT(s.dense.ApproxScratchBytes(), 100u * 1024u);
+  EXPECT_GT(s.map.ApproxScratchBytes(), 100u * 1024u);
+}
+
+TEST(SimStateDeathTest, DenseClaimRejectsReclaim) {
+  // Root qids are claimed exactly once per submission; a double claim is
+  // a qid-allocation bug the dense backend traps.
+  SimState dense(SimStateBackend::kDense, 2);
+  dense.Claim(5);
+  EXPECT_DEATH(dense.Claim(5), "state_live_");
+}
+
+}  // namespace
+}  // namespace sppnet
