@@ -146,7 +146,7 @@ int main() {
       topt.sim.duration_seconds = SmokeSimSeconds(1200.0);
       topt.sim.warmup_seconds = 60.0;
       topt.sim.faults = ActivePlan(rate);
-      const SimTrialReport report = RunSimTrials(config, inputs, topt);
+      const SimTrialReport report = RunTrials(config, inputs, topt);
 
       const double r = FaultModelDefaults::kCrashRecoverySeconds;
       const double u = rate * r / (1.0 + rate * r);

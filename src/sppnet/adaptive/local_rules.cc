@@ -199,9 +199,20 @@ double AvgOutdegree(const std::vector<MutableCluster>& clusters) {
 
 }  // namespace
 
+void LocalPolicy::Validate() const {
+  SPPNET_CHECK_MSG(max_bandwidth_bps > 0.0, "bandwidth limit must be > 0");
+  SPPNET_CHECK_MSG(max_proc_hz > 0.0, "processing limit must be > 0");
+  SPPNET_CHECK_MSG(low_utilization > 0.0 && low_utilization < 1.0,
+                   "low-utilization fraction must be in (0, 1)");
+  SPPNET_CHECK_MSG(suggested_outdegree >= 1.0,
+                   "suggested outdegree must be >= 1");
+  SPPNET_CHECK_MSG(max_rounds >= 1, "round budget must be >= 1");
+}
+
 AdaptiveOutcome RunLocalAdaptation(const Configuration& initial,
                                    const ModelInputs& inputs,
                                    const LocalPolicy& policy, Rng& rng) {
+  policy.Validate();
   SPPNET_CHECK_MSG(initial.RedundancyK() == 1,
                    "the adaptive controller models non-redundant clusters");
   Configuration config = initial;
@@ -232,11 +243,8 @@ AdaptiveOutcome RunLocalAdaptation(const Configuration& initial,
     std::vector<std::size_t> underloaded;
     for (std::size_t i = 0; i < n_before; ++i) {
       const LoadVector& lv = loads.partner_load[i];
-      const bool over = lv.TotalBps() > policy.max_bandwidth_bps ||
-                        lv.proc_hz > policy.max_proc_hz;
-      const bool under =
-          lv.TotalBps() < policy.low_utilization * policy.max_bandwidth_bps &&
-          lv.proc_hz < policy.low_utilization * policy.max_proc_hz;
+      const bool over = policy.Overloaded(lv);
+      const bool under = policy.Underloaded(lv);
       if (over && clusters[i].client_files.size() >= 2) {
         overloaded.push_back(i);
       } else if (under) {
@@ -254,15 +262,10 @@ AdaptiveOutcome RunLocalAdaptation(const Configuration& initial,
       if (consumed[i] || clusters[i].dead) continue;
       for (const std::uint32_t nb : clusters[i].neighbors) {
         if (nb >= n_before || consumed[nb] || clusters[nb].dead) continue;
-        const bool nb_under =
-            loads.partner_load[nb].TotalBps() <
-                policy.low_utilization * policy.max_bandwidth_bps &&
-            loads.partner_load[nb].proc_hz <
-                policy.low_utilization * policy.max_proc_hz;
-        if (!nb_under) continue;
+        if (!policy.Underloaded(loads.partner_load[nb])) continue;
         const double combined = loads.partner_load[i].TotalBps() +
                                 loads.partner_load[nb].TotalBps();
-        if (combined > policy.max_bandwidth_bps) continue;
+        if (!policy.CoalesceFits(combined)) continue;
         CoalesceClusters(clusters, i, nb);
         consumed[i] = consumed[nb] = true;
         ++record.coalesces;
@@ -275,16 +278,12 @@ AdaptiveOutcome RunLocalAdaptation(const Configuration& initial,
     const std::size_t n_now = clusters.size();
     if (n_now > 2) {
       for (std::size_t i = 0; i < n_now; ++i) {
-        if (clusters[i].neighbors.size() >=
-            static_cast<std::size_t>(policy.suggested_outdegree)) {
-          continue;
-        }
+        if (!policy.WantsMoreNeighbors(clusters[i].neighbors.size())) continue;
         // Pick a random other low-degree cluster to peer with.
         for (int attempt = 0; attempt < 8; ++attempt) {
           const auto j = static_cast<std::uint32_t>(rng.NextBounded(n_now));
           if (j == i || clusters[i].neighbors.count(j) != 0) continue;
-          if (clusters[j].neighbors.size() >=
-              static_cast<std::size_t>(policy.suggested_outdegree)) {
+          if (!policy.WantsMoreNeighbors(clusters[j].neighbors.size())) {
             continue;
           }
           clusters[i].neighbors.insert(j);
@@ -311,13 +310,11 @@ AdaptiveOutcome RunLocalAdaptation(const Configuration& initial,
 
     // Convergence: membership and TTL stable, and edge growth down to
     // the residual trickle of failed random peering attempts.
-    const std::size_t edge_noise_floor =
-        std::max<std::size_t>(1, clusters.size() / 100);
-    const bool changed = record.splits > 0 || record.coalesces > 0 ||
-                         record.edges_added > edge_noise_floor ||
-                         record.ttl_decreased;
+    const bool quiescent = policy.RoundQuiescent(
+        record.splits, record.coalesces, record.edges_added,
+        record.ttl_decreased, clusters.size());
     outcome.history.push_back(record);
-    if (!changed) {
+    if (quiescent) {
       outcome.converged = true;
       break;
     }

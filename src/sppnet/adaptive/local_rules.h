@@ -1,6 +1,8 @@
 #ifndef SPPNET_ADAPTIVE_LOCAL_RULES_H_
 #define SPPNET_ADAPTIVE_LOCAL_RULES_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <set>
 #include <vector>
@@ -8,6 +10,7 @@
 #include "sppnet/common/rng.h"
 #include "sppnet/model/config.h"
 #include "sppnet/model/evaluator.h"
+#include "sppnet/model/load.h"
 
 namespace sppnet {
 
@@ -15,6 +18,13 @@ namespace sppnet {
 /// Super-peers are assumed to be "limitedly altruistic": they accept any
 /// load up to their predefined limit and follow the rules even when a
 /// rule benefits others at their own expense.
+///
+/// The rule *predicates* live here so the offline controller
+/// (RunLocalAdaptation, mean-value loads) and the in-simulation
+/// adaptation layer (sim/adaptive_sim.*, measured window loads) apply
+/// byte-for-byte the same decision logic to their respective load
+/// estimates — the two implementations differ only in where the numbers
+/// come from.
 struct LocalPolicy {
   /// A super-peer whose load exceeds these limits splits its cluster
   /// (rule I, overload branch).
@@ -31,6 +41,52 @@ struct LocalPolicy {
   double suggested_outdegree = 10.0;
 
   int max_rounds = 16;
+
+  /// Aborts (SPPNET_CHECK) on out-of-range values; called at every
+  /// entry point that consumes a policy, matching FaultPlan's contract.
+  void Validate() const;
+
+  // --- Shared rule predicates ---------------------------------------------
+  /// Rule I overload branch: either resource axis past its limit.
+  bool Overloaded(double total_bps, double proc_hz) const {
+    return total_bps > max_bandwidth_bps || proc_hz > max_proc_hz;
+  }
+  bool Overloaded(const LoadVector& lv) const {
+    return Overloaded(lv.TotalBps(), lv.proc_hz);
+  }
+  /// Rule I underload branch: both axes below the utilization floor.
+  bool Underloaded(double total_bps, double proc_hz) const {
+    return total_bps < low_utilization * max_bandwidth_bps &&
+           proc_hz < low_utilization * max_proc_hz;
+  }
+  bool Underloaded(const LoadVector& lv) const {
+    return Underloaded(lv.TotalBps(), lv.proc_hz);
+  }
+  /// A coalesce only happens when the merged super-peer stays within
+  /// its bandwidth limit.
+  bool CoalesceFits(double combined_total_bps) const {
+    return combined_total_bps <= max_bandwidth_bps;
+  }
+  /// Rule II: a super-peer at this outdegree still wants neighbors.
+  bool WantsMoreNeighbors(std::size_t degree) const {
+    return degree < static_cast<std::size_t>(suggested_outdegree);
+  }
+  /// Residual activity tolerated by the convergence test, scaled to
+  /// the network: occasional successful random peerings never fully
+  /// stop, and in a live network a handful of borderline clusters keep
+  /// crossing the load thresholds on measurement noise.
+  static std::size_t NoiseFloor(std::size_t num_clusters) {
+    return std::max<std::size_t>(1, num_clusters / 100);
+  }
+  /// Convergence: TTL stable, membership churn and edge growth both at
+  /// the noise floor. Both controllers stop (or report convergence) on
+  /// this.
+  bool RoundQuiescent(std::size_t splits, std::size_t coalesces,
+                      std::size_t edges_added, bool ttl_decreased,
+                      std::size_t num_clusters) const {
+    return splits + coalesces <= NoiseFloor(num_clusters) &&
+           !ttl_decreased && edges_added <= NoiseFloor(num_clusters);
+  }
 };
 
 /// Snapshot of the network after one adaptation round.

@@ -1,0 +1,91 @@
+#ifndef SPPNET_COMMON_TRIAL_RUNNER_H_
+#define SPPNET_COMMON_TRIAL_RUNNER_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sppnet/common/check.h"
+#include "sppnet/common/rng.h"
+
+namespace sppnet {
+
+/// Scheduling contract shared by every trial-running entry point (the
+/// mean-value runner in model/trials.* and the simulator runner in
+/// sim/sim_trials.*). Validated at the single RunTrialLoop entry,
+/// matching FaultPlan's validated-options pattern.
+struct TrialRunnerOptions {
+  std::size_t num_trials = 1;
+  std::uint64_t seed = 42;
+  /// Worker threads. Results are bit-identical to the serial run
+  /// regardless of the value (see RunTrialLoop).
+  std::size_t parallelism = 1;
+
+  /// Aborts (SPPNET_CHECK) on out-of-range values.
+  void Validate() const {
+    SPPNET_CHECK_MSG(num_trials >= 1, "trial count must be >= 1");
+  }
+};
+
+/// The one deterministic trial loop behind both RunTrials entry points:
+///
+///   1. Pre-split one RNG stream per trial from `options.seed`, so a
+///      trial's stream does not depend on which worker runs it.
+///   2. Run trials on `workers = min(parallelism, num_trials)` threads,
+///      worker w taking trials w, w+workers, w+2*workers, ... Each call
+///      `run(rng, t)` must touch only its own observation (workers
+///      share no mutable state).
+///   3. Fold observations on the calling thread in trial order — so
+///      every accumulated value (running moments, merged registries via
+///      MetricsRegistry::MergeFrom, counter totals) is bit-identical
+///      across parallelism settings, down to floating-point error terms.
+///
+/// `run(Rng, std::size_t trial)` produces one observation (the type is
+/// deduced; it must be default-constructible and movable); `fold` is
+/// called as `fold(std::move(observation), trial)` for each trial in
+/// order.
+template <typename RunFn, typename FoldFn>
+void RunTrialLoop(const TrialRunnerOptions& options, RunFn&& run,
+                  FoldFn&& fold) {
+  options.Validate();
+  using Observation = std::invoke_result_t<RunFn&, Rng, std::size_t>;
+
+  Rng rng(options.seed);
+  std::vector<Rng> trial_rngs;
+  trial_rngs.reserve(options.num_trials);
+  for (std::size_t t = 0; t < options.num_trials; ++t) {
+    trial_rngs.push_back(rng.Split());
+  }
+
+  std::vector<Observation> observations(options.num_trials);
+  const std::size_t workers = std::max<std::size_t>(
+      1, std::min(options.parallelism, options.num_trials));
+  if (workers <= 1) {
+    for (std::size_t t = 0; t < options.num_trials; ++t) {
+      observations[t] = run(trial_rngs[t], t);
+    }
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        for (std::size_t t = w; t < options.num_trials; t += workers) {
+          observations[t] = run(trial_rngs[t], t);
+        }
+      });
+    }
+    for (std::thread& thread : pool) thread.join();
+  }
+
+  for (std::size_t t = 0; t < options.num_trials; ++t) {
+    fold(std::move(observations[t]), t);
+  }
+}
+
+}  // namespace sppnet
+
+#endif  // SPPNET_COMMON_TRIAL_RUNNER_H_

@@ -66,6 +66,21 @@ struct CostTable {
   /// open connection per message.
   double multiplex_per_connection = 0.01;
 
+  // --- Adaptation control plane (Section 5.3, in-simulation rules) ---
+  // Fixed-size control messages exchanged between neighboring
+  // super-peers while the network reconfigures itself. Not part of the
+  // paper's Table 2 (the paper treats rule evaluation as free); sizes
+  // follow the same framing as the data plane — header (22) + payload +
+  // transport overhead (57) — and are enforced against the proto codec
+  // by tests/proto/messages_test.cc like every other message.
+  double load_probe_bytes = 87.0;   ///< header + 8-byte payload.
+  double load_report_bytes = 99.0;  ///< header + 20-byte payload.
+  double ttl_update_bytes = 81.0;   ///< header + 2-byte payload.
+  /// Control messages carry no records, so their processing cost is the
+  /// bare Gnutella send/receive cost (the Table 2 fixed terms).
+  double send_control_units = 0.44;
+  double recv_control_units = 0.57;
+
   /// Cycles represented by one processing unit (P-III 930 MHz baseline).
   double cycles_per_unit = 7200.0;
 
@@ -81,6 +96,9 @@ struct CostTable {
     return join_base_bytes + join_per_file_bytes * num_files;
   }
   double UpdateBytes() const { return update_bytes; }
+  double LoadProbeBytes() const { return load_probe_bytes; }
+  double LoadReportBytes() const { return load_report_bytes; }
+  double TtlUpdateBytes() const { return ttl_update_bytes; }
 
   // --- Derived processing costs (units), excluding multiplex ---
   double SendQueryUnits(double query_len) const {
@@ -113,6 +131,8 @@ struct CostTable {
   double MultiplexUnits(double open_connections) const {
     return multiplex_per_connection * open_connections;
   }
+  double SendControlUnits() const { return send_control_units; }
+  double RecvControlUnits() const { return recv_control_units; }
 
   /// Converts a rate in units/second into Hz (cycles/second), the scale
   /// used by the paper's processing-load figures.

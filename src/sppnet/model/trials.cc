@@ -1,11 +1,11 @@
 #include "sppnet/model/trials.h"
 
-#include <algorithm>
 #include <chrono>
-#include <thread>
+#include <utility>
 #include <vector>
 
 #include "sppnet/common/rng.h"
+#include "sppnet/common/trial_runner.h"
 #include "sppnet/model/instance.h"
 #include "sppnet/obs/metrics.h"
 
@@ -133,37 +133,14 @@ TrialObservation RunOneTrial(const Configuration& config,
 ConfigurationReport RunTrials(const Configuration& config,
                               const ModelInputs& inputs,
                               const TrialOptions& options) {
-  // Pre-split one RNG stream per trial so the result is independent of
-  // how trials are scheduled across workers.
-  Rng rng(options.seed);
-  std::vector<Rng> trial_rngs;
-  trial_rngs.reserve(options.num_trials);
-  for (std::size_t t = 0; t < options.num_trials; ++t) {
-    trial_rngs.push_back(rng.Split());
-  }
+  // Scheduling (pre-split streams, strided workers, fold in trial
+  // order) is the shared RunTrialLoop contract; this function only
+  // supplies the per-trial work and the fold.
+  TrialRunnerOptions runner;
+  runner.num_trials = options.num_trials;
+  runner.seed = options.seed;
+  runner.parallelism = options.parallelism;
 
-  std::vector<TrialObservation> observations(options.num_trials);
-  const std::size_t workers = std::max<std::size_t>(
-      1, std::min(options.parallelism, options.num_trials));
-  if (workers <= 1) {
-    for (std::size_t t = 0; t < options.num_trials; ++t) {
-      observations[t] = RunOneTrial(config, inputs, trial_rngs[t], options);
-    }
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&, w] {
-        for (std::size_t t = w; t < options.num_trials; t += workers) {
-          observations[t] = RunOneTrial(config, inputs, trial_rngs[t], options);
-        }
-      });
-    }
-    for (std::thread& thread : pool) thread.join();
-  }
-
-  // Fold in trial order: deterministic regardless of parallelism. The
-  // metrics fold happens here, on one thread, for the same reason.
   Counter* trials_completed = nullptr;
   WallTimer* generate_timer = nullptr;
   WallTimer* evaluate_timer = nullptr;
@@ -173,7 +150,7 @@ ConfigurationReport RunTrials(const Configuration& config,
     evaluate_timer = &options.metrics->GetTimer("trials.evaluate");
   }
   ConfigurationReport report;
-  for (const TrialObservation& obs : observations) {
+  const auto fold = [&](TrialObservation obs, std::size_t) {
     if (trials_completed != nullptr) {
       trials_completed->Increment();
       generate_timer->Record(obs.generate_seconds);
@@ -216,7 +193,13 @@ ConfigurationReport RunTrials(const Configuration& config,
         }
       }
     }
-  }
+  };
+  RunTrialLoop(
+      runner,
+      [&](Rng trial_rng, std::size_t) {
+        return RunOneTrial(config, inputs, trial_rng, options);
+      },
+      fold);
   return report;
 }
 

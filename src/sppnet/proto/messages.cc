@@ -1,6 +1,7 @@
 #include "sppnet/proto/messages.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "sppnet/common/check.h"
 
@@ -278,6 +279,114 @@ std::optional<UpdateMessage> UpdateMessage::Decode(
 
 std::size_t UpdateMessage::WireSizeBytes() const {
   return kTransportOverheadBytes + kHeaderBytes + 1 + kMetadataRecordBytes;
+}
+
+std::vector<std::uint8_t> LoadProbeMessage::Encode() const {
+  ByteWriter w;
+  MessageHeader h = header;
+  h.type = MessageType::kLoadProbe;
+  h.payload_length = 8;
+  h.Encode(w);
+  w.PutU32(cluster);
+  w.PutZeros(4);
+  return w.Take();
+}
+
+std::optional<LoadProbeMessage> LoadProbeMessage::Decode(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  LoadProbeMessage m;
+  const auto h = MessageHeader::Decode(r);
+  if (!h || h->type != MessageType::kLoadProbe) return std::nullopt;
+  // Strict framing: the header's payload length must match the
+  // buffer exactly, so truncation at a record boundary (or trailing
+  // padding) is rejected instead of decoding as a shorter message.
+  if (h->payload_length != r.remaining()) return std::nullopt;
+  m.header = *h;
+  const auto cluster = r.GetU32();
+  if (!cluster || !r.Skip(4) || !r.AtEnd()) return std::nullopt;
+  m.cluster = *cluster;
+  return m;
+}
+
+std::size_t LoadProbeMessage::WireSizeBytes() const {
+  return kTransportOverheadBytes + kHeaderBytes + 8;
+}
+
+std::vector<std::uint8_t> LoadReportMessage::Encode() const {
+  ByteWriter w;
+  MessageHeader h = header;
+  h.type = MessageType::kLoadReport;
+  h.payload_length = 20;
+  h.Encode(w);
+  w.PutU32(cluster);
+  w.PutU32(std::bit_cast<std::uint32_t>(total_bps));
+  w.PutU32(std::bit_cast<std::uint32_t>(proc_hz));
+  w.PutU32(window_ms);
+  w.PutZeros(4);
+  return w.Take();
+}
+
+std::optional<LoadReportMessage> LoadReportMessage::Decode(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  LoadReportMessage m;
+  const auto h = MessageHeader::Decode(r);
+  if (!h || h->type != MessageType::kLoadReport) return std::nullopt;
+  // Strict framing: the header's payload length must match the
+  // buffer exactly, so truncation at a record boundary (or trailing
+  // padding) is rejected instead of decoding as a shorter message.
+  if (h->payload_length != r.remaining()) return std::nullopt;
+  m.header = *h;
+  const auto cluster = r.GetU32();
+  const auto bps_bits = r.GetU32();
+  const auto hz_bits = r.GetU32();
+  const auto window = r.GetU32();
+  if (!cluster || !bps_bits || !hz_bits || !window || !r.Skip(4) ||
+      !r.AtEnd()) {
+    return std::nullopt;
+  }
+  m.cluster = *cluster;
+  m.total_bps = std::bit_cast<float>(*bps_bits);
+  m.proc_hz = std::bit_cast<float>(*hz_bits);
+  m.window_ms = *window;
+  return m;
+}
+
+std::size_t LoadReportMessage::WireSizeBytes() const {
+  return kTransportOverheadBytes + kHeaderBytes + 20;
+}
+
+std::vector<std::uint8_t> TtlUpdateMessage::Encode() const {
+  ByteWriter w;
+  MessageHeader h = header;
+  h.type = MessageType::kTtlUpdate;
+  h.payload_length = 2;
+  h.Encode(w);
+  w.PutU8(new_ttl);
+  w.PutZeros(1);
+  return w.Take();
+}
+
+std::optional<TtlUpdateMessage> TtlUpdateMessage::Decode(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  TtlUpdateMessage m;
+  const auto h = MessageHeader::Decode(r);
+  if (!h || h->type != MessageType::kTtlUpdate) return std::nullopt;
+  // Strict framing: the header's payload length must match the
+  // buffer exactly, so truncation at a record boundary (or trailing
+  // padding) is rejected instead of decoding as a shorter message.
+  if (h->payload_length != r.remaining()) return std::nullopt;
+  m.header = *h;
+  const auto ttl = r.GetU8();
+  if (!ttl || !r.Skip(1) || !r.AtEnd()) return std::nullopt;
+  m.new_ttl = *ttl;
+  return m;
+}
+
+std::size_t TtlUpdateMessage::WireSizeBytes() const {
+  return kTransportOverheadBytes + kHeaderBytes + 2;
 }
 
 Guid GuidFromSeed(std::uint64_t seed) {

@@ -34,6 +34,10 @@ enum class MessageType : std::uint8_t {
   kResponse = 0x81,
   kJoin = 0x90,
   kUpdate = 0x91,
+  // Adaptation control plane (Section 5.3 rules running in-network).
+  kLoadProbe = 0xA0,
+  kLoadReport = 0xA1,
+  kTtlUpdate = 0xA2,
 };
 
 using Guid = std::array<std::uint8_t, 16>;
@@ -140,6 +144,53 @@ struct UpdateMessage {
 
   std::vector<std::uint8_t> Encode() const;
   static std::optional<UpdateMessage> Decode(
+      std::span<const std::uint8_t> bytes);
+
+  std::size_t WireSizeBytes() const;
+};
+
+/// Load probe: a super-peer asks a neighboring super-peer for its
+/// current load (the information a node needs before applying the
+/// Section 5.3 coalesce rule). Header + prober cluster id (u32) +
+/// 4 reserved bytes. Wire size = 87 bytes, fixed.
+struct LoadProbeMessage {
+  MessageHeader header;
+  std::uint32_t cluster = 0;  ///< The prober's cluster id.
+
+  std::vector<std::uint8_t> Encode() const;
+  static std::optional<LoadProbeMessage> Decode(
+      std::span<const std::uint8_t> bytes);
+
+  std::size_t WireSizeBytes() const;
+};
+
+/// Load report: the probed super-peer's reply. Header + responder
+/// cluster id (u32) + total bandwidth load (float32 bit pattern) +
+/// processing load (float32 bit pattern) + measurement window in
+/// milliseconds (u32) + 4 reserved bytes. Wire size = 99 bytes, fixed.
+struct LoadReportMessage {
+  MessageHeader header;
+  std::uint32_t cluster = 0;        ///< The responder's cluster id.
+  float total_bps = 0.0f;           ///< Windowed in+out bandwidth.
+  float proc_hz = 0.0f;             ///< Windowed processing load.
+  std::uint32_t window_ms = 0;      ///< Measurement window length.
+
+  std::vector<std::uint8_t> Encode() const;
+  static std::optional<LoadReportMessage> Decode(
+      std::span<const std::uint8_t> bytes);
+
+  std::size_t WireSizeBytes() const;
+};
+
+/// TTL update: broadcast by a super-peer that decided (Rule III) to
+/// lower the flood TTL. Header + new TTL (u8) + 1 reserved byte.
+/// Wire size = 81 bytes, fixed.
+struct TtlUpdateMessage {
+  MessageHeader header;
+  std::uint8_t new_ttl = 0;
+
+  std::vector<std::uint8_t> Encode() const;
+  static std::optional<TtlUpdateMessage> Decode(
       std::span<const std::uint8_t> bytes);
 
   std::size_t WireSizeBytes() const;

@@ -26,6 +26,15 @@ SimState::SimState(SimStateBackend backend, std::size_t num_clusters)
   }
 }
 
+void SimState::EnsureClusters(std::size_t num_clusters) {
+  if (backend_ == SimStateBackend::kDense) {
+    if (num_clusters > dense_cache_.size()) dense_cache_.resize(num_clusters);
+    return;
+  }
+  if (num_clusters > map_table_.size()) map_table_.resize(num_clusters);
+  if (num_clusters > map_cache_.size()) map_cache_.resize(num_clusters);
+}
+
 QueryState& SimState::Claim(std::uint64_t qid) {
   if (backend_ == SimStateBackend::kDense) {
     EnsureSlot(state_slots_, qid, QueryState{});

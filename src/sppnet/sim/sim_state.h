@@ -151,6 +151,13 @@ class SimState {
  public:
   SimState(SimStateBackend backend, std::size_t num_clusters);
 
+  /// Grows the per-cluster containers to cover cluster ids below
+  /// `num_clusters` (no-op when already large enough). The in-sim
+  /// adaptation layer appends cluster slots when a split promotes a new
+  /// super-peer; existing entries are untouched, so growth never
+  /// perturbs prior state.
+  void EnsureClusters(std::size_t num_clusters);
+
   // --- Duplicate tables (per-cluster qid -> upstream) ---------------------
   /// Records that `cluster` saw `qid` arriving from `upstream`; returns
   /// true on the first visit (false: duplicate, upstream unchanged).

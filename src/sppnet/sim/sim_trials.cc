@@ -1,11 +1,10 @@
 #include "sppnet/sim/sim_trials.h"
 
-#include <algorithm>
 #include <memory>
-#include <thread>
-#include <vector>
+#include <utility>
 
 #include "sppnet/common/rng.h"
+#include "sppnet/common/trial_runner.h"
 #include "sppnet/model/instance.h"
 #include "sppnet/obs/metrics.h"
 
@@ -54,44 +53,25 @@ SimTrialObservation RunOneSimTrial(const Configuration& config,
 
 }  // namespace
 
-SimTrialReport RunSimTrials(const Configuration& config,
-                            const ModelInputs& inputs,
-                            const SimTrialOptions& options) {
-  // Pre-split one RNG stream per trial so the result is independent of
-  // how trials are scheduled across workers.
-  Rng rng(options.seed);
-  std::vector<Rng> trial_rngs;
-  trial_rngs.reserve(options.num_trials);
-  for (std::size_t t = 0; t < options.num_trials; ++t) {
-    trial_rngs.push_back(rng.Split());
-  }
+SimTrialReport RunTrials(const Configuration& config,
+                         const ModelInputs& inputs,
+                         const SimTrialOptions& options) {
+  // Per-trial options get a derived seed and a local registry; validate
+  // everything else once, up front, at the entry point.
+  options.sim.Validate();
 
-  std::vector<SimTrialObservation> observations(options.num_trials);
-  const std::size_t workers = std::max<std::size_t>(
-      1, std::min(options.parallelism, options.num_trials));
-  if (workers <= 1) {
-    for (std::size_t t = 0; t < options.num_trials; ++t) {
-      observations[t] = RunOneSimTrial(config, inputs, trial_rngs[t], options);
-    }
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&, w] {
-        for (std::size_t t = w; t < options.num_trials; t += workers) {
-          observations[t] =
-              RunOneSimTrial(config, inputs, trial_rngs[t], options);
-        }
-      });
-    }
-    for (std::thread& thread : pool) thread.join();
-  }
+  // Scheduling (pre-split streams, strided workers, fold in trial
+  // order) is the shared RunTrialLoop contract; this function only
+  // supplies the per-trial work and the fold (which merges each trial's
+  // local registry via MetricsRegistry::MergeFrom).
+  TrialRunnerOptions runner;
+  runner.num_trials = options.num_trials;
+  runner.seed = options.seed;
+  runner.parallelism = options.parallelism;
 
-  // Fold in trial order: deterministic regardless of parallelism. The
-  // registry merge happens here, on one thread, for the same reason.
   SimTrialReport report;
   report.trials = options.num_trials;
-  for (const SimTrialObservation& obs : observations) {
+  const auto fold = [&](SimTrialObservation obs, std::size_t) {
     if (options.metrics != nullptr) {
       options.metrics->GetCounter("sim_trials.completed").Increment();
       options.metrics->MergeFrom(*obs.metrics);
@@ -116,7 +96,13 @@ SimTrialReport RunSimTrials(const Configuration& config,
     report.faults_client_rejoins += r.faults_client_rejoins;
     report.queries_succeeded += r.queries_succeeded;
     report.queries_failed += r.queries_failed;
-  }
+  };
+  RunTrialLoop(
+      runner,
+      [&](Rng trial_rng, std::size_t) {
+        return RunOneSimTrial(config, inputs, trial_rng, options);
+      },
+      fold);
   return report;
 }
 

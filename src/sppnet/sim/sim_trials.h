@@ -66,10 +66,13 @@ struct SimTrialReport {
 
 /// Runs `options.num_trials` generate-and-simulate rounds for `config`
 /// and folds the results. Deterministic in (config, inputs, options):
-/// bit-identical across parallelism settings.
-SimTrialReport RunSimTrials(const Configuration& config,
-                            const ModelInputs& inputs,
-                            const SimTrialOptions& options);
+/// bit-identical across parallelism settings. Overloads the mean-value
+/// RunTrials of model/trials.h — the two runners share one entry-point
+/// name and one scheduling engine (common/trial_runner.h), selected by
+/// the options type. Validates `options.sim` on entry.
+SimTrialReport RunTrials(const Configuration& config,
+                         const ModelInputs& inputs,
+                         const SimTrialOptions& options);
 
 }  // namespace sppnet
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -41,15 +42,32 @@ enum : std::uint32_t {
   kPartnerCrash,   // Injected mid-session crash clock (fault layer).
   kRequestCheck,   // Per-request timeout probe (recovery protocol).
   kRetrySubmit,    // Backed-off query retry (recovery protocol).
+  kAdaptProbeTick,     // Periodic load-probe sweep (adaptation layer).
+  kAdaptProbeArrive,   // LoadProbe delivery to a super-peer.
+  kAdaptReportArrive,  // LoadReport delivery back to the prober.
+  kAdaptRound,         // Decision round: rules I-III on window loads.
+  kAdaptTtlArrive,     // TtlUpdate broadcast delivery.
 };
 
 // Wire message classes for the observability counters. Every
 // accounted send/receive names its class so the per-type counters
 // reconcile with the byte accounting by construction.
-enum class Msg : std::size_t { kQuery = 0, kResponse, kJoin, kUpdate };
-inline constexpr std::size_t kNumMsgTypes = 4;
-inline constexpr const char* kMsgNames[kNumMsgTypes] = {"query", "response",
-                                                        "join", "update"};
+enum class Msg : std::size_t {
+  kQuery = 0,
+  kResponse,
+  kJoin,
+  kUpdate,
+  kProbe,    // Adaptation: LoadProbe control message.
+  kReport,   // Adaptation: LoadReport control message.
+  kControl,  // Adaptation: TtlUpdate control message.
+};
+/// Message classes of the base protocol; their counters are always
+/// published. The adaptation classes above are published only for
+/// active plans, keeping the inactive registry surface unchanged.
+inline constexpr std::size_t kNumBaseMsgTypes = 4;
+inline constexpr std::size_t kNumMsgTypes = 7;
+inline constexpr const char* kMsgNames[kNumMsgTypes] = {
+    "query", "response", "join", "update", "probe", "report", "control"};
 
 // Sentinel "upstream" marking a query submitted by the super-peer's own
 // user: results are consumed locally and no submission hop exists.
@@ -133,7 +151,10 @@ class Simulator::Impl {
         state_(options.state_backend, instance.NumClusters()),
         injector_(options.faults, options.seed),
         fault_active_(options.faults.Active()),
-        recovery_enabled_(fault_active_ && options.faults.TimeoutsEnabled()) {
+        recovery_enabled_(fault_active_ && options.faults.TimeoutsEnabled()),
+        adaptive_(options.adaptive.Active()),
+        ttl_(config.ttl) {
+    options_.Validate();
     const auto init_start = std::chrono::steady_clock::now();
     qbytes_ = inputs.costs.QueryBytes(inputs.stats.query_length_bytes);
     sendq_ = inputs.costs.SendQueryUnits(inputs.stats.query_length_bytes);
@@ -175,6 +196,21 @@ class Simulator::Impl {
         }
       }
       orphaned_since_.assign(num_clients_, -1.0);
+    }
+
+    if (adaptive_) {
+      SPPNET_CHECK_MSG(k_ == 1,
+                       "in-sim adaptation requires redundancy_k == 1");
+      adaptive_ctrl_ = std::make_unique<AdaptiveController>(
+          inst_, options_.adaptive.policy, options_.seed);
+      adapt_in_bytes_.assign(num_partners_ + num_clients_, 0.0);
+      adapt_out_bytes_.assign(num_partners_ + num_clients_, 0.0);
+      adapt_units_.assign(num_partners_ + num_clients_, 0.0);
+      probe_bytes_ = inputs.costs.LoadProbeBytes();
+      report_bytes_ = inputs.costs.LoadReportBytes();
+      ttl_update_bytes_ = inputs.costs.TtlUpdateBytes();
+      send_ctl_ = inputs.costs.SendControlUnits();
+      recv_ctl_ = inputs.costs.RecvControlUnits();
     }
 
     if (options_.concrete_index) InitConcreteIndexes();
@@ -228,6 +264,11 @@ class Simulator::Impl {
         ScheduleIn(injector_.NextCrashDelay(), kPartnerCrash, p);
       }
     }
+    if (adaptive_) {
+      window_start_ = 0.0;
+      ScheduleIn(options_.adaptive.probe_interval_seconds, kAdaptProbeTick, 0);
+      ScheduleIn(options_.adaptive.decision_interval_seconds, kAdaptRound, 0);
+    }
 
     while (!queue_.empty() && queue_.NextTime() <= end_time) {
       const SimEvent e = queue_.Pop();
@@ -249,10 +290,39 @@ class Simulator::Impl {
     return static_cast<std::uint32_t>(num_partners_ + num_clients_);
   }
   bool IsPartner(std::uint32_t node) const { return node < num_partners_; }
+  /// Role check under adaptation: a split promotes a client-range node
+  /// to head and a coalesce resigns an original partner to an ordinary
+  /// member, so role and node-id range diverge. Without adaptation the
+  /// head role coincides with the partner range (bit-identical path).
+  bool IsHeadRole(std::uint32_t node) const {
+    return adaptive_ ? adaptive_ctrl_->IsHead(node) : IsPartner(node);
+  }
+  /// Liveness of a head node. Only original partner slots carry
+  /// churn/crash state; promoted heads (client-range node ids) never
+  /// fail — the fault clocks only tick for partner slots.
+  bool HeadAlive(std::uint32_t node) const {
+    return node < num_partners_ ? partner_alive_[node] != 0 : true;
+  }
   std::size_t ClusterOf(std::uint32_t node) const {
+    if (adaptive_) return adaptive_ctrl_->ClusterOfNode(node);
     if (IsPartner(node)) return node / k_;
     const std::uint32_t c = node - num_partners_;
     return fault_active_ ? client_current_cluster_[c] : client_cluster_[c];
+  }
+  /// The live head of `cluster` under adaptation; kSelfUpstream when
+  /// the cluster is dead, headless, or its head is down.
+  std::uint32_t LiveHeadOf(std::size_t cluster) const {
+    const std::uint32_t head = adaptive_ctrl_->HeadOf(cluster);
+    if (head == AdaptiveController::kNoHead || !HeadAlive(head)) {
+      return kSelfUpstream;
+    }
+    return head;
+  }
+  /// True when a client of `cluster` has no live head to submit
+  /// through (the discovery re-join trigger in SubmitWithFailover).
+  bool ClusterUnreachable(std::size_t cluster) const {
+    if (adaptive_) return LiveHeadOf(cluster) == kSelfUpstream;
+    return alive_partners_[cluster] == 0;
   }
   double LifespanOf(std::uint32_t node) const {
     return IsPartner(node) ? inst_.partner_lifespan[node]
@@ -264,6 +334,18 @@ class Simulator::Impl {
                : static_cast<double>(inst_.client_files[node - num_partners_]);
   }
   double MuxOf(std::uint32_t node) const {
+    if (adaptive_) {
+      // Open connections follow the live topology: a head multiplexes
+      // its members plus its overlay neighbors; everyone else keeps
+      // the single upstream connection.
+      if (adaptive_ctrl_->IsHead(node)) {
+        const std::size_t cluster = adaptive_ctrl_->ClusterOfNode(node);
+        return inputs_.costs.MultiplexUnits(static_cast<double>(
+            adaptive_ctrl_->MembersOf(cluster).size() +
+            adaptive_ctrl_->NeighborsOf(cluster).size()));
+      }
+      return inputs_.costs.MultiplexUnits(client_conn_);
+    }
     return inputs_.costs.MultiplexUnits(
         IsPartner(node) ? conn_[ClusterOf(node)] : client_conn_);
   }
@@ -300,19 +382,31 @@ class Simulator::Impl {
     }
     ScheduleIn(delay, kind, node, a, b);
   }
+  // The adapt_* window accumulators feed the next decision round's
+  // measured loads; they accrue during warmup too — the adaptation
+  // protocol observes all traffic, unlike the report accounting.
   void AcctSend(std::uint32_t node, Msg msg, double bytes, double units) {
+    if (adaptive_) {
+      adapt_out_bytes_[node] += bytes;
+      adapt_units_[node] += units;
+    }
     if (!measuring_) return;
     out_bytes_[node] += bytes;
     units_[node] += units;
     ++msg_sent_[static_cast<std::size_t>(msg)];
   }
   void AcctRecv(std::uint32_t node, Msg msg, double bytes, double units) {
+    if (adaptive_) {
+      adapt_in_bytes_[node] += bytes;
+      adapt_units_[node] += units;
+    }
     if (!measuring_) return;
     in_bytes_[node] += bytes;
     units_[node] += units;
     ++msg_recv_[static_cast<std::size_t>(msg)];
   }
   void AcctProc(std::uint32_t node, double units) {
+    if (adaptive_) adapt_units_[node] += units;
     if (!measuring_) return;
     units_[node] += units;
   }
@@ -322,6 +416,7 @@ class Simulator::Impl {
   /// preferred slot is the k-redundancy failover in action; the fault
   /// layer counts those episodes.
   std::uint32_t PickPartner(std::size_t cluster) {
+    if (adaptive_) return LiveHeadOf(cluster);  // Non-redundant clusters.
     bool preferred_dead = false;
     for (std::size_t attempt = 0; attempt < k_; ++attempt) {
       const std::size_t slot = (rr_[cluster]++) % k_;
@@ -388,6 +483,21 @@ class Simulator::Impl {
       case kRingCheck:
         OnRingCheck(e.a);
         break;
+      case kAdaptProbeTick:
+        OnAdaptProbeTick();
+        break;
+      case kAdaptProbeArrive:
+        OnAdaptProbeArrive(e.node, static_cast<std::uint32_t>(e.a));
+        break;
+      case kAdaptReportArrive:
+        OnAdaptReportArrive(e.node, static_cast<std::uint32_t>(e.a), e.b);
+        break;
+      case kAdaptRound:
+        OnAdaptRound();
+        break;
+      case kAdaptTtlArrive:
+        OnAdaptTtlArrive(e.node);
+        break;
       default:
         SPPNET_CHECK_MSG(false, "unknown event kind");
     }
@@ -400,7 +510,7 @@ class Simulator::Impl {
 
   void OnQuerySubmit(std::uint32_t user) {
     ScheduleIn(ExpDelay(config_.query_rate), kQuerySubmit, user);
-    if (IsPartner(user) && !partner_alive_[user]) return;
+    if (IsHeadRole(user) && !HeadAlive(user)) return;
     const auto query_class =
         static_cast<std::uint32_t>(inputs_.query_model.SampleQueryClass(rng_));
     if (options_.concrete_index) {
@@ -422,7 +532,7 @@ class Simulator::Impl {
           if (measuring_) ++cache_misses_;
         }
         if (!SubmitWithFailover(user, qid, query_class,
-                                static_cast<std::uint32_t>(config_.ttl + 1))) {
+                                static_cast<std::uint32_t>(ttl_ + 1))) {
           // No live partner anywhere: the query cannot be routed.
           if (recovery_enabled_ && measuring_) ++queries_failed_;
           return;
@@ -552,7 +662,7 @@ class Simulator::Impl {
     // node at depth d therefore holds TTL+1-d, forwarding while d < TTL —
     // exactly the paper's semantics (nodes at depth == TTL do not
     // forward).
-    if (IsPartner(user)) {
+    if (IsHeadRole(user)) {
       OnQueryArrive(user, qid, kSelfUpstream, query_class, ttl);
       return true;
     }
@@ -570,8 +680,8 @@ class Simulator::Impl {
   /// has a live partner does the submission fail.
   bool SubmitWithFailover(std::uint32_t user, std::uint64_t qid,
                           std::uint32_t query_class, std::uint32_t ttl) {
-    if (fault_active_ && !IsPartner(user) &&
-        alive_partners_[ClusterOf(user)] == 0) {
+    if (fault_active_ && !IsHeadRole(user) &&
+        ClusterUnreachable(ClusterOf(user))) {
       if (!RejoinViaDiscovery(user)) return false;
     }
     return SubmitToOwnCluster(user, qid, query_class, ttl);
@@ -718,7 +828,9 @@ class Simulator::Impl {
   void OnQueryArrive(std::uint32_t partner, std::uint64_t qid,
                      std::uint32_t upstream, std::uint32_t query_class,
                      std::uint32_t ttl) {
-    if (!partner_alive_[partner]) return;  // Message lost.
+    // Messages in flight across a role change (the target resigned) or
+    // to a dead head are lost.
+    if (!IsHeadRole(partner) || !HeadAlive(partner)) return;
     if (upstream != kSelfUpstream) {
       AcctRecv(partner, Msg::kQuery, qbytes_, recvq_ + MuxOf(partner));
     }
@@ -741,7 +853,7 @@ class Simulator::Impl {
     // the query arrived on.
     if (ttl <= 1) return;
     const std::size_t exclude =
-        (upstream != kSelfUpstream && IsPartner(upstream))
+        (upstream != kSelfUpstream && IsHeadRole(upstream))
             ? ClusterOf(upstream)
             : static_cast<std::size_t>(-1);
     const auto forward = [&](std::size_t neighbor) {
@@ -752,7 +864,13 @@ class Simulator::Impl {
       Deliver(options_.hop_latency_seconds, kQueryArrive, target, qid,
               PackQuery(partner, query_class, ttl - 1));
     };
-    if (inst_.topology.is_complete()) {
+    if (adaptive_) {
+      // The live overlay: rule II edges come and go, so neighbors are
+      // the controller's, not the instance topology's.
+      for (const std::uint32_t w : adaptive_ctrl_->NeighborsOf(cluster)) {
+        forward(w);
+      }
+    } else if (inst_.topology.is_complete()) {
       for (std::size_t w = 0; w < n_; ++w) {
         if (w != cluster) forward(w);
       }
@@ -777,8 +895,9 @@ class Simulator::Impl {
               static_cast<std::uint32_t>(qr.distinct_owners)};
     }
     const double f = inputs_.query_model.SelectionPower(query_class);
-    const std::uint32_t results =
-        SampleBinomialApprox(inst_.indexed_files[cluster], f, rng_);
+    const double indexed = adaptive_ ? adaptive_ctrl_->FilesSum(cluster)
+                                     : inst_.indexed_files[cluster];
+    const std::uint32_t results = SampleBinomialApprox(indexed, f, rng_);
     if (results == 0) return {0, 0};
     return {results, SampleAddrs(cluster, f)};
   }
@@ -787,6 +906,21 @@ class Simulator::Impl {
   /// members whose collections match (the addresses in a Response).
   std::uint32_t SampleAddrs(std::size_t cluster, double f) {
     std::uint32_t addrs = 0;
+    if (adaptive_) {
+      const auto try_owner = [&](double x) {
+        if (x <= 0.0) return;
+        const double p = 1.0 - std::pow(1.0 - f, x);
+        if (rng_.NextBernoulli(p)) ++addrs;
+      };
+      for (const std::uint32_t node : adaptive_ctrl_->MembersOf(cluster)) {
+        try_owner(adaptive_ctrl_->FilesOfNode(node));
+      }
+      const std::uint32_t head = adaptive_ctrl_->HeadOf(cluster);
+      if (head != AdaptiveController::kNoHead) {
+        try_owner(adaptive_ctrl_->FilesOfNode(head));
+      }
+      return addrs == 0 ? 1 : addrs;  // Results imply at least one owner.
+    }
     for (const std::uint32_t x : inst_.ClientFiles(cluster)) {
       if (x == 0) continue;
       const double p = 1.0 - std::pow(1.0 - f, static_cast<double>(x));
@@ -818,7 +952,7 @@ class Simulator::Impl {
     // The hop counter mirrors the paper's EPL (hops across the super-peer
     // overlay); the final super-peer -> client delivery is not an overlay
     // hop and is excluded so the metric is comparable with the model.
-    const std::uint32_t hop_delta = IsPartner(to) ? 1u : 0u;
+    const std::uint32_t hop_delta = IsHeadRole(to) ? 1u : 0u;
     Deliver(options_.hop_latency_seconds, kResponseArrive, to, qid,
             PackResponse(results, addrs, hops + hop_delta));
   }
@@ -832,11 +966,11 @@ class Simulator::Impl {
              inputs_.costs.RecvResponseUnits(static_cast<double>(addrs),
                                              static_cast<double>(results)) +
                  MuxOf(node));
-    if (!IsPartner(node)) {
+    if (!IsHeadRole(node)) {
       DeliverResults(qid, results, addrs, hops);
       return;
     }
-    if (!partner_alive_[node]) return;
+    if (!HeadAlive(node)) return;
     const std::size_t cluster = ClusterOf(node);
     const std::uint32_t* upstream = state_.Upstream(cluster, qid);
     if (upstream == nullptr) return;  // State lost to churn.
@@ -901,11 +1035,14 @@ class Simulator::Impl {
     ScheduleIn(ExpDelay(1.0 / LifespanOf(user)), kJoinSubmit, user);
     const double files = FilesOf(user);
     const std::size_t cluster = ClusterOf(user);
-    if (IsPartner(user)) {
-      if (!partner_alive_[user]) return;
+    if (IsHeadRole(user)) {
+      if (!HeadAlive(user)) return;
       // Rebuild the index over its own collection; mirror to every
       // live co-partner.
       AcctProc(user, inputs_.costs.ProcessJoinUnits(files));
+      // Under adaptation clusters are non-redundant (k == 1): there is
+      // no co-partner to mirror to.
+      if (adaptive_) return;
       for (std::size_t p = 0; p < k_; ++p) {
         const auto other = static_cast<std::uint32_t>(cluster * k_ + p);
         if (other == user || !partner_alive_[other]) continue;
@@ -913,6 +1050,14 @@ class Simulator::Impl {
                  inputs_.costs.SendJoinUnits(files) + MuxOf(user));
         ScheduleJoinArrive(other, user, files);
       }
+      return;
+    }
+    if (adaptive_) {
+      const std::uint32_t head = LiveHeadOf(cluster);
+      if (head == kSelfUpstream) return;
+      AcctSend(user, Msg::kJoin, inputs_.costs.JoinBytes(files),
+               inputs_.costs.SendJoinUnits(files) + MuxOf(user));
+      ScheduleJoinArrive(head, user, files);
       return;
     }
     for (std::size_t p = 0; p < k_; ++p) {
@@ -926,7 +1071,7 @@ class Simulator::Impl {
 
   void OnJoinArrive(std::uint32_t partner, std::uint32_t owner,
                     double files) {
-    if (!partner_alive_[partner]) return;
+    if (!IsHeadRole(partner) || !HeadAlive(partner)) return;
     AcctRecv(partner, Msg::kJoin, inputs_.costs.JoinBytes(files),
              inputs_.costs.RecvJoinUnits(files) +
                  inputs_.costs.ProcessJoinUnits(files) + MuxOf(partner));
@@ -964,9 +1109,11 @@ class Simulator::Impl {
   void OnUpdateSubmit(std::uint32_t user) {
     ScheduleIn(ExpDelay(config_.update_rate), kUpdateSubmit, user);
     const std::size_t cluster = ClusterOf(user);
-    if (IsPartner(user)) {
-      if (!partner_alive_[user]) return;
+    if (IsHeadRole(user)) {
+      if (!HeadAlive(user)) return;
       AcctProc(user, inputs_.costs.process_update_units);
+      // Non-redundant clusters under adaptation: nothing to mirror.
+      if (adaptive_) return;
       // Mirror the update to every live co-partner.
       std::size_t live_others = 0;
       for (std::size_t p = 0; p < k_; ++p) {
@@ -985,6 +1132,14 @@ class Simulator::Impl {
                  inputs_.costs.send_update_units + MuxOf(user));
         Deliver(options_.hop_latency_seconds, kUpdateArrive, other, user);
       }
+      return;
+    }
+    if (adaptive_) {
+      const std::uint32_t head = LiveHeadOf(cluster);
+      if (head == kSelfUpstream) return;
+      AcctSend(user, Msg::kUpdate, inputs_.costs.UpdateBytes(),
+               inputs_.costs.send_update_units + MuxOf(user));
+      Deliver(options_.hop_latency_seconds, kUpdateArrive, head, user);
       return;
     }
     std::size_t live_partners = 0;
@@ -1017,7 +1172,7 @@ class Simulator::Impl {
   }
 
   void OnUpdateArrive(std::uint32_t partner, std::uint32_t owner) {
-    if (!partner_alive_[partner]) return;
+    if (!IsHeadRole(partner) || !HeadAlive(partner)) return;
     AcctRecv(partner, Msg::kUpdate, inputs_.costs.UpdateBytes(),
              inputs_.costs.recv_update_units +
                  inputs_.costs.process_update_units + MuxOf(partner));
@@ -1047,6 +1202,10 @@ class Simulator::Impl {
   }
 
   void OnPartnerFail(std::uint32_t partner) {
+    // A head that resigned through a coalesce keeps its node id as an
+    // ordinary member; its churn clock dies with the role (the member's
+    // availability is the new head's problem).
+    if (adaptive_ && !adaptive_ctrl_->IsHead(partner)) return;
     if (!partner_alive_[partner]) return;
     FailPartner(partner, options_.partner_recovery_seconds,
                 /*churn_origin=*/true);
@@ -1058,6 +1217,9 @@ class Simulator::Impl {
     // memoryless (the analytical availability model in DESIGN.md §8
     // relies on exactly this renewal structure).
     ScheduleIn(injector_.NextCrashDelay(), kPartnerCrash, partner);
+    // Crashes only hit nodes still holding the head role (see
+    // OnPartnerFail); the clock keeps ticking either way.
+    if (adaptive_ && !adaptive_ctrl_->IsHead(partner)) return;
     if (!partner_alive_[partner]) return;
     if (measuring_) ++crashes_;
     FailPartner(partner, injector_.plan().crash_recovery_seconds,
@@ -1077,7 +1239,11 @@ class Simulator::Impl {
     // re-uploads its metadata (the join storm after a failure). With an
     // active fault plan membership is mutable, so the storm covers the
     // cluster's current members rather than the instance layout.
-    if (fault_active_) {
+    if (adaptive_) {
+      for (const std::uint32_t node : adaptive_ctrl_->MembersOf(cluster)) {
+        SendMemberUpload(partner, node);
+      }
+    } else if (fault_active_) {
       for (const std::uint32_t c : cluster_members_[cluster]) {
         SendJoinStormUpload(partner, c);
       }
@@ -1096,11 +1262,17 @@ class Simulator::Impl {
   /// One client's metadata re-upload to a recovering partner (`c` is a
   /// client index, not a node id).
   void SendJoinStormUpload(std::uint32_t partner, std::uint32_t c) {
-    const auto client = static_cast<std::uint32_t>(num_partners_ + c);
-    const auto files = static_cast<double>(inst_.client_files[c]);
-    AcctSend(client, Msg::kJoin, inputs_.costs.JoinBytes(files),
-             inputs_.costs.SendJoinUnits(files) + MuxOf(client));
-    ScheduleJoinArrive(partner, client, files);
+    SendMemberUpload(partner, static_cast<std::uint32_t>(num_partners_ + c));
+  }
+
+  /// One member's metadata re-upload to a (new or recovered) head.
+  /// Takes a node id: under adaptation a cluster's members may include
+  /// resigned heads from the partner range.
+  void SendMemberUpload(std::uint32_t head, std::uint32_t member) {
+    const double files = FilesOf(member);
+    AcctSend(member, Msg::kJoin, inputs_.costs.JoinBytes(files),
+             inputs_.costs.SendJoinUnits(files) + MuxOf(member));
+    ScheduleJoinArrive(head, member, files);
   }
 
   void AccumulateOutage(std::size_t cluster, double end) {
@@ -1112,8 +1284,10 @@ class Simulator::Impl {
     // static; with an active fault plan clients accrue individually
     // (AccrueOrphanTime), since re-joins end their episodes early.
     if (!fault_active_) {
-      disconnected_client_seconds_ +=
-          (end - start) * static_cast<double>(inst_.NumClients(cluster));
+      const double clients = static_cast<double>(
+          adaptive_ ? adaptive_ctrl_->MembersOf(cluster).size()
+                    : inst_.NumClients(cluster));
+      disconnected_client_seconds_ += (end - start) * clients;
     }
   }
 
@@ -1122,6 +1296,20 @@ class Simulator::Impl {
   /// Marks every current member of `cluster` orphaned (its last live
   /// partner just went down).
   void OrphanClusterClients(std::size_t cluster) {
+    if (adaptive_) {
+      if (measuring_) {
+        orphaned_clients_hist_.Observe(static_cast<double>(
+            adaptive_ctrl_->MembersOf(cluster).size()));
+      }
+      // Resigned heads (partner-range node ids) carry no orphan slot;
+      // their disconnection shows up in the outage accounting instead.
+      for (const std::uint32_t node : adaptive_ctrl_->MembersOf(cluster)) {
+        if (node < num_partners_) continue;
+        const std::uint32_t c = node - num_partners_;
+        if (orphaned_since_[c] < 0.0) orphaned_since_[c] = now_;
+      }
+      return;
+    }
     if (measuring_) {
       orphaned_clients_hist_.Observe(
           static_cast<double>(cluster_members_[cluster].size()));
@@ -1134,6 +1322,13 @@ class Simulator::Impl {
   /// Ends the orphan episodes of `cluster`'s members: a partner came
   /// back, so they are connected again.
   void ReconnectOrphans(std::size_t cluster) {
+    if (adaptive_) {
+      for (const std::uint32_t node : adaptive_ctrl_->MembersOf(cluster)) {
+        if (node < num_partners_) continue;
+        AccrueOrphanTime(node - num_partners_, /*observe_latency=*/true);
+      }
+      return;
+    }
     for (const std::uint32_t c : cluster_members_[cluster]) {
       AccrueOrphanTime(c, /*observe_latency=*/true);
     }
@@ -1156,6 +1351,7 @@ class Simulator::Impl {
   /// discovery service (Section 4.1's pong-server role). Returns false
   /// when no cluster in the network has a live partner.
   bool RejoinViaDiscovery(std::uint32_t user) {
+    if (adaptive_) return RejoinViaDiscoveryAdaptive(user);
     const std::uint32_t c = user - num_partners_;
     std::vector<std::uint32_t> eligible;
     std::vector<std::uint32_t> sizes;
@@ -1187,6 +1383,32 @@ class Simulator::Impl {
                inputs_.costs.SendJoinUnits(files) + MuxOf(user));
       ScheduleJoinArrive(partner, user, files);
     }
+    return true;
+  }
+
+  /// RejoinViaDiscovery with the adaptation layer owning membership:
+  /// eligible clusters are live slots with a live head, and the move
+  /// flows through the controller so rule decisions see it.
+  bool RejoinViaDiscoveryAdaptive(std::uint32_t user) {
+    std::vector<std::uint32_t> eligible;
+    std::vector<std::uint32_t> sizes;
+    for (std::size_t i = 0; i < adaptive_ctrl_->NumClusterSlots(); ++i) {
+      if (adaptive_ctrl_->Dead(i) || LiveHeadOf(i) == kSelfUpstream) continue;
+      eligible.push_back(static_cast<std::uint32_t>(i));
+      sizes.push_back(
+          static_cast<std::uint32_t>(adaptive_ctrl_->MembersOf(i).size()));
+    }
+    if (eligible.empty()) return false;
+    const std::size_t pick =
+        PickRejoinCluster(eligible, sizes, AssignmentPolicy::kUniformRandom,
+                          injector_.stream());
+    const auto new_cluster = static_cast<std::size_t>(eligible[pick]);
+    adaptive_ctrl_->MoveClient(user, new_cluster);
+    if (measuring_) ++client_rejoins_;
+    if (user >= num_partners_) {
+      AccrueOrphanTime(user - num_partners_, /*observe_latency=*/true);
+    }
+    SendMemberUpload(LiveHeadOf(new_cluster), user);
     return true;
   }
 
@@ -1230,7 +1452,7 @@ class Simulator::Impl {
       if (counted) ++queries_succeeded_;
       return;
     }
-    if (IsPartner(user) && !partner_alive_[user]) {
+    if (IsHeadRole(user) && !HeadAlive(user)) {
       // The submitting partner-user died with its state.
       if (counted) ++queries_failed_;
       return;
@@ -1243,7 +1465,7 @@ class Simulator::Impl {
     state_.SetRoot(retry_qid, root);
     if (counted) ++retries_;
     if (!SubmitWithFailover(user, retry_qid, state.query_class,
-                            static_cast<std::uint32_t>(config_.ttl + 1))) {
+                            static_cast<std::uint32_t>(ttl_ + 1))) {
       if (counted) ++queries_failed_;
       return;
     }
@@ -1251,10 +1473,195 @@ class Simulator::Impl {
                root, retry_number);
   }
 
+  // --- In-simulation adaptation (rules I-III as protocol events) ---------------
+
+  /// The node's measured load over the current window, in the physical
+  /// units the rule predicates use (bps / Hz). Invalid until any time
+  /// has elapsed in the window.
+  AdaptiveController::LoadSample WindowLoad(std::uint32_t node) const {
+    AdaptiveController::LoadSample s;
+    const double elapsed = now_ - window_start_;
+    if (elapsed <= 0.0) return s;
+    const double inv = 1.0 / elapsed;
+    s.valid = true;
+    s.total_bps = BytesPerSecToBps(
+        (adapt_in_bytes_[node] + adapt_out_bytes_[node]) * inv);
+    s.proc_hz = inputs_.costs.UnitsToHz(adapt_units_[node] * inv);
+    return s;
+  }
+
+  /// Packs a LoadReport payload (two float32 fields, matching the wire
+  /// message in proto/messages.h) into an event argument.
+  static std::uint64_t PackLoad(const AdaptiveController::LoadSample& s) {
+    const auto hi =
+        std::bit_cast<std::uint32_t>(static_cast<float>(s.total_bps));
+    const auto lo =
+        std::bit_cast<std::uint32_t>(static_cast<float>(s.proc_hz));
+    return (static_cast<std::uint64_t>(hi) << 32) | lo;
+  }
+
+  /// Every live head probes every overlay neighbor for its load.
+  void OnAdaptProbeTick() {
+    ScheduleIn(options_.adaptive.probe_interval_seconds, kAdaptProbeTick, 0);
+    for (std::size_t c = 0; c < adaptive_ctrl_->NumClusterSlots(); ++c) {
+      if (adaptive_ctrl_->Dead(c)) continue;
+      const std::uint32_t prober = LiveHeadOf(c);
+      if (prober == kSelfUpstream) continue;
+      for (const std::uint32_t nb : adaptive_ctrl_->NeighborsOf(c)) {
+        const std::uint32_t target = adaptive_ctrl_->HeadOf(nb);
+        if (target == AdaptiveController::kNoHead) continue;
+        AcctSend(prober, Msg::kProbe, probe_bytes_, send_ctl_ + MuxOf(prober));
+        ++adapt_probes_sent_;
+        Deliver(options_.hop_latency_seconds, kAdaptProbeArrive, target,
+                /*a=*/c);
+      }
+    }
+  }
+
+  void OnAdaptProbeArrive(std::uint32_t node, std::uint32_t prober_cluster) {
+    if (!IsHeadRole(node) || !HeadAlive(node)) return;
+    AcctRecv(node, Msg::kProbe, probe_bytes_, recv_ctl_ + MuxOf(node));
+    const std::uint32_t target = LiveHeadOf(prober_cluster);
+    if (target == kSelfUpstream) return;  // The prober vanished meanwhile.
+    AcctSend(node, Msg::kReport, report_bytes_, send_ctl_ + MuxOf(node));
+    Deliver(options_.hop_latency_seconds, kAdaptReportArrive, target,
+            /*a=*/adaptive_ctrl_->ClusterOfNode(node),
+            /*b=*/PackLoad(WindowLoad(node)));
+  }
+
+  void OnAdaptReportArrive(std::uint32_t node, std::uint32_t reporter_cluster,
+                           std::uint64_t packed) {
+    if (!IsHeadRole(node) || !HeadAlive(node)) return;
+    AcctRecv(node, Msg::kReport, report_bytes_, recv_ctl_ + MuxOf(node));
+    ++adapt_reports_received_;
+    const auto total =
+        std::bit_cast<float>(static_cast<std::uint32_t>(packed >> 32));
+    const auto proc =
+        std::bit_cast<float>(static_cast<std::uint32_t>(packed & 0xffffffffu));
+    adaptive_ctrl_->RecordReport(adaptive_ctrl_->ClusterOfNode(node),
+                                 reporter_cluster, static_cast<double>(total),
+                                 static_cast<double>(proc));
+  }
+
+  /// One decision round: feeds each live head's window load to the
+  /// controller, then turns the returned actions into protocol traffic
+  /// (re-upload joins, the peering handshake, the TTL broadcast).
+  void OnAdaptRound() {
+    ScheduleIn(options_.adaptive.decision_interval_seconds, kAdaptRound, 0);
+    ++adapt_rounds_;
+    std::vector<AdaptiveController::LoadSample> own_loads(
+        adaptive_ctrl_->NumClusterSlots());
+    for (std::size_t c = 0; c < own_loads.size(); ++c) {
+      if (adaptive_ctrl_->Dead(c)) continue;
+      const std::uint32_t head = LiveHeadOf(c);
+      if (head == kSelfUpstream) continue;  // Down: no sample this round.
+      own_loads[c] = WindowLoad(head);
+    }
+    const AdaptiveController::RoundActions actions =
+        adaptive_ctrl_->RunRound(own_loads, ttl_);
+    // Slots appended by splits need per-cluster state storage — and
+    // per-cluster fault bookkeeping: a resigned partner-range head can
+    // later be re-promoted into a fresh slot, where its still-ticking
+    // crash clock indexes these vectors by the new cluster id.
+    state_.EnsureClusters(adaptive_ctrl_->NumClusterSlots());
+    alive_partners_.resize(adaptive_ctrl_->NumClusterSlots(), 1u);
+    outage_start_.resize(adaptive_ctrl_->NumClusterSlots(), -1.0);
+
+    for (const auto& split : actions.splits) {
+      ++adapt_splits_;
+      // The promoted head indexes its own collection, and every moved
+      // member re-uploads its metadata to it (the split's join storm).
+      AcctProc(split.promoted,
+               inputs_.costs.ProcessJoinUnits(
+                   adaptive_ctrl_->FilesOfNode(split.promoted)));
+      for (const std::uint32_t member : split.moved) {
+        ++adapt_client_moves_;
+        SendMemberUpload(split.promoted, member);
+      }
+    }
+    for (const auto& coalesce : actions.coalesces) {
+      ++adapt_coalesces_;
+      const std::uint32_t target = LiveHeadOf(coalesce.into);
+      if (target == kSelfUpstream) continue;  // Uploads lost.
+      ++adapt_client_moves_;  // The resigned head moves too.
+      SendMemberUpload(target, coalesce.resigned_head);
+      for (const std::uint32_t member : coalesce.moved) {
+        ++adapt_client_moves_;
+        SendMemberUpload(target, member);
+      }
+    }
+    for (const auto& edge : actions.edges) {
+      ++adapt_edges_added_;
+      // Peering handshake: one probe across the new edge primes the
+      // neighbor-report exchange.
+      const std::uint32_t a_head = LiveHeadOf(edge.a);
+      const std::uint32_t b_head = adaptive_ctrl_->HeadOf(edge.b);
+      if (a_head == kSelfUpstream || b_head == AdaptiveController::kNoHead) {
+        continue;
+      }
+      AcctSend(a_head, Msg::kProbe, probe_bytes_, send_ctl_ + MuxOf(a_head));
+      ++adapt_probes_sent_;
+      Deliver(options_.hop_latency_seconds, kAdaptProbeArrive, b_head,
+              /*a=*/edge.a);
+    }
+    if (actions.ttl_decreased) {
+      ++adapt_ttl_decreases_;
+      ttl_ = actions.new_ttl;
+      // Broadcast the new TTL across the overlay: every live head
+      // tells every neighbor.
+      for (std::size_t c = 0; c < adaptive_ctrl_->NumClusterSlots(); ++c) {
+        if (adaptive_ctrl_->Dead(c)) continue;
+        const std::uint32_t head = LiveHeadOf(c);
+        if (head == kSelfUpstream) continue;
+        for (const std::uint32_t nb : adaptive_ctrl_->NeighborsOf(c)) {
+          const std::uint32_t target = adaptive_ctrl_->HeadOf(nb);
+          if (target == AdaptiveController::kNoHead) continue;
+          AcctSend(head, Msg::kControl, ttl_update_bytes_,
+                   send_ctl_ + MuxOf(head));
+          Deliver(options_.hop_latency_seconds, kAdaptTtlArrive, target);
+        }
+      }
+    }
+    // Convergence = the trailing streak of quiescent rounds reaching
+    // the end of the run; converged_round is the streak's first round.
+    if (actions.quiescent) {
+      if (!adapt_converged_) {
+        adapt_converged_ = true;
+        adapt_converged_round_ = adapt_rounds_;
+      }
+    } else {
+      adapt_converged_ = false;
+      adapt_converged_round_ = 0;
+    }
+    // Start the next measurement window.
+    std::fill(adapt_in_bytes_.begin(), adapt_in_bytes_.end(), 0.0);
+    std::fill(adapt_out_bytes_.begin(), adapt_out_bytes_.end(), 0.0);
+    std::fill(adapt_units_.begin(), adapt_units_.end(), 0.0);
+    window_start_ = now_;
+  }
+
+  void OnAdaptTtlArrive(std::uint32_t node) {
+    if (!IsHeadRole(node) || !HeadAlive(node)) return;
+    AcctRecv(node, Msg::kControl, ttl_update_bytes_, recv_ctl_ + MuxOf(node));
+  }
+
+  /// Mean overlay degree of the static topology (the "final" network
+  /// of a non-adaptive run).
+  double StaticAvgOutdegree() const {
+    if (inst_.topology.is_complete()) return static_cast<double>(n_ - 1);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      sum += static_cast<double>(
+          inst_.topology.graph().Neighbors(static_cast<NodeId>(i)).size());
+    }
+    return sum / static_cast<double>(n_);
+  }
+
   // --- Finalization --------------------------------------------------------------
   SimReport Finalize() {
-    // Close outages still open at the end of the run.
-    for (std::size_t i = 0; i < n_; ++i) {
+    // Close outages still open at the end of the run (adaptation can
+    // have grown the slot count past the instance's n clusters).
+    for (std::size_t i = 0; i < outage_start_.size(); ++i) {
       if (outage_start_[i] >= 0.0) AccumulateOutage(i, now_);
     }
     if (fault_active_) {
@@ -1349,6 +1756,26 @@ class Simulator::Impl {
                                   static_cast<double>(completed);
     }
     report.mean_recovery_latency_seconds = recovery_latency_hist_.Mean();
+    report.adapt_rounds = adapt_rounds_;
+    report.adapt_splits = adapt_splits_;
+    report.adapt_coalesces = adapt_coalesces_;
+    report.adapt_edges_added = adapt_edges_added_;
+    report.adapt_ttl_decreases = adapt_ttl_decreases_;
+    report.adapt_probes_sent = adapt_probes_sent_;
+    report.adapt_reports_received = adapt_reports_received_;
+    report.adapt_client_moves = adapt_client_moves_;
+    report.adapt_converged = adapt_converged_;
+    report.adapt_converged_round = adapt_converged_round_;
+    if (adaptive_) {
+      report.final_clusters =
+          static_cast<std::uint64_t>(adaptive_ctrl_->LiveClusters());
+      report.final_ttl = ttl_;
+      report.final_avg_outdegree = adaptive_ctrl_->AvgOutdegree();
+    } else {
+      report.final_clusters = static_cast<std::uint64_t>(n_);
+      report.final_ttl = config_.ttl;
+      report.final_avg_outdegree = StaticAvgOutdegree();
+    }
     if (options_.metrics != nullptr) PublishMetrics(*options_.metrics);
     return report;
   }
@@ -1369,7 +1796,10 @@ class Simulator::Impl {
   /// sim.time.* timers are wall-clock (report-only nondeterminism,
   /// excluded from deterministic-section comparisons).
   void PublishMetrics(MetricsRegistry& m) {
-    for (std::size_t t = 0; t < kNumMsgTypes; ++t) {
+    // The adaptation message classes (probe/report/control) exist in
+    // the registry only for active plans.
+    const std::size_t published = adaptive_ ? kNumMsgTypes : kNumBaseMsgTypes;
+    for (std::size_t t = 0; t < published; ++t) {
       const std::string type = kMsgNames[t];
       m.GetCounter("sim.msg." + type + ".sent").Increment(msg_sent_[t]);
       m.GetCounter("sim.msg." + type + ".received").Increment(msg_recv_[t]);
@@ -1426,6 +1856,27 @@ class Simulator::Impl {
           .Merge(recovery_latency_hist_);
       m.GetHistogram("sim.faults.orphaned_clients", OrphanCountBounds())
           .Merge(orphaned_clients_hist_);
+    }
+    // Adaptation instruments, reconciled 1:1 with the SimReport adapt_*
+    // fields; like the fault layer they exist only for active plans.
+    if (adaptive_) {
+      m.GetCounter("sim.adaptive.rounds").Increment(adapt_rounds_);
+      m.GetCounter("sim.adaptive.splits").Increment(adapt_splits_);
+      m.GetCounter("sim.adaptive.coalesces").Increment(adapt_coalesces_);
+      m.GetCounter("sim.adaptive.edges_added").Increment(adapt_edges_added_);
+      m.GetCounter("sim.adaptive.ttl_decreases")
+          .Increment(adapt_ttl_decreases_);
+      m.GetCounter("sim.adaptive.probes_sent").Increment(adapt_probes_sent_);
+      m.GetCounter("sim.adaptive.reports_received")
+          .Increment(adapt_reports_received_);
+      m.GetCounter("sim.adaptive.client_moves").Increment(adapt_client_moves_);
+      m.GetGauge("sim.adaptive.converged")
+          .SetMax(adapt_converged_ ? 1.0 : 0.0);
+      m.GetGauge("sim.adaptive.converged_round")
+          .SetMax(static_cast<double>(adapt_converged_round_));
+      m.GetGauge("sim.adaptive.final_clusters")
+          .SetMax(static_cast<double>(adaptive_ctrl_->LiveClusters()));
+      m.GetGauge("sim.adaptive.final_ttl").SetMax(static_cast<double>(ttl_));
     }
   }
 
@@ -1523,7 +1974,62 @@ class Simulator::Impl {
   std::uint64_t queries_failed_ = 0;
   Histogram recovery_latency_hist_{RecoveryLatencyBounds()};
   Histogram orphaned_clients_hist_{OrphanCountBounds()};
+
+  // In-simulation adaptation state. When active, the controller is the
+  // single source of truth for membership, head roles and the overlay;
+  // everything below is consulted only when adaptive_ (the same
+  // pay-for-what-you-use determinism contract as the fault block).
+  const bool adaptive_;
+  std::unique_ptr<AdaptiveController> adaptive_ctrl_;
+  /// The live flood TTL: config_.ttl until a rule III broadcast lowers
+  /// it.
+  int ttl_;
+  // Control-message costs, cached from the CostTable at construction.
+  double probe_bytes_ = 0.0, report_bytes_ = 0.0, ttl_update_bytes_ = 0.0;
+  double send_ctl_ = 0.0, recv_ctl_ = 0.0;
+  /// Per-node traffic accumulated since the last decision round — the
+  /// measured window loads rules I-III act on. Unlike the report
+  /// accounting these accrue during warmup too.
+  std::vector<double> adapt_in_bytes_, adapt_out_bytes_, adapt_units_;
+  double window_start_ = 0.0;
+  std::uint64_t adapt_rounds_ = 0;
+  std::uint64_t adapt_splits_ = 0;
+  std::uint64_t adapt_coalesces_ = 0;
+  std::uint64_t adapt_edges_added_ = 0;
+  std::uint64_t adapt_ttl_decreases_ = 0;
+  std::uint64_t adapt_probes_sent_ = 0;
+  std::uint64_t adapt_reports_received_ = 0;
+  std::uint64_t adapt_client_moves_ = 0;
+  bool adapt_converged_ = false;
+  std::uint64_t adapt_converged_round_ = 0;
 };
+
+void SimOptions::Validate() const {
+  SPPNET_CHECK_MSG(std::isfinite(duration_seconds) && duration_seconds > 0.0,
+                   "duration must be finite and > 0");
+  SPPNET_CHECK_MSG(std::isfinite(warmup_seconds) && warmup_seconds >= 0.0,
+                   "warmup must be finite and >= 0");
+  SPPNET_CHECK_MSG(
+      std::isfinite(hop_latency_seconds) && hop_latency_seconds >= 0.0,
+      "hop latency must be finite and >= 0");
+  SPPNET_CHECK_MSG(partner_recovery_seconds > 0.0,
+                   "partner recovery time must be > 0");
+  SPPNET_CHECK_MSG(result_cache_ttl_seconds >= 0.0,
+                   "result-cache TTL must be >= 0");
+  faults.Validate();
+  adaptive.Validate();
+  if (adaptive.Active()) {
+    // The adaptation layer reroutes membership, matching and topology
+    // through its controller; the features below hold per-cluster
+    // state the controller cannot migrate, so they are incompatible.
+    SPPNET_CHECK_MSG(strategy == SearchStrategy::kFlood,
+                     "in-sim adaptation requires the flood strategy");
+    SPPNET_CHECK_MSG(!concrete_index,
+                     "in-sim adaptation requires abstract indexes");
+    SPPNET_CHECK_MSG(result_cache_ttl_seconds == 0.0,
+                     "in-sim adaptation requires the result cache disabled");
+  }
+}
 
 Simulator::Simulator(const NetworkInstance& instance,
                      const Configuration& config, const ModelInputs& inputs,

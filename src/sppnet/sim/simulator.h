@@ -7,6 +7,7 @@
 #include "sppnet/model/config.h"
 #include "sppnet/model/instance.h"
 #include "sppnet/model/load.h"
+#include "sppnet/sim/adaptive_sim.h"
 #include "sppnet/sim/event_queue.h"
 #include "sppnet/sim/faults.h"
 #include "sppnet/sim/sim_state.h"
@@ -71,6 +72,18 @@ struct SimOptions {
   /// dedicated RNG stream salted from `seed`.
   FaultPlan faults;
 
+  /// In-simulation adaptation plan (see sim/adaptive_sim.h): the
+  /// Section 5.3 local rules executed as scheduled protocol events —
+  /// periodic load probes, live cluster splits and coalesces with
+  /// client re-upload, incremental edge addition toward the suggested
+  /// outdegree, TTL-decrease broadcasts. The default plan is inactive
+  /// and is never consulted, leaving runs bit-identical to a build
+  /// without the layer; an active plan draws its decisions from a
+  /// dedicated RNG stream salted from `seed`. Requires the flood
+  /// strategy, abstract (non-concrete) indexes, no result cache and a
+  /// non-redundant configuration (redundancy_k == 1).
+  AdaptivePlan adaptive;
+
   /// Concrete-index mode: instead of sampling result counts from the
   /// Appendix-B probabilistic query model, every (virtual) super-peer
   /// maintains a real InvertedIndex over titles drawn from a
@@ -112,6 +125,15 @@ struct SimOptions {
   /// kRandomWalk: hops each walker may take (independent of the
   /// configuration TTL, which bounds ring/flood depth).
   std::uint32_t walk_ttl = 64;
+
+  /// Aborts (SPPNET_CHECK) on invalid configurations: non-positive
+  /// duration, negative warmup or latency, an invalid fault or
+  /// adaptation plan, or an active adaptation plan combined with a
+  /// feature it cannot drive (non-flood strategies, concrete indexes,
+  /// the result cache). Called at every entry point that consumes
+  /// options (the Simulator constructor, RunTrials), matching
+  /// FaultPlan's contract.
+  void Validate() const;
 };
 
 /// Measured outcome of a simulation run. Every field is
@@ -197,6 +219,41 @@ struct SimReport {
   /// Mean seconds from a client losing its last partner to re-joining a
   /// cluster (via discovery) or its own cluster recovering.
   double mean_recovery_latency_seconds = 0.0;
+
+  // --- In-sim adaptation metrics (active AdaptivePlan only) ---
+  // Whole-run tallies (adaptation typically converges during warmup),
+  // reconciled 1:1 with the sim.adaptive.* counters. With an inactive
+  // plan the final_* fields describe the unchanged input network and
+  // every tally is zero.
+  /// Decision rounds executed.
+  std::uint64_t adapt_rounds = 0;
+  /// Rule I cluster splits (a member promoted to super-peer).
+  std::uint64_t adapt_splits = 0;
+  /// Rule I cluster coalesces (a super-peer resigned).
+  std::uint64_t adapt_coalesces = 0;
+  /// Rule II overlay edges added.
+  std::uint64_t adapt_edges_added = 0;
+  /// Rule III TTL decrements broadcast.
+  std::uint64_t adapt_ttl_decreases = 0;
+  /// LoadProbe messages sent by the periodic probe sweeps.
+  std::uint64_t adapt_probes_sent = 0;
+  /// LoadReport messages received by probing super-peers.
+  std::uint64_t adapt_reports_received = 0;
+  /// Clients that changed cluster through splits and coalesces
+  /// (resigned super-peers included).
+  std::uint64_t adapt_client_moves = 0;
+  /// True when the most recent decision round was quiescent
+  /// (LocalPolicy::RoundQuiescent) — the live network has converged.
+  bool adapt_converged = false;
+  /// First round (1-based) of the final quiescent streak; 0 when the
+  /// network never went quiescent.
+  std::uint64_t adapt_converged_round = 0;
+  /// Live clusters at the end of the run.
+  std::uint64_t final_clusters = 0;
+  /// Effective flood TTL at the end of the run.
+  int final_ttl = 0;
+  /// Mean overlay outdegree over live clusters at the end of the run.
+  double final_avg_outdegree = 0.0;
 };
 
 /// Discrete-event simulator that executes the super-peer protocol of

@@ -151,6 +151,105 @@ TEST_F(LocalRulesTest, ConservesUserPopulation) {
   EXPECT_EQ(outcome.final_instance.TotalUsers(), users_before);
 }
 
+TEST(LocalPolicyDeathTest, ValidateRejectsOutOfRangeValues) {
+  {
+    LocalPolicy p;
+    p.max_bandwidth_bps = 0.0;
+    EXPECT_DEATH(p.Validate(), "bandwidth limit must be > 0");
+  }
+  {
+    LocalPolicy p;
+    p.max_proc_hz = -1.0;
+    EXPECT_DEATH(p.Validate(), "processing limit must be > 0");
+  }
+  {
+    LocalPolicy p;
+    p.low_utilization = 0.0;
+    EXPECT_DEATH(p.Validate(), "low-utilization fraction must be in");
+  }
+  {
+    LocalPolicy p;
+    p.low_utilization = 1.0;
+    EXPECT_DEATH(p.Validate(), "low-utilization fraction must be in");
+  }
+  {
+    LocalPolicy p;
+    p.suggested_outdegree = 0.5;
+    EXPECT_DEATH(p.Validate(), "suggested outdegree must be >= 1");
+  }
+  {
+    LocalPolicy p;
+    p.max_rounds = 0;
+    EXPECT_DEATH(p.Validate(), "round budget must be >= 1");
+  }
+}
+
+TEST(LocalPolicyTest, DefaultsValidate) {
+  LocalPolicy p;
+  p.Validate();  // Must not abort.
+}
+
+TEST(LocalPolicyTest, OverloadPredicateTripsOnEitherAxis) {
+  LocalPolicy p;
+  p.max_bandwidth_bps = 100.0;
+  p.max_proc_hz = 10.0;
+  EXPECT_FALSE(p.Overloaded(100.0, 10.0));  // Exactly at the limit: fine.
+  EXPECT_TRUE(p.Overloaded(100.1, 0.0));
+  EXPECT_TRUE(p.Overloaded(0.0, 10.1));
+  EXPECT_FALSE(p.Overloaded(50.0, 5.0));
+}
+
+TEST(LocalPolicyTest, UnderloadPredicateRequiresBothAxes) {
+  LocalPolicy p;
+  p.max_bandwidth_bps = 100.0;
+  p.max_proc_hz = 10.0;
+  p.low_utilization = 0.25;
+  EXPECT_TRUE(p.Underloaded(24.9, 2.4));
+  EXPECT_FALSE(p.Underloaded(25.0, 2.4));  // Bandwidth at the floor.
+  EXPECT_FALSE(p.Underloaded(24.9, 2.5));  // Processing at the floor.
+  EXPECT_FALSE(p.Underloaded(80.0, 8.0));
+}
+
+TEST(LocalPolicyTest, CoalesceFitsIsBandwidthOnly) {
+  LocalPolicy p;
+  p.max_bandwidth_bps = 100.0;
+  EXPECT_TRUE(p.CoalesceFits(100.0));
+  EXPECT_FALSE(p.CoalesceFits(100.1));
+}
+
+TEST(LocalPolicyTest, WantsMoreNeighborsStopsAtSuggestion) {
+  LocalPolicy p;
+  p.suggested_outdegree = 10.0;
+  EXPECT_TRUE(p.WantsMoreNeighbors(9));
+  EXPECT_FALSE(p.WantsMoreNeighbors(10));
+  EXPECT_FALSE(p.WantsMoreNeighbors(11));
+}
+
+TEST(LocalPolicyTest, NoiseFloorScalesWithNetwork) {
+  EXPECT_EQ(LocalPolicy::NoiseFloor(1), 1u);
+  EXPECT_EQ(LocalPolicy::NoiseFloor(99), 1u);
+  EXPECT_EQ(LocalPolicy::NoiseFloor(100), 1u);
+  EXPECT_EQ(LocalPolicy::NoiseFloor(250), 2u);
+  EXPECT_EQ(LocalPolicy::NoiseFloor(1000), 10u);
+}
+
+TEST(LocalPolicyTest, RoundQuiescentToleratesNoiseFloorActivity) {
+  const LocalPolicy p;
+  // A perfectly still round is quiescent.
+  EXPECT_TRUE(p.RoundQuiescent(0, 0, 0, false, 100));
+  // Membership churn and edge growth at the floor still count as
+  // quiescent; a TTL decrease never does.
+  EXPECT_TRUE(p.RoundQuiescent(1, 0, 1, false, 100));
+  EXPECT_TRUE(p.RoundQuiescent(0, 1, 1, false, 100));
+  EXPECT_FALSE(p.RoundQuiescent(0, 0, 0, true, 100));
+  // One past the floor on either axis is activity.
+  EXPECT_FALSE(p.RoundQuiescent(1, 1, 0, false, 100));
+  EXPECT_FALSE(p.RoundQuiescent(0, 0, 2, false, 100));
+  // Larger networks get a proportionally larger floor.
+  EXPECT_TRUE(p.RoundQuiescent(2, 3, 5, false, 500));
+  EXPECT_FALSE(p.RoundQuiescent(3, 3, 5, false, 500));
+}
+
 TEST_F(LocalRulesTest, RejectsRedundantConfigurations) {
   Configuration initial;
   initial.redundancy = true;

@@ -261,6 +261,68 @@ TEST(SimReconcileTest, SharedRegistryAccumulatesAcrossRuns) {
   EXPECT_EQ(it->second.count(), 2 * r1.responses_delivered);
 }
 
+TEST(SimReconcileTest, AdaptiveRunCountersMatchReport) {
+  // The Section 5.3 bad topology, so every adaptation rule fires.
+  SimSetup s;
+  s.config.graph_size = 400;
+  s.config.cluster_size = 4;
+  s.config.ttl = 5;
+  s.config.avg_outdegree = 3.1;
+  Rng rng(25);
+  s.instance = GenerateInstance(s.config, s.inputs, rng);
+
+  SimOptions options;
+  options.duration_seconds = 300.0;
+  options.warmup_seconds = 200.0;
+  options.seed = 34;
+  options.adaptive.probe_interval_seconds = 2.0;
+  options.adaptive.decision_interval_seconds = 10.0;
+  options.adaptive.policy.max_bandwidth_bps = 1.0e7;
+  options.adaptive.policy.max_proc_hz = 2.0e6;
+
+  MetricsRegistry m;
+  const SimReport report = RunWithMetrics(s, options, m);
+
+  // Adaptation actually happened — otherwise the test proves nothing.
+  ASSERT_GT(report.adapt_rounds, 0u);
+  ASSERT_GT(report.adapt_coalesces, 0u);
+  ASSERT_GT(report.adapt_probes_sent, 0u);
+
+  // Every sim.adaptive.* instrument is reconciled 1:1 with its
+  // SimReport field.
+  EXPECT_EQ(m.CounterValue("sim.adaptive.rounds"), report.adapt_rounds);
+  EXPECT_EQ(m.CounterValue("sim.adaptive.splits"), report.adapt_splits);
+  EXPECT_EQ(m.CounterValue("sim.adaptive.coalesces"),
+            report.adapt_coalesces);
+  EXPECT_EQ(m.CounterValue("sim.adaptive.edges_added"),
+            report.adapt_edges_added);
+  EXPECT_EQ(m.CounterValue("sim.adaptive.ttl_decreases"),
+            report.adapt_ttl_decreases);
+  EXPECT_EQ(m.CounterValue("sim.adaptive.probes_sent"),
+            report.adapt_probes_sent);
+  EXPECT_EQ(m.CounterValue("sim.adaptive.reports_received"),
+            report.adapt_reports_received);
+  EXPECT_EQ(m.CounterValue("sim.adaptive.client_moves"),
+            report.adapt_client_moves);
+  EXPECT_EQ(m.GaugeValue("sim.adaptive.converged"),
+            report.adapt_converged ? 1.0 : 0.0);
+  EXPECT_EQ(m.GaugeValue("sim.adaptive.converged_round"),
+            static_cast<double>(report.adapt_converged_round));
+  EXPECT_EQ(m.GaugeValue("sim.adaptive.final_clusters"),
+            static_cast<double>(report.final_clusters));
+  EXPECT_EQ(m.GaugeValue("sim.adaptive.final_ttl"),
+            static_cast<double>(report.final_ttl));
+
+  // The adaptation message classes are published and saw measured-
+  // window traffic. (They are NOT equal to the adapt_* tallies: the
+  // msg counters cover the measurement window only, while the
+  // adaptation trajectory mostly runs during warmup.)
+  EXPECT_GT(m.CounterValue("sim.msg.probe.sent"), 0u);
+  EXPECT_GT(m.CounterValue("sim.msg.probe.received"), 0u);
+  EXPECT_GT(m.CounterValue("sim.msg.report.sent"), 0u);
+  EXPECT_GT(m.CounterValue("sim.msg.report.received"), 0u);
+}
+
 TEST(TrialMetricsTest, CompletedCounterIdenticalAcrossParallelism) {
   Configuration config;
   config.graph_size = 500;

@@ -163,6 +163,48 @@ TEST(UpdateMessageTest, RoundTripAndFixedSize) {
   EXPECT_EQ(decoded->file.title, "gone");
 }
 
+TEST(LoadProbeMessageTest, RoundTripAndFixedSize) {
+  const CostTable costs;
+  LoadProbeMessage m;
+  m.header.guid = GuidFromSeed(17);
+  m.cluster = 4242;
+  EXPECT_EQ(static_cast<double>(m.WireSizeBytes()), costs.LoadProbeBytes());
+  EXPECT_EQ(m.Encode().size() + kTransportOverheadBytes, m.WireSizeBytes());
+  const auto decoded = LoadProbeMessage::Decode(m.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->cluster, 4242u);
+}
+
+TEST(LoadReportMessageTest, RoundTripAndFixedSize) {
+  const CostTable costs;
+  LoadReportMessage m;
+  m.header.guid = GuidFromSeed(19);
+  m.cluster = 77;
+  m.total_bps = 123456.75f;
+  m.proc_hz = 9.5e6f;
+  m.window_ms = 30000;
+  EXPECT_EQ(static_cast<double>(m.WireSizeBytes()), costs.LoadReportBytes());
+  EXPECT_EQ(m.Encode().size() + kTransportOverheadBytes, m.WireSizeBytes());
+  const auto decoded = LoadReportMessage::Decode(m.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->cluster, 77u);
+  EXPECT_EQ(decoded->total_bps, 123456.75f);  // Bit-exact via bit_cast.
+  EXPECT_EQ(decoded->proc_hz, 9.5e6f);
+  EXPECT_EQ(decoded->window_ms, 30000u);
+}
+
+TEST(TtlUpdateMessageTest, RoundTripAndFixedSize) {
+  const CostTable costs;
+  TtlUpdateMessage m;
+  m.header.guid = GuidFromSeed(23);
+  m.new_ttl = 5;
+  EXPECT_EQ(static_cast<double>(m.WireSizeBytes()), costs.TtlUpdateBytes());
+  EXPECT_EQ(m.Encode().size() + kTransportOverheadBytes, m.WireSizeBytes());
+  const auto decoded = TtlUpdateMessage::Decode(m.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->new_ttl, 5);
+}
+
 TEST(DecodeTest, RejectsWrongType) {
   QueryMessage q;
   q.query = "x";
@@ -170,6 +212,31 @@ TEST(DecodeTest, RejectsWrongType) {
   EXPECT_FALSE(ResponseMessage::Decode(bytes).has_value());
   EXPECT_FALSE(JoinMessage::Decode(bytes).has_value());
   EXPECT_FALSE(UpdateMessage::Decode(bytes).has_value());
+  EXPECT_FALSE(LoadProbeMessage::Decode(bytes).has_value());
+  EXPECT_FALSE(LoadReportMessage::Decode(bytes).has_value());
+  EXPECT_FALSE(TtlUpdateMessage::Decode(bytes).has_value());
+}
+
+TEST(DecodeTest, ControlMessagesRejectTruncationAndPadding) {
+  LoadReportMessage m;
+  m.cluster = 9;
+  auto bytes = m.Encode();
+  auto truncated = bytes;
+  truncated.pop_back();
+  EXPECT_FALSE(LoadReportMessage::Decode(truncated).has_value());
+  auto padded = bytes;
+  padded.push_back(0);
+  EXPECT_FALSE(LoadReportMessage::Decode(padded).has_value());
+
+  TtlUpdateMessage t;
+  auto tb = t.Encode();
+  tb.pop_back();
+  EXPECT_FALSE(TtlUpdateMessage::Decode(tb).has_value());
+
+  LoadProbeMessage p;
+  auto pb = p.Encode();
+  pb.pop_back();
+  EXPECT_FALSE(LoadProbeMessage::Decode(pb).has_value());
 }
 
 TEST(DecodeTest, RejectsTruncatedBuffers) {

@@ -230,6 +230,43 @@ std::vector<GoldenCase> GoldenCases() {
     cases.push_back(c);
   }
   {
+    // Same configuration and seeds as churn_plod but with an explicitly
+    // constructed INACTIVE adaptation plan (probe interval 0): pinned to
+    // the SAME digest — the inactive-plan bit-identity contract of the
+    // adaptation layer, the exact analogue of churn_plod_zero_rate_plan.
+    GoldenCase c{"churn_plod_inactive_adaptive_plan", 0x69a0bd51b6db4f6aull,
+                 {}, 105, {}};
+    c.config.graph_size = 400;
+    c.config.cluster_size = 10.0;
+    c.config.ttl = 4;
+    c.config.avg_outdegree = 4.0;
+    c.options.enable_churn = true;
+    c.options.partner_recovery_seconds = 20.0;
+    c.options.adaptive.probe_interval_seconds = 0.0;
+    c.options.adaptive.decision_interval_seconds = 7.0;
+    c.options.adaptive.policy.suggested_outdegree = 25.0;
+    c.options.seed = 15;
+    cases.push_back(c);
+  }
+  {
+    // Live adaptation on the Section 5.3 bad topology: splits,
+    // coalesces, peering and the TTL broadcast all mutate the instance
+    // mid-run, and the converged network must still be bit-identical
+    // across engines and state backends. Digest generated at
+    // introduction (no pre-overhaul implementation existed).
+    GoldenCase c{"adaptive_plod", 0x006dd28398706a0cull, {}, 108, {}};
+    c.config.graph_size = 400;
+    c.config.cluster_size = 4.0;
+    c.config.ttl = 5;
+    c.config.avg_outdegree = 3.1;
+    c.options.adaptive.probe_interval_seconds = 2.0;
+    c.options.adaptive.decision_interval_seconds = 10.0;
+    c.options.adaptive.policy.max_bandwidth_bps = 1.0e7;
+    c.options.adaptive.policy.max_proc_hz = 2.0e6;
+    c.options.seed = 18;
+    cases.push_back(c);
+  }
+  {
     // Concrete-index + result cache: exercises the interned query
     // strings and the per-cluster cache tables, the two state pieces
     // with the subtlest dense-backend rewrites.
@@ -306,12 +343,34 @@ TEST_P(EngineEquivalenceTest, MatrixBitIdenticalAndPinnedToPreOverhaulGolden) {
     // but within one build it cannot depend on the engine.
     EXPECT_EQ(run.report.mean_index_memory_bytes,
               baseline.report.mean_index_memory_bytes);
+    // The adaptation tallies and converged-network fields postdate the
+    // goldens; the identical event stream must adapt identically.
+    EXPECT_EQ(run.report.adapt_rounds, baseline.report.adapt_rounds);
+    EXPECT_EQ(run.report.adapt_splits, baseline.report.adapt_splits);
+    EXPECT_EQ(run.report.adapt_coalesces, baseline.report.adapt_coalesces);
+    EXPECT_EQ(run.report.adapt_edges_added,
+              baseline.report.adapt_edges_added);
+    EXPECT_EQ(run.report.adapt_ttl_decreases,
+              baseline.report.adapt_ttl_decreases);
+    EXPECT_EQ(run.report.adapt_probes_sent,
+              baseline.report.adapt_probes_sent);
+    EXPECT_EQ(run.report.adapt_reports_received,
+              baseline.report.adapt_reports_received);
+    EXPECT_EQ(run.report.adapt_client_moves,
+              baseline.report.adapt_client_moves);
+    EXPECT_EQ(run.report.adapt_converged, baseline.report.adapt_converged);
+    EXPECT_EQ(run.report.adapt_converged_round,
+              baseline.report.adapt_converged_round);
+    EXPECT_EQ(run.report.final_clusters, baseline.report.final_clusters);
+    EXPECT_EQ(run.report.final_ttl, baseline.report.final_ttl);
+    EXPECT_EQ(run.report.final_avg_outdegree,
+              baseline.report.final_avg_outdegree);
     EXPECT_EQ(run.protocol_metrics, baseline.protocol_metrics);
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllGoldenCases, EngineEquivalenceTest,
-                         ::testing::Range<std::size_t>(0, 8),
+                         ::testing::Range<std::size_t>(0, 10),
                          [](const auto& info) {
                            return GoldenCases()[info.param].name;
                          });
@@ -339,7 +398,7 @@ TEST(EngineEquivalenceTrialsTest, BitIdenticalAcrossParallelismAndEngines) {
     options.sim.state_backend = backend;
     MetricsRegistry metrics;
     options.metrics = &metrics;
-    const SimTrialReport report = RunSimTrials(config, inputs, options);
+    const SimTrialReport report = RunTrials(config, inputs, options);
     // Fold the cross-trial surface into one comparable string: the
     // protocol-level metrics (identical across engines AND parallelism)
     // plus the trial report's counter totals and per-trial means.
@@ -359,6 +418,55 @@ TEST(EngineEquivalenceTrialsTest, BitIdenticalAcrossParallelismAndEngines) {
 
   const std::string reference =
       run(SimEngine::kHeapReference, SimStateBackend::kMapReference, 1);
+  for (const std::size_t parallelism : {std::size_t{1}, std::size_t{2},
+                                        std::size_t{8}}) {
+    EXPECT_EQ(run(SimEngine::kCalendar, SimStateBackend::kDense, parallelism),
+              reference)
+        << "parallelism=" << parallelism;
+  }
+  EXPECT_EQ(run(SimEngine::kHeapReference, SimStateBackend::kMapReference, 8),
+            reference);
+}
+
+TEST(EngineEquivalenceTrialsTest,
+     AdaptiveBitIdenticalAcrossParallelismAndEngines) {
+  Configuration config;
+  config.graph_size = 400;
+  config.cluster_size = 4.0;
+  config.ttl = 5;
+  config.avg_outdegree = 3.1;
+  const ModelInputs inputs = ModelInputs::Default();
+
+  const auto run = [&](SimEngine engine, SimStateBackend backend,
+                       std::size_t parallelism) {
+    SimTrialOptions options;
+    options.num_trials = 3;
+    options.seed = 78;
+    options.parallelism = parallelism;
+    options.sim.duration_seconds = 60.0;
+    options.sim.warmup_seconds = 10.0;
+    options.sim.adaptive.probe_interval_seconds = 2.0;
+    options.sim.adaptive.decision_interval_seconds = 10.0;
+    options.sim.adaptive.policy.max_bandwidth_bps = 1.0e7;
+    options.sim.adaptive.policy.max_proc_hz = 2.0e6;
+    options.sim.engine = engine;
+    options.sim.state_backend = backend;
+    MetricsRegistry metrics;
+    options.metrics = &metrics;
+    const SimTrialReport report = RunTrials(config, inputs, options);
+    // The sim.adaptive.* counters and sim.msg.{probe,report,control}
+    // instruments ride inside ProtocolMetricsJson, so one folded string
+    // holds the whole adaptation surface identical across the matrix.
+    std::ostringstream out;
+    out << ProtocolMetricsJson(metrics) << report.trials << ','
+        << report.queries_submitted << ',' << report.responses_delivered
+        << ',' << report.query_success_rate.Mean();
+    return out.str();
+  };
+
+  const std::string reference =
+      run(SimEngine::kHeapReference, SimStateBackend::kMapReference, 1);
+  ASSERT_NE(reference.find("sim.adaptive.rounds"), std::string::npos);
   for (const std::size_t parallelism : {std::size_t{1}, std::size_t{2},
                                         std::size_t{8}}) {
     EXPECT_EQ(run(SimEngine::kCalendar, SimStateBackend::kDense, parallelism),

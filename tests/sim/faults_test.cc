@@ -269,7 +269,7 @@ TEST(FaultSimTest, FaultMetricsBitIdenticalAcrossParallelism) {
     options.sim.faults = ActiveTestPlan();
     MetricsRegistry m;
     options.metrics = &m;
-    reports.push_back(RunSimTrials(config, inputs, options));
+    reports.push_back(RunTrials(config, inputs, options));
     EXPECT_EQ(m.CounterValue("sim_trials.completed"), 5u);
     exports.push_back(MetricsJson(m));
   }
@@ -318,7 +318,7 @@ TEST(FaultSimVsModelTest, AvailabilityMatchesKRedundancyPrediction) {
     options.sim.faults.crash_rate_per_partner = rate;
     options.sim.faults.crash_recovery_seconds = recovery;
     options.sim.faults.request_timeout_seconds = 2.0;
-    const SimTrialReport report = RunSimTrials(config, inputs, options);
+    const SimTrialReport report = RunTrials(config, inputs, options);
 
     const double predicted = std::pow(u, k);
     const double measured = report.cluster_outage_fraction.Mean();
