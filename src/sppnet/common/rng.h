@@ -46,6 +46,25 @@ class Rng {
   /// parallel component its own stream without sharing state.
   Rng Split();
 
+  /// Complete generator state, exposed so checkpoints can resume a
+  /// stream mid-sequence. The spare Gaussian variate is part of the
+  /// state: dropping it would desynchronise the next NextGaussian call.
+  struct State {
+    std::uint64_t s[4];
+    double gauss_spare;
+    bool has_gauss_spare;
+  };
+
+  State SaveState() const {
+    return State{{state_[0], state_[1], state_[2], state_[3]}, gauss_spare_,
+                 has_gauss_spare_};
+  }
+  void RestoreState(const State& st) {
+    for (int i = 0; i < 4; ++i) state_[i] = st.s[i];
+    gauss_spare_ = st.gauss_spare;
+    has_gauss_spare_ = st.has_gauss_spare;
+  }
+
  private:
   std::uint64_t state_[4];
   // Cached second variate from the polar method; NaN when empty.

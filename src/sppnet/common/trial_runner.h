@@ -86,6 +86,30 @@ void RunTrialLoop(const TrialRunnerOptions& options, RunFn&& run,
   }
 }
 
+/// Deterministic fold of per-trial window sequences, window-major:
+/// all trials' window 0 (in trial order), then window 1, ... — the
+/// iteration order every windowed cross-trial aggregate must use so
+/// folded values stay bit-identical across parallelism settings (the
+/// windowed counterpart of RunTrialLoop's trial-order fold). Every
+/// trial must have produced the same number of windows (checked).
+/// `fold` is called as `fold(std::move(window), window_index,
+/// trial_index)`.
+template <typename Window, typename FoldFn>
+void FoldWindows(std::vector<std::vector<Window>> per_trial_windows,
+                 FoldFn&& fold) {
+  if (per_trial_windows.empty()) return;
+  const std::size_t windows = per_trial_windows.front().size();
+  for (const std::vector<Window>& trial : per_trial_windows) {
+    SPPNET_CHECK_MSG(trial.size() == windows,
+                     "trials produced unequal window counts");
+  }
+  for (std::size_t w = 0; w < windows; ++w) {
+    for (std::size_t t = 0; t < per_trial_windows.size(); ++t) {
+      fold(std::move(per_trial_windows[t][w]), w, t);
+    }
+  }
+}
+
 }  // namespace sppnet
 
 #endif  // SPPNET_COMMON_TRIAL_RUNNER_H_

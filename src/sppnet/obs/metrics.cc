@@ -33,6 +33,16 @@ void Histogram::Merge(const Histogram& other) {
   sum_ += other.sum_;
 }
 
+void Histogram::RestoreContents(
+    const std::vector<std::uint64_t>& bucket_counts, double sum) {
+  SPPNET_CHECK_MSG(bucket_counts.size() == counts_.size(),
+                   "restoring histogram with mismatched bucket count");
+  counts_ = bucket_counts;
+  count_ = 0;
+  for (const std::uint64_t c : counts_) count_ += c;
+  sum_ = sum;
+}
+
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
   const auto it = counters_.find(name);
   if (it != counters_.end()) return it->second;
@@ -67,6 +77,15 @@ WallTimer& MetricsRegistry::GetTimer(std::string_view name) {
 std::uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::map<std::string, std::uint64_t, std::less<>>
+MetricsRegistry::CounterValues() const {
+  std::map<std::string, std::uint64_t, std::less<>> values;
+  for (const auto& [name, counter] : counters_) {
+    values.emplace(name, counter.value());
+  }
+  return values;
 }
 
 double MetricsRegistry::GaugeValue(std::string_view name) const {

@@ -51,6 +51,12 @@ class Histogram {
   /// been constructed with identical bounds (checked).
   void Merge(const Histogram& other);
 
+  /// Replaces the histogram's contents with checkpointed state.
+  /// `bucket_counts` must have bounds+1 entries (checked); the total
+  /// observation count is re-derived from the buckets.
+  void RestoreContents(const std::vector<std::uint64_t>& bucket_counts,
+                       double sum);
+
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   double Mean() const {
@@ -151,6 +157,9 @@ class MetricsRegistry {
 
   /// Counter value by name; 0 when absent (convenient in tests).
   std::uint64_t CounterValue(std::string_view name) const;
+  /// Name → value snapshot of every counter, used by the streaming
+  /// layer to compute per-window deltas between two publish points.
+  std::map<std::string, std::uint64_t, std::less<>> CounterValues() const;
   /// Gauge value by name; 0.0 when absent.
   double GaugeValue(std::string_view name) const;
 

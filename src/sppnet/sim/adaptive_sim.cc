@@ -416,4 +416,108 @@ AdaptiveController::RoundActions AdaptiveController::RunRound(
   return actions;
 }
 
+namespace {
+
+// Section tag bracketing the controller payload ("adpt").
+constexpr std::uint32_t kAdaptiveTag = 0x74706461u;
+
+void PutRng(CheckpointWriter& w, const Rng& rng) {
+  const Rng::State st = rng.SaveState();
+  for (const std::uint64_t s : st.s) w.PutU64(s);
+  w.PutDouble(st.gauss_spare);
+  w.PutBool(st.has_gauss_spare);
+}
+
+void GetRng(CheckpointReader& r, Rng& rng) {
+  Rng::State st;
+  for (std::uint64_t& s : st.s) s = r.GetU64();
+  st.gauss_spare = r.GetDouble();
+  st.has_gauss_spare = r.GetBool();
+  if (r.ok()) rng.RestoreState(st);
+}
+
+}  // namespace
+
+void AdaptiveController::SaveTo(CheckpointWriter& w) const {
+  w.BeginSection(kAdaptiveTag);
+  PutRng(w, rng_);
+  w.PutU32Vector(node_cluster_);
+  w.PutU8Vector(is_head_);
+  w.PutU32Vector(head_);
+  w.PutU64(members_.size());
+  for (const auto& members : members_) w.PutU32Vector(members);
+  w.PutU64(adj_.size());
+  for (const auto& neighbors : adj_) {
+    // std::set iterates ascending, so these bytes are canonical.
+    w.PutU32Vector(
+        std::vector<std::uint32_t>(neighbors.begin(), neighbors.end()));
+  }
+  w.PutU8Vector(dead_);
+  w.PutU8Vector(cooldown_);
+  w.PutU8Vector(over_streak_);
+  w.PutU8Vector(under_streak_);
+  w.PutDoubleVector(files_sum_);
+  w.PutU64(reports_.size());
+  for (const auto& slot : reports_) {
+    w.PutU64(slot.size());
+    for (const NeighborReport& report : slot) {
+      w.PutU32(report.reporter);
+      w.PutDouble(report.total_bps);
+      w.PutDouble(report.proc_hz);
+      w.PutU64(report.round);
+    }
+  }
+  w.PutU64(live_clusters_);
+  w.PutU64(rounds_completed_);
+}
+
+bool AdaptiveController::LoadFrom(CheckpointReader& r) {
+  if (!r.BeginSection(kAdaptiveTag)) return false;
+  GetRng(r, rng_);
+  node_cluster_ = r.GetU32Vector();
+  is_head_ = r.GetU8Vector();
+  head_ = r.GetU32Vector();
+  const std::uint64_t num_member_slots = r.GetU64();
+  members_.clear();
+  for (std::uint64_t i = 0; i < num_member_slots && r.ok(); ++i) {
+    members_.push_back(r.GetU32Vector());
+  }
+  const std::uint64_t num_adj_slots = r.GetU64();
+  adj_.clear();
+  for (std::uint64_t i = 0; i < num_adj_slots && r.ok(); ++i) {
+    const std::vector<std::uint32_t> neighbors = r.GetU32Vector();
+    adj_.emplace_back(neighbors.begin(), neighbors.end());
+  }
+  dead_ = r.GetU8Vector();
+  cooldown_ = r.GetU8Vector();
+  over_streak_ = r.GetU8Vector();
+  under_streak_ = r.GetU8Vector();
+  files_sum_ = r.GetDoubleVector();
+  const std::uint64_t num_report_slots = r.GetU64();
+  reports_.clear();
+  for (std::uint64_t i = 0; i < num_report_slots && r.ok(); ++i) {
+    const std::uint64_t count = r.GetU64();
+    std::vector<NeighborReport> slot;
+    for (std::uint64_t j = 0; j < count && r.ok(); ++j) {
+      NeighborReport report;
+      report.reporter = r.GetU32();
+      report.total_bps = r.GetDouble();
+      report.proc_hz = r.GetDouble();
+      report.round = r.GetU64();
+      slot.push_back(report);
+    }
+    reports_.push_back(std::move(slot));
+  }
+  live_clusters_ = static_cast<std::size_t>(r.GetU64());
+  rounds_completed_ = r.GetU64();
+  return r.ok() && node_cluster_.size() == files_.size() &&
+         is_head_.size() == files_.size() && head_.size() == dead_.size() &&
+         members_.size() == head_.size() && adj_.size() == head_.size() &&
+         cooldown_.size() == head_.size() &&
+         over_streak_.size() == head_.size() &&
+         under_streak_.size() == head_.size() &&
+         files_sum_.size() == head_.size() &&
+         reports_.size() == head_.size();
+}
+
 }  // namespace sppnet

@@ -8,6 +8,7 @@
 
 #include "sppnet/adaptive/local_rules.h"
 #include "sppnet/common/rng.h"
+#include "sppnet/io/checkpoint.h"
 #include "sppnet/model/instance.h"
 
 namespace sppnet {
@@ -161,6 +162,16 @@ class AdaptiveController {
   /// returned `new_ttl` is `current_ttl` or `current_ttl - 1`.
   RoundActions RunRound(const std::vector<LoadSample>& own_loads,
                         int current_ttl);
+
+  // --- Checkpoint (streaming mode) ------------------------------------------
+  /// Serializes every mutable member — membership, overlay, streaks,
+  /// fresh reports, the rule II stream position. The per-node file
+  /// volumes are not written: they are a static copy of the instance
+  /// the restoring constructor rebuilds identically.
+  void SaveTo(CheckpointWriter& w) const;
+  /// Overwrites the state of a controller freshly constructed from the
+  /// same instance/policy/seed. Returns false on a malformed payload.
+  bool LoadFrom(CheckpointReader& r);
 
  private:
   struct NeighborReport {

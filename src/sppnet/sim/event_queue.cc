@@ -71,12 +71,35 @@ SimEvent EventQueue::Pop() {
   return e;
 }
 
+std::vector<SimEvent> EventQueue::SnapshotEvents() const {
+  EventQueue scratch = *this;
+  std::vector<SimEvent> events;
+  events.reserve(scratch.size());
+  while (!scratch.empty()) events.push_back(scratch.Pop());
+  return events;
+}
+
+void EventQueue::RestorePending(const std::vector<SimEvent>& events,
+                                std::uint64_t next_seq) {
+  SPPNET_CHECK(heap_.empty());
+  for (const SimEvent& event : events) {
+    SPPNET_CHECK(std::isfinite(event.time) && event.time >= 0.0);
+    SPPNET_CHECK(event.seq < next_seq);
+    heap_.push(event);
+  }
+  next_seq_ = next_seq;
+}
+
 CalendarQueue::CalendarQueue()
     : buckets_(kMinBuckets), width_(0.25), inv_width_(1.0 / 0.25) {}
 
 void CalendarQueue::Schedule(SimEvent event) {
-  SPPNET_CHECK(std::isfinite(event.time) && event.time >= 0.0);
   event.seq = next_seq_++;
+  Insert(event);
+}
+
+void CalendarQueue::Insert(const SimEvent& event) {
+  SPPNET_CHECK(std::isfinite(event.time) && event.time >= 0.0);
   const std::uint64_t day = DayOf(event.time);
   if (today_active_ && day == today_day_) {
     // The staged day receives its late arrivals directly, keeping the
@@ -157,6 +180,17 @@ void CalendarQueue::StageDay(std::uint64_t day) {
     }
   }
   bucket.resize(kept);
+  // A flood wave parks its whole delivery pile on one day, so the
+  // bucket that hosted it keeps a triple-digit capacity forever; on an
+  // unbounded run every bucket eventually hosts one and the calendar's
+  // footprint grows without bound while the live event count stays
+  // flat (bench/sustained_throughput holds RSS flat over 1e8 events).
+  // Trim the ratchet back once it overshoots the survivors 8x; the
+  // occasional re-growth is a few geometric push_back reallocations
+  // per wave, invisible next to the sort below.
+  if (bucket.capacity() > std::max<std::size_t>(8 * kept, 64)) {
+    std::vector<SimEvent>(bucket.begin(), bucket.end()).swap(bucket);
+  }
   // Flood waves schedule their deliveries in dispatch order at a
   // constant latency, so a staged day is usually already in (time,
   // seq) order — the linear check dodges the sort for the common case.
@@ -326,6 +360,26 @@ void CalendarQueue::Resize(std::size_t new_buckets) {
   gap_count_ = 0;
   pops_since_resize_ = 0;
   ++resizes_;
+}
+
+std::vector<SimEvent> CalendarQueue::SnapshotEvents() const {
+  // Draining a scratch copy reuses the engine's own (time, seq)
+  // selection — no second ordering implementation to keep in sync.
+  CalendarQueue scratch = *this;
+  std::vector<SimEvent> events;
+  events.reserve(scratch.size());
+  while (!scratch.empty()) events.push_back(scratch.Pop());
+  return events;
+}
+
+void CalendarQueue::RestorePending(const std::vector<SimEvent>& events,
+                                   std::uint64_t next_seq) {
+  SPPNET_CHECK(size_ == 0);
+  for (const SimEvent& event : events) {
+    SPPNET_CHECK(event.seq < next_seq);
+    Insert(event);
+  }
+  next_seq_ = next_seq;
 }
 
 std::size_t CalendarQueue::ApproxMemoryBytes() const {

@@ -51,6 +51,15 @@ class EventQueue {
   /// Removes and returns the earliest event. Aborts when empty.
   SimEvent Pop();
 
+  /// Every pending event in (time, seq) order; the queue is unchanged.
+  std::vector<SimEvent> SnapshotEvents() const;
+  /// Re-inserts checkpointed events preserving their original sequence
+  /// numbers and resumes the sequence counter at `next_seq`. The queue
+  /// must be empty (checked).
+  void RestorePending(const std::vector<SimEvent>& events,
+                      std::uint64_t next_seq);
+  std::uint64_t next_seq() const { return next_seq_; }
+
  private:
   struct Later {
     bool operator()(const SimEvent& lhs, const SimEvent& rhs) const {
@@ -105,6 +114,20 @@ class CalendarQueue {
   /// Removes and returns the earliest event. Aborts when empty.
   SimEvent Pop();
 
+  /// Every pending event in (time, seq) order; the queue is unchanged
+  /// (a scratch copy of the calendar is drained, so the scan counters
+  /// of this queue are untouched too).
+  std::vector<SimEvent> SnapshotEvents() const;
+  /// Re-inserts checkpointed events preserving their original sequence
+  /// numbers and resumes the sequence counter at `next_seq`. The queue
+  /// must be empty (checked). Width calibration and scan counters start
+  /// fresh: they are engine-internal and excluded from the determinism
+  /// surface (see sim.queue.* docs), while delivery order — (time, seq)
+  /// selection — is exactly preserved.
+  void RestorePending(const std::vector<SimEvent>& events,
+                      std::uint64_t next_seq);
+  std::uint64_t next_seq() const { return next_seq_; }
+
   /// Engine introspection for the obs layer (sim.queue.*). Counts are
   /// deterministic: the resize schedule depends only on the event
   /// sequence.
@@ -151,6 +174,9 @@ class CalendarQueue {
   /// Flushes the staged run back into the buckets (day values change
   /// with the width).
   void Resize(std::size_t new_buckets);
+  /// Schedule minus the sequence-number assignment: places an event
+  /// whose seq is already set (restore path shares it with Schedule).
+  void Insert(const SimEvent& event);
 
   /// A bucket holds bare events; a slot's day is re-derived on scan via
   /// DayOf (every resident slot was inserted under the current width,
@@ -222,6 +248,24 @@ class SimEventQueue {
   }
   SimEvent Pop() {
     return engine_ == SimEngine::kCalendar ? calendar_.Pop() : heap_.Pop();
+  }
+
+  /// Checkpoint support; see the engine members for semantics.
+  std::vector<SimEvent> SnapshotEvents() const {
+    return engine_ == SimEngine::kCalendar ? calendar_.SnapshotEvents()
+                                           : heap_.SnapshotEvents();
+  }
+  void RestorePending(const std::vector<SimEvent>& events,
+                      std::uint64_t next_seq) {
+    if (engine_ == SimEngine::kCalendar) {
+      calendar_.RestorePending(events, next_seq);
+    } else {
+      heap_.RestorePending(events, next_seq);
+    }
+  }
+  std::uint64_t next_seq() const {
+    return engine_ == SimEngine::kCalendar ? calendar_.next_seq()
+                                           : heap_.next_seq();
   }
 
   SimEngine engine() const { return engine_; }

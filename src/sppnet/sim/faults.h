@@ -116,6 +116,8 @@ class FaultInjector {
   /// collaborators (the discovery re-join pick). Never hand this to
   /// protocol code — protocol randomness has its own stream.
   Rng& stream() { return rng_; }
+  /// Read-only view for checkpointing the stream position.
+  const Rng& stream() const { return rng_; }
 
  private:
   FaultPlan plan_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <iterator>
 #include <utility>
 
 namespace sppnet {
@@ -36,30 +37,35 @@ void SimState::EnsureClusters(std::size_t num_clusters) {
 }
 
 QueryState& SimState::Claim(std::uint64_t qid) {
+  SPPNET_CHECK(qid >= qid_base_);
   if (backend_ == SimStateBackend::kDense) {
-    EnsureSlot(state_slots_, qid, QueryState{});
-    EnsureSlot(state_live_, qid, std::uint8_t{0});
-    SPPNET_CHECK(!state_live_[qid]);
-    state_live_[qid] = 1;
-    state_slots_[qid] = QueryState{};
-    return state_slots_[qid];
+    const std::size_t slot = SlotOf(qid);
+    EnsureSlot(state_slots_, slot, QueryState{});
+    EnsureSlot(state_live_, slot, std::uint8_t{0});
+    SPPNET_CHECK(!state_live_[slot]);
+    state_live_[slot] = 1;
+    state_slots_[slot] = QueryState{};
+    return state_slots_[slot];
   }
   return map_state_.try_emplace(qid).first->second;
 }
 
 QueryState* SimState::Find(std::uint64_t qid) {
   if (backend_ == SimStateBackend::kDense) {
-    if (qid >= state_live_.size() || !state_live_[qid]) return nullptr;
-    return &state_slots_[qid];
+    const std::size_t slot = SlotOf(qid);
+    if (slot >= state_live_.size() || !state_live_[slot]) return nullptr;
+    return &state_slots_[slot];
   }
   const auto it = map_state_.find(qid);
   return it == map_state_.end() ? nullptr : &it->second;
 }
 
 void SimState::SetRoot(std::uint64_t qid, std::uint64_t root) {
+  SPPNET_CHECK(qid >= qid_base_);
   if (backend_ == SimStateBackend::kDense) {
-    EnsureSlot(root_slots_, qid, kNoRoot);
-    if (root_slots_[qid] == kNoRoot) root_slots_[qid] = root;
+    const std::size_t slot = SlotOf(qid);
+    EnsureSlot(root_slots_, slot, kNoRoot);
+    if (root_slots_[slot] == kNoRoot) root_slots_[slot] = root;
     return;
   }
   map_root_.emplace(qid, root);
@@ -67,17 +73,20 @@ void SimState::SetRoot(std::uint64_t qid, std::uint64_t root) {
 
 std::uint64_t SimState::RootOf(std::uint64_t qid) const {
   if (backend_ == SimStateBackend::kDense) {
-    if (qid >= root_slots_.size() || root_slots_[qid] == kNoRoot) return qid;
-    return root_slots_[qid];
+    const std::size_t slot = SlotOf(qid);
+    if (slot >= root_slots_.size() || root_slots_[slot] == kNoRoot) return qid;
+    return root_slots_[slot];
   }
   const auto it = map_root_.find(qid);
   return it == map_root_.end() ? qid : it->second;
 }
 
 void SimState::SetQueryString(std::uint64_t qid, const std::string& text) {
+  SPPNET_CHECK(qid >= qid_base_);
   if (backend_ == SimStateBackend::kDense) {
-    EnsureSlot(symbol_slots_, qid, kNoSymbol);
-    if (symbol_slots_[qid] != kNoSymbol) return;  // emplace semantics.
+    const std::size_t slot = SlotOf(qid);
+    EnsureSlot(symbol_slots_, slot, kNoSymbol);
+    if (symbol_slots_[slot] != kNoSymbol) return;  // emplace semantics.
     const auto [it, inserted] = symbol_lookup_.try_emplace(
         text, static_cast<std::uint32_t>(symbol_texts_.size()));
     if (inserted) {
@@ -86,7 +95,7 @@ void SimState::SetQueryString(std::uint64_t qid, const std::string& text) {
       // strings hash equal.
       symbol_hashes_.push_back(std::hash<std::string>{}(text));
     }
-    symbol_slots_[qid] = it->second;
+    symbol_slots_[slot] = it->second;
     ++interned_count_;
     return;
   }
@@ -94,13 +103,17 @@ void SimState::SetQueryString(std::uint64_t qid, const std::string& text) {
 }
 
 void SimState::ShareQueryString(std::uint64_t root, std::uint64_t retry_qid) {
+  SPPNET_CHECK(retry_qid >= qid_base_);
   if (backend_ == SimStateBackend::kDense) {
-    if (root >= symbol_slots_.size() || symbol_slots_[root] == kNoSymbol) {
+    const std::size_t root_slot = SlotOf(root);
+    if (root_slot >= symbol_slots_.size() ||
+        symbol_slots_[root_slot] == kNoSymbol) {
       return;
     }
-    EnsureSlot(symbol_slots_, retry_qid, kNoSymbol);
-    if (symbol_slots_[retry_qid] != kNoSymbol) return;
-    symbol_slots_[retry_qid] = symbol_slots_[root];
+    const std::size_t slot = SlotOf(retry_qid);
+    EnsureSlot(symbol_slots_, slot, kNoSymbol);
+    if (symbol_slots_[slot] != kNoSymbol) return;
+    symbol_slots_[slot] = symbol_slots_[root_slot];
     ++interned_count_;
     return;
   }
@@ -111,10 +124,11 @@ void SimState::ShareQueryString(std::uint64_t root, std::uint64_t retry_qid) {
 
 const std::string* SimState::QueryString(std::uint64_t qid) const {
   if (backend_ == SimStateBackend::kDense) {
-    if (qid >= symbol_slots_.size() || symbol_slots_[qid] == kNoSymbol) {
+    const std::size_t slot = SlotOf(qid);
+    if (slot >= symbol_slots_.size() || symbol_slots_[slot] == kNoSymbol) {
       return nullptr;
     }
-    return &symbol_texts_[symbol_slots_[qid]];
+    return &symbol_texts_[symbol_slots_[slot]];
   }
   const auto it = map_strings_.find(qid);
   return it == map_strings_.end() ? nullptr : &it->second;
@@ -122,10 +136,11 @@ const std::string* SimState::QueryString(std::uint64_t qid) const {
 
 bool SimState::QueryStringHash(std::uint64_t qid, std::uint64_t* out) const {
   if (backend_ == SimStateBackend::kDense) {
-    if (qid >= symbol_slots_.size() || symbol_slots_[qid] == kNoSymbol) {
+    const std::size_t slot = SlotOf(qid);
+    if (slot >= symbol_slots_.size() || symbol_slots_[slot] == kNoSymbol) {
       return false;
     }
-    *out = symbol_hashes_[symbol_slots_[qid]];
+    *out = symbol_hashes_[symbol_slots_[slot]];
     return true;
   }
   const auto it = map_strings_.find(qid);
@@ -149,6 +164,252 @@ QueryCacheEntry& SimState::CacheEntrySlot(std::size_t cluster,
     return *dense_cache_[cluster].FindOrInsert(key).first;
   }
   return map_cache_[cluster][key];
+}
+
+void SimState::RetireBelow(std::uint64_t floor) {
+  if (floor <= qid_base_) return;
+  if (backend_ == SimStateBackend::kDense) {
+    const std::uint64_t drop = floor - qid_base_;
+    const auto drop_prefix = [drop](auto& v) {
+      const std::size_t d =
+          static_cast<std::size_t>(std::min<std::uint64_t>(drop, v.size()));
+      v.erase(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(d));
+    };
+    drop_prefix(dense_table_);
+    drop_prefix(state_slots_);
+    drop_prefix(state_live_);
+    drop_prefix(root_slots_);
+    drop_prefix(symbol_slots_);
+  } else {
+    const auto erase_below = [floor](auto& m) {
+      for (auto it = m.begin(); it != m.end();) {
+        it = it->first < floor ? m.erase(it) : std::next(it);
+      }
+    };
+    for (auto& table : map_table_) erase_below(table);
+    erase_below(map_state_);
+    erase_below(map_root_);
+    erase_below(map_strings_);
+  }
+  qid_base_ = floor;
+}
+
+namespace {
+
+// Section tag bracketing the SimState payload inside a checkpoint
+// ("stat" in little-endian ASCII).
+constexpr std::uint32_t kStateTag = 0x74617473u;
+
+void PutQueryState(CheckpointWriter& w, const QueryState& s) {
+  w.PutU32(s.user);
+  w.PutU32(s.query_class);
+  w.PutU32(s.ring_ttl);
+  w.PutDouble(s.ring_results);
+  w.PutDouble(s.submit_time);
+  w.PutU64(s.cache_key);
+  w.PutBool(s.first_response_seen);
+}
+
+QueryState GetQueryState(CheckpointReader& r) {
+  QueryState s;
+  s.user = r.GetU32();
+  s.query_class = r.GetU32();
+  s.ring_ttl = r.GetU32();
+  s.ring_results = r.GetDouble();
+  s.submit_time = r.GetDouble();
+  s.cache_key = r.GetU64();
+  s.first_response_seen = r.GetBool();
+  return s;
+}
+
+}  // namespace
+
+void SimState::SaveTo(CheckpointWriter& w) const {
+  w.BeginSection(kStateTag);
+  w.PutU64(qid_base_);
+  w.PutU64(duplicate_entries_);
+  w.PutU64(interned_count_);
+  const bool dense = backend_ == SimStateBackend::kDense;
+  w.PutU64(dense ? dense_cache_.size() : map_cache_.size());
+
+  // Every list below is collected then canonically sorted, so the bytes
+  // are a function of the logical contents alone — identical across
+  // backends and across the dense tables' probe layouts.
+  struct SeenEntry {
+    std::uint64_t qid;
+    std::uint64_t cluster;
+    std::uint32_t upstream;
+  };
+  std::vector<SeenEntry> seen;
+  if (dense) {
+    for (std::size_t i = 0; i < dense_table_.size(); ++i) {
+      dense_table_[i].ForEach(
+          [&](std::uint64_t cluster, const std::uint32_t& upstream) {
+            seen.push_back({qid_base_ + i, cluster, upstream});
+          });
+    }
+  } else {
+    for (std::size_t c = 0; c < map_table_.size(); ++c) {
+      for (const auto& [qid, upstream] : map_table_[c]) {
+        seen.push_back({qid, c, upstream});
+      }
+    }
+  }
+  std::sort(seen.begin(), seen.end(), [](const SeenEntry& a,
+                                         const SeenEntry& b) {
+    return a.qid != b.qid ? a.qid < b.qid : a.cluster < b.cluster;
+  });
+  w.PutU64(seen.size());
+  for (const SeenEntry& e : seen) {
+    w.PutU64(e.qid);
+    w.PutU64(e.cluster);
+    w.PutU32(e.upstream);
+  }
+
+  std::vector<std::pair<std::uint64_t, QueryState>> states;
+  if (dense) {
+    for (std::size_t i = 0; i < state_live_.size(); ++i) {
+      if (state_live_[i]) states.emplace_back(qid_base_ + i, state_slots_[i]);
+    }
+  } else {
+    states.assign(map_state_.begin(), map_state_.end());
+  }
+  std::sort(states.begin(), states.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.PutU64(states.size());
+  for (const auto& [qid, state] : states) {
+    w.PutU64(qid);
+    PutQueryState(w, state);
+  }
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> roots;
+  if (dense) {
+    for (std::size_t i = 0; i < root_slots_.size(); ++i) {
+      if (root_slots_[i] != kNoRoot) {
+        roots.emplace_back(qid_base_ + i, root_slots_[i]);
+      }
+    }
+  } else {
+    roots.assign(map_root_.begin(), map_root_.end());
+  }
+  std::sort(roots.begin(), roots.end());
+  w.PutU64(roots.size());
+  for (const auto& [qid, root] : roots) {
+    w.PutU64(qid);
+    w.PutU64(root);
+  }
+
+  std::vector<std::pair<std::uint64_t, const std::string*>> strings;
+  if (dense) {
+    for (std::size_t i = 0; i < symbol_slots_.size(); ++i) {
+      if (symbol_slots_[i] != kNoSymbol) {
+        strings.emplace_back(qid_base_ + i, &symbol_texts_[symbol_slots_[i]]);
+      }
+    }
+  } else {
+    for (const auto& [qid, text] : map_strings_) {
+      strings.emplace_back(qid, &text);
+    }
+  }
+  std::sort(strings.begin(), strings.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.PutU64(strings.size());
+  for (const auto& [qid, text] : strings) {
+    w.PutU64(qid);
+    w.PutString(*text);
+  }
+
+  struct CacheLine {
+    std::uint64_t cluster;
+    std::uint64_t key;
+    QueryCacheEntry entry;
+  };
+  std::vector<CacheLine> cache_lines;
+  const std::size_t cache_clusters = dense ? dense_cache_.size()
+                                           : map_cache_.size();
+  for (std::size_t c = 0; c < cache_clusters; ++c) {
+    if (dense) {
+      dense_cache_[c].ForEach(
+          [&](std::uint64_t key, const QueryCacheEntry& entry) {
+            cache_lines.push_back({c, key, entry});
+          });
+    } else {
+      for (const auto& [key, entry] : map_cache_[c]) {
+        cache_lines.push_back({c, key, entry});
+      }
+    }
+  }
+  std::sort(cache_lines.begin(), cache_lines.end(),
+            [](const CacheLine& a, const CacheLine& b) {
+              return a.cluster != b.cluster ? a.cluster < b.cluster
+                                            : a.key < b.key;
+            });
+  w.PutU64(cache_lines.size());
+  for (const CacheLine& line : cache_lines) {
+    w.PutU64(line.cluster);
+    w.PutU64(line.key);
+    w.PutDouble(line.entry.expires);
+    w.PutDouble(line.entry.results);
+    w.PutDouble(line.entry.addrs);
+    w.PutU64(line.entry.owner);
+  }
+}
+
+bool SimState::LoadFrom(CheckpointReader& r) {
+  SPPNET_CHECK(duplicate_entries_ == 0 && interned_count_ == 0 &&
+               qid_base_ == 0);
+  if (!r.BeginSection(kStateTag)) return false;
+  qid_base_ = r.GetU64();
+  const std::uint64_t saved_duplicates = r.GetU64();
+  const std::uint64_t saved_interned = r.GetU64();
+  EnsureClusters(static_cast<std::size_t>(r.GetU64()));
+
+  const std::uint64_t num_seen = r.GetU64();
+  for (std::uint64_t i = 0; i < num_seen && r.ok(); ++i) {
+    const std::uint64_t qid = r.GetU64();
+    const std::size_t cluster = static_cast<std::size_t>(r.GetU64());
+    const std::uint32_t upstream = r.GetU32();
+    if (r.ok()) MarkSeen(cluster, qid, upstream);
+  }
+
+  const std::uint64_t num_states = r.GetU64();
+  for (std::uint64_t i = 0; i < num_states && r.ok(); ++i) {
+    const std::uint64_t qid = r.GetU64();
+    const QueryState state = GetQueryState(r);
+    if (r.ok()) Claim(qid) = state;
+  }
+
+  const std::uint64_t num_roots = r.GetU64();
+  for (std::uint64_t i = 0; i < num_roots && r.ok(); ++i) {
+    const std::uint64_t qid = r.GetU64();
+    const std::uint64_t root = r.GetU64();
+    if (r.ok()) SetRoot(qid, root);
+  }
+
+  const std::uint64_t num_strings = r.GetU64();
+  for (std::uint64_t i = 0; i < num_strings && r.ok(); ++i) {
+    const std::uint64_t qid = r.GetU64();
+    const std::string text = r.GetString();
+    if (r.ok()) SetQueryString(qid, text);
+  }
+
+  const std::uint64_t num_cache_lines = r.GetU64();
+  for (std::uint64_t i = 0; i < num_cache_lines && r.ok(); ++i) {
+    const std::size_t cluster = static_cast<std::size_t>(r.GetU64());
+    const std::uint64_t key = r.GetU64();
+    QueryCacheEntry entry;
+    entry.expires = r.GetDouble();
+    entry.results = r.GetDouble();
+    entry.addrs = r.GetDouble();
+    entry.owner = r.GetU64();
+    if (r.ok()) CacheEntrySlot(cluster, key) = entry;
+  }
+
+  // The tallies count historical inserts (including since-retired
+  // entries), not the live set the loop above re-inserted.
+  duplicate_entries_ = saved_duplicates;
+  interned_count_ = saved_interned;
+  return r.ok();
 }
 
 std::size_t SimState::ApproxScratchBytes() const {

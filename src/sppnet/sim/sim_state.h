@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "sppnet/common/check.h"
+#include "sppnet/io/checkpoint.h"
 
 namespace sppnet {
 
@@ -48,10 +49,11 @@ struct QueryCacheEntry {
 
 /// Open-addressing uint64 -> V table: power-of-two capacity, linear
 /// probing, generation-stamped occupancy (Clear() is O(1) — bump the
-/// generation). Point lookups only; nothing is ever erased or iterated,
-/// which is exactly the simulator's access pattern (duplicate tables,
-/// result caches) and what makes the layout safely deterministic —
-/// probe order can never leak into results.
+/// generation). Point lookups only; nothing is ever erased, and the
+/// only iteration (ForEach) serves the checkpoint path, which sorts
+/// what it collects — exactly the simulator's access pattern
+/// (duplicate tables, result caches) and what makes the layout safely
+/// deterministic: probe order can never leak into results.
 template <typename V>
 class FlatMap64 {
  public:
@@ -90,6 +92,16 @@ class FlatMap64 {
   void Clear() {
     ++generation_;
     size_ = 0;
+  }
+
+  /// Invokes fn(key, value) for every live entry, in unspecified slot
+  /// order. Checkpoint-path only: callers sort what they collect, so
+  /// the probe layout still cannot leak into results.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.stamp == generation_) fn(slot.key, slot.value);
+    }
   }
 
   std::size_t size() const { return size_; }
@@ -198,6 +210,28 @@ class SimState {
   /// reference operator[] semantics.
   QueryCacheEntry& CacheEntrySlot(std::size_t cluster, std::uint64_t key);
 
+  // --- Retirement (streaming mode) -----------------------------------------
+  /// Drops every qid-keyed entry (duplicate tables, query states, root
+  /// mappings, per-qid string slots) for qids below `floor` and makes
+  /// those qids unaddressable, bounding resident state on an unbounded
+  /// run. The caller guarantees no in-flight event references a retired
+  /// qid (the streaming layer's retention horizon, DESIGN.md §11); the
+  /// floor is monotone — a lower `floor` is a no-op. Interned string
+  /// *texts* and the result caches are kept: both are bounded by the
+  /// workload (distinct strings / cache keys), not by the qid sequence.
+  void RetireBelow(std::uint64_t floor);
+  std::uint64_t retire_floor() const { return qid_base_; }
+
+  // --- Checkpoint (streaming mode) ------------------------------------------
+  /// Serializes the logical contents in a backend-portable, canonically
+  /// sorted form: both backends holding the same entries produce the
+  /// same bytes, so a checkpoint written under one backend restores
+  /// under the other.
+  void SaveTo(CheckpointWriter& w) const;
+  /// Populates this freshly constructed, still-empty state (checked)
+  /// from a checkpoint. Returns false when the payload is malformed.
+  bool LoadFrom(CheckpointReader& r);
+
   // --- Introspection (sim.state.* gauges) ----------------------------------
   /// Approximate resident bytes of every container above. Derived from
   /// element counts and capacities: deterministic for the dense backend,
@@ -221,8 +255,17 @@ class SimState {
     v.resize(target, fill);
   }
 
+  /// Dense slot of `qid`. Slot arrays are indexed relative to the
+  /// retirement floor; a retired qid wraps to a huge index and reads as
+  /// absent (writes grow-check against it and abort).
+  std::size_t SlotOf(std::uint64_t qid) const {
+    return static_cast<std::size_t>(qid - qid_base_);
+  }
+
   const SimStateBackend backend_;
   const std::size_t num_clusters_;
+  /// Qids below this are retired (RetireBelow); 0 in batch runs.
+  std::uint64_t qid_base_ = 0;
   std::uint64_t duplicate_entries_ = 0;
   std::uint64_t interned_count_ = 0;
 
@@ -251,13 +294,18 @@ class SimState {
 
 inline bool SimState::MarkSeen(std::size_t cluster, std::uint64_t qid,
                                std::uint32_t upstream) {
+  // A visit for a retired qid means the retention horizon was violated
+  // (the map backend would silently re-insert and diverge from dense);
+  // one predictable compare buys a loud failure instead.
+  SPPNET_CHECK(qid >= qid_base_);
   bool fresh;
   if (backend_ == SimStateBackend::kDense) {
     // Keyed per qid (not per cluster): a flood's visits all land in one
     // small table that stays cache-resident while the flood is live,
     // instead of scattering point probes across every cluster's table.
-    EnsureSlot(dense_table_, qid, {});
-    const auto [slot, inserted] = dense_table_[qid].FindOrInsert(cluster);
+    EnsureSlot(dense_table_, SlotOf(qid), {});
+    const auto [slot, inserted] =
+        dense_table_[SlotOf(qid)].FindOrInsert(cluster);
     if (inserted) *slot = upstream;
     fresh = inserted;
   } else {
@@ -270,9 +318,10 @@ inline bool SimState::MarkSeen(std::size_t cluster, std::uint64_t qid,
 inline const std::uint32_t* SimState::Upstream(std::size_t cluster,
                                                std::uint64_t qid) const {
   if (backend_ == SimStateBackend::kDense) {
-    if (qid >= dense_table_.size()) return nullptr;
-    return dense_table_[qid].Find(cluster);
+    if (SlotOf(qid) >= dense_table_.size()) return nullptr;
+    return dense_table_[SlotOf(qid)].Find(cluster);
   }
+  if (qid < qid_base_) return nullptr;
   const auto it = map_table_[cluster].find(qid);
   return it == map_table_[cluster].end() ? nullptr : &it->second;
 }

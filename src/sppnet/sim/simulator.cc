@@ -47,6 +47,9 @@ enum : std::uint32_t {
   kAdaptReportArrive,  // LoadReport delivery back to the prober.
   kAdaptRound,         // Decision round: rules I-III on window loads.
   kAdaptTtlArrive,     // TtlUpdate broadcast delivery.
+  kTraceQuerySubmit,   // Externally fed (trace-replay) query submission:
+                       // same submission path as kQuerySubmit, but does
+                       // not reschedule a Poisson clock.
 };
 
 // Wire message classes for the observability counters. Every
@@ -130,6 +133,41 @@ std::vector<double> RecoveryLatencyBounds() {
 // in the experiments range from a handful to a few hundred clients).
 std::vector<double> OrphanCountBounds() {
   return {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0};
+}
+
+// --- Checkpoint helpers (streaming mode; DESIGN.md §11) ---------------------
+
+// Section tag of the simulator's own checkpoint section ("simu").
+constexpr std::uint32_t kSimTag = 0x756d6973u;
+
+void PutRng(CheckpointWriter& w, const Rng& rng) {
+  const Rng::State st = rng.SaveState();
+  for (const std::uint64_t word : st.s) w.PutU64(word);
+  w.PutDouble(st.gauss_spare);
+  w.PutBool(st.has_gauss_spare);
+}
+
+void GetRng(CheckpointReader& r, Rng& rng) {
+  Rng::State st;
+  for (std::uint64_t& word : st.s) word = r.GetU64();
+  st.gauss_spare = r.GetDouble();
+  st.has_gauss_spare = r.GetBool();
+  if (r.ok()) rng.RestoreState(st);
+}
+
+void PutHistogram(CheckpointWriter& w, const Histogram& h) {
+  w.PutU64Vector(h.bucket_counts());
+  w.PutDouble(h.sum());
+}
+
+// False when the serialized bucket shape does not match `h` (the
+// caller rejects the payload; RestoreContents aborts on shape drift).
+bool GetHistogram(CheckpointReader& r, Histogram& h) {
+  const std::vector<std::uint64_t> counts = r.GetU64Vector();
+  const double sum = r.GetDouble();
+  if (!r.ok() || counts.size() != h.bucket_counts().size()) return false;
+  h.RestoreContents(counts, sum);
+  return true;
 }
 
 }  // namespace
@@ -241,10 +279,20 @@ class Simulator::Impl {
   }
 
   SimReport Run() {
-    const auto run_start = std::chrono::steady_clock::now();
+    Start();
     const double end_time =
         options_.warmup_seconds + options_.duration_seconds;
+    RunUntil(end_time);
+    return FinalizeAt(end_time);
+  }
 
+  /// Streaming mode, step 1 of 3: seeds the recurring activity clocks.
+  /// `Run()` is exactly `Start(); RunUntil(warmup + duration);
+  /// FinalizeAt(warmup + duration);` — the split introduces no
+  /// behavioural change (the engine-equivalence goldens pin this).
+  void Start() {
+    SPPNET_CHECK_MSG(!started_, "Start()/Run() called twice");
+    started_ = true;
     // Seed per-user recurring activity.
     for (std::uint32_t u = 0; u < TotalNodes(); ++u) {
       ScheduleIn(ExpDelay(config_.query_rate), kQuerySubmit, u);
@@ -269,19 +317,340 @@ class Simulator::Impl {
       ScheduleIn(options_.adaptive.probe_interval_seconds, kAdaptProbeTick, 0);
       ScheduleIn(options_.adaptive.decision_interval_seconds, kAdaptRound, 0);
     }
+  }
 
-    while (!queue_.empty() && queue_.NextTime() <= end_time) {
+  /// Streaming mode, step 2 of 3: dispatches every pending event with
+  /// time <= `sim_time`. Idempotent for a quiet horizon; callable any
+  /// number of times with nondecreasing horizons. Does NOT advance
+  /// `now_` to `sim_time` — only FinalizeAt does, so a checkpoint cut
+  /// between windows lands on the last dispatched event's timestamp
+  /// regardless of the window grid.
+  void RunUntil(double sim_time) {
+    SPPNET_CHECK_MSG(started_, "RunUntil() before Start()");
+    SPPNET_CHECK(!finalized_);
+    const auto run_start = std::chrono::steady_clock::now();
+    while (!queue_.empty() && queue_.NextTime() <= sim_time) {
       const SimEvent e = queue_.Pop();
       ++events_dispatched_;
       now_ = e.time;
       measuring_ = now_ >= options_.warmup_seconds;
       Dispatch(e);
     }
+    run_seconds_ += std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - run_start)
+                        .count();
+  }
+
+  /// Streaming mode, step 3 of 3: advances the clock to `end_time` and
+  /// builds the report. When `end_time` equals warmup + duration (the
+  /// batch horizon, compared as the identical FP expression) the
+  /// measured window is exactly `duration_seconds`, keeping Run()
+  /// bit-identical to the pre-split code; any other horizon measures
+  /// max(0, end_time - warmup) seconds.
+  SimReport FinalizeAt(double end_time) {
+    SPPNET_CHECK_MSG(started_, "FinalizeAt() before Start()");
+    SPPNET_CHECK_MSG(!finalized_, "FinalizeAt() called twice");
+    SPPNET_CHECK(std::isfinite(end_time) && end_time >= now_);
+    finalized_ = true;
     now_ = end_time;
-    run_seconds_ = std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - run_start)
-                       .count();
-    return Finalize();
+    const double batch_horizon =
+        options_.warmup_seconds + options_.duration_seconds;
+    const double measured =
+        end_time == batch_horizon
+            ? options_.duration_seconds
+            : std::max(0.0, end_time - options_.warmup_seconds);
+    return Finalize(measured);
+  }
+
+  double Now() const { return now_; }
+  std::uint64_t events_dispatched() const { return events_dispatched_; }
+
+  /// Schedules one externally fed query submission at absolute sim time
+  /// `time` (>= the current clock). Trace-replay entry point: the event
+  /// runs the normal submission path without touching the Poisson
+  /// clocks, so a trace can be layered over (or replace) the generated
+  /// workload deterministically.
+  void InjectQueryAt(double time, std::uint32_t user) {
+    SPPNET_CHECK_MSG(user < TotalNodes(), "trace user out of range");
+    SPPNET_CHECK_MSG(std::isfinite(time) && time >= now_,
+                     "trace events must not be scheduled in the past");
+    ScheduleIn(time - now_, kTraceQuerySubmit, user);
+  }
+
+  /// Publishes the CUMULATIVE run-so-far tallies into `m` — the same
+  /// instrument surface as the end-of-run publish. The streaming layer
+  /// diffs successive publishes into per-window deltas, which therefore
+  /// reconcile with the final totals by construction.
+  void PublishCumulativeMetrics(MetricsRegistry& m) const {
+    PublishMetrics(m);
+  }
+
+  /// Retires per-query bookkeeping for roots submitted before
+  /// `cutoff_seconds` of sim time: advances the retirement floor past
+  /// every root claimed strictly earlier, then drops the underlying
+  /// storage prefix (SimState::RetireBelow). Root qids are claimed in
+  /// submission order, so the first live root at or past the cutoff
+  /// bounds the scan; qids never claimed (cache hits, retries, ring
+  /// waves) retire with their neighborhood. The caller must pick a
+  /// cutoff at least one in-flight horizon behind the clock — touching
+  /// a retired qid aborts through the SimState floor checks rather
+  /// than corrupting the run (stream.cc derives a conservative horizon
+  /// from the latency, retry and ring-wave bounds).
+  void RetireStateBefore(double cutoff_seconds) {
+    SPPNET_CHECK_MSG(!options_.concrete_index,
+                     "state retirement requires abstract indexes");
+    while (retire_scan_qid_ < next_qid_) {
+      const QueryState* s = state_.Find(retire_scan_qid_);
+      if (s != nullptr && s->submit_time >= cutoff_seconds) break;
+      ++retire_scan_qid_;
+    }
+    state_.RetireBelow(retire_scan_qid_);
+  }
+
+  /// Serializes the complete mutable simulator state (DESIGN.md §11).
+  /// Static and derived members — the instance, cost caches, the
+  /// connection layout — are rebuilt identically by the restoring
+  /// constructor and are not written. The serialized form is engine-
+  /// and backend-portable: pending events carry their original
+  /// (time, seq) keys and per-query state is written as canonically
+  /// ordered logical entries, so a calendar/dense run can restore into
+  /// a heap/map simulator and vice versa.
+  void SaveState(CheckpointWriter& w) const {
+    SPPNET_CHECK_MSG(!options_.concrete_index,
+                     "checkpoint requires abstract indexes");
+    SPPNET_CHECK_MSG(started_ && !finalized_,
+                     "checkpoint requires a started, unfinalized run");
+    w.BeginSection(kSimTag);
+    w.PutDouble(now_);
+    PutRng(w, rng_);
+    PutRng(w, injector_.stream());
+    const std::vector<SimEvent> events = queue_.SnapshotEvents();
+    w.PutU64(events.size());
+    for (const SimEvent& e : events) {
+      w.PutDouble(e.time);
+      w.PutU64(e.seq);
+      w.PutU32(e.kind);
+      w.PutU32(e.node);
+      w.PutU64(e.a);
+      w.PutU64(e.b);
+      w.PutDouble(e.x);
+    }
+    w.PutU64(queue_.next_seq());
+    state_.SaveTo(w);
+    w.PutU64(retire_scan_qid_);
+    // Load accounting and churn state.
+    w.PutDoubleVector(in_bytes_);
+    w.PutDoubleVector(out_bytes_);
+    w.PutDoubleVector(units_);
+    w.PutU8Vector(partner_alive_);
+    w.PutU32Vector(alive_partners_);
+    w.PutDoubleVector(outage_start_);
+    w.PutU32Vector(rr_);
+    // Tallies.
+    w.PutU64(next_qid_);
+    w.PutU64(queries_submitted_);
+    w.PutU64(responses_delivered_);
+    w.PutU64(duplicate_queries_);
+    w.PutU64(partner_failures_);
+    w.PutU64(cluster_outages_);
+    w.PutDouble(results_sum_);
+    w.PutDouble(hops_sum_);
+    w.PutDouble(disconnected_client_seconds_);
+    w.PutDouble(latency_sum_);
+    w.PutU64(first_responses_);
+    w.PutDouble(rings_sum_);
+    w.PutU64(ring_queries_finished_);
+    w.PutU64(cache_hits_);
+    w.PutU64(cache_misses_);
+    for (std::size_t t = 0; t < kNumMsgTypes; ++t) w.PutU64(msg_sent_[t]);
+    for (std::size_t t = 0; t < kNumMsgTypes; ++t) w.PutU64(msg_recv_[t]);
+    w.PutU64(partner_recoveries_);
+    w.PutU64(static_cast<std::uint64_t>(queue_depth_hwm_));
+    w.PutU64(events_dispatched_);
+    w.PutU64(events_scheduled_);
+    PutHistogram(w, hop_histogram_);
+    // Fault layer. Tallies and histograms are written unconditionally
+    // (outage time accrues under plain churn too); the membership
+    // vectors exist only for active plans.
+    w.PutDouble(outage_seconds_);
+    w.PutU64(crashes_);
+    w.PutU64(messages_dropped_);
+    w.PutU64(request_timeouts_);
+    w.PutU64(retries_);
+    w.PutU64(failover_episodes_);
+    w.PutU64(client_rejoins_);
+    w.PutU64(queries_succeeded_);
+    w.PutU64(queries_failed_);
+    PutHistogram(w, recovery_latency_hist_);
+    PutHistogram(w, orphaned_clients_hist_);
+    w.PutBool(fault_active_);
+    if (fault_active_) {
+      w.PutU32Vector(client_current_cluster_);
+      w.PutU64(cluster_members_.size());
+      for (const std::vector<std::uint32_t>& members : cluster_members_) {
+        w.PutU32Vector(members);
+      }
+      w.PutDoubleVector(orphaned_since_);
+    }
+    // Adaptation layer.
+    w.PutU32(static_cast<std::uint32_t>(ttl_));
+    w.PutBool(adaptive_);
+    if (adaptive_) {
+      adaptive_ctrl_->SaveTo(w);
+      w.PutDoubleVector(adapt_in_bytes_);
+      w.PutDoubleVector(adapt_out_bytes_);
+      w.PutDoubleVector(adapt_units_);
+      w.PutDouble(window_start_);
+      w.PutU64(adapt_rounds_);
+      w.PutU64(adapt_splits_);
+      w.PutU64(adapt_coalesces_);
+      w.PutU64(adapt_edges_added_);
+      w.PutU64(adapt_ttl_decreases_);
+      w.PutU64(adapt_probes_sent_);
+      w.PutU64(adapt_reports_received_);
+      w.PutU64(adapt_client_moves_);
+      w.PutBool(adapt_converged_);
+      w.PutU64(adapt_converged_round_);
+    }
+  }
+
+  /// Counterpart of SaveState on a freshly constructed simulator with
+  /// the same instance, configuration and protocol options (the engine
+  /// and state backend may differ). Replaces Start(). Returns false —
+  /// leaving the simulator unusable — on any malformed payload; the
+  /// envelope checksum in CheckpointReader::Open has already rejected
+  /// truncation and corruption, so failures here mean writer/reader
+  /// drift or a checkpoint from a mismatched scenario.
+  bool LoadState(CheckpointReader& r) {
+    SPPNET_CHECK_MSG(!options_.concrete_index,
+                     "checkpoint requires abstract indexes");
+    SPPNET_CHECK_MSG(!started_, "LoadState() requires a fresh simulator");
+    if (!r.BeginSection(kSimTag)) return false;
+    started_ = true;
+    now_ = r.GetDouble();
+    GetRng(r, rng_);
+    GetRng(r, injector_.stream());
+    const std::uint64_t num_events = r.GetU64();
+    std::vector<SimEvent> events;
+    for (std::uint64_t i = 0; i < num_events && r.ok(); ++i) {
+      SimEvent e;
+      e.time = r.GetDouble();
+      e.seq = r.GetU64();
+      e.kind = r.GetU32();
+      e.node = r.GetU32();
+      e.a = r.GetU64();
+      e.b = r.GetU64();
+      e.x = r.GetDouble();
+      events.push_back(e);
+    }
+    const std::uint64_t next_seq = r.GetU64();
+    if (!r.ok()) return false;
+    // Validate before handing to the queue: RestorePending aborts on
+    // violated invariants, but a foreign payload should fail cleanly.
+    for (const SimEvent& e : events) {
+      if (!std::isfinite(e.time) || e.kind > kTraceQuerySubmit ||
+          e.seq >= next_seq) {
+        return false;
+      }
+    }
+    queue_.RestorePending(events, next_seq);
+    if (!state_.LoadFrom(r)) return false;
+    retire_scan_qid_ = r.GetU64();
+    in_bytes_ = r.GetDoubleVector();
+    out_bytes_ = r.GetDoubleVector();
+    units_ = r.GetDoubleVector();
+    partner_alive_ = r.GetU8Vector();
+    alive_partners_ = r.GetU32Vector();
+    outage_start_ = r.GetDoubleVector();
+    rr_ = r.GetU32Vector();
+    next_qid_ = r.GetU64();
+    queries_submitted_ = r.GetU64();
+    responses_delivered_ = r.GetU64();
+    duplicate_queries_ = r.GetU64();
+    partner_failures_ = r.GetU64();
+    cluster_outages_ = r.GetU64();
+    results_sum_ = r.GetDouble();
+    hops_sum_ = r.GetDouble();
+    disconnected_client_seconds_ = r.GetDouble();
+    latency_sum_ = r.GetDouble();
+    first_responses_ = r.GetU64();
+    rings_sum_ = r.GetDouble();
+    ring_queries_finished_ = r.GetU64();
+    cache_hits_ = r.GetU64();
+    cache_misses_ = r.GetU64();
+    for (std::size_t t = 0; t < kNumMsgTypes; ++t) msg_sent_[t] = r.GetU64();
+    for (std::size_t t = 0; t < kNumMsgTypes; ++t) msg_recv_[t] = r.GetU64();
+    partner_recoveries_ = r.GetU64();
+    queue_depth_hwm_ = static_cast<std::size_t>(r.GetU64());
+    events_dispatched_ = r.GetU64();
+    events_scheduled_ = r.GetU64();
+    if (!GetHistogram(r, hop_histogram_)) return false;
+    outage_seconds_ = r.GetDouble();
+    crashes_ = r.GetU64();
+    messages_dropped_ = r.GetU64();
+    request_timeouts_ = r.GetU64();
+    retries_ = r.GetU64();
+    failover_episodes_ = r.GetU64();
+    client_rejoins_ = r.GetU64();
+    queries_succeeded_ = r.GetU64();
+    queries_failed_ = r.GetU64();
+    if (!GetHistogram(r, recovery_latency_hist_)) return false;
+    if (!GetHistogram(r, orphaned_clients_hist_)) return false;
+    const bool saved_fault_active = r.GetBool();
+    if (fault_active_) {
+      client_current_cluster_ = r.GetU32Vector();
+      const std::uint64_t num_lists = r.GetU64();
+      std::vector<std::vector<std::uint32_t>> members;
+      for (std::uint64_t i = 0; i < num_lists && r.ok(); ++i) {
+        members.push_back(r.GetU32Vector());
+      }
+      cluster_members_ = std::move(members);
+      orphaned_since_ = r.GetDoubleVector();
+    }
+    ttl_ = static_cast<int>(r.GetU32());
+    const bool saved_adaptive = r.GetBool();
+    if (adaptive_) {
+      if (!adaptive_ctrl_->LoadFrom(r)) return false;
+      adapt_in_bytes_ = r.GetDoubleVector();
+      adapt_out_bytes_ = r.GetDoubleVector();
+      adapt_units_ = r.GetDoubleVector();
+      window_start_ = r.GetDouble();
+      adapt_rounds_ = r.GetU64();
+      adapt_splits_ = r.GetU64();
+      adapt_coalesces_ = r.GetU64();
+      adapt_edges_added_ = r.GetU64();
+      adapt_ttl_decreases_ = r.GetU64();
+      adapt_probes_sent_ = r.GetU64();
+      adapt_reports_received_ = r.GetU64();
+      adapt_client_moves_ = r.GetU64();
+      adapt_converged_ = r.GetBool();
+      adapt_converged_round_ = r.GetU64();
+    }
+    measuring_ = now_ >= options_.warmup_seconds;
+    // A checkpoint from a scenario with a different fault/adaptation
+    // layer, or vectors inconsistent with the reconstructed layout,
+    // is rejected wholesale.
+    const std::size_t total = num_partners_ + num_clients_;
+    bool consistent = saved_fault_active == fault_active_ &&
+                      saved_adaptive == adaptive_ &&
+                      std::isfinite(now_) && now_ >= 0.0 && ttl_ >= 0 &&
+                      in_bytes_.size() == total &&
+                      out_bytes_.size() == total && units_.size() == total &&
+                      partner_alive_.size() == num_partners_ &&
+                      alive_partners_.size() >= n_ && rr_.size() >= n_ &&
+                      outage_start_.size() >= n_;
+    if (fault_active_) {
+      consistent = consistent &&
+                   client_current_cluster_.size() == num_clients_ &&
+                   orphaned_since_.size() == num_clients_ &&
+                   cluster_members_.size() >= n_;
+    }
+    if (adaptive_) {
+      consistent = consistent && adapt_in_bytes_.size() == total &&
+                   adapt_out_bytes_.size() == total &&
+                   adapt_units_.size() == total;
+    }
+    return r.ok() && consistent;
   }
 
  private:
@@ -498,6 +867,9 @@ class Simulator::Impl {
       case kAdaptTtlArrive:
         OnAdaptTtlArrive(e.node);
         break;
+      case kTraceQuerySubmit:
+        SubmitQueryNow(e.node);
+        break;
       default:
         SPPNET_CHECK_MSG(false, "unknown event kind");
     }
@@ -510,6 +882,13 @@ class Simulator::Impl {
 
   void OnQuerySubmit(std::uint32_t user) {
     ScheduleIn(ExpDelay(config_.query_rate), kQuerySubmit, user);
+    SubmitQueryNow(user);
+  }
+
+  /// The submission body shared by the Poisson clock (kQuerySubmit) and
+  /// trace replay (kTraceQuerySubmit): everything OnQuerySubmit did
+  /// except rescheduling the clock.
+  void SubmitQueryNow(std::uint32_t user) {
     if (IsHeadRole(user) && !HeadAlive(user)) return;
     const auto query_class =
         static_cast<std::uint32_t>(inputs_.query_model.SampleQueryClass(rng_));
@@ -1658,7 +2037,7 @@ class Simulator::Impl {
   }
 
   // --- Finalization --------------------------------------------------------------
-  SimReport Finalize() {
+  SimReport Finalize(double measured_seconds) {
     // Close outages still open at the end of the run (adaptation can
     // have grown the slot count past the instance's n clusters).
     for (std::size_t i = 0; i < outage_start_.size(); ++i) {
@@ -1673,11 +2052,12 @@ class Simulator::Impl {
     }
 
     SimReport report;
-    report.measured_seconds = options_.duration_seconds;
+    report.measured_seconds = measured_seconds;
     report.events_scheduled = events_scheduled_;
     report.events_dispatched = events_dispatched_;
     report.queue_depth_hwm = queue_depth_hwm_;
-    const double inv_t = 1.0 / options_.duration_seconds;
+    const double inv_t =
+        measured_seconds > 0.0 ? 1.0 / measured_seconds : 0.0;
     const auto to_load = [&](std::uint32_t node) {
       LoadVector lv;
       lv.in_bps = BytesPerSecToBps(in_bytes_[node] * inv_t);
@@ -1732,12 +2112,12 @@ class Simulator::Impl {
     report.partner_recoveries = partner_recoveries_;
     report.cluster_outages = cluster_outages_;
     const double cluster_seconds =
-        options_.duration_seconds * static_cast<double>(n_);
+        measured_seconds * static_cast<double>(n_);
     if (cluster_seconds > 0.0) {
       report.cluster_outage_fraction = outage_seconds_ / cluster_seconds;
     }
     const double client_seconds =
-        options_.duration_seconds * static_cast<double>(num_clients_);
+        measured_seconds * static_cast<double>(num_clients_);
     if (client_seconds > 0.0) {
       report.client_disconnected_fraction =
           disconnected_client_seconds_ / client_seconds;
@@ -1795,7 +2175,7 @@ class Simulator::Impl {
   /// parallelism but naturally differ between engines/backends. The
   /// sim.time.* timers are wall-clock (report-only nondeterminism,
   /// excluded from deterministic-section comparisons).
-  void PublishMetrics(MetricsRegistry& m) {
+  void PublishMetrics(MetricsRegistry& m) const {
     // The adaptation message classes (probe/report/control) exist in
     // the registry only for active plans.
     const std::size_t published = adaptive_ ? kNumMsgTypes : kNumBaseMsgTypes;
@@ -1902,6 +2282,12 @@ class Simulator::Impl {
   SimState state_;
   double now_ = 0.0;
   bool measuring_ = false;
+  // Streaming-mode lifecycle (Start / RunUntil* / FinalizeAt).
+  bool started_ = false;
+  bool finalized_ = false;
+  /// First root qid not yet proven retirable; RetireStateBefore resumes
+  /// its forward scan here so retirement stays O(retired) overall.
+  std::uint64_t retire_scan_qid_ = 0;
 
   std::vector<double> in_bytes_, out_bytes_, units_;
   std::vector<std::uint32_t> client_cluster_;
@@ -2039,5 +2425,35 @@ Simulator::Simulator(const NetworkInstance& instance,
 Simulator::~Simulator() { delete impl_; }
 
 SimReport Simulator::Run() { return impl_->Run(); }
+
+void Simulator::Start() { impl_->Start(); }
+
+void Simulator::RunUntil(double sim_time) { impl_->RunUntil(sim_time); }
+
+double Simulator::Now() const { return impl_->Now(); }
+
+std::uint64_t Simulator::events_dispatched() const {
+  return impl_->events_dispatched();
+}
+
+SimReport Simulator::Finalize(double end_time) {
+  return impl_->FinalizeAt(end_time);
+}
+
+void Simulator::PublishCumulativeMetrics(MetricsRegistry& registry) const {
+  impl_->PublishCumulativeMetrics(registry);
+}
+
+void Simulator::InjectQueryAt(double time, std::uint32_t user) {
+  impl_->InjectQueryAt(time, user);
+}
+
+void Simulator::RetireStateBefore(double cutoff_seconds) {
+  impl_->RetireStateBefore(cutoff_seconds);
+}
+
+void Simulator::SaveState(CheckpointWriter& w) const { impl_->SaveState(w); }
+
+bool Simulator::LoadState(CheckpointReader& r) { return impl_->LoadState(r); }
 
 }  // namespace sppnet

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sppnet/io/checkpoint.h"
 #include "sppnet/model/config.h"
 #include "sppnet/model/instance.h"
 #include "sppnet/model/load.h"
@@ -274,8 +275,63 @@ class Simulator {
   Simulator& operator=(const Simulator&) = delete;
   ~Simulator();
 
-  /// Runs warmup + measurement and returns the report.
+  /// Runs warmup + measurement and returns the report. Equivalent to
+  /// Start() + RunUntil(warmup + duration) + Finalize() — the streaming
+  /// layer drives those pieces directly.
   SimReport Run();
+
+  // --- Streaming interface (sim/stream.h drives these) ----------------------
+  /// Seeds the per-node Poisson clocks and the churn/fault/adaptation
+  /// schedules. Must be called exactly once, before RunUntil.
+  void Start();
+  /// Dispatches every pending event with time <= `sim_time` (seconds).
+  /// Call repeatedly with nondecreasing times to stream the run.
+  void RunUntil(double sim_time);
+  /// Simulation clock: the time of the last dispatched event (0 before
+  /// any dispatch), NOT the RunUntil horizon — idle stretches advance
+  /// the clock only when the next event fires.
+  double Now() const;
+  std::uint64_t events_dispatched() const;
+  /// Closes the run at simulated time `end_time` (>= the last dispatch;
+  /// pending later events are abandoned) and builds the report over
+  /// [warmup, end_time]. When `end_time` equals warmup + duration this
+  /// is bit-identical to what Run() returns. At most one of Run() /
+  /// Finalize() per simulator.
+  SimReport Finalize(double end_time);
+
+  /// Publishes the cumulative counter/gauge/histogram surface (the same
+  /// one Finalize publishes to options.metrics) into `registry`, without
+  /// touching simulation state — callable mid-run at window boundaries.
+  void PublishCumulativeMetrics(MetricsRegistry& registry) const;
+
+  /// Injects one externally fed (trace-replay) query submission by
+  /// `user` at absolute simulated time `time` (>= Now(), checked when
+  /// dispatched). Unlike the Poisson clocks, an injected submission
+  /// does not reschedule itself.
+  void InjectQueryAt(double time, std::uint32_t user);
+
+  /// Retires per-query state for every query submitted before
+  /// `cutoff_seconds`, keeping resident state flat on an unbounded run.
+  /// The caller guarantees `cutoff_seconds` trails Now() by at least the
+  /// maximum query lifetime (DESIGN.md §11 derives the bound); retired
+  /// queries must have no in-flight events (checked on access).
+  void RetireStateBefore(double cutoff_seconds);
+
+  // --- Checkpoint (sim/stream.h wraps these in an envelope) ------------------
+  /// Serializes the complete mutable state: event queue, RNG streams,
+  /// per-query state, accounting tallies, fault and adaptation state.
+  /// Requires abstract-index mode (concrete_index aborts: the live
+  /// inverted indexes are out of checkpoint scope). The simulator must
+  /// be Start()ed and not finalized.
+  void SaveState(CheckpointWriter& w) const;
+  /// Restores into a freshly constructed simulator built from the SAME
+  /// instance, config, inputs and options (the stream envelope's
+  /// fingerprint enforces this). Replaces Start(); returns false on a
+  /// malformed payload. Dispatch after a restore is bit-identical to
+  /// the uninterrupted run for every protocol-relevant observable —
+  /// engine-internal instruments (sim.queue.*, sim.state.scratch_bytes)
+  /// legitimately differ (DESIGN.md §11).
+  bool LoadState(CheckpointReader& r);
 
  private:
   class Impl;

@@ -1,0 +1,422 @@
+// Resume-equivalence matrix for the streaming serving layer: a run
+// checkpointed at window k and restored — into the same engine/backend
+// combo or a DIFFERENT one — must continue bit-identically to the
+// uninterrupted run for every protocol-relevant observable: the final
+// report digest, the filtered per-window counter deltas, the
+// events-dispatched deltas and the running snapshot digest.
+// Engine-internal instruments (sim.queue.*, sim.state.*) legitimately
+// differ after a restore (the fresh engine's statistics restart) and
+// are excluded, mirroring the engine-equivalence contract.
+//
+// Cut points deliberately include a mid-adaptation-round window
+// boundary (probe reports recorded, decision round still pending) and
+// a mid-fault-recovery boundary (crashed partners still down, orphaned
+// clients waiting, retries backed off) — the states with the most
+// serialized machinery in flight.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sppnet/common/rng.h"
+#include "sppnet/model/config.h"
+#include "sppnet/model/instance.h"
+#include "sppnet/obs/metrics.h"
+#include "sppnet/sim/faults.h"
+#include "sppnet/sim/simulator.h"
+#include "sppnet/sim/stream.h"
+
+namespace sppnet {
+namespace {
+
+// Same field set and order as the engine-equivalence goldens — a
+// restored run must reproduce the uninterrupted report bit for bit.
+std::uint64_t ReportDigest(const SimReport& r) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  const auto mix_d = [&](double d) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  const auto mix_load = [&](const LoadVector& lv) {
+    mix_d(lv.in_bps);
+    mix_d(lv.out_bps);
+    mix_d(lv.proc_hz);
+  };
+  mix_d(r.measured_seconds);
+  for (const LoadVector& lv : r.partner_load) mix_load(lv);
+  for (const LoadVector& lv : r.client_load) mix_load(lv);
+  mix_load(r.aggregate);
+  mix(r.queries_submitted);
+  mix(r.responses_delivered);
+  mix(r.duplicate_queries);
+  mix_d(r.mean_results_per_query);
+  mix_d(r.mean_response_hops);
+  mix_d(r.mean_first_response_latency);
+  mix_d(r.mean_rings_per_query);
+  mix(r.cache_hits);
+  mix(r.partner_failures);
+  mix(r.partner_recoveries);
+  mix(r.cluster_outages);
+  mix_d(r.cluster_outage_fraction);
+  mix_d(r.client_disconnected_fraction);
+  mix(r.faults_crashes);
+  mix(r.faults_messages_dropped);
+  mix(r.faults_request_timeouts);
+  mix(r.faults_retries);
+  mix(r.faults_failover_episodes);
+  mix(r.faults_client_rejoins);
+  mix(r.queries_succeeded);
+  mix(r.queries_failed);
+  mix_d(r.query_success_rate);
+  mix_d(r.mean_recovery_latency_seconds);
+  mix(r.events_scheduled);
+  mix(r.events_dispatched);
+  mix(r.queue_depth_hwm);
+  mix(r.adapt_rounds);
+  mix(r.adapt_splits);
+  mix(r.adapt_coalesces);
+  mix(r.adapt_edges_added);
+  mix(r.adapt_ttl_decreases);
+  mix(r.adapt_probes_sent);
+  mix(r.adapt_reports_received);
+  mix(r.adapt_client_moves);
+  mix(r.adapt_converged ? 1 : 0);
+  mix(r.adapt_converged_round);
+  mix(r.final_clusters);
+  mix(static_cast<std::uint64_t>(r.final_ttl));
+  mix_d(r.final_avg_outdegree);
+  return h;
+}
+
+bool EngineInternal(const std::string& name) {
+  return name.rfind("sim.queue.", 0) == 0 || name.rfind("sim.state.", 0) == 0;
+}
+
+/// Protocol-relevant content of one snapshot, as a comparable value.
+std::vector<std::pair<std::string, std::uint64_t>> FilteredDeltas(
+    const StreamSnapshot& snap) {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& [name, delta] : snap.counter_deltas) {
+    if (!EngineInternal(name)) out.emplace_back(name, delta);
+  }
+  return out;
+}
+
+struct Scenario {
+  const char* name;
+  Configuration config;
+  std::uint64_t instance_seed = 0;
+  SimOptions sim;
+  StreamOptions stream;
+  std::size_t num_windows = 0;
+};
+
+// 8 windows x 6 s = 48 s of simulated time per run; warmup 12 s.
+Scenario ChurnScenario() {
+  Scenario s;
+  s.name = "churn";
+  s.config.graph_size = 400;
+  s.config.cluster_size = 10.0;
+  s.config.ttl = 4;
+  s.config.avg_outdegree = 4.0;
+  s.instance_seed = 105;
+  s.sim.seed = 15;
+  s.sim.duration_seconds = 36.0;
+  s.sim.warmup_seconds = 12.0;
+  s.sim.enable_churn = true;
+  s.sim.partner_recovery_seconds = 20.0;
+  s.stream.window_seconds = 6.0;
+  s.num_windows = 8;
+  return s;
+}
+
+// Active fault plan with 15 s crash recovery and 2 s request timeouts:
+// every interior window boundary has crashed partners mid-recovery,
+// orphaned clients accruing disconnected time and retries backed off.
+Scenario FaultScenario() {
+  Scenario s;
+  s.name = "faults";
+  s.config.graph_size = 400;
+  s.config.cluster_size = 10.0;
+  s.config.redundancy = true;
+  s.config.ttl = 4;
+  s.config.avg_outdegree = 4.0;
+  s.instance_seed = 106;
+  s.sim.seed = 16;
+  s.sim.duration_seconds = 36.0;
+  s.sim.warmup_seconds = 12.0;
+  s.sim.faults.crash_rate_per_partner = 2e-3;
+  s.sim.faults.crash_recovery_seconds = 15.0;
+  s.sim.faults.message_drop_probability = 0.01;
+  s.sim.faults.max_delay_jitter_seconds = 0.05;
+  s.sim.faults.request_timeout_seconds = 2.0;
+  s.sim.faults.max_retries = 3;
+  s.stream.window_seconds = 6.0;
+  s.num_windows = 8;
+  return s;
+}
+
+// Probe interval 2 s, decision interval 10 s, window 4 s: boundaries at
+// 4, 8, 12, ... alternate between mid-round states (probe reports
+// recorded, the next decision round pending) and post-round states —
+// the checkpoint always carries fresh NeighborReports, streaks,
+// cooldowns and the live membership mid-adaptation.
+Scenario AdaptiveScenario() {
+  Scenario s;
+  s.name = "adaptive";
+  s.config.graph_size = 400;
+  s.config.cluster_size = 4.0;
+  s.config.ttl = 5;
+  s.config.avg_outdegree = 3.1;
+  s.instance_seed = 108;
+  s.sim.seed = 18;
+  s.sim.duration_seconds = 28.0;
+  s.sim.warmup_seconds = 12.0;
+  s.sim.adaptive.probe_interval_seconds = 2.0;
+  s.sim.adaptive.decision_interval_seconds = 10.0;
+  s.sim.adaptive.policy.max_bandwidth_bps = 1.0e7;
+  s.sim.adaptive.policy.max_proc_hz = 2.0e6;
+  s.stream.window_seconds = 4.0;
+  s.num_windows = 10;
+  return s;
+}
+
+struct Combo {
+  SimEngine engine;
+  SimStateBackend backend;
+  const char* label;
+};
+
+constexpr Combo kMatrix[] = {
+    {SimEngine::kCalendar, SimStateBackend::kDense, "calendar+dense"},
+    {SimEngine::kCalendar, SimStateBackend::kMapReference, "calendar+map"},
+    {SimEngine::kHeapReference, SimStateBackend::kDense, "heap+dense"},
+    {SimEngine::kHeapReference, SimStateBackend::kMapReference, "heap+map"},
+};
+
+struct StreamedRun {
+  std::vector<StreamSnapshot> snapshots;
+  SimReport report;
+  std::uint64_t snapshot_digest = 0;
+};
+
+NetworkInstance MakeInstance(const Scenario& s, const ModelInputs& inputs) {
+  Rng rng(s.instance_seed);
+  return GenerateInstance(s.config, inputs, rng);
+}
+
+SimOptions ComboOptions(const Scenario& s, const Combo& combo) {
+  SimOptions options = s.sim;
+  options.engine = combo.engine;
+  options.state_backend = combo.backend;
+  return options;
+}
+
+/// Streams the scenario start to finish with no interruption.
+StreamedRun RunUninterrupted(const Scenario& s, const Combo& combo) {
+  const ModelInputs inputs = ModelInputs::Default();
+  const NetworkInstance instance = MakeInstance(s, inputs);
+  StreamDriver driver(instance, s.config, inputs, ComboOptions(s, combo),
+                      s.stream);
+  StreamedRun run;
+  for (std::size_t w = 0; w < s.num_windows; ++w) {
+    run.snapshots.push_back(driver.AdvanceWindow());
+  }
+  run.report = driver.Finish();
+  run.snapshot_digest = driver.snapshot_digest();
+  return run;
+}
+
+/// Streams `cut` windows on `save_combo`, checkpoints, restores into a
+/// fresh driver on `resume_combo`, and streams the rest there.
+StreamedRun RunWithRestore(const Scenario& s, const Combo& save_combo,
+                           const Combo& resume_combo, std::size_t cut) {
+  const ModelInputs inputs = ModelInputs::Default();
+  const NetworkInstance instance = MakeInstance(s, inputs);
+  StreamedRun run;
+  std::vector<std::uint8_t> bytes;
+  {
+    StreamDriver saver(instance, s.config, inputs,
+                       ComboOptions(s, save_combo), s.stream);
+    for (std::size_t w = 0; w < cut; ++w) {
+      run.snapshots.push_back(saver.AdvanceWindow());
+    }
+    bytes = saver.Checkpoint();
+    // The saving driver is destroyed here: the restored run cannot
+    // lean on any of its in-memory state.
+  }
+  StreamDriver resumer(instance, s.config, inputs,
+                       ComboOptions(s, resume_combo), s.stream);
+  EXPECT_TRUE(resumer.Restore(bytes));
+  EXPECT_EQ(resumer.windows_emitted(), cut);
+  for (std::size_t w = cut; w < s.num_windows; ++w) {
+    run.snapshots.push_back(resumer.AdvanceWindow());
+  }
+  run.report = resumer.Finish();
+  run.snapshot_digest = resumer.snapshot_digest();
+  return run;
+}
+
+void ExpectEquivalent(const StreamedRun& expected, const StreamedRun& actual) {
+  EXPECT_EQ(ReportDigest(actual.report), ReportDigest(expected.report));
+  EXPECT_EQ(actual.snapshot_digest, expected.snapshot_digest);
+  ASSERT_EQ(actual.snapshots.size(), expected.snapshots.size());
+  for (std::size_t w = 0; w < expected.snapshots.size(); ++w) {
+    SCOPED_TRACE("window " + std::to_string(w));
+    EXPECT_EQ(actual.snapshots[w].window_end, expected.snapshots[w].window_end);
+    EXPECT_EQ(actual.snapshots[w].events_dispatched_delta,
+              expected.snapshots[w].events_dispatched_delta);
+    EXPECT_EQ(FilteredDeltas(actual.snapshots[w]),
+              FilteredDeltas(expected.snapshots[w]));
+  }
+}
+
+class CheckpointMatrixTest : public ::testing::TestWithParam<std::size_t> {};
+
+Scenario ScenarioByIndex(std::size_t index) {
+  switch (index) {
+    case 0:
+      return ChurnScenario();
+    case 1:
+      return FaultScenario();
+    default:
+      return AdaptiveScenario();
+  }
+}
+
+TEST_P(CheckpointMatrixTest, RestoreAtEveryTestedCutMatchesUninterrupted) {
+  const Scenario s = ScenarioByIndex(GetParam());
+  for (const Combo& combo : kMatrix) {
+    SCOPED_TRACE(std::string(s.name) + " / " + combo.label);
+    const StreamedRun uninterrupted = RunUninterrupted(s, combo);
+    // Early, middle and late cuts. For the adaptive scenario window 3
+    // ends at 12 s (mid-round: probes from t=12 recorded, round at 20 s
+    // pending); for the fault scenario every cut has recoveries in
+    // flight.
+    for (const std::size_t cut :
+         {std::size_t{1}, std::size_t{3}, s.num_windows - 1}) {
+      SCOPED_TRACE("cut after window " + std::to_string(cut));
+      ExpectEquivalent(uninterrupted, RunWithRestore(s, combo, combo, cut));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, CheckpointMatrixTest,
+                         ::testing::Range<std::size_t>(0, 3),
+                         [](const auto& info) {
+                           return std::string(
+                               ScenarioByIndex(info.param).name);
+                         });
+
+TEST(CheckpointCrossEngineTest, CheckpointsArePortableAcrossTheMatrix) {
+  // Save on one corner of the matrix, resume on another: the canonical
+  // serialized form carries no engine or backend internals, so every
+  // pairing continues identically.
+  const Scenario s = FaultScenario();
+  const StreamedRun uninterrupted = RunUninterrupted(s, kMatrix[0]);
+  const std::size_t cut = 4;
+  const std::pair<std::size_t, std::size_t> pairings[] = {
+      {0, 3},  // calendar+dense -> heap+map
+      {3, 0},  // heap+map -> calendar+dense
+      {1, 2},  // calendar+map -> heap+dense
+  };
+  for (const auto& [save, resume] : pairings) {
+    SCOPED_TRACE(std::string(kMatrix[save].label) + " -> " +
+                 kMatrix[resume].label);
+    ExpectEquivalent(
+        uninterrupted,
+        RunWithRestore(s, kMatrix[save], kMatrix[resume], cut));
+  }
+}
+
+TEST(CheckpointRejectionTest, ForeignFingerprintIsRejected) {
+  const Scenario s = ChurnScenario();
+  const ModelInputs inputs = ModelInputs::Default();
+  const NetworkInstance instance = MakeInstance(s, inputs);
+  StreamDriver saver(instance, s.config, inputs, ComboOptions(s, kMatrix[0]),
+                     s.stream);
+  saver.AdvanceWindow();
+  const std::vector<std::uint8_t> bytes = saver.Checkpoint();
+
+  // A driver with a different protocol seed must refuse the restore.
+  SimOptions other = ComboOptions(s, kMatrix[0]);
+  other.seed = s.sim.seed + 1;
+  StreamDriver wrong_seed(instance, s.config, inputs, other, s.stream);
+  EXPECT_FALSE(wrong_seed.Restore(bytes));
+  EXPECT_EQ(wrong_seed.windows_emitted(), 0u);
+
+  // A different window grid changes the snapshot semantics: refused.
+  StreamOptions other_stream = s.stream;
+  other_stream.window_seconds = 3.0;
+  StreamDriver wrong_grid(instance, s.config, inputs,
+                          ComboOptions(s, kMatrix[0]), other_stream);
+  EXPECT_FALSE(wrong_grid.Restore(bytes));
+
+  // Corruption is caught by the envelope before any field is decoded.
+  std::vector<std::uint8_t> flipped = bytes;
+  flipped[flipped.size() / 2] ^= 0x10;
+  StreamDriver pristine(instance, s.config, inputs,
+                        ComboOptions(s, kMatrix[0]), s.stream);
+  EXPECT_FALSE(pristine.Restore(flipped));
+  EXPECT_EQ(pristine.windows_emitted(), 0u);
+}
+
+TEST(CheckpointParallelismTest, StreamTrialsBitIdenticalAcrossParallelism) {
+  // The windowed trial runner folds window-major in trial order: per-
+  // window totals, per-trial digests and the merged registry must be
+  // bit-identical across parallelism 1, 2 and 8 — and across engines.
+  Configuration config;
+  config.graph_size = 300;
+  config.cluster_size = 10.0;
+  config.redundancy = true;
+  config.ttl = 4;
+  config.avg_outdegree = 4.0;
+  const ModelInputs inputs = ModelInputs::Default();
+
+  const auto run = [&](SimEngine engine, SimStateBackend backend,
+                       std::size_t parallelism) {
+    StreamTrialOptions options;
+    options.num_trials = 4;
+    options.seed = 77;
+    options.parallelism = parallelism;
+    options.num_windows = 6;
+    options.sim.duration_seconds = 24.0;
+    options.sim.warmup_seconds = 12.0;
+    options.sim.enable_churn = true;
+    options.sim.engine = engine;
+    options.sim.state_backend = backend;
+    options.stream.window_seconds = 6.0;
+    return RunStreamTrials(config, inputs, options);
+  };
+
+  const StreamTrialReport reference =
+      run(SimEngine::kCalendar, SimStateBackend::kDense, 1);
+  ASSERT_EQ(reference.snapshot_digests.size(), 4u);
+  for (const std::size_t parallelism : {2u, 8u}) {
+    for (const Combo& combo : kMatrix) {
+      SCOPED_TRACE(std::string(combo.label) + " x" +
+                   std::to_string(parallelism));
+      const StreamTrialReport report =
+          run(combo.engine, combo.backend, parallelism);
+      EXPECT_EQ(report.snapshot_digests, reference.snapshot_digests);
+      EXPECT_EQ(report.window_events, reference.window_events);
+      EXPECT_EQ(report.window_queries, reference.window_queries);
+      EXPECT_EQ(report.queries_submitted, reference.queries_submitted);
+      EXPECT_EQ(report.responses_delivered, reference.responses_delivered);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sppnet

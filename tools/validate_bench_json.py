@@ -94,7 +94,53 @@ def validate(path):
     elif not isinstance(timings["wall_seconds"], (int, float)):
         err("'timings.wall_seconds' must be a number")
 
+    validate_windowed_stream(doc, err)
+
     return errors
+
+
+def validate_windowed_stream(doc, err):
+    """Windowed-snapshot schema for streaming benches.
+
+    A bench that reports any `stream.*` gauge is a streaming serving-
+    layer run (bench/sustained_throughput) and must carry the full
+    windowed surface: the per-decile table, one events_per_sec and one
+    rss_bytes gauge per decile, the window/event totals, and the
+    checkpoint-restore verdict plus the two flatness ratios in config.
+    """
+    gauges = doc.get("metrics", {}).get("gauges")
+    if not isinstance(gauges, dict) or not any(
+            key.startswith("stream.") for key in gauges):
+        return
+
+    for key in ("stream.windows", "stream.events_total"):
+        if not isinstance(gauges.get(key), (int, float)):
+            err(f"streaming bench missing numeric gauge '{key}'")
+    for decile in range(1, 11):
+        for stem in ("stream.events_per_sec", "stream.rss_bytes"):
+            key = f"{stem}.decile{decile}"
+            value = gauges.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                err(f"streaming bench gauge '{key}' missing or not > 0")
+
+    tables = {t.get("name"): t for t in doc.get("tables", [])
+              if isinstance(t, dict)}
+    deciles = tables.get("deciles")
+    if deciles is None:
+        err("streaming bench missing the 'deciles' table")
+    elif len(deciles.get("rows", [])) != 10:
+        err("'deciles' table must have exactly 10 rows")
+
+    config = doc.get("config", {})
+    if config.get("restore_ok") != "true":
+        err("streaming bench config.restore_ok must be \"true\" "
+            "(checkpoint/restore replay diverged or never ran)")
+    for key in ("window_seconds", "target_events",
+                "events_per_sec_last_over_first",
+                "rss_last_over_post_warmup"):
+        value = config.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            err(f"streaming bench config.{key} missing or not > 0")
 
 
 def main(argv):
