@@ -180,6 +180,14 @@ inline std::size_t SmokeCount(std::size_t full, std::size_t smoke) {
   return SmokeMode() ? std::min(full, smoke) : full;
 }
 
+/// Hard cap on a sweep's problem size in smoke mode. Applied AFTER any
+/// bench-specific environment override so a CI smoke job can never be
+/// talked into a full-scale (minutes-long, gigabytes-hungry) run by a
+/// stray SPPNET_*_MAX_N value; full runs pass through untouched.
+inline std::size_t SmokeMaxN(std::size_t n, std::size_t smoke_cap = 10000) {
+  return SmokeMode() ? std::min(n, smoke_cap) : n;
+}
+
 /// Worker threads for the trial runner in the sweep harnesses
 /// (results are bit-identical to serial runs).
 inline constexpr std::size_t kTrialParallelism = 2;

@@ -1,23 +1,33 @@
 // Scale sweep for the discrete-event simulator core: flood baseline at
-// N = 1e3 / 1e4 / 1e5 clusters, production engine (deterministic
-// calendar queue + dense per-query state) timed against the reference
-// engine (binary heap + hash-map state). Both runs of every size are
-// checked bitwise-identical at the SimReport level — the in-bench half
-// of the engine-equivalence contract (tests/sim/engine_equivalence_test
-// holds the full 2x2 matrix and the pre-overhaul goldens).
+// N = 1e3 ... 1e6 nodes, production engine (deterministic calendar
+// queue + dense per-query state) timed against the reference engine
+// (binary heap + hash-map state), plus the sharded conservative-window
+// discipline timed against its own sequential (S=1, T=1) reference.
+// Both members of every pair are checked bitwise-identical at the
+// SimReport level — the in-bench half of the equivalence contracts
+// (tests/sim/engine_equivalence_test and
+// tests/sim/sharded_equivalence_test hold the full matrices and the
+// pinned goldens).
 //
 // The sweep reports events/sec (whole run: warmup + measurement) and
 // the per-node scratch footprint of the event queue and the per-query
 // state, from the sim.queue.* / sim.state.* gauges. Simulated duration
 // shrinks as N grows so the reference hash-map backend stays within CI
 // memory; events/sec is duration-independent (steady-state event mix).
+// The heap+map reference pair stops at N = 1e5 (its duplicate tables
+// would need tens of minutes at 1e6); the sharded rows cover every
+// size. Sharded wall-clock speedup is machine-dependent — it needs
+// real cores to show parallel gain — while the identity checks hold on
+// any machine.
 //
-// SPPNET_SIM_SCALE_MAX_N caps the sweep (CI smoke runs set it down).
+// SPPNET_SIM_SCALE_MAX_N caps the sweep (CI smoke runs set it down;
+// smoke mode clamps to 1e4 regardless of the override).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -122,15 +132,52 @@ EngineRun RunEngine(const NetworkInstance& inst, const Configuration& config,
   return result;
 }
 
+/// One run of the sharded conservative-window discipline on the
+/// production engine. `reps` reduces timer noise exactly as RunEngine
+/// does; the heaviest sizes run once.
+EngineRun RunSharded(const NetworkInstance& inst, const Configuration& config,
+                     const ModelInputs& inputs, const SimOptions& base,
+                     std::size_t shards, std::size_t threads,
+                     const char* label, int reps) {
+  EngineRun result;
+  result.label = label;
+  SimOptions options = base;
+  options.engine = SimEngine::kCalendar;
+  options.state_backend = SimStateBackend::kDense;
+  options.shards.num_shards = shards;
+  options.shards.num_threads = threads;
+  for (int rep = 0; rep < reps; ++rep) {
+    MetricsRegistry metrics;
+    options.metrics = &metrics;
+    Simulator sim(inst, config, inputs, options);
+    const auto t0 = std::chrono::steady_clock::now();
+    result.report = sim.Run();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (rep == 0 || seconds < result.seconds) result.seconds = seconds;
+    result.queue_bytes = metrics.GaugeValue("sim.queue.scratch_bytes");
+    result.state_bytes = metrics.GaugeValue("sim.state.scratch_bytes");
+  }
+  return result;
+}
+
 int Main() {
-  Banner("Simulator scale sweep: calendar queue + dense state, N = 1e3-1e5",
+  Banner("Simulator scale sweep: calendar queue + dense state, N = 1e3-1e6",
          "the discrete-event cross-check must keep pace with the "
          "analytical model so Section 4/6 validation runs at the same N");
 
-  std::size_t max_n = SmokeMode() ? 10000 : 100000;
+  std::size_t max_n = SmokeMode() ? 10000 : 1000000;
   if (const char* cap = std::getenv("SPPNET_SIM_SCALE_MAX_N")) {
     max_n = std::strtoull(cap, nullptr, 10);
   }
+  max_n = SmokeMaxN(max_n);
+
+  // The sharded rows: S shards drained by min(S, hardware) threads.
+  const std::size_t shard_count = 8;
+  const std::size_t hardware = std::max<std::size_t>(
+      std::thread::hardware_concurrency(), 1);
+  const std::size_t shard_threads = std::min(shard_count, hardware);
 
   BenchRun run("sim_scale");
   run.Config("graph_type", "power_law");
@@ -139,25 +186,32 @@ int Main() {
   run.Config("ttl", 4);
   run.Config("strategy", "flood");
   run.Config("max_n", max_n);
+  run.Config("shard_count", shard_count);
+  run.Config("shard_threads", shard_threads);
 
   const ModelInputs inputs = ModelInputs::Default();
   TableWriter table({"N", "engine", "run_s", "events", "Kev/s",
                      "queue_B/node", "state_B/node", "speedup"});
   bool identity_ok = true;
+  bool sharded_identity_ok = true;
   double speedup_1e4 = 0.0;
 
   struct SizePoint {
     std::size_t n;
     double duration;
+    bool legacy_pair;  // heap+map vs calendar+dense comparison runs.
   };
   // Duration shrinks with N: the reference hash-map backend's duplicate
   // tables grow with (clusters x queries), and the sweep must fit CI
   // memory. Rates (events/sec) are steady-state, so this only trades
-  // measurement time, not comparability.
+  // measurement time, not comparability. At N = 1e6 only the sharded
+  // discipline runs (the heap+map reference would need tens of
+  // minutes), once per configuration.
   const SizePoint kSizes[] = {
-      {1000, SmokeSimSeconds(60.0, 10.0)},
-      {10000, SmokeSimSeconds(30.0, 5.0)},
-      {100000, SmokeSimSeconds(10.0, 2.0)},
+      {1000, SmokeSimSeconds(60.0, 10.0), true},
+      {10000, SmokeSimSeconds(30.0, 5.0), true},
+      {100000, SmokeSimSeconds(10.0, 2.0), true},
+      {1000000, 1.5, false},
   };
 
   for (const SizePoint& point : kSizes) {
@@ -176,62 +230,105 @@ int Main() {
     base.warmup_seconds = point.duration / 10.0;
     base.seed = 7;
 
-    const EngineRun reference =
-        RunEngine(inst, config, inputs, base, SimEngine::kHeapReference,
-                  SimStateBackend::kMapReference);
-    const EngineRun production =
-        RunEngine(inst, config, inputs, base, SimEngine::kCalendar,
-                  SimStateBackend::kDense);
-
-    if (!ReportsIdentical(reference.report, production.report)) {
-      identity_ok = false;
-      std::printf("IDENTITY VIOLATION at N=%zu: calendar+dense drifted "
-                  "from heap+map\n",
-                  point.n);
-    }
-
-    const double events =
-        static_cast<double>(production.report.events_dispatched);
-    const double speedup = reference.seconds / production.seconds;
-    if (point.n == 10000) speedup_1e4 = speedup;
-    std::printf("\nN=%zu: %.0f events, queue HWM %llu, %.2fs sim time\n",
-                point.n, events,
-                static_cast<unsigned long long>(
-                    production.report.queue_depth_hwm),
-                point.duration);
-
     const auto n_nodes = static_cast<double>(point.n);
-    for (const EngineRun* r : {&reference, &production}) {
+    const auto add_row = [&](const EngineRun& r, double events,
+                             double speedup) {
       table.AddRow(
-          {Format(point.n), r->label, Format(r->seconds, 4),
-           Format(production.report.events_dispatched),
-           Format(events / r->seconds / 1e3, 2),
-           r->queue_bytes > 0.0 ? Format(r->queue_bytes / n_nodes, 2)
-                                : std::string("-"),
-           Format(r->state_bytes / n_nodes, 2),
-           r == &production ? Format(speedup, 3) : std::string("-")});
+          {Format(point.n), r.label, Format(r.seconds, 4),
+           Format(static_cast<std::size_t>(events)),
+           Format(events / r.seconds / 1e3, 2),
+           r.queue_bytes > 0.0 ? Format(r.queue_bytes / n_nodes, 2)
+                               : std::string("-"),
+           r.state_bytes > 0.0 ? Format(r.state_bytes / n_nodes, 2)
+                               : std::string("-"),
+           speedup > 0.0 ? Format(speedup, 3) : std::string("-")});
+    };
+
+    if (point.legacy_pair) {
+      const EngineRun reference =
+          RunEngine(inst, config, inputs, base, SimEngine::kHeapReference,
+                    SimStateBackend::kMapReference);
+      const EngineRun production =
+          RunEngine(inst, config, inputs, base, SimEngine::kCalendar,
+                    SimStateBackend::kDense);
+
+      if (!ReportsIdentical(reference.report, production.report)) {
+        identity_ok = false;
+        std::printf("IDENTITY VIOLATION at N=%zu: calendar+dense drifted "
+                    "from heap+map\n",
+                    point.n);
+      }
+
+      const double events =
+          static_cast<double>(production.report.events_dispatched);
+      const double speedup = reference.seconds / production.seconds;
+      if (point.n == 10000) speedup_1e4 = speedup;
+      std::printf("\nN=%zu: %.0f events, queue HWM %llu, %.2fs sim time\n",
+                  point.n, events,
+                  static_cast<unsigned long long>(
+                      production.report.queue_depth_hwm),
+                  point.duration);
+
+      add_row(reference, events, 0.0);
+      add_row(production, events, speedup);
+      run.metrics()
+          .GetGauge("sim_scale.events_per_sec.n" + Format(point.n))
+          .Set(events / production.seconds);
+      run.metrics()
+          .GetGauge("sim_scale.speedup.n" + Format(point.n))
+          .Set(speedup);
+      run.metrics()
+          .GetGauge("sim_scale.state_bytes_per_node.n" + Format(point.n))
+          .Set(production.state_bytes / n_nodes);
     }
+
+    // Sharded discipline: sequential (S=1, T=1) reference vs the
+    // parallel plan, bit-identical by contract.
+    const int reps = point.n >= 1000000 ? 1 : 2;
+    const EngineRun disc_seq = RunSharded(inst, config, inputs, base, 1, 1,
+                                          "disc(S1,T1)", reps);
+    std::string sharded_label = "sharded(S";
+    sharded_label += Format(shard_count);
+    sharded_label += ",T";
+    sharded_label += Format(shard_threads);
+    sharded_label += ")";
+    const EngineRun sharded =
+        RunSharded(inst, config, inputs, base, shard_count, shard_threads,
+                   sharded_label.c_str(), reps);
+
+    if (!ReportsIdentical(disc_seq.report, sharded.report)) {
+      sharded_identity_ok = false;
+      std::printf("SHARDED IDENTITY VIOLATION at N=%zu: S=%zu T=%zu "
+                  "drifted from the sequential reference\n",
+                  point.n, shard_count, shard_threads);
+    }
+
+    const double sharded_events =
+        static_cast<double>(sharded.report.events_dispatched);
+    const double sharded_speedup = disc_seq.seconds / sharded.seconds;
+    add_row(disc_seq, sharded_events, 0.0);
+    add_row(sharded, sharded_events, sharded_speedup);
     run.metrics()
-        .GetGauge("sim_scale.events_per_sec.n" + Format(point.n))
-        .Set(events / production.seconds);
+        .GetGauge("sim_scale.sharded.events_per_sec.n" + Format(point.n))
+        .Set(sharded_events / sharded.seconds);
     run.metrics()
-        .GetGauge("sim_scale.speedup.n" + Format(point.n))
-        .Set(speedup);
-    run.metrics()
-        .GetGauge("sim_scale.state_bytes_per_node.n" + Format(point.n))
-        .Set(production.state_bytes / n_nodes);
+        .GetGauge("sim_scale.sharded.speedup.n" + Format(point.n))
+        .Set(sharded_speedup);
   }
 
   std::printf("\n");
   run.Emit(table, "sim_scale");
   run.Config("identity_ok", identity_ok ? "true" : "false");
+  run.Config("sharded_identity_ok", sharded_identity_ok ? "true" : "false");
   std::printf("\nSimReport bit-identity across engines: %s\n",
               identity_ok ? "OK" : "FAILED");
+  std::printf("Sharded discipline bit-identity vs sequential: %s\n",
+              sharded_identity_ok ? "OK" : "FAILED");
   if (speedup_1e4 > 0.0) {
     std::printf("Speedup at N=1e4 (calendar+dense vs heap+map): %.2fx\n",
                 speedup_1e4);
   }
-  return identity_ok ? 0 : 1;
+  return identity_ok && sharded_identity_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -96,4 +96,15 @@ double Rng::NextGaussian() {
 
 Rng Rng::Split() { return Rng(NextUint64()); }
 
+Rng Rng::Salted(std::uint64_t seed, std::uint64_t salt) {
+  // Finalize the pair through one SplitMix64 round each so adjacent
+  // salts (0, 1, 2, ...) land on well-separated seeds; the Rng
+  // constructor then expands the combined value into full state.
+  std::uint64_t x = seed;
+  const std::uint64_t a = SplitMix64(&x);
+  x ^= salt * 0x9e3779b97f4a7c15ULL;
+  const std::uint64_t b = SplitMix64(&x);
+  return Rng(a ^ Rotl(b, 23));
+}
+
 }  // namespace sppnet

@@ -46,6 +46,14 @@ class Rng {
   /// parallel component its own stream without sharing state.
   Rng Split();
 
+  /// Derives an independent stream from (seed, salt) WITHOUT consuming
+  /// state from any live generator: Salted(s, k) is a pure function of
+  /// its arguments. This is the stream-splitting primitive for sharded
+  /// components — every shard/domain stream must be derivable from the
+  /// run seed alone so the set of streams does not depend on how many
+  /// shards exist or which one asks first.
+  static Rng Salted(std::uint64_t seed, std::uint64_t salt);
+
   /// Complete generator state, exposed so checkpoints can resume a
   /// stream mid-sequence. The spare Gaussian variate is part of the
   /// state: dropping it would desynchronise the next NextGaussian call.
@@ -68,7 +76,9 @@ class Rng {
  private:
   std::uint64_t state_[4];
   // Cached second variate from the polar method; NaN when empty.
-  double gauss_spare_;
+  // Initialized so checkpoints of a stream that never drew a Gaussian
+  // serialize a deterministic spare, not residual stack memory.
+  double gauss_spare_ = 0.0;
   bool has_gauss_spare_ = false;
 };
 

@@ -1,0 +1,43 @@
+#ifndef SPPNET_OBS_SHARD_MERGE_H_
+#define SPPNET_OBS_SHARD_MERGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sppnet {
+
+/// Canonical reducers for per-shard observability tallies.
+///
+/// A sharded run (sim/sharded_sim.h) accumulates counters, sums and
+/// histograms into one lane per shard, each written by exactly one
+/// thread; everything user-visible is produced by folding the lanes in
+/// shard-index order 0..S-1. Integer counters and integer-valued
+/// double sums are commutative-exact, so their folded value is
+/// shard-count-invariant outright; folding through these helpers (and
+/// never ad hoc at the call site) keeps the order one auditable fact —
+/// the determinism argument in DESIGN.md §12 leans on it.
+inline std::uint64_t FoldShardCounters(const std::vector<std::uint64_t>& v) {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < v.size(); ++s) total += v[s];
+  return total;
+}
+
+inline double FoldShardSums(const std::vector<double>& v) {
+  double total = 0.0;
+  for (std::size_t s = 0; s < v.size(); ++s) total += v[s];
+  return total;
+}
+
+/// Index-order fold over arbitrary per-shard lanes:
+/// fn(lane, shard_index) for s = 0..S-1. The one iteration order every
+/// lane merge (counter sums, histogram merges, high-water maxima) must
+/// use.
+template <typename Lane, typename Fn>
+void ForEachShardLane(const std::vector<Lane>& lanes, Fn&& fn) {
+  for (std::size_t s = 0; s < lanes.size(); ++s) fn(lanes[s], s);
+}
+
+}  // namespace sppnet
+
+#endif  // SPPNET_OBS_SHARD_MERGE_H_

@@ -59,6 +59,11 @@ void EventQueue::Schedule(SimEvent event) {
   heap_.push(event);
 }
 
+void EventQueue::SchedulePreKeyed(const SimEvent& event) {
+  SPPNET_CHECK(std::isfinite(event.time) && event.time >= 0.0);
+  heap_.push(event);
+}
+
 double EventQueue::NextTime() const {
   SPPNET_CHECK(!heap_.empty());
   return heap_.top().time;

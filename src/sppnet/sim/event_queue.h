@@ -42,6 +42,15 @@ class EventQueue {
   /// number. Times must be finite and >= 0 (checked).
   void Schedule(SimEvent event);
 
+  /// Schedules an event whose tie-breaking key the CALLER already
+  /// assigned (event.seq is taken verbatim; the internal counter is
+  /// untouched). The sharded discipline derives keys from message
+  /// content — (class, domain, counter) — so an event's position in the
+  /// (time, seq) order is independent of which queue it lands in;
+  /// mixing caller-keyed and queue-keyed events in one queue is the
+  /// caller's responsibility to keep collision-free.
+  void SchedulePreKeyed(const SimEvent& event);
+
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
 
@@ -104,6 +113,10 @@ class CalendarQueue {
   /// Schedules `event` at event.time; assigns the tie-breaking sequence
   /// number. Times must be finite and >= 0 (checked).
   void Schedule(SimEvent event);
+
+  /// Caller-keyed counterpart of Schedule (see EventQueue): event.seq
+  /// is taken verbatim, the internal counter is untouched.
+  void SchedulePreKeyed(const SimEvent& event) { Insert(event); }
 
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
@@ -234,6 +247,14 @@ class SimEventQueue {
       calendar_.Schedule(event);
     } else {
       heap_.Schedule(event);
+    }
+  }
+  /// Caller-keyed scheduling (sharded discipline); see EventQueue.
+  void SchedulePreKeyed(const SimEvent& event) {
+    if (engine_ == SimEngine::kCalendar) {
+      calendar_.SchedulePreKeyed(event);
+    } else {
+      heap_.SchedulePreKeyed(event);
     }
   }
   bool empty() const {

@@ -51,9 +51,19 @@ bool FaultInjector::ShouldDropDelivery() {
   return rng_.NextBernoulli(plan_.message_drop_probability);
 }
 
+bool FaultInjector::ShouldDropDelivery(Rng& stream) const {
+  if (plan_.message_drop_probability <= 0.0) return false;
+  return stream.NextBernoulli(plan_.message_drop_probability);
+}
+
 double FaultInjector::DeliveryJitter() {
   if (plan_.max_delay_jitter_seconds <= 0.0) return 0.0;
   return rng_.NextDouble() * plan_.max_delay_jitter_seconds;
+}
+
+double FaultInjector::DeliveryJitter(Rng& stream) const {
+  if (plan_.max_delay_jitter_seconds <= 0.0) return 0.0;
+  return stream.NextDouble() * plan_.max_delay_jitter_seconds;
 }
 
 double FaultInjector::NextCrashDelay() {

@@ -99,10 +99,17 @@ class FaultInjector {
   /// True if the next delivery should be silently dropped. Draws from
   /// the fault stream only when the drop probability is non-zero.
   bool ShouldDropDelivery();
+  /// Stream-explicit overload for the sharded discipline, where each
+  /// emitting domain keeps its own fault stream (derived from the sim
+  /// seed via Rng::Salted) so drop decisions are independent of the
+  /// global delivery order. Same draw-only-when-armed contract.
+  bool ShouldDropDelivery(Rng& stream) const;
 
   /// Extra delivery delay in [0, max_delay_jitter_seconds). Draws only
   /// when jitter is enabled; 0.0 otherwise.
   double DeliveryJitter();
+  /// Stream-explicit overload (see ShouldDropDelivery(Rng&)).
+  double DeliveryJitter(Rng& stream) const;
 
   /// Delay until a partner's next mid-session crash (exponential with
   /// the plan's crash rate). Must not be called at rate 0.

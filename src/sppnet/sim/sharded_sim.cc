@@ -1,0 +1,81 @@
+#include "sppnet/sim/sharded_sim.h"
+
+#include <algorithm>
+
+#include "sppnet/common/check.h"
+
+namespace sppnet {
+
+void ShardPlan::Validate() const {
+  if (!Enabled()) return;
+  SPPNET_CHECK_MSG(num_threads >= 1,
+                   "a sharded plan needs at least one worker thread");
+  SPPNET_CHECK_MSG(num_shards <= kShardCtlDomain,
+                   "shard count exceeds the event-key domain space");
+}
+
+ShardPool::ShardPool(std::size_t num_shards, std::size_t num_threads)
+    : num_shards_(num_shards),
+      num_threads_(std::max<std::size_t>(
+          1, std::min(num_threads, num_shards))) {
+  SPPNET_CHECK(num_shards_ >= 1);
+  if (num_threads_ <= 1) return;
+  workers_.reserve(num_threads_);
+  for (std::size_t w = 0; w < num_threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ShardPool::RunOnShards(const std::function<void(std::size_t)>& fn) {
+  if (workers_.empty()) {
+    for (std::size_t s = 0; s < num_shards_; ++s) fn(s);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    pending_workers_ = num_threads_;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_workers_ == 0; });
+  fn_ = nullptr;
+}
+
+void ShardPool::WorkerLoop(std::size_t worker) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      fn = fn_;
+    }
+    for (std::size_t s = worker; s < num_shards_; s += num_threads_) {
+      (*fn)(s);
+    }
+    bool last;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      last = --pending_workers_ == 0;
+    }
+    if (last) done_cv_.notify_one();
+  }
+}
+
+}  // namespace sppnet

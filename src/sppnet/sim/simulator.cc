@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -19,8 +20,10 @@
 #include "sppnet/index/corpus.h"
 #include "sppnet/index/inverted_index.h"
 #include "sppnet/obs/metrics.h"
+#include "sppnet/obs/shard_merge.h"
 #include "sppnet/sim/event_queue.h"
 #include "sppnet/sim/faults.h"
+#include "sppnet/sim/sharded_sim.h"
 #include "sppnet/sim/sim_state.h"
 
 namespace sppnet {
@@ -50,6 +53,19 @@ enum : std::uint32_t {
   kTraceQuerySubmit,   // Externally fed (trace-replay) query submission:
                        // same submission path as kQuerySubmit, but does
                        // not reschedule a Poisson clock.
+  // Sharded-discipline kinds (DESIGN.md §12), appended so every legacy
+  // value — and therefore every legacy checkpoint payload — is
+  // unchanged. A sharded run addresses query traffic to the receiving
+  // CLUSTER (e.node is a cluster id) and resolves the round-robin
+  // partner on the receiver's shard, which owns that cluster's rr_
+  // cursor; the legacy engine never schedules these.
+  kClusterQueryArrive,  // Flood/ring query hop addressed to a cluster.
+  kClusterWalkLaunch,   // Walk submission hop: resolve source, launch
+                        // the walkers from the receiving cluster.
+  kClusterWalkArrive,   // Random-walk hop addressed to a cluster.
+  kRejoinRequest,       // Control-time client rejoin: a data-phase
+                        // submission found its cluster dark and defers
+                        // the membership mutation to the barrier.
 };
 
 // Wire message classes for the observability counters. Every
@@ -218,6 +234,38 @@ class Simulator::Impl {
     outage_start_.assign(n_, -1.0);
     rr_.assign(n_, 0);
 
+    if (options_.shards.Enabled()) {
+      disc_ = true;
+      num_shards_ = std::min(options_.shards.num_shards, n_);
+      num_threads_ = options_.shards.num_threads;
+      cell_width_ = options_.hop_latency_seconds;
+      lanes_ = std::vector<Lane>(num_shards_);
+      shard_queues_.reserve(num_shards_);
+      for (std::size_t s = 0; s < num_shards_; ++s) {
+        shard_queues_.emplace_back(options_.engine);
+      }
+      ctl_queue_ = std::make_unique<SimEventQueue>(options_.engine);
+      // Per-domain protocol and fault streams plus one control stream,
+      // all salted from the run seed. The salt spaces are disjoint by
+      // construction (tag in the high 32 bits).
+      proto_rngs_.reserve(n_);
+      fault_rngs_.reserve(n_);
+      for (std::size_t d = 0; d < n_; ++d) {
+        proto_rngs_.push_back(
+            Rng::Salted(options_.seed, (std::uint64_t{1} << 32) | d));
+        fault_rngs_.push_back(
+            Rng::Salted(options_.seed, (std::uint64_t{2} << 32) | d));
+      }
+      ctl_rng_ = Rng::Salted(options_.seed, std::uint64_t{3} << 32);
+      ctr_dom_.assign(n_, 0);
+      user_qid_ctr_.assign(num_partners_ + num_clients_, 0);
+      disc_dup_.resize(n_);
+      disc_state_.resize(n_);
+      disc_root_.resize(n_);
+      latency_by_dom_.assign(n_, 0.0);
+      pool_ = std::make_unique<ShardPool>(num_shards_, num_threads_);
+    }
+
     if (fault_active_) {
       // Mutable membership: clients can re-join other clusters via
       // discovery, so cluster composition diverges from the instance
@@ -266,7 +314,7 @@ class Simulator::Impl {
     const auto add_node = [&](std::uint32_t node, std::size_t cluster) {
       const auto files = static_cast<std::size_t>(FilesOf(node));
       node_collections_[node] =
-          corpus_->SampleCollection(node, files, &next_file_id_, rng_);
+          corpus_->SampleCollection(node, files, &next_file_id_, ProtoRng());
       indexes_[cluster].InsertCollection(node_collections_[node]);
     };
     for (std::uint32_t p = 0; p < num_partners_; ++p) {
@@ -293,12 +341,17 @@ class Simulator::Impl {
   void Start() {
     SPPNET_CHECK_MSG(!started_, "Start()/Run() called twice");
     started_ = true;
-    // Seed per-user recurring activity.
+    tls_lane_ = &lanes_[0];
+    // Seed per-user recurring activity. Under the sharded discipline
+    // each node's clocks are drawn from its home domain's stream, in
+    // fixed node order, so the draws are shard-count-invariant.
     for (std::uint32_t u = 0; u < TotalNodes(); ++u) {
+      if (disc_) lanes_[0].cur_domain = HomeDomainOf(u);
       ScheduleIn(ExpDelay(config_.query_rate), kQuerySubmit, u);
       ScheduleIn(ExpDelay(config_.update_rate), kUpdateSubmit, u);
       ScheduleIn(ExpDelay(1.0 / LifespanOf(u)), kJoinSubmit, u);
     }
+    if (disc_) lanes_[0].cur_domain = kShardCtlDomain;
     if (options_.enable_churn) {
       for (std::uint32_t p = 0; p < num_partners_; ++p) {
         ScheduleIn(ExpDelay(1.0 / inst_.partner_lifespan[p]), kPartnerFail, p);
@@ -322,19 +375,24 @@ class Simulator::Impl {
   /// Streaming mode, step 2 of 3: dispatches every pending event with
   /// time <= `sim_time`. Idempotent for a quiet horizon; callable any
   /// number of times with nondecreasing horizons. Does NOT advance
-  /// `now_` to `sim_time` — only FinalizeAt does, so a checkpoint cut
+  /// `lane().now` to `sim_time` — only FinalizeAt does, so a checkpoint cut
   /// between windows lands on the last dispatched event's timestamp
   /// regardless of the window grid.
   void RunUntil(double sim_time) {
     SPPNET_CHECK_MSG(started_, "RunUntil() before Start()");
     SPPNET_CHECK(!finalized_);
     const auto run_start = std::chrono::steady_clock::now();
-    while (!queue_.empty() && queue_.NextTime() <= sim_time) {
-      const SimEvent e = queue_.Pop();
-      ++events_dispatched_;
-      now_ = e.time;
-      measuring_ = now_ >= options_.warmup_seconds;
-      Dispatch(e);
+    tls_lane_ = &lanes_[0];
+    if (disc_) {
+      DiscRunUntil(sim_time);
+    } else {
+      while (!queue_.empty() && queue_.NextTime() <= sim_time) {
+        const SimEvent e = queue_.Pop();
+        ++lane().events_dispatched;
+        lane().now = e.time;
+        lane().measuring = lane().now >= options_.warmup_seconds;
+        Dispatch(e);
+      }
     }
     run_seconds_ += std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - run_start)
@@ -350,9 +408,18 @@ class Simulator::Impl {
   SimReport FinalizeAt(double end_time) {
     SPPNET_CHECK_MSG(started_, "FinalizeAt() before Start()");
     SPPNET_CHECK_MSG(!finalized_, "FinalizeAt() called twice");
-    SPPNET_CHECK(std::isfinite(end_time) && end_time >= now_);
+    tls_lane_ = &lanes_[0];
+    SPPNET_CHECK(std::isfinite(end_time) && end_time >= lane().now);
     finalized_ = true;
-    now_ = end_time;
+    lane().now = end_time;
+    if (disc_) {
+      // The finalization sweeps (outage closing, orphan accrual) run in
+      // control context; pin the lane flags to the horizon's own values
+      // rather than whatever shard 0's last data event left behind, so
+      // the sweeps are shard- and thread-count-invariant.
+      lane().measuring = end_time >= options_.warmup_seconds;
+      lane().cur_domain = kShardCtlDomain;
+    }
     const double batch_horizon =
         options_.warmup_seconds + options_.duration_seconds;
     const double measured =
@@ -362,8 +429,17 @@ class Simulator::Impl {
     return Finalize(measured);
   }
 
-  double Now() const { return now_; }
-  std::uint64_t events_dispatched() const { return events_dispatched_; }
+  double Now() const { return lanes_[0].now; }
+  /// Total dispatched events, folded over the lanes in index order (the
+  /// streaming layer reads this between windows; the fold keeps the
+  /// value shard-count-invariant).
+  std::uint64_t events_dispatched() const {
+    std::uint64_t total = 0;
+    ForEachShardLane(lanes_, [&](const Lane& ln, std::size_t) {
+      total += ln.events_dispatched;
+    });
+    return total;
+  }
 
   /// Schedules one externally fed query submission at absolute sim time
   /// `time` (>= the current clock). Trace-replay entry point: the event
@@ -371,10 +447,13 @@ class Simulator::Impl {
   /// clocks, so a trace can be layered over (or replace) the generated
   /// workload deterministically.
   void InjectQueryAt(double time, std::uint32_t user) {
+    tls_lane_ = &lanes_[0];
     SPPNET_CHECK_MSG(user < TotalNodes(), "trace user out of range");
-    SPPNET_CHECK_MSG(std::isfinite(time) && time >= now_,
+    SPPNET_CHECK_MSG(std::isfinite(time) && time >= lane().now,
                      "trace events must not be scheduled in the past");
-    ScheduleIn(time - now_, kTraceQuerySubmit, user);
+    if (disc_) lanes_[0].cur_domain = HomeDomainOf(user);
+    ScheduleIn(time - lane().now, kTraceQuerySubmit, user);
+    if (disc_) lanes_[0].cur_domain = kShardCtlDomain;
   }
 
   /// Publishes the CUMULATIVE run-so-far tallies into `m` — the same
@@ -399,6 +478,10 @@ class Simulator::Impl {
   void RetireStateBefore(double cutoff_seconds) {
     SPPNET_CHECK_MSG(!options_.concrete_index,
                      "state retirement requires abstract indexes");
+    if (disc_) {
+      DiscRetireStateBefore(cutoff_seconds);
+      return;
+    }
     while (retire_scan_qid_ < next_qid_) {
       const QueryState* s = state_.Find(retire_scan_qid_);
       if (s != nullptr && s->submit_time >= cutoff_seconds) break;
@@ -420,8 +503,19 @@ class Simulator::Impl {
                      "checkpoint requires abstract indexes");
     SPPNET_CHECK_MSG(started_ && !finalized_,
                      "checkpoint requires a started, unfinalized run");
+    tls_lane_ = &lanes_[0];
     w.BeginSection(kSimTag);
-    w.PutDouble(now_);
+    // Engine-discipline marker. A legacy payload restores only into a
+    // legacy simulator and a sharded payload only into a sharded one
+    // (any shard/thread count: the payload is canonical — see
+    // DiscSaveState); the stream fingerprint rejects the mismatch
+    // before this marker is ever compared.
+    w.PutBool(disc_);
+    if (disc_) {
+      DiscSaveState(w);
+      return;
+    }
+    w.PutDouble(lane().now);
     PutRng(w, rng_);
     PutRng(w, injector_.stream());
     const std::vector<SimEvent> events = queue_.SnapshotEvents();
@@ -448,40 +542,40 @@ class Simulator::Impl {
     w.PutU32Vector(rr_);
     // Tallies.
     w.PutU64(next_qid_);
-    w.PutU64(queries_submitted_);
-    w.PutU64(responses_delivered_);
-    w.PutU64(duplicate_queries_);
+    w.PutU64(lane().queries_submitted);
+    w.PutU64(lane().responses_delivered);
+    w.PutU64(lane().duplicate_queries);
     w.PutU64(partner_failures_);
     w.PutU64(cluster_outages_);
-    w.PutDouble(results_sum_);
-    w.PutDouble(hops_sum_);
+    w.PutDouble(lane().results_sum);
+    w.PutDouble(lane().hops_sum);
     w.PutDouble(disconnected_client_seconds_);
     w.PutDouble(latency_sum_);
-    w.PutU64(first_responses_);
-    w.PutDouble(rings_sum_);
-    w.PutU64(ring_queries_finished_);
+    w.PutU64(lane().first_responses);
+    w.PutDouble(lane().rings_sum);
+    w.PutU64(lane().ring_queries_finished);
     w.PutU64(cache_hits_);
     w.PutU64(cache_misses_);
-    for (std::size_t t = 0; t < kNumMsgTypes; ++t) w.PutU64(msg_sent_[t]);
-    for (std::size_t t = 0; t < kNumMsgTypes; ++t) w.PutU64(msg_recv_[t]);
+    for (std::size_t t = 0; t < kNumMsgTypes; ++t) w.PutU64(lane().msg_sent[t]);
+    for (std::size_t t = 0; t < kNumMsgTypes; ++t) w.PutU64(lane().msg_recv[t]);
     w.PutU64(partner_recoveries_);
     w.PutU64(static_cast<std::uint64_t>(queue_depth_hwm_));
-    w.PutU64(events_dispatched_);
-    w.PutU64(events_scheduled_);
-    PutHistogram(w, hop_histogram_);
+    w.PutU64(lane().events_dispatched);
+    w.PutU64(lane().events_scheduled);
+    PutHistogram(w, lane().hop_histogram);
     // Fault layer. Tallies and histograms are written unconditionally
     // (outage time accrues under plain churn too); the membership
     // vectors exist only for active plans.
     w.PutDouble(outage_seconds_);
     w.PutU64(crashes_);
-    w.PutU64(messages_dropped_);
+    w.PutU64(lane().messages_dropped);
     w.PutU64(request_timeouts_);
     w.PutU64(retries_);
-    w.PutU64(failover_episodes_);
+    w.PutU64(lane().failover_episodes);
     w.PutU64(client_rejoins_);
     w.PutU64(queries_succeeded_);
-    w.PutU64(queries_failed_);
-    PutHistogram(w, recovery_latency_hist_);
+    w.PutU64(lane().queries_failed);
+  PutHistogram(w, recovery_latency_hist_);
     PutHistogram(w, orphaned_clients_hist_);
     w.PutBool(fault_active_);
     if (fault_active_) {
@@ -525,9 +619,12 @@ class Simulator::Impl {
     SPPNET_CHECK_MSG(!options_.concrete_index,
                      "checkpoint requires abstract indexes");
     SPPNET_CHECK_MSG(!started_, "LoadState() requires a fresh simulator");
+    tls_lane_ = &lanes_[0];
     if (!r.BeginSection(kSimTag)) return false;
     started_ = true;
-    now_ = r.GetDouble();
+    if (r.GetBool() != disc_) return false;  // Engine-discipline marker.
+    if (disc_) return DiscLoadState(r);
+    lane().now = r.GetDouble();
     GetRng(r, rng_);
     GetRng(r, injector_.stream());
     const std::uint64_t num_events = r.GetU64();
@@ -564,36 +661,36 @@ class Simulator::Impl {
     outage_start_ = r.GetDoubleVector();
     rr_ = r.GetU32Vector();
     next_qid_ = r.GetU64();
-    queries_submitted_ = r.GetU64();
-    responses_delivered_ = r.GetU64();
-    duplicate_queries_ = r.GetU64();
+    lane().queries_submitted = r.GetU64();
+    lane().responses_delivered = r.GetU64();
+    lane().duplicate_queries = r.GetU64();
     partner_failures_ = r.GetU64();
     cluster_outages_ = r.GetU64();
-    results_sum_ = r.GetDouble();
-    hops_sum_ = r.GetDouble();
+    lane().results_sum = r.GetDouble();
+    lane().hops_sum = r.GetDouble();
     disconnected_client_seconds_ = r.GetDouble();
     latency_sum_ = r.GetDouble();
-    first_responses_ = r.GetU64();
-    rings_sum_ = r.GetDouble();
-    ring_queries_finished_ = r.GetU64();
+    lane().first_responses = r.GetU64();
+    lane().rings_sum = r.GetDouble();
+    lane().ring_queries_finished = r.GetU64();
     cache_hits_ = r.GetU64();
     cache_misses_ = r.GetU64();
-    for (std::size_t t = 0; t < kNumMsgTypes; ++t) msg_sent_[t] = r.GetU64();
-    for (std::size_t t = 0; t < kNumMsgTypes; ++t) msg_recv_[t] = r.GetU64();
+    for (std::size_t t = 0; t < kNumMsgTypes; ++t) lane().msg_sent[t] = r.GetU64();
+    for (std::size_t t = 0; t < kNumMsgTypes; ++t) lane().msg_recv[t] = r.GetU64();
     partner_recoveries_ = r.GetU64();
     queue_depth_hwm_ = static_cast<std::size_t>(r.GetU64());
-    events_dispatched_ = r.GetU64();
-    events_scheduled_ = r.GetU64();
-    if (!GetHistogram(r, hop_histogram_)) return false;
+    lane().events_dispatched = r.GetU64();
+    lane().events_scheduled = r.GetU64();
+    if (!GetHistogram(r, lane().hop_histogram)) return false;
     outage_seconds_ = r.GetDouble();
     crashes_ = r.GetU64();
-    messages_dropped_ = r.GetU64();
+    lane().messages_dropped = r.GetU64();
     request_timeouts_ = r.GetU64();
     retries_ = r.GetU64();
-    failover_episodes_ = r.GetU64();
+    lane().failover_episodes = r.GetU64();
     client_rejoins_ = r.GetU64();
     queries_succeeded_ = r.GetU64();
-    queries_failed_ = r.GetU64();
+    lane().queries_failed = r.GetU64();
     if (!GetHistogram(r, recovery_latency_hist_)) return false;
     if (!GetHistogram(r, orphaned_clients_hist_)) return false;
     const bool saved_fault_active = r.GetBool();
@@ -626,14 +723,14 @@ class Simulator::Impl {
       adapt_converged_ = r.GetBool();
       adapt_converged_round_ = r.GetU64();
     }
-    measuring_ = now_ >= options_.warmup_seconds;
+    lane().measuring = lane().now >= options_.warmup_seconds;
     // A checkpoint from a scenario with a different fault/adaptation
     // layer, or vectors inconsistent with the reconstructed layout,
     // is rejected wholesale.
     const std::size_t total = num_partners_ + num_clients_;
     bool consistent = saved_fault_active == fault_active_ &&
                       saved_adaptive == adaptive_ &&
-                      std::isfinite(now_) && now_ >= 0.0 && ttl_ >= 0 &&
+                      std::isfinite(lane().now) && lane().now >= 0.0 && ttl_ >= 0 &&
                       in_bytes_.size() == total &&
                       out_bytes_.size() == total && units_.size() == total &&
                       partner_alive_.size() == num_partners_ &&
@@ -721,19 +818,97 @@ class Simulator::Impl {
   double ExpDelay(double rate) const {
     SPPNET_CHECK(rate > 0.0);
     // Inverse-CDF exponential; NextDouble() < 1 so log is finite.
-    return -std::log(1.0 - rng_.NextDouble()) / rate;
+    return -std::log(1.0 - ProtoRng().NextDouble()) / rate;
   }
   void ScheduleIn(double delay, std::uint32_t kind, std::uint32_t node,
                   std::uint64_t a = 0, std::uint64_t b = 0) {
     SimEvent e;
-    e.time = now_ + delay;
+    e.time = lane().now + delay;
     e.kind = kind;
     e.node = node;
     e.a = a;
     e.b = b;
+    if (disc_) {
+      DiscSchedule(e);
+      return;
+    }
     queue_.Schedule(e);
-    ++events_scheduled_;
+    ++lane().events_scheduled;
     if (queue_.size() > queue_depth_hwm_) queue_depth_hwm_ = queue_.size();
+  }
+
+  /// Control kinds execute single-threaded at window barriers; data
+  /// kinds run in the parallel phase on the shard owning their domain.
+  static bool IsCtlKind(std::uint32_t kind) {
+    switch (kind) {
+      case kPartnerFail:
+      case kPartnerRecover:
+      case kPartnerCrash:
+      case kRequestCheck:
+      case kRetrySubmit:
+      case kRejoinRequest:
+      case kAdaptProbeTick:
+      case kAdaptProbeArrive:
+      case kAdaptReportArrive:
+      case kAdaptRound:
+      case kAdaptTtlArrive:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// Domain an event executes in: the addressed cluster for
+  /// cluster-addressed kinds, the node's home domain otherwise.
+  std::uint32_t DomainOfEvent(const SimEvent& e) const {
+    switch (e.kind) {
+      case kClusterQueryArrive:
+      case kClusterWalkLaunch:
+      case kClusterWalkArrive:
+        return e.node;
+      default:
+        return HomeDomainOf(e.node);
+    }
+  }
+
+  std::uint64_t NextCtr(std::uint32_t domain) {
+    return domain == kShardCtlDomain ? ctl_ctr_++ : ctr_dom_[domain]++;
+  }
+
+  /// Sharded-discipline scheduling. The event key is derived from
+  /// content (class, emitting domain, that domain's emission counter),
+  /// never from global dispatch order, so the (time, key) total order
+  /// is identical for every shard/thread count. Routing is
+  /// domain-uniform: during the parallel phase a cross-DOMAIN data send
+  /// always goes through the emitter's outbox and the barrier merge —
+  /// even when both domains happen to live on the same shard — because
+  /// `send_time + hop` can round an ulp below the multiplication-
+  /// derived cell close, and whether that ulp is observable must not
+  /// depend on the shard map. Same-domain sends insert directly into
+  /// the emitter's own queue (the same shard in every configuration).
+  void DiscSchedule(SimEvent e) {
+    ++lane().events_scheduled;
+    const std::uint32_t src = lane().cur_domain;
+    if (IsCtlKind(e.kind)) {
+      // Control executes at barriers: quantize UP to the grid so the
+      // handler sees every data event before its cell close. Emission
+      // counters keep barrier-mates in a deterministic order.
+      e.time = GridCeil(e.time, cell_width_);
+      e.seq = MakeShardEventKey(false, src, NextCtr(src));
+      if (in_parallel_) {
+        lane().ctl_outbox.push_back(e);
+      } else {
+        ctl_queue_->SchedulePreKeyed(e);
+      }
+      return;
+    }
+    e.seq = MakeShardEventKey(true, src, NextCtr(src));
+    const std::uint32_t dom = DomainOfEvent(e);
+    if (in_parallel_ && dom != src) {
+      lane().outbox.push_back(e);
+      return;
+    }
+    shard_queues_[dom % num_shards_].SchedulePreKeyed(e);
   }
   /// Delivery of an overlay message, through the fault layer: the
   /// message may be silently dropped or arrive late by a jittered
@@ -743,11 +918,11 @@ class Simulator::Impl {
   void Deliver(double delay, std::uint32_t kind, std::uint32_t node,
                std::uint64_t a = 0, std::uint64_t b = 0) {
     if (fault_active_) {
-      if (injector_.ShouldDropDelivery()) {
-        if (measuring_) ++messages_dropped_;
+      if (injector_.ShouldDropDelivery(FaultRng())) {
+        if (lane().measuring) ++lane().messages_dropped;
         return;
       }
-      delay += injector_.DeliveryJitter();
+      delay += injector_.DeliveryJitter(FaultRng());
     }
     ScheduleIn(delay, kind, node, a, b);
   }
@@ -759,24 +934,24 @@ class Simulator::Impl {
       adapt_out_bytes_[node] += bytes;
       adapt_units_[node] += units;
     }
-    if (!measuring_) return;
+    if (!lane().measuring) return;
     out_bytes_[node] += bytes;
     units_[node] += units;
-    ++msg_sent_[static_cast<std::size_t>(msg)];
+    ++lane().msg_sent[static_cast<std::size_t>(msg)];
   }
   void AcctRecv(std::uint32_t node, Msg msg, double bytes, double units) {
     if (adaptive_) {
       adapt_in_bytes_[node] += bytes;
       adapt_units_[node] += units;
     }
-    if (!measuring_) return;
+    if (!lane().measuring) return;
     in_bytes_[node] += bytes;
     units_[node] += units;
-    ++msg_recv_[static_cast<std::size_t>(msg)];
+    ++lane().msg_recv[static_cast<std::size_t>(msg)];
   }
   void AcctProc(std::uint32_t node, double units) {
     if (adaptive_) adapt_units_[node] += units;
-    if (!measuring_) return;
+    if (!lane().measuring) return;
     units_[node] += units;
   }
 
@@ -791,14 +966,72 @@ class Simulator::Impl {
       const std::size_t slot = (rr_[cluster]++) % k_;
       const auto node = static_cast<std::uint32_t>(cluster * k_ + slot);
       if (partner_alive_[node]) {
-        if (preferred_dead && fault_active_ && measuring_) {
-          ++failover_episodes_;
+        if (preferred_dead && fault_active_ && lane().measuring) {
+          ++lane().failover_episodes;
         }
         return node;
       }
       preferred_dead = true;
     }
     return kSelfUpstream;
+  }
+
+  // --- Query-state access, discipline-aware ---------------------------------
+  // A sharded run cannot use SimState: the dense backend is keyed by
+  // globally sequential qids (its retirement floor and slot growth
+  // assume them) while disc qids are per-user. The wrappers below
+  // route to per-domain FlatMap64 containers instead, each touched
+  // only by the shard owning the domain (or by the single-threaded
+  // control phase).
+
+  /// Mints a query id: globally sequential in legacy runs, per-user
+  /// (user << 32 | counter) under the discipline so every shard mints
+  /// ids without coordination and ids are shard-count-invariant.
+  std::uint64_t MakeQid(std::uint32_t user) {
+    if (!disc_) return next_qid_++;
+    return (static_cast<std::uint64_t>(user) << 32) |
+           static_cast<std::uint64_t>(user_qid_ctr_[user]++);
+  }
+  /// Home domain of a disc qid's owner (disc qids embed the user).
+  std::uint32_t DomainOfQid(std::uint64_t qid) const {
+    return HomeDomainOf(static_cast<std::uint32_t>(qid >> 32));
+  }
+
+  bool MarkSeenW(std::size_t cluster, std::uint64_t qid,
+                 std::uint32_t upstream) {
+    if (!disc_) return state_.MarkSeen(cluster, qid, upstream);
+    const auto [slot, inserted] = disc_dup_[cluster].FindOrInsert(qid);
+    if (inserted) *slot = upstream;
+    return inserted;
+  }
+  const std::uint32_t* UpstreamW(std::size_t cluster,
+                                 std::uint64_t qid) const {
+    if (!disc_) return state_.Upstream(cluster, qid);
+    return disc_dup_[cluster].Find(qid);
+  }
+  QueryState& ClaimW(std::uint64_t qid) {
+    if (!disc_) return state_.Claim(qid);
+    const auto [slot, inserted] = disc_state_[DomainOfQid(qid)].FindOrInsert(qid);
+    SPPNET_CHECK_MSG(inserted, "duplicate disc qid claim");
+    *slot = QueryState{};
+    return *slot;
+  }
+  QueryState* FindW(std::uint64_t qid) {
+    if (!disc_) return state_.Find(qid);
+    return disc_state_[DomainOfQid(qid)].Find(qid);
+  }
+  void SetRootW(std::uint64_t qid, std::uint64_t root) {
+    if (!disc_) {
+      state_.SetRoot(qid, root);
+      return;
+    }
+    if (qid == root) return;  // RootOfW defaults to identity.
+    *disc_root_[DomainOfQid(qid)].FindOrInsert(qid).first = root;
+  }
+  std::uint64_t RootOfW(std::uint64_t qid) const {
+    if (!disc_) return state_.RootOf(qid);
+    const std::uint64_t* root = disc_root_[DomainOfQid(qid)].Find(qid);
+    return root == nullptr ? qid : *root;
   }
 
   // --- Dispatch -------------------------------------------------------------
@@ -870,6 +1103,26 @@ class Simulator::Impl {
       case kTraceQuerySubmit:
         SubmitQueryNow(e.node);
         break;
+      case kClusterQueryArrive:
+        OnClusterQueryArrive(e.node, e.a,
+                             static_cast<std::uint32_t>(e.b >> 32),
+                             static_cast<std::uint32_t>((e.b >> 8) & 0xffffffu),
+                             static_cast<std::uint32_t>(e.b & 0xffu));
+        break;
+      case kClusterWalkLaunch:
+        OnClusterWalkLaunch(e.node, e.a,
+                            static_cast<std::uint32_t>(e.b >> 32),
+                            static_cast<std::uint32_t>((e.b >> 8) & 0xffffffu));
+        break;
+      case kClusterWalkArrive:
+        OnClusterWalkArrive(e.node, e.a,
+                            static_cast<std::uint32_t>(e.b >> 32),
+                            static_cast<std::uint32_t>((e.b >> 8) & 0xffffffu),
+                            static_cast<std::uint32_t>(e.b & 0xffu));
+        break;
+      case kRejoinRequest:
+        OnRejoinRequest(e.node);
+        break;
       default:
         SPPNET_CHECK_MSG(false, "unknown event kind");
     }
@@ -891,29 +1144,29 @@ class Simulator::Impl {
   void SubmitQueryNow(std::uint32_t user) {
     if (IsHeadRole(user) && !HeadAlive(user)) return;
     const auto query_class =
-        static_cast<std::uint32_t>(inputs_.query_model.SampleQueryClass(rng_));
+        static_cast<std::uint32_t>(inputs_.query_model.SampleQueryClass(ProtoRng()));
     if (options_.concrete_index) {
       // Reserve the qid now so the sampled keyword string is in place
       // before any cluster matches it (the switch below consumes ids in
       // order).
-      state_.SetQueryString(next_qid_, corpus_->SampleQuery(rng_));
+      state_.SetQueryString(next_qid_, corpus_->SampleQuery(ProtoRng()));
     }
 
     switch (options_.strategy) {
       case SearchStrategy::kFlood: {
-        const std::uint64_t qid = next_qid_++;
+        const std::uint64_t qid = MakeQid(user);
         if (options_.result_cache_ttl_seconds > 0.0) {
           if (TryAnswerFromCache(user, qid, query_class)) {
             // A cache-served query trivially succeeded.
-            if (recovery_enabled_ && measuring_) ++queries_succeeded_;
+            if (recovery_enabled_ && lane().measuring) ++queries_succeeded_;
             return;
           }
-          if (measuring_) ++cache_misses_;
+          if (lane().measuring) ++cache_misses_;
         }
         if (!SubmitWithFailover(user, qid, query_class,
                                 static_cast<std::uint32_t>(ttl_ + 1))) {
           // No live partner anywhere: the query cannot be routed.
-          if (recovery_enabled_ && measuring_) ++queries_failed_;
+          if (recovery_enabled_ && lane().measuring) ++lane().queries_failed;
           return;
         }
         RecordSubmission(qid, user, query_class, 0);
@@ -924,14 +1177,14 @@ class Simulator::Impl {
         break;
       }
       case SearchStrategy::kExpandingRing: {
-        const std::uint64_t qid = next_qid_++;
+        const std::uint64_t qid = MakeQid(user);
         if (!SubmitToOwnCluster(user, qid, query_class, 2)) return;  // Ring 1.
         RecordSubmission(qid, user, query_class, 1);
-        ScheduleRingCheck(qid, 1);
+        ScheduleRingCheck(qid, 1, user);
         break;
       }
       case SearchStrategy::kRandomWalk: {
-        const std::uint64_t qid = next_qid_++;
+        const std::uint64_t qid = MakeQid(user);
         if (!LaunchWalks(user, qid, query_class)) return;
         RecordSubmission(qid, user, query_class, 0);
         break;
@@ -941,14 +1194,14 @@ class Simulator::Impl {
 
   void RecordSubmission(std::uint64_t qid, std::uint32_t user,
                         std::uint32_t query_class, std::uint32_t ring_ttl) {
-    if (measuring_) ++queries_submitted_;
-    QueryState& state = state_.Claim(qid);
+    if (lane().measuring) ++lane().queries_submitted;
+    QueryState& state = ClaimW(qid);
     state.user = user;
     state.query_class = query_class;
     state.ring_ttl = ring_ttl;
-    state.submit_time = now_;
+    state.submit_time = lane().now;
     state.cache_key = CacheKey(qid, query_class);
-    state_.SetRoot(qid, qid);
+    SetRootW(qid, qid);
   }
 
   // --- Source-side result cache (flood strategy) -----------------------------
@@ -971,16 +1224,16 @@ class Simulator::Impl {
     const std::size_t cluster = ClusterOf(user);
     const std::uint64_t key = CacheKey(qid, query_class);
     const QueryCacheEntry* found = state_.FindCacheEntry(cluster, key);
-    if (found == nullptr || found->expires < now_ || found->results <= 0.0) {
+    if (found == nullptr || found->expires < lane().now || found->results <= 0.0) {
       return false;
     }
     const QueryCacheEntry& entry = *found;
-    if (measuring_) {
-      ++queries_submitted_;
+    if (lane().measuring) {
+      ++lane().queries_submitted;
       ++cache_hits_;
-      ++responses_delivered_;
-      results_sum_ += entry.results;
-      ++first_responses_;
+      ++lane().responses_delivered;
+      lane().results_sum += entry.results;
+      ++lane().first_responses;
     }
     const auto results = static_cast<std::uint32_t>(entry.results);
     const auto addrs = static_cast<std::uint32_t>(entry.addrs);
@@ -1003,7 +1256,7 @@ class Simulator::Impl {
              inputs_.costs.RecvResponseUnits(static_cast<double>(addrs),
                                              static_cast<double>(results)) +
                  MuxOf(user));
-    if (measuring_) {
+    if (lane().measuring) {
       latency_sum_ += 2.0 * options_.hop_latency_seconds;
     }
     return true;
@@ -1018,11 +1271,11 @@ class Simulator::Impl {
     }
     QueryCacheEntry& entry =
         state_.CacheEntrySlot(ClusterOf(state.user), state.cache_key);
-    if (entry.expires < now_) {
+    if (entry.expires < lane().now) {
       // Fresh (or expired) entry: restart accumulation for this query.
       entry.results = 0.0;
       entry.addrs = 0.0;
-      entry.expires = now_ + options_.result_cache_ttl_seconds;
+      entry.expires = lane().now + options_.result_cache_ttl_seconds;
       entry.owner = root;
     }
     if (entry.owner != root) return;  // A concurrent flood already owns it.
@@ -1045,6 +1298,20 @@ class Simulator::Impl {
       OnQueryArrive(user, qid, kSelfUpstream, query_class, ttl);
       return true;
     }
+    if (disc_ && !adaptive_) {
+      // The round-robin pick mutates the target cluster's rr_ slot, so
+      // it must run on the shard owning that cluster: address the
+      // message to the cluster and resolve the partner at the receiver.
+      // (Adaptive stays node-addressed: its pick is LiveHeadOf, a pure
+      // read of controller state frozen for the window.)
+      const std::size_t cluster = ClusterOf(user);
+      if (ClusterUnreachable(cluster)) return false;  // Disconnected.
+      AcctSend(user, Msg::kQuery, qbytes_, sendq_ + MuxOf(user));
+      Deliver(options_.hop_latency_seconds, kClusterQueryArrive,
+              static_cast<std::uint32_t>(cluster), qid,
+              PackQuery(user, query_class, ttl));
+      return true;
+    }
     const std::uint32_t target = PickPartner(ClusterOf(user));
     if (target == kSelfUpstream) return false;  // Disconnected.
     AcctSend(user, Msg::kQuery, qbytes_, sendq_ + MuxOf(user));
@@ -1061,22 +1328,33 @@ class Simulator::Impl {
                           std::uint32_t query_class, std::uint32_t ttl) {
     if (fault_active_ && !IsHeadRole(user) &&
         ClusterUnreachable(ClusterOf(user))) {
+      if (disc_ && in_parallel_) {
+        // The re-join mutates global membership (current-cluster map,
+        // discovery stream) — control work. Defer it to the barrier;
+        // this query is lost, as in any all-partners-down episode.
+        ScheduleIn(options_.hop_latency_seconds, kRejoinRequest, user);
+        return false;
+      }
       if (!RejoinViaDiscovery(user)) return false;
     }
     return SubmitToOwnCluster(user, qid, query_class, ttl);
   }
 
   // --- Expanding ring ---------------------------------------------------------
-  void ScheduleRingCheck(std::uint64_t root, std::uint32_t ring_ttl) {
+  void ScheduleRingCheck(std::uint64_t root, std::uint32_t ring_ttl,
+                         std::uint32_t user) {
     // Allow one round trip across the ring plus slack before judging.
     const double wait =
         (2.0 * static_cast<double>(ring_ttl) + 3.0) *
         options_.hop_latency_seconds;
-    ScheduleIn(wait, kRingCheck, 0, root);
+    // kRingCheck is a data event: under the discipline it carries the
+    // submitting user so it executes on the shard owning the query
+    // state. Legacy keeps node 0 for checkpoint byte-identity.
+    ScheduleIn(wait, kRingCheck, disc_ ? user : 0, root);
   }
 
   void OnRingCheck(std::uint64_t root) {
-    QueryState* found = state_.Find(root);
+    QueryState* found = FindW(root);
     if (found == nullptr) return;
     QueryState& state = *found;
     const bool satisfied =
@@ -1095,27 +1373,27 @@ class Simulator::Impl {
       FinishRingQuery(state);
       return;
     }
-    const std::uint64_t retry_qid = next_qid_++;
+    const std::uint64_t retry_qid = MakeQid(state.user);
     if (options_.concrete_index) {
       // The retry re-issues the same keyword string under a fresh qid.
       state_.ShareQueryString(root, retry_qid);
     }
     state.ring_ttl += 1;
     state.ring_results = 0.0;
-    state_.SetRoot(retry_qid, root);
+    SetRootW(retry_qid, root);
     if (!SubmitToOwnCluster(state.user, retry_qid, state.query_class,
                             state.ring_ttl + 1)) {
       FinishRingQuery(state);
       return;
     }
-    ScheduleRingCheck(root, state.ring_ttl);
+    ScheduleRingCheck(root, state.ring_ttl, state.user);
   }
 
   void FinishRingQuery(const QueryState& state) {
-    if (measuring_) {
-      results_sum_ += state.ring_results;
-      rings_sum_ += static_cast<double>(state.ring_ttl);
-      ++ring_queries_finished_;
+    if (lane().measuring) {
+      lane().results_sum += state.ring_results;
+      lane().rings_sum += static_cast<double>(state.ring_ttl);
+      ++lane().ring_queries_finished;
     }
   }
 
@@ -1123,6 +1401,21 @@ class Simulator::Impl {
   bool LaunchWalks(std::uint32_t user, std::uint64_t qid,
                    std::uint32_t query_class) {
     const std::size_t cluster = ClusterOf(user);
+    if (disc_ && !adaptive_) {
+      if (IsPartner(user)) {
+        OnQueryArrive(user, qid, kSelfUpstream, query_class, 1);
+        LaunchWalkersFrom(user, cluster, qid, query_class);
+        return true;
+      }
+      if (ClusterUnreachable(cluster)) return false;
+      AcctSend(user, Msg::kQuery, qbytes_, sendq_ + MuxOf(user));
+      // The walkers launch at the receiving cluster once the submission
+      // hop resolves a live source partner there (kClusterWalkLaunch).
+      Deliver(options_.hop_latency_seconds, kClusterWalkLaunch,
+              static_cast<std::uint32_t>(cluster), qid,
+              PackQuery(user, query_class, 1));
+      return true;
+    }
     // The source cluster always processes the query itself.
     std::uint32_t source_partner;
     if (IsPartner(user)) {
@@ -1148,6 +1441,40 @@ class Simulator::Impl {
     return true;
   }
 
+  /// Disc walk forwarding: the neighbor-cluster draw happens in the
+  /// emitting domain's stream; the partner pick inside the neighbor is
+  /// resolved on the neighbor's own shard (kClusterWalkArrive).
+  /// kNoCluster when `cluster` has no neighbors.
+  static constexpr std::size_t kNoCluster = static_cast<std::size_t>(-1);
+  std::size_t RandomNeighborCluster(std::size_t cluster) {
+    if (inst_.topology.is_complete()) {
+      if (n_ <= 1) return kNoCluster;
+      std::size_t neighbor;
+      do {
+        neighbor = ProtoRng().NextBounded(n_);
+      } while (neighbor == cluster);
+      return neighbor;
+    }
+    const auto nbrs =
+        inst_.topology.graph().Neighbors(static_cast<NodeId>(cluster));
+    if (nbrs.empty()) return kNoCluster;
+    return nbrs[ProtoRng().NextBounded(nbrs.size())];
+  }
+
+  void LaunchWalkersFrom(std::uint32_t source_partner, std::size_t cluster,
+                         std::uint64_t qid, std::uint32_t query_class) {
+    for (std::uint32_t w = 0; w < options_.num_walkers; ++w) {
+      const std::size_t target = RandomNeighborCluster(cluster);
+      if (target == kNoCluster) break;
+      AcctSend(source_partner, Msg::kQuery, qbytes_,
+               sendq_ + MuxOf(source_partner));
+      Deliver(options_.hop_latency_seconds, kClusterWalkArrive,
+              static_cast<std::uint32_t>(target), qid,
+              PackQuery(source_partner, query_class,
+                        options_.walk_ttl & 0xffu));
+    }
+  }
+
   /// A uniformly random live partner of a random neighbor of `cluster`;
   /// kSelfUpstream if the cluster has no neighbors.
   std::uint32_t RandomNeighborPartner(std::size_t cluster) {
@@ -1155,13 +1482,13 @@ class Simulator::Impl {
     if (inst_.topology.is_complete()) {
       if (n_ <= 1) return kSelfUpstream;
       do {
-        neighbor = rng_.NextBounded(n_);
+        neighbor = ProtoRng().NextBounded(n_);
       } while (neighbor == cluster);
     } else {
       const auto nbrs =
           inst_.topology.graph().Neighbors(static_cast<NodeId>(cluster));
       if (nbrs.empty()) return kSelfUpstream;
-      neighbor = nbrs[rng_.NextBounded(nbrs.size())];
+      neighbor = nbrs[ProtoRng().NextBounded(nbrs.size())];
     }
     return PickPartner(neighbor);
   }
@@ -1174,7 +1501,7 @@ class Simulator::Impl {
     const std::size_t cluster = ClusterOf(partner);
     // Process only on the cluster's first visit; revisit hops keep
     // walking but do not re-query the index.
-    const bool fresh = state_.MarkSeen(cluster, qid, source_partner);
+    const bool fresh = MarkSeenW(cluster, qid, source_partner);
     if (fresh) {
       const auto [results, addrs] = MatchQuery(cluster, qid, query_class);
       AcctProc(partner,
@@ -1193,10 +1520,19 @@ class Simulator::Impl {
         Deliver(options_.hop_latency_seconds, kResponseArrive,
                 source_partner, qid, PackResponse(results, addrs, 1));
       }
-    } else if (measuring_) {
-      ++duplicate_queries_;
+    } else if (lane().measuring) {
+      ++lane().duplicate_queries;
     }
     if (ttl <= 1) return;
+    if (disc_ && !adaptive_) {
+      const std::size_t next = RandomNeighborCluster(cluster);
+      if (next == kNoCluster) return;
+      AcctSend(partner, Msg::kQuery, qbytes_, sendq_ + MuxOf(partner));
+      Deliver(options_.hop_latency_seconds, kClusterWalkArrive,
+              static_cast<std::uint32_t>(next), qid,
+              PackQuery(source_partner, query_class, ttl - 1));
+      return;
+    }
     const std::uint32_t next = RandomNeighborPartner(cluster);
     if (next == kSelfUpstream) return;
     AcctSend(partner, Msg::kQuery, qbytes_, sendq_ + MuxOf(partner));
@@ -1214,9 +1550,9 @@ class Simulator::Impl {
       AcctRecv(partner, Msg::kQuery, qbytes_, recvq_ + MuxOf(partner));
     }
     const std::size_t cluster = ClusterOf(partner);
-    const bool fresh = state_.MarkSeen(cluster, qid, upstream);
+    const bool fresh = MarkSeenW(cluster, qid, upstream);
     if (!fresh) {
-      if (measuring_) ++duplicate_queries_;
+      if (lane().measuring) ++lane().duplicate_queries;
       return;  // Duplicate: received, then dropped.
     }
 
@@ -1237,6 +1573,17 @@ class Simulator::Impl {
             : static_cast<std::size_t>(-1);
     const auto forward = [&](std::size_t neighbor) {
       if (neighbor == exclude) return;
+      if (disc_ && !adaptive_) {
+        // An all-dead neighbor is skipped sender-side (legacy learns
+        // the same from PickPartner); a live one gets the message with
+        // the partner pick resolved on the neighbor's shard.
+        if (alive_partners_[neighbor] == 0) return;
+        AcctSend(partner, Msg::kQuery, qbytes_, sendq_ + MuxOf(partner));
+        Deliver(options_.hop_latency_seconds, kClusterQueryArrive,
+                static_cast<std::uint32_t>(neighbor), qid,
+                PackQuery(partner, query_class, ttl - 1));
+        return;
+      }
       const std::uint32_t target = PickPartner(neighbor);
       if (target == kSelfUpstream) return;
       AcctSend(partner, Msg::kQuery, qbytes_, sendq_ + MuxOf(partner));
@@ -1261,6 +1608,47 @@ class Simulator::Impl {
     }
   }
 
+  // --- Cluster-addressed deliveries (sharded discipline) ---------------------
+  // A cluster-addressed message carries the cluster id and resolves the
+  // round-robin partner pick on the shard owning that cluster, so every
+  // rr_ slot stays single-writer. A cluster whose partners all died
+  // while the message was in flight drops it, exactly as a
+  // node-addressed message to a dead partner is dropped.
+
+  void OnClusterQueryArrive(std::size_t cluster, std::uint64_t qid,
+                            std::uint32_t upstream, std::uint32_t query_class,
+                            std::uint32_t ttl) {
+    const std::uint32_t target = PickPartner(cluster);
+    if (target == kSelfUpstream) return;
+    OnQueryArrive(target, qid, upstream, query_class, ttl);
+  }
+
+  void OnClusterWalkLaunch(std::size_t cluster, std::uint64_t qid,
+                           std::uint32_t user, std::uint32_t query_class) {
+    const std::uint32_t source = PickPartner(cluster);
+    if (source == kSelfUpstream) return;
+    OnQueryArrive(source, qid, user, query_class, 1);
+    LaunchWalkersFrom(source, cluster, qid, query_class);
+  }
+
+  void OnClusterWalkArrive(std::size_t cluster, std::uint64_t qid,
+                           std::uint32_t source_partner,
+                           std::uint32_t query_class, std::uint32_t ttl) {
+    const std::uint32_t target = PickPartner(cluster);
+    if (target == kSelfUpstream) return;
+    OnWalkArrive(target, qid, source_partner, query_class, ttl);
+  }
+
+  /// Control-phase completion of a parallel-phase failover: the re-join
+  /// mutates global membership, so SubmitWithFailover deferred it to
+  /// the barrier. Re-checks the trigger — the cluster may have
+  /// recovered, or the client may already have been moved.
+  void OnRejoinRequest(std::uint32_t user) {
+    if (IsHeadRole(user)) return;
+    if (!fault_active_ || !ClusterUnreachable(ClusterOf(user))) return;
+    RejoinViaDiscovery(user);
+  }
+
   /// Determines (results, addresses) for a query over a cluster's
   /// index: against the real inverted index in concrete mode, or by
   /// sampling from the Appendix-B query model otherwise.
@@ -1276,7 +1664,7 @@ class Simulator::Impl {
     const double f = inputs_.query_model.SelectionPower(query_class);
     const double indexed = adaptive_ ? adaptive_ctrl_->FilesSum(cluster)
                                      : inst_.indexed_files[cluster];
-    const std::uint32_t results = SampleBinomialApprox(indexed, f, rng_);
+    const std::uint32_t results = SampleBinomialApprox(indexed, f, ProtoRng());
     if (results == 0) return {0, 0};
     return {results, SampleAddrs(cluster, f)};
   }
@@ -1289,7 +1677,7 @@ class Simulator::Impl {
       const auto try_owner = [&](double x) {
         if (x <= 0.0) return;
         const double p = 1.0 - std::pow(1.0 - f, x);
-        if (rng_.NextBernoulli(p)) ++addrs;
+        if (ProtoRng().NextBernoulli(p)) ++addrs;
       };
       for (const std::uint32_t node : adaptive_ctrl_->MembersOf(cluster)) {
         try_owner(adaptive_ctrl_->FilesOfNode(node));
@@ -1303,13 +1691,13 @@ class Simulator::Impl {
     for (const std::uint32_t x : inst_.ClientFiles(cluster)) {
       if (x == 0) continue;
       const double p = 1.0 - std::pow(1.0 - f, static_cast<double>(x));
-      if (rng_.NextBernoulli(p)) ++addrs;
+      if (ProtoRng().NextBernoulli(p)) ++addrs;
     }
     for (std::size_t p = 0; p < k_; ++p) {
       const std::uint32_t x = inst_.partner_files[cluster * k_ + p];
       if (x == 0) continue;
       const double q = 1.0 - std::pow(1.0 - f, static_cast<double>(x));
-      if (rng_.NextBernoulli(q)) ++addrs;
+      if (ProtoRng().NextBernoulli(q)) ++addrs;
     }
     return addrs == 0 ? 1 : addrs;  // Results imply at least one owner.
   }
@@ -1351,7 +1739,7 @@ class Simulator::Impl {
     }
     if (!HeadAlive(node)) return;
     const std::size_t cluster = ClusterOf(node);
-    const std::uint32_t* upstream = state_.Upstream(cluster, qid);
+    const std::uint32_t* upstream = UpstreamW(cluster, qid);
     if (upstream == nullptr) return;  // State lost to churn.
     SendResponse(node, *upstream, qid, results, addrs, hops);
   }
@@ -1359,30 +1747,38 @@ class Simulator::Impl {
   void DeliverResults(std::uint64_t qid, std::uint32_t results,
                       std::uint32_t addrs, std::uint32_t hops) {
     // Map expanding-ring retry qids back to the original query.
-    const std::uint64_t root = state_.RootOf(qid);
-    QueryState* found = state_.Find(root);
+    const std::uint64_t root = RootOfW(qid);
+    QueryState* found = FindW(root);
     if (found != nullptr) {
       QueryState& state = *found;
       PopulateCache(state, root, results, addrs);
       if (!state.first_response_seen) {
         state.first_response_seen = true;
-        if (measuring_) {
-          latency_sum_ += now_ - state.submit_time;
-          ++first_responses_;
+        if (lane().measuring) {
+          if (disc_) {
+            // Per-domain accumulation keeps the FP addition order a
+            // function of (time, key) within one domain; the fold in
+            // domain order at Finalize is then shard-count-invariant.
+            latency_by_dom_[HomeDomainOf(state.user)] +=
+                lane().now - state.submit_time;
+          } else {
+            latency_sum_ += lane().now - state.submit_time;
+          }
+          ++lane().first_responses;
         }
       }
       if (options_.strategy == SearchStrategy::kExpandingRing) {
         state.ring_results += static_cast<double>(results);
       }
     }
-    if (!measuring_) return;
-    ++responses_delivered_;
-    hops_sum_ += static_cast<double>(hops);
-    hop_histogram_.Observe(static_cast<double>(hops));
+    if (!lane().measuring) return;
+    ++lane().responses_delivered;
+    lane().hops_sum += static_cast<double>(hops);
+    lane().hop_histogram.Observe(static_cast<double>(hops));
     if (options_.strategy != SearchStrategy::kExpandingRing) {
       // Ring queries account their results when the ring settles
       // (FinishRingQuery), so inner rings are not double counted.
-      results_sum_ += static_cast<double>(results);
+      lane().results_sum += static_cast<double>(results);
     }
   }
 
@@ -1393,20 +1789,24 @@ class Simulator::Impl {
     // inline instead of through Deliver.
     double delay = options_.hop_latency_seconds;
     if (fault_active_) {
-      if (injector_.ShouldDropDelivery()) {
-        if (measuring_) ++messages_dropped_;
+      if (injector_.ShouldDropDelivery(FaultRng())) {
+        if (lane().measuring) ++lane().messages_dropped;
         return;
       }
-      delay += injector_.DeliveryJitter();
+      delay += injector_.DeliveryJitter(FaultRng());
     }
     SimEvent e;
-    e.time = now_ + delay;
+    e.time = lane().now + delay;
     e.kind = kJoinArrive;
     e.node = target;
     e.a = owner;
     e.x = files;
+    if (disc_) {
+      DiscSchedule(e);
+      return;
+    }
     queue_.Schedule(e);
-    ++events_scheduled_;
+    ++lane().events_scheduled;
     if (queue_.size() > queue_depth_hwm_) queue_depth_hwm_ = queue_.size();
   }
 
@@ -1472,12 +1872,12 @@ class Simulator::Impl {
   bool PrepareConcreteUpdate(std::uint32_t user, std::size_t copies) {
     auto& collection = node_collections_[user];
     if (collection.empty()) return false;
-    const std::size_t slot = rng_.NextBounded(collection.size());
+    const std::size_t slot = ProtoRng().NextBounded(collection.size());
     const FileId old_id = collection[slot].id;
     FileRecord fresh;
     fresh.id = next_file_id_++;
     fresh.owner = user;
-    fresh.title = corpus_->SampleTitle(rng_);
+    fresh.title = corpus_->SampleTitle(ProtoRng());
     collection[slot] = fresh;
     for (std::size_t i = 0; i < copies; ++i) {
       pending_updates_[user].emplace_back(old_id, fresh);
@@ -1569,11 +1969,11 @@ class Simulator::Impl {
   void FailPartner(std::uint32_t partner, double recovery_seconds,
                    bool churn_origin) {
     partner_alive_[partner] = false;
-    if (measuring_) ++partner_failures_;
+    if (lane().measuring) ++partner_failures_;
     const std::size_t cluster = ClusterOf(partner);
     if (--alive_partners_[cluster] == 0) {
-      outage_start_[cluster] = now_;
-      if (measuring_) ++cluster_outages_;
+      outage_start_[cluster] = lane().now;
+      if (lane().measuring) ++cluster_outages_;
       if (fault_active_) OrphanClusterClients(cluster);
     }
     ScheduleIn(recovery_seconds, kPartnerRecover, partner,
@@ -1600,17 +2000,17 @@ class Simulator::Impl {
     // OnPartnerFail); the clock keeps ticking either way.
     if (adaptive_ && !adaptive_ctrl_->IsHead(partner)) return;
     if (!partner_alive_[partner]) return;
-    if (measuring_) ++crashes_;
+    if (lane().measuring) ++crashes_;
     FailPartner(partner, injector_.plan().crash_recovery_seconds,
                 /*churn_origin=*/false);
   }
 
   void OnPartnerRecover(std::uint32_t partner, bool churn_origin) {
     partner_alive_[partner] = true;
-    if (measuring_) ++partner_recoveries_;
+    if (lane().measuring) ++partner_recoveries_;
     const std::size_t cluster = ClusterOf(partner);
     if (alive_partners_[cluster]++ == 0 && outage_start_[cluster] >= 0.0) {
-      AccumulateOutage(cluster, now_);
+      AccumulateOutage(cluster, lane().now);
       outage_start_[cluster] = -1.0;
       if (fault_active_) ReconnectOrphans(cluster);
     }
@@ -1676,7 +2076,7 @@ class Simulator::Impl {
   /// partner just went down).
   void OrphanClusterClients(std::size_t cluster) {
     if (adaptive_) {
-      if (measuring_) {
+      if (lane().measuring) {
         orphaned_clients_hist_.Observe(static_cast<double>(
             adaptive_ctrl_->MembersOf(cluster).size()));
       }
@@ -1685,16 +2085,16 @@ class Simulator::Impl {
       for (const std::uint32_t node : adaptive_ctrl_->MembersOf(cluster)) {
         if (node < num_partners_) continue;
         const std::uint32_t c = node - num_partners_;
-        if (orphaned_since_[c] < 0.0) orphaned_since_[c] = now_;
+        if (orphaned_since_[c] < 0.0) orphaned_since_[c] = lane().now;
       }
       return;
     }
-    if (measuring_) {
+    if (lane().measuring) {
       orphaned_clients_hist_.Observe(
           static_cast<double>(cluster_members_[cluster].size()));
     }
     for (const std::uint32_t c : cluster_members_[cluster]) {
-      if (orphaned_since_[c] < 0.0) orphaned_since_[c] = now_;
+      if (orphaned_since_[c] < 0.0) orphaned_since_[c] = lane().now;
     }
   }
 
@@ -1713,15 +2113,15 @@ class Simulator::Impl {
     }
   }
 
-  /// Closes client `c`'s orphan episode at `now_`: adds its
+  /// Closes client `c`'s orphan episode at `lane().now`: adds its
   /// disconnected time (clipped to the measurement window) and, for
   /// real recoveries, observes the recovery-latency histogram.
   void AccrueOrphanTime(std::uint32_t c, bool observe_latency) {
     if (orphaned_since_[c] < 0.0) return;
     const double start = std::max(orphaned_since_[c], options_.warmup_seconds);
-    if (now_ > start) disconnected_client_seconds_ += now_ - start;
-    if (observe_latency && measuring_) {
-      recovery_latency_hist_.Observe(now_ - orphaned_since_[c]);
+    if (lane().now > start) disconnected_client_seconds_ += lane().now - start;
+    if (observe_latency && lane().measuring) {
+      recovery_latency_hist_.Observe(lane().now - orphaned_since_[c]);
     }
     orphaned_since_[c] = -1.0;
   }
@@ -1750,7 +2150,7 @@ class Simulator::Impl {
     members.erase(std::find(members.begin(), members.end(), c));
     cluster_members_[new_cluster].push_back(c);
     client_current_cluster_[c] = new_cluster;
-    if (measuring_) ++client_rejoins_;
+    if (lane().measuring) ++client_rejoins_;
     AccrueOrphanTime(c, /*observe_latency=*/true);
     // The client uploads its metadata to the new cluster's live
     // partners — a fresh join.
@@ -1783,7 +2183,7 @@ class Simulator::Impl {
                           injector_.stream());
     const auto new_cluster = static_cast<std::size_t>(eligible[pick]);
     adaptive_ctrl_->MoveClient(user, new_cluster);
-    if (measuring_) ++client_rejoins_;
+    if (lane().measuring) ++client_rejoins_;
     if (user >= num_partners_) {
       AccrueOrphanTime(user - num_partners_, /*observe_latency=*/true);
     }
@@ -1798,7 +2198,7 @@ class Simulator::Impl {
   /// ends.
   void OnRequestCheck(std::uint32_t user, std::uint64_t root,
                       std::uint32_t retries_used) {
-    const QueryState* found = state_.Find(root);
+    const QueryState* found = FindW(root);
     if (found == nullptr) return;
     const QueryState& state = *found;
     const bool counted = state.submit_time >= options_.warmup_seconds;
@@ -1809,7 +2209,7 @@ class Simulator::Impl {
     if (counted) ++request_timeouts_;
     if (retries_used >=
         static_cast<std::uint32_t>(injector_.plan().max_retries)) {
-      if (counted) ++queries_failed_;
+      if (counted) ++lane().queries_failed;
       return;
     }
     ScheduleIn(injector_.RetryBackoff(static_cast<int>(retries_used) + 1),
@@ -1822,7 +2222,7 @@ class Simulator::Impl {
   /// retries.
   void OnRetrySubmit(std::uint32_t user, std::uint64_t root,
                      std::uint32_t retry_number) {
-    QueryState* found = state_.Find(root);
+    QueryState* found = FindW(root);
     if (found == nullptr) return;
     QueryState& state = *found;
     const bool counted = state.submit_time >= options_.warmup_seconds;
@@ -1833,19 +2233,19 @@ class Simulator::Impl {
     }
     if (IsHeadRole(user) && !HeadAlive(user)) {
       // The submitting partner-user died with its state.
-      if (counted) ++queries_failed_;
+      if (counted) ++lane().queries_failed;
       return;
     }
-    const std::uint64_t retry_qid = next_qid_++;
+    const std::uint64_t retry_qid = MakeQid(user);
     if (options_.concrete_index) {
       // The retry re-issues the same keyword string under a fresh qid.
       state_.ShareQueryString(root, retry_qid);
     }
-    state_.SetRoot(retry_qid, root);
+    SetRootW(retry_qid, root);
     if (counted) ++retries_;
     if (!SubmitWithFailover(user, retry_qid, state.query_class,
                             static_cast<std::uint32_t>(ttl_ + 1))) {
-      if (counted) ++queries_failed_;
+      if (counted) ++lane().queries_failed;
       return;
     }
     ScheduleIn(injector_.plan().request_timeout_seconds, kRequestCheck, user,
@@ -1859,7 +2259,7 @@ class Simulator::Impl {
   /// has elapsed in the window.
   AdaptiveController::LoadSample WindowLoad(std::uint32_t node) const {
     AdaptiveController::LoadSample s;
-    const double elapsed = now_ - window_start_;
+    const double elapsed = lane().now - window_start_;
     if (elapsed <= 0.0) return s;
     const double inv = 1.0 / elapsed;
     s.valid = true;
@@ -1943,6 +2343,9 @@ class Simulator::Impl {
     // later be re-promoted into a fresh slot, where its still-ticking
     // crash clock indexes these vectors by the new cluster id.
     state_.EnsureClusters(adaptive_ctrl_->NumClusterSlots());
+    if (disc_ && disc_dup_.size() < adaptive_ctrl_->NumClusterSlots()) {
+      disc_dup_.resize(adaptive_ctrl_->NumClusterSlots());
+    }
     alive_partners_.resize(adaptive_ctrl_->NumClusterSlots(), 1u);
     outage_start_.resize(adaptive_ctrl_->NumClusterSlots(), -1.0);
 
@@ -2016,7 +2419,7 @@ class Simulator::Impl {
     std::fill(adapt_in_bytes_.begin(), adapt_in_bytes_.end(), 0.0);
     std::fill(adapt_out_bytes_.begin(), adapt_out_bytes_.end(), 0.0);
     std::fill(adapt_units_.begin(), adapt_units_.end(), 0.0);
-    window_start_ = now_;
+    window_start_ = lane().now;
   }
 
   void OnAdaptTtlArrive(std::uint32_t node) {
@@ -2038,10 +2441,15 @@ class Simulator::Impl {
 
   // --- Finalization --------------------------------------------------------------
   SimReport Finalize(double measured_seconds) {
+    // Every user-visible tally reads the canonical index-order fold of
+    // the lanes: a legacy run folds its single lane unchanged, and a
+    // sharded run's fold is shard/thread-count-invariant (DESIGN.md
+    // §12, obs/shard_merge.h).
+    const Lane agg = FoldedLanes();
     // Close outages still open at the end of the run (adaptation can
     // have grown the slot count past the instance's n clusters).
     for (std::size_t i = 0; i < outage_start_.size(); ++i) {
-      if (outage_start_[i] >= 0.0) AccumulateOutage(i, now_);
+      if (outage_start_[i] >= 0.0) AccumulateOutage(i, agg.now);
     }
     if (fault_active_) {
       // Clients still orphaned at the end accrue their disconnected
@@ -2053,8 +2461,8 @@ class Simulator::Impl {
 
     SimReport report;
     report.measured_seconds = measured_seconds;
-    report.events_scheduled = events_scheduled_;
-    report.events_dispatched = events_dispatched_;
+    report.events_scheduled = agg.events_scheduled;
+    report.events_dispatched = agg.events_dispatched;
     report.queue_depth_hwm = queue_depth_hwm_;
     const double inv_t =
         measured_seconds > 0.0 ? 1.0 / measured_seconds : 0.0;
@@ -2076,28 +2484,33 @@ class Simulator::Impl {
           to_load(static_cast<std::uint32_t>(num_partners_ + c));
       report.aggregate += report.client_load[c];
     }
-    report.queries_submitted = queries_submitted_;
-    report.responses_delivered = responses_delivered_;
-    report.duplicate_queries = duplicate_queries_;
+    report.queries_submitted = agg.queries_submitted;
+    report.responses_delivered = agg.responses_delivered;
+    report.duplicate_queries = agg.duplicate_queries;
     const std::uint64_t result_queries =
         options_.strategy == SearchStrategy::kExpandingRing
-            ? ring_queries_finished_
-            : queries_submitted_;
+            ? agg.ring_queries_finished
+            : agg.queries_submitted;
     if (result_queries > 0) {
       report.mean_results_per_query =
-          results_sum_ / static_cast<double>(result_queries);
+          agg.results_sum / static_cast<double>(result_queries);
     }
-    if (responses_delivered_ > 0) {
+    if (agg.responses_delivered > 0) {
       report.mean_response_hops =
-          hops_sum_ / static_cast<double>(responses_delivered_);
+          agg.hops_sum / static_cast<double>(agg.responses_delivered);
     }
-    if (first_responses_ > 0) {
+    if (agg.first_responses > 0) {
+      // Latency is the one genuinely fractional sum: a sharded run
+      // accumulates it per home domain and folds in domain order so the
+      // FP addition order is canonical.
+      const double latency_sum =
+          disc_ ? FoldShardSums(latency_by_dom_) : latency_sum_;
       report.mean_first_response_latency =
-          latency_sum_ / static_cast<double>(first_responses_);
+          latency_sum / static_cast<double>(agg.first_responses);
     }
-    if (ring_queries_finished_ > 0) {
+    if (agg.ring_queries_finished > 0) {
       report.mean_rings_per_query =
-          rings_sum_ / static_cast<double>(ring_queries_finished_);
+          agg.rings_sum / static_cast<double>(agg.ring_queries_finished);
     }
     report.cache_hits = cache_hits_;
     if (options_.concrete_index && !indexes_.empty()) {
@@ -2123,14 +2536,14 @@ class Simulator::Impl {
           disconnected_client_seconds_ / client_seconds;
     }
     report.faults_crashes = crashes_;
-    report.faults_messages_dropped = messages_dropped_;
+    report.faults_messages_dropped = agg.messages_dropped;
     report.faults_request_timeouts = request_timeouts_;
     report.faults_retries = retries_;
-    report.faults_failover_episodes = failover_episodes_;
+    report.faults_failover_episodes = agg.failover_episodes;
     report.faults_client_rejoins = client_rejoins_;
     report.queries_succeeded = queries_succeeded_;
-    report.queries_failed = queries_failed_;
-    const std::uint64_t completed = queries_succeeded_ + queries_failed_;
+    report.queries_failed = agg.queries_failed;
+    const std::uint64_t completed = queries_succeeded_ + agg.queries_failed;
     if (completed > 0) {
       report.query_success_rate = static_cast<double>(queries_succeeded_) /
                                   static_cast<double>(completed);
@@ -2176,25 +2589,26 @@ class Simulator::Impl {
   /// sim.time.* timers are wall-clock (report-only nondeterminism,
   /// excluded from deterministic-section comparisons).
   void PublishMetrics(MetricsRegistry& m) const {
+    const Lane agg = FoldedLanes();
     // The adaptation message classes (probe/report/control) exist in
     // the registry only for active plans.
     const std::size_t published = adaptive_ ? kNumMsgTypes : kNumBaseMsgTypes;
     for (std::size_t t = 0; t < published; ++t) {
       const std::string type = kMsgNames[t];
-      m.GetCounter("sim.msg." + type + ".sent").Increment(msg_sent_[t]);
-      m.GetCounter("sim.msg." + type + ".received").Increment(msg_recv_[t]);
+      m.GetCounter("sim.msg." + type + ".sent").Increment(agg.msg_sent[t]);
+      m.GetCounter("sim.msg." + type + ".received").Increment(agg.msg_recv[t]);
     }
-    m.GetCounter("sim.queries.submitted").Increment(queries_submitted_);
-    m.GetCounter("sim.queries.duplicate").Increment(duplicate_queries_);
-    m.GetCounter("sim.responses.delivered").Increment(responses_delivered_);
+    m.GetCounter("sim.queries.submitted").Increment(agg.queries_submitted);
+    m.GetCounter("sim.queries.duplicate").Increment(agg.duplicate_queries);
+    m.GetCounter("sim.responses.delivered").Increment(agg.responses_delivered);
     m.GetCounter("sim.cache.hits").Increment(cache_hits_);
     m.GetCounter("sim.cache.misses").Increment(cache_misses_);
     m.GetCounter("sim.churn.partner_failures").Increment(partner_failures_);
     m.GetCounter("sim.churn.partner_recoveries")
         .Increment(partner_recoveries_);
     m.GetCounter("sim.churn.cluster_outages").Increment(cluster_outages_);
-    m.GetCounter("sim.events.dispatched").Increment(events_dispatched_);
-    m.GetCounter("sim.queue.scheduled").Increment(events_scheduled_);
+    m.GetCounter("sim.events.dispatched").Increment(agg.events_dispatched);
+    m.GetCounter("sim.queue.scheduled").Increment(agg.events_scheduled);
     m.GetGauge("sim.event_queue.depth_hwm")
         .SetMax(static_cast<double>(queue_depth_hwm_));
     if (const CalendarQueue* cal = queue_.calendar(); cal != nullptr) {
@@ -2216,21 +2630,21 @@ class Simulator::Impl {
     m.GetTimer("sim.time.init_seconds").Record(init_seconds_);
     m.GetTimer("sim.time.run_seconds").Record(run_seconds_);
     m.GetHistogram("sim.response.hops", HopHistogramBounds())
-        .Merge(hop_histogram_);
+        .Merge(agg.hop_histogram);
     // Fault-layer instruments exist only for active plans, keeping the
     // inactive-plan registry surface bit-identical to a build without
     // the fault layer.
     if (fault_active_) {
       m.GetCounter("sim.faults.crashes").Increment(crashes_);
-      m.GetCounter("sim.faults.messages_dropped").Increment(messages_dropped_);
+      m.GetCounter("sim.faults.messages_dropped").Increment(agg.messages_dropped);
       m.GetCounter("sim.faults.request_timeouts").Increment(request_timeouts_);
       m.GetCounter("sim.faults.retries").Increment(retries_);
       m.GetCounter("sim.faults.failover_episodes")
-          .Increment(failover_episodes_);
+          .Increment(agg.failover_episodes);
       m.GetCounter("sim.faults.client_rejoins").Increment(client_rejoins_);
       m.GetCounter("sim.faults.queries.succeeded")
           .Increment(queries_succeeded_);
-      m.GetCounter("sim.faults.queries.failed").Increment(queries_failed_);
+      m.GetCounter("sim.faults.queries.failed").Increment(agg.queries_failed);
       m.GetHistogram("sim.faults.recovery_latency_seconds",
                      RecoveryLatencyBounds())
           .Merge(recovery_latency_hist_);
@@ -2258,7 +2672,107 @@ class Simulator::Impl {
           .SetMax(static_cast<double>(adaptive_ctrl_->LiveClusters()));
       m.GetGauge("sim.adaptive.final_ttl").SetMax(static_cast<double>(ttl_));
     }
+    // Sharded-discipline instruments (DESIGN.md §12). The configuration
+    // gauges describe the chosen shard map — the one deliberately
+    // configuration-dependent surface, excluded from the shard-
+    // invariance digests; the cell count and the lookahead audit are
+    // protocol-deterministic (tests/sim/sim_property_test.cc pins the
+    // audit at zero violations).
+    if (disc_) {
+      m.GetGauge("sim.shard.count").SetMax(static_cast<double>(num_shards_));
+      m.GetGauge("sim.shard.threads")
+          .SetMax(static_cast<double>(pool_->num_threads()));
+      m.GetCounter("sim.shard.cells").Increment(cell_index_);
+      m.GetCounter("sim.shard.lookahead_violations")
+          .Increment(lookahead_violations_);
+      m.GetGauge("sim.shard.min_merge_margin")
+          .Set(std::isfinite(min_merge_margin_) ? min_merge_margin_ : 0.0);
+    }
   }
+
+  // --- Sharded-discipline machinery (DESIGN.md §12) --------------------------
+
+  /// Per-shard execution lane: the simulated clock, the measuring flag,
+  /// every tally a data-phase handler may touch, and the cross-shard
+  /// outboxes. The legacy engine runs entirely on lanes_[0]; a sharded
+  /// run gives each shard its own lane, written only by the thread that
+  /// owns the shard, and folds the lanes in index order
+  /// (obs/shard_merge.h) for everything user-visible.
+  struct Lane {
+    double now = 0.0;
+    bool measuring = false;
+    /// Domain whose event is executing: a cluster id during the data
+    /// phase, kShardCtlDomain in control or legacy context. Selects
+    /// the protocol/fault RNG streams and the emission-counter domain
+    /// for scheduled events.
+    std::uint32_t cur_domain = kShardCtlDomain;
+
+    std::uint64_t queries_submitted = 0;
+    std::uint64_t responses_delivered = 0;
+    std::uint64_t duplicate_queries = 0;
+    std::uint64_t first_responses = 0;
+    std::uint64_t ring_queries_finished = 0;
+    std::uint64_t messages_dropped = 0;
+    std::uint64_t failover_episodes = 0;
+    std::uint64_t queries_failed = 0;
+    std::uint64_t events_scheduled = 0;
+    std::uint64_t events_dispatched = 0;
+    // Integer-valued double sums: folding is commutative-exact, so the
+    // folded value is shard-count-invariant (obs/shard_merge.h).
+    double results_sum = 0.0;
+    double hops_sum = 0.0;
+    double rings_sum = 0.0;
+    std::array<std::uint64_t, kNumMsgTypes> msg_sent = {};
+    std::array<std::uint64_t, kNumMsgTypes> msg_recv = {};
+    Histogram hop_histogram{HopHistogramBounds()};
+
+    std::vector<SimEvent> outbox;      // Cross-domain data sends this cell.
+    std::vector<SimEvent> ctl_outbox;  // Control emissions this cell.
+  };
+
+  /// The lane of the currently executing context. Thread-local so the
+  /// parallel phase resolves it without indirection through event
+  /// plumbing; every public entry point pins it to lanes_[0] (the only
+  /// lane of a legacy run) and the shard drains pin it per worker.
+  Lane& lane() const { return *tls_lane_; }
+  static thread_local Lane* tls_lane_;
+
+  /// Protocol-decision stream: the single legacy stream, or the
+  /// executing domain's stream under the sharded discipline (the
+  /// control context draws from a dedicated control stream). Stream
+  /// choice is a pure function of the executing event, never of shard
+  /// or thread count.
+  Rng& ProtoRng() const {
+    if (!disc_) return rng_;
+    const std::uint32_t d = lane().cur_domain;
+    return d == kShardCtlDomain ? ctl_rng_ : proto_rngs_[d];
+  }
+  /// Fault-decision stream, split the same way (drop/jitter draws must
+  /// happen on the emitting domain's stream to stay order-free).
+  Rng& FaultRng() {
+    if (!disc_) return injector_.stream();
+    const std::uint32_t d = lane().cur_domain;
+    return d == kShardCtlDomain ? injector_.stream() : fault_rngs_[d];
+  }
+
+  /// A node's home domain: its cluster in the static layout. Partners
+  /// keep their slot's cluster; clients keep their configured home even
+  /// when a fault-mode rejoin relocates them (domain ownership must
+  /// never move between shards mid-run).
+  std::uint32_t HomeDomainOf(std::uint32_t node) const {
+    if (node < num_partners_) return static_cast<std::uint32_t>(node / k_);
+    return client_cluster_[node - num_partners_];
+  }
+
+  void DiscRunUntil(double sim_time);
+  void ParallelDrain(double bound);
+  void DrainShardUntil(std::size_t shard, double bound);
+  void DrainControlUntil(double bound);
+  void MergeOutboxes(double cell_close);
+  Lane FoldedLanes() const;
+  void DiscRetireStateBefore(double cutoff_seconds);
+  void DiscSaveState(CheckpointWriter& w) const;
+  bool DiscLoadState(CheckpointReader& r);
 
   // --- State -----------------------------------------------------------------
   NetworkInstance inst_;
@@ -2280,8 +2794,11 @@ class Simulator::Impl {
   /// Duplicate tables, per-root query state, retry-root mapping, query
   /// strings and result caches (engine-checked dense / map backends).
   SimState state_;
-  double now_ = 0.0;
-  bool measuring_ = false;
+  /// Execution lanes: exactly one for the legacy engine, one per shard
+  /// under the sharded discipline. The clock, measuring flag and
+  /// data-phase tallies live here (see struct Lane above). Mutable so
+  /// const entry points (SaveState) can pin the thread-local lane.
+  mutable std::vector<Lane> lanes_ = std::vector<Lane>(1);
   // Streaming-mode lifecycle (Start / RunUntil* / FinalizeAt).
   bool started_ = false;
   bool finalized_ = false;
@@ -2297,21 +2814,13 @@ class Simulator::Impl {
   std::vector<std::uint32_t> rr_;
 
   std::uint64_t next_qid_ = 0;
-  std::uint64_t queries_submitted_ = 0;
-  std::uint64_t responses_delivered_ = 0;
-  std::uint64_t duplicate_queries_ = 0;
   std::uint64_t partner_failures_ = 0;
   std::uint64_t cluster_outages_ = 0;
-  double results_sum_ = 0.0;
-  double hops_sum_ = 0.0;
   double disconnected_client_seconds_ = 0.0;
 
-  // Per-query strategy tallies (latency, expanding-ring progress); the
-  // state itself lives in state_.
+  // Per-query latency sum (legacy engine; a sharded run accumulates
+  // per-domain into latency_by_dom_ so the fold order is canonical).
   double latency_sum_ = 0.0;
-  std::uint64_t first_responses_ = 0;
-  double rings_sum_ = 0.0;
-  std::uint64_t ring_queries_finished_ = 0;
 
   // Concrete-index mode state (query strings live in state_).
   std::unique_ptr<TitleCorpus> corpus_;
@@ -2327,14 +2836,11 @@ class Simulator::Impl {
 
   // Observability tallies (see PublishMetrics). All of these are
   // derived purely from protocol actions, so they are bit-identical
-  // across runs with the same seed.
-  std::array<std::uint64_t, kNumMsgTypes> msg_sent_ = {};
-  std::array<std::uint64_t, kNumMsgTypes> msg_recv_ = {};
+  // across runs with the same seed. Data-phase tallies live in the
+  // lanes; the globals below are only written single-threaded (legacy
+  // runs, control phase, or barrier bookkeeping).
   std::uint64_t partner_recoveries_ = 0;
   std::size_t queue_depth_hwm_ = 0;
-  std::uint64_t events_dispatched_ = 0;
-  std::uint64_t events_scheduled_ = 0;
-  Histogram hop_histogram_{HopHistogramBounds()};
   // Wall-clock phase timers (report-only; never feed back into the
   // simulation — see the WallTimer contract in obs/metrics.h).
   double init_seconds_ = 0.0;
@@ -2351,13 +2857,10 @@ class Simulator::Impl {
   std::vector<double> orphaned_since_;  // -1 when connected.
   double outage_seconds_ = 0.0;
   std::uint64_t crashes_ = 0;
-  std::uint64_t messages_dropped_ = 0;
   std::uint64_t request_timeouts_ = 0;
   std::uint64_t retries_ = 0;
-  std::uint64_t failover_episodes_ = 0;
   std::uint64_t client_rejoins_ = 0;
   std::uint64_t queries_succeeded_ = 0;
-  std::uint64_t queries_failed_ = 0;
   Histogram recovery_latency_hist_{RecoveryLatencyBounds()};
   Histogram orphaned_clients_hist_{OrphanCountBounds()};
 
@@ -2388,7 +2891,581 @@ class Simulator::Impl {
   std::uint64_t adapt_client_moves_ = 0;
   bool adapt_converged_ = false;
   std::uint64_t adapt_converged_round_ = 0;
+
+  // Sharded-discipline state (DESIGN.md §12). Consulted only when
+  // disc_; a legacy run never reads past this comment.
+  bool disc_ = false;
+  std::size_t num_shards_ = 1;   // S: shard s owns domains {d : d % S == s}.
+  std::size_t num_threads_ = 1;  // T: worker threads draining the shards.
+  double cell_width_ = 0.0;      // Lookahead window W = hop latency.
+  std::uint64_t cell_index_ = 0; /// Completed synchronization cells.
+  /// True while worker threads are draining shards; flips the
+  /// cross-domain data send path from direct insert to outbox+merge.
+  bool in_parallel_ = false;
+  std::unique_ptr<ShardPool> pool_;
+  /// One event queue per shard plus a dedicated control queue, all
+  /// (time, key)-ordered via content-derived keys (SchedulePreKeyed).
+  std::vector<SimEventQueue> shard_queues_;
+  std::unique_ptr<SimEventQueue> ctl_queue_;
+  /// Per-domain RNG streams (Rng::Salted from the run seed) and
+  /// per-domain emission counters for event keys.
+  mutable std::vector<Rng> proto_rngs_;
+  std::vector<Rng> fault_rngs_;
+  mutable Rng ctl_rng_{0};
+  std::vector<std::uint64_t> ctr_dom_;
+  std::uint64_t ctl_ctr_ = 0;
+  /// Per-node query-id counters: disc qids are (user << 32 | counter)
+  /// so every id is minted by its owner's shard without coordination.
+  std::vector<std::uint32_t> user_qid_ctr_;
+  /// Discipline-owned query state, sharded by home domain (the dense
+  /// SimState backend is keyed by globally sequential qids and cannot
+  /// host the per-user id space): duplicate tables per cluster slot,
+  /// root-query state and retry-root mapping per home domain.
+  std::vector<FlatMap64<std::uint32_t>> disc_dup_;
+  std::vector<FlatMap64<QueryState>> disc_state_;
+  std::vector<FlatMap64<std::uint64_t>> disc_root_;
+  /// Per-home-domain first-response latency sums, folded in domain
+  /// order (FP addition is not associative; a canonical order makes
+  /// the fold shard-count-invariant).
+  std::vector<double> latency_by_dom_;
+  /// Lookahead audit: min (arrival - cell close) over merged
+  /// cross-shard events, and how many landed before the close by more
+  /// than 1e-9 (must stay 0; tests/sim/sim_property_test.cc).
+  double min_merge_margin_ = std::numeric_limits<double>::infinity();
+  std::uint64_t lookahead_violations_ = 0;
 };
+
+thread_local Simulator::Impl::Lane* Simulator::Impl::tls_lane_ = nullptr;
+
+/// Sharded main loop (DESIGN.md §12): conservative synchronization
+/// cells of width W = hop latency. Every full cell drains all shards in
+/// parallel up to the cell close, merges the cross-shard outboxes, then
+/// runs the control phase at the barrier. A horizon inside the open
+/// cell (a streaming window cut) drains and merges without closing the
+/// cell, so any partitioning of RunUntil calls executes the identical
+/// event sequence as one batch call.
+void Simulator::Impl::DiscRunUntil(double sim_time) {
+  for (;;) {
+    const double cell_close =
+        static_cast<double>(cell_index_ + 1) * cell_width_;
+    if (cell_close > sim_time) {
+      ParallelDrain(sim_time);
+      MergeOutboxes(cell_close);
+      return;
+    }
+    ParallelDrain(cell_close);
+    MergeOutboxes(cell_close);
+    DrainControlUntil(cell_close);
+    ++cell_index_;
+    // The queue high-water mark samples once per completed cell — never
+    // at a mid-cell window cut — so the sample sequence (and the gauge)
+    // is invariant to the RunUntil partitioning.
+    std::size_t depth = ctl_queue_->size();
+    for (const SimEventQueue& q : shard_queues_) depth += q.size();
+    if (depth > queue_depth_hwm_) queue_depth_hwm_ = depth;
+  }
+}
+
+void Simulator::Impl::ParallelDrain(double bound) {
+  in_parallel_ = true;
+  pool_->RunOnShards(
+      [this, bound](std::size_t shard) { DrainShardUntil(shard, bound); });
+  in_parallel_ = false;
+  tls_lane_ = &lanes_[0];
+}
+
+/// Drains one shard's data events with time strictly below `bound`.
+/// The strict bound puts an event landing exactly on a grid point into
+/// the FOLLOWING cell — the same side of the barrier in every
+/// configuration, including the merged cross-shard arrivals whose
+/// lookahead guarantees time >= the next cell's start.
+void Simulator::Impl::DrainShardUntil(std::size_t shard, double bound) {
+  Lane& ln = lanes_[shard];
+  tls_lane_ = &ln;
+  SimEventQueue& q = shard_queues_[shard];
+  while (!q.empty() && q.NextTime() < bound) {
+    const SimEvent e = q.Pop();
+    ++ln.events_dispatched;
+    ln.now = e.time;
+    ln.measuring = e.time >= options_.warmup_seconds;
+    ln.cur_domain = DomainOfEvent(e);
+    Dispatch(e);
+  }
+}
+
+/// Runs the barrier's control phase: every control event quantized onto
+/// this cell close (inclusive bound — control executes AT the barrier),
+/// single-threaded on lane 0, ordered by the content keys.
+void Simulator::Impl::DrainControlUntil(double bound) {
+  Lane& ln = lanes_[0];
+  tls_lane_ = &ln;
+  while (!ctl_queue_->empty() && ctl_queue_->NextTime() <= bound) {
+    const SimEvent e = ctl_queue_->Pop();
+    ++ln.events_dispatched;
+    ln.now = e.time;
+    ln.measuring = e.time >= options_.warmup_seconds;
+    ln.cur_domain = kShardCtlDomain;
+    Dispatch(e);
+  }
+  ln.cur_domain = kShardCtlDomain;
+}
+
+/// Folds every lane outbox into the destination queues, in lane index
+/// order (obs/shard_merge.h). Runs single-threaded between phases. The
+/// lookahead audit measures each data event against the EMITTING cell's
+/// close — also when the emission happened in a partial tail drain — so
+/// streamed and batch runs audit identically.
+void Simulator::Impl::MergeOutboxes(double cell_close) {
+  for (Lane& ln : lanes_) {
+    for (const SimEvent& e : ln.outbox) {
+      const double margin = e.time - cell_close;
+      if (margin < min_merge_margin_) min_merge_margin_ = margin;
+      if (margin < -1e-9) ++lookahead_violations_;
+      shard_queues_[DomainOfEvent(e) % num_shards_].SchedulePreKeyed(e);
+    }
+    ln.outbox.clear();
+    for (const SimEvent& e : ln.ctl_outbox) ctl_queue_->SchedulePreKeyed(e);
+    ln.ctl_outbox.clear();
+  }
+}
+
+/// The canonical index-order fold of the lanes. Integer counters and
+/// integer-valued double sums are commutative-exact, so the folded
+/// value is shard/thread-count-invariant; `now` folds as the maximum
+/// (the globally last executed event — the canonical clock).
+auto Simulator::Impl::FoldedLanes() const -> Lane {
+  Lane agg = lanes_[0];
+  for (std::size_t s = 1; s < lanes_.size(); ++s) {
+    const Lane& ln = lanes_[s];
+    if (ln.now > agg.now) agg.now = ln.now;
+    agg.queries_submitted += ln.queries_submitted;
+    agg.responses_delivered += ln.responses_delivered;
+    agg.duplicate_queries += ln.duplicate_queries;
+    agg.first_responses += ln.first_responses;
+    agg.ring_queries_finished += ln.ring_queries_finished;
+    agg.messages_dropped += ln.messages_dropped;
+    agg.failover_episodes += ln.failover_episodes;
+    agg.queries_failed += ln.queries_failed;
+    agg.events_scheduled += ln.events_scheduled;
+    agg.events_dispatched += ln.events_dispatched;
+    agg.results_sum += ln.results_sum;
+    agg.hops_sum += ln.hops_sum;
+    agg.rings_sum += ln.rings_sum;
+    for (std::size_t t = 0; t < kNumMsgTypes; ++t) {
+      agg.msg_sent[t] += ln.msg_sent[t];
+      agg.msg_recv[t] += ln.msg_recv[t];
+    }
+    agg.hop_histogram.Merge(ln.hop_histogram);
+  }
+  return agg;
+}
+
+/// Sharded-discipline retirement. Entries are content-keyed (no
+/// sequential floor to advance), so retirement rebuilds each container
+/// without the retired set: first the duplicate tables and the
+/// retry-root mapping — whose liveness resolves through the CURRENT
+/// root state — then the root state itself. Runs single-threaded
+/// between windows.
+void Simulator::Impl::DiscRetireStateBefore(double cutoff_seconds) {
+  const auto root_live = [this, cutoff_seconds](std::uint64_t qid) {
+    const std::uint64_t root = RootOfW(qid);
+    const QueryState* qs = disc_state_[DomainOfQid(root)].Find(root);
+    return qs != nullptr && qs->submit_time >= cutoff_seconds;
+  };
+  for (FlatMap64<std::uint32_t>& dup : disc_dup_) {
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> keep;
+    keep.reserve(dup.size());
+    dup.ForEach([&](std::uint64_t qid, const std::uint32_t& upstream) {
+      if (root_live(qid)) keep.emplace_back(qid, upstream);
+    });
+    if (keep.size() == dup.size()) continue;
+    dup.Clear();
+    for (const auto& [qid, upstream] : keep) {
+      *dup.FindOrInsert(qid).first = upstream;
+    }
+  }
+  for (FlatMap64<std::uint64_t>& roots : disc_root_) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> keep;
+    keep.reserve(roots.size());
+    roots.ForEach([&](std::uint64_t qid, const std::uint64_t& root) {
+      if (root_live(root)) keep.emplace_back(qid, root);
+    });
+    if (keep.size() == roots.size()) continue;
+    roots.Clear();
+    for (const auto& [qid, root] : keep) {
+      *roots.FindOrInsert(qid).first = root;
+    }
+  }
+  for (FlatMap64<QueryState>& states : disc_state_) {
+    std::vector<std::pair<std::uint64_t, QueryState>> keep;
+    keep.reserve(states.size());
+    states.ForEach([&](std::uint64_t qid, const QueryState& qs) {
+      if (qs.submit_time >= cutoff_seconds) keep.emplace_back(qid, qs);
+    });
+    if (keep.size() == states.size()) continue;
+    states.Clear();
+    for (const auto& [qid, qs] : keep) {
+      *states.FindOrInsert(qid).first = qs;
+    }
+  }
+}
+
+/// Sharded-discipline checkpoint payload: canonical and shard/thread-
+/// count-invariant by construction. Per-lane tallies are folded,
+/// pending events from every queue are merged into (time, key) order —
+/// the one order independent of the domain-to-shard map — and the hash
+/// containers are written sorted by key. The identical bytes are
+/// produced by every (S, T), and restore into any (S, T).
+void Simulator::Impl::DiscSaveState(CheckpointWriter& w) const {
+  for (const Lane& ln : lanes_) {
+    SPPNET_CHECK_MSG(ln.outbox.empty() && ln.ctl_outbox.empty(),
+                     "checkpoint cut inside a parallel phase");
+  }
+  const Lane agg = FoldedLanes();
+  w.PutDouble(agg.now);  // Canonical clock: the last executed event.
+  w.PutU64(cell_index_);
+  w.PutU64(ctl_ctr_);
+  w.PutU64Vector(ctr_dom_);
+  w.PutU32Vector(user_qid_ctr_);
+  for (const Rng& rng : proto_rngs_) PutRng(w, rng);
+  for (const Rng& rng : fault_rngs_) PutRng(w, rng);
+  PutRng(w, ctl_rng_);
+  PutRng(w, injector_.stream());
+  std::vector<SimEvent> events = ctl_queue_->SnapshotEvents();
+  for (const SimEventQueue& q : shard_queues_) {
+    const std::vector<SimEvent> shard_events = q.SnapshotEvents();
+    events.insert(events.end(), shard_events.begin(), shard_events.end());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const SimEvent& a, const SimEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.seq < b.seq;
+            });
+  w.PutU64(events.size());
+  for (const SimEvent& e : events) {
+    w.PutDouble(e.time);
+    w.PutU64(e.seq);
+    w.PutU32(e.kind);
+    w.PutU32(e.node);
+    w.PutU64(e.a);
+    w.PutU64(e.b);
+    w.PutDouble(e.x);
+  }
+  // Load accounting and churn state (legacy shapes).
+  w.PutDoubleVector(in_bytes_);
+  w.PutDoubleVector(out_bytes_);
+  w.PutDoubleVector(units_);
+  w.PutU8Vector(partner_alive_);
+  w.PutU32Vector(alive_partners_);
+  w.PutDoubleVector(outage_start_);
+  w.PutU32Vector(rr_);
+  // Folded lane tallies.
+  w.PutU64(agg.queries_submitted);
+  w.PutU64(agg.responses_delivered);
+  w.PutU64(agg.duplicate_queries);
+  w.PutU64(agg.first_responses);
+  w.PutU64(agg.ring_queries_finished);
+  w.PutU64(agg.messages_dropped);
+  w.PutU64(agg.failover_episodes);
+  w.PutU64(agg.queries_failed);
+  w.PutU64(agg.events_scheduled);
+  w.PutU64(agg.events_dispatched);
+  w.PutDouble(agg.results_sum);
+  w.PutDouble(agg.hops_sum);
+  w.PutDouble(agg.rings_sum);
+  for (std::size_t t = 0; t < kNumMsgTypes; ++t) w.PutU64(agg.msg_sent[t]);
+  for (std::size_t t = 0; t < kNumMsgTypes; ++t) w.PutU64(agg.msg_recv[t]);
+  PutHistogram(w, agg.hop_histogram);
+  w.PutDoubleVector(latency_by_dom_);
+  // Control-phase globals.
+  w.PutU64(partner_failures_);
+  w.PutU64(cluster_outages_);
+  w.PutDouble(disconnected_client_seconds_);
+  w.PutU64(partner_recoveries_);
+  w.PutU64(static_cast<std::uint64_t>(queue_depth_hwm_));
+  w.PutDouble(outage_seconds_);
+  w.PutU64(crashes_);
+  w.PutU64(request_timeouts_);
+  w.PutU64(retries_);
+  w.PutU64(client_rejoins_);
+  w.PutU64(queries_succeeded_);
+  PutHistogram(w, recovery_latency_hist_);
+  PutHistogram(w, orphaned_clients_hist_);
+  // Lookahead audit (a resumed run keeps reporting the whole run; the
+  // no-merge-yet sentinel is +inf, encoded as a flag).
+  w.PutBool(std::isfinite(min_merge_margin_));
+  w.PutDouble(std::isfinite(min_merge_margin_) ? min_merge_margin_ : 0.0);
+  w.PutU64(lookahead_violations_);
+  // Fault membership (legacy shapes).
+  w.PutBool(fault_active_);
+  if (fault_active_) {
+    w.PutU32Vector(client_current_cluster_);
+    w.PutU64(cluster_members_.size());
+    for (const std::vector<std::uint32_t>& members : cluster_members_) {
+      w.PutU32Vector(members);
+    }
+    w.PutDoubleVector(orphaned_since_);
+  }
+  // Adaptation layer (legacy shapes).
+  w.PutU32(static_cast<std::uint32_t>(ttl_));
+  w.PutBool(adaptive_);
+  if (adaptive_) {
+    adaptive_ctrl_->SaveTo(w);
+    w.PutDoubleVector(adapt_in_bytes_);
+    w.PutDoubleVector(adapt_out_bytes_);
+    w.PutDoubleVector(adapt_units_);
+    w.PutDouble(window_start_);
+    w.PutU64(adapt_rounds_);
+    w.PutU64(adapt_splits_);
+    w.PutU64(adapt_coalesces_);
+    w.PutU64(adapt_edges_added_);
+    w.PutU64(adapt_ttl_decreases_);
+    w.PutU64(adapt_probes_sent_);
+    w.PutU64(adapt_reports_received_);
+    w.PutU64(adapt_client_moves_);
+    w.PutBool(adapt_converged_);
+    w.PutU64(adapt_converged_round_);
+  }
+  // Discipline query state, each container sorted by key (FlatMap64
+  // iteration order is layout-dependent and must not leak into the
+  // payload). The duplicate-table count is written explicitly because
+  // adaptation grows the cluster-slot space past n.
+  w.PutU64(disc_dup_.size());
+  for (const FlatMap64<std::uint32_t>& dup : disc_dup_) {
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> entries;
+    entries.reserve(dup.size());
+    dup.ForEach([&](std::uint64_t qid, const std::uint32_t& upstream) {
+      entries.emplace_back(qid, upstream);
+    });
+    std::sort(entries.begin(), entries.end());
+    w.PutU64(entries.size());
+    for (const auto& [qid, upstream] : entries) {
+      w.PutU64(qid);
+      w.PutU32(upstream);
+    }
+  }
+  for (const FlatMap64<QueryState>& states : disc_state_) {
+    std::vector<std::pair<std::uint64_t, QueryState>> entries;
+    entries.reserve(states.size());
+    states.ForEach([&](std::uint64_t qid, const QueryState& qs) {
+      entries.emplace_back(qid, qs);
+    });
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    w.PutU64(entries.size());
+    for (const auto& [qid, qs] : entries) {
+      w.PutU64(qid);
+      w.PutU32(qs.user);
+      w.PutU32(qs.query_class);
+      w.PutU32(qs.ring_ttl);
+      w.PutDouble(qs.ring_results);
+      w.PutDouble(qs.submit_time);
+      w.PutU64(qs.cache_key);
+      w.PutBool(qs.first_response_seen);
+    }
+  }
+  for (const FlatMap64<std::uint64_t>& roots : disc_root_) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+    entries.reserve(roots.size());
+    roots.ForEach([&](std::uint64_t qid, const std::uint64_t& root) {
+      entries.emplace_back(qid, root);
+    });
+    std::sort(entries.begin(), entries.end());
+    w.PutU64(entries.size());
+    for (const auto& [qid, root] : entries) {
+      w.PutU64(qid);
+      w.PutU64(root);
+    }
+  }
+}
+
+/// Counterpart of DiscSaveState on a freshly constructed sharded
+/// simulator — with ANY shard/thread plan: restored events re-enter the
+/// queue owning their domain under THIS simulator's shard map via
+/// SchedulePreKeyed (the payload carries content keys; there is no
+/// sequence floor to restore).
+bool Simulator::Impl::DiscLoadState(CheckpointReader& r) {
+  const double clock = r.GetDouble();
+  cell_index_ = r.GetU64();
+  ctl_ctr_ = r.GetU64();
+  ctr_dom_ = r.GetU64Vector();
+  user_qid_ctr_ = r.GetU32Vector();
+  for (Rng& rng : proto_rngs_) GetRng(r, rng);
+  for (Rng& rng : fault_rngs_) GetRng(r, rng);
+  GetRng(r, ctl_rng_);
+  GetRng(r, injector_.stream());
+  const std::uint64_t num_events = r.GetU64();
+  std::vector<SimEvent> events;
+  for (std::uint64_t i = 0; i < num_events && r.ok(); ++i) {
+    SimEvent e;
+    e.time = r.GetDouble();
+    e.seq = r.GetU64();
+    e.kind = r.GetU32();
+    e.node = r.GetU32();
+    e.a = r.GetU64();
+    e.b = r.GetU64();
+    e.x = r.GetDouble();
+    events.push_back(e);
+  }
+  if (!r.ok() || ctr_dom_.size() != n_ ||
+      user_qid_ctr_.size() != num_partners_ + num_clients_) {
+    return false;
+  }
+  // Validate before routing (DomainOfEvent indexes by node/cluster):
+  // a foreign payload must fail cleanly, not corrupt the queues.
+  for (const SimEvent& e : events) {
+    const bool cluster_kind = e.kind == kClusterQueryArrive ||
+                              e.kind == kClusterWalkLaunch ||
+                              e.kind == kClusterWalkArrive;
+    if (!std::isfinite(e.time) || e.kind > kRejoinRequest) return false;
+    if (cluster_kind ? (adaptive_ || e.node >= n_) : e.node >= TotalNodes()) {
+      return false;
+    }
+  }
+  for (const SimEvent& e : events) {
+    if (IsCtlKind(e.kind)) {
+      ctl_queue_->SchedulePreKeyed(e);
+    } else {
+      shard_queues_[DomainOfEvent(e) % num_shards_].SchedulePreKeyed(e);
+    }
+  }
+  in_bytes_ = r.GetDoubleVector();
+  out_bytes_ = r.GetDoubleVector();
+  units_ = r.GetDoubleVector();
+  partner_alive_ = r.GetU8Vector();
+  alive_partners_ = r.GetU32Vector();
+  outage_start_ = r.GetDoubleVector();
+  rr_ = r.GetU32Vector();
+  Lane& ln0 = lanes_[0];
+  ln0.queries_submitted = r.GetU64();
+  ln0.responses_delivered = r.GetU64();
+  ln0.duplicate_queries = r.GetU64();
+  ln0.first_responses = r.GetU64();
+  ln0.ring_queries_finished = r.GetU64();
+  ln0.messages_dropped = r.GetU64();
+  ln0.failover_episodes = r.GetU64();
+  ln0.queries_failed = r.GetU64();
+  ln0.events_scheduled = r.GetU64();
+  ln0.events_dispatched = r.GetU64();
+  ln0.results_sum = r.GetDouble();
+  ln0.hops_sum = r.GetDouble();
+  ln0.rings_sum = r.GetDouble();
+  for (std::size_t t = 0; t < kNumMsgTypes; ++t) ln0.msg_sent[t] = r.GetU64();
+  for (std::size_t t = 0; t < kNumMsgTypes; ++t) ln0.msg_recv[t] = r.GetU64();
+  if (!GetHistogram(r, ln0.hop_histogram)) return false;
+  latency_by_dom_ = r.GetDoubleVector();
+  partner_failures_ = r.GetU64();
+  cluster_outages_ = r.GetU64();
+  disconnected_client_seconds_ = r.GetDouble();
+  partner_recoveries_ = r.GetU64();
+  queue_depth_hwm_ = static_cast<std::size_t>(r.GetU64());
+  outage_seconds_ = r.GetDouble();
+  crashes_ = r.GetU64();
+  request_timeouts_ = r.GetU64();
+  retries_ = r.GetU64();
+  client_rejoins_ = r.GetU64();
+  queries_succeeded_ = r.GetU64();
+  if (!GetHistogram(r, recovery_latency_hist_)) return false;
+  if (!GetHistogram(r, orphaned_clients_hist_)) return false;
+  const bool margin_finite = r.GetBool();
+  const double margin = r.GetDouble();
+  min_merge_margin_ =
+      margin_finite ? margin : std::numeric_limits<double>::infinity();
+  lookahead_violations_ = r.GetU64();
+  const bool saved_fault_active = r.GetBool();
+  if (fault_active_) {
+    client_current_cluster_ = r.GetU32Vector();
+    const std::uint64_t num_lists = r.GetU64();
+    std::vector<std::vector<std::uint32_t>> members;
+    for (std::uint64_t i = 0; i < num_lists && r.ok(); ++i) {
+      members.push_back(r.GetU32Vector());
+    }
+    cluster_members_ = std::move(members);
+    orphaned_since_ = r.GetDoubleVector();
+  }
+  ttl_ = static_cast<int>(r.GetU32());
+  const bool saved_adaptive = r.GetBool();
+  if (adaptive_) {
+    if (!adaptive_ctrl_->LoadFrom(r)) return false;
+    adapt_in_bytes_ = r.GetDoubleVector();
+    adapt_out_bytes_ = r.GetDoubleVector();
+    adapt_units_ = r.GetDoubleVector();
+    window_start_ = r.GetDouble();
+    adapt_rounds_ = r.GetU64();
+    adapt_splits_ = r.GetU64();
+    adapt_coalesces_ = r.GetU64();
+    adapt_edges_added_ = r.GetU64();
+    adapt_ttl_decreases_ = r.GetU64();
+    adapt_probes_sent_ = r.GetU64();
+    adapt_reports_received_ = r.GetU64();
+    adapt_client_moves_ = r.GetU64();
+    adapt_converged_ = r.GetBool();
+    adapt_converged_round_ = r.GetU64();
+  }
+  const std::uint64_t dup_count = r.GetU64();
+  if (!r.ok() || dup_count < n_ || dup_count > (std::uint64_t{1} << 24)) {
+    return false;
+  }
+  disc_dup_.clear();
+  disc_dup_.resize(static_cast<std::size_t>(dup_count));
+  for (FlatMap64<std::uint32_t>& dup : disc_dup_) {
+    const std::uint64_t count = r.GetU64();
+    for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+      const std::uint64_t qid = r.GetU64();
+      *dup.FindOrInsert(qid).first = r.GetU32();
+    }
+  }
+  for (FlatMap64<QueryState>& states : disc_state_) {
+    const std::uint64_t count = r.GetU64();
+    for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+      const std::uint64_t qid = r.GetU64();
+      QueryState qs;
+      qs.user = r.GetU32();
+      qs.query_class = r.GetU32();
+      qs.ring_ttl = r.GetU32();
+      qs.ring_results = r.GetDouble();
+      qs.submit_time = r.GetDouble();
+      qs.cache_key = r.GetU64();
+      qs.first_response_seen = r.GetBool();
+      *states.FindOrInsert(qid).first = qs;
+    }
+  }
+  for (FlatMap64<std::uint64_t>& roots : disc_root_) {
+    const std::uint64_t count = r.GetU64();
+    for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+      const std::uint64_t qid = r.GetU64();
+      *roots.FindOrInsert(qid).first = r.GetU64();
+    }
+  }
+  // Every lane resumes from the canonical clock; the next drain stamps
+  // per-event times before any handler reads them.
+  for (Lane& ln : lanes_) {
+    ln.now = clock;
+    ln.measuring = clock >= options_.warmup_seconds;
+    ln.cur_domain = kShardCtlDomain;
+  }
+  const std::size_t total = num_partners_ + num_clients_;
+  bool consistent =
+      saved_fault_active == fault_active_ && saved_adaptive == adaptive_ &&
+      std::isfinite(clock) && clock >= 0.0 && ttl_ >= 0 &&
+      latency_by_dom_.size() == n_ && in_bytes_.size() == total &&
+      out_bytes_.size() == total && units_.size() == total &&
+      partner_alive_.size() == num_partners_ &&
+      alive_partners_.size() >= n_ && rr_.size() >= n_ &&
+      outage_start_.size() >= n_;
+  if (fault_active_) {
+    consistent = consistent &&
+                 client_current_cluster_.size() == num_clients_ &&
+                 orphaned_since_.size() == num_clients_ &&
+                 cluster_members_.size() >= n_;
+  }
+  if (adaptive_) {
+    consistent = consistent && adapt_in_bytes_.size() == total &&
+                 adapt_out_bytes_.size() == total &&
+                 adapt_units_.size() == total;
+  }
+  return r.ok() && consistent;
+}
 
 void SimOptions::Validate() const {
   SPPNET_CHECK_MSG(std::isfinite(duration_seconds) && duration_seconds > 0.0,
@@ -2404,6 +3481,20 @@ void SimOptions::Validate() const {
                    "result-cache TTL must be >= 0");
   faults.Validate();
   adaptive.Validate();
+  shards.Validate();
+  if (shards.Enabled()) {
+    // The sharded discipline's conservative windows are bounded by the
+    // minimum cross-shard message delay; a zero hop latency means zero
+    // lookahead and no legal window. Concrete indexes and the result
+    // cache hold cross-cluster state the shards cannot own.
+    SPPNET_CHECK_MSG(hop_latency_seconds > 0.0,
+                     "a sharded run needs a positive lookahead "
+                     "(hop_latency_seconds > 0)");
+    SPPNET_CHECK_MSG(!concrete_index,
+                     "sharded runs require abstract indexes");
+    SPPNET_CHECK_MSG(result_cache_ttl_seconds == 0.0,
+                     "sharded runs require the result cache disabled");
+  }
   if (adaptive.Active()) {
     // The adaptation layer reroutes membership, matching and topology
     // through its controller; the features below hold per-cluster

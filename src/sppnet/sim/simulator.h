@@ -11,6 +11,7 @@
 #include "sppnet/sim/adaptive_sim.h"
 #include "sppnet/sim/event_queue.h"
 #include "sppnet/sim/faults.h"
+#include "sppnet/sim/sharded_sim.h"
 #include "sppnet/sim/sim_state.h"
 
 namespace sppnet {
@@ -54,6 +55,16 @@ struct SimOptions {
   /// kMapReference preserves the original hash-map containers for the
   /// same two purposes.
   SimStateBackend state_backend = SimStateBackend::kDense;
+
+  /// In-trial sharding plan (see sim/sharded_sim.h and DESIGN.md §12):
+  /// partitions clusters across parallel event loops advanced in
+  /// conservative lookahead windows of one hop latency. Defaults to the
+  /// legacy single-loop engine. An enabled plan produces reports,
+  /// metric digests and checkpoints bit-identical across every
+  /// (num_shards, num_threads) choice; it requires a positive hop
+  /// latency (the lookahead), abstract indexes and a disabled result
+  /// cache (enforced by Validate()).
+  ShardPlan shards;
 
   /// Reliability mode: super-peer partners fail at the end of their
   /// sampled lifespans and are replaced after `partner_recovery_seconds`

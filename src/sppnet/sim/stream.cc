@@ -247,6 +247,10 @@ std::uint64_t StreamDriver::Fingerprint() const {
   mix(sim_options_.ring_satisfaction_results);
   mix(sim_options_.num_walkers);
   mix(sim_options_.walk_ttl);
+  // Engine discipline: a sharded-run checkpoint only restores into a
+  // sharded simulator (any shard/thread count — the payload is
+  // canonical), never into a legacy one, and vice versa.
+  mix(sim_options_.shards.Enabled() ? 1 : 0);
   // Fault plan.
   const FaultPlan& f = sim_options_.faults;
   mixd(f.crash_rate_per_partner);

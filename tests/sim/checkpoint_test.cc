@@ -223,12 +223,22 @@ SimOptions ComboOptions(const Scenario& s, const Combo& combo) {
   return options;
 }
 
+/// Sharded-discipline options: the scenario's protocol under the
+/// conservative-window engine with `num_shards` shards drained by
+/// `num_threads` worker threads.
+SimOptions ShardedOptions(const Scenario& s, std::size_t num_shards,
+                          std::size_t num_threads) {
+  SimOptions options = s.sim;
+  options.shards.num_shards = num_shards;
+  options.shards.num_threads = num_threads;
+  return options;
+}
+
 /// Streams the scenario start to finish with no interruption.
-StreamedRun RunUninterrupted(const Scenario& s, const Combo& combo) {
+StreamedRun RunUninterrupted(const Scenario& s, const SimOptions& options) {
   const ModelInputs inputs = ModelInputs::Default();
   const NetworkInstance instance = MakeInstance(s, inputs);
-  StreamDriver driver(instance, s.config, inputs, ComboOptions(s, combo),
-                      s.stream);
+  StreamDriver driver(instance, s.config, inputs, options, s.stream);
   StreamedRun run;
   for (std::size_t w = 0; w < s.num_windows; ++w) {
     run.snapshots.push_back(driver.AdvanceWindow());
@@ -238,17 +248,21 @@ StreamedRun RunUninterrupted(const Scenario& s, const Combo& combo) {
   return run;
 }
 
-/// Streams `cut` windows on `save_combo`, checkpoints, restores into a
-/// fresh driver on `resume_combo`, and streams the rest there.
-StreamedRun RunWithRestore(const Scenario& s, const Combo& save_combo,
-                           const Combo& resume_combo, std::size_t cut) {
+StreamedRun RunUninterrupted(const Scenario& s, const Combo& combo) {
+  return RunUninterrupted(s, ComboOptions(s, combo));
+}
+
+/// Streams `cut` windows under `save_options`, checkpoints, restores
+/// into a fresh driver under `resume_options`, and streams the rest
+/// there.
+StreamedRun RunWithRestore(const Scenario& s, const SimOptions& save_options,
+                           const SimOptions& resume_options, std::size_t cut) {
   const ModelInputs inputs = ModelInputs::Default();
   const NetworkInstance instance = MakeInstance(s, inputs);
   StreamedRun run;
   std::vector<std::uint8_t> bytes;
   {
-    StreamDriver saver(instance, s.config, inputs,
-                       ComboOptions(s, save_combo), s.stream);
+    StreamDriver saver(instance, s.config, inputs, save_options, s.stream);
     for (std::size_t w = 0; w < cut; ++w) {
       run.snapshots.push_back(saver.AdvanceWindow());
     }
@@ -256,8 +270,7 @@ StreamedRun RunWithRestore(const Scenario& s, const Combo& save_combo,
     // The saving driver is destroyed here: the restored run cannot
     // lean on any of its in-memory state.
   }
-  StreamDriver resumer(instance, s.config, inputs,
-                       ComboOptions(s, resume_combo), s.stream);
+  StreamDriver resumer(instance, s.config, inputs, resume_options, s.stream);
   EXPECT_TRUE(resumer.Restore(bytes));
   EXPECT_EQ(resumer.windows_emitted(), cut);
   for (std::size_t w = cut; w < s.num_windows; ++w) {
@@ -266,6 +279,12 @@ StreamedRun RunWithRestore(const Scenario& s, const Combo& save_combo,
   run.report = resumer.Finish();
   run.snapshot_digest = resumer.snapshot_digest();
   return run;
+}
+
+StreamedRun RunWithRestore(const Scenario& s, const Combo& save_combo,
+                           const Combo& resume_combo, std::size_t cut) {
+  return RunWithRestore(s, ComboOptions(s, save_combo),
+                        ComboOptions(s, resume_combo), cut);
 }
 
 void ExpectEquivalent(const StreamedRun& expected, const StreamedRun& actual) {
@@ -370,6 +389,156 @@ TEST(CheckpointRejectionTest, ForeignFingerprintIsRejected) {
                         ComboOptions(s, kMatrix[0]), s.stream);
   EXPECT_FALSE(pristine.Restore(flipped));
   EXPECT_EQ(pristine.windows_emitted(), 0u);
+}
+
+// ---- Sharded-discipline checkpoints --------------------------------
+//
+// DiscSaveState writes a canonical payload — folded per-shard tallies,
+// pending events merged in (time, seq) order, per-domain RNG streams
+// and containers sorted by key — so the serialized bytes depend only
+// on the simulated history, never on the (S, T) configuration that
+// produced them. The tests below hold that to the strongest form:
+// byte-identical checkpoints across writers, and restores portable
+// across every shard/thread pairing.
+
+struct ShardPair {
+  std::size_t shards;
+  std::size_t threads;
+};
+
+std::string PairLabel(const ShardPair& save, const ShardPair& resume) {
+  std::string label = "S";
+  label += std::to_string(save.shards);
+  label += "T";
+  label += std::to_string(save.threads);
+  label += " -> S";
+  label += std::to_string(resume.shards);
+  label += "T";
+  label += std::to_string(resume.threads);
+  return label;
+}
+
+TEST(ShardedCheckpointTest, RestorePortableAcrossShardAndThreadCounts) {
+  const Scenario s = FaultScenario();
+  const StreamedRun uninterrupted =
+      RunUninterrupted(s, ShardedOptions(s, 1, 1));
+  const struct {
+    ShardPair save;
+    ShardPair resume;
+  } pairings[] = {
+      {{3, 2}, {1, 1}},  // parallel writer -> sequential reader
+      {{1, 1}, {8, 8}},  // sequential writer -> wide parallel reader
+      {{3, 2}, {8, 2}},  // parallel -> differently parallel
+  };
+  for (const auto& p : pairings) {
+    SCOPED_TRACE(PairLabel(p.save, p.resume));
+    ExpectEquivalent(
+        uninterrupted,
+        RunWithRestore(s, ShardedOptions(s, p.save.shards, p.save.threads),
+                       ShardedOptions(s, p.resume.shards, p.resume.threads),
+                       4));
+  }
+}
+
+TEST(ShardedCheckpointTest, CheckpointBytesAreWriterInvariant) {
+  // Not merely equivalent-after-restore: the serialized bytes
+  // themselves, envelope included, must be identical no matter which
+  // (S, T) writer produced them.
+  const Scenario s = ChurnScenario();
+  const std::size_t cut = 4;
+  const auto bytes_for = [&](std::size_t shards, std::size_t threads) {
+    const ModelInputs inputs = ModelInputs::Default();
+    const NetworkInstance instance = MakeInstance(s, inputs);
+    StreamDriver driver(instance, s.config, inputs,
+                        ShardedOptions(s, shards, threads), s.stream);
+    for (std::size_t w = 0; w < cut; ++w) driver.AdvanceWindow();
+    return driver.Checkpoint();
+  };
+  const std::vector<std::uint8_t> reference = bytes_for(1, 1);
+  // The SPCK envelope is unchanged by the sharded discipline: magic,
+  // then the u16 version.
+  ASSERT_GE(reference.size(), 6u);
+  EXPECT_EQ(reference[0], 'S');
+  EXPECT_EQ(reference[1], 'P');
+  EXPECT_EQ(reference[2], 'C');
+  EXPECT_EQ(reference[3], 'K');
+  EXPECT_EQ(reference[4], 1);
+  EXPECT_EQ(reference[5], 0);
+  const ShardPair writers[] = {{2, 1}, {3, 2}, {8, 8}};
+  for (const ShardPair& w : writers) {
+    SCOPED_TRACE(PairLabel({1, 1}, w));
+    const std::vector<std::uint8_t> actual = bytes_for(w.shards, w.threads);
+    ASSERT_EQ(actual.size(), reference.size());
+    std::size_t first_diff = reference.size();
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      if (actual[i] != reference[i]) {
+        first_diff = i;
+        break;
+      }
+    }
+    EXPECT_EQ(first_diff, reference.size())
+        << "first differing byte at offset " << first_diff << ": "
+        << static_cast<int>(actual[first_diff]) << " vs "
+        << static_cast<int>(reference[first_diff]);
+  }
+}
+
+TEST(ShardedCheckpointTest, MidCellCutRestoresBitIdentically) {
+  // A 0.07 s lookahead makes every 6 s window boundary land inside an
+  // open conservative cell (6 / 0.07 is not integral), so the
+  // checkpoint is cut after a partial-cell drain: events below the
+  // horizon executed and the outboxes merged, but the cell not yet
+  // closed and its control drain still pending. The saved cell index
+  // and pending events must reconstruct that exact mid-cell state.
+  Scenario s = FaultScenario();
+  s.sim.hop_latency_seconds = 0.07;
+  const StreamedRun uninterrupted =
+      RunUninterrupted(s, ShardedOptions(s, 1, 1));
+  const struct {
+    ShardPair save;
+    ShardPair resume;
+  } pairings[] = {
+      {{3, 2}, {3, 2}},
+      {{3, 2}, {1, 1}},
+      {{1, 1}, {8, 2}},
+  };
+  for (const std::size_t cut : {std::size_t{1}, std::size_t{5}}) {
+    for (const auto& p : pairings) {
+      SCOPED_TRACE(PairLabel(p.save, p.resume) + " cut after window " +
+                   std::to_string(cut));
+      ExpectEquivalent(
+          uninterrupted,
+          RunWithRestore(s, ShardedOptions(s, p.save.shards, p.save.threads),
+                         ShardedOptions(s, p.resume.shards, p.resume.threads),
+                         cut));
+    }
+  }
+}
+
+TEST(ShardedCheckpointTest, EngineDisciplineMarkerRejectsCrossRestores) {
+  // The sharded discipline threads its RNGs per domain, so its event
+  // stream is deliberately distinct from the legacy engine's. The
+  // stream fingerprint carries the discipline marker: a sharded
+  // checkpoint never restores into a legacy driver, nor vice versa.
+  const Scenario s = ChurnScenario();
+  const ModelInputs inputs = ModelInputs::Default();
+  const NetworkInstance instance = MakeInstance(s, inputs);
+
+  StreamDriver sharded(instance, s.config, inputs, ShardedOptions(s, 2, 2),
+                       s.stream);
+  sharded.AdvanceWindow();
+  const std::vector<std::uint8_t> sharded_bytes = sharded.Checkpoint();
+  StreamDriver legacy(instance, s.config, inputs, ComboOptions(s, kMatrix[0]),
+                      s.stream);
+  EXPECT_FALSE(legacy.Restore(sharded_bytes));
+  EXPECT_EQ(legacy.windows_emitted(), 0u);
+
+  legacy.AdvanceWindow();
+  const std::vector<std::uint8_t> legacy_bytes = legacy.Checkpoint();
+  StreamDriver sharded_reader(instance, s.config, inputs,
+                              ShardedOptions(s, 2, 2), s.stream);
+  EXPECT_FALSE(sharded_reader.Restore(legacy_bytes));
+  EXPECT_EQ(sharded_reader.windows_emitted(), 0u);
 }
 
 TEST(CheckpointParallelismTest, StreamTrialsBitIdenticalAcrossParallelism) {

@@ -95,6 +95,7 @@ def validate(path):
         err("'timings.wall_seconds' must be a number")
 
     validate_windowed_stream(doc, err)
+    validate_sharded_rows(doc, err)
 
     return errors
 
@@ -141,6 +142,72 @@ def validate_windowed_stream(doc, err):
         value = config.get(key)
         if not isinstance(value, (int, float)) or value <= 0:
             err(f"streaming bench config.{key} missing or not > 0")
+
+
+def validate_sharded_rows(doc, err):
+    """Sharded-row schema for the scale sweep.
+
+    A bench that reports any `sim_scale.sharded.*` gauge ran the
+    sharded conservative-window discipline and must carry the full
+    sharded surface: a speedup gauge paired with every events_per_sec
+    gauge (and vice versa), the shard plan in config, the sequential
+    and sharded table rows per size, and the bit-identity verdict.
+    """
+    gauges = doc.get("metrics", {}).get("gauges")
+    if not isinstance(gauges, dict) or not any(
+            key.startswith("sim_scale.sharded.") for key in gauges):
+        return
+
+    sizes = set()
+    for stem in ("sim_scale.sharded.events_per_sec",
+                 "sim_scale.sharded.speedup"):
+        for key, value in gauges.items():
+            if not key.startswith(stem + ".n"):
+                continue
+            sizes.add(key[len(stem) + 2:])
+            if not isinstance(value, (int, float)) or value <= 0:
+                err(f"sharded gauge '{key}' missing or not > 0")
+    if not sizes:
+        err("sharded bench reports sim_scale.sharded.* gauges but no "
+            "per-size entries")
+    for size in sorted(sizes):
+        for stem in ("sim_scale.sharded.events_per_sec",
+                     "sim_scale.sharded.speedup"):
+            if f"{stem}.n{size}" not in gauges:
+                err(f"sharded bench missing gauge '{stem}.n{size}'")
+
+    config = doc.get("config", {})
+    for key in ("shard_count", "shard_threads"):
+        value = config.get(key)
+        if not isinstance(value, (int, float)) or value < 1:
+            err(f"sharded bench config.{key} missing or not >= 1")
+    if config.get("sharded_identity_ok") != "true":
+        err("sharded bench config.sharded_identity_ok must be \"true\" "
+            "(sharded run drifted from the sequential reference or "
+            "never ran)")
+
+    tables = {t.get("name"): t for t in doc.get("tables", [])
+              if isinstance(t, dict)}
+    scale = tables.get("sim_scale")
+    if scale is None:
+        err("sharded bench missing the 'sim_scale' table")
+        return
+    columns = scale.get("columns", [])
+    try:
+        engine_col = columns.index("engine")
+        n_col = columns.index("N")
+    except ValueError:
+        err("'sim_scale' table missing 'N'/'engine' columns")
+        return
+    for size in sorted(sizes):
+        rows = [r for r in scale.get("rows", [])
+                if isinstance(r, list) and len(r) == len(columns)
+                and r[n_col] == size]
+        engines = {r[engine_col] for r in rows}
+        if not any(e.startswith("disc(") for e in engines):
+            err(f"'sim_scale' table has no sequential disc row at N={size}")
+        if not any(e.startswith("sharded(") for e in engines):
+            err(f"'sim_scale' table has no sharded row at N={size}")
 
 
 def main(argv):
