@@ -24,6 +24,7 @@
 #include "sppnet/model/trials.h"
 #include "sppnet/obs/export.h"
 #include "sppnet/obs/metrics.h"
+#include "sppnet/sim/simulator.h"
 
 namespace sppnet::bench {
 
@@ -236,6 +237,54 @@ inline Configuration MakeSweepConfig(const SweepSystem& system,
 inline constexpr double kClusterSweep[] = {1,   2,    5,    10,   20,  50,
                                            100, 200,  500,  1000, 2000,
                                            5000, 10000};
+
+/// One search-protocol variant of the strategy sweeps
+/// (bench/search_strategies and bench/routing_strategies): a strategy
+/// plus its knobs, run over a shared instance so rows are comparable.
+struct StrategySpec {
+  const char* name;
+  SearchStrategy strategy = SearchStrategy::kFlood;
+  std::uint32_t satisfaction = 0;  ///< kExpandingRing; 0 keeps the default.
+  std::uint32_t walkers = 0;       ///< Walk strategies; 0 keeps the default.
+  std::uint32_t walk_ttl = 0;
+  bool routing = false;  ///< Explicitly enable the routing-index layer.
+};
+
+/// SimOptions for one strategy row. `duration` is pre-smoke; the smoke
+/// cap is applied here so every sweep shares the same shrink rule.
+inline SimOptions MakeStrategyOptions(const StrategySpec& spec,
+                                      double duration_seconds,
+                                      double warmup_seconds,
+                                      std::uint64_t seed,
+                                      MetricsRegistry* metrics = nullptr) {
+  SimOptions options;
+  options.metrics = metrics;
+  options.duration_seconds = SmokeSimSeconds(duration_seconds);
+  options.warmup_seconds = warmup_seconds;
+  options.seed = seed;
+  options.strategy = spec.strategy;
+  if (spec.satisfaction != 0) {
+    options.ring_satisfaction_results = spec.satisfaction;
+  }
+  if (spec.walkers != 0) {
+    options.num_walkers = spec.walkers;
+    options.walk_ttl = spec.walk_ttl;
+  }
+  if (spec.routing) options.routing.enabled = true;
+  return options;
+}
+
+/// The cost/quality/latency cells shared by the strategy sweeps:
+/// aggregate bandwidth, mean super-peer processing, results, first-
+/// response latency, rings and duplicate receives for one run.
+inline std::vector<std::string> StrategyCells(const SimReport& r) {
+  const LoadVector sp = InstanceLoads::MeanOf(r.partner_load);
+  return {FormatSci(r.aggregate.TotalBps()), FormatSci(sp.proc_hz),
+          Format(r.mean_results_per_query, 4),
+          Format(r.mean_first_response_latency, 3),
+          Format(r.mean_rings_per_query, 3),
+          Format(static_cast<std::size_t>(r.duplicate_queries))};
+}
 
 }  // namespace sppnet::bench
 

@@ -1,0 +1,166 @@
+// ISSUE 8 / ROADMAP item 3: content-aware query routing. Every
+// super-peer keeps one Bloom routing digest per neighbor summarizing
+// which query classes are answerable through that neighbor
+// (index/routing_index.h), and the routed strategies forward only along
+// digest-positive edges. This harness sweeps strategy x topology x TTL
+// over shared instances and reports bandwidth at the achieved recall
+// relative to the baseline flood — the acceptance criterion is a
+// topology x TTL point where a routed strategy spends less bandwidth
+// than the flood while keeping recall (results ratio) >= 0.9.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "sppnet/io/table.h"
+#include "sppnet/model/evaluator.h"
+#include "sppnet/model/routing.h"
+#include "sppnet/sim/simulator.h"
+
+int main() {
+  using namespace sppnet;
+  using namespace sppnet::bench;
+  Banner("Content-aware routing: Bloom routing indices + routed search",
+         "routed forwarding prunes edges that cannot lead to matches, "
+         "spending less bandwidth than the flood at comparable recall");
+  BenchRun run("routing_strategies");
+
+  struct TopologyPoint {
+    const char* name;
+    GraphType graph_type;
+    std::size_t graph_size;
+    double outdegree;
+    std::vector<int> ttls;
+  };
+  std::vector<TopologyPoint> topologies = {
+      {"power4.0", GraphType::kPowerLaw, 2000, 4.0, {3, 6}},
+      {"strong", GraphType::kStronglyConnected, 600, 0.0, {1, 2}},
+  };
+  if (SmokeMode()) {
+    for (TopologyPoint& t : topologies) t.ttls.resize(1);
+  }
+  const double duration = 300.0;
+  run.Config("duration_seconds", duration);
+  run.Config("cluster_size", 10);
+  run.Config("digest_bits", std::size_t{RoutingOptions{}.digest_bits});
+  run.Config("digest_radius", std::size_t{RoutingOptions{}.radius});
+
+  const ModelInputs inputs = ModelInputs::Default();
+  const StrategySpec kSpecs[] = {
+      {"flood (baseline)", SearchStrategy::kFlood},
+      {"routed flood", SearchStrategy::kRoutedFlood},
+      {"walker, 8 x 20", SearchStrategy::kWalker, 0, 8, 20},
+      {"routed ring @10", SearchStrategy::kExpandingRing, 10, 0, 0, true},
+  };
+
+  TableWriter table({"Topology", "TTL", "Protocol", "Agg bw (bps)",
+                     "SP proc (Hz)", "Results/query", "Recall", "Bw vs flood",
+                     "Suppressed", "Biased hops"});
+  bool acceptance = false;
+  for (const TopologyPoint& topo : topologies) {
+    Configuration config;
+    config.graph_type = topo.graph_type;
+    config.graph_size = topo.graph_size;
+    config.cluster_size = 10;
+    if (topo.outdegree > 0.0) config.avg_outdegree = topo.outdegree;
+    for (const int ttl : topo.ttls) {
+      config.ttl = ttl;
+      Rng rng(55);
+      const NetworkInstance inst = GenerateInstance(config, inputs, rng);
+      double flood_bps = 0.0;
+      double flood_results = 0.0;
+      for (const StrategySpec& spec : kSpecs) {
+        const SimOptions options =
+            MakeStrategyOptions(spec, duration, 30.0, /*seed=*/9,
+                                &run.metrics());
+        Simulator sim(inst, config, inputs, options);
+        const SimReport r = sim.Run();
+        if (spec.strategy == SearchStrategy::kFlood) {
+          flood_bps = r.aggregate.TotalBps();
+          flood_results = r.mean_results_per_query;
+        }
+        const double recall = flood_results > 0.0
+                                  ? r.mean_results_per_query / flood_results
+                                  : 1.0;
+        const double bw_ratio =
+            flood_bps > 0.0 ? r.aggregate.TotalBps() / flood_bps : 1.0;
+        const LoadVector sp = InstanceLoads::MeanOf(r.partner_load);
+        table.AddRow({topo.name, Format(ttl), spec.name,
+                      FormatSci(r.aggregate.TotalBps()), FormatSci(sp.proc_hz),
+                      Format(r.mean_results_per_query, 4), Format(recall, 3),
+                      Format(bw_ratio, 3),
+                      Format(static_cast<std::size_t>(
+                          r.routing_suppressed_forwards)),
+                      Format(static_cast<std::size_t>(r.routing_biased_hops))});
+        if (spec.strategy == SearchStrategy::kRoutedFlood && bw_ratio < 1.0 &&
+            recall >= 0.9) {
+          acceptance = true;
+        }
+      }
+    }
+  }
+  run.Emit(table);
+
+  // Cross-check the tentpole's second implementation: the analytical
+  // routed query-plane model against the routed-flood simulation on the
+  // first sweep point (the full-suite version of this comparison lives
+  // in tests/sim/sim_vs_model_test.cc).
+  {
+    Configuration config;
+    config.graph_type = topologies[0].graph_type;
+    config.graph_size = SmokeMode() ? 400 : topologies[0].graph_size;
+    config.cluster_size = 10;
+    config.avg_outdegree = topologies[0].outdegree;
+    config.ttl = topologies[0].ttls[0];
+    Rng rng(55);
+    const NetworkInstance inst = GenerateInstance(config, inputs, rng);
+    const InstanceLoads analytic = EvaluateInstance(inst, config, inputs);
+    SimOptions options;
+    options.duration_seconds = SmokeSimSeconds(duration);
+    options.warmup_seconds = 30.0;
+    options.seed = 9;
+    options.strategy = SearchStrategy::kRoutedFlood;
+    Simulator sim(inst, config, inputs, options);
+    const SimReport measured = sim.Run();
+    RoutingEvalOptions model_options;
+    model_options.strategy = RoutedModelStrategy::kRoutedFlood;
+    model_options.seed = options.seed;
+    const RoutingModelReport routed =
+        EvaluateRoutedQueryPlane(inst, config, inputs, model_options);
+    const LoadVector composed = routed.ComposeAggregate(analytic.aggregate);
+    TableWriter validation({"Quantity", "Simulated", "Model", "Ratio"});
+    validation.AddRow(
+        {"aggregate bw (bps)", FormatSci(measured.aggregate.TotalBps()),
+         FormatSci(composed.TotalBps()),
+         Format(measured.aggregate.TotalBps() / composed.TotalBps(), 3)});
+    validation.AddRow(
+        {"aggregate proc (Hz)", FormatSci(measured.aggregate.proc_hz),
+         FormatSci(composed.proc_hz),
+         Format(measured.aggregate.proc_hz / composed.proc_hz, 3)});
+    validation.AddRow(
+        {"results/query", Format(measured.mean_results_per_query, 4),
+         Format(routed.routed.mean_results, 4),
+         Format(measured.mean_results_per_query /
+                    (routed.routed.mean_results > 0.0
+                         ? routed.routed.mean_results
+                         : 1.0),
+                3)});
+    run.Emit(validation, "sim_vs_model");
+  }
+
+  if (!acceptance) {
+    std::fprintf(stderr,
+                 "ACCEPTANCE FAILURE: no topology x TTL point where the "
+                 "routed flood beats the baseline flood on bandwidth at "
+                 "recall >= 0.9\n");
+    return 1;
+  }
+  std::printf(
+      "\nReading: the routed flood prunes query forwards whose Bloom "
+      "digests advertise no matching content, cutting bandwidth below the "
+      "flood at near-unchanged recall; walkers bound cost further and use "
+      "the digests to steer, trading results. Digest dissemination "
+      "(DigestAnnounce per edge per refresh) rides in the totals.\n");
+  return 0;
+}

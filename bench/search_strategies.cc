@@ -3,10 +3,12 @@
 // super-peer networks"). This harness measures the classic
 // cost/quality/latency tradeoff of three protocols over the SAME
 // super-peer clusters: the paper's baseline flood, naive expanding
-// ring (iterative deepening) and k random walks.
+// ring (iterative deepening) and k random walks. The content-aware
+// variants of these protocols live in bench/routing_strategies.
 
 #include <cstdio>
-#include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "sppnet/io/table.h"
@@ -34,18 +36,11 @@ int main() {
   Rng rng(55);
   const NetworkInstance inst = GenerateInstance(config, inputs, rng);
 
-  struct Row {
-    const char* name;
-    SearchStrategy strategy;
-    std::uint32_t satisfaction;
-    std::uint32_t walkers;
-    std::uint32_t walk_ttl;
-  };
-  constexpr Row kRows[] = {
-      {"flood (baseline)", SearchStrategy::kFlood, 0, 0, 0},
-      {"ring, satisfied@10", SearchStrategy::kExpandingRing, 10, 0, 0},
-      {"ring, satisfied@50", SearchStrategy::kExpandingRing, 50, 0, 0},
-      {"ring, insatiable", SearchStrategy::kExpandingRing, 1000000, 0, 0},
+  constexpr StrategySpec kRows[] = {
+      {"flood (baseline)", SearchStrategy::kFlood},
+      {"ring, satisfied@10", SearchStrategy::kExpandingRing, 10},
+      {"ring, satisfied@50", SearchStrategy::kExpandingRing, 50},
+      {"ring, insatiable", SearchStrategy::kExpandingRing, 1000000},
       {"walks, 8 x 20", SearchStrategy::kRandomWalk, 0, 8, 20},
       {"walks, 32 x 40", SearchStrategy::kRandomWalk, 0, 32, 40},
   };
@@ -53,29 +48,14 @@ int main() {
   TableWriter table({"Protocol", "Agg bw (bps)", "SP proc (Hz)",
                      "Results/query", "1st-response (s)", "Rings",
                      "Dup msgs"});
-  for (const Row& row : kRows) {
-    SimOptions options;
-      options.metrics = &run.metrics();
-    options.duration_seconds = SmokeSimSeconds(300);
-    options.warmup_seconds = 30;
-    options.seed = 9;
-    options.strategy = row.strategy;
-    if (row.satisfaction != 0) {
-      options.ring_satisfaction_results = row.satisfaction;
-    }
-    if (row.walkers != 0) {
-      options.num_walkers = row.walkers;
-      options.walk_ttl = row.walk_ttl;
-    }
+  for (const StrategySpec& spec : kRows) {
+    const SimOptions options =
+        MakeStrategyOptions(spec, 300.0, 30.0, /*seed=*/9, &run.metrics());
     Simulator sim(inst, config, inputs, options);
     const SimReport r = sim.Run();
-    const LoadVector sp = InstanceLoads::MeanOf(r.partner_load);
-    table.AddRow({row.name, FormatSci(r.aggregate.TotalBps()),
-                  FormatSci(sp.proc_hz),
-                  Format(r.mean_results_per_query, 4),
-                  Format(r.mean_first_response_latency, 3),
-                  Format(r.mean_rings_per_query, 3),
-                  Format(static_cast<std::size_t>(r.duplicate_queries))});
+    std::vector<std::string> cells{spec.name};
+    for (std::string& cell : StrategyCells(r)) cells.push_back(std::move(cell));
+    table.AddRow(cells);
   }
   run.Emit(table);
   std::printf(

@@ -23,6 +23,7 @@
 // SPPNET_SIM_SCALE_MAX_N caps the sweep (CI smoke runs set it down;
 // smoke mode clamps to 1e4 regardless of the override).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -195,6 +196,7 @@ int Main() {
   bool identity_ok = true;
   bool sharded_identity_ok = true;
   double speedup_1e4 = 0.0;
+  double best_sharded_speedup = 0.0;
 
   struct SizePoint {
     std::size_t n;
@@ -306,6 +308,7 @@ int Main() {
     const double sharded_events =
         static_cast<double>(sharded.report.events_dispatched);
     const double sharded_speedup = disc_seq.seconds / sharded.seconds;
+    best_sharded_speedup = std::max(best_sharded_speedup, sharded_speedup);
     add_row(disc_seq, sharded_events, 0.0);
     add_row(sharded, sharded_events, sharded_speedup);
     run.metrics()
@@ -328,7 +331,26 @@ int Main() {
     std::printf("Speedup at N=1e4 (calendar+dense vs heap+map): %.2fx\n",
                 speedup_1e4);
   }
-  return identity_ok && sharded_identity_ok ? 0 : 1;
+
+  // Multi-core smoke gate (CI): with SPPNET_SIM_SCALE_REQUIRE_SPEEDUP
+  // set, the sharded discipline must actually beat its sequential
+  // (S=1, T=1) reference somewhere in the sweep — a wall-clock check
+  // the bit-identity contracts cannot express. Skipped on single-core
+  // machines, where no parallel gain is physically possible.
+  bool speedup_ok = true;
+  if (const char* req = std::getenv("SPPNET_SIM_SCALE_REQUIRE_SPEEDUP");
+      req != nullptr && req[0] != '\0' &&
+      !(req[0] == '0' && req[1] == '\0')) {
+    if (hardware < 2) {
+      std::printf("Sharded speedup gate: SKIPPED (1 hardware thread)\n");
+    } else {
+      speedup_ok = best_sharded_speedup > 1.0;
+      std::printf("Sharded speedup gate (T=%zu vs T=1): best %.2fx — %s\n",
+                  shard_threads, best_sharded_speedup,
+                  speedup_ok ? "OK" : "FAILED");
+    }
+  }
+  return identity_ok && sharded_identity_ok && speedup_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -76,6 +76,10 @@ struct CostTable {
   double load_probe_bytes = 87.0;   ///< header + 8-byte payload.
   double load_report_bytes = 99.0;  ///< header + 20-byte payload.
   double ttl_update_bytes = 81.0;   ///< header + 2-byte payload.
+  // Routing-index dissemination (content-aware routing extension):
+  // DigestAnnounce = header + 8-byte fixed payload + the Bloom digest
+  // bitmap itself, same framing as the other control messages.
+  double digest_announce_base_bytes = 87.0;  ///< + digest bytes.
   /// Control messages carry no records, so their processing cost is the
   /// bare Gnutella send/receive cost (the Table 2 fixed terms).
   double send_control_units = 0.44;
@@ -99,6 +103,9 @@ struct CostTable {
   double LoadProbeBytes() const { return load_probe_bytes; }
   double LoadReportBytes() const { return load_report_bytes; }
   double TtlUpdateBytes() const { return ttl_update_bytes; }
+  double DigestAnnounceBytes(double digest_bytes) const {
+    return digest_announce_base_bytes + digest_bytes;
+  }
 
   // --- Derived processing costs (units), excluding multiplex ---
   double SendQueryUnits(double query_len) const {

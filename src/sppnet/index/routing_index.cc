@@ -1,0 +1,239 @@
+#include "sppnet/index/routing_index.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "sppnet/common/check.h"
+#include "sppnet/topology/graph.h"
+
+namespace sppnet {
+namespace {
+
+/// Stream tag separating the persistent content realization from every
+/// other Rng::Salted consumer (the sharded sim uses tags (1..3) << 32).
+constexpr std::uint64_t kRoutingContentTag = 0x526f757465ull;  // "Route"
+
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Binomial(n, p) sampler shared by the digest build and the routed
+/// MatchQuery: Knuth Poisson below lambda = 30 (the regime of almost
+/// every (cluster, class) pair), Gaussian approximation above, clamped
+/// to [0, n]. Deterministic given the stream.
+std::uint32_t SampleBinomial(double n, double p, Rng& rng) {
+  if (n <= 0.0 || p <= 0.0) return 0;
+  const double lambda = n * p;
+  if (lambda < 30.0) {
+    const double limit = std::exp(-lambda);
+    double prod = rng.NextDouble();
+    std::uint32_t count = 0;
+    while (prod > limit) {
+      ++count;
+      prod *= rng.NextDouble();
+    }
+    return static_cast<std::uint32_t>(std::min<double>(count, std::floor(n)));
+  }
+  const double stddev = std::sqrt(lambda * (1.0 - p));
+  const double draw = std::round(lambda + stddev * rng.NextGaussian());
+  return static_cast<std::uint32_t>(std::clamp(draw, 0.0, std::floor(n)));
+}
+
+/// One advertised-set row per cluster: bit c set iff the realized
+/// matched-file count of (cluster, c) is >= 1.
+std::vector<std::uint64_t> BuildAdvertisedSets(
+    std::span<const double> indexed_files, const QueryModel& query_model,
+    std::uint64_t seed, std::size_t words_per_cluster) {
+  const std::size_t n = indexed_files.size();
+  const std::size_t num_classes = query_model.num_query_classes();
+  std::vector<std::uint64_t> advertised(n * words_per_cluster, 0);
+  for (std::size_t u = 0; u < n; ++u) {
+    const double files = indexed_files[u];
+    std::uint64_t* row = advertised.data() + u * words_per_cluster;
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      if (RoutedMatchCount(query_model, files, seed,
+                           static_cast<std::uint32_t>(u),
+                           static_cast<std::uint32_t>(c)) >= 1) {
+        row[c / kBfsWordBits] |= 1ull << (c % kBfsWordBits);
+      }
+    }
+  }
+  return advertised;
+}
+
+/// Inserts every set class id of a reach-set bitmap into `digest`.
+void InsertBits(std::span<const std::uint64_t> reach, BloomDigest& digest) {
+  for (std::size_t word = 0; word < reach.size(); ++word) {
+    std::uint64_t bits = reach[word];
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      bits &= bits - 1;
+      digest.Insert(word * kBfsWordBits + static_cast<std::size_t>(bit));
+    }
+  }
+}
+
+}  // namespace
+
+BloomDigest::BloomDigest(std::uint32_t num_bits, std::uint32_t num_hashes)
+    : num_bits_(num_bits),
+      num_hashes_(num_hashes),
+      words_(num_bits / kBfsWordBits, 0) {
+  SPPNET_CHECK(num_bits > 0 && num_bits % kBfsWordBits == 0);
+  SPPNET_CHECK(num_hashes >= 1);
+}
+
+void BloomDigest::Insert(std::uint64_t key) {
+  const std::uint64_t h1 = Mix64(key);
+  const std::uint64_t h2 = Mix64(key ^ 0x5370704e657477ull) | 1;
+  for (std::uint32_t i = 0; i < num_hashes_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % num_bits_;
+    words_[bit / kBfsWordBits] |= 1ull << (bit % kBfsWordBits);
+  }
+}
+
+bool BloomDigest::MaybeContains(std::uint64_t key) const {
+  const std::uint64_t h1 = Mix64(key);
+  const std::uint64_t h2 = Mix64(key ^ 0x5370704e657477ull) | 1;
+  for (std::uint32_t i = 0; i < num_hashes_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % num_bits_;
+    if ((words_[bit / kBfsWordBits] & (1ull << (bit % kBfsWordBits))) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void BloomDigest::UnionWith(const BloomDigest& other) {
+  SPPNET_CHECK(num_bits_ == other.num_bits_ &&
+               num_hashes_ == other.num_hashes_);
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+}
+
+double BloomDigest::FillFraction() const {
+  if (num_bits_ == 0) return 0.0;
+  std::uint64_t set = 0;
+  for (const std::uint64_t w : words_) {
+    set += static_cast<std::uint64_t>(std::popcount(w));
+  }
+  return static_cast<double>(set) / static_cast<double>(num_bits_);
+}
+
+double BloomDigest::EstimatedFalsePositiveRate() const {
+  return std::pow(FillFraction(), static_cast<double>(num_hashes_));
+}
+
+void RoutingOptions::Validate() const {
+  SPPNET_CHECK(digest_bits > 0 && digest_bits % kBfsWordBits == 0);
+  SPPNET_CHECK(num_hashes >= 1);
+  SPPNET_CHECK(radius >= 1);
+  SPPNET_CHECK(refresh_interval_seconds > 0.0);
+}
+
+std::uint32_t RoutedMatchCount(const QueryModel& query_model,
+                               double indexed_files, std::uint64_t seed,
+                               std::uint32_t cluster,
+                               std::uint32_t query_class) {
+  Rng rng =
+      Rng::Salted(seed ^ kRoutingContentTag,
+                  (static_cast<std::uint64_t>(cluster) << 32) | query_class);
+  return SampleBinomial(indexed_files, query_model.SelectionPower(query_class),
+                        rng);
+}
+
+double RoutingTable::MeanFillFraction() const {
+  if (digests_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const BloomDigest& d : digests_) sum += d.FillFraction();
+  return sum / static_cast<double>(digests_.size());
+}
+
+double RoutingTable::MeanFalsePositiveRate() const {
+  if (digests_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const BloomDigest& d : digests_) sum += d.EstimatedFalsePositiveRate();
+  return sum / static_cast<double>(digests_.size());
+}
+
+RoutingTable BuildRoutingTable(const Topology& topology,
+                               std::span<const double> indexed_files,
+                               const QueryModel& query_model,
+                               const RoutingOptions& options,
+                               std::uint64_t seed) {
+  options.Validate();
+  const std::size_t n = topology.num_nodes();
+  SPPNET_CHECK(indexed_files.size() == n);
+  const std::size_t num_classes = query_model.num_query_classes();
+  const std::size_t words_per_cluster = WordsForBits(num_classes);
+  const std::vector<std::uint64_t> advertised =
+      BuildAdvertisedSets(indexed_files, query_model, seed, words_per_cluster);
+
+  RoutingTable table;
+  if (topology.is_complete()) {
+    // digest(u -> w) is independent of u (effective radius 1): one
+    // digest per destination cluster.
+    table.complete_ = true;
+    table.announces_per_round_ =
+        n <= 1 ? 0 : static_cast<std::uint64_t>(n) * (n - 1);
+    table.digests_.reserve(n);
+    for (std::size_t w = 0; w < n; ++w) {
+      BloomDigest digest(options.digest_bits, options.num_hashes);
+      InsertBits({advertised.data() + w * words_per_cluster,
+                  words_per_cluster},
+                 digest);
+      table.digests_.push_back(std::move(digest));
+    }
+    return table;
+  }
+
+  const Graph& graph = topology.graph();
+  table.edge_offsets_.assign(graph.offsets().begin(), graph.offsets().end());
+  table.announces_per_round_ = graph.adjacency().size();
+  table.digests_.reserve(graph.adjacency().size());
+
+  // Per-edge reach sets: BFS from the neighbor up to radius-1 extra
+  // hops, excluding the asking cluster itself.
+  std::vector<std::uint32_t> visit_stamp(n, 0);
+  std::uint32_t stamp = 0;
+  std::vector<NodeId> frontier;
+  std::vector<NodeId> next;
+  std::vector<std::uint64_t> reach(words_per_cluster);
+  for (NodeId u = 0; u < static_cast<NodeId>(n); ++u) {
+    for (const NodeId w : graph.Neighbors(u)) {
+      ++stamp;
+      std::fill(reach.begin(), reach.end(), 0);
+      frontier.assign(1, w);
+      visit_stamp[w] = stamp;
+      visit_stamp[u] = stamp;  // Never aggregate the asker's own index.
+      for (std::uint32_t depth = 0; depth < options.radius; ++depth) {
+        next.clear();
+        for (const NodeId v : frontier) {
+          const std::uint64_t* row =
+              advertised.data() + v * words_per_cluster;
+          for (std::size_t word = 0; word < words_per_cluster; ++word) {
+            reach[word] |= row[word];
+          }
+          if (depth + 1 == options.radius) continue;
+          for (const NodeId x : graph.Neighbors(v)) {
+            if (visit_stamp[x] == stamp) continue;
+            visit_stamp[x] = stamp;
+            next.push_back(x);
+          }
+        }
+        frontier.swap(next);
+        if (frontier.empty()) break;
+      }
+
+      BloomDigest digest(options.digest_bits, options.num_hashes);
+      InsertBits(reach, digest);
+      table.digests_.push_back(std::move(digest));
+    }
+  }
+  return table;
+}
+
+}  // namespace sppnet

@@ -1,0 +1,167 @@
+#ifndef SPPNET_INDEX_ROUTING_INDEX_H_
+#define SPPNET_INDEX_ROUTING_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sppnet/common/rng.h"
+#include "sppnet/topology/topology.h"
+#include "sppnet/workload/query_model.h"
+
+namespace sppnet {
+
+/// Content-aware routing indices (ROADMAP item 3; Ismail & Quafafou,
+/// "Efficient Super-Peer-Based Queries Routing"): every super-peer
+/// keeps one Bloom-filter digest per neighbor summarizing which query
+/// classes are answerable through that neighbor, and routed search
+/// strategies forward a query only along digest-positive edges.
+///
+/// Determinism: the digests are built from a *persistent content
+/// realization* — a per-(cluster, query-class) matched-file count drawn
+/// once as Binomial(x_u, f_c) from Rng::Salted(seed, key(u, c)), a pure
+/// function of (seed, cluster, class). The analytical routing model and
+/// the discrete-event simulator both call the same function, so they
+/// score queries against the identical realized content and the
+/// identical realized digest table (Bloom false positives included);
+/// only query timing and the query-class mixture remain sampled.
+/// DESIGN.md §13 documents the layout and the false-positive math.
+
+/// Fixed-size Bloom filter over 64-bit keys (query-class ids). Uses
+/// double hashing (Kirsch & Mitzenmacher): bit_i = h1 + i*h2 mod m.
+class BloomDigest {
+ public:
+  BloomDigest() = default;
+  /// `num_bits` must be a positive multiple of 64; `num_hashes` >= 1.
+  BloomDigest(std::uint32_t num_bits, std::uint32_t num_hashes);
+
+  void Insert(std::uint64_t key);
+  /// True if `key` may be present (false positives possible at the rate
+  /// EstimatedFalsePositiveRate() estimates, never false negatives).
+  bool MaybeContains(std::uint64_t key) const;
+
+  /// Folds another digest of identical geometry into this one.
+  void UnionWith(const BloomDigest& other);
+
+  std::uint32_t num_bits() const { return num_bits_; }
+  std::uint32_t num_hashes() const { return num_hashes_; }
+  /// Serialized payload size: num_bits / 8.
+  std::size_t SizeBytes() const {
+    return words_.size() * sizeof(std::uint64_t);
+  }
+
+  /// Fraction of bits set.
+  double FillFraction() const;
+  /// fill^k — the standard estimate of the false-positive probability
+  /// for a membership probe of a key that was never inserted.
+  double EstimatedFalsePositiveRate() const;
+
+ private:
+  std::uint32_t num_bits_ = 0;
+  std::uint32_t num_hashes_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Parameters of the routing-index layer. Carried inside SimOptions and
+/// consumed by the analytical routing model; Validate() aborts
+/// (SPPNET_CHECK) on malformed values.
+struct RoutingOptions {
+  /// Master switch. When false the layer is never consulted and runs
+  /// are bit-identical to a build without it.
+  bool enabled = false;
+  /// Bloom width per neighbor digest (bits; positive multiple of 64).
+  /// 512 bits ≈ 64 B per edge: at ~100 advertised classes per radius-2
+  /// neighborhood the estimated false-positive rate is a few percent.
+  std::uint32_t digest_bits = 512;
+  /// Hash functions per key.
+  std::uint32_t num_hashes = 3;
+  /// Content horizon of a neighbor digest: digest(u -> w) covers every
+  /// cluster within `radius - 1` hops of w (so radius 1 = w's own
+  /// index, radius 2 adds w's neighbors). On complete topologies the
+  /// effective radius is always 1 — anything wider would aggregate the
+  /// whole network into every digest and prune nothing.
+  std::uint32_t radius = 2;
+  /// Simulated seconds between periodic digest re-announcements (each
+  /// super-peer re-sends one DigestAnnounce per neighbor; the sim
+  /// accounts the traffic through CostTable::DigestAnnounceBytes).
+  double refresh_interval_seconds = 60.0;
+
+  /// Serialized DigestAnnounce payload bytes for these options.
+  std::size_t DigestPayloadBytes() const { return digest_bits / 8; }
+
+  void Validate() const;
+};
+
+/// Persistent matched-file count of `cluster` for `query_class`: a
+/// Binomial(indexed_files, SelectionPower(query_class)) draw from the
+/// salted stream keyed on (cluster, query_class). Pure function of its
+/// arguments — the simulator's routed MatchQuery and the analytical
+/// model both call it and therefore agree exactly on realized content.
+std::uint32_t RoutedMatchCount(const QueryModel& query_model,
+                               double indexed_files, std::uint64_t seed,
+                               std::uint32_t cluster,
+                               std::uint32_t query_class);
+
+/// The realized per-edge digest table of one network instance.
+/// Immutable after BuildRoutingTable. Sparse topologies index digests
+/// by CSR edge position (digest (u -> Neighbors(u)[i]) at
+/// offsets[u] + i); complete topologies hold one digest per
+/// destination cluster, since digest(u -> w) is independent of u there.
+class RoutingTable {
+ public:
+  bool is_complete() const { return complete_; }
+
+  /// Sparse topologies: true if the digest on edge
+  /// (u -> Neighbors(u)[neighbor_index]) reports `query_class`
+  /// reachable (advertised content within `radius` hops, or a Bloom
+  /// false positive).
+  bool EdgeMayLead(std::uint32_t cluster, std::size_t neighbor_index,
+                   std::uint32_t query_class) const {
+    return digests_[edge_offsets_[cluster] + neighbor_index].MaybeContains(
+        query_class);
+  }
+
+  /// Complete topologies: true if the digest advertised by
+  /// `dest_cluster` reports `query_class` reachable.
+  bool DestMayLead(std::uint32_t dest_cluster,
+                   std::uint32_t query_class) const {
+    return digests_[dest_cluster].MaybeContains(query_class);
+  }
+
+  /// DigestAnnounce messages one full dissemination round sends: the
+  /// number of directed overlay edges.
+  std::uint64_t AnnouncesPerRound() const { return announces_per_round_; }
+
+  std::size_t NumDigests() const { return digests_.size(); }
+  /// Mean fill fraction across all digests.
+  double MeanFillFraction() const;
+  /// Mean estimated false-positive rate across all digests.
+  double MeanFalsePositiveRate() const;
+
+ private:
+  friend RoutingTable BuildRoutingTable(const Topology&,
+                                        std::span<const double>,
+                                        const QueryModel&,
+                                        const RoutingOptions&, std::uint64_t);
+  bool complete_ = false;
+  std::uint64_t announces_per_round_ = 0;
+  std::vector<std::size_t> edge_offsets_;  // Copy of the CSR offsets.
+  std::vector<BloomDigest> digests_;
+};
+
+/// Builds the realized digest table for a topology whose cluster i
+/// indexes `indexed_files[i]` files (NetworkInstance::indexed_files):
+/// draws the advertised set of every cluster (RoutedMatchCount >= 1 per
+/// class), then for every directed edge (u -> w) unions the advertised
+/// sets of all clusters within radius-1 hops of w (excluding u itself)
+/// into a Bloom digest. Deterministic from its arguments.
+RoutingTable BuildRoutingTable(const Topology& topology,
+                               std::span<const double> indexed_files,
+                               const QueryModel& query_model,
+                               const RoutingOptions& options,
+                               std::uint64_t seed);
+
+}  // namespace sppnet
+
+#endif  // SPPNET_INDEX_ROUTING_INDEX_H_

@@ -1,0 +1,569 @@
+#include "sppnet/model/routing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sppnet/common/check.h"
+#include "sppnet/common/rng.h"
+#include "sppnet/cost/cost_table.h"
+
+namespace sppnet {
+
+void RoutingEvalOptions::Validate() const {
+  routing.Validate();
+  SPPNET_CHECK(max_sources >= 1);
+  SPPNET_CHECK(classes_per_source >= 1);
+  if (strategy == RoutedModelStrategy::kWalker) {
+    SPPNET_CHECK(num_walkers >= 1);
+    SPPNET_CHECK(walk_ttl >= 1);
+  }
+  if (strategy == RoutedModelStrategy::kExpandingRing) {
+    SPPNET_CHECK(ring_satisfaction_results >= 1);
+  }
+}
+
+namespace {
+
+/// Raw per-second aggregates (bytes/sec, processing units/sec) plus
+/// query-weighted per-query statistics; converted to bps/Hz at the end.
+struct PlaneAccum {
+  double in_bytes = 0.0;
+  double out_bytes = 0.0;
+  double units = 0.0;
+  double results = 0.0;
+  double reach = 0.0;
+  double sends = 0.0;
+  double rings = 0.0;
+};
+
+/// One cluster reached by a (source, class) flood replay.
+struct ReachedNode {
+  std::uint32_t cluster = 0;
+  std::uint32_t parent_idx = 0;  ///< Reach-list index; self for the source.
+  std::uint16_t depth = 0;
+  std::uint32_t matches = 0;  ///< Realized M(cluster, class).
+  /// Forward transmissions this node makes once its depth < stage TTL
+  /// (eligible neighbors minus the arrival edge) and their summed
+  /// send+recv processing units (exact per-endpoint multiplex).
+  std::uint32_t tx = 0;
+  double tx_units = 0.0;
+};
+
+/// Per-responder response-path costs, activated once depth <= stage TTL.
+struct Responder {
+  std::uint16_t depth = 0;
+  double bytes = 0.0;       ///< ResponseBytes(addrs, results), one message.
+  double path_units = 0.0;  ///< Send+recv units over the return path.
+  double results = 0.0;
+  double addrs = 0.0;
+  double fwd_send_units = 0.0;  ///< Source partner -> client forwarding.
+  double fwd_recv_units = 0.0;  ///< Client reception.
+};
+
+class RoutedPlaneEvaluator {
+ public:
+  RoutedPlaneEvaluator(const NetworkInstance& inst, const Configuration& config,
+                       const ModelInputs& inputs,
+                       const RoutingEvalOptions& options)
+      : inst_(inst),
+        config_(config),
+        costs_(inputs.costs),
+        qm_(inputs.query_model),
+        opt_(options),
+        n_(inst.NumClusters()),
+        table_(BuildRoutingTable(inst.topology, inst.indexed_files, qm_,
+                                 options.routing, options.seed)),
+        qlen_(inputs.stats.query_length_bytes),
+        qbytes_(inputs.costs.QueryBytes(qlen_)),
+        sendq_(inputs.costs.SendQueryUnits(qlen_)),
+        recvq_(inputs.costs.RecvQueryUnits(qlen_)) {
+    mux_.resize(n_);
+    client_frac_.resize(n_);
+    rate_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      mux_[i] = costs_.MultiplexUnits(inst.PartnerConnections(i));
+      const auto users = static_cast<double>(inst.ClusterUsers(i));
+      client_frac_[i] = static_cast<double>(inst.NumClients(i)) / users;
+      rate_[i] = users * config.query_rate;
+    }
+    client_mux_ = costs_.MultiplexUnits(inst.ClientConnections());
+    depth_.assign(n_, kUnreached);
+  }
+
+  RoutingModelReport Run() {
+    RoutingModelReport report;
+
+    // Evenly spaced source subset, weighted by the per-cluster query
+    // rate; the estimate is rescaled to the full rate at the end.
+    std::vector<std::size_t> sources;
+    if (n_ <= opt_.max_sources) {
+      for (std::size_t s = 0; s < n_; ++s) sources.push_back(s);
+    } else {
+      for (std::size_t i = 0; i < opt_.max_sources; ++i) {
+        sources.push_back(i * n_ / opt_.max_sources);
+      }
+    }
+
+    PlaneAccum routed, flood;
+    double sampled_rate = 0.0;
+    for (const std::size_t s : sources) {
+      sampled_rate += rate_[s];
+      const double wq = rate_[s] / static_cast<double>(opt_.classes_per_source);
+      // Deterministic per-source class stream, independent of the
+      // content-realization seed.
+      Rng cls_rng(opt_.sample_seed ^
+                  (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(s + 1)));
+      for (std::size_t j = 0; j < opt_.classes_per_source; ++j) {
+        const auto c =
+            static_cast<std::uint32_t>(qm_.SampleQueryClass(cls_rng));
+        // Common random numbers: the routed strategy and the plain
+        // flood baseline replay the identical (source, class) pair.
+        switch (opt_.strategy) {
+          case RoutedModelStrategy::kRoutedFlood:
+            EvalFloodPair(s, c, /*pruned=*/true, /*satisfaction=*/0, wq,
+                          routed);
+            break;
+          case RoutedModelStrategy::kExpandingRing:
+            EvalFloodPair(s, c, /*pruned=*/true, opt_.ring_satisfaction_results,
+                          wq, routed);
+            break;
+          case RoutedModelStrategy::kWalker:
+            EvalWalkerPair(s, c, wq, routed);
+            break;
+        }
+        EvalFloodPair(s, c, /*pruned=*/false, /*satisfaction=*/0, wq, flood);
+      }
+    }
+
+    double total_rate = 0.0;
+    for (std::size_t s = 0; s < n_; ++s) total_rate += rate_[s];
+    const double scale = sampled_rate > 0.0 ? total_rate / sampled_rate : 0.0;
+
+    report.routed = Convert(routed, scale, sampled_rate);
+    report.flood = Convert(flood, scale, sampled_rate);
+    report.digest_plane = DigestPlane();
+    report.recall_vs_flood =
+        report.flood.mean_results > 0.0
+            ? report.routed.mean_results / report.flood.mean_results
+            : 1.0;
+    report.sampled_sources = sources.size();
+    report.sampled_pairs = sources.size() * opt_.classes_per_source;
+    return report;
+  }
+
+ private:
+  static constexpr std::uint16_t kUnreached = 0xFFFF;
+
+  double SendRespUnits(double addrs, double results) const {
+    return costs_.SendResponseUnits(addrs, results);
+  }
+  double RecvRespUnits(double addrs, double results) const {
+    return costs_.RecvResponseUnits(addrs, results);
+  }
+
+  /// Expected distinct members of `cluster` holding >= 1 file matching
+  /// class `c` — the model-side counterpart of the simulator's
+  /// SampleAddrs (floored at 1: results imply at least one owner).
+  double ExpectedAddrs(std::size_t cluster, std::uint32_t c) const {
+    const double f = qm_.SelectionPower(c);
+    double sum = 0.0;
+    for (const std::uint32_t x : inst_.ClientFiles(cluster)) {
+      if (x == 0) continue;
+      sum += 1.0 - std::pow(1.0 - f, static_cast<double>(x));
+    }
+    const auto k = static_cast<std::size_t>(inst_.redundancy_k);
+    for (std::size_t p = 0; p < k; ++p) {
+      const std::uint32_t x = inst_.partner_files[cluster * k + p];
+      if (x == 0) continue;
+      sum += 1.0 - std::pow(1.0 - f, static_cast<double>(x));
+    }
+    return std::max(1.0, sum);
+  }
+
+  std::uint32_t Matches(std::size_t cluster, std::uint32_t c) const {
+    return RoutedMatchCount(qm_, inst_.indexed_files[cluster], opt_.seed,
+                            static_cast<std::uint32_t>(cluster), c);
+  }
+
+  /// Builds the reach list of one (source, class) flood under the
+  /// simulator's forwarding rules: a node at depth d forwards while
+  /// d < ttl to every eligible neighbor except the one it was
+  /// discovered from; every transmission is received (duplicates are
+  /// received-then-dropped). Pruning follows the shared RoutingTable.
+  void BuildReach(std::size_t s, std::uint32_t c, bool pruned,
+                  std::vector<ReachedNode>& reach) {
+    reach.clear();
+    const int ttl = config_.ttl;
+    ReachedNode src;
+    src.cluster = static_cast<std::uint32_t>(s);
+    src.matches = Matches(s, c);
+    reach.push_back(src);
+
+    if (inst_.topology.is_complete()) {
+      // Depth 1: every eligible destination. With ttl >= 2 each of them
+      // re-forwards to the eligible set minus itself and the source
+      // arrival edge — all duplicates, since the whole eligible set is
+      // already reached at depth 1. (Pruned: v is itself eligible and
+      // the source may or may not be, but the arrival-edge exclusion
+      // makes tx = |eligible destinations| - 1 either way.)
+      for (std::size_t w = 0; w < n_; ++w) {
+        if (w == s) continue;
+        if (pruned && !table_.DestMayLead(static_cast<std::uint32_t>(w), c)) {
+          continue;
+        }
+        ReachedNode node;
+        node.cluster = static_cast<std::uint32_t>(w);
+        node.depth = 1;
+        node.parent_idx = 0;
+        node.matches = Matches(w, c);
+        reach.push_back(node);
+      }
+      const auto eligible = static_cast<std::uint32_t>(reach.size() - 1);
+      reach[0].tx = eligible;
+      for (std::size_t i = 1; i < reach.size(); ++i) {
+        reach[0].tx_units +=
+            sendq_ + mux_[s] + recvq_ + mux_[reach[i].cluster];
+      }
+      if (ttl >= 2 && eligible >= 1) {
+        for (std::size_t i = 1; i < reach.size(); ++i) {
+          ReachedNode& node = reach[i];
+          double recv_mux_sum = 0.0;
+          if (pruned) {
+            node.tx = eligible - 1;
+            for (std::size_t t = 1; t < reach.size(); ++t) {
+              if (t == i) continue;
+              recv_mux_sum += recvq_ + mux_[reach[t].cluster];
+            }
+          } else {
+            node.tx = static_cast<std::uint32_t>(n_) - 2;
+            for (std::size_t w = 0; w < n_; ++w) {
+              if (w == s || w == node.cluster) continue;
+              recv_mux_sum += recvq_ + mux_[w];
+            }
+          }
+          node.tx_units =
+              static_cast<double>(node.tx) * (sendq_ + mux_[node.cluster]) +
+              recv_mux_sum;
+        }
+      }
+      return;
+    }
+
+    const Graph& graph = inst_.topology.graph();
+    depth_[s] = 0;
+    std::size_t frontier_begin = 0;
+    for (int d = 0; d < ttl; ++d) {
+      const std::size_t frontier_end = reach.size();
+      if (frontier_begin == frontier_end) break;
+      for (std::size_t i = frontier_begin; i < frontier_end; ++i) {
+        const std::uint32_t u = reach[i].cluster;
+        const std::uint32_t parent_cluster = reach[reach[i].parent_idx].cluster;
+        const auto nbrs = graph.Neighbors(static_cast<NodeId>(u));
+        for (std::size_t e = 0; e < nbrs.size(); ++e) {
+          if (pruned && !table_.EdgeMayLead(u, e, c)) continue;
+          const std::uint32_t w = nbrs[e];
+          if (i != 0 && w == parent_cluster) continue;  // Arrival edge.
+          ++reach[i].tx;
+          reach[i].tx_units += sendq_ + mux_[u] + recvq_ + mux_[w];
+          if (depth_[w] == kUnreached) {
+            depth_[w] = static_cast<std::uint16_t>(d + 1);
+            ReachedNode node;
+            node.cluster = w;
+            node.depth = static_cast<std::uint16_t>(d + 1);
+            node.parent_idx = static_cast<std::uint32_t>(i);
+            node.matches = Matches(w, c);
+            reach.push_back(node);
+          }
+        }
+      }
+      frontier_begin = frontier_end;
+    }
+    for (const ReachedNode& node : reach) depth_[node.cluster] = kUnreached;
+  }
+
+  /// Replays one (source, class) pair as a flood — or, when
+  /// `satisfaction` > 0, as the expanding ring's iterative-deepening
+  /// stages tau = 1..ttl, each a fresh flood that stops once the stage
+  /// delivers `satisfaction` results (the simulator's OnRingCheck).
+  void EvalFloodPair(std::size_t s, std::uint32_t c, bool pruned,
+                     std::uint32_t satisfaction, double wq, PlaneAccum& acc) {
+    BuildReach(s, c, pruned, reach_scratch_);
+    const std::vector<ReachedNode>& reach = reach_scratch_;
+    const double cf = client_frac_[s];
+    const int ttl = config_.ttl;
+
+    // The source's own response is assembled locally (no overlay hops)
+    // and forwarded to a querying client like any other.
+    double own_bytes = 0.0, own_fwd_send = 0.0, own_fwd_recv = 0.0;
+    double own_results = 0.0;
+    if (reach[0].matches >= 1) {
+      const auto m = static_cast<double>(reach[0].matches);
+      const double a = ExpectedAddrs(s, c);
+      own_bytes = costs_.ResponseBytes(a, m);
+      own_fwd_send = SendRespUnits(a, m) + mux_[s];
+      own_fwd_recv = RecvRespUnits(a, m) + client_mux_;
+      own_results = m;
+    }
+    responders_scratch_.clear();
+    for (std::size_t i = 1; i < reach.size(); ++i) {
+      if (reach[i].matches == 0) continue;
+      const auto m = static_cast<double>(reach[i].matches);
+      const double a = ExpectedAddrs(reach[i].cluster, c);
+      Responder r;
+      r.depth = reach[i].depth;
+      r.bytes = costs_.ResponseBytes(a, m);
+      r.results = m;
+      r.addrs = a;
+      r.fwd_send_units = SendRespUnits(a, m) + mux_[s];
+      r.fwd_recv_units = RecvRespUnits(a, m) + client_mux_;
+      for (std::size_t v = i; v != 0; v = reach[v].parent_idx) {
+        const std::uint32_t sender = reach[v].cluster;
+        const std::uint32_t receiver = reach[reach[v].parent_idx].cluster;
+        r.path_units += SendRespUnits(a, m) + mux_[sender];
+        r.path_units += RecvRespUnits(a, m) + mux_[receiver];
+      }
+      responders_scratch_.push_back(r);
+    }
+
+    const int first_stage = satisfaction > 0 ? 1 : ttl;
+    for (int stage = first_stage; stage <= ttl; ++stage) {
+      const auto stage16 = static_cast<std::uint16_t>(stage);
+      // Submission hop (client-originated share; every ring stage
+      // resubmits).
+      acc.out_bytes += wq * cf * qbytes_;
+      acc.units += wq * cf * (sendq_ + client_mux_);
+      acc.in_bytes += wq * cf * qbytes_;
+      acc.units += wq * cf * (recvq_ + mux_[s]);
+      // Query transmissions (nodes forwarding at this stage) and
+      // processing (nodes reached by this stage).
+      double stage_sends = 0.0;
+      double stage_reach = 0.0;
+      for (const ReachedNode& node : reach) {
+        if (node.depth > stage16) continue;
+        stage_reach += 1.0;
+        acc.units +=
+            wq * costs_.ProcessQueryUnits(static_cast<double>(node.matches));
+        if (node.depth < stage16) {
+          stage_sends += static_cast<double>(node.tx);
+          acc.out_bytes += wq * static_cast<double>(node.tx) * qbytes_;
+          acc.in_bytes += wq * static_cast<double>(node.tx) * qbytes_;
+          acc.units += wq * node.tx_units;
+        }
+      }
+      // Responses back up the arrival path, then forwarded to a
+      // querying client (client share only; a partner-originated query
+      // consumes results locally).
+      double stage_results = own_results;
+      double fwd_bytes = own_bytes;
+      double fwd_units = cf > 0.0 ? own_fwd_send + own_fwd_recv : 0.0;
+      for (const Responder& r : responders_scratch_) {
+        if (r.depth > stage16) continue;
+        const auto hops = static_cast<double>(r.depth);
+        acc.out_bytes += wq * hops * r.bytes;
+        acc.in_bytes += wq * hops * r.bytes;
+        acc.units += wq * r.path_units;
+        stage_results += r.results;
+        fwd_bytes += r.bytes;
+        fwd_units += r.fwd_send_units + r.fwd_recv_units;
+      }
+      acc.out_bytes += wq * cf * fwd_bytes;
+      acc.in_bytes += wq * cf * fwd_bytes;
+      acc.units += wq * cf * fwd_units;
+      acc.sends += wq * stage_sends;
+
+      const bool last_stage =
+          satisfaction == 0 ||
+          stage_results >= static_cast<double>(satisfaction) || stage == ttl;
+      if (last_stage) {
+        // The expanding ring reports the final stage's results and
+        // radius (FinishRingQuery); a plain flood is its own stage.
+        acc.reach += wq * stage_reach;
+        acc.results += wq * stage_results;
+        acc.rings += wq * static_cast<double>(stage);
+        break;
+      }
+    }
+  }
+
+  /// Mean-field replay of one (source, class) pair under the
+  /// digest-biased k-walker on a complete topology: every hop lands
+  /// uniformly on the digest-positive set (uniform fallback over all
+  /// clusters when nothing advertises the class), so after
+  /// H = num_walkers * walk_ttl hops the expected fresh-visit
+  /// probability of a positive cluster is the occupancy
+  /// 1 - (1 - 1/|candidates|)^H.
+  void EvalWalkerPair(std::size_t s, std::uint32_t c, double wq,
+                      PlaneAccum& acc) {
+    SPPNET_CHECK_MSG(inst_.topology.is_complete(),
+                     "the walker model requires a complete topology");
+    const double cf = client_frac_[s];
+    positives_scratch_.clear();
+    bool source_positive = false;
+    for (std::size_t w = 0; w < n_; ++w) {
+      if (!table_.DestMayLead(static_cast<std::uint32_t>(w), c)) continue;
+      if (w == s) {
+        source_positive = true;
+        continue;
+      }
+      positives_scratch_.push_back(static_cast<std::uint32_t>(w));
+    }
+    const std::size_t m = positives_scratch_.size();
+    const std::size_t p = m + (source_positive ? 1 : 0);
+    const double hops = static_cast<double>(opt_.num_walkers) *
+                        static_cast<double>(opt_.walk_ttl);
+
+    // Submission hop (client share) and local processing at the source.
+    acc.out_bytes += wq * cf * qbytes_;
+    acc.units += wq * cf * (sendq_ + client_mux_);
+    acc.in_bytes += wq * cf * qbytes_;
+    acc.units += wq * cf * (recvq_ + mux_[s]);
+    const std::uint32_t source_matches = Matches(s, c);
+    acc.units +=
+        wq * costs_.ProcessQueryUnits(static_cast<double>(source_matches));
+    double reach = 1.0;
+    double results = 0.0;
+    double fwd_bytes = 0.0, fwd_units = 0.0;
+    if (source_matches >= 1) {
+      const auto mr = static_cast<double>(source_matches);
+      const double a = ExpectedAddrs(s, c);
+      results += mr;
+      fwd_bytes += costs_.ResponseBytes(a, mr);
+      fwd_units += SendRespUnits(a, mr) + mux_[s];
+      fwd_units += RecvRespUnits(a, mr) + client_mux_;
+    }
+
+    // Hop traffic: the walk wanders the positive set; sends and
+    // receives are attributed to the mean positive cluster.
+    double visit_mux = 0.0;
+    double denom;
+    if (m == 0) {
+      for (std::size_t w = 0; w < n_; ++w) {
+        if (w != s) visit_mux += mux_[w];
+      }
+      visit_mux /= static_cast<double>(n_ - 1);
+      denom = static_cast<double>(n_ - 1);
+    } else {
+      for (const std::uint32_t w : positives_scratch_) visit_mux += mux_[w];
+      visit_mux /= static_cast<double>(m);
+      denom = std::max(static_cast<double>(p) - 1.0, 1.0);
+    }
+    const double launches = static_cast<double>(opt_.num_walkers);
+    acc.out_bytes += wq * hops * qbytes_;
+    acc.in_bytes += wq * hops * qbytes_;
+    acc.units += wq * launches * (sendq_ + mux_[s]);
+    acc.units += wq * (hops - launches) * (sendq_ + visit_mux);
+    acc.units += wq * hops * (recvq_ + visit_mux);
+    acc.sends += wq * hops;
+
+    // Fresh visits (occupancy) -> processing, responses, results.
+    const double q_visit = 1.0 - std::pow(1.0 - 1.0 / denom, hops);
+    if (m == 0) {
+      reach += q_visit * static_cast<double>(n_ - 1);
+      acc.units += wq * q_visit * static_cast<double>(n_ - 1) *
+                   costs_.ProcessQueryUnits(0.0);
+    } else {
+      for (const std::uint32_t w : positives_scratch_) {
+        reach += q_visit;
+        const std::uint32_t mw = Matches(w, c);
+        acc.units +=
+            wq * q_visit * costs_.ProcessQueryUnits(static_cast<double>(mw));
+        if (mw == 0) continue;
+        const auto mr = static_cast<double>(mw);
+        const double a = ExpectedAddrs(w, c);
+        const double bytes = costs_.ResponseBytes(a, mr);
+        // Direct response to the source partner (one overlay hop).
+        acc.out_bytes += wq * q_visit * bytes;
+        acc.in_bytes += wq * q_visit * bytes;
+        acc.units += wq * q_visit * (SendRespUnits(a, mr) + mux_[w]);
+        acc.units += wq * q_visit * (RecvRespUnits(a, mr) + mux_[s]);
+        results += q_visit * mr;
+        fwd_bytes += q_visit * bytes;
+        fwd_units += q_visit * (SendRespUnits(a, mr) + mux_[s]);
+        fwd_units += q_visit * (RecvRespUnits(a, mr) + client_mux_);
+      }
+    }
+    // Forwarding every delivered response to a querying client.
+    acc.out_bytes += wq * cf * fwd_bytes;
+    acc.in_bytes += wq * cf * fwd_bytes;
+    acc.units += wq * cf * fwd_units;
+    acc.results += wq * results;
+    acc.reach += wq * reach;
+  }
+
+  /// Digest dissemination: one DigestAnnounce per directed overlay edge
+  /// per refresh round, priced like the simulator's OnDigestRefresh.
+  LoadVector DigestPlane() const {
+    const double rate = 1.0 / opt_.routing.refresh_interval_seconds;
+    const double bytes = costs_.DigestAnnounceBytes(
+        static_cast<double>(opt_.routing.DigestPayloadBytes()));
+    double total_bytes = 0.0;
+    double units = 0.0;
+    for (std::size_t u = 0; u < n_; ++u) {
+      const double deg =
+          inst_.topology.is_complete()
+              ? static_cast<double>(n_ - 1)
+              : static_cast<double>(
+                    inst_.topology.Degree(static_cast<NodeId>(u)));
+      total_bytes += deg * bytes;  // Outgoing; incoming mirrors it.
+      units += deg * (costs_.SendControlUnits() + mux_[u]);
+      units += deg * (costs_.RecvControlUnits() + mux_[u]);
+    }
+    LoadVector lv;
+    lv.out_bps = BytesPerSecToBps(total_bytes * rate);
+    lv.in_bps = BytesPerSecToBps(total_bytes * rate);
+    lv.proc_hz = costs_.UnitsToHz(units * rate);
+    return lv;
+  }
+
+  QueryPlaneEstimate Convert(const PlaneAccum& acc, double scale,
+                             double weight) const {
+    QueryPlaneEstimate est;
+    est.aggregate.in_bps = BytesPerSecToBps(acc.in_bytes * scale);
+    est.aggregate.out_bps = BytesPerSecToBps(acc.out_bytes * scale);
+    est.aggregate.proc_hz = costs_.UnitsToHz(acc.units * scale);
+    if (weight > 0.0) {
+      est.mean_results = acc.results / weight;
+      est.mean_reach = acc.reach / weight;
+      est.mean_sends = acc.sends / weight;
+      est.mean_rings = acc.rings / weight;
+    }
+    return est;
+  }
+
+  const NetworkInstance& inst_;
+  const Configuration& config_;
+  const CostTable& costs_;
+  const QueryModel& qm_;
+  const RoutingEvalOptions& opt_;
+  const std::size_t n_;
+  const RoutingTable table_;
+  const double qlen_;
+  const double qbytes_;
+  const double sendq_;
+  const double recvq_;
+  double client_mux_ = 0.0;
+  std::vector<double> mux_;          ///< Per-cluster multiplex units.
+  std::vector<double> client_frac_;  ///< Client share of a cluster's users.
+  std::vector<double> rate_;         ///< Queries per second per cluster.
+  // Reused per-pair scratch.
+  std::vector<std::uint16_t> depth_;
+  std::vector<ReachedNode> reach_scratch_;
+  std::vector<Responder> responders_scratch_;
+  std::vector<std::uint32_t> positives_scratch_;
+};
+
+}  // namespace
+
+RoutingModelReport EvaluateRoutedQueryPlane(const NetworkInstance& instance,
+                                            const Configuration& config,
+                                            const ModelInputs& inputs,
+                                            const RoutingEvalOptions& options) {
+  SPPNET_CHECK(instance.NumClusters() >= 2);
+  options.Validate();
+  RoutedPlaneEvaluator evaluator(instance, config, inputs, options);
+  return evaluator.Run();
+}
+
+}  // namespace sppnet

@@ -1,0 +1,109 @@
+#ifndef SPPNET_MODEL_ROUTING_H_
+#define SPPNET_MODEL_ROUTING_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sppnet/index/routing_index.h"
+#include "sppnet/model/config.h"
+#include "sppnet/model/instance.h"
+#include "sppnet/model/load.h"
+
+namespace sppnet {
+
+/// Search strategy evaluated by the routed query-plane model. Mirrors
+/// the simulator's routed strategies without depending on sim/ (the
+/// model and the simulator implement the protocol independently and are
+/// cross-validated, per DESIGN.md).
+enum class RoutedModelStrategy {
+  /// Content-pruned flood: the simulator's kRoutedFlood (equivalently
+  /// kFlood with routing.enabled).
+  kRoutedFlood,
+  /// Digest-biased k-walker (kWalker). Complete topologies only — the
+  /// mean-field occupancy argument below needs the all-pairs symmetry.
+  kWalker,
+  /// Routed iterative deepening: kExpandingRing with routing.enabled.
+  kExpandingRing,
+};
+
+struct RoutingEvalOptions {
+  RoutedModelStrategy strategy = RoutedModelStrategy::kRoutedFlood;
+  /// Digest geometry; must equal the simulator's SimOptions::routing
+  /// for the realized digest tables to coincide.
+  RoutingOptions routing;
+  /// Content-realization seed; must equal SimOptions::seed.
+  std::uint64_t seed = 0;
+
+  // --- kWalker ---
+  std::uint32_t num_walkers = 16;
+  std::uint32_t walk_ttl = 16;
+
+  // --- kExpandingRing ---
+  std::uint32_t ring_satisfaction_results = 1;
+
+  /// Estimator resolution: sources evaluated (evenly spaced when the
+  /// network is larger than max_sources) x query classes sampled per
+  /// source from the popularity distribution g.
+  std::size_t max_sources = 64;
+  std::size_t classes_per_source = 48;
+  /// Class-sampling stream seed; independent of `seed` so estimator
+  /// resolution can change without re-realizing content.
+  std::uint64_t sample_seed = 0x5351u;
+
+  void Validate() const;
+};
+
+/// Network-wide per-second query-plane load plus per-query statistics
+/// for one strategy.
+struct QueryPlaneEstimate {
+  /// Aggregate query-plane load over every node in the system (bps /
+  /// Hz), the routed analogue of the query share of InstanceLoads.
+  LoadVector aggregate;
+  double mean_results = 0.0;  ///< Results delivered per query.
+  double mean_reach = 0.0;    ///< Clusters processing each query.
+  double mean_sends = 0.0;    ///< Overlay query transmissions per query.
+  double mean_rings = 0.0;    ///< Final ring TTL (kExpandingRing only).
+};
+
+struct RoutingModelReport {
+  /// The routed strategy, and the plain-flood baseline evaluated over
+  /// the SAME sampled (source, class) pairs against the SAME realized
+  /// content — common random numbers, so `routed - flood` is a pure
+  /// strategy effect with the pair-sampling noise cancelled.
+  QueryPlaneEstimate routed;
+  QueryPlaneEstimate flood;
+  /// Digest-dissemination control plane: one DigestAnnounce per
+  /// directed overlay edge per refresh round, at 1/refresh_interval
+  /// rounds per second.
+  LoadVector digest_plane;
+  /// routed.mean_results / flood.mean_results (1 when flood finds 0).
+  double recall_vs_flood = 0.0;
+  std::size_t sampled_sources = 0;
+  std::size_t sampled_pairs = 0;
+
+  /// Full-system aggregate prediction for a routed simulation run:
+  /// the exact flood evaluator (joins, updates and the unpruned query
+  /// plane) corrected by the common-random-numbers strategy delta plus
+  /// the digest plane.
+  LoadVector ComposeAggregate(const LoadVector& flood_eval_aggregate) const {
+    return flood_eval_aggregate + routed.aggregate + digest_plane +
+           flood.aggregate * -1.0;
+  }
+};
+
+/// Deterministic Monte-Carlo evaluation of a content-aware routing
+/// strategy over the realized digest table of `instance`. Builds the
+/// same RoutingTable as the simulator (BuildRoutingTable is a pure
+/// function of instance + options + seed) and replays each sampled
+/// (source, class) pair through the same forwarding rules the simulator
+/// applies — pruned BFS for floods and rings, mean-field occupancy for
+/// walkers — scoring clusters with the shared persistent content
+/// realization (RoutedMatchCount).
+RoutingModelReport EvaluateRoutedQueryPlane(const NetworkInstance& instance,
+                                            const Configuration& config,
+                                            const ModelInputs& inputs,
+                                            const RoutingEvalOptions& options);
+
+}  // namespace sppnet
+
+#endif  // SPPNET_MODEL_ROUTING_H_

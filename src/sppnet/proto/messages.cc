@@ -389,6 +389,60 @@ std::size_t TtlUpdateMessage::WireSizeBytes() const {
   return kTransportOverheadBytes + kHeaderBytes + 2;
 }
 
+std::vector<std::uint8_t> DigestAnnounceMessage::Encode() const {
+  SPPNET_CHECK(digest.size() * 8 == digest_bits && digest_bits % 64 == 0 &&
+               digest_bits > 0);
+  ByteWriter w;
+  MessageHeader h = header;
+  h.type = MessageType::kDigestAnnounce;
+  h.payload_length = static_cast<std::uint16_t>(8 + digest.size());
+  h.Encode(w);
+  w.PutU32(cluster);
+  w.PutU16(digest_bits);
+  w.PutU8(num_hashes);
+  w.PutU8(radius);
+  w.PutBytes(digest);
+  return w.Take();
+}
+
+std::optional<DigestAnnounceMessage> DigestAnnounceMessage::Decode(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  DigestAnnounceMessage m;
+  const auto h = MessageHeader::Decode(r);
+  if (!h || h->type != MessageType::kDigestAnnounce) return std::nullopt;
+  // Strict framing: the header's payload length must match the
+  // buffer exactly, so truncation at a record boundary (or trailing
+  // padding) is rejected instead of decoding as a shorter message.
+  if (h->payload_length != r.remaining()) return std::nullopt;
+  m.header = *h;
+  const auto cluster = r.GetU32();
+  const auto bits = r.GetU16();
+  const auto hashes = r.GetU8();
+  const auto radius = r.GetU8();
+  if (!cluster || !bits || !hashes || !radius) return std::nullopt;
+  // The digest bitmap must match the declared width exactly, and the
+  // width must be a positive multiple of 64 bits.
+  if (*bits == 0 || *bits % 64 != 0 || r.remaining() != *bits / 8u) {
+    return std::nullopt;
+  }
+  m.cluster = *cluster;
+  m.digest_bits = *bits;
+  m.num_hashes = *hashes;
+  m.radius = *radius;
+  m.digest.reserve(r.remaining());
+  while (!r.AtEnd()) {
+    const auto b = r.GetU8();
+    if (!b.has_value()) return std::nullopt;
+    m.digest.push_back(*b);
+  }
+  return m;
+}
+
+std::size_t DigestAnnounceMessage::WireSizeBytes() const {
+  return kTransportOverheadBytes + kHeaderBytes + 8 + digest.size();
+}
+
 Guid GuidFromSeed(std::uint64_t seed) {
   Guid g{};
   for (std::size_t i = 0; i < g.size(); ++i) {

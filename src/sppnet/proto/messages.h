@@ -38,6 +38,8 @@ enum class MessageType : std::uint8_t {
   kLoadProbe = 0xA0,
   kLoadReport = 0xA1,
   kTtlUpdate = 0xA2,
+  // Routing-index dissemination (content-aware query routing).
+  kDigestAnnounce = 0xA3,
 };
 
 using Guid = std::array<std::uint8_t, 16>;
@@ -191,6 +193,27 @@ struct TtlUpdateMessage {
 
   std::vector<std::uint8_t> Encode() const;
   static std::optional<TtlUpdateMessage> Decode(
+      std::span<const std::uint8_t> bytes);
+
+  std::size_t WireSizeBytes() const;
+};
+
+/// Digest announce: a super-peer ships the Bloom routing digest for one
+/// of its edges to the neighbor on that edge (index/routing_index.h).
+/// Header + announcer cluster id (u32) + digest width in bits (u16) +
+/// hash count (u8) + content radius (u8) + the raw digest bitmap
+/// (digest_bits / 8 bytes, must be a positive multiple of 8 bytes).
+/// Wire size = 87 + digest bytes.
+struct DigestAnnounceMessage {
+  MessageHeader header;
+  std::uint32_t cluster = 0;      ///< The announcing cluster id.
+  std::uint16_t digest_bits = 0;  ///< Bloom width (multiple of 64).
+  std::uint8_t num_hashes = 0;    ///< Bloom hash functions.
+  std::uint8_t radius = 0;        ///< Content horizon in hops.
+  std::vector<std::uint8_t> digest;  ///< digest_bits / 8 bytes.
+
+  std::vector<std::uint8_t> Encode() const;
+  static std::optional<DigestAnnounceMessage> Decode(
       std::span<const std::uint8_t> bytes);
 
   std::size_t WireSizeBytes() const;

@@ -66,6 +66,9 @@ enum : std::uint32_t {
   kRejoinRequest,       // Control-time client rejoin: a data-phase
                         // submission found its cluster dark and defers
                         // the membership mutation to the barrier.
+  kDigestRefresh,       // Periodic routing-digest re-announcement round
+                        // (content-aware routing; legacy engine only —
+                        // Validate() rejects routing + sharding).
 };
 
 // Wire message classes for the observability counters. Every
@@ -79,18 +82,31 @@ enum class Msg : std::size_t {
   kProbe,    // Adaptation: LoadProbe control message.
   kReport,   // Adaptation: LoadReport control message.
   kControl,  // Adaptation: TtlUpdate control message.
+  kDigest,   // Routing: DigestAnnounce control message.
 };
 /// Message classes of the base protocol; their counters are always
-/// published. The adaptation classes above are published only for
-/// active plans, keeping the inactive registry surface unchanged.
+/// published. The adaptation and routing classes above are published
+/// only for active plans, keeping the inactive registry surface
+/// unchanged.
 inline constexpr std::size_t kNumBaseMsgTypes = 4;
-inline constexpr std::size_t kNumMsgTypes = 7;
+inline constexpr std::size_t kNumAdaptMsgTypes = 7;
+inline constexpr std::size_t kNumMsgTypes = 8;
 inline constexpr const char* kMsgNames[kNumMsgTypes] = {
-    "query", "response", "join", "update", "probe", "report", "control"};
+    "query",  "response", "join",    "update",
+    "probe",  "report",   "control", "digest"};
 
 // Sentinel "upstream" marking a query submitted by the super-peer's own
 // user: results are consumed locally and no submission hop exists.
 constexpr std::uint32_t kSelfUpstream = 0xffffffffu;
+
+// The routing-index layer is active when a routed strategy demands it
+// or when the options enable it explicitly (digest pruning on top of
+// flood / expanding-ring refinement).
+bool RoutingActive(const SimOptions& options) {
+  return options.routing.enabled ||
+         options.strategy == SearchStrategy::kRoutedFlood ||
+         options.strategy == SearchStrategy::kWalker;
+}
 
 // Query payload packing: b = upstream(32) | class(24) | ttl(8).
 std::uint64_t PackQuery(std::uint32_t upstream, std::uint32_t query_class,
@@ -207,7 +223,8 @@ class Simulator::Impl {
         fault_active_(options.faults.Active()),
         recovery_enabled_(fault_active_ && options.faults.TimeoutsEnabled()),
         adaptive_(options.adaptive.Active()),
-        ttl_(config.ttl) {
+        ttl_(config.ttl),
+        routing_active_(RoutingActive(options)) {
     options_.Validate();
     const auto init_start = std::chrono::steady_clock::now();
     qbytes_ = inputs.costs.QueryBytes(inputs.stats.query_length_bytes);
@@ -299,6 +316,20 @@ class Simulator::Impl {
       recv_ctl_ = inputs.costs.RecvControlUnits();
     }
 
+    if (routing_active_) {
+      // The realized digest table is a pure function of (instance,
+      // seed, routing options): the restoring constructor rebuilds it
+      // identically, so it never enters a checkpoint, and the
+      // analytical routing model builds the same table.
+      routing_ = std::make_unique<RoutingTable>(BuildRoutingTable(
+          inst_.topology, inst_.indexed_files, inputs_.query_model,
+          options_.routing, options_.seed));
+      digest_bytes_ = inputs.costs.DigestAnnounceBytes(
+          static_cast<double>(options_.routing.DigestPayloadBytes()));
+      send_ctl_ = inputs.costs.SendControlUnits();
+      recv_ctl_ = inputs.costs.RecvControlUnits();
+    }
+
     if (options_.concrete_index) InitConcreteIndexes();
     init_seconds_ = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - init_start)
@@ -369,6 +400,12 @@ class Simulator::Impl {
       window_start_ = 0.0;
       ScheduleIn(options_.adaptive.probe_interval_seconds, kAdaptProbeTick, 0);
       ScheduleIn(options_.adaptive.decision_interval_seconds, kAdaptRound, 0);
+    }
+    if (routing_active_) {
+      // The initial dissemination ships with construction (before the
+      // clock starts); the first re-announcement round fires one
+      // refresh interval in.
+      ScheduleIn(options_.routing.refresh_interval_seconds, kDigestRefresh, 0);
     }
   }
 
@@ -606,6 +643,15 @@ class Simulator::Impl {
       w.PutBool(adapt_converged_);
       w.PutU64(adapt_converged_round_);
     }
+    // Routing layer. The digest table is rebuilt identically at
+    // construction (a pure function of instance + seed + options), so
+    // only the tallies are run state.
+    w.PutBool(routing_active_);
+    if (routing_active_) {
+      w.PutU64(routing_digest_refreshes_);
+      w.PutU64(routing_suppressed_forwards_);
+      w.PutU64(routing_biased_hops_);
+    }
   }
 
   /// Counterpart of SaveState on a freshly constructed simulator with
@@ -644,8 +690,12 @@ class Simulator::Impl {
     if (!r.ok()) return false;
     // Validate before handing to the queue: RestorePending aborts on
     // violated invariants, but a foreign payload should fail cleanly.
+    // Legacy runs schedule the pre-sharding kinds plus kDigestRefresh
+    // (routing is confined to the legacy engine); the sharded-only
+    // cluster kinds in between stay rejected.
     for (const SimEvent& e : events) {
-      if (!std::isfinite(e.time) || e.kind > kTraceQuerySubmit ||
+      if (!std::isfinite(e.time) ||
+          (e.kind > kTraceQuerySubmit && e.kind != kDigestRefresh) ||
           e.seq >= next_seq) {
         return false;
       }
@@ -723,6 +773,12 @@ class Simulator::Impl {
       adapt_converged_ = r.GetBool();
       adapt_converged_round_ = r.GetU64();
     }
+    const bool saved_routing = r.GetBool();
+    if (routing_active_) {
+      routing_digest_refreshes_ = r.GetU64();
+      routing_suppressed_forwards_ = r.GetU64();
+      routing_biased_hops_ = r.GetU64();
+    }
     lane().measuring = lane().now >= options_.warmup_seconds;
     // A checkpoint from a scenario with a different fault/adaptation
     // layer, or vectors inconsistent with the reconstructed layout,
@@ -730,6 +786,7 @@ class Simulator::Impl {
     const std::size_t total = num_partners_ + num_clients_;
     bool consistent = saved_fault_active == fault_active_ &&
                       saved_adaptive == adaptive_ &&
+                      saved_routing == routing_active_ &&
                       std::isfinite(lane().now) && lane().now >= 0.0 && ttl_ >= 0 &&
                       in_bytes_.size() == total &&
                       out_bytes_.size() == total && units_.size() == total &&
@@ -1123,6 +1180,9 @@ class Simulator::Impl {
       case kRejoinRequest:
         OnRejoinRequest(e.node);
         break;
+      case kDigestRefresh:
+        OnDigestRefresh();
+        break;
       default:
         SPPNET_CHECK_MSG(false, "unknown event kind");
     }
@@ -1153,7 +1213,11 @@ class Simulator::Impl {
     }
 
     switch (options_.strategy) {
-      case SearchStrategy::kFlood: {
+      // Routed flood shares the flood submission path: the digest
+      // pruning lives entirely in the forward loop (OnQueryArrive),
+      // and Validate() rejects the result cache for routed runs.
+      case SearchStrategy::kFlood:
+      case SearchStrategy::kRoutedFlood: {
         const std::uint64_t qid = MakeQid(user);
         if (options_.result_cache_ttl_seconds > 0.0) {
           if (TryAnswerFromCache(user, qid, query_class)) {
@@ -1183,7 +1247,10 @@ class Simulator::Impl {
         ScheduleRingCheck(qid, 1, user);
         break;
       }
-      case SearchStrategy::kRandomWalk: {
+      // The digest-biased walker shares the walk submission path: the
+      // bias lives entirely in the next-hop choice (NextWalkPartner).
+      case SearchStrategy::kRandomWalk:
+      case SearchStrategy::kWalker: {
         const std::uint64_t qid = MakeQid(user);
         if (!LaunchWalks(user, qid, query_class)) return;
         RecordSubmission(qid, user, query_class, 0);
@@ -1430,7 +1497,7 @@ class Simulator::Impl {
     }
     // Launch the walkers from the source partner.
     for (std::uint32_t w = 0; w < options_.num_walkers; ++w) {
-      const std::uint32_t target = RandomNeighborPartner(cluster);
+      const std::uint32_t target = NextWalkPartner(cluster, query_class);
       if (target == kSelfUpstream) break;
       AcctSend(source_partner, Msg::kQuery, qbytes_,
                sendq_ + MuxOf(source_partner));
@@ -1533,11 +1600,46 @@ class Simulator::Impl {
               PackQuery(source_partner, query_class, ttl - 1));
       return;
     }
-    const std::uint32_t next = RandomNeighborPartner(cluster);
+    const std::uint32_t next = NextWalkPartner(cluster, query_class);
     if (next == kSelfUpstream) return;
     AcctSend(partner, Msg::kQuery, qbytes_, sendq_ + MuxOf(partner));
     Deliver(options_.hop_latency_seconds, kWalkArrive, next, qid,
             PackQuery(source_partner, query_class, ttl - 1));
+  }
+
+  /// Next-hop partner for a walk leaving `cluster`: uniform over the
+  /// neighbors (kRandomWalk), or — under kWalker — uniform over the
+  /// digest-positive neighbors, falling back to the uniform choice when
+  /// no neighbor's digest reports the class (the walk keeps exploring
+  /// rather than dying on a content-free horizon).
+  std::uint32_t NextWalkPartner(std::size_t cluster,
+                                std::uint32_t query_class) {
+    if (options_.strategy != SearchStrategy::kWalker) {
+      return RandomNeighborPartner(cluster);
+    }
+    walk_scratch_.clear();
+    if (inst_.topology.is_complete()) {
+      for (std::size_t w = 0; w < n_; ++w) {
+        if (w != cluster && routing_->DestMayLead(
+                                static_cast<std::uint32_t>(w), query_class)) {
+          walk_scratch_.push_back(static_cast<std::uint32_t>(w));
+        }
+      }
+    } else {
+      const auto nbrs =
+          inst_.topology.graph().Neighbors(static_cast<NodeId>(cluster));
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (routing_->EdgeMayLead(static_cast<std::uint32_t>(cluster), i,
+                                  query_class)) {
+          walk_scratch_.push_back(nbrs[i]);
+        }
+      }
+    }
+    if (walk_scratch_.empty()) return RandomNeighborPartner(cluster);
+    if (lane().measuring) ++routing_biased_hops_;
+    const std::uint32_t next = walk_scratch_[ProtoRng().NextBounded(
+        walk_scratch_.size())];
+    return PickPartner(next);
   }
 
   void OnQueryArrive(std::uint32_t partner, std::uint64_t qid,
@@ -1598,12 +1700,33 @@ class Simulator::Impl {
       }
     } else if (inst_.topology.is_complete()) {
       for (std::size_t w = 0; w < n_; ++w) {
-        if (w != cluster) forward(w);
+        if (w == cluster) continue;
+        // Content-aware pruning: skip edges whose digest reports the
+        // class unreachable. The suppressed tally excludes the arrival
+        // edge — flood would not have forwarded there either.
+        if (routing_active_ &&
+            !routing_->DestMayLead(static_cast<std::uint32_t>(w),
+                                   query_class)) {
+          if (w != exclude && lane().measuring) {
+            ++routing_suppressed_forwards_;
+          }
+          continue;
+        }
+        forward(w);
       }
     } else {
-      for (const NodeId w :
-           inst_.topology.graph().Neighbors(static_cast<NodeId>(cluster))) {
-        forward(w);
+      const auto nbrs =
+          inst_.topology.graph().Neighbors(static_cast<NodeId>(cluster));
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (routing_active_ &&
+            !routing_->EdgeMayLead(static_cast<std::uint32_t>(cluster), i,
+                                   query_class)) {
+          if (nbrs[i] != exclude && lane().measuring) {
+            ++routing_suppressed_forwards_;
+          }
+          continue;
+        }
+        forward(nbrs[i]);
       }
     }
   }
@@ -1664,9 +1787,64 @@ class Simulator::Impl {
     const double f = inputs_.query_model.SelectionPower(query_class);
     const double indexed = adaptive_ ? adaptive_ctrl_->FilesSum(cluster)
                                      : inst_.indexed_files[cluster];
-    const std::uint32_t results = SampleBinomialApprox(indexed, f, ProtoRng());
+    // Routed runs match against the persistent content realization —
+    // the same pure function the digests were built from — so a pruned
+    // edge provably led to zero results (modulo the digest's radius
+    // horizon and Bloom false positives). Non-routed runs keep the
+    // per-query resampling semantics.
+    const std::uint32_t results =
+        routing_active_
+            ? RoutedMatchCount(inputs_.query_model, indexed, options_.seed,
+                               static_cast<std::uint32_t>(cluster),
+                               query_class)
+            : SampleBinomialApprox(indexed, f, ProtoRng());
     if (results == 0) return {0, 0};
     return {results, SampleAddrs(cluster, f)};
+  }
+
+  // --- Content-aware routing (index/routing_index.h) -------------------------
+
+  /// First live partner slot of `cluster`, without touching the
+  /// round-robin cursor (digest announcements must not perturb query
+  /// routing); kSelfUpstream when the cluster is dark.
+  std::uint32_t FirstLivePartner(std::size_t cluster) const {
+    for (std::size_t slot = 0; slot < k_; ++slot) {
+      const auto node = static_cast<std::uint32_t>(cluster * k_ + slot);
+      if (partner_alive_[node]) return node;
+    }
+    return kSelfUpstream;
+  }
+
+  /// Periodic digest re-announcement round: every super-peer re-sends
+  /// its current digest to each overlay neighbor. The realized table is
+  /// static (the content realization does not drift), so the round is
+  /// pure control-plane cost — one DigestAnnounce per directed edge,
+  /// priced through CostTable::DigestAnnounceBytes like the adaptation
+  /// control messages.
+  void OnDigestRefresh() {
+    ScheduleIn(options_.routing.refresh_interval_seconds, kDigestRefresh, 0);
+    if (lane().measuring) ++routing_digest_refreshes_;
+    const auto announce = [&](std::size_t u, std::size_t w) {
+      const std::uint32_t from = FirstLivePartner(u);
+      const std::uint32_t to = FirstLivePartner(w);
+      if (from == kSelfUpstream || to == kSelfUpstream) return;
+      AcctSend(from, Msg::kDigest, digest_bytes_, send_ctl_ + MuxOf(from));
+      AcctRecv(to, Msg::kDigest, digest_bytes_, recv_ctl_ + MuxOf(to));
+    };
+    if (inst_.topology.is_complete()) {
+      for (std::size_t u = 0; u < n_; ++u) {
+        for (std::size_t w = 0; w < n_; ++w) {
+          if (w != u) announce(u, w);
+        }
+      }
+      return;
+    }
+    for (std::size_t u = 0; u < n_; ++u) {
+      for (const NodeId w :
+           inst_.topology.graph().Neighbors(static_cast<NodeId>(u))) {
+        announce(u, w);
+      }
+    }
   }
 
   /// Expected-value-faithful sampling of the number of distinct cluster
@@ -2569,6 +2747,11 @@ class Simulator::Impl {
       report.final_ttl = config_.ttl;
       report.final_avg_outdegree = StaticAvgOutdegree();
     }
+    report.routing_digest_refreshes = routing_digest_refreshes_;
+    report.routing_digest_announces =
+        agg.msg_sent[static_cast<std::size_t>(Msg::kDigest)];
+    report.routing_suppressed_forwards = routing_suppressed_forwards_;
+    report.routing_biased_hops = routing_biased_hops_;
     if (options_.metrics != nullptr) PublishMetrics(*options_.metrics);
     return report;
   }
@@ -2591,12 +2774,19 @@ class Simulator::Impl {
   void PublishMetrics(MetricsRegistry& m) const {
     const Lane agg = FoldedLanes();
     // The adaptation message classes (probe/report/control) exist in
-    // the registry only for active plans.
-    const std::size_t published = adaptive_ ? kNumMsgTypes : kNumBaseMsgTypes;
+    // the registry only for active plans, and the routing class
+    // (digest) only for active routing layers.
+    const std::size_t published =
+        adaptive_ ? kNumAdaptMsgTypes : kNumBaseMsgTypes;
     for (std::size_t t = 0; t < published; ++t) {
       const std::string type = kMsgNames[t];
       m.GetCounter("sim.msg." + type + ".sent").Increment(agg.msg_sent[t]);
       m.GetCounter("sim.msg." + type + ".received").Increment(agg.msg_recv[t]);
+    }
+    if (routing_active_) {
+      const auto t = static_cast<std::size_t>(Msg::kDigest);
+      m.GetCounter("sim.msg.digest.sent").Increment(agg.msg_sent[t]);
+      m.GetCounter("sim.msg.digest.received").Increment(agg.msg_recv[t]);
     }
     m.GetCounter("sim.queries.submitted").Increment(agg.queries_submitted);
     m.GetCounter("sim.queries.duplicate").Increment(agg.duplicate_queries);
@@ -2671,6 +2861,21 @@ class Simulator::Impl {
       m.GetGauge("sim.adaptive.final_clusters")
           .SetMax(static_cast<double>(adaptive_ctrl_->LiveClusters()));
       m.GetGauge("sim.adaptive.final_ttl").SetMax(static_cast<double>(ttl_));
+    }
+    // Routing instruments, reconciled 1:1 with the SimReport routing_*
+    // fields; like the fault and adaptation layers they exist only for
+    // active routing layers.
+    if (routing_active_) {
+      m.GetCounter("sim.routing.digest_refreshes")
+          .Increment(routing_digest_refreshes_);
+      m.GetCounter("sim.routing.suppressed_forwards")
+          .Increment(routing_suppressed_forwards_);
+      m.GetCounter("sim.routing.biased_hops").Increment(routing_biased_hops_);
+      m.GetGauge("sim.routing.digests")
+          .SetMax(static_cast<double>(routing_->NumDigests()));
+      m.GetGauge("sim.routing.mean_fill").Set(routing_->MeanFillFraction());
+      m.GetGauge("sim.routing.est_fp_rate")
+          .Set(routing_->MeanFalsePositiveRate());
     }
     // Sharded-discipline instruments (DESIGN.md §12). The configuration
     // gauges describe the chosen shard map — the one deliberately
@@ -2891,6 +3096,20 @@ class Simulator::Impl {
   std::uint64_t adapt_client_moves_ = 0;
   bool adapt_converged_ = false;
   std::uint64_t adapt_converged_round_ = 0;
+
+  // Content-aware routing state (index/routing_index.h). Consulted
+  // only when routing_active_ (the same pay-for-what-you-use
+  // determinism contract as the fault and adaptation blocks).
+  // Validate() confines the layer to the legacy engine, so every tally
+  // below is single-threaded.
+  const bool routing_active_;
+  std::unique_ptr<RoutingTable> routing_;
+  double digest_bytes_ = 0.0;  ///< Wire bytes of one DigestAnnounce.
+  std::uint64_t routing_digest_refreshes_ = 0;
+  std::uint64_t routing_suppressed_forwards_ = 0;
+  std::uint64_t routing_biased_hops_ = 0;
+  /// Scratch for the kWalker digest-positive neighbor subset.
+  std::vector<std::uint32_t> walk_scratch_;
 
   // Sharded-discipline state (DESIGN.md §12). Consulted only when
   // disc_; a legacy run never reads past this comment.
@@ -3505,6 +3724,27 @@ void SimOptions::Validate() const {
                      "in-sim adaptation requires abstract indexes");
     SPPNET_CHECK_MSG(result_cache_ttl_seconds == 0.0,
                      "in-sim adaptation requires the result cache disabled");
+  }
+  if (RoutingActive(*this)) {
+    routing.Validate();
+    // The digest table describes the static instance overlay and
+    // realizes the probabilistic content model; features that mutate
+    // either (adaptation, concrete indexes) or replay results outside
+    // MatchQuery (the result cache) are incompatible, and the layer's
+    // tallies are single-threaded (legacy engine only).
+    SPPNET_CHECK_MSG(!shards.Enabled(),
+                     "content-aware routing requires the legacy engine "
+                     "(no in-trial sharding)");
+    SPPNET_CHECK_MSG(!adaptive.Active(),
+                     "content-aware routing is incompatible with in-sim "
+                     "adaptation");
+    SPPNET_CHECK_MSG(!concrete_index,
+                     "content-aware routing requires abstract indexes");
+    SPPNET_CHECK_MSG(result_cache_ttl_seconds == 0.0,
+                     "content-aware routing requires the result cache "
+                     "disabled");
+    SPPNET_CHECK_MSG(strategy != SearchStrategy::kRandomWalk,
+                     "routing with random walks: use kWalker");
   }
 }
 

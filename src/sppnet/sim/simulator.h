@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sppnet/index/routing_index.h"
 #include "sppnet/io/checkpoint.h"
 #include "sppnet/model/config.h"
 #include "sppnet/model/instance.h"
@@ -35,6 +36,16 @@ enum class SearchStrategy {
   /// k independent random walks; each walker forwards to one random
   /// neighbor per hop for up to walk_ttl hops.
   kRandomWalk,
+  /// Content-aware flood: the flood of kFlood, but a super-peer
+  /// forwards only along edges whose Bloom routing digest
+  /// (index/routing_index.h) reports the query class reachable.
+  /// Implies an active routing layer (SimOptions::routing).
+  kRoutedFlood,
+  /// Content-aware k-walker: num_walkers concurrent walks with per-walk
+  /// TTL and duplicate suppression, each hop biased toward
+  /// digest-positive neighbors (uniform fallback when none test
+  /// positive). Implies an active routing layer.
+  kWalker,
 };
 
 /// Options for a discrete-event run.
@@ -127,6 +138,18 @@ struct SimOptions {
   /// share one registry. Not owned; must outlive the simulator.
   MetricsRegistry* metrics = nullptr;
 
+  /// Content-aware routing-index layer (index/routing_index.h): built
+  /// deterministically from the instance + seed at Start, re-announced
+  /// as DigestAnnounce control traffic every refresh interval, and
+  /// consulted by the routed strategies to prune forwarding. Activated
+  /// implicitly by kRoutedFlood / kWalker, or explicitly via
+  /// routing.enabled to add digest pruning to kFlood / kExpandingRing
+  /// refinement waves. Inactive (the default) means never consulted:
+  /// runs stay bit-identical to a build without the layer. Requires
+  /// the legacy engine (no sharding), abstract indexes, no result
+  /// cache and no in-sim adaptation (enforced by Validate()).
+  RoutingOptions routing;
+
   // --- Search strategy (kFlood reproduces the paper's baseline) ---
   SearchStrategy strategy = SearchStrategy::kFlood;
   /// kExpandingRing: stop growing the ring once this many results have
@@ -139,10 +162,11 @@ struct SimOptions {
   std::uint32_t walk_ttl = 64;
 
   /// Aborts (SPPNET_CHECK) on invalid configurations: non-positive
-  /// duration, negative warmup or latency, an invalid fault or
-  /// adaptation plan, or an active adaptation plan combined with a
+  /// duration, negative warmup or latency, an invalid fault, routing
+  /// or adaptation plan, an active adaptation plan combined with a
   /// feature it cannot drive (non-flood strategies, concrete indexes,
-  /// the result cache). Called at every entry point that consumes
+  /// the result cache), or an active routing layer combined with
+  /// sharding, adaptation, concrete indexes or the result cache. Called at every entry point that consumes
   /// options (the Simulator constructor, RunTrials), matching
   /// FaultPlan's contract.
   void Validate() const;
@@ -266,6 +290,19 @@ struct SimReport {
   int final_ttl = 0;
   /// Mean overlay outdegree over live clusters at the end of the run.
   double final_avg_outdegree = 0.0;
+
+  // --- Content-aware routing metrics (active routing layer only) ---
+  /// Periodic digest re-announcement rounds inside the measured window.
+  std::uint64_t routing_digest_refreshes = 0;
+  /// DigestAnnounce messages accounted inside the measured window
+  /// (reconciles with the sim.msg.digest.sent counter).
+  std::uint64_t routing_digest_announces = 0;
+  /// Forwardings skipped because the edge digest reported the query
+  /// class unreachable (the routed strategies' bandwidth saving).
+  std::uint64_t routing_suppressed_forwards = 0;
+  /// kWalker hops chosen from a non-empty digest-positive neighbor
+  /// subset (the remainder fell back to a uniform choice).
+  std::uint64_t routing_biased_hops = 0;
 };
 
 /// Discrete-event simulator that executes the super-peer protocol of

@@ -1,0 +1,231 @@
+// Content-aware routing indices (index/routing_index.h): Bloom digest
+// soundness (no false negatives, bounded false positives), the
+// persistent content realization shared by the simulator and the
+// analytical model, and the realized per-edge digest table on both
+// sparse and complete topologies. DESIGN.md §13.
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sppnet/common/rng.h"
+#include "sppnet/index/routing_index.h"
+#include "sppnet/topology/plod.h"
+#include "sppnet/topology/topology.h"
+#include "sppnet/workload/query_model.h"
+
+namespace sppnet {
+namespace {
+
+const QueryModel& Model() {
+  static const QueryModel model = QueryModel::Default();
+  return model;
+}
+
+TEST(BloomDigestTest, NoFalseNegatives) {
+  BloomDigest digest(512, 3);
+  for (std::uint64_t key = 0; key < 7000; key += 7) digest.Insert(key);
+  for (std::uint64_t key = 0; key < 7000; key += 7) {
+    EXPECT_TRUE(digest.MaybeContains(key)) << key;
+  }
+}
+
+TEST(BloomDigestTest, FalsePositiveRateNearEstimate) {
+  BloomDigest digest(1024, 3);
+  for (std::uint64_t key = 0; key < 60; ++key) digest.Insert(key);
+  const double estimate = digest.EstimatedFalsePositiveRate();
+  EXPECT_GT(estimate, 0.0);
+  EXPECT_LT(estimate, 0.10);
+
+  std::size_t positives = 0;
+  constexpr std::size_t kProbes = 20000;
+  for (std::uint64_t key = 1000; key < 1000 + kProbes; ++key) {
+    if (digest.MaybeContains(key)) ++positives;
+  }
+  const double measured =
+      static_cast<double>(positives) / static_cast<double>(kProbes);
+  // fill^k is the standard estimate; hold the measurement loosely to it.
+  EXPECT_NEAR(measured, estimate, 0.5 * estimate + 0.005);
+}
+
+TEST(BloomDigestTest, UnionIsSuperset) {
+  BloomDigest a(512, 3);
+  BloomDigest b(512, 3);
+  for (std::uint64_t key = 0; key < 40; ++key) a.Insert(key);
+  for (std::uint64_t key = 100; key < 140; ++key) b.Insert(key);
+  a.UnionWith(b);
+  for (std::uint64_t key = 0; key < 40; ++key) EXPECT_TRUE(a.MaybeContains(key));
+  for (std::uint64_t key = 100; key < 140; ++key) {
+    EXPECT_TRUE(a.MaybeContains(key));
+  }
+  EXPECT_GE(a.FillFraction(), b.FillFraction());
+}
+
+TEST(RoutedMatchCountTest, PureFunctionOfArguments) {
+  const QueryModel& qm = Model();
+  for (std::uint32_t u = 0; u < 8; ++u) {
+    for (std::uint32_t c = 0; c < 64; ++c) {
+      const std::uint32_t first = RoutedMatchCount(qm, 120.0, 42, u, c);
+      const std::uint32_t second = RoutedMatchCount(qm, 120.0, 42, u, c);
+      EXPECT_EQ(first, second);
+      EXPECT_LE(first, 120u);
+    }
+  }
+}
+
+TEST(RoutedMatchCountTest, SeedChangesRealization) {
+  const QueryModel& qm = Model();
+  std::size_t differs = 0;
+  for (std::uint32_t c = 0; c < 200; ++c) {
+    if (RoutedMatchCount(qm, 200.0, 1, 0, c) !=
+        RoutedMatchCount(qm, 200.0, 2, 0, c)) {
+      ++differs;
+    }
+  }
+  EXPECT_GT(differs, 0u);
+}
+
+TEST(RoutedMatchCountTest, TracksExpectedMatchesOverClasses) {
+  const QueryModel& qm = Model();
+  const double files = 200.0;
+  constexpr std::uint32_t kClusters = 64;
+  double expected = 0.0;
+  double realized = 0.0;
+  for (std::uint32_t u = 0; u < kClusters; ++u) {
+    for (std::size_t c = 0; c < qm.num_query_classes(); ++c) {
+      expected += files * qm.SelectionPower(c);
+      realized += RoutedMatchCount(qm, files, 7, u,
+                                   static_cast<std::uint32_t>(c));
+    }
+  }
+  // A sum of ~128k independent binomials with mean ~1900: the relative
+  // deviation from the mean is a few percent.
+  EXPECT_NEAR(realized, expected, 0.1 * expected);
+}
+
+/// Advertised query classes of `cluster` (RoutedMatchCount >= 1) among
+/// the first `scan` classes.
+std::set<std::uint32_t> Advertised(double files, std::uint64_t seed,
+                                   std::uint32_t cluster, std::uint32_t scan) {
+  std::set<std::uint32_t> out;
+  for (std::uint32_t c = 0; c < scan; ++c) {
+    if (RoutedMatchCount(Model(), files, seed, cluster, c) >= 1) out.insert(c);
+  }
+  return out;
+}
+
+TEST(RoutingTableTest, SparseDigestsHaveNoFalseNegatives) {
+  Rng rng(5);
+  const Graph graph = GeneratePlod(24, PlodParams{}, rng);
+  const Topology topo = Topology::FromGraph(graph);
+  std::vector<double> files(topo.num_nodes(), 60.0);
+  RoutingOptions options;
+  options.enabled = true;
+  options.radius = 2;
+  const std::uint64_t seed = 99;
+  const RoutingTable table =
+      BuildRoutingTable(topo, files, Model(), options, seed);
+  ASSERT_FALSE(table.is_complete());
+
+  constexpr std::uint32_t kScan = 400;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const auto nbrs = graph.Neighbors(u);
+    for (std::size_t e = 0; e < nbrs.size(); ++e) {
+      const NodeId w = nbrs[e];
+      // Radius 2: digest(u -> w) covers w and w's neighbors minus u.
+      std::set<std::uint32_t> covered = Advertised(files[w], seed, w, kScan);
+      for (const NodeId z : graph.Neighbors(w)) {
+        if (z == u) continue;
+        const auto adv = Advertised(files[z], seed, z, kScan);
+        covered.insert(adv.begin(), adv.end());
+      }
+      for (const std::uint32_t c : covered) {
+        EXPECT_TRUE(table.EdgeMayLead(u, e, c))
+            << "edge " << u << "->" << w << " class " << c;
+      }
+    }
+  }
+}
+
+TEST(RoutingTableTest, SparseDigestsPruneSomething) {
+  Rng rng(5);
+  const Graph graph = GeneratePlod(24, PlodParams{}, rng);
+  const Topology topo = Topology::FromGraph(graph);
+  std::vector<double> files(topo.num_nodes(), 60.0);
+  RoutingOptions options;
+  options.enabled = true;
+  const RoutingTable table =
+      BuildRoutingTable(topo, files, Model(), options, 99);
+
+  // With ~60 files per cluster only a small fraction of the 2000 query
+  // classes is advertised per radius-2 neighborhood: most membership
+  // probes must come back negative, or routed strategies prune nothing.
+  std::size_t probes = 0;
+  std::size_t negatives = 0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (std::size_t e = 0; e < graph.Degree(u); ++e) {
+      for (std::uint32_t c = 0; c < 100; ++c) {
+        ++probes;
+        if (!table.EdgeMayLead(u, e, c)) ++negatives;
+      }
+    }
+  }
+  EXPECT_GT(negatives, probes / 4);
+  EXPECT_GT(table.MeanFillFraction(), 0.0);
+  EXPECT_LT(table.MeanFillFraction(), 1.0);
+  EXPECT_LT(table.MeanFalsePositiveRate(), 0.5);
+}
+
+TEST(RoutingTableTest, CompleteTableAdvertisesOwnIndexOnly) {
+  const std::size_t n = 16;
+  const Topology topo = Topology::Complete(n);
+  std::vector<double> files(n, 80.0);
+  RoutingOptions options;
+  options.enabled = true;
+  options.radius = 2;  // Effective radius on complete graphs is 1.
+  const std::uint64_t seed = 31;
+  const RoutingTable table =
+      BuildRoutingTable(topo, files, Model(), options, seed);
+  ASSERT_TRUE(table.is_complete());
+  EXPECT_EQ(table.NumDigests(), n);
+  EXPECT_EQ(table.AnnouncesPerRound(), n * (n - 1));
+
+  for (std::uint32_t w = 0; w < n; ++w) {
+    for (const std::uint32_t c : Advertised(files[w], seed, w, 400)) {
+      EXPECT_TRUE(table.DestMayLead(w, c)) << "dest " << w << " class " << c;
+    }
+  }
+}
+
+TEST(RoutingTableTest, BuildIsDeterministic) {
+  Rng rng(8);
+  const Graph graph = GeneratePlod(20, PlodParams{}, rng);
+  const Topology topo = Topology::FromGraph(graph);
+  std::vector<double> files(topo.num_nodes(), 45.0);
+  RoutingOptions options;
+  options.enabled = true;
+  const RoutingTable a = BuildRoutingTable(topo, files, Model(), options, 77);
+  const RoutingTable b = BuildRoutingTable(topo, files, Model(), options, 77);
+  EXPECT_EQ(a.NumDigests(), b.NumDigests());
+  EXPECT_EQ(a.MeanFillFraction(), b.MeanFillFraction());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (std::size_t e = 0; e < graph.Degree(u); ++e) {
+      for (std::uint32_t c = 0; c < 256; ++c) {
+        EXPECT_EQ(a.EdgeMayLead(u, e, c), b.EdgeMayLead(u, e, c));
+      }
+    }
+  }
+}
+
+TEST(RoutingOptionsTest, PayloadBytesMatchGeometry) {
+  RoutingOptions options;
+  options.digest_bits = 512;
+  EXPECT_EQ(options.DigestPayloadBytes(), 64u);
+  options.digest_bits = 1024;
+  EXPECT_EQ(options.DigestPayloadBytes(), 128u);
+}
+
+}  // namespace
+}  // namespace sppnet

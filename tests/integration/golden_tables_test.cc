@@ -1,3 +1,4 @@
+// ctest-label: threaded
 // Golden regression pins for the paper-facing bench tables: a scaled-
 // down fig04 (aggregate bandwidth vs cluster size) and fig07 (SP out-
 // bandwidth by #neighbors) built with the exact row-construction logic

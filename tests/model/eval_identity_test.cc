@@ -1,3 +1,4 @@
+// ctest-label: threaded
 // Bit-identity of the evaluation engines: the batched (bit-parallel)
 // and scalar-reference kernels must produce EXACTLY the same
 // InstanceLoads — every double bitwise equal — at every evaluation

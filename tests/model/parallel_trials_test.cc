@@ -1,3 +1,4 @@
+// ctest-label: threaded
 #include <vector>
 
 #include <gtest/gtest.h>

@@ -1,3 +1,4 @@
+// ctest-label: threaded
 // Reconciliation between the observability layer and the primary
 // outputs it shadows: every sim counter published by
 // Simulator::PublishMetrics must agree with the corresponding

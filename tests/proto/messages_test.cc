@@ -205,6 +205,53 @@ TEST(TtlUpdateMessageTest, RoundTripAndFixedSize) {
   EXPECT_EQ(decoded->new_ttl, 5);
 }
 
+TEST(DigestAnnounceMessageTest, RoundTripAndCostTableSize) {
+  const CostTable costs;
+  for (const std::uint16_t bits : {64u, 512u, 2048u}) {
+    DigestAnnounceMessage m;
+    m.header.guid = GuidFromSeed(29);
+    m.cluster = 314;
+    m.digest_bits = bits;
+    m.num_hashes = 3;
+    m.radius = 2;
+    m.digest.resize(bits / 8);
+    for (std::size_t i = 0; i < m.digest.size(); ++i) {
+      m.digest[i] = static_cast<std::uint8_t>(i * 37 + 1);
+    }
+    EXPECT_EQ(static_cast<double>(m.WireSizeBytes()),
+              costs.DigestAnnounceBytes(static_cast<double>(bits / 8)))
+        << "bits=" << bits;
+    EXPECT_EQ(m.Encode().size() + kTransportOverheadBytes, m.WireSizeBytes());
+    const auto decoded = DigestAnnounceMessage::Decode(m.Encode());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->cluster, 314u);
+    EXPECT_EQ(decoded->digest_bits, bits);
+    EXPECT_EQ(decoded->num_hashes, 3);
+    EXPECT_EQ(decoded->radius, 2);
+    EXPECT_EQ(decoded->digest, m.digest);
+  }
+}
+
+TEST(DigestAnnounceMessageTest, RejectsMalformedWidths) {
+  DigestAnnounceMessage m;
+  m.digest_bits = 128;
+  m.num_hashes = 2;
+  m.radius = 1;
+  m.digest.resize(16, 0xAB);
+  auto bytes = m.Encode();
+  auto truncated = bytes;
+  truncated.pop_back();
+  EXPECT_FALSE(DigestAnnounceMessage::Decode(truncated).has_value());
+  auto padded = bytes;
+  padded.push_back(0);
+  EXPECT_FALSE(DigestAnnounceMessage::Decode(padded).has_value());
+  // Declared width disagreeing with the bitmap length must be rejected
+  // even when the overall payload framing is consistent.
+  auto lying = bytes;
+  lying[kHeaderBytes + 4] = 64;  // digest_bits low byte: 128 -> 64.
+  EXPECT_FALSE(DigestAnnounceMessage::Decode(lying).has_value());
+}
+
 TEST(DecodeTest, RejectsWrongType) {
   QueryMessage q;
   q.query = "x";
@@ -215,6 +262,7 @@ TEST(DecodeTest, RejectsWrongType) {
   EXPECT_FALSE(LoadProbeMessage::Decode(bytes).has_value());
   EXPECT_FALSE(LoadReportMessage::Decode(bytes).has_value());
   EXPECT_FALSE(TtlUpdateMessage::Decode(bytes).has_value());
+  EXPECT_FALSE(DigestAnnounceMessage::Decode(bytes).has_value());
 }
 
 TEST(DecodeTest, ControlMessagesRejectTruncationAndPadding) {

@@ -1,3 +1,4 @@
+// ctest-label: threaded
 // Resume-equivalence matrix for the streaming serving layer: a run
 // checkpointed at window k and restored — into the same engine/backend
 // combo or a DIFFERENT one — must continue bit-identically to the

@@ -1,3 +1,4 @@
+// ctest-label: threaded
 // Engine-equivalence goldens: the calendar event queue and the dense
 // per-query state backend must be *bitwise* indistinguishable from the
 // reference heap / hash-map implementations — and from the pre-overhaul
@@ -280,6 +281,70 @@ std::vector<GoldenCase> GoldenCases() {
     c.options.seed = 17;
     cases.push_back(c);
   }
+  {
+    // Same configuration and seeds as flood_plod but with an explicitly
+    // constructed DISABLED routing layer (non-default digest geometry,
+    // enabled = false): pinned to the SAME digest — the inactive-layer
+    // bit-identity contract of the routing-index layer, the exact
+    // analogue of churn_plod_zero_rate_plan.
+    GoldenCase c{"flood_plod_inactive_routing", 0xa9c5873452eb3e5full, {}, 101,
+                 {}};
+    c.config.graph_size = 400;
+    c.config.cluster_size = 10.0;
+    c.config.ttl = 4;
+    c.config.avg_outdegree = 4.0;
+    c.options.routing.enabled = false;
+    c.options.routing.digest_bits = 1024;
+    c.options.routing.num_hashes = 5;
+    c.options.routing.refresh_interval_seconds = 7.0;
+    c.options.seed = 11;
+    cases.push_back(c);
+  }
+  {
+    // Content-pruned flood (ISSUE 8): digest-table build, periodic
+    // DigestAnnounce refreshes and per-edge forward suppression all
+    // inside the measured window. Digest generated at introduction.
+    GoldenCase c{"routed_flood_plod", 0x19e7f12e23d2cb1eull, {}, 109, {}};
+    c.config.graph_size = 400;
+    c.config.cluster_size = 10.0;
+    c.config.ttl = 4;
+    c.config.avg_outdegree = 4.0;
+    c.options.strategy = SearchStrategy::kRoutedFlood;
+    c.options.routing.enabled = true;
+    c.options.seed = 19;
+    cases.push_back(c);
+  }
+  {
+    // Digest-biased k-walker (ISSUE 8): biased neighbor choice, first
+    // visit dedup and direct responses. Digest generated at
+    // introduction.
+    GoldenCase c{"walker_plod", 0x94c679b1d5acf2b4ull, {}, 110, {}};
+    c.config.graph_size = 400;
+    c.config.cluster_size = 10.0;
+    c.config.ttl = 4;
+    c.config.avg_outdegree = 4.0;
+    c.options.strategy = SearchStrategy::kWalker;
+    c.options.num_walkers = 8;
+    c.options.walk_ttl = 32;
+    c.options.seed = 20;
+    cases.push_back(c);
+  }
+  {
+    // Routed expanding ring (ISSUE 8): routing.enabled pruning each
+    // iterative-deepening wave, on the complete best case so the
+    // per-destination digest path is exercised too. Digest generated at
+    // introduction.
+    GoldenCase c{"routed_ring_complete", 0x91f02fb0b37e8009ull, {}, 111, {}};
+    c.config.graph_type = GraphType::kStronglyConnected;
+    c.config.graph_size = 300;
+    c.config.cluster_size = 10.0;
+    c.config.ttl = 2;
+    c.options.strategy = SearchStrategy::kExpandingRing;
+    c.options.ring_satisfaction_results = 10;
+    c.options.routing.enabled = true;
+    c.options.seed = 21;
+    cases.push_back(c);
+  }
   for (GoldenCase& c : cases) {
     c.options.duration_seconds = 120.0;
     c.options.warmup_seconds = 12.0;
@@ -370,7 +435,7 @@ TEST_P(EngineEquivalenceTest, MatrixBitIdenticalAndPinnedToPreOverhaulGolden) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllGoldenCases, EngineEquivalenceTest,
-                         ::testing::Range<std::size_t>(0, 10),
+                         ::testing::Range<std::size_t>(0, 14),
                          [](const auto& info) {
                            return GoldenCases()[info.param].name;
                          });
@@ -467,6 +532,54 @@ TEST(EngineEquivalenceTrialsTest,
   const std::string reference =
       run(SimEngine::kHeapReference, SimStateBackend::kMapReference, 1);
   ASSERT_NE(reference.find("sim.adaptive.rounds"), std::string::npos);
+  for (const std::size_t parallelism : {std::size_t{1}, std::size_t{2},
+                                        std::size_t{8}}) {
+    EXPECT_EQ(run(SimEngine::kCalendar, SimStateBackend::kDense, parallelism),
+              reference)
+        << "parallelism=" << parallelism;
+  }
+  EXPECT_EQ(run(SimEngine::kHeapReference, SimStateBackend::kMapReference, 8),
+            reference);
+}
+
+TEST(EngineEquivalenceTrialsTest,
+     RoutedFloodBitIdenticalAcrossParallelismAndEngines) {
+  Configuration config;
+  config.graph_size = 300;
+  config.cluster_size = 10.0;
+  config.ttl = 4;
+  config.avg_outdegree = 4.0;
+  const ModelInputs inputs = ModelInputs::Default();
+
+  const auto run = [&](SimEngine engine, SimStateBackend backend,
+                       std::size_t parallelism) {
+    SimTrialOptions options;
+    options.num_trials = 3;
+    options.seed = 79;
+    options.parallelism = parallelism;
+    options.sim.duration_seconds = 60.0;
+    options.sim.warmup_seconds = 10.0;
+    options.sim.strategy = SearchStrategy::kRoutedFlood;
+    options.sim.routing.enabled = true;
+    options.sim.engine = engine;
+    options.sim.state_backend = backend;
+    MetricsRegistry metrics;
+    options.metrics = &metrics;
+    const SimTrialReport report = RunTrials(config, inputs, options);
+    // The sim.msg.digest.* and sim.routing.* instruments ride inside
+    // ProtocolMetricsJson; trial-level parallelism (independent sims on
+    // threads) composes with the routing layer even though in-sim
+    // sharding does not.
+    std::ostringstream out;
+    out << ProtocolMetricsJson(metrics) << report.trials << ','
+        << report.queries_submitted << ',' << report.responses_delivered
+        << ',' << report.query_success_rate.Mean();
+    return out.str();
+  };
+
+  const std::string reference =
+      run(SimEngine::kHeapReference, SimStateBackend::kMapReference, 1);
+  ASSERT_NE(reference.find("sim.msg.digest.sent"), std::string::npos);
   for (const std::size_t parallelism : {std::size_t{1}, std::size_t{2},
                                         std::size_t{8}}) {
     EXPECT_EQ(run(SimEngine::kCalendar, SimStateBackend::kDense, parallelism),

@@ -1,3 +1,4 @@
+// ctest-label: threaded
 // Fault-injection layer: plan validation death tests, the
 // pay-for-what-you-use zero-rate identity, bit-reproducibility across
 // trial parallelism, and the sim-vs-model availability check holding

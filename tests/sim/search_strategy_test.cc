@@ -138,6 +138,79 @@ TEST_F(SearchStrategyTest, MoreWalkersFindMoreResults) {
             1.5 * r_few.mean_results_per_query);
 }
 
+TEST_F(SearchStrategyTest, RoutedFloodSavesBandwidthAtComparableRecall) {
+  Configuration c = MakeConfig();
+  Rng rng(27);
+  const NetworkInstance inst = GenerateInstance(c, inputs_, rng);
+  SimOptions flood;
+  flood.duration_seconds = 250;
+  flood.warmup_seconds = 25;
+  SimOptions routed = flood;
+  routed.strategy = SearchStrategy::kRoutedFlood;
+
+  Simulator sim_flood(inst, c, inputs_, flood);
+  Simulator sim_routed(inst, c, inputs_, routed);
+  const SimReport r_flood = sim_flood.Run();
+  const SimReport r_routed = sim_routed.Run();
+
+  // The digests prune forwards a flood would have made...
+  EXPECT_GT(r_routed.routing_suppressed_forwards, 0u);
+  EXPECT_GT(r_routed.routing_digest_refreshes, 0u);
+  EXPECT_LT(r_routed.aggregate.TotalBps(), r_flood.aggregate.TotalBps());
+  // ...without giving up recall: a pruned edge leads only to clusters
+  // that advertise no matching content (up to digest staleness beyond
+  // the radius), so results stay comparable to the full flood's.
+  EXPECT_GT(r_routed.mean_results_per_query,
+            0.6 * r_flood.mean_results_per_query);
+}
+
+TEST_F(SearchStrategyTest, WalkerBeatsUnbiasedRandomWalk) {
+  Configuration c = MakeConfig();
+  Rng rng(28);
+  const NetworkInstance inst = GenerateInstance(c, inputs_, rng);
+  SimOptions unbiased;
+  unbiased.duration_seconds = 250;
+  unbiased.warmup_seconds = 25;
+  unbiased.strategy = SearchStrategy::kRandomWalk;
+  unbiased.num_walkers = 4;
+  unbiased.walk_ttl = 10;
+  SimOptions biased = unbiased;
+  biased.strategy = SearchStrategy::kWalker;
+
+  Simulator sim_unbiased(inst, c, inputs_, unbiased);
+  Simulator sim_biased(inst, c, inputs_, biased);
+  const SimReport r_unbiased = sim_unbiased.Run();
+  const SimReport r_biased = sim_biased.Run();
+
+  // Digest-biased hops steer walkers toward advertising clusters: more
+  // results from the same hop budget.
+  EXPECT_GT(r_biased.routing_biased_hops, 0u);
+  EXPECT_GT(r_biased.mean_results_per_query,
+            r_unbiased.mean_results_per_query);
+}
+
+TEST_F(SearchStrategyTest, RoutingPrunesExpandingRingWaves) {
+  Configuration c = MakeConfig();
+  Rng rng(29);
+  const NetworkInstance inst = GenerateInstance(c, inputs_, rng);
+  SimOptions plain;
+  plain.duration_seconds = 250;
+  plain.warmup_seconds = 25;
+  plain.strategy = SearchStrategy::kExpandingRing;
+  plain.ring_satisfaction_results = 10;
+  SimOptions routed = plain;
+  routed.routing.enabled = true;
+
+  Simulator sim_plain(inst, c, inputs_, plain);
+  Simulator sim_routed(inst, c, inputs_, routed);
+  const SimReport r_plain = sim_plain.Run();
+  const SimReport r_routed = sim_routed.Run();
+
+  EXPECT_GT(r_routed.routing_suppressed_forwards, 0u);
+  EXPECT_LT(r_routed.aggregate.TotalBps(), r_plain.aggregate.TotalBps());
+  EXPECT_GT(r_routed.mean_results_per_query, 0.0);
+}
+
 TEST_F(SearchStrategyTest, FloodLatencyScalesWithHopDelay) {
   Configuration c = MakeConfig();
   Rng rng(26);

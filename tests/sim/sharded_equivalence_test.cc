@@ -1,3 +1,4 @@
+// ctest-label: threaded
 // Sharded-engine equivalence goldens: the conservative-window sharded
 // discipline (sim/sharded_sim.h, DESIGN.md §12) must be *bitwise*
 // indistinguishable from its own sequential reference — the S=1, T=1

@@ -1,3 +1,4 @@
+// ctest-label: threaded
 // Property sweep over the discrete-event simulator: conservation and
 // sanity invariants across strategies, redundancy degrees and modes,
 // plus the lookahead soundness audit of the sharded discipline.

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "sppnet/model/evaluator.h"
+#include "sppnet/model/routing.h"
 #include "sppnet/sim/simulator.h"
 
 namespace sppnet {
@@ -80,6 +81,111 @@ INSTANTIATE_TEST_SUITE_P(
         Scenario{300, 20.0, false, 7, 3.1},   // Deep TTL, Gnutella degree.
         Scenario{400, 20.0, false, 2, 10.0}   // Short TTL, high degree.
         ));
+
+// --- Content-aware routing (ISSUE 8): routed strategies vs the routed
+// query-plane model. The model replays the exact flood evaluator's
+// aggregate corrected by a common-random-numbers strategy delta over the
+// SAME realized content (RoutedMatchCount is a pure function of
+// instance + seed shared by both engines) plus the digest control
+// plane, so the 15% cross-validation band of the flood suite carries
+// over to every routed strategy.
+
+struct RoutedScenario {
+  SearchStrategy strategy;
+  GraphType graph_type;
+  std::size_t graph_size;
+  double cluster_size;
+  int ttl;
+  double outdegree;
+};
+
+class RoutedSimVsModelTest : public ::testing::TestWithParam<RoutedScenario> {};
+
+TEST_P(RoutedSimVsModelTest, RoutedLoadsAgree) {
+  const RoutedScenario s = GetParam();
+  const ModelInputs inputs = ModelInputs::Default();
+  Configuration c;
+  c.graph_type = s.graph_type;
+  c.graph_size = s.graph_size;
+  c.cluster_size = s.cluster_size;
+  c.ttl = s.ttl;
+  c.avg_outdegree = s.outdegree;
+
+  Rng rng(17);
+  const NetworkInstance inst = GenerateInstance(c, inputs, rng);
+  const InstanceLoads analytic = EvaluateInstance(inst, c, inputs);
+
+  SimOptions options;
+  options.duration_seconds = 500;
+  options.warmup_seconds = 50;
+  options.seed = 23;
+  options.strategy = s.strategy;
+  options.routing.enabled = true;
+  options.num_walkers = 8;
+  options.walk_ttl = 16;
+  options.ring_satisfaction_results = 10;
+  Simulator sim(inst, c, inputs, options);
+  const SimReport measured = sim.Run();
+
+  RoutingEvalOptions model_options;
+  switch (s.strategy) {
+    case SearchStrategy::kRoutedFlood:
+      model_options.strategy = RoutedModelStrategy::kRoutedFlood;
+      break;
+    case SearchStrategy::kWalker:
+      model_options.strategy = RoutedModelStrategy::kWalker;
+      break;
+    case SearchStrategy::kExpandingRing:
+      model_options.strategy = RoutedModelStrategy::kExpandingRing;
+      break;
+    default:
+      FAIL() << "not a routed scenario strategy";
+  }
+  model_options.routing = options.routing;
+  model_options.seed = options.seed;
+  model_options.num_walkers = options.num_walkers;
+  model_options.walk_ttl = options.walk_ttl;
+  model_options.ring_satisfaction_results = options.ring_satisfaction_results;
+  model_options.classes_per_source = 96;
+  const RoutingModelReport routed =
+      EvaluateRoutedQueryPlane(inst, c, inputs, model_options);
+  const LoadVector composed = routed.ComposeAggregate(analytic.aggregate);
+
+  EXPECT_NEAR(measured.aggregate.TotalBps(), composed.TotalBps(),
+              0.15 * composed.TotalBps());
+  EXPECT_NEAR(measured.aggregate.proc_hz, composed.proc_hz,
+              0.15 * composed.proc_hz);
+  EXPECT_NEAR(measured.mean_results_per_query, routed.routed.mean_results,
+              0.2 * routed.routed.mean_results + 0.05);
+
+  // The routed strategies exist to prune: the digest layer must have
+  // been consulted, and the sim's realized content must have produced
+  // results somewhere (the persistent realization is shared, so the
+  // model sees the same network).
+  if (s.strategy == SearchStrategy::kWalker) {
+    EXPECT_GT(measured.routing_biased_hops, 0u);
+  } else {
+    EXPECT_GT(measured.routing_suppressed_forwards, 0u);
+  }
+  EXPECT_GT(measured.routing_digest_refreshes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RoutedScenarios, RoutedSimVsModelTest,
+    ::testing::Values(
+        // Content-pruned flood over the Gnutella-like overlay.
+        RoutedScenario{SearchStrategy::kRoutedFlood, GraphType::kPowerLaw, 400,
+                       10.0, 4, 4.0},
+        // Content-pruned flood over the strongly connected best case.
+        RoutedScenario{SearchStrategy::kRoutedFlood,
+                       GraphType::kStronglyConnected, 400, 10.0, 2, 4.0},
+        // Digest-biased k-walker (complete topologies only; the model's
+        // mean-field occupancy needs the all-pairs symmetry).
+        RoutedScenario{SearchStrategy::kWalker, GraphType::kStronglyConnected,
+                       400, 10.0, 2, 4.0},
+        // Routed expanding ring: digest pruning on the refinement waves.
+        RoutedScenario{SearchStrategy::kExpandingRing, GraphType::kPowerLaw,
+                       400, 10.0, 5, 4.0}));
 
 }  // namespace
 }  // namespace sppnet

@@ -1,0 +1,272 @@
+#!/usr/bin/env python3
+"""Compare candidate BENCH_<name>.json reports against committed baselines.
+
+CI's bench-regression job reruns the baselined benches in smoke mode
+(SPPNET_BENCH_SMOKE=1) and holds the emitted reports to the copies
+committed under bench/baselines/. Because everything downstream of an
+`sppnet::Rng` seed is bit-reproducible, the simulated quantities in a
+bench report only move when protocol behaviour moves — so a drift
+beyond tolerance is a real behavioural regression (or an intentional
+change, in which case the baseline is regenerated and committed with
+the PR that moved it).
+
+What is compared, per baseline file:
+  * `bench` and `schema_version` must match exactly.
+  * `config` entries must match exactly (they are knobs, not
+    measurements), except keys matching a skip pattern.
+  * Tables must have the same names, columns, and row counts; cells
+    that parse as numbers must agree within a relative tolerance,
+    other cells must match exactly. Columns matching a skip pattern
+    (wall-clock rates, speedups) are ignored.
+  * `metrics.counters` and `metrics.gauges` must have the same keys
+    and agree within tolerance; histograms are held to matching
+    bucket layout plus count/sum within tolerance. `metrics.timers`
+    and `timings.wall_seconds` are wall-clock and never compared.
+
+Tolerances: --tolerance sets the default relative tolerance; repeated
+--tolerance-override REGEX=TOL entries override it for any qualified
+name (e.g. `table.main.Results/query`, `gauge.sim.routing.mean_fill`,
+`counter.sim.msg.query.sent`) — first matching override wins.
+
+Usage:
+  compare_bench_json.py --baseline-dir DIR --candidate-dir DIR
+      [--tolerance 0.15] [--skip REGEX ...]
+      [--tolerance-override REGEX=TOL ...]
+
+Exits non-zero and prints one line per violation.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+# Quantities that depend on the host rather than the seed: never a
+# regression signal. Matched against qualified names (see module doc).
+DEFAULT_SKIPS = [
+    r"wall",
+    r"ev/s",
+    r"events_per_sec",
+    r"speedup",
+    r"\bthreads?\b",
+    r"hardware",
+]
+
+
+class Comparator:
+
+    def __init__(self, tolerance, skips, overrides):
+        self.tolerance = tolerance
+        self.skips = [re.compile(p) for p in skips]
+        self.overrides = [(re.compile(p), tol) for p, tol in overrides]
+        self.errors = []
+
+    def skip(self, name):
+        return any(p.search(name) for p in self.skips)
+
+    def tol_for(self, name):
+        for pattern, tol in self.overrides:
+            if pattern.search(name):
+                return tol
+        return self.tolerance
+
+    def err(self, path, msg):
+        self.errors.append(f"{os.path.basename(path)}: {msg}")
+
+    def close(self, name, base, cand):
+        denom = max(abs(base), abs(cand))
+        if denom == 0.0:
+            return True
+        return abs(base - cand) / denom <= self.tol_for(name)
+
+    def compare_value(self, path, name, base, cand):
+        """Numeric-if-possible comparison of two scalar values."""
+        bnum, cnum = as_number(base), as_number(cand)
+        if bnum is not None and cnum is not None:
+            if not self.close(name, bnum, cnum):
+                rel = abs(bnum - cnum) / max(abs(bnum), abs(cnum))
+                self.err(path, f"{name}: baseline {base!r} vs candidate "
+                         f"{cand!r} (rel diff {rel:.3f} > "
+                         f"{self.tol_for(name)})")
+        elif base != cand:
+            self.err(path, f"{name}: baseline {base!r} != candidate {cand!r}")
+
+    def compare_file(self, base_path, cand_path):
+        base = load(base_path)
+        cand = load(cand_path)
+        if base is None:
+            self.errors.append(f"{base_path}: unreadable or invalid JSON")
+            return
+        if cand is None:
+            self.errors.append(f"{cand_path}: unreadable or invalid JSON")
+            return
+        path = base_path
+        for key in ("bench", "schema_version"):
+            if base.get(key) != cand.get(key):
+                self.err(path, f"'{key}' differs: {base.get(key)!r} vs "
+                         f"{cand.get(key)!r}")
+                return
+        self.compare_config(path, base.get("config", {}),
+                            cand.get("config", {}))
+        self.compare_tables(path, base.get("tables", []),
+                            cand.get("tables", []))
+        self.compare_metrics(path, base.get("metrics", {}),
+                             cand.get("metrics", {}))
+
+    def compare_config(self, path, base, cand):
+        keys = {k for k in set(base) | set(cand)
+                if not self.skip(f"config.{k}")}
+        for key in sorted(keys):
+            name = f"config.{key}"
+            if key not in base:
+                self.err(path, f"{name}: only in candidate")
+            elif key not in cand:
+                self.err(path, f"{name}: only in baseline")
+            elif base[key] != cand[key]:
+                self.err(path, f"{name}: baseline {base[key]!r} != "
+                         f"candidate {cand[key]!r}")
+
+    def compare_tables(self, path, base, cand):
+        base_by = {t["name"]: t for t in base}
+        cand_by = {t["name"]: t for t in cand}
+        for name in sorted(set(base_by) | set(cand_by)):
+            if name not in cand_by:
+                self.err(path, f"table '{name}' missing from candidate")
+                continue
+            if name not in base_by:
+                self.err(path, f"table '{name}' missing from baseline")
+                continue
+            bt, ct = base_by[name], cand_by[name]
+            if bt["columns"] != ct["columns"]:
+                self.err(path, f"table '{name}' columns differ: "
+                         f"{bt['columns']} vs {ct['columns']}")
+                continue
+            if len(bt["rows"]) != len(ct["rows"]):
+                self.err(path, f"table '{name}' has {len(bt['rows'])} "
+                         f"baseline rows vs {len(ct['rows'])} candidate")
+                continue
+            columns = bt["columns"]
+            for i, (brow, crow) in enumerate(zip(bt["rows"], ct["rows"])):
+                for col, bcell, ccell in zip(columns, brow, crow):
+                    qual = f"table.{name}.{col}"
+                    if self.skip(qual):
+                        continue
+                    self.compare_value(path, f"{qual}[row {i}]", bcell,
+                                       ccell)
+
+    def compare_metrics(self, path, base, cand):
+        for section in ("counters", "gauges"):
+            bsec = base.get(section, {})
+            csec = cand.get(section, {})
+            prefix = section[:-1]
+            keys = {k for k in set(bsec) | set(csec)
+                    if not self.skip(f"{prefix}.{k}")}
+            for key in sorted(keys):
+                name = f"{prefix}.{key}"
+                if key not in bsec:
+                    self.err(path, f"{name}: only in candidate")
+                elif key not in csec:
+                    self.err(path, f"{name}: only in baseline")
+                else:
+                    self.compare_value(path, name, bsec[key], csec[key])
+        bsec = base.get("histograms", {})
+        csec = cand.get("histograms", {})
+        for key in sorted(set(bsec) | set(csec)):
+            name = f"histogram.{key}"
+            if self.skip(name):
+                continue
+            if key not in bsec or key not in csec:
+                side = "baseline" if key in bsec else "candidate"
+                self.err(path, f"{name}: only in {side}")
+                continue
+            bh, ch = bsec[key], csec[key]
+            if bh.get("upper_bounds") != ch.get("upper_bounds"):
+                self.err(path, f"{name}: bucket layout differs")
+                continue
+            for field in ("count", "sum"):
+                self.compare_value(path, f"{name}.{field}",
+                                   bh.get(field, 0), ch.get(field, 0))
+
+
+def as_number(value):
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            return None
+    return None
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+        return doc if isinstance(doc, dict) else None
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def parse_override(text):
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"expected REGEX=TOL, got {text!r}")
+    pattern, _, tol = text.rpartition("=")
+    try:
+        return pattern, float(tol)
+    except ValueError as e:
+        raise argparse.ArgumentTypeError(f"bad tolerance in {text!r}") from e
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Diff BENCH_*.json reports against committed baselines.")
+    parser.add_argument("--baseline-dir", required=True)
+    parser.add_argument("--candidate-dir", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="default relative tolerance (default 0.15)")
+    parser.add_argument("--skip", action="append", default=[],
+                        metavar="REGEX",
+                        help="additional qualified-name skip pattern")
+    parser.add_argument("--tolerance-override", action="append", default=[],
+                        type=parse_override, metavar="REGEX=TOL",
+                        help="per-name tolerance; first match wins")
+    args = parser.parse_args(argv[1:])
+
+    baselines = sorted(f for f in os.listdir(args.baseline_dir)
+                       if f.startswith("BENCH_") and f.endswith(".json"))
+    if not baselines:
+        print(f"{args.baseline_dir}: no BENCH_*.json baselines found",
+              file=sys.stderr)
+        return 2
+
+    comp = Comparator(args.tolerance, DEFAULT_SKIPS + args.skip,
+                      args.tolerance_override)
+    compared = 0
+    for fname in baselines:
+        cand_path = os.path.join(args.candidate_dir, fname)
+        if not os.path.exists(cand_path):
+            comp.errors.append(
+                f"{fname}: baseline exists but candidate run produced no "
+                f"file at {cand_path}")
+            continue
+        comp.compare_file(os.path.join(args.baseline_dir, fname), cand_path)
+        compared += 1
+
+    if comp.errors:
+        for line in comp.errors:
+            print(line, file=sys.stderr)
+        print(f"{len(comp.errors)} violation(s) across {len(baselines)} "
+              f"baseline(s)", file=sys.stderr)
+        return 1
+    print(f"{compared} bench report(s) match their baselines within "
+          f"tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
