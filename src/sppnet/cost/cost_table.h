@@ -80,6 +80,19 @@ struct CostTable {
   // DigestAnnounce = header + 8-byte fixed payload + the Bloom digest
   // bitmap itself, same framing as the other control messages.
   double digest_announce_base_bytes = 87.0;  ///< + digest bytes.
+  // Index-consistency & replication plane (DESIGN.md §14; not part of
+  // the paper's Table 2 — the paper assumes indexes are always fresh).
+  // Same framing as the other control messages: header (22) + payload
+  // + transport overhead (57); each payload ends with a 1-byte XOR
+  // checksum. Enforced against the proto codec by
+  // tests/proto/messages_test.cc.
+  double invalidate_bytes = 88.0;     ///< header + 9-byte payload.
+  double refresh_poll_bytes = 87.0;   ///< header + 8-byte payload.
+  double refresh_reply_bytes = 95.0;  ///< header + 16-byte payload.
+  /// ReplicaPush = header + 11-byte fixed payload + one 72-byte
+  /// metadata record per replica record.
+  double replica_push_base_bytes = 90.0;
+  double replica_push_per_record_bytes = 72.0;
   /// Control messages carry no records, so their processing cost is the
   /// bare Gnutella send/receive cost (the Table 2 fixed terms).
   double send_control_units = 0.44;
@@ -105,6 +118,13 @@ struct CostTable {
   double TtlUpdateBytes() const { return ttl_update_bytes; }
   double DigestAnnounceBytes(double digest_bytes) const {
     return digest_announce_base_bytes + digest_bytes;
+  }
+  double InvalidateBytes() const { return invalidate_bytes; }
+  double RefreshPollBytes() const { return refresh_poll_bytes; }
+  double RefreshReplyBytes() const { return refresh_reply_bytes; }
+  double ReplicaPushBytes(double num_records) const {
+    return replica_push_base_bytes +
+           replica_push_per_record_bytes * num_records;
   }
 
   // --- Derived processing costs (units), excluding multiplex ---

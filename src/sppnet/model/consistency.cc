@@ -1,0 +1,137 @@
+#include "sppnet/model/consistency.h"
+
+#include <cmath>
+
+#include "sppnet/common/check.h"
+#include "sppnet/cost/cost_table.h"
+
+namespace sppnet {
+
+void ReplicationPlan::Validate() const {
+  SPPNET_CHECK_MSG(replication_factor >= 1,
+                   "ReplicationPlan: replication_factor must be >= 1");
+  SPPNET_CHECK_MSG(max_records_per_push >= 1,
+                   "ReplicationPlan: max_records_per_push must be >= 1");
+}
+
+void ConsistencyPlan::Validate() const {
+  SPPNET_CHECK_MSG(
+      std::isfinite(change_rate_per_client) && change_rate_per_client >= 0.0,
+      "ConsistencyPlan: change_rate_per_client must be finite and >= 0");
+  SPPNET_CHECK_MSG(std::isfinite(ttr_seconds) && ttr_seconds > 0.0,
+                   "ConsistencyPlan: ttr_seconds must be finite and > 0");
+  replication.Validate();
+}
+
+void ConsistencyEvalOptions::Validate() const {
+  plan.Validate();
+  SPPNET_CHECK(std::isfinite(hop_latency_seconds) &&
+               hop_latency_seconds >= 0.0);
+  SPPNET_CHECK(std::isfinite(warmup_seconds) && warmup_seconds >= 0.0);
+  SPPNET_CHECK(std::isfinite(duration_seconds) && duration_seconds > 0.0);
+}
+
+ConsistencyModelReport EvaluateConsistencyPlane(
+    const NetworkInstance& instance, const Configuration& config,
+    const ModelInputs& inputs, const ConsistencyEvalOptions& options) {
+  (void)config;
+  options.Validate();
+  const ConsistencyPlan& plan = options.plan;
+  ConsistencyModelReport report;
+  if (!plan.Active()) return report;
+
+  const CostTable& costs = inputs.costs;
+  const std::size_t n = instance.NumClusters();
+  const double rate = plan.change_rate_per_client;
+  const double hop = options.hop_latency_seconds;
+
+  // Mean time a changed record stays stale. Push: fresh one hop after
+  // the change. Pull: a change lands uniformly inside a TTR period
+  // (T/2 expected wait for the next poll tick) and the batched reply
+  // arrives a poll + reply hop later. None: nothing ever refreshes, so
+  // a query at uniform time over the measured window sees every change
+  // since t = 0 — equivalently a mean staleness age of warmup + half
+  // the measured duration (Little's law with a growing population).
+  double d = 0.0;
+  switch (plan.scheme) {
+    case ConsistencyScheme::kPushInvalidate:
+      d = hop;
+      break;
+    case ConsistencyScheme::kPullTtr:
+      d = plan.ttr_seconds / 2.0 + 2.0 * hop;
+      break;
+    case ConsistencyScheme::kNone:
+      d = options.warmup_seconds + options.duration_seconds / 2.0;
+      break;
+  }
+  report.mean_staleness_seconds = d;
+
+  // Results-weighted mean stale index fraction: cluster c with m_c
+  // clients holds min(m_c * u * d, F_c) stale records in expectation
+  // (the simulator also caps staleness at the index size), and a
+  // delivered result from c is stale with probability s_c / F_c.
+  double weighted_stale = 0.0;
+  double weight = 0.0;
+  for (std::size_t c = 0; c < n; ++c) {
+    const double files = instance.indexed_files[c];
+    if (files <= 0.0) continue;
+    const double clients = static_cast<double>(instance.NumClients(c));
+    const double stale = std::min(clients * rate * d, files);
+    const double w = instance.expected_results[c];
+    weighted_stale += w * (stale / files);
+    weight += w;
+  }
+  report.stale_hit_rate = weight > 0.0 ? weighted_stale / weight : 0.0;
+
+  // Maintenance plane, priced like the simulator's accounting: push =
+  // one Invalidate per change (client -> super-peer); pull = one
+  // RefreshPoll + one RefreshReply per client per TTR period. Every
+  // sent byte is also received, so in_bps mirrors out_bps
+  // (DigestPlane convention in routing.cc).
+  const double total_clients = static_cast<double>(instance.TotalClients());
+  const double client_mux = costs.MultiplexUnits(instance.ClientConnections());
+  double bytes_per_sec = 0.0;
+  double units_per_sec = 0.0;
+  switch (plan.scheme) {
+    case ConsistencyScheme::kPushInvalidate: {
+      report.invalidations_per_sec = rate * total_clients;
+      bytes_per_sec = report.invalidations_per_sec * costs.InvalidateBytes();
+      for (std::size_t c = 0; c < n; ++c) {
+        const double mux = costs.MultiplexUnits(instance.PartnerConnections(c));
+        const double msgs =
+            rate * static_cast<double>(instance.NumClients(c));
+        units_per_sec += msgs * (costs.SendControlUnits() + client_mux);
+        units_per_sec += msgs * (costs.RecvControlUnits() + mux);
+      }
+      break;
+    }
+    case ConsistencyScheme::kPullTtr: {
+      const double per_client_rate = 1.0 / plan.ttr_seconds;
+      report.polls_per_sec = per_client_rate * total_clients;
+      report.replies_per_sec = report.polls_per_sec;
+      bytes_per_sec = report.polls_per_sec * costs.RefreshPollBytes() +
+                      report.replies_per_sec * costs.RefreshReplyBytes();
+      for (std::size_t c = 0; c < n; ++c) {
+        const double mux = costs.MultiplexUnits(instance.PartnerConnections(c));
+        const double msgs =
+            per_client_rate * static_cast<double>(instance.NumClients(c));
+        // Poll: super-peer sends, client receives.
+        units_per_sec += msgs * (costs.SendControlUnits() + mux);
+        units_per_sec += msgs * (costs.RecvControlUnits() + client_mux);
+        // Reply: client sends, super-peer receives.
+        units_per_sec += msgs * (costs.SendControlUnits() + client_mux);
+        units_per_sec += msgs * (costs.RecvControlUnits() + mux);
+      }
+      break;
+    }
+    case ConsistencyScheme::kNone:
+      break;
+  }
+  report.maintenance_bytes_per_sec = bytes_per_sec;
+  report.maintenance_plane.out_bps = BytesPerSecToBps(bytes_per_sec);
+  report.maintenance_plane.in_bps = BytesPerSecToBps(bytes_per_sec);
+  report.maintenance_plane.proc_hz = costs.UnitsToHz(units_per_sec);
+  return report;
+}
+
+}  // namespace sppnet

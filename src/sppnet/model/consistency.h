@@ -1,0 +1,136 @@
+#ifndef SPPNET_MODEL_CONSISTENCY_H_
+#define SPPNET_MODEL_CONSISTENCY_H_
+
+#include <cstdint>
+
+#include "sppnet/model/config.h"
+#include "sppnet/model/instance.h"
+#include "sppnet/model/load.h"
+
+namespace sppnet {
+
+/// How a super-peer's index is kept consistent with its clients'
+/// metadata while clients mutate mid-session (DESIGN.md §14; the
+/// push/pull taxonomy of Thampi's replication survey, PAPERS.md).
+enum class ConsistencyScheme {
+  /// No maintenance: index entries stale from the change until the
+  /// client's next full re-join. Zero maintenance traffic, maximal
+  /// staleness — the baseline the paper's always-fresh analysis
+  /// implicitly assumes away.
+  kNone,
+  /// Push-invalidation: the changing client immediately sends an
+  /// InvalidateMessage to its super-peer; the entry is fresh again one
+  /// hop later. One message per change.
+  kPushInvalidate,
+  /// Pull-with-TTR: the super-peer polls every client each
+  /// time-to-refresh period (RefreshPoll/RefreshReply); changes stay
+  /// stale until the reply after the next poll tick. Traffic is
+  /// rate-independent — clients/TTR message pairs per second.
+  kPullTtr,
+};
+
+/// Replica dissemination riding on the response path (owner / path
+/// replication, per the survey's taxonomy): fresh result records are
+/// copied to other clusters so later queries can be served from the
+/// replica while origin index entries are stale — replication
+/// bandwidth traded for recall under staleness.
+struct ReplicationPlan {
+  /// Push a replica of each delivered result set to the query owner's
+  /// cluster (owner replication).
+  bool owner_replication = false;
+  /// Push replicas to the clusters a response retraces on its way back
+  /// to the owner (path replication).
+  bool path_replication = false;
+  /// Maximum clusters receiving a copy per response path (owner
+  /// included). Must be >= 1 and must not exceed the cluster count of
+  /// the instance it runs against (checked by the simulator).
+  std::uint32_t replication_factor = 2;
+  /// Records carried by one ReplicaPush (the freshest results first).
+  std::uint32_t max_records_per_push = 4;
+
+  bool Active() const { return owner_replication || path_replication; }
+
+  /// Aborts (SPPNET_CHECK) on an invalid plan: a zero replication
+  /// factor or a zero per-push record budget.
+  void Validate() const;
+};
+
+/// Mid-session metadata-change workload plus the maintenance scheme
+/// answering it. The default plan is inactive and is never consulted,
+/// leaving runs bit-identical to a build without the consistency
+/// layer; an active plan draws all of its decisions from a dedicated
+/// RNG stream salted from the simulation seed (the FaultPlan
+/// contract). Shared verbatim by the simulator and the analytical
+/// plane so the two engines describe the same workload.
+struct ConsistencyPlan {
+  /// Metadata changes per client per second (Poisson). 0 = inactive.
+  double change_rate_per_client = 0.0;
+  ConsistencyScheme scheme = ConsistencyScheme::kNone;
+  /// Pull-with-TTR poll period (seconds). Ignored by other schemes.
+  double ttr_seconds = 60.0;
+  ReplicationPlan replication;
+
+  bool Active() const { return change_rate_per_client > 0.0; }
+
+  /// Aborts (SPPNET_CHECK) on an invalid plan: a negative or
+  /// non-finite change rate, a zero/negative/non-finite TTR, or an
+  /// invalid replication sub-plan. Called at every entry point that
+  /// consumes the plan (SimOptions::Validate, the Simulator
+  /// constructor, EvaluateConsistencyPlane), matching FaultPlan.
+  void Validate() const;
+};
+
+/// Inputs of the analytical consistency plane beyond the plan itself:
+/// the staleness windows depend on the hop latency (push refreshes one
+/// hop after the change; pull replies arrive two hops after a tick)
+/// and, for kNone, on the measured window (staleness accumulates from
+/// the start of the run).
+struct ConsistencyEvalOptions {
+  ConsistencyPlan plan;
+  double hop_latency_seconds = 0.05;
+  double warmup_seconds = 30.0;
+  double duration_seconds = 300.0;
+
+  void Validate() const;
+};
+
+/// Closed-form predictions for an active consistency plan, derived by
+/// Little's law: with per-client change rate u and per-record
+/// staleness duration d, a cluster of m clients holds m*u*d stale
+/// records in expectation, and the stale-hit rate is the
+/// results-weighted mean stale index fraction (DESIGN.md §14).
+struct ConsistencyModelReport {
+  /// Predicted fraction of delivered results that are stale.
+  double stale_hit_rate = 0.0;
+  /// Mean seconds a changed record stays stale under the scheme.
+  double mean_staleness_seconds = 0.0;
+  /// Maintenance message rates, network-wide (per second).
+  double invalidations_per_sec = 0.0;
+  double polls_per_sec = 0.0;
+  double replies_per_sec = 0.0;
+  /// Maintenance bytes sent per second, network-wide.
+  double maintenance_bytes_per_sec = 0.0;
+  /// Aggregate load added by the maintenance plane (every sent byte is
+  /// also received, so in_bps == out_bps).
+  LoadVector maintenance_plane;
+
+  /// Full-system aggregate prediction for a consistency-enabled run:
+  /// the exact flood evaluator's aggregate plus the maintenance plane
+  /// (staleness classification itself moves no extra bytes).
+  LoadVector ComposeAggregate(const LoadVector& flood_eval_aggregate) const {
+    return flood_eval_aggregate + maintenance_plane;
+  }
+};
+
+/// Evaluates the consistency plane of `options.plan` over `instance`.
+/// Implemented independently of the simulator (closed forms, no event
+/// replay); tests/sim/sim_vs_model_test.cc holds the two engines to
+/// the 15% cross-validation band on stale-hit rate and maintenance
+/// bandwidth.
+ConsistencyModelReport EvaluateConsistencyPlane(
+    const NetworkInstance& instance, const Configuration& config,
+    const ModelInputs& inputs, const ConsistencyEvalOptions& options);
+
+}  // namespace sppnet
+
+#endif  // SPPNET_MODEL_CONSISTENCY_H_

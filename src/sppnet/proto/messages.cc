@@ -46,6 +46,30 @@ std::optional<JoinMessage::Metadata> DecodeMetadata(ByteReader& r) {
   return m;
 }
 
+/// XOR of every byte in `bytes` — the 1-byte checksum closing each
+/// consistency-plane payload. XOR detects every single-bit flip in the
+/// covered bytes (and in the checksum byte itself).
+std::uint8_t XorChecksum(std::span<const std::uint8_t> bytes) {
+  std::uint8_t sum = 0;
+  for (const std::uint8_t b : bytes) sum ^= b;
+  return sum;
+}
+
+/// Appends the XOR checksum over everything written so far.
+std::vector<std::uint8_t> SealWithChecksum(ByteWriter& w) {
+  std::vector<std::uint8_t> bytes = w.Take();
+  bytes.push_back(XorChecksum(bytes));
+  return bytes;
+}
+
+/// Verifies the trailing checksum of a consistency-plane frame: the
+/// last byte must equal the XOR of the preceding ones. Returns false
+/// on an empty frame.
+bool ChecksumValid(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return false;
+  return XorChecksum(bytes.first(bytes.size() - 1)) == bytes.back();
+}
+
 }  // namespace
 
 void MessageHeader::Encode(ByteWriter& w) const {
@@ -441,6 +465,170 @@ std::optional<DigestAnnounceMessage> DigestAnnounceMessage::Decode(
 
 std::size_t DigestAnnounceMessage::WireSizeBytes() const {
   return kTransportOverheadBytes + kHeaderBytes + 8 + digest.size();
+}
+
+std::vector<std::uint8_t> InvalidateMessage::Encode() const {
+  ByteWriter w;
+  MessageHeader h = header;
+  h.type = MessageType::kInvalidate;
+  h.payload_length = 9;
+  h.Encode(w);
+  w.PutU32(client);
+  w.PutU32(query_class);
+  return SealWithChecksum(w);
+}
+
+std::optional<InvalidateMessage> InvalidateMessage::Decode(
+    std::span<const std::uint8_t> bytes) {
+  if (!ChecksumValid(bytes)) return std::nullopt;
+  ByteReader r(bytes);
+  InvalidateMessage m;
+  const auto h = MessageHeader::Decode(r);
+  if (!h || h->type != MessageType::kInvalidate) return std::nullopt;
+  // Strict framing: the header's payload length must match the
+  // buffer exactly, so truncation at a record boundary (or trailing
+  // padding) is rejected instead of decoding as a shorter message.
+  if (h->payload_length != r.remaining()) return std::nullopt;
+  m.header = *h;
+  const auto client = r.GetU32();
+  const auto query_class = r.GetU32();
+  if (!client || !query_class || !r.Skip(1) || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  m.client = *client;
+  m.query_class = *query_class;
+  return m;
+}
+
+std::size_t InvalidateMessage::WireSizeBytes() const {
+  return kTransportOverheadBytes + kHeaderBytes + 9;
+}
+
+std::vector<std::uint8_t> RefreshPollMessage::Encode() const {
+  ByteWriter w;
+  MessageHeader h = header;
+  h.type = MessageType::kRefreshPoll;
+  h.payload_length = 8;
+  h.Encode(w);
+  w.PutU32(cluster);
+  w.PutU16(poll_seq);
+  w.PutZeros(1);
+  return SealWithChecksum(w);
+}
+
+std::optional<RefreshPollMessage> RefreshPollMessage::Decode(
+    std::span<const std::uint8_t> bytes) {
+  if (!ChecksumValid(bytes)) return std::nullopt;
+  ByteReader r(bytes);
+  RefreshPollMessage m;
+  const auto h = MessageHeader::Decode(r);
+  if (!h || h->type != MessageType::kRefreshPoll) return std::nullopt;
+  // Strict framing: the header's payload length must match the
+  // buffer exactly, so truncation at a record boundary (or trailing
+  // padding) is rejected instead of decoding as a shorter message.
+  if (h->payload_length != r.remaining()) return std::nullopt;
+  m.header = *h;
+  const auto cluster = r.GetU32();
+  const auto poll_seq = r.GetU16();
+  if (!cluster || !poll_seq || !r.Skip(2) || !r.AtEnd()) return std::nullopt;
+  m.cluster = *cluster;
+  m.poll_seq = *poll_seq;
+  return m;
+}
+
+std::size_t RefreshPollMessage::WireSizeBytes() const {
+  return kTransportOverheadBytes + kHeaderBytes + 8;
+}
+
+std::vector<std::uint8_t> RefreshReplyMessage::Encode() const {
+  ByteWriter w;
+  MessageHeader h = header;
+  h.type = MessageType::kRefreshReply;
+  h.payload_length = 16;
+  h.Encode(w);
+  w.PutU32(client);
+  w.PutU32(poll_seq);
+  w.PutU32(changed_records);
+  w.PutZeros(3);
+  return SealWithChecksum(w);
+}
+
+std::optional<RefreshReplyMessage> RefreshReplyMessage::Decode(
+    std::span<const std::uint8_t> bytes) {
+  if (!ChecksumValid(bytes)) return std::nullopt;
+  ByteReader r(bytes);
+  RefreshReplyMessage m;
+  const auto h = MessageHeader::Decode(r);
+  if (!h || h->type != MessageType::kRefreshReply) return std::nullopt;
+  // Strict framing: the header's payload length must match the
+  // buffer exactly, so truncation at a record boundary (or trailing
+  // padding) is rejected instead of decoding as a shorter message.
+  if (h->payload_length != r.remaining()) return std::nullopt;
+  m.header = *h;
+  const auto client = r.GetU32();
+  const auto poll_seq = r.GetU32();
+  const auto changed = r.GetU32();
+  if (!client || !poll_seq || !changed || !r.Skip(4) || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  m.client = *client;
+  m.poll_seq = *poll_seq;
+  m.changed_records = *changed;
+  return m;
+}
+
+std::size_t RefreshReplyMessage::WireSizeBytes() const {
+  return kTransportOverheadBytes + kHeaderBytes + 16;
+}
+
+std::vector<std::uint8_t> ReplicaPushMessage::Encode() const {
+  SPPNET_CHECK(records.size() <= 0xffff);
+  ByteWriter w;
+  MessageHeader h = header;
+  h.type = MessageType::kReplicaPush;
+  h.payload_length = static_cast<std::uint16_t>(
+      11 + records.size() * kMetadataRecordBytes);
+  h.Encode(w);
+  w.PutU32(origin_cluster);
+  w.PutU32(query_class);
+  w.PutU16(static_cast<std::uint16_t>(records.size()));
+  for (const JoinMessage::Metadata& m : records) EncodeMetadata(w, m);
+  return SealWithChecksum(w);
+}
+
+std::optional<ReplicaPushMessage> ReplicaPushMessage::Decode(
+    std::span<const std::uint8_t> bytes) {
+  if (!ChecksumValid(bytes)) return std::nullopt;
+  ByteReader r(bytes);
+  ReplicaPushMessage m;
+  const auto h = MessageHeader::Decode(r);
+  if (!h || h->type != MessageType::kReplicaPush) return std::nullopt;
+  // Strict framing: the header's payload length must match the
+  // buffer exactly, so truncation at a record boundary (or trailing
+  // padding) is rejected instead of decoding as a shorter message.
+  if (h->payload_length != r.remaining()) return std::nullopt;
+  m.header = *h;
+  const auto origin = r.GetU32();
+  const auto query_class = r.GetU32();
+  const auto count = r.GetU16();
+  if (!origin || !query_class || !count) return std::nullopt;
+  // The record area must match the declared count exactly (the trailing
+  // checksum byte accounts for the +1).
+  if (r.remaining() != *count * kMetadataRecordBytes + 1) return std::nullopt;
+  m.origin_cluster = *origin;
+  m.query_class = *query_class;
+  for (std::uint16_t i = 0; i < *count; ++i) {
+    auto meta = DecodeMetadata(r);
+    if (!meta.has_value()) return std::nullopt;
+    m.records.push_back(std::move(*meta));
+  }
+  if (!r.Skip(1) || !r.AtEnd()) return std::nullopt;
+  return m;
+}
+
+std::size_t ReplicaPushMessage::WireSizeBytes() const {
+  return kTransportOverheadBytes + kHeaderBytes + 11 +
+         records.size() * kMetadataRecordBytes;
 }
 
 Guid GuidFromSeed(std::uint64_t seed) {

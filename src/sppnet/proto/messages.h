@@ -40,6 +40,12 @@ enum class MessageType : std::uint8_t {
   kTtlUpdate = 0xA2,
   // Routing-index dissemination (content-aware query routing).
   kDigestAnnounce = 0xA3,
+  // Index-consistency & replication plane (push-invalidation,
+  // pull-with-TTR and replica dissemination; DESIGN.md §14).
+  kInvalidate = 0xB0,
+  kRefreshPoll = 0xB1,
+  kRefreshReply = 0xB2,
+  kReplicaPush = 0xB3,
 };
 
 using Guid = std::array<std::uint8_t, 16>;
@@ -214,6 +220,85 @@ struct DigestAnnounceMessage {
 
   std::vector<std::uint8_t> Encode() const;
   static std::optional<DigestAnnounceMessage> Decode(
+      std::span<const std::uint8_t> bytes);
+
+  std::size_t WireSizeBytes() const;
+};
+
+// --- Index-consistency & replication plane (DESIGN.md §14) -----------
+//
+// Unlike the data-plane messages above, every consistency message ends
+// its payload with a 1-byte XOR checksum over all preceding wire bytes
+// (header included). Strict framing already rejects truncation and
+// padding; the checksum additionally rejects every single-bit
+// corruption of an otherwise well-framed message — a stale index
+// silently "fixed" by a corrupted invalidation would be worse than one
+// never refreshed.
+
+/// Invalidate: a client tells its super-peer that one of its metadata
+/// records changed, so the corresponding index entry is stale
+/// (push-invalidation). Header + client id (u32) + changed query class
+/// (u32) + checksum (u8). Wire size = 88 bytes, fixed.
+struct InvalidateMessage {
+  MessageHeader header;
+  std::uint32_t client = 0;         ///< The changing client's node id.
+  std::uint32_t query_class = 0;    ///< Content class of the change.
+
+  std::vector<std::uint8_t> Encode() const;
+  static std::optional<InvalidateMessage> Decode(
+      std::span<const std::uint8_t> bytes);
+
+  std::size_t WireSizeBytes() const;
+};
+
+/// Refresh poll: a super-peer on a time-to-refresh clock asks one of
+/// its clients for the changes since the last poll (pull-with-TTR).
+/// Header + polling cluster id (u32) + poll sequence (u16) + 1 reserved
+/// byte + checksum (u8). Wire size = 87 bytes, fixed.
+struct RefreshPollMessage {
+  MessageHeader header;
+  std::uint32_t cluster = 0;    ///< The polling cluster id.
+  std::uint16_t poll_seq = 0;   ///< Per-cluster poll round number.
+
+  std::vector<std::uint8_t> Encode() const;
+  static std::optional<RefreshPollMessage> Decode(
+      std::span<const std::uint8_t> bytes);
+
+  std::size_t WireSizeBytes() const;
+};
+
+/// Refresh reply: the polled client's answer, carrying how many of its
+/// records changed since the previous poll (the super-peer refreshes
+/// its index entries from the authoritative client copy). Header +
+/// client id (u32) + poll sequence (u32) + changed-record count (u32) +
+/// 3 reserved bytes + checksum (u8). Wire size = 95 bytes, fixed.
+struct RefreshReplyMessage {
+  MessageHeader header;
+  std::uint32_t client = 0;           ///< The replying client's node id.
+  std::uint32_t poll_seq = 0;         ///< Echoes the poll round.
+  std::uint32_t changed_records = 0;  ///< Records changed since last poll.
+
+  std::vector<std::uint8_t> Encode() const;
+  static std::optional<RefreshReplyMessage> Decode(
+      std::span<const std::uint8_t> bytes);
+
+  std::size_t WireSizeBytes() const;
+};
+
+/// Replica push: a cluster ships fresh result records to another
+/// cluster (the query owner, or a cluster on the response path) so
+/// later queries can be served from the replica while the origin's
+/// index entries are stale. Header + origin cluster id (u32) + query
+/// class (u32) + record count (u16) + one 72-byte metadata record per
+/// replica + checksum (u8). Wire size = 90 + 72*#records bytes.
+struct ReplicaPushMessage {
+  MessageHeader header;
+  std::uint32_t origin_cluster = 0;  ///< Cluster the records came from.
+  std::uint32_t query_class = 0;     ///< Content class of the records.
+  std::vector<JoinMessage::Metadata> records;
+
+  std::vector<std::uint8_t> Encode() const;
+  static std::optional<ReplicaPushMessage> Decode(
       std::span<const std::uint8_t> bytes);
 
   std::size_t WireSizeBytes() const;

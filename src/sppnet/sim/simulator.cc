@@ -69,6 +69,14 @@ enum : std::uint32_t {
   kDigestRefresh,       // Periodic routing-digest re-announcement round
                         // (content-aware routing; legacy engine only —
                         // Validate() rejects routing + sharding).
+  // Index-consistency kinds (DESIGN.md §14; legacy engine only —
+  // Validate() rejects consistency + sharding). Appended so every
+  // pre-consistency value, and therefore every legacy checkpoint
+  // payload, is unchanged.
+  kMetadataChange,      // Per-client Poisson metadata-change clock.
+  kInvalidateArrive,    // InvalidateMessage delivery (push scheme).
+  kRefreshPollTick,     // Per-cluster TTR poll round (pull scheme).
+  kRefreshReplyArrive,  // Batched RefreshReply delivery (pull scheme).
 };
 
 // Wire message classes for the observability counters. Every
@@ -83,17 +91,22 @@ enum class Msg : std::size_t {
   kReport,   // Adaptation: LoadReport control message.
   kControl,  // Adaptation: TtlUpdate control message.
   kDigest,   // Routing: DigestAnnounce control message.
+  kInvalidate,  // Consistency: InvalidateMessage (push scheme).
+  kPoll,        // Consistency: RefreshPollMessage (pull scheme).
+  kRefresh,     // Consistency: RefreshReplyMessage (pull scheme).
+  kReplica,     // Consistency: ReplicaPushMessage (replication).
 };
 /// Message classes of the base protocol; their counters are always
-/// published. The adaptation and routing classes above are published
-/// only for active plans, keeping the inactive registry surface
-/// unchanged.
+/// published. The adaptation, routing and consistency classes above
+/// are published only for active plans, keeping the inactive registry
+/// surface unchanged.
 inline constexpr std::size_t kNumBaseMsgTypes = 4;
 inline constexpr std::size_t kNumAdaptMsgTypes = 7;
-inline constexpr std::size_t kNumMsgTypes = 8;
+inline constexpr std::size_t kNumMsgTypes = 12;
 inline constexpr const char* kMsgNames[kNumMsgTypes] = {
     "query",  "response", "join",    "update",
-    "probe",  "report",   "control", "digest"};
+    "probe",  "report",   "control", "digest",
+    "invalidate", "poll", "refresh", "replica"};
 
 // Sentinel "upstream" marking a query submitted by the super-peer's own
 // user: results are consumed locally and no submission hop exists.
@@ -167,6 +180,24 @@ std::vector<double> OrphanCountBounds() {
   return {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0};
 }
 
+// Buckets for the consistency freshness-latency histogram (seconds from
+// a metadata change to the refresh clearing it): push refreshes within
+// one hop latency, pull within up to a TTR period, so the buckets span
+// sub-hop delays through multi-minute TTRs.
+std::vector<double> FreshnessLatencyBounds() {
+  return {0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0};
+}
+
+// Salt of the consistency layer's dedicated RNG stream (distinct from
+// the fault injector's salt and the sharded-discipline tag space; the
+// layer is confined to the legacy engine anyway).
+constexpr std::uint64_t kConsistencyStreamSalt = 0xc2b2ae3d27d4eb4full;
+
+// Event payloads are integers (SimEvent::a); the consistency events
+// carry the change / poll-tick timestamp through its bit pattern.
+std::uint64_t TimeBits(double t) { return std::bit_cast<std::uint64_t>(t); }
+double BitsTime(std::uint64_t bits) { return std::bit_cast<double>(bits); }
+
 // --- Checkpoint helpers (streaming mode; DESIGN.md §11) ---------------------
 
 // Section tag of the simulator's own checkpoint section ("simu").
@@ -224,7 +255,8 @@ class Simulator::Impl {
         recovery_enabled_(fault_active_ && options.faults.TimeoutsEnabled()),
         adaptive_(options.adaptive.Active()),
         ttl_(config.ttl),
-        routing_active_(RoutingActive(options)) {
+        routing_active_(RoutingActive(options)),
+        consistency_active_(options.consistency.Active()) {
     options_.Validate();
     const auto init_start = std::chrono::steady_clock::now();
     qbytes_ = inputs.costs.QueryBytes(inputs.stats.query_length_bytes);
@@ -330,6 +362,28 @@ class Simulator::Impl {
       recv_ctl_ = inputs.costs.RecvControlUnits();
     }
 
+    if (consistency_active_) {
+      // The plan itself was validated by options_.Validate(); the
+      // replication factor bound depends on the instance, so it is
+      // checked here (a factor above the cluster count cannot name
+      // enough distinct replica targets).
+      SPPNET_CHECK_MSG(
+          options_.consistency.replication.replication_factor <= n_,
+          "replication_factor must not exceed the cluster count");
+      cons_rng_ = Rng::Salted(options_.seed, kConsistencyStreamSalt);
+      invalidate_bytes_ = inputs.costs.InvalidateBytes();
+      refresh_poll_bytes_ = inputs.costs.RefreshPollBytes();
+      refresh_reply_bytes_ = inputs.costs.RefreshReplyBytes();
+      send_ctl_ = inputs.costs.SendControlUnits();
+      recv_ctl_ = inputs.costs.RecvControlUnits();
+      cons_stale_.assign(n_, 0.0);
+      cons_replicas_.assign(n_, 0.0);
+      if (options_.consistency.scheme == ConsistencyScheme::kPullTtr) {
+        cons_pending_.resize(n_);
+        cons_head_.assign(n_, 0);
+      }
+    }
+
     if (options_.concrete_index) InitConcreteIndexes();
     init_seconds_ = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - init_start)
@@ -406,6 +460,21 @@ class Simulator::Impl {
       // clock starts); the first re-announcement round fires one
       // refresh interval in.
       ScheduleIn(options_.routing.refresh_interval_seconds, kDigestRefresh, 0);
+    }
+    if (consistency_active_) {
+      // Per-client metadata-change clocks, drawn from the dedicated
+      // consistency stream in fixed client order; an inactive plan
+      // never touches the stream (pay-for-what-you-use determinism).
+      for (std::uint32_t c = 0; c < num_clients_; ++c) {
+        ScheduleIn(ConsExpDelay(), kMetadataChange,
+                   static_cast<std::uint32_t>(num_partners_) + c);
+      }
+      if (options_.consistency.scheme == ConsistencyScheme::kPullTtr) {
+        for (std::size_t i = 0; i < n_; ++i) {
+          ScheduleIn(options_.consistency.ttr_seconds, kRefreshPollTick,
+                     static_cast<std::uint32_t>(i));
+        }
+      }
     }
   }
 
@@ -652,6 +721,31 @@ class Simulator::Impl {
       w.PutU64(routing_suppressed_forwards_);
       w.PutU64(routing_biased_hops_);
     }
+    // Consistency layer. The pull FIFOs are serialized as their
+    // unpopped suffix — the canonical form — so a compacted and an
+    // uncompacted simulator write identical payloads.
+    w.PutBool(consistency_active_);
+    if (consistency_active_) {
+      PutRng(w, cons_rng_);
+      w.PutDoubleVector(cons_stale_);
+      w.PutDoubleVector(cons_replicas_);
+      if (options_.consistency.scheme == ConsistencyScheme::kPullTtr) {
+        for (std::size_t i = 0; i < n_; ++i) {
+          const std::vector<double> suffix(
+              cons_pending_[i].begin() +
+                  static_cast<std::ptrdiff_t>(cons_head_[i]),
+              cons_pending_[i].end());
+          w.PutDoubleVector(suffix);
+        }
+      }
+      w.PutU64(consistency_changes_);
+      w.PutU64(consistency_stale_results_);
+      w.PutU64(consistency_fresh_results_);
+      w.PutU64(consistency_replica_records_);
+      w.PutU64(consistency_replica_served_);
+      w.PutDouble(consistency_replication_bytes_);
+      PutHistogram(w, freshness_hist_);
+    }
   }
 
   /// Counterpart of SaveState on a freshly constructed simulator with
@@ -691,11 +785,16 @@ class Simulator::Impl {
     // Validate before handing to the queue: RestorePending aborts on
     // violated invariants, but a foreign payload should fail cleanly.
     // Legacy runs schedule the pre-sharding kinds plus kDigestRefresh
-    // (routing is confined to the legacy engine); the sharded-only
-    // cluster kinds in between stay rejected.
+    // (routing is confined to the legacy engine) and, when the
+    // consistency layer is on, the four consistency kinds; the
+    // sharded-only cluster kinds in between stay rejected.
     for (const SimEvent& e : events) {
+      const bool consistency_kind = consistency_active_ &&
+                                    e.kind >= kMetadataChange &&
+                                    e.kind <= kRefreshReplyArrive;
       if (!std::isfinite(e.time) ||
-          (e.kind > kTraceQuerySubmit && e.kind != kDigestRefresh) ||
+          (e.kind > kTraceQuerySubmit && e.kind != kDigestRefresh &&
+           !consistency_kind) ||
           e.seq >= next_seq) {
         return false;
       }
@@ -779,6 +878,25 @@ class Simulator::Impl {
       routing_suppressed_forwards_ = r.GetU64();
       routing_biased_hops_ = r.GetU64();
     }
+    const bool saved_consistency = r.GetBool();
+    if (consistency_active_) {
+      GetRng(r, cons_rng_);
+      cons_stale_ = r.GetDoubleVector();
+      cons_replicas_ = r.GetDoubleVector();
+      if (options_.consistency.scheme == ConsistencyScheme::kPullTtr) {
+        for (std::size_t i = 0; i < n_ && r.ok(); ++i) {
+          cons_pending_[i] = r.GetDoubleVector();
+          cons_head_[i] = 0;
+        }
+      }
+      consistency_changes_ = r.GetU64();
+      consistency_stale_results_ = r.GetU64();
+      consistency_fresh_results_ = r.GetU64();
+      consistency_replica_records_ = r.GetU64();
+      consistency_replica_served_ = r.GetU64();
+      consistency_replication_bytes_ = r.GetDouble();
+      if (!GetHistogram(r, freshness_hist_)) return false;
+    }
     lane().measuring = lane().now >= options_.warmup_seconds;
     // A checkpoint from a scenario with a different fault/adaptation
     // layer, or vectors inconsistent with the reconstructed layout,
@@ -787,6 +905,7 @@ class Simulator::Impl {
     bool consistent = saved_fault_active == fault_active_ &&
                       saved_adaptive == adaptive_ &&
                       saved_routing == routing_active_ &&
+                      saved_consistency == consistency_active_ &&
                       std::isfinite(lane().now) && lane().now >= 0.0 && ttl_ >= 0 &&
                       in_bytes_.size() == total &&
                       out_bytes_.size() == total && units_.size() == total &&
@@ -803,6 +922,10 @@ class Simulator::Impl {
       consistent = consistent && adapt_in_bytes_.size() == total &&
                    adapt_out_bytes_.size() == total &&
                    adapt_units_.size() == total;
+    }
+    if (consistency_active_) {
+      consistent = consistent && cons_stale_.size() == n_ &&
+                   cons_replicas_.size() == n_;
     }
     return r.ok() && consistent;
   }
@@ -1182,6 +1305,18 @@ class Simulator::Impl {
         break;
       case kDigestRefresh:
         OnDigestRefresh();
+        break;
+      case kMetadataChange:
+        OnMetadataChange(e.node);
+        break;
+      case kInvalidateArrive:
+        OnInvalidateArrive(e.node, BitsTime(e.a));
+        break;
+      case kRefreshPollTick:
+        OnRefreshPollTick(e.node);
+        break;
+      case kRefreshReplyArrive:
+        OnRefreshReplyArrive(e.node, BitsTime(e.a));
         break;
       default:
         SPPNET_CHECK_MSG(false, "unknown event kind");
@@ -1662,8 +1797,21 @@ class Simulator::Impl {
     const auto [results, addrs] = MatchQuery(cluster, qid, query_class);
     AcctProc(partner, inputs_.costs.ProcessQueryUnits(
                           static_cast<double>(results)));
-    if (results > 0) {
-      SendResponse(partner, upstream, qid, results, addrs, /*hops=*/0);
+    std::uint32_t total_results = results;
+    if (consistency_active_) {
+      // Stale/fresh classification of the index-matched results, plus
+      // extra fresh results served from the replica store. Both draw
+      // from the consistency stream only, so the flood itself is
+      // untouched.
+      if (results > 0) ClassifyStale(cluster, results);
+      total_results += ReplicaServe(cluster, query_class);
+    }
+    if (total_results > 0) {
+      SendResponse(partner, upstream, qid, total_results, addrs, /*hops=*/0);
+    }
+    if (consistency_active_ && results > 0 &&
+        options_.consistency.replication.Active()) {
+      ReplicatePush(cluster, partner, qid, results);
     }
 
     // Forward with decremented TTL on every connection except the one
@@ -1843,6 +1991,196 @@ class Simulator::Impl {
       for (const NodeId w :
            inst_.topology.graph().Neighbors(static_cast<NodeId>(u))) {
         announce(u, w);
+      }
+    }
+  }
+
+  // --- Index consistency & replication (model/consistency.h) -----------------
+  // Only clients mutate metadata; the per-cluster stale tallies and the
+  // pull-scheme pending-change FIFOs are the entire protocol state.
+  // Every random decision (change clocks, stale classification, replica
+  // serving) draws from the dedicated cons_rng_ stream, so the protocol
+  // event stream of a consistency run with replication disabled is
+  // identical to the plain flood run plus the maintenance plane.
+
+  double ConsExpDelay() {
+    return -std::log(1.0 - cons_rng_.NextDouble()) /
+           options_.consistency.change_rate_per_client;
+  }
+
+  /// Current stale records of `cluster`: the pull FIFO's unpopped
+  /// suffix, or the push/none counter.
+  double StaleCount(std::size_t cluster) const {
+    if (options_.consistency.scheme == ConsistencyScheme::kPullTtr) {
+      return static_cast<double>(cons_pending_[cluster].size() -
+                                 cons_head_[cluster]);
+    }
+    return cons_stale_[cluster];
+  }
+
+  /// Probability a result delivered from `cluster` is stale: the stale
+  /// fraction of its index, capped at 1 (the kNone scheme accumulates
+  /// staleness without bound).
+  double StaleFraction(std::size_t cluster) const {
+    const double files = inst_.indexed_files[cluster];
+    if (files <= 0.0) return 0.0;
+    return std::min(StaleCount(cluster), files) / files;
+  }
+
+  void OnMetadataChange(std::uint32_t client_node) {
+    ScheduleIn(ConsExpDelay(), kMetadataChange, client_node);
+    if (lane().measuring) ++consistency_changes_;
+    const std::size_t cluster = ClusterOf(client_node);
+    switch (options_.consistency.scheme) {
+      case ConsistencyScheme::kPushInvalidate: {
+        cons_stale_[cluster] += 1.0;
+        const std::uint32_t target = FirstLivePartner(cluster);
+        if (target == kSelfUpstream) break;  // Membership is static.
+        AcctSend(client_node, Msg::kInvalidate, invalidate_bytes_,
+                 send_ctl_ + MuxOf(client_node));
+        Deliver(options_.hop_latency_seconds, kInvalidateArrive, target,
+                TimeBits(lane().now));
+        break;
+      }
+      case ConsistencyScheme::kPullTtr:
+        cons_pending_[cluster].push_back(lane().now);
+        break;
+      case ConsistencyScheme::kNone:
+        cons_stale_[cluster] += 1.0;
+        break;
+    }
+  }
+
+  void OnInvalidateArrive(std::uint32_t partner, double change_time) {
+    AcctRecv(partner, Msg::kInvalidate, invalidate_bytes_,
+             recv_ctl_ + MuxOf(partner));
+    const std::size_t cluster = ClusterOf(partner);
+    if (cons_stale_[cluster] > 0.0) cons_stale_[cluster] -= 1.0;
+    if (lane().measuring) {
+      freshness_hist_.Observe(lane().now - change_time);
+    }
+  }
+
+  /// One pull poll round: the super-peer polls every client of its
+  /// cluster; the batched replies arrive a poll + reply hop later and
+  /// clear every change made strictly before this tick.
+  void OnRefreshPollTick(std::size_t cluster) {
+    ScheduleIn(options_.consistency.ttr_seconds, kRefreshPollTick,
+               static_cast<std::uint32_t>(cluster));
+    const std::uint32_t partner = FirstLivePartner(cluster);
+    if (partner == kSelfUpstream) return;  // Membership is static.
+    const std::size_t num = inst_.NumClients(cluster);
+    for (std::size_t i = 0; i < num; ++i) {
+      AcctSend(partner, Msg::kPoll, refresh_poll_bytes_,
+               send_ctl_ + MuxOf(partner));
+    }
+    ScheduleIn(2.0 * options_.hop_latency_seconds, kRefreshReplyArrive,
+               static_cast<std::uint32_t>(cluster), TimeBits(lane().now));
+  }
+
+  void OnRefreshReplyArrive(std::size_t cluster, double tick_time) {
+    const std::uint32_t partner = FirstLivePartner(cluster);
+    if (partner == kSelfUpstream) return;
+    for (std::size_t c = inst_.client_offset[cluster];
+         c < inst_.client_offset[cluster + 1]; ++c) {
+      const auto client =
+          static_cast<std::uint32_t>(num_partners_ + c);
+      AcctRecv(client, Msg::kPoll, refresh_poll_bytes_,
+               recv_ctl_ + MuxOf(client));
+      AcctSend(client, Msg::kRefresh, refresh_reply_bytes_,
+               send_ctl_ + MuxOf(client));
+      AcctRecv(partner, Msg::kRefresh, refresh_reply_bytes_,
+               recv_ctl_ + MuxOf(partner));
+    }
+    // Changes made before the poll tick are now refreshed from the
+    // authoritative client copies; later ones wait for the next round.
+    std::vector<double>& pending = cons_pending_[cluster];
+    std::size_t& head = cons_head_[cluster];
+    while (head < pending.size() && pending[head] < tick_time) {
+      if (lane().measuring) {
+        freshness_hist_.Observe(lane().now - pending[head]);
+      }
+      ++head;
+    }
+    if (head > 64 && head * 2 > pending.size()) {
+      pending.erase(pending.begin(),
+                    pending.begin() + static_cast<std::ptrdiff_t>(head));
+      head = 0;
+    }
+  }
+
+  /// Classifies `results` delivered from `cluster` as stale/fresh by
+  /// independent Bernoulli draws at the cluster's stale index fraction.
+  /// Classification is pure observation — it changes no message.
+  void ClassifyStale(std::size_t cluster, std::uint32_t results) {
+    const double p = StaleFraction(cluster);
+    std::uint32_t stale = 0;
+    for (std::uint32_t i = 0; i < results; ++i) {
+      if (cons_rng_.NextBernoulli(p)) ++stale;
+    }
+    if (lane().measuring) {
+      consistency_stale_results_ += stale;
+      consistency_fresh_results_ += results - stale;
+    }
+  }
+
+  /// Extra results served from `cluster`'s replica store (always
+  /// fresh: replicas are shipped from just-matched records).
+  std::uint32_t ReplicaServe(std::size_t cluster, std::uint32_t query_class) {
+    const double replicas = cons_replicas_[cluster];
+    if (replicas <= 0.0) return 0;
+    const std::uint32_t extra = SampleBinomialApprox(
+        replicas, inputs_.query_model.SelectionPower(query_class), cons_rng_);
+    if (extra > 0 && lane().measuring) consistency_replica_served_ += extra;
+    return extra;
+  }
+
+  /// Ships min(results, max_records_per_push) fresh records to the
+  /// query owner's cluster (owner replication) and/or the clusters the
+  /// response retraces (path replication), up to replication_factor
+  /// distinct targets. Replicas piggyback on the response path, so each
+  /// push is priced as one endpoint send + one receive.
+  void ReplicatePush(std::size_t cluster, std::uint32_t partner,
+                     std::uint64_t qid, std::uint32_t results) {
+    const ReplicationPlan& rp = options_.consistency.replication;
+    const auto records = static_cast<double>(
+        std::min(results, rp.max_records_per_push));
+    replica_targets_.clear();
+    const auto add_target = [&](std::size_t target) {
+      if (target == cluster) return;
+      for (const std::size_t t : replica_targets_) {
+        if (t == target) return;
+      }
+      if (replica_targets_.size() <
+          static_cast<std::size_t>(rp.replication_factor)) {
+        replica_targets_.push_back(target);
+      }
+    };
+    if (rp.path_replication) {
+      // Walk the stored upstream chain toward the query owner.
+      std::size_t at = cluster;
+      const std::uint32_t* up = UpstreamW(at, qid);
+      while (up != nullptr && *up != kSelfUpstream && IsPartner(*up)) {
+        at = ClusterOf(*up);
+        add_target(at);
+        up = UpstreamW(at, qid);
+      }
+    }
+    if (rp.owner_replication) {
+      const QueryState* state = FindW(RootOfW(qid));
+      if (state != nullptr) add_target(ClusterOf(state->user));
+    }
+    const double bytes = inputs_.costs.ReplicaPushBytes(records);
+    for (const std::size_t target : replica_targets_) {
+      const std::uint32_t to = FirstLivePartner(target);
+      if (to == kSelfUpstream) continue;
+      AcctSend(partner, Msg::kReplica, bytes, send_ctl_ + MuxOf(partner));
+      AcctRecv(to, Msg::kReplica, bytes, recv_ctl_ + MuxOf(to));
+      cons_replicas_[target] += records;
+      if (lane().measuring) {
+        consistency_replica_records_ +=
+            static_cast<std::uint64_t>(records);
+        consistency_replication_bytes_ += bytes;
       }
     }
   }
@@ -2752,6 +3090,42 @@ class Simulator::Impl {
         agg.msg_sent[static_cast<std::size_t>(Msg::kDigest)];
     report.routing_suppressed_forwards = routing_suppressed_forwards_;
     report.routing_biased_hops = routing_biased_hops_;
+    if (consistency_active_) {
+      report.consistency_changes = consistency_changes_;
+      report.consistency_stale_results = consistency_stale_results_;
+      report.consistency_fresh_results = consistency_fresh_results_;
+      const std::uint64_t classified =
+          consistency_stale_results_ + consistency_fresh_results_;
+      if (classified > 0) {
+        report.consistency_stale_hit_rate =
+            static_cast<double>(consistency_stale_results_) /
+            static_cast<double>(classified);
+      }
+      report.consistency_invalidations =
+          agg.msg_sent[static_cast<std::size_t>(Msg::kInvalidate)];
+      report.consistency_polls =
+          agg.msg_sent[static_cast<std::size_t>(Msg::kPoll)];
+      report.consistency_refresh_replies =
+          agg.msg_sent[static_cast<std::size_t>(Msg::kRefresh)];
+      // Maintenance bandwidth reconciles with the message counters by
+      // construction: every consistency message has a fixed size.
+      const double maintenance_bytes =
+          static_cast<double>(report.consistency_invalidations) *
+              invalidate_bytes_ +
+          static_cast<double>(report.consistency_polls) *
+              refresh_poll_bytes_ +
+          static_cast<double>(report.consistency_refresh_replies) *
+              refresh_reply_bytes_;
+      report.consistency_maintenance_bytes_per_sec =
+          maintenance_bytes * inv_t;
+      report.consistency_mean_freshness_seconds = freshness_hist_.Mean();
+      report.consistency_replica_pushes =
+          agg.msg_sent[static_cast<std::size_t>(Msg::kReplica)];
+      report.consistency_replica_records = consistency_replica_records_;
+      report.consistency_replica_served = consistency_replica_served_;
+      report.consistency_replication_bytes_per_sec =
+          consistency_replication_bytes_ * inv_t;
+    }
     if (options_.metrics != nullptr) PublishMetrics(*options_.metrics);
     return report;
   }
@@ -2787,6 +3161,16 @@ class Simulator::Impl {
       const auto t = static_cast<std::size_t>(Msg::kDigest);
       m.GetCounter("sim.msg.digest.sent").Increment(agg.msg_sent[t]);
       m.GetCounter("sim.msg.digest.received").Increment(agg.msg_recv[t]);
+    }
+    if (consistency_active_) {
+      for (const Msg msg :
+           {Msg::kInvalidate, Msg::kPoll, Msg::kRefresh, Msg::kReplica}) {
+        const auto t = static_cast<std::size_t>(msg);
+        const std::string type = kMsgNames[t];
+        m.GetCounter("sim.msg." + type + ".sent").Increment(agg.msg_sent[t]);
+        m.GetCounter("sim.msg." + type + ".received")
+            .Increment(agg.msg_recv[t]);
+      }
     }
     m.GetCounter("sim.queries.submitted").Increment(agg.queries_submitted);
     m.GetCounter("sim.queries.duplicate").Increment(agg.duplicate_queries);
@@ -2876,6 +3260,23 @@ class Simulator::Impl {
       m.GetGauge("sim.routing.mean_fill").Set(routing_->MeanFillFraction());
       m.GetGauge("sim.routing.est_fp_rate")
           .Set(routing_->MeanFalsePositiveRate());
+    }
+    // Consistency instruments, reconciled 1:1 with the SimReport
+    // consistency_* fields; like the other layers they exist only for
+    // active plans.
+    if (consistency_active_) {
+      m.GetCounter("sim.consistency.changes").Increment(consistency_changes_);
+      m.GetCounter("sim.consistency.stale_results")
+          .Increment(consistency_stale_results_);
+      m.GetCounter("sim.consistency.fresh_results")
+          .Increment(consistency_fresh_results_);
+      m.GetCounter("sim.consistency.replica_records")
+          .Increment(consistency_replica_records_);
+      m.GetCounter("sim.consistency.replica_served")
+          .Increment(consistency_replica_served_);
+      m.GetHistogram("sim.consistency.freshness_latency_seconds",
+                     FreshnessLatencyBounds())
+          .Merge(freshness_hist_);
     }
     // Sharded-discipline instruments (DESIGN.md §12). The configuration
     // gauges describe the chosen shard map — the one deliberately
@@ -3110,6 +3511,39 @@ class Simulator::Impl {
   std::uint64_t routing_biased_hops_ = 0;
   /// Scratch for the kWalker digest-positive neighbor subset.
   std::vector<std::uint32_t> walk_scratch_;
+
+  // Index-consistency & replication state (model/consistency.h,
+  // DESIGN.md §14). Consulted only when consistency_active_ (the same
+  // pay-for-what-you-use determinism contract as the fault, adaptation
+  // and routing blocks). Validate() confines the layer to the legacy
+  // engine with static membership, so every tally below is
+  // single-threaded and clusters never change composition.
+  const bool consistency_active_;
+  /// Dedicated decision stream (change clocks, stale classification,
+  /// replica serving), salted from the run seed.
+  Rng cons_rng_{0};
+  // Consistency message costs, cached from the CostTable.
+  double invalidate_bytes_ = 0.0;
+  double refresh_poll_bytes_ = 0.0;
+  double refresh_reply_bytes_ = 0.0;
+  /// Per-cluster stale-record counters (push / none schemes).
+  std::vector<double> cons_stale_;
+  /// Pull scheme: per-cluster FIFO of change timestamps plus the index
+  /// of the first unrefreshed entry (a poll round pops the prefix of
+  /// changes made before its tick).
+  std::vector<std::vector<double>> cons_pending_;
+  std::vector<std::size_t> cons_head_;
+  /// Per-cluster replica-record stores (active ReplicationPlan only).
+  std::vector<double> cons_replicas_;
+  /// Scratch for one push's distinct replica targets.
+  std::vector<std::size_t> replica_targets_;
+  std::uint64_t consistency_changes_ = 0;
+  std::uint64_t consistency_stale_results_ = 0;
+  std::uint64_t consistency_fresh_results_ = 0;
+  std::uint64_t consistency_replica_records_ = 0;
+  std::uint64_t consistency_replica_served_ = 0;
+  double consistency_replication_bytes_ = 0.0;
+  Histogram freshness_hist_{FreshnessLatencyBounds()};
 
   // Sharded-discipline state (DESIGN.md §12). Consulted only when
   // disc_; a legacy run never reads past this comment.
@@ -3745,6 +4179,50 @@ void SimOptions::Validate() const {
                      "disabled");
     SPPNET_CHECK_MSG(strategy != SearchStrategy::kRandomWalk,
                      "routing with random walks: use kWalker");
+  }
+  // Strategy knobs that would silently divide by zero or walk nowhere
+  // if left unvalidated. Checked only for the strategies that read
+  // them (pay-for-what-you-use, like the layer gates above).
+  if (strategy == SearchStrategy::kExpandingRing) {
+    SPPNET_CHECK_MSG(ring_satisfaction_results >= 1,
+                     "expanding ring needs ring_satisfaction_results >= 1");
+  }
+  if (strategy == SearchStrategy::kRandomWalk ||
+      strategy == SearchStrategy::kWalker) {
+    SPPNET_CHECK_MSG(num_walkers >= 1, "walks need num_walkers >= 1");
+    SPPNET_CHECK_MSG(walk_ttl >= 1, "walks need walk_ttl >= 1");
+  }
+  consistency.Validate();
+  if (consistency.Active()) {
+    // The consistency layer tracks per-cluster staleness against the
+    // abstract probabilistic index and pins clients to their home
+    // cluster for the whole run; features that mutate membership
+    // (churn, faults, adaptation), replay results outside MatchQuery
+    // (the result cache), or redirect queries (routing) would break
+    // the stale-fraction bookkeeping, and its tallies are
+    // single-threaded (legacy engine only).
+    SPPNET_CHECK_MSG(strategy == SearchStrategy::kFlood,
+                     "the consistency layer requires the flood strategy");
+    SPPNET_CHECK_MSG(!shards.Enabled(),
+                     "the consistency layer requires the legacy engine "
+                     "(no in-trial sharding)");
+    SPPNET_CHECK_MSG(!concrete_index,
+                     "the consistency layer requires abstract indexes");
+    SPPNET_CHECK_MSG(result_cache_ttl_seconds == 0.0,
+                     "the consistency layer requires the result cache "
+                     "disabled");
+    SPPNET_CHECK_MSG(!adaptive.Active(),
+                     "the consistency layer is incompatible with in-sim "
+                     "adaptation");
+    SPPNET_CHECK_MSG(!RoutingActive(*this),
+                     "the consistency layer is incompatible with "
+                     "content-aware routing");
+    SPPNET_CHECK_MSG(!enable_churn,
+                     "the consistency layer requires static membership "
+                     "(no churn)");
+    SPPNET_CHECK_MSG(!faults.Active(),
+                     "the consistency layer requires an inactive fault "
+                     "plan");
   }
 }
 

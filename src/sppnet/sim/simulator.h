@@ -7,6 +7,7 @@
 #include "sppnet/index/routing_index.h"
 #include "sppnet/io/checkpoint.h"
 #include "sppnet/model/config.h"
+#include "sppnet/model/consistency.h"
 #include "sppnet/model/instance.h"
 #include "sppnet/model/load.h"
 #include "sppnet/sim/adaptive_sim.h"
@@ -149,6 +150,21 @@ struct SimOptions {
   /// the legacy engine (no sharding), abstract indexes, no result
   /// cache and no in-sim adaptation (enforced by Validate()).
   RoutingOptions routing;
+
+  /// Index-consistency & replication plan (model/consistency.h,
+  /// DESIGN.md §14): clients mutate their metadata mid-session on a
+  /// Poisson clock, super-peer index entries go stale until refreshed
+  /// by push-invalidation or pull-with-TTR, and delivered results are
+  /// classified stale/fresh accordingly; owner/path replication can
+  /// serve extra fresh results from replicas. The default plan is
+  /// inactive and is never consulted, leaving runs bit-identical to a
+  /// build without the layer; an active plan draws all of its
+  /// decisions from a dedicated RNG stream salted from `seed`.
+  /// Requires the flood strategy on the legacy engine with abstract
+  /// indexes, no result cache, no adaptation, no routing layer and
+  /// static membership — no churn, no fault plan (enforced by
+  /// Validate()).
+  ConsistencyPlan consistency;
 
   // --- Search strategy (kFlood reproduces the paper's baseline) ---
   SearchStrategy strategy = SearchStrategy::kFlood;
@@ -303,6 +319,40 @@ struct SimReport {
   /// kWalker hops chosen from a non-empty digest-positive neighbor
   /// subset (the remainder fell back to a uniform choice).
   std::uint64_t routing_biased_hops = 0;
+
+  // --- Index-consistency metrics (active ConsistencyPlan only) ---
+  // Reconciled 1:1 with the sim.consistency.* counters and the
+  // sim.msg.{invalidate,poll,refresh,replica}.* message classes.
+  /// Client metadata changes inside the measured window.
+  std::uint64_t consistency_changes = 0;
+  /// Delivered results classified stale (the index entry had changed
+  /// and was not yet refreshed when the query matched it).
+  std::uint64_t consistency_stale_results = 0;
+  /// Delivered results classified fresh.
+  std::uint64_t consistency_fresh_results = 0;
+  /// stale / (stale + fresh); 0 when no result was classified.
+  double consistency_stale_hit_rate = 0.0;
+  /// InvalidateMessages sent (push-invalidation scheme).
+  std::uint64_t consistency_invalidations = 0;
+  /// RefreshPoll messages sent (pull-with-TTR scheme).
+  std::uint64_t consistency_polls = 0;
+  /// RefreshReply messages sent back by polled clients.
+  std::uint64_t consistency_refresh_replies = 0;
+  /// Maintenance bandwidth: invalidation + poll + reply bytes per
+  /// measured second, network-wide (replication traffic excluded).
+  double consistency_maintenance_bytes_per_sec = 0.0;
+  /// Mean seconds between a metadata change and the index refresh that
+  /// cleared it (mean of the freshness-latency histogram; kNone never
+  /// refreshes, so no observation is ever recorded there).
+  double consistency_mean_freshness_seconds = 0.0;
+  /// ReplicaPush messages sent (active ReplicationPlan only).
+  std::uint64_t consistency_replica_pushes = 0;
+  /// Replica records shipped inside those pushes.
+  std::uint64_t consistency_replica_records = 0;
+  /// Extra (always fresh) results served from replica stores.
+  std::uint64_t consistency_replica_served = 0;
+  /// Replication bandwidth in bytes per measured second, network-wide.
+  double consistency_replication_bytes_per_sec = 0.0;
 };
 
 /// Discrete-event simulator that executes the super-peer protocol of

@@ -79,7 +79,7 @@ TEST(ResponseMessageTest, RoundTrip) {
     r.file_id = 1000 + i;
     r.owner = 100 + static_cast<std::uint32_t>(i % 3);
     r.size_kb = 4096;
-    r.title = "result number " + std::to_string(i);
+    r.title = std::string("result number ") + std::to_string(i);
     m.results.push_back(r);
   }
   const auto bytes = m.Encode();
@@ -127,7 +127,7 @@ TEST(JoinMessageTest, RoundTrip) {
     JoinMessage::Metadata meta;
     meta.file_id = i;
     meta.size_kb = static_cast<std::uint32_t>(100 * i);
-    meta.title = "file " + std::to_string(i);
+    meta.title = std::string("file ") + std::to_string(i);
     m.files.push_back(meta);
   }
   const auto decoded = JoinMessage::Decode(m.Encode());
@@ -301,6 +301,156 @@ TEST(DecodeTest, RejectsTruncatedBuffers) {
 TEST(GuidTest, DeterministicAndDistinct) {
   EXPECT_EQ(GuidFromSeed(1), GuidFromSeed(1));
   EXPECT_NE(GuidFromSeed(1), GuidFromSeed(2));
+}
+
+// --- Consistency-protocol messages (DESIGN.md §14) ------------------
+//
+// Beyond round-trip + CostTable agreement, every consistency message
+// carries a trailing payload checksum, so each one gets the strongest
+// decode-rejection treatment in the suite: truncation at EVERY byte
+// boundary and a single bit flip at EVERY position must both fail.
+
+template <typename M>
+void ExpectRejectsEveryTruncationAndBitFlip(const M& m) {
+  const auto bytes = m.Encode();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<std::uint8_t> cut(bytes.begin(),
+                                  bytes.begin() + static_cast<long>(len));
+    EXPECT_FALSE(M::Decode(cut).has_value()) << "truncated to " << len;
+  }
+  auto padded = bytes;
+  padded.push_back(0);
+  EXPECT_FALSE(M::Decode(padded).has_value()) << "one padding byte";
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto flipped = bytes;
+      flipped[i] = static_cast<std::uint8_t>(flipped[i] ^ (1u << bit));
+      EXPECT_FALSE(M::Decode(flipped).has_value())
+          << "bit " << bit << " of byte " << i;
+    }
+  }
+}
+
+TEST(InvalidateMessageTest, RoundTripAndFixedSize) {
+  const CostTable costs;
+  InvalidateMessage m;
+  m.header.guid = GuidFromSeed(31);
+  m.client = 9001;
+  m.query_class = 17;
+  EXPECT_EQ(static_cast<double>(m.WireSizeBytes()), costs.InvalidateBytes());
+  EXPECT_EQ(m.Encode().size() + kTransportOverheadBytes, m.WireSizeBytes());
+  const auto decoded = InvalidateMessage::Decode(m.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->client, 9001u);
+  EXPECT_EQ(decoded->query_class, 17u);
+}
+
+TEST(InvalidateMessageTest, RejectsEveryTruncationAndBitFlip) {
+  InvalidateMessage m;
+  m.header.guid = GuidFromSeed(37);
+  m.client = 12345;
+  m.query_class = 3;
+  ExpectRejectsEveryTruncationAndBitFlip(m);
+}
+
+TEST(RefreshPollMessageTest, RoundTripAndFixedSize) {
+  const CostTable costs;
+  RefreshPollMessage m;
+  m.header.guid = GuidFromSeed(41);
+  m.cluster = 321;
+  m.poll_seq = 999;
+  EXPECT_EQ(static_cast<double>(m.WireSizeBytes()), costs.RefreshPollBytes());
+  EXPECT_EQ(m.Encode().size() + kTransportOverheadBytes, m.WireSizeBytes());
+  const auto decoded = RefreshPollMessage::Decode(m.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->cluster, 321u);
+  EXPECT_EQ(decoded->poll_seq, 999u);
+}
+
+TEST(RefreshPollMessageTest, RejectsEveryTruncationAndBitFlip) {
+  RefreshPollMessage m;
+  m.header.guid = GuidFromSeed(43);
+  m.cluster = 7;
+  m.poll_seq = 2;
+  ExpectRejectsEveryTruncationAndBitFlip(m);
+}
+
+TEST(RefreshReplyMessageTest, RoundTripAndFixedSize) {
+  const CostTable costs;
+  RefreshReplyMessage m;
+  m.header.guid = GuidFromSeed(47);
+  m.client = 65000;
+  m.poll_seq = 12;
+  m.changed_records = 5;
+  EXPECT_EQ(static_cast<double>(m.WireSizeBytes()), costs.RefreshReplyBytes());
+  EXPECT_EQ(m.Encode().size() + kTransportOverheadBytes, m.WireSizeBytes());
+  const auto decoded = RefreshReplyMessage::Decode(m.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->client, 65000u);
+  EXPECT_EQ(decoded->poll_seq, 12u);
+  EXPECT_EQ(decoded->changed_records, 5u);
+}
+
+TEST(RefreshReplyMessageTest, RejectsEveryTruncationAndBitFlip) {
+  RefreshReplyMessage m;
+  m.header.guid = GuidFromSeed(53);
+  m.client = 1;
+  m.changed_records = 8;
+  ExpectRejectsEveryTruncationAndBitFlip(m);
+}
+
+TEST(ReplicaPushMessageTest, RoundTripAndCostTableSize) {
+  const CostTable costs;
+  for (const std::size_t n : {0u, 1u, 4u}) {
+    ReplicaPushMessage m;
+    m.header.guid = GuidFromSeed(59);
+    m.origin_cluster = 88;
+    m.query_class = 6;
+    for (std::size_t i = 0; i < n; ++i) {
+      JoinMessage::Metadata rec;
+      rec.file_id = 1000 + i;
+      rec.size_kb = static_cast<std::uint32_t>(64 * (i + 1));
+      rec.title = "replica record";
+      m.records.push_back(rec);
+    }
+    EXPECT_EQ(static_cast<double>(m.WireSizeBytes()),
+              costs.ReplicaPushBytes(static_cast<double>(n)))
+        << "records=" << n;
+    EXPECT_EQ(m.Encode().size() + kTransportOverheadBytes, m.WireSizeBytes());
+    const auto decoded = ReplicaPushMessage::Decode(m.Encode());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->origin_cluster, 88u);
+    EXPECT_EQ(decoded->query_class, 6u);
+    ASSERT_EQ(decoded->records.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(decoded->records[i].file_id, 1000 + i);
+      EXPECT_EQ(decoded->records[i].title, "replica record");
+    }
+  }
+}
+
+TEST(ReplicaPushMessageTest, RejectsEveryTruncationAndBitFlip) {
+  ReplicaPushMessage m;
+  m.header.guid = GuidFromSeed(61);
+  m.origin_cluster = 2;
+  m.query_class = 4;
+  JoinMessage::Metadata rec;
+  rec.file_id = 99;
+  rec.size_kb = 7;
+  rec.title = "r";
+  m.records.push_back(rec);
+  ExpectRejectsEveryTruncationAndBitFlip(m);
+}
+
+TEST(ConsistencyMessagesTest, RejectWrongType) {
+  InvalidateMessage inv;
+  const auto bytes = inv.Encode();
+  EXPECT_FALSE(RefreshPollMessage::Decode(bytes).has_value());
+  EXPECT_FALSE(RefreshReplyMessage::Decode(bytes).has_value());
+  EXPECT_FALSE(ReplicaPushMessage::Decode(bytes).has_value());
+  EXPECT_FALSE(QueryMessage::Decode(bytes).has_value());
+  RefreshPollMessage poll;
+  EXPECT_FALSE(InvalidateMessage::Decode(poll.Encode()).has_value());
 }
 
 }  // namespace

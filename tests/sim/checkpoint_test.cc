@@ -193,6 +193,35 @@ Scenario AdaptiveScenario() {
   return s;
 }
 
+// Pull-with-TTR consistency against 6 s windows, a 5.8 s TTR and a
+// 0.3 s hop: the first poll tick fires at t = 5.8, before the window
+// boundary at 6.0, but its batched RefreshReply only lands at 6.4 —
+// every cut after window 1 checkpoints MID-POLL, with the per-cluster
+// pending-change FIFOs non-empty and the in-flight reply event carried
+// through the restore. Replication keeps the replica tallies and the
+// per-cluster replica counts in the serialized state too.
+Scenario ConsistencyScenario() {
+  Scenario s;
+  s.name = "consistency";
+  s.config.graph_size = 400;
+  s.config.cluster_size = 10.0;
+  s.config.ttl = 4;
+  s.config.avg_outdegree = 4.0;
+  s.instance_seed = 105;
+  s.sim.seed = 19;
+  s.sim.duration_seconds = 36.0;
+  s.sim.warmup_seconds = 12.0;
+  s.sim.hop_latency_seconds = 0.3;
+  s.sim.consistency.change_rate_per_client = 0.08;
+  s.sim.consistency.scheme = ConsistencyScheme::kPullTtr;
+  s.sim.consistency.ttr_seconds = 5.8;
+  s.sim.consistency.replication.owner_replication = true;
+  s.sim.consistency.replication.path_replication = true;
+  s.stream.window_seconds = 6.0;
+  s.num_windows = 8;
+  return s;
+}
+
 struct Combo {
   SimEngine engine;
   SimStateBackend backend;
@@ -293,7 +322,7 @@ void ExpectEquivalent(const StreamedRun& expected, const StreamedRun& actual) {
   EXPECT_EQ(actual.snapshot_digest, expected.snapshot_digest);
   ASSERT_EQ(actual.snapshots.size(), expected.snapshots.size());
   for (std::size_t w = 0; w < expected.snapshots.size(); ++w) {
-    SCOPED_TRACE("window " + std::to_string(w));
+    SCOPED_TRACE(std::string("window ") + std::to_string(w));
     EXPECT_EQ(actual.snapshots[w].window_end, expected.snapshots[w].window_end);
     EXPECT_EQ(actual.snapshots[w].events_dispatched_delta,
               expected.snapshots[w].events_dispatched_delta);
@@ -310,8 +339,10 @@ Scenario ScenarioByIndex(std::size_t index) {
       return ChurnScenario();
     case 1:
       return FaultScenario();
-    default:
+    case 2:
       return AdaptiveScenario();
+    default:
+      return ConsistencyScenario();
   }
 }
 
@@ -326,14 +357,14 @@ TEST_P(CheckpointMatrixTest, RestoreAtEveryTestedCutMatchesUninterrupted) {
     // flight.
     for (const std::size_t cut :
          {std::size_t{1}, std::size_t{3}, s.num_windows - 1}) {
-      SCOPED_TRACE("cut after window " + std::to_string(cut));
+      SCOPED_TRACE(std::string("cut after window ") + std::to_string(cut));
       ExpectEquivalent(uninterrupted, RunWithRestore(s, combo, combo, cut));
     }
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllScenarios, CheckpointMatrixTest,
-                         ::testing::Range<std::size_t>(0, 3),
+                         ::testing::Range<std::size_t>(0, 4),
                          [](const auto& info) {
                            return std::string(
                                ScenarioByIndex(info.param).name);

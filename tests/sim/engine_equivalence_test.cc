@@ -250,6 +250,30 @@ std::vector<GoldenCase> GoldenCases() {
     cases.push_back(c);
   }
   {
+    // Same configuration and seeds as churn_plod but with an explicitly
+    // constructed INACTIVE consistency plan (change rate 0, every other
+    // knob non-default, replication flags set): pinned to the SAME
+    // digest — the inactive-plan bit-identity contract of the
+    // index-consistency layer, the exact analogue of
+    // churn_plod_zero_rate_plan.
+    GoldenCase c{"churn_plod_inactive_consistency_plan",
+                 0x69a0bd51b6db4f6aull, {}, 105, {}};
+    c.config.graph_size = 400;
+    c.config.cluster_size = 10.0;
+    c.config.ttl = 4;
+    c.config.avg_outdegree = 4.0;
+    c.options.enable_churn = true;
+    c.options.partner_recovery_seconds = 20.0;
+    c.options.consistency.change_rate_per_client = 0.0;
+    c.options.consistency.scheme = ConsistencyScheme::kPushInvalidate;
+    c.options.consistency.ttr_seconds = 3.5;
+    c.options.consistency.replication.owner_replication = true;
+    c.options.consistency.replication.path_replication = true;
+    c.options.consistency.replication.replication_factor = 3;
+    c.options.seed = 15;
+    cases.push_back(c);
+  }
+  {
     // Live adaptation on the Section 5.3 bad topology: splits,
     // coalesces, peering and the TTL broadcast all mutate the instance
     // mid-run, and the converged network must still be bit-identical

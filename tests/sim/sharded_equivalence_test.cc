@@ -354,7 +354,7 @@ TEST(ShardedEquivalenceTest, SameTimestampBurstOrdersByKeyAlone) {
 
   const auto reference = run(1, 1);
   for (const ShardCombo combo : kMatrix) {
-    SCOPED_TRACE("S=" + std::to_string(combo.shards) + " T=" +
+    SCOPED_TRACE(std::string("S=") + std::to_string(combo.shards) + " T=" +
                  std::to_string(combo.threads));
     EXPECT_EQ(run(combo.shards, combo.threads), reference);
   }

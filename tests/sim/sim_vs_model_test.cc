@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sppnet/model/consistency.h"
 #include "sppnet/model/evaluator.h"
 #include "sppnet/model/routing.h"
 #include "sppnet/sim/simulator.h"
@@ -186,6 +187,85 @@ INSTANTIATE_TEST_SUITE_P(
         // Routed expanding ring: digest pruning on the refinement waves.
         RoutedScenario{SearchStrategy::kExpandingRing, GraphType::kPowerLaw,
                        400, 10.0, 5, 4.0}));
+
+// --- Index consistency (ISSUE 9): the simulator's event-driven
+// staleness bookkeeping vs the closed-form consistency plane
+// (model/consistency.h). Both engines price the same maintenance
+// protocol from CostTable, so stale-hit rate and maintenance
+// bandwidth must agree within the 15% cross-validation band (small
+// absolute epsilons absorb finite-run noise near zero).
+
+struct ConsistencyScenario {
+  ConsistencyScheme scheme;
+  double change_rate;
+  double ttr_seconds;
+};
+
+class ConsistencySimVsModelTest
+    : public ::testing::TestWithParam<ConsistencyScenario> {};
+
+TEST_P(ConsistencySimVsModelTest, StalenessAndMaintenanceAgree) {
+  const ConsistencyScenario s = GetParam();
+  const ModelInputs inputs = ModelInputs::Default();
+  Configuration c;
+  c.graph_size = 400;
+  c.cluster_size = 10.0;
+  c.ttl = 4;
+  c.avg_outdegree = 4.0;
+
+  Rng rng(17);
+  const NetworkInstance inst = GenerateInstance(c, inputs, rng);
+
+  SimOptions options;
+  options.duration_seconds = 500;
+  options.warmup_seconds = 50;
+  options.seed = 23;
+  options.consistency.change_rate_per_client = s.change_rate;
+  options.consistency.scheme = s.scheme;
+  options.consistency.ttr_seconds = s.ttr_seconds;
+  Simulator sim(inst, c, inputs, options);
+  const SimReport measured = sim.Run();
+
+  ConsistencyEvalOptions eval;
+  eval.plan = options.consistency;
+  eval.hop_latency_seconds = options.hop_latency_seconds;
+  eval.warmup_seconds = options.warmup_seconds;
+  eval.duration_seconds = options.duration_seconds;
+  const ConsistencyModelReport model =
+      EvaluateConsistencyPlane(inst, c, inputs, eval);
+
+  EXPECT_NEAR(measured.consistency_stale_hit_rate, model.stale_hit_rate,
+              0.15 * model.stale_hit_rate + 0.01);
+  EXPECT_NEAR(measured.consistency_maintenance_bytes_per_sec,
+              model.maintenance_bytes_per_sec,
+              0.15 * model.maintenance_bytes_per_sec + 1.0);
+
+  const double t = options.duration_seconds - options.warmup_seconds;
+  if (s.scheme == ConsistencyScheme::kPushInvalidate) {
+    EXPECT_NEAR(static_cast<double>(measured.consistency_invalidations) / t,
+                model.invalidations_per_sec,
+                0.15 * model.invalidations_per_sec);
+  }
+  if (s.scheme == ConsistencyScheme::kPullTtr) {
+    EXPECT_NEAR(static_cast<double>(measured.consistency_polls) / t,
+                model.polls_per_sec, 0.15 * model.polls_per_sec);
+    // Mean freshness latency tracks the model's staleness window.
+    EXPECT_NEAR(measured.consistency_mean_freshness_seconds,
+                model.mean_staleness_seconds,
+                0.15 * model.mean_staleness_seconds + 0.1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConsistencyScenarios, ConsistencySimVsModelTest,
+    ::testing::Values(
+        // Push-invalidation at a moderate mutation rate.
+        ConsistencyScenario{ConsistencyScheme::kPushInvalidate, 0.05, 60.0},
+        // Pull at a tight and a loose TTR (traffic is rate-independent).
+        ConsistencyScenario{ConsistencyScheme::kPullTtr, 0.05, 30.0},
+        ConsistencyScenario{ConsistencyScheme::kPullTtr, 0.02, 120.0},
+        // No maintenance: staleness accumulates from t = 0.
+        ConsistencyScenario{ConsistencyScheme::kNone, 0.01, 60.0}));
 
 }  // namespace
 }  // namespace sppnet

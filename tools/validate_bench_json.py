@@ -96,6 +96,7 @@ def validate(path):
 
     validate_windowed_stream(doc, err)
     validate_sharded_rows(doc, err)
+    validate_index_consistency(doc, err)
 
     return errors
 
@@ -142,6 +143,55 @@ def validate_windowed_stream(doc, err):
         value = config.get(key)
         if not isinstance(value, (int, float)) or value <= 0:
             err(f"streaming bench config.{key} missing or not > 0")
+
+
+def validate_index_consistency(doc, err):
+    """Consistency-sweep schema for bench/index_consistency.
+
+    A bench that reports any `sim.consistency.*` counter ran the
+    index-consistency layer and must carry the full sweep surface: the
+    main rate x scheme table with both engines' stale-hit columns, the
+    replication trade table, a non-zero change counter, and the
+    freshness-latency histogram.
+    """
+    counters = doc.get("metrics", {}).get("counters")
+    if not isinstance(counters, dict) or not any(
+            key.startswith("sim.consistency.") for key in counters):
+        return
+
+    changes = counters.get("sim.consistency.changes")
+    if not isinstance(changes, (int, float)) or changes <= 0:
+        err("consistency bench counter 'sim.consistency.changes' "
+            "missing or not > 0")
+    for key in ("sim.consistency.stale_results",
+                "sim.consistency.fresh_results"):
+        if not isinstance(counters.get(key), (int, float)):
+            err(f"consistency bench missing counter '{key}'")
+
+    histograms = doc.get("metrics", {}).get("histograms", {})
+    if "sim.consistency.freshness_latency_seconds" not in histograms:
+        err("consistency bench missing the "
+            "'sim.consistency.freshness_latency_seconds' histogram")
+
+    tables = {t.get("name"): t for t in doc.get("tables", [])
+              if isinstance(t, dict)}
+    main = tables.get("main")
+    if main is None:
+        err("consistency bench missing the 'main' sweep table")
+    else:
+        columns = main.get("columns", [])
+        for column in ("Scheme", "Stale-hit (sim)", "Stale-hit (model)",
+                       "Maint B/s"):
+            if column not in columns:
+                err(f"consistency sweep table missing column '{column}'")
+        if len(main.get("rows", [])) < 4:
+            err("consistency sweep table must cover at least the four "
+                "maintenance schemes")
+    replication = tables.get("replication")
+    if replication is None:
+        err("consistency bench missing the 'replication' trade table")
+    elif len(replication.get("rows", [])) < 2:
+        err("'replication' table must compare off vs on")
 
 
 def validate_sharded_rows(doc, err):
