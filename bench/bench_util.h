@@ -270,7 +270,7 @@ inline SimOptions MakeStrategyOptions(const StrategySpec& spec,
     options.num_walkers = spec.walkers;
     options.walk_ttl = spec.walk_ttl;
   }
-  if (spec.routing) options.routing.enabled = true;
+  if (spec.routing) options.routing.enable = true;
   return options;
 }
 

@@ -6,14 +6,16 @@
 // worlds — a pure network, a super-peer network with randomly chosen
 // super-peers, and one whose super-peers are the most capable peers.
 
-#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
+#include <numeric>
 #include <vector>
 
 #include "bench_util.h"
 #include "sppnet/io/table.h"
 #include "sppnet/workload/capacity.h"
+#include "sppnet/workload/election.h"
 
 namespace {
 
@@ -23,29 +25,34 @@ struct Outcome {
   double all_overloaded_pct = 0.0;
 };
 
-/// Checks every role assignment against sampled capacities. In the
-/// "best peers" policy the `num_sp` largest-uplink peers take the
-/// super-peer slots; in "random" the slots go to arbitrary peers.
+/// Checks every role assignment against sampled capacities. Role slot
+/// r carries capacities[order[r]]: the identity order in the "random"
+/// policy, the shared election ranking (workload/election.h — the same
+/// ordering the live adaptation controller elects by) in the "best
+/// peers" policy, so the most capable peers take the super-peer slots.
 Outcome Evaluate(const sppnet::InstanceLoads& loads,
-                 std::vector<sppnet::PeerCapacity> capacities,
+                 const std::vector<sppnet::PeerCapacity>& capacities,
                  bool capacity_aware) {
   using sppnet::FitsWithin;
   const std::size_t num_sp = loads.partner_load.size();
+  std::vector<std::uint32_t> order;
   if (capacity_aware) {
-    std::sort(capacities.begin(), capacities.end(),
-              [](const auto& a, const auto& b) { return a.up_bps > b.up_bps; });
+    order = sppnet::RankByCapacity(capacities);
+  } else {
+    order.resize(capacities.size());
+    std::iota(order.begin(), order.end(), 0u);
   }
   Outcome out;
   std::size_t sp_over = 0, cl_over = 0;
   for (std::size_t i = 0; i < num_sp; ++i) {
     const auto& lv = loads.partner_load[i];
-    if (!FitsWithin(capacities[i], lv.in_bps, lv.out_bps, lv.proc_hz)) {
+    if (!FitsWithin(capacities[order[i]], lv.in_bps, lv.out_bps, lv.proc_hz)) {
       ++sp_over;
     }
   }
   for (std::size_t i = 0; i < loads.client_load.size(); ++i) {
     const auto& lv = loads.client_load[i];
-    if (!FitsWithin(capacities[num_sp + i], lv.in_bps, lv.out_bps,
+    if (!FitsWithin(capacities[order[num_sp + i]], lv.in_bps, lv.out_bps,
                     lv.proc_hz)) {
       ++cl_over;
     }
@@ -103,14 +110,10 @@ int main() {
     const NetworkInstance inst = GenerateInstance(config, inputs, rng);
     const InstanceLoads loads = EvaluateInstance(inst, config, inputs);
 
-    std::vector<PeerCapacity> peer_caps;
-    peer_caps.reserve(inst.TotalUsers());
     Rng cap_rng(13);
-    for (std::size_t i = 0; i < inst.TotalUsers(); ++i) {
-      peer_caps.push_back(capacities.Sample(cap_rng));
-    }
-    const Outcome out =
-        Evaluate(loads, std::move(peer_caps), system.capacity_aware);
+    const std::vector<PeerCapacity> peer_caps =
+        SampleNodeCapacities(capacities, cap_rng, inst.TotalUsers());
+    const Outcome out = Evaluate(loads, peer_caps, system.capacity_aware);
     table.AddRow({system.name, Format(out.sp_overloaded_pct, 3),
                   Format(out.client_overloaded_pct, 3),
                   Format(out.all_overloaded_pct, 3)});

@@ -197,8 +197,8 @@ int main() {
     SimOptions options;
     options.duration_seconds = SmokeSimSeconds(3000.0);
     options.warmup_seconds = 60.0;
-    options.enable_churn = true;
-    options.partner_recovery_seconds = 30.0;
+    options.churn.enable = true;
+    options.churn.partner_recovery_seconds = 30.0;
     options.seed = 13;
     const SimReport report = Simulator(inst, config, inputs, options).Run();
     churn.AddRow({Format(30.0, 3), Format(redundancy ? 2 : 1),

@@ -65,8 +65,8 @@ int main() {
       options.metrics = &run.metrics();
     options.duration_seconds = SmokeSimSeconds(2500);
     options.warmup_seconds = 60;
-    options.enable_churn = true;
-    options.partner_recovery_seconds = 45.0;
+    options.churn.enable = true;
+    options.churn.partner_recovery_seconds = 45.0;
     options.seed = 17;
     Simulator sim(inst, config, inputs, options);
     const SimReport r = sim.Run();

@@ -41,8 +41,8 @@ int main() {
       options.metrics = &run.metrics();
       options.duration_seconds = SmokeSimSeconds(3000);
       options.warmup_seconds = 60;
-      options.enable_churn = true;
-      options.partner_recovery_seconds = recovery;
+      options.churn.enable = true;
+      options.churn.partner_recovery_seconds = recovery;
       options.seed = 13;
       Simulator sim(inst, config, inputs, options);
       const SimReport report = sim.Run();

@@ -81,8 +81,8 @@ int Main() {
   // The measurement window must outlast the stream: the driver keeps
   // ingesting for as many windows as the event target needs.
   options.duration_seconds = 1e9;
-  options.enable_churn = true;
-  options.partner_recovery_seconds = 20.0;
+  options.churn.enable = true;
+  options.churn.partner_recovery_seconds = 20.0;
 
   // ~175k events per simulated second at this size: 2 s windows give
   // the decile accounting (and the retirement sweep) fine enough grain

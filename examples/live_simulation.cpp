@@ -57,8 +57,8 @@ int main() {
               "their sessions,\nreplacements take 45 s):\n");
   SimOptions churn = options;
   churn.duration_seconds = 2500;
-  churn.enable_churn = true;
-  churn.partner_recovery_seconds = 45.0;
+  churn.churn.enable = true;
+  churn.churn.partner_recovery_seconds = 45.0;
 
   for (const bool redundancy : {false, true}) {
     Configuration c = config;

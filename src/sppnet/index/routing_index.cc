@@ -10,10 +10,6 @@
 namespace sppnet {
 namespace {
 
-/// Stream tag separating the persistent content realization from every
-/// other Rng::Salted consumer (the sharded sim uses tags (1..3) << 32).
-constexpr std::uint64_t kRoutingContentTag = 0x526f757465ull;  // "Route"
-
 std::uint64_t Mix64(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ull;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
@@ -139,7 +135,7 @@ std::uint32_t RoutedMatchCount(const QueryModel& query_model,
                                std::uint32_t cluster,
                                std::uint32_t query_class) {
   Rng rng =
-      Rng::Salted(seed ^ kRoutingContentTag,
+      Rng::Salted(seed ^ RoutingOptions::kStreamSalt,
                   (static_cast<std::uint64_t>(cluster) << 32) | query_class);
   return SampleBinomial(indexed_files, query_model.SelectionPower(query_class),
                         rng);

@@ -68,8 +68,10 @@ class BloomDigest {
 /// (SPPNET_CHECK) on malformed values.
 struct RoutingOptions {
   /// Master switch. When false the layer is never consulted and runs
-  /// are bit-identical to a build without it.
-  bool enabled = false;
+  /// are bit-identical to a build without it. (The layer also
+  /// activates implicitly for the routed strategies; see
+  /// RoutingActive in sim/simulator.cc.)
+  bool enable = false;
   /// Bloom width per neighbor digest (bits; positive multiple of 64).
   /// 512 bits ≈ 64 B per edge: at ~100 advertised classes per radius-2
   /// neighborhood the estimated false-positive rate is a few percent.
@@ -87,8 +89,14 @@ struct RoutingOptions {
   /// accounts the traffic through CostTable::DigestAnnounceBytes).
   double refresh_interval_seconds = 60.0;
 
+  /// Stream tag for the persistent content realization: RoutedMatchCount
+  /// draws from Rng::Salted(seed ^ kStreamSalt, key(cluster, class)).
+  static constexpr std::uint64_t kStreamSalt = 0x526f757465ull;  // "Route"
+
   /// Serialized DigestAnnounce payload bytes for these options.
   std::size_t DigestPayloadBytes() const { return digest_bits / 8; }
+
+  bool enabled() const { return enable; }
 
   void Validate() const;
 };

@@ -1,0 +1,83 @@
+#include "sppnet/model/capacity_plane.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "sppnet/common/check.h"
+#include "sppnet/workload/election.h"
+
+namespace sppnet {
+
+CapacityPlaneReport EvaluateCapacityPlane(
+    const InstanceLoads& loads, const std::vector<PeerCapacity>& capacities,
+    double overload_utilization, ElectionPolicy policy) {
+  const std::size_t num_partners = loads.partner_load.size();
+  const std::size_t num_clients = loads.client_load.size();
+  const std::size_t total = num_partners + num_clients;
+  SPPNET_CHECK_MSG(capacities.size() == total,
+                   "capacity plane needs one capacity per node");
+  SPPNET_CHECK_MSG(overload_utilization > 0.0,
+                   "overload utilization threshold must be > 0");
+
+  // Role assignment: entry r of `assigned` is the capacity carried by
+  // role slot r (partner slots first, then clients).
+  std::vector<const PeerCapacity*> assigned(total);
+  if (policy == ElectionPolicy::kBlind) {
+    for (std::size_t r = 0; r < total; ++r) assigned[r] = &capacities[r];
+  } else {
+    const std::vector<std::uint32_t> order = RankByCapacity(capacities);
+    for (std::size_t r = 0; r < total; ++r) {
+      assigned[r] = &capacities[order[r]];
+    }
+  }
+
+  CapacityPlaneReport report;
+  std::vector<double> sp_utils;
+  sp_utils.reserve(num_partners);
+  double sum = 0.0;
+  double sp_sum = 0.0;
+  std::size_t over = 0;
+  std::size_t sp_over = 0;
+  double max_util = 0.0;
+  const auto visit = [&](std::size_t role, const LoadVector& load) {
+    const double util = UtilizationOf(*assigned[role], load.in_bps,
+                                      load.out_bps, load.proc_hz);
+    sum += util;
+    max_util = std::max(max_util, util);
+    if (util > overload_utilization) ++over;
+    if (role < num_partners) {
+      sp_sum += util;
+      if (util > overload_utilization) ++sp_over;
+      sp_utils.push_back(util);
+    }
+  };
+  for (std::size_t p = 0; p < num_partners; ++p) {
+    visit(p, loads.partner_load[p]);
+  }
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    visit(num_partners + c, loads.client_load[c]);
+  }
+
+  if (total > 0) {
+    report.mean_utilization = sum / static_cast<double>(total);
+    report.overloaded_fraction =
+        static_cast<double>(over) / static_cast<double>(total);
+  }
+  if (num_partners > 0) {
+    report.sp_mean_utilization = sp_sum / static_cast<double>(num_partners);
+    report.sp_overloaded_fraction =
+        static_cast<double>(sp_over) / static_cast<double>(num_partners);
+    std::sort(sp_utils.begin(), sp_utils.end());
+    const auto idx = static_cast<std::size_t>(
+        std::ceil(0.99 * static_cast<double>(sp_utils.size())));
+    report.sp_p99_utilization = sp_utils[std::min(idx, sp_utils.size()) - 1];
+  }
+  report.max_utilization = max_util;
+  if (max_util > 0.0 && std::isfinite(max_util)) {
+    report.achievable_scale = 1.0 / max_util;
+  }
+  return report;
+}
+
+}  // namespace sppnet

@@ -1,0 +1,56 @@
+#ifndef SPPNET_MODEL_CAPACITY_PLANE_H_
+#define SPPNET_MODEL_CAPACITY_PLANE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "sppnet/model/load.h"
+#include "sppnet/workload/capacity.h"
+
+namespace sppnet {
+
+/// Analytical capacity plane (DESIGN.md §15): maps the evaluator's
+/// steady-state InstanceLoads onto a sampled capacity mixture — the
+/// second, independent implementation of the capacity semantics the
+/// simulator realizes as utilization windows. tests/sim/
+/// sim_vs_model_test.cc holds the two within the usual 15 % band.
+
+/// How sampled capacities are assigned to roles.
+enum class ElectionPolicy {
+  /// Slot order: node i keeps capacity i — whoever happens to sit in a
+  /// partner slot carries the super-peer load (the sim's layout).
+  kBlind,
+  /// Capacity-aware: the most capable peers (workload/election.h
+  /// ranking) take the partner slots; everyone else is a client in
+  /// rank order. The paper's "capable peers should be super-peers".
+  kAware,
+};
+
+struct CapacityPlaneReport {
+  /// Mean / threshold-exceeding fraction over every node.
+  double mean_utilization = 0.0;
+  double overloaded_fraction = 0.0;
+  /// The super-peer (partner-slot) cut.
+  double sp_mean_utilization = 0.0;
+  double sp_overloaded_fraction = 0.0;
+  /// Exact order-statistic p99 over the super-peer utilizations.
+  double sp_p99_utilization = 0.0;
+  /// Utilization of the single most-loaded node (any role).
+  double max_utilization = 0.0;
+  /// Load multiplier at which the first node saturates (1 /
+  /// max_utilization); infinity-free: 0 when a node is already at
+  /// infinite utilization, and capped only by max_utilization > 0.
+  double achievable_scale = 0.0;
+};
+
+/// Evaluates the plane for one instance's loads. `capacities` holds
+/// one entry per node (partner slots first, then clients — the
+/// simulator's node-id order; sample with SampleNodeCapacities on the
+/// plan's salted stream to match an active CapacityPlan bit-for-bit).
+CapacityPlaneReport EvaluateCapacityPlane(
+    const InstanceLoads& loads, const std::vector<PeerCapacity>& capacities,
+    double overload_utilization, ElectionPolicy policy);
+
+}  // namespace sppnet
+
+#endif  // SPPNET_MODEL_CAPACITY_PLANE_H_

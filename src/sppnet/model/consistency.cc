@@ -38,7 +38,7 @@ ConsistencyModelReport EvaluateConsistencyPlane(
   options.Validate();
   const ConsistencyPlan& plan = options.plan;
   ConsistencyModelReport report;
-  if (!plan.Active()) return report;
+  if (!plan.enabled()) return report;
 
   const CostTable& costs = inputs.costs;
   const std::size_t n = instance.NumClusters();

@@ -48,7 +48,7 @@ struct ReplicationPlan {
   /// Records carried by one ReplicaPush (the freshest results first).
   std::uint32_t max_records_per_push = 4;
 
-  bool Active() const { return owner_replication || path_replication; }
+  bool enabled() const { return owner_replication || path_replication; }
 
   /// Aborts (SPPNET_CHECK) on an invalid plan: a zero replication
   /// factor or a zero per-push record budget.
@@ -70,7 +70,10 @@ struct ConsistencyPlan {
   double ttr_seconds = 60.0;
   ReplicationPlan replication;
 
-  bool Active() const { return change_rate_per_client > 0.0; }
+  /// The consistency decision stream: Rng::Salted(seed, kStreamSalt).
+  static constexpr std::uint64_t kStreamSalt = 0xc2b2ae3d27d4eb4full;
+
+  bool enabled() const { return change_rate_per_client > 0.0; }
 
   /// Aborts (SPPNET_CHECK) on an invalid plan: a negative or
   /// non-finite change rate, a zero/negative/non-finite TTR, or an

@@ -17,12 +17,12 @@ namespace sppnet {
 /// cross-validated, per DESIGN.md).
 enum class RoutedModelStrategy {
   /// Content-pruned flood: the simulator's kRoutedFlood (equivalently
-  /// kFlood with routing.enabled).
+  /// kFlood with routing.enable).
   kRoutedFlood,
   /// Digest-biased k-walker (kWalker). Complete topologies only — the
   /// mean-field occupancy argument below needs the all-pairs symmetry.
   kWalker,
-  /// Routed iterative deepening: kExpandingRing with routing.enabled.
+  /// Routed iterative deepening: kExpandingRing with routing.enable.
   kExpandingRing,
 };
 

@@ -5,14 +5,10 @@
 #include <deque>
 
 #include "sppnet/common/check.h"
+#include "sppnet/workload/election.h"
 
 namespace sppnet {
 namespace {
-
-/// Salt for the adaptation layer's dedicated RNG stream. Distinct from
-/// the fault layer's kFaultStreamSalt so the two layers never share a
-/// stream even under the same simulation seed.
-constexpr std::uint64_t kAdaptiveStreamSalt = 0xd1b54a32d192ed03ull;
 
 /// Rule III accepts a shorter TTL when it preserves at least this
 /// fraction of the mean reach — the same threshold the offline
@@ -43,7 +39,7 @@ void AdaptivePlan::Validate() const {
   SPPNET_CHECK_MSG(std::isfinite(decision_interval_seconds) &&
                        decision_interval_seconds > 0.0,
                    "decision interval must be finite and > 0");
-  if (!Active()) return;
+  if (!enabled()) return;
   SPPNET_CHECK_MSG(probe_interval_seconds <= decision_interval_seconds,
                    "probe interval must not exceed the decision interval");
   policy.Validate();
@@ -52,7 +48,7 @@ void AdaptivePlan::Validate() const {
 AdaptiveController::AdaptiveController(const NetworkInstance& instance,
                                        const LocalPolicy& policy,
                                        std::uint64_t sim_seed)
-    : policy_(policy), rng_(sim_seed ^ kAdaptiveStreamSalt) {
+    : policy_(policy), rng_(sim_seed ^ AdaptivePlan::kStreamSalt) {
   policy_.Validate();
   SPPNET_CHECK_MSG(instance.redundancy_k == 1,
                    "in-sim adaptation models non-redundant clusters");
@@ -70,6 +66,7 @@ AdaptiveController::AdaptiveController(const NetworkInstance& instance,
   cooldown_.assign(n, 0);
   over_streak_.assign(n, 0);
   under_streak_.assign(n, 0);
+  cap_over_streak_.assign(n, 0);
   files_sum_.assign(n, 0.0);
   reports_.resize(n);
   live_clusters_ = n;
@@ -126,6 +123,20 @@ void AdaptiveController::MoveClient(std::uint32_t node,
   node_cluster_[node] = static_cast<std::uint32_t>(to_cluster);
 }
 
+void AdaptiveController::SetCapacityView(std::vector<PeerCapacity> capacities,
+                                         double overload_utilization,
+                                         bool aware_election,
+                                         bool demote_overloaded) {
+  SPPNET_CHECK_MSG(capacities.size() == files_.size(),
+                   "capacity view must cover every node id");
+  SPPNET_CHECK_MSG(overload_utilization > 0.0,
+                   "overload utilization threshold must be > 0");
+  capacities_ = std::move(capacities);
+  cap_overload_util_ = overload_utilization;
+  cap_aware_election_ = aware_election;
+  cap_demote_ = demote_overloaded;
+}
+
 void AdaptiveController::RecordReport(std::size_t observer,
                                       std::size_t reporter, double total_bps,
                                       double proc_hz) {
@@ -158,13 +169,19 @@ const AdaptiveController::NeighborReport* AdaptiveController::FreshReport(
 void AdaptiveController::SplitCluster(std::size_t i, RoundActions& actions) {
   SPPNET_CHECK(members_[i].size() >= 2);
 
-  // Promote the most capable member (largest collection as proxy;
-  // strictly-greater scan keeps the first maximum, matching the
-  // offline controller). NOTE: no reference into members_ may be held
+  // Promote the most capable member. With a capacity-aware view the
+  // election ranks by the sampled capacities (workload/election.h);
+  // the blind path keeps the historical largest-collection proxy. Both
+  // are strictly-greater scans keeping the first maximum, matching the
+  // offline controller. NOTE: no reference into members_ may be held
   // across the emplace_back growth below — it reallocates.
   std::size_t best = 0;
-  for (std::size_t c = 1; c < members_[i].size(); ++c) {
-    if (files_[members_[i][c]] > files_[members_[i][best]]) best = c;
+  if (cap_aware_election_) {
+    best = BestCandidate(members_[i], capacities_);
+  } else {
+    for (std::size_t c = 1; c < members_[i].size(); ++c) {
+      if (files_[members_[i][c]] > files_[members_[i][best]]) best = c;
+    }
   }
   const std::uint32_t promoted = members_[i][best];
   members_[i].erase(members_[i].begin() + static_cast<std::ptrdiff_t>(best));
@@ -179,12 +196,14 @@ void AdaptiveController::SplitCluster(std::size_t i, RoundActions& actions) {
   cooldown_.push_back(kSettleRounds);
   over_streak_.push_back(0);
   under_streak_.push_back(0);
+  cap_over_streak_.push_back(0);
   files_sum_.push_back(files_[promoted]);
   reports_.emplace_back();
   ++live_clusters_;
   cooldown_[i] = kSettleRounds;
   over_streak_[i] = 0;
   under_streak_[i] = 0;
+  cap_over_streak_[i] = 0;
   is_head_[promoted] = 1;
   node_cluster_[promoted] = fresh_id;
 
@@ -272,9 +291,40 @@ void AdaptiveController::CoalesceClusters(std::size_t into, std::size_t from,
   cooldown_[into] = kSettleRounds;
   over_streak_[from] = under_streak_[from] = 0;
   over_streak_[into] = under_streak_[into] = 0;
+  cap_over_streak_[from] = cap_over_streak_[into] = 0;
   --live_clusters_;
 
   actions.coalesces.push_back(std::move(action));
+}
+
+bool AdaptiveController::DemoteHead(std::size_t i, RoundActions& actions) {
+  if (members_[i].empty()) return false;
+  const std::uint32_t old_head = head_[i];
+  const std::size_t best = BestCandidate(members_[i], capacities_);
+  const std::uint32_t new_head = members_[i][best];
+  // Only a strictly more capable member may take over: an overloaded
+  // cluster of uniformly weak peers gains nothing from reshuffling,
+  // and the strictness keeps the rule from oscillating between peers
+  // of equal rank.
+  if (!CapacityRankHigher(capacities_[new_head], capacities_[old_head])) {
+    return false;
+  }
+  members_[i].erase(members_[i].begin() + static_cast<std::ptrdiff_t>(best));
+  members_[i].push_back(old_head);
+  is_head_[old_head] = 0;
+  is_head_[new_head] = 1;
+  head_[i] = new_head;
+  // Same node set, so files_sum_ and node_cluster_ are unchanged; the
+  // re-upload storm still makes the next window unrepresentative.
+  cooldown_[i] = kSettleRounds;
+  over_streak_[i] = under_streak_[i] = cap_over_streak_[i] = 0;
+
+  DemoteAction action;
+  action.cluster = static_cast<std::uint32_t>(i);
+  action.old_head = old_head;
+  action.new_head = new_head;
+  actions.demotes.push_back(action);
+  return true;
 }
 
 double AdaptiveController::MeanReach(int ttl) const {
@@ -319,20 +369,24 @@ AdaptiveController::RoundActions AdaptiveController::RunRound(
   const std::size_t n_before = head_.size();
 
   // --- Rule I: classify live clusters on their own window loads ----------
+  // The capacity rule classifies in the same pass: a head sustained
+  // above its own overload-utilization threshold becomes a demotion
+  // candidate (applied after the structural rules below).
   std::vector<std::size_t> overloaded;
   std::vector<std::size_t> underloaded;
+  std::vector<std::size_t> cap_overloaded;
   for (std::size_t i = 0; i < n_before; ++i) {
     if (dead_[i]) continue;
     if (!own_loads[i].valid) {
       // Head down this round: no evidence either way.
-      over_streak_[i] = under_streak_[i] = 0;
+      over_streak_[i] = under_streak_[i] = cap_over_streak_[i] = 0;
       continue;
     }
     if (cooldown_[i] > 0) {
       // Settling after a structural change: this window still carries
       // the re-upload storm, so the sample is not steady-state.
       --cooldown_[i];
-      over_streak_[i] = under_streak_[i] = 0;
+      over_streak_[i] = under_streak_[i] = cap_over_streak_[i] = 0;
       continue;
     }
     const LoadSample& s = own_loads[i];
@@ -346,6 +400,16 @@ AdaptiveController::RoundActions AdaptiveController::RunRound(
         under ? static_cast<std::uint8_t>(
                     std::min<int>(under_streak_[i] + 1, kSustainRounds))
               : std::uint8_t{0};
+    if (cap_demote_) {
+      const bool cap_over =
+          UtilizationOf(capacities_[head_[i]], s.in_bps, s.out_bps,
+                        s.proc_hz) > cap_overload_util_;
+      cap_over_streak_[i] =
+          cap_over ? static_cast<std::uint8_t>(
+                         std::min<int>(cap_over_streak_[i] + 1, kSustainRounds))
+                   : std::uint8_t{0};
+      if (cap_over_streak_[i] >= kSustainRounds) cap_overloaded.push_back(i);
+    }
     if (over_streak_[i] >= kSustainRounds && members_[i].size() >= 2) {
       overloaded.push_back(i);
     } else if (under_streak_[i] >= kSustainRounds) {
@@ -376,6 +440,14 @@ AdaptiveController::RoundActions AdaptiveController::RunRound(
       consumed[i] = consumed[nb] = true;
       break;
     }
+  }
+
+  // --- Capacity rule: replace sustained-overloaded heads -----------------
+  // Runs after the structural rules so a cluster split or merged this
+  // round (cooldown just set) settles before any leadership change.
+  for (const std::size_t i : cap_overloaded) {
+    if (dead_[i] || cooldown_[i] > 0) continue;
+    DemoteHead(i, actions);
   }
 
   // --- Rule II: grow outdegree toward the suggested value ----------------
@@ -410,8 +482,10 @@ AdaptiveController::RoundActions AdaptiveController::RunRound(
   }
 
   actions.quiescent = policy_.RoundQuiescent(
-      actions.splits.size(), actions.coalesces.size(), actions.edges.size(),
-      actions.ttl_decreased, live_clusters_);
+                          actions.splits.size(), actions.coalesces.size(),
+                          actions.edges.size(), actions.ttl_decreased,
+                          live_clusters_) &&
+                      actions.demotes.empty();
   ++rounds_completed_;
   return actions;
 }
@@ -456,6 +530,7 @@ void AdaptiveController::SaveTo(CheckpointWriter& w) const {
   w.PutU8Vector(cooldown_);
   w.PutU8Vector(over_streak_);
   w.PutU8Vector(under_streak_);
+  w.PutU8Vector(cap_over_streak_);
   w.PutDoubleVector(files_sum_);
   w.PutU64(reports_.size());
   for (const auto& slot : reports_) {
@@ -492,6 +567,7 @@ bool AdaptiveController::LoadFrom(CheckpointReader& r) {
   cooldown_ = r.GetU8Vector();
   over_streak_ = r.GetU8Vector();
   under_streak_ = r.GetU8Vector();
+  cap_over_streak_ = r.GetU8Vector();
   files_sum_ = r.GetDoubleVector();
   const std::uint64_t num_report_slots = r.GetU64();
   reports_.clear();
@@ -516,6 +592,7 @@ bool AdaptiveController::LoadFrom(CheckpointReader& r) {
          cooldown_.size() == head_.size() &&
          over_streak_.size() == head_.size() &&
          under_streak_.size() == head_.size() &&
+         cap_over_streak_.size() == head_.size() &&
          files_sum_.size() == head_.size() &&
          reports_.size() == head_.size();
 }

@@ -10,6 +10,7 @@
 #include "sppnet/common/rng.h"
 #include "sppnet/io/checkpoint.h"
 #include "sppnet/model/instance.h"
+#include "sppnet/workload/capacity.h"
 
 namespace sppnet {
 
@@ -40,10 +41,14 @@ struct AdaptivePlan {
   /// with the offline controller (adaptive/local_rules.h).
   LocalPolicy policy;
 
+  /// The adaptation stream: Rng(sim_seed ^ kStreamSalt). Distinct from
+  /// every other layer salt (audited in sim/plan.cc).
+  static constexpr std::uint64_t kStreamSalt = 0xd1b54a32d192ed03ull;
+
   /// True when the plan schedules any adaptation activity. An inactive
   /// plan leaves the simulator's event stream, RNG consumption, report
   /// and published metrics bit-identical to a run without the layer.
-  bool Active() const { return probe_interval_seconds > 0.0; }
+  bool enabled() const { return probe_interval_seconds > 0.0; }
 
   /// Aborts (SPPNET_CHECK) on invalid configurations: negative or
   /// non-finite intervals, a probe interval exceeding the decision
@@ -75,6 +80,11 @@ class AdaptiveController {
     bool valid = false;
     double total_bps = 0.0;
     double proc_hz = 0.0;
+    /// Directional split of total_bps, filled only when the capacity
+    /// layer is active (the rules read total_bps; the capacity
+    /// overload check compares each direction against its own budget).
+    double in_bps = 0.0;
+    double out_bps = 0.0;
   };
 
   /// Rule I overload: `promoted` (the largest-collection member of
@@ -100,6 +110,16 @@ class AdaptiveController {
     std::uint32_t a = 0;
     std::uint32_t b = 0;
   };
+  /// Capacity rule (active capacity view with demote_overloaded only):
+  /// `old_head` of `cluster` was sustained-overloaded against its own
+  /// capacity and a strictly more capable member existed, so the head
+  /// role moved to `new_head`. Membership is unchanged — the simulator
+  /// executes the re-upload storm to the new head.
+  struct DemoteAction {
+    std::uint32_t cluster = 0;
+    std::uint32_t old_head = 0;
+    std::uint32_t new_head = 0;
+  };
   /// Everything one decision round changed. The controller has already
   /// applied the mutations to its own state; the simulator executes
   /// the matching protocol traffic (joins for moved members, the
@@ -108,9 +128,11 @@ class AdaptiveController {
     std::vector<SplitAction> splits;
     std::vector<CoalesceAction> coalesces;
     std::vector<EdgeAction> edges;
+    std::vector<DemoteAction> demotes;
     bool ttl_decreased = false;
     int new_ttl = 0;
-    /// LocalPolicy::RoundQuiescent over this round's counts.
+    /// LocalPolicy::RoundQuiescent over this round's counts, and no
+    /// capacity demotion fired.
     bool quiescent = false;
   };
 
@@ -148,6 +170,19 @@ class AdaptiveController {
   /// re-join path of the fault layer, kept in one membership store.
   void MoveClient(std::uint32_t node, std::size_t to_cluster);
 
+  /// Installs the capacity layer's view (CapacityPlan): per-node
+  /// sampled capacities plus the two decision-axis switches. With
+  /// `aware_election`, SplitCluster promotes the most capable member
+  /// (workload/election.h) instead of the largest collection; with
+  /// `demote_overloaded`, RunRound swaps out heads whose window load
+  /// exceeds `overload_utilization` of their own capacity for
+  /// kSustainRounds consecutive rounds. Not checkpointed: the view is
+  /// a pure function of (instance, seed, plan) the restoring simulator
+  /// re-installs identically — only cap_over_streak_ is run state.
+  void SetCapacityView(std::vector<PeerCapacity> capacities,
+                       double overload_utilization, bool aware_election,
+                       bool demote_overloaded);
+
   /// Stores `reporter`'s load as observed by `observer` (a LoadReport
   /// arriving). Reports are stamped with the current round; a report is
   /// "fresh" for exactly one decision round, so coalesce decisions
@@ -184,6 +219,10 @@ class AdaptiveController {
   void SplitCluster(std::size_t i, RoundActions& actions);
   void CoalesceClusters(std::size_t into, std::size_t from,
                         RoundActions& actions);
+  /// Capacity rule: hands cluster `i`'s head role to its most capable
+  /// member if that member strictly outranks the current head; no-op
+  /// (returns false) otherwise.
+  bool DemoteHead(std::size_t i, RoundActions& actions);
   /// Files-weighted mean BFS reach at `ttl` hops over the live overlay
   /// (the in-sim stand-in for the evaluator's mean_reach in rule III;
   /// deterministic, no RNG).
@@ -214,10 +253,23 @@ class AdaptiveController {
   /// membership churning forever at the thresholds.
   std::vector<std::uint8_t> over_streak_;
   std::vector<std::uint8_t> under_streak_;
+  /// Capacity rule's sustained filter: consecutive rounds the slot's
+  /// head measured above its own overload-utilization threshold. Same
+  /// kSustainRounds agreement requirement as rule I, for the same
+  /// reason (Poisson-noisy windows).
+  std::vector<std::uint8_t> cap_over_streak_;
   std::vector<double> files_sum_;
   std::vector<std::vector<NeighborReport>> reports_;  // Per observer slot.
   std::size_t live_clusters_ = 0;
   std::uint64_t rounds_completed_ = 0;
+
+  // Capacity view (SetCapacityView; empty/false without the capacity
+  // layer — the blind paths below are then bit-identical to a build
+  // without it).
+  std::vector<PeerCapacity> capacities_;  // Per node id.
+  double cap_overload_util_ = 0.0;
+  bool cap_aware_election_ = false;
+  bool cap_demote_ = false;
 };
 
 }  // namespace sppnet

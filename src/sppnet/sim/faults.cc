@@ -6,14 +6,6 @@
 #include "sppnet/common/check.h"
 
 namespace sppnet {
-namespace {
-
-// Salt separating the fault-decision stream from the protocol stream
-// seeded with the same 64-bit simulation seed (an arbitrary odd
-// constant; SplitMix64 seeding mixes it thoroughly).
-constexpr std::uint64_t kFaultStreamSalt = 0x9e3779b97f4a7c15ull;
-
-}  // namespace
 
 void FaultPlan::Validate() const {
   SPPNET_CHECK_MSG(crash_rate_per_partner >= 0.0 &&
@@ -41,8 +33,12 @@ void FaultPlan::Validate() const {
   SPPNET_CHECK_MSG(max_retries >= 0, "retry budget must be >= 0");
 }
 
+// The salt (FaultPlan::kStreamSalt, an arbitrary odd constant)
+// separates the fault-decision stream from the protocol stream seeded
+// with the same 64-bit simulation seed; SplitMix64 seeding mixes it
+// thoroughly.
 FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t sim_seed)
-    : plan_(plan), rng_(sim_seed ^ kFaultStreamSalt) {
+    : plan_(plan), rng_(sim_seed ^ FaultPlan::kStreamSalt) {
   plan_.Validate();
 }
 

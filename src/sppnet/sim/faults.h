@@ -15,7 +15,7 @@ namespace sppnet {
 /// a recovery protocol it never spells out. This plan drives both halves
 /// of the missing piece: the *faults* — super-peer crashes mid-session
 /// (on top of, and independent from, the end-of-lifespan churn of
-/// `SimOptions::enable_churn`), silent message drops, and delivery-delay
+/// `SimOptions::churn`), silent message drops, and delivery-delay
 /// jitter — and the knobs of the *recovery* protocol the simulator runs
 /// against them (per-request timeout, bounded exponential-backoff retry,
 /// failover across surviving partners, re-join via discovery).
@@ -24,9 +24,10 @@ namespace sppnet {
 /// a dedicated `Rng` stream salted from the simulation seed (see
 /// `FaultInjector`), never from the simulator's protocol stream. A draw
 /// happens only when the corresponding rate is non-zero, and a plan with
-/// `Active() == false` is never consulted at all — so a zero-rate run is
+/// `enabled() == false` is never consulted at all — so a zero-rate run is
 /// bit-identical to a run without the fault layer ("pay for what you
 /// use"), and any active plan is bit-reproducible from the seed.
+/// Models the LayerPlan contract (sim/plan.h).
 struct FaultPlan {
   // --- Injection -----------------------------------------------------------
   /// Poisson rate (events/second) of mid-session crashes per partner.
@@ -35,7 +36,7 @@ struct FaultPlan {
   /// already-down partner are no-ops (the clock keeps running).
   double crash_rate_per_partner = 0.0;
   /// Seconds a crashed partner stays down before a replacement is
-  /// promoted (mirrors SimOptions::partner_recovery_seconds for churn).
+  /// promoted (mirrors ChurnPlan::partner_recovery_seconds for churn).
   double crash_recovery_seconds = 30.0;
   /// Probability that any scheduled overlay delivery (query, response,
   /// join, update, walk hop) is silently lost in transit. The sender's
@@ -63,11 +64,14 @@ struct FaultPlan {
   double backoff_factor = 2.0;
   double backoff_cap_seconds = 8.0;
 
+  /// The fault stream: Rng(sim_seed ^ kStreamSalt).
+  static constexpr std::uint64_t kStreamSalt = 0x9e3779b97f4a7c15ull;
+
   /// True when the plan injects any fault or arms the recovery
   /// machinery. An inactive plan leaves the simulator's event stream,
   /// RNG consumption, report and published metrics bit-identical to a
   /// run without the fault layer.
-  bool Active() const {
+  bool enabled() const {
     return crash_rate_per_partner > 0.0 || message_drop_probability > 0.0 ||
            max_delay_jitter_seconds > 0.0 || request_timeout_seconds > 0.0;
   }
@@ -94,7 +98,7 @@ class FaultInjector {
   FaultInjector(const FaultPlan& plan, std::uint64_t sim_seed);
 
   const FaultPlan& plan() const { return plan_; }
-  bool active() const { return plan_.Active(); }
+  bool active() const { return plan_.enabled(); }
 
   /// True if the next delivery should be silently dropped. Draws from
   /// the fault stream only when the drop probability is non-zero.

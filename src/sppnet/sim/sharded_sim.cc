@@ -7,7 +7,7 @@
 namespace sppnet {
 
 void ShardPlan::Validate() const {
-  if (!Enabled()) return;
+  if (!enabled()) return;
   SPPNET_CHECK_MSG(num_threads >= 1,
                    "a sharded plan needs at least one worker thread");
   SPPNET_CHECK_MSG(num_shards <= kShardCtlDomain,

@@ -34,12 +34,20 @@ struct ShardPlan {
   /// num_threads). Clamped to num_shards; 1 runs inline.
   std::size_t num_threads = 1;
 
-  bool Enabled() const { return num_shards > 0; }
+  /// Per-domain stream salts (Rng::Salted(seed, salt | domain)) and
+  /// the control-stream salt, in the (tag << 32) space no other layer
+  /// uses (audited in sim/plan.cc).
+  static constexpr std::uint64_t kProtoStreamSalt = std::uint64_t{1} << 32;
+  static constexpr std::uint64_t kFaultStreamSalt = std::uint64_t{2} << 32;
+  static constexpr std::uint64_t kCtlStreamSalt = std::uint64_t{3} << 32;
+
+  bool enabled() const { return num_shards > 0; }
 
   /// Aborts (SPPNET_CHECK) when enabled with num_threads == 0.
-  /// Feature-compatibility constraints (positive lookahead, abstract
-  /// indexes, no result cache) live in SimOptions::Validate, which
-  /// sees the whole option set.
+  /// Feature-compatibility constraints (abstract indexes, no result
+  /// cache) live in the sim/plan.h conflict matrix; the positive-
+  /// lookahead requirement stays in SimOptions::Validate, which sees
+  /// the whole option set.
   void Validate() const;
 };
 

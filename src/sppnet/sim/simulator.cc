@@ -25,6 +25,7 @@
 #include "sppnet/sim/faults.h"
 #include "sppnet/sim/sharded_sim.h"
 #include "sppnet/sim/sim_state.h"
+#include "sppnet/workload/capacity.h"
 
 namespace sppnet {
 namespace {
@@ -77,6 +78,10 @@ enum : std::uint32_t {
   kInvalidateArrive,    // InvalidateMessage delivery (push scheme).
   kRefreshPollTick,     // Per-cluster TTR poll round (pull scheme).
   kRefreshReplyArrive,  // Batched RefreshReply delivery (pull scheme).
+  // Capacity kind (DESIGN.md §15; legacy engine only — Validate()
+  // rejects capacity + sharding). Appended last for the same
+  // checkpoint-compatibility reason as the consistency kinds.
+  kCapacityWindow,  // Periodic utilization-window close (capacity plan).
 };
 
 // Wire message classes for the observability counters. Every
@@ -116,7 +121,7 @@ constexpr std::uint32_t kSelfUpstream = 0xffffffffu;
 // or when the options enable it explicitly (digest pruning on top of
 // flood / expanding-ring refinement).
 bool RoutingActive(const SimOptions& options) {
-  return options.routing.enabled ||
+  return options.routing.enabled() ||
          options.strategy == SearchStrategy::kRoutedFlood ||
          options.strategy == SearchStrategy::kWalker;
 }
@@ -188,10 +193,15 @@ std::vector<double> FreshnessLatencyBounds() {
   return {0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0};
 }
 
-// Salt of the consistency layer's dedicated RNG stream (distinct from
-// the fault injector's salt and the sharded-discipline tag space; the
-// layer is confined to the legacy engine anyway).
-constexpr std::uint64_t kConsistencyStreamSalt = 0xc2b2ae3d27d4eb4full;
+// Buckets for the super-peer utilization histogram (dimensionless
+// fraction of the node's tightest capacity axis): geometric around the
+// default overload point of 1.0, spanning idle modems through nodes
+// driven an order of magnitude past their budget. The report's p99 is
+// read off these bucket upper bounds.
+std::vector<double> CapacityUtilizationBounds() {
+  return {0.0625, 0.125, 0.25, 0.5, 0.75, 1.0,  1.25, 1.5,
+          2.0,    3.0,   4.0,  6.0, 8.0,  12.0, 16.0};
+}
 
 // Event payloads are integers (SimEvent::a); the consistency events
 // carry the change / poll-tick timestamp through its bit pattern.
@@ -251,12 +261,13 @@ class Simulator::Impl {
         queue_(options.engine),
         state_(options.state_backend, instance.NumClusters()),
         injector_(options.faults, options.seed),
-        fault_active_(options.faults.Active()),
+        fault_active_(options.faults.enabled()),
         recovery_enabled_(fault_active_ && options.faults.TimeoutsEnabled()),
-        adaptive_(options.adaptive.Active()),
+        adaptive_(options.adaptive.enabled()),
         ttl_(config.ttl),
         routing_active_(RoutingActive(options)),
-        consistency_active_(options.consistency.Active()) {
+        consistency_active_(options.consistency.enabled()),
+        capacity_active_(options.capacity.enabled()) {
     options_.Validate();
     const auto init_start = std::chrono::steady_clock::now();
     qbytes_ = inputs.costs.QueryBytes(inputs.stats.query_length_bytes);
@@ -283,7 +294,7 @@ class Simulator::Impl {
     outage_start_.assign(n_, -1.0);
     rr_.assign(n_, 0);
 
-    if (options_.shards.Enabled()) {
+    if (options_.shards.enabled()) {
       disc_ = true;
       num_shards_ = std::min(options_.shards.num_shards, n_);
       num_threads_ = options_.shards.num_threads;
@@ -301,11 +312,11 @@ class Simulator::Impl {
       fault_rngs_.reserve(n_);
       for (std::size_t d = 0; d < n_; ++d) {
         proto_rngs_.push_back(
-            Rng::Salted(options_.seed, (std::uint64_t{1} << 32) | d));
+            Rng::Salted(options_.seed, ShardPlan::kProtoStreamSalt | d));
         fault_rngs_.push_back(
-            Rng::Salted(options_.seed, (std::uint64_t{2} << 32) | d));
+            Rng::Salted(options_.seed, ShardPlan::kFaultStreamSalt | d));
       }
-      ctl_rng_ = Rng::Salted(options_.seed, std::uint64_t{3} << 32);
+      ctl_rng_ = Rng::Salted(options_.seed, ShardPlan::kCtlStreamSalt);
       ctr_dom_.assign(n_, 0);
       user_qid_ctr_.assign(num_partners_ + num_clients_, 0);
       disc_dup_.resize(n_);
@@ -370,7 +381,7 @@ class Simulator::Impl {
       SPPNET_CHECK_MSG(
           options_.consistency.replication.replication_factor <= n_,
           "replication_factor must not exceed the cluster count");
-      cons_rng_ = Rng::Salted(options_.seed, kConsistencyStreamSalt);
+      cons_rng_ = Rng::Salted(options_.seed, ConsistencyPlan::kStreamSalt);
       invalidate_bytes_ = inputs.costs.InvalidateBytes();
       refresh_poll_bytes_ = inputs.costs.RefreshPollBytes();
       refresh_reply_bytes_ = inputs.costs.RefreshReplyBytes();
@@ -381,6 +392,25 @@ class Simulator::Impl {
       if (options_.consistency.scheme == ConsistencyScheme::kPullTtr) {
         cons_pending_.resize(n_);
         cons_head_.assign(n_, 0);
+      }
+    }
+
+    if (capacity_active_) {
+      // Per-node capacities come from a dedicated salted stream, so an
+      // inactive plan never perturbs the protocol draws and an active
+      // one samples the same peers for every engine/backend pairing.
+      Rng cap_rng = Rng::Salted(options_.seed, CapacityPlan::kStreamSalt);
+      node_capacity_ = SampleNodeCapacities(options_.capacity.distribution,
+                                            cap_rng, TotalNodes());
+      cap_in_bytes_.assign(TotalNodes(), 0.0);
+      cap_out_bytes_.assign(TotalNodes(), 0.0);
+      cap_units_.assign(TotalNodes(), 0.0);
+      cap_overloaded_.assign(TotalNodes(), 0);
+      if (adaptive_) {
+        adaptive_ctrl_->SetCapacityView(
+            node_capacity_, options_.capacity.overload_utilization,
+            options_.capacity.capacity_aware_election,
+            options_.capacity.demote_overloaded);
       }
     }
 
@@ -437,7 +467,7 @@ class Simulator::Impl {
       ScheduleIn(ExpDelay(1.0 / LifespanOf(u)), kJoinSubmit, u);
     }
     if (disc_) lanes_[0].cur_domain = kShardCtlDomain;
-    if (options_.enable_churn) {
+    if (options_.churn.enable) {
       for (std::uint32_t p = 0; p < num_partners_; ++p) {
         ScheduleIn(ExpDelay(1.0 / inst_.partner_lifespan[p]), kPartnerFail, p);
       }
@@ -475,6 +505,10 @@ class Simulator::Impl {
                      static_cast<std::uint32_t>(i));
         }
       }
+    }
+    if (capacity_active_) {
+      cap_window_start_ = 0.0;
+      ScheduleIn(options_.capacity.window_seconds, kCapacityWindow, 0);
     }
   }
 
@@ -709,6 +743,7 @@ class Simulator::Impl {
       w.PutU64(adapt_probes_sent_);
       w.PutU64(adapt_reports_received_);
       w.PutU64(adapt_client_moves_);
+      w.PutU64(adapt_demotions_);
       w.PutBool(adapt_converged_);
       w.PutU64(adapt_converged_round_);
     }
@@ -745,6 +780,27 @@ class Simulator::Impl {
       w.PutU64(consistency_replica_served_);
       w.PutDouble(consistency_replication_bytes_);
       PutHistogram(w, freshness_hist_);
+    }
+    // Capacity layer: window accumulators, per-node overload flags and
+    // folded tallies. The sampled capacities themselves are rebuilt
+    // identically at construction (a pure function of seed + plan), so
+    // they never enter a checkpoint.
+    w.PutBool(capacity_active_);
+    if (capacity_active_) {
+      w.PutDoubleVector(cap_in_bytes_);
+      w.PutDoubleVector(cap_out_bytes_);
+      w.PutDoubleVector(cap_units_);
+      w.PutDouble(cap_window_start_);
+      w.PutU8Vector(cap_overloaded_);
+      w.PutU64(cap_windows_);
+      w.PutU64(cap_node_samples_);
+      w.PutU64(cap_over_samples_);
+      w.PutU64(cap_overload_episodes_);
+      w.PutU64(cap_sp_samples_);
+      w.PutU64(cap_sp_over_samples_);
+      w.PutDouble(cap_util_sum_);
+      w.PutDouble(cap_sp_util_sum_);
+      PutHistogram(w, cap_sp_util_hist_);
     }
   }
 
@@ -786,15 +842,18 @@ class Simulator::Impl {
     // violated invariants, but a foreign payload should fail cleanly.
     // Legacy runs schedule the pre-sharding kinds plus kDigestRefresh
     // (routing is confined to the legacy engine) and, when the
-    // consistency layer is on, the four consistency kinds; the
+    // consistency layer is on, the four consistency kinds (and the
+    // capacity window clock for an active capacity plan); the
     // sharded-only cluster kinds in between stay rejected.
     for (const SimEvent& e : events) {
       const bool consistency_kind = consistency_active_ &&
                                     e.kind >= kMetadataChange &&
                                     e.kind <= kRefreshReplyArrive;
+      const bool capacity_kind =
+          capacity_active_ && e.kind == kCapacityWindow;
       if (!std::isfinite(e.time) ||
           (e.kind > kTraceQuerySubmit && e.kind != kDigestRefresh &&
-           !consistency_kind) ||
+           !consistency_kind && !capacity_kind) ||
           e.seq >= next_seq) {
         return false;
       }
@@ -869,6 +928,7 @@ class Simulator::Impl {
       adapt_probes_sent_ = r.GetU64();
       adapt_reports_received_ = r.GetU64();
       adapt_client_moves_ = r.GetU64();
+      adapt_demotions_ = r.GetU64();
       adapt_converged_ = r.GetBool();
       adapt_converged_round_ = r.GetU64();
     }
@@ -896,6 +956,23 @@ class Simulator::Impl {
       consistency_replica_served_ = r.GetU64();
       consistency_replication_bytes_ = r.GetDouble();
       if (!GetHistogram(r, freshness_hist_)) return false;
+    }
+    const bool saved_capacity = r.GetBool();
+    if (capacity_active_) {
+      cap_in_bytes_ = r.GetDoubleVector();
+      cap_out_bytes_ = r.GetDoubleVector();
+      cap_units_ = r.GetDoubleVector();
+      cap_window_start_ = r.GetDouble();
+      cap_overloaded_ = r.GetU8Vector();
+      cap_windows_ = r.GetU64();
+      cap_node_samples_ = r.GetU64();
+      cap_over_samples_ = r.GetU64();
+      cap_overload_episodes_ = r.GetU64();
+      cap_sp_samples_ = r.GetU64();
+      cap_sp_over_samples_ = r.GetU64();
+      cap_util_sum_ = r.GetDouble();
+      cap_sp_util_sum_ = r.GetDouble();
+      if (!GetHistogram(r, cap_sp_util_hist_)) return false;
     }
     lane().measuring = lane().now >= options_.warmup_seconds;
     // A checkpoint from a scenario with a different fault/adaptation
@@ -926,6 +1003,14 @@ class Simulator::Impl {
     if (consistency_active_) {
       consistent = consistent && cons_stale_.size() == n_ &&
                    cons_replicas_.size() == n_;
+    }
+    consistent = consistent && saved_capacity == capacity_active_;
+    if (capacity_active_) {
+      consistent = consistent && cap_in_bytes_.size() == total &&
+                   cap_out_bytes_.size() == total &&
+                   cap_units_.size() == total &&
+                   cap_overloaded_.size() == total &&
+                   std::isfinite(cap_window_start_) && cap_window_start_ >= 0.0;
     }
     return r.ok() && consistent;
   }
@@ -1108,11 +1193,17 @@ class Simulator::Impl {
   }
   // The adapt_* window accumulators feed the next decision round's
   // measured loads; they accrue during warmup too — the adaptation
-  // protocol observes all traffic, unlike the report accounting.
+  // protocol observes all traffic, unlike the report accounting. The
+  // cap_* accumulators behave the same way (utilization windows are
+  // folded into the report only once fully past warmup).
   void AcctSend(std::uint32_t node, Msg msg, double bytes, double units) {
     if (adaptive_) {
       adapt_out_bytes_[node] += bytes;
       adapt_units_[node] += units;
+    }
+    if (capacity_active_) {
+      cap_out_bytes_[node] += bytes;
+      cap_units_[node] += units;
     }
     if (!lane().measuring) return;
     out_bytes_[node] += bytes;
@@ -1124,6 +1215,10 @@ class Simulator::Impl {
       adapt_in_bytes_[node] += bytes;
       adapt_units_[node] += units;
     }
+    if (capacity_active_) {
+      cap_in_bytes_[node] += bytes;
+      cap_units_[node] += units;
+    }
     if (!lane().measuring) return;
     in_bytes_[node] += bytes;
     units_[node] += units;
@@ -1131,6 +1226,7 @@ class Simulator::Impl {
   }
   void AcctProc(std::uint32_t node, double units) {
     if (adaptive_) adapt_units_[node] += units;
+    if (capacity_active_) cap_units_[node] += units;
     if (!lane().measuring) return;
     units_[node] += units;
   }
@@ -1317,6 +1413,9 @@ class Simulator::Impl {
         break;
       case kRefreshReplyArrive:
         OnRefreshReplyArrive(e.node, BitsTime(e.a));
+        break;
+      case kCapacityWindow:
+        OnCapacityWindow();
         break;
       default:
         SPPNET_CHECK_MSG(false, "unknown event kind");
@@ -1810,7 +1909,7 @@ class Simulator::Impl {
       SendResponse(partner, upstream, qid, total_results, addrs, /*hops=*/0);
     }
     if (consistency_active_ && results > 0 &&
-        options_.consistency.replication.Active()) {
+        options_.consistency.replication.enabled()) {
       ReplicatePush(cluster, partner, qid, results);
     }
 
@@ -2502,7 +2601,7 @@ class Simulator::Impl {
     // availability is the new head's problem).
     if (adaptive_ && !adaptive_ctrl_->IsHead(partner)) return;
     if (!partner_alive_[partner]) return;
-    FailPartner(partner, options_.partner_recovery_seconds,
+    FailPartner(partner, options_.churn.partner_recovery_seconds,
                 /*churn_origin=*/true);
   }
 
@@ -2548,7 +2647,7 @@ class Simulator::Impl {
         SendJoinStormUpload(partner, static_cast<std::uint32_t>(c));
       }
     }
-    if (churn_origin && options_.enable_churn) {
+    if (churn_origin && options_.churn.enable) {
       ScheduleIn(ExpDelay(1.0 / inst_.partner_lifespan[partner]), kPartnerFail,
                  partner);
     }
@@ -2779,8 +2878,12 @@ class Simulator::Impl {
     if (elapsed <= 0.0) return s;
     const double inv = 1.0 / elapsed;
     s.valid = true;
+    // total_bps keeps its historical single-rounding expression — the
+    // directional fields are new and must not perturb it bitwise.
     s.total_bps = BytesPerSecToBps(
         (adapt_in_bytes_[node] + adapt_out_bytes_[node]) * inv);
+    s.in_bps = BytesPerSecToBps(adapt_in_bytes_[node] * inv);
+    s.out_bps = BytesPerSecToBps(adapt_out_bytes_[node] * inv);
     s.proc_hz = inputs_.costs.UnitsToHz(adapt_units_[node] * inv);
     return s;
   }
@@ -2888,6 +2991,21 @@ class Simulator::Impl {
         SendMemberUpload(target, member);
       }
     }
+    for (const auto& demote : actions.demotes) {
+      ++adapt_demotions_;
+      // Leadership handover: the elected head indexes its own
+      // collection, and the whole remaining membership (including the
+      // demoted head, now an ordinary client) re-uploads to it. These
+      // uploads are part of the handover storm, not client migrations,
+      // so adapt_client_moves_ stays untouched.
+      AcctProc(demote.new_head,
+               inputs_.costs.ProcessJoinUnits(
+                   adaptive_ctrl_->FilesOfNode(demote.new_head)));
+      for (const std::uint32_t member :
+           adaptive_ctrl_->MembersOf(demote.cluster)) {
+        SendMemberUpload(demote.new_head, member);
+      }
+    }
     for (const auto& edge : actions.edges) {
       ++adapt_edges_added_;
       // Peering handshake: one probe across the new edge primes the
@@ -2941,6 +3059,68 @@ class Simulator::Impl {
   void OnAdaptTtlArrive(std::uint32_t node) {
     if (!IsHeadRole(node) || !HeadAlive(node)) return;
     AcctRecv(node, Msg::kControl, ttl_update_bytes_, recv_ctl_ + MuxOf(node));
+  }
+
+  // --- Capacity observation windows (DESIGN.md §15) ----------------------------
+
+  /// Closes one utilization window: every node's windowed load is
+  /// mapped onto its sampled capacity via UtilizationOf. A window is
+  /// folded into the report only when it lies entirely inside
+  /// measurement (it opened at or after warmup); the per-node overload
+  /// flag is tracked across every window regardless, so episode
+  /// counting at the measurement boundary sees the true prior state.
+  void OnCapacityWindow() {
+    const double elapsed = lane().now - cap_window_start_;
+    ScheduleIn(options_.capacity.window_seconds, kCapacityWindow, 0);
+    if (elapsed > 0.0) {
+      const bool fold = cap_window_start_ >= options_.warmup_seconds;
+      const double inv = 1.0 / elapsed;
+      for (std::uint32_t node = 0; node < TotalNodes(); ++node) {
+        const double util = UtilizationOf(
+            node_capacity_[node], BytesPerSecToBps(cap_in_bytes_[node] * inv),
+            BytesPerSecToBps(cap_out_bytes_[node] * inv),
+            inputs_.costs.UnitsToHz(cap_units_[node] * inv));
+        const bool over = util > options_.capacity.overload_utilization;
+        if (fold) {
+          ++cap_node_samples_;
+          cap_util_sum_ += util;
+          if (over) {
+            ++cap_over_samples_;
+            if (cap_overloaded_[node] == 0) ++cap_overload_episodes_;
+          }
+          // Super-peer cut: the nodes currently carrying the head role
+          // (live partners; under adaptation, the controller's heads).
+          if (IsHeadRole(node) && HeadAlive(node)) {
+            ++cap_sp_samples_;
+            cap_sp_util_sum_ += util;
+            if (over) ++cap_sp_over_samples_;
+            cap_sp_util_hist_.Observe(util);
+          }
+        }
+        cap_overloaded_[node] = over ? 1 : 0;
+      }
+      if (fold) ++cap_windows_;
+    }
+    std::fill(cap_in_bytes_.begin(), cap_in_bytes_.end(), 0.0);
+    std::fill(cap_out_bytes_.begin(), cap_out_bytes_.end(), 0.0);
+    std::fill(cap_units_.begin(), cap_units_.end(), 0.0);
+    cap_window_start_ = lane().now;
+  }
+
+  /// p99 super-peer utilization, read conservatively off the histogram
+  /// bucket upper bounds (the overflow bucket reports the last bound).
+  double CapacitySpUtilP99() const {
+    const std::uint64_t total = cap_sp_util_hist_.count();
+    if (total == 0) return 0.0;
+    const auto want = static_cast<std::uint64_t>(
+        std::ceil(0.99 * static_cast<double>(total)));
+    const std::vector<double>& bounds = cap_sp_util_hist_.upper_bounds();
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < bounds.size(); ++b) {
+      seen += cap_sp_util_hist_.bucket_counts()[b];
+      if (seen >= want) return bounds[b];
+    }
+    return bounds.back();
   }
 
   /// Mean overlay degree of the static topology (the "final" network
@@ -3126,6 +3306,26 @@ class Simulator::Impl {
       report.consistency_replication_bytes_per_sec =
           consistency_replication_bytes_ * inv_t;
     }
+    report.adapt_demotions = adapt_demotions_;
+    if (capacity_active_) {
+      report.capacity_windows = cap_windows_;
+      report.capacity_overload_episodes = cap_overload_episodes_;
+      if (cap_node_samples_ > 0) {
+        report.capacity_mean_utilization =
+            cap_util_sum_ / static_cast<double>(cap_node_samples_);
+        report.capacity_overloaded_fraction =
+            static_cast<double>(cap_over_samples_) /
+            static_cast<double>(cap_node_samples_);
+      }
+      if (cap_sp_samples_ > 0) {
+        report.capacity_sp_mean_utilization =
+            cap_sp_util_sum_ / static_cast<double>(cap_sp_samples_);
+        report.capacity_sp_overloaded_fraction =
+            static_cast<double>(cap_sp_over_samples_) /
+            static_cast<double>(cap_sp_samples_);
+      }
+      report.capacity_sp_p99_utilization = CapacitySpUtilP99();
+    }
     if (options_.metrics != nullptr) PublishMetrics(*options_.metrics);
     return report;
   }
@@ -3277,6 +3477,37 @@ class Simulator::Impl {
       m.GetHistogram("sim.consistency.freshness_latency_seconds",
                      FreshnessLatencyBounds())
           .Merge(freshness_hist_);
+    }
+    // Capacity instruments, reconciled 1:1 with the SimReport
+    // capacity_* fields; like the other layers they exist only for
+    // active plans. The demotion counter lives here (not in the
+    // adaptation block) because demotions only fire under an active
+    // capacity plan — an adaptation-only registry surface is unchanged.
+    if (capacity_active_) {
+      m.GetCounter("sim.capacity.windows").Increment(cap_windows_);
+      m.GetCounter("sim.capacity.peer_samples").Increment(cap_node_samples_);
+      m.GetCounter("sim.capacity.peer_overloaded_samples")
+          .Increment(cap_over_samples_);
+      m.GetCounter("sim.capacity.overload_episodes")
+          .Increment(cap_overload_episodes_);
+      m.GetCounter("sim.capacity.sp_samples").Increment(cap_sp_samples_);
+      m.GetCounter("sim.capacity.sp_overloaded_samples")
+          .Increment(cap_sp_over_samples_);
+      m.GetGauge("sim.capacity.mean_utilization")
+          .Set(cap_node_samples_ > 0
+                   ? cap_util_sum_ / static_cast<double>(cap_node_samples_)
+                   : 0.0);
+      m.GetGauge("sim.capacity.sp_mean_utilization")
+          .Set(cap_sp_samples_ > 0
+                   ? cap_sp_util_sum_ / static_cast<double>(cap_sp_samples_)
+                   : 0.0);
+      m.GetGauge("sim.capacity.sp_p99_utilization").Set(CapacitySpUtilP99());
+      m.GetHistogram("sim.capacity.sp_utilization",
+                     CapacityUtilizationBounds())
+          .Merge(cap_sp_util_hist_);
+      if (adaptive_) {
+        m.GetCounter("sim.adaptive.demotions").Increment(adapt_demotions_);
+      }
     }
     // Sharded-discipline instruments (DESIGN.md §12). The configuration
     // gauges describe the chosen shard map — the one deliberately
@@ -3495,6 +3726,7 @@ class Simulator::Impl {
   std::uint64_t adapt_probes_sent_ = 0;
   std::uint64_t adapt_reports_received_ = 0;
   std::uint64_t adapt_client_moves_ = 0;
+  std::uint64_t adapt_demotions_ = 0;
   bool adapt_converged_ = false;
   std::uint64_t adapt_converged_round_ = 0;
 
@@ -3544,6 +3776,36 @@ class Simulator::Impl {
   std::uint64_t consistency_replica_served_ = 0;
   double consistency_replication_bytes_ = 0.0;
   Histogram freshness_hist_{FreshnessLatencyBounds()};
+
+  // Heterogeneous-capacity state (CapacityPlan; DESIGN.md §15).
+  // Consulted only when capacity_active_ — the same
+  // pay-for-what-you-use determinism contract as the other layers.
+  // Validate() confines the layer to the legacy engine, so the window
+  // bookkeeping below is single-threaded.
+  const bool capacity_active_;
+  /// Per-node sampled capacities, drawn from the plan's dedicated
+  /// salted stream at construction (never from the protocol streams).
+  std::vector<PeerCapacity> node_capacity_;
+  /// Current utilization-window accumulators (bytes / cost units);
+  /// reset when each window closes. Like the adapt_* accumulators they
+  /// accrue during warmup too.
+  std::vector<double> cap_in_bytes_;
+  std::vector<double> cap_out_bytes_;
+  std::vector<double> cap_units_;
+  double cap_window_start_ = 0.0;
+  /// Per-node overload flag as of the last closed window (0/1); the
+  /// rising edge counts an overload episode.
+  std::vector<std::uint8_t> cap_overloaded_;
+  // Folded measurement-phase tallies (windows fully past warmup).
+  std::uint64_t cap_windows_ = 0;
+  std::uint64_t cap_node_samples_ = 0;
+  std::uint64_t cap_over_samples_ = 0;
+  std::uint64_t cap_overload_episodes_ = 0;
+  std::uint64_t cap_sp_samples_ = 0;
+  std::uint64_t cap_sp_over_samples_ = 0;
+  double cap_util_sum_ = 0.0;
+  double cap_sp_util_sum_ = 0.0;
+  Histogram cap_sp_util_hist_{CapacityUtilizationBounds()};
 
   // Sharded-discipline state (DESIGN.md §12). Consulted only when
   // disc_; a legacy run never reads past this comment.
@@ -3876,6 +4138,7 @@ void Simulator::Impl::DiscSaveState(CheckpointWriter& w) const {
     w.PutU64(adapt_probes_sent_);
     w.PutU64(adapt_reports_received_);
     w.PutU64(adapt_client_moves_);
+    w.PutU64(adapt_demotions_);
     w.PutBool(adapt_converged_);
     w.PutU64(adapt_converged_round_);
   }
@@ -4052,6 +4315,7 @@ bool Simulator::Impl::DiscLoadState(CheckpointReader& r) {
     adapt_probes_sent_ = r.GetU64();
     adapt_reports_received_ = r.GetU64();
     adapt_client_moves_ = r.GetU64();
+    adapt_demotions_ = r.GetU64();
     adapt_converged_ = r.GetBool();
     adapt_converged_round_ = r.GetU64();
   }
@@ -4128,57 +4392,37 @@ void SimOptions::Validate() const {
   SPPNET_CHECK_MSG(
       std::isfinite(hop_latency_seconds) && hop_latency_seconds >= 0.0,
       "hop latency must be finite and >= 0");
-  SPPNET_CHECK_MSG(partner_recovery_seconds > 0.0,
-                   "partner recovery time must be > 0");
   SPPNET_CHECK_MSG(result_cache_ttl_seconds >= 0.0,
                    "result-cache TTL must be >= 0");
+  // Every plan validates its own knobs unconditionally (the LayerPlan
+  // contract, sim/plan.h).
+  churn.Validate();
   faults.Validate();
   adaptive.Validate();
   shards.Validate();
-  if (shards.Enabled()) {
+  routing.Validate();
+  consistency.Validate();
+  capacity.Validate();
+  // Per-layer requirements that are not pairwise layer conflicts.
+  if (shards.enabled()) {
     // The sharded discipline's conservative windows are bounded by the
     // minimum cross-shard message delay; a zero hop latency means zero
-    // lookahead and no legal window. Concrete indexes and the result
-    // cache hold cross-cluster state the shards cannot own.
+    // lookahead and no legal window.
     SPPNET_CHECK_MSG(hop_latency_seconds > 0.0,
                      "a sharded run needs a positive lookahead "
                      "(hop_latency_seconds > 0)");
-    SPPNET_CHECK_MSG(!concrete_index,
-                     "sharded runs require abstract indexes");
-    SPPNET_CHECK_MSG(result_cache_ttl_seconds == 0.0,
-                     "sharded runs require the result cache disabled");
   }
-  if (adaptive.Active()) {
-    // The adaptation layer reroutes membership, matching and topology
-    // through its controller; the features below hold per-cluster
-    // state the controller cannot migrate, so they are incompatible.
+  if (adaptive.enabled()) {
     SPPNET_CHECK_MSG(strategy == SearchStrategy::kFlood,
                      "in-sim adaptation requires the flood strategy");
-    SPPNET_CHECK_MSG(!concrete_index,
-                     "in-sim adaptation requires abstract indexes");
-    SPPNET_CHECK_MSG(result_cache_ttl_seconds == 0.0,
-                     "in-sim adaptation requires the result cache disabled");
   }
   if (RoutingActive(*this)) {
-    routing.Validate();
-    // The digest table describes the static instance overlay and
-    // realizes the probabilistic content model; features that mutate
-    // either (adaptation, concrete indexes) or replay results outside
-    // MatchQuery (the result cache) are incompatible, and the layer's
-    // tallies are single-threaded (legacy engine only).
-    SPPNET_CHECK_MSG(!shards.Enabled(),
-                     "content-aware routing requires the legacy engine "
-                     "(no in-trial sharding)");
-    SPPNET_CHECK_MSG(!adaptive.Active(),
-                     "content-aware routing is incompatible with in-sim "
-                     "adaptation");
-    SPPNET_CHECK_MSG(!concrete_index,
-                     "content-aware routing requires abstract indexes");
-    SPPNET_CHECK_MSG(result_cache_ttl_seconds == 0.0,
-                     "content-aware routing requires the result cache "
-                     "disabled");
     SPPNET_CHECK_MSG(strategy != SearchStrategy::kRandomWalk,
                      "routing with random walks: use kWalker");
+  }
+  if (consistency.enabled()) {
+    SPPNET_CHECK_MSG(strategy == SearchStrategy::kFlood,
+                     "the consistency layer requires the flood strategy");
   }
   // Strategy knobs that would silently divide by zero or walk nowhere
   // if left unvalidated. Checked only for the strategies that read
@@ -4192,38 +4436,22 @@ void SimOptions::Validate() const {
     SPPNET_CHECK_MSG(num_walkers >= 1, "walks need num_walkers >= 1");
     SPPNET_CHECK_MSG(walk_ttl >= 1, "walks need walk_ttl >= 1");
   }
-  consistency.Validate();
-  if (consistency.Active()) {
-    // The consistency layer tracks per-cluster staleness against the
-    // abstract probabilistic index and pins clients to their home
-    // cluster for the whole run; features that mutate membership
-    // (churn, faults, adaptation), replay results outside MatchQuery
-    // (the result cache), or redirect queries (routing) would break
-    // the stale-fraction bookkeeping, and its tallies are
-    // single-threaded (legacy engine only).
-    SPPNET_CHECK_MSG(strategy == SearchStrategy::kFlood,
-                     "the consistency layer requires the flood strategy");
-    SPPNET_CHECK_MSG(!shards.Enabled(),
-                     "the consistency layer requires the legacy engine "
-                     "(no in-trial sharding)");
-    SPPNET_CHECK_MSG(!concrete_index,
-                     "the consistency layer requires abstract indexes");
-    SPPNET_CHECK_MSG(result_cache_ttl_seconds == 0.0,
-                     "the consistency layer requires the result cache "
-                     "disabled");
-    SPPNET_CHECK_MSG(!adaptive.Active(),
-                     "the consistency layer is incompatible with in-sim "
-                     "adaptation");
-    SPPNET_CHECK_MSG(!RoutingActive(*this),
-                     "the consistency layer is incompatible with "
-                     "content-aware routing");
-    SPPNET_CHECK_MSG(!enable_churn,
-                     "the consistency layer requires static membership "
-                     "(no churn)");
-    SPPNET_CHECK_MSG(!faults.Active(),
-                     "the consistency layer requires an inactive fault "
-                     "plan");
+  // Cross-layer compatibility: ONE matrix (sim/plan.cc), consulted with
+  // the active-feature mask. Adding a layer means adding its conflicts
+  // there, not another ad-hoc block here.
+  std::uint32_t active = 0;
+  if (shards.enabled()) active |= FeatureBit(SimFeature::kShards);
+  if (churn.enabled()) active |= FeatureBit(SimFeature::kChurn);
+  if (faults.enabled()) active |= FeatureBit(SimFeature::kFaults);
+  if (adaptive.enabled()) active |= FeatureBit(SimFeature::kAdaptive);
+  if (RoutingActive(*this)) active |= FeatureBit(SimFeature::kRouting);
+  if (consistency.enabled()) active |= FeatureBit(SimFeature::kConsistency);
+  if (capacity.enabled()) active |= FeatureBit(SimFeature::kCapacity);
+  if (concrete_index) active |= FeatureBit(SimFeature::kConcreteIndex);
+  if (result_cache_ttl_seconds > 0.0) {
+    active |= FeatureBit(SimFeature::kResultCache);
   }
+  CheckFeatureCompatibility(active);
 }
 
 Simulator::Simulator(const NetworkInstance& instance,

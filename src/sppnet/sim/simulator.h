@@ -13,6 +13,7 @@
 #include "sppnet/sim/adaptive_sim.h"
 #include "sppnet/sim/event_queue.h"
 #include "sppnet/sim/faults.h"
+#include "sppnet/sim/plan.h"
 #include "sppnet/sim/sharded_sim.h"
 #include "sppnet/sim/sim_state.h"
 
@@ -78,13 +79,13 @@ struct SimOptions {
   /// cache (enforced by Validate()).
   ShardPlan shards;
 
-  /// Reliability mode: super-peer partners fail at the end of their
-  /// sampled lifespans and are replaced after `partner_recovery_seconds`
-  /// (a capable client is promoted / a new partner is found). While a
-  /// cluster has no live partner its clients are disconnected. Client
-  /// joins re-upload metadata to recovering partners.
-  bool enable_churn = false;
-  double partner_recovery_seconds = 30.0;
+  /// Churn plan (sim/plan.h): super-peer partners fail at the end of
+  /// their sampled lifespans and are replaced after
+  /// `churn.partner_recovery_seconds` (a capable client is promoted /
+  /// a new partner is found). While a cluster has no live partner its
+  /// clients are disconnected. Client joins re-upload metadata to
+  /// recovering partners.
+  ChurnPlan churn;
 
   /// Fault-injection & recovery plan (see sim/faults.h): mid-session
   /// super-peer crashes, message drops and delivery jitter, answered by
@@ -144,7 +145,7 @@ struct SimOptions {
   /// as DigestAnnounce control traffic every refresh interval, and
   /// consulted by the routed strategies to prune forwarding. Activated
   /// implicitly by kRoutedFlood / kWalker, or explicitly via
-  /// routing.enabled to add digest pruning to kFlood / kExpandingRing
+  /// routing.enable to add digest pruning to kFlood / kExpandingRing
   /// refinement waves. Inactive (the default) means never consulted:
   /// runs stay bit-identical to a build without the layer. Requires
   /// the legacy engine (no sharding), abstract indexes, no result
@@ -166,6 +167,19 @@ struct SimOptions {
   /// Validate()).
   ConsistencyPlan consistency;
 
+  /// Heterogeneous peer-capacity plan (sim/plan.h, DESIGN.md §15):
+  /// every node draws a PeerCapacity from the plan's mixture on a
+  /// dedicated salted stream, CostTable message loads accumulate into
+  /// windowed per-node utilization (`sim.capacity.*` counters, the
+  /// super-peer utilization histogram, overload episodes), and — when
+  /// the adaptation layer is also active — split/promotion elects the
+  /// highest-capacity eligible member and sustained-overloaded
+  /// super-peers are demoted. The default plan is inactive and is
+  /// never consulted, leaving runs bit-identical to a build without
+  /// the layer. Requires the legacy engine (no sharding) and abstract
+  /// indexes (conflict matrix in sim/plan.cc).
+  CapacityPlan capacity;
+
   // --- Search strategy (kFlood reproduces the paper's baseline) ---
   SearchStrategy strategy = SearchStrategy::kFlood;
   /// kExpandingRing: stop growing the ring once this many results have
@@ -178,13 +192,12 @@ struct SimOptions {
   std::uint32_t walk_ttl = 64;
 
   /// Aborts (SPPNET_CHECK) on invalid configurations: non-positive
-  /// duration, negative warmup or latency, an invalid fault, routing
-  /// or adaptation plan, an active adaptation plan combined with a
-  /// feature it cannot drive (non-flood strategies, concrete indexes,
-  /// the result cache), or an active routing layer combined with
-  /// sharding, adaptation, concrete indexes or the result cache. Called at every entry point that consumes
-  /// options (the Simulator constructor, RunTrials), matching
-  /// FaultPlan's contract.
+  /// duration, negative warmup or latency, an invalid plan (every
+  /// plan's Validate() runs unconditionally), a strategy requirement
+  /// violated by an active layer, or a forbidden layer pairing — the
+  /// single cross-layer compatibility matrix in sim/plan.cc. Called
+  /// at every entry point that consumes options (the Simulator
+  /// constructor, RunTrials), matching the LayerPlan contract.
   void Validate() const;
 };
 
@@ -225,7 +238,7 @@ struct SimReport {
   /// flooding (result_cache_ttl_seconds > 0 only).
   std::uint64_t cache_hits = 0;
 
-  // --- Reliability metrics (enable_churn and/or active FaultPlan) ---
+  // --- Reliability metrics (churn.enable and/or active FaultPlan) ---
   /// Partner-down events from any cause: end-of-lifespan churn plus
   /// injected mid-session crashes (the crash subset is
   /// `faults_crashes`).
@@ -353,6 +366,30 @@ struct SimReport {
   std::uint64_t consistency_replica_served = 0;
   /// Replication bandwidth in bytes per measured second, network-wide.
   double consistency_replication_bytes_per_sec = 0.0;
+
+  // --- Heterogeneous-capacity metrics (active CapacityPlan only) ---
+  // Reconciled 1:1 with the sim.capacity.* instruments. Samples are
+  // (node, window) pairs over the utilization windows folded into the
+  // measurement phase; the super-peer cut covers the nodes carrying
+  // the head role when each window closed.
+  /// Capacity-rule head demotions executed by the live controller
+  /// (capacity plan with demote_overloaded, under adaptation).
+  std::uint64_t adapt_demotions = 0;
+  /// Utilization windows folded into the measurement phase.
+  std::uint64_t capacity_windows = 0;
+  /// Rising-edge transitions of a node into overload across folded
+  /// windows (an episode spanning several windows counts once).
+  std::uint64_t capacity_overload_episodes = 0;
+  /// Mean utilization over all (node, window) samples.
+  double capacity_mean_utilization = 0.0;
+  /// Fraction of (node, window) samples above the overload threshold.
+  double capacity_overloaded_fraction = 0.0;
+  /// Mean utilization over the super-peer samples.
+  double capacity_sp_mean_utilization = 0.0;
+  /// Fraction of super-peer samples above the overload threshold.
+  double capacity_sp_overloaded_fraction = 0.0;
+  /// p99 super-peer utilization, read off the histogram bucket bounds.
+  double capacity_sp_p99_utilization = 0.0;
 };
 
 /// Discrete-event simulator that executes the super-peer protocol of

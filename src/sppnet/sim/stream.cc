@@ -241,8 +241,8 @@ std::uint64_t StreamDriver::Fingerprint() const {
   mixd(sim_options_.warmup_seconds);
   mixd(sim_options_.hop_latency_seconds);
   mix(static_cast<std::uint64_t>(sim_options_.strategy));
-  mix(sim_options_.enable_churn ? 1 : 0);
-  mixd(sim_options_.partner_recovery_seconds);
+  mix(sim_options_.churn.enable ? 1 : 0);
+  mixd(sim_options_.churn.partner_recovery_seconds);
   mixd(sim_options_.result_cache_ttl_seconds);
   mix(sim_options_.ring_satisfaction_results);
   mix(sim_options_.num_walkers);
@@ -250,7 +250,7 @@ std::uint64_t StreamDriver::Fingerprint() const {
   // Engine discipline: a sharded-run checkpoint only restores into a
   // sharded simulator (any shard/thread count — the payload is
   // canonical), never into a legacy one, and vice versa.
-  mix(sim_options_.shards.Enabled() ? 1 : 0);
+  mix(sim_options_.shards.enabled() ? 1 : 0);
   // Fault plan.
   const FaultPlan& f = sim_options_.faults;
   mixd(f.crash_rate_per_partner);

@@ -1,5 +1,8 @@
 #include "sppnet/workload/capacity.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "sppnet/common/check.h"
 
 namespace sppnet {
@@ -53,6 +56,28 @@ bool FitsWithin(const PeerCapacity& capacity, double in_bps, double out_bps,
                 double proc_hz) {
   return in_bps <= capacity.down_bps && out_bps <= capacity.up_bps &&
          proc_hz <= capacity.proc_hz;
+}
+
+std::vector<PeerCapacity> SampleNodeCapacities(
+    const CapacityDistribution& distribution, Rng& rng, std::size_t count) {
+  std::vector<PeerCapacity> capacities;
+  capacities.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    capacities.push_back(distribution.Sample(rng));
+  }
+  return capacities;
+}
+
+double UtilizationOf(const PeerCapacity& capacity, double in_bps,
+                     double out_bps, double proc_hz) {
+  const auto ratio = [](double load, double budget) {
+    if (load <= 0.0) return 0.0;
+    if (budget <= 0.0) return std::numeric_limits<double>::infinity();
+    return load / budget;
+  };
+  return std::max({ratio(in_bps, capacity.down_bps),
+                   ratio(out_bps, capacity.up_bps),
+                   ratio(proc_hz, capacity.proc_hz)});
 }
 
 }  // namespace sppnet

@@ -51,6 +51,21 @@ class CapacityDistribution {
 bool FitsWithin(const PeerCapacity& capacity, double in_bps, double out_bps,
                 double proc_hz);
 
+/// Samples `count` capacities from `rng` in index order: entry i is
+/// node i's capacity. The one shared sampling routine of the capacity
+/// layer — the simulator and the analytical capacity plane both call
+/// it on the same salted stream (Rng::Salted(seed,
+/// CapacityPlan::kStreamSalt)), so the two engines realize identical
+/// per-node capacities by construction.
+std::vector<PeerCapacity> SampleNodeCapacities(
+    const CapacityDistribution& distribution, Rng& rng, std::size_t count);
+
+/// Utilization of a load against a capacity: the maximum per-axis
+/// ratio (1.0 = at capacity on the binding axis). A zero-capacity axis
+/// with nonzero load reports infinity.
+double UtilizationOf(const PeerCapacity& capacity, double in_bps,
+                     double out_bps, double proc_hz);
+
 }  // namespace sppnet
 
 #endif  // SPPNET_WORKLOAD_CAPACITY_H_

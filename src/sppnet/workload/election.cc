@@ -1,0 +1,40 @@
+#include "sppnet/workload/election.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sppnet/common/check.h"
+
+namespace sppnet {
+
+bool CapacityRankHigher(const PeerCapacity& a, const PeerCapacity& b) {
+  if (a.up_bps != b.up_bps) return a.up_bps > b.up_bps;
+  if (a.proc_hz != b.proc_hz) return a.proc_hz > b.proc_hz;
+  return a.down_bps > b.down_bps;
+}
+
+std::vector<std::uint32_t> RankByCapacity(
+    std::span<const PeerCapacity> capacities) {
+  std::vector<std::uint32_t> order(capacities.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return CapacityRankHigher(capacities[a], capacities[b]);
+                   });
+  return order;
+}
+
+std::size_t BestCandidate(std::span<const std::uint32_t> candidates,
+                          std::span<const PeerCapacity> capacities) {
+  SPPNET_CHECK(!candidates.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    if (CapacityRankHigher(capacities[candidates[i]],
+                           capacities[candidates[best]])) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace sppnet

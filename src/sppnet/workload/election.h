@@ -1,0 +1,43 @@
+#ifndef SPPNET_WORKLOAD_ELECTION_H_
+#define SPPNET_WORKLOAD_ELECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sppnet/workload/capacity.h"
+
+namespace sppnet {
+
+/// Capacity-aware super-peer election (paper §1, §5.2): the single
+/// sort/eligibility implementation shared by the offline "most capable
+/// peers first" policy (bench/capacity_aware_selection) and the live
+/// adaptation controller's split/promotion and demotion decisions
+/// (sim/adaptive_sim.h). Both consumers rank by the same keys, so the
+/// offline counterfactual and the in-sim election agree on who should
+/// lead.
+
+/// Strict ordering: true when `a` outranks `b` for the super-peer
+/// role. Primary key upstream bandwidth — the scarce resource of the
+/// paper's load analysis (responses dominate a super-peer's outbound
+/// traffic) — then processing, then downstream. Exact ties rank
+/// neither higher, so position-based tie-breaking (lowest node id
+/// first) stays with the caller's stable scan.
+bool CapacityRankHigher(const PeerCapacity& a, const PeerCapacity& b);
+
+/// Indices [0, capacities.size()) ordered most capable first. Stable:
+/// exact capacity ties keep ascending index order, so the ranking is
+/// deterministic for any input.
+std::vector<std::uint32_t> RankByCapacity(
+    std::span<const PeerCapacity> capacities);
+
+/// Position (into `candidates`) of the most capable candidate; the
+/// first maximum wins on exact ties. Each candidate is an index into
+/// `capacities`. `candidates` must be non-empty.
+std::size_t BestCandidate(std::span<const std::uint32_t> candidates,
+                          std::span<const PeerCapacity> capacities);
+
+}  // namespace sppnet
+
+#endif  // SPPNET_WORKLOAD_ELECTION_H_

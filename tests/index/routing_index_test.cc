@@ -122,7 +122,7 @@ TEST(RoutingTableTest, SparseDigestsHaveNoFalseNegatives) {
   const Topology topo = Topology::FromGraph(graph);
   std::vector<double> files(topo.num_nodes(), 60.0);
   RoutingOptions options;
-  options.enabled = true;
+  options.enable = true;
   options.radius = 2;
   const std::uint64_t seed = 99;
   const RoutingTable table =
@@ -155,7 +155,7 @@ TEST(RoutingTableTest, SparseDigestsPruneSomething) {
   const Topology topo = Topology::FromGraph(graph);
   std::vector<double> files(topo.num_nodes(), 60.0);
   RoutingOptions options;
-  options.enabled = true;
+  options.enable = true;
   const RoutingTable table =
       BuildRoutingTable(topo, files, Model(), options, 99);
 
@@ -183,7 +183,7 @@ TEST(RoutingTableTest, CompleteTableAdvertisesOwnIndexOnly) {
   const Topology topo = Topology::Complete(n);
   std::vector<double> files(n, 80.0);
   RoutingOptions options;
-  options.enabled = true;
+  options.enable = true;
   options.radius = 2;  // Effective radius on complete graphs is 1.
   const std::uint64_t seed = 31;
   const RoutingTable table =
@@ -205,7 +205,7 @@ TEST(RoutingTableTest, BuildIsDeterministic) {
   const Topology topo = Topology::FromGraph(graph);
   std::vector<double> files(topo.num_nodes(), 45.0);
   RoutingOptions options;
-  options.enabled = true;
+  options.enable = true;
   const RoutingTable a = BuildRoutingTable(topo, files, Model(), options, 77);
   const RoutingTable b = BuildRoutingTable(topo, files, Model(), options, 77);
   EXPECT_EQ(a.NumDigests(), b.NumDigests());

@@ -67,8 +67,8 @@ TEST(EndToEndTest, RedundantDesignSurvivesChurnBetterThanPlain) {
   SimOptions churn;
   churn.duration_seconds = 1200;
   churn.warmup_seconds = 60;
-  churn.enable_churn = true;
-  churn.partner_recovery_seconds = 45.0;
+  churn.churn.enable = true;
+  churn.churn.partner_recovery_seconds = 45.0;
 
   Rng rng_plain(7);
   const NetworkInstance plain = GenerateInstance(config, inputs, rng_plain);

@@ -137,8 +137,8 @@ TEST_F(KRedundancyTest, AvailabilityImprovesWithK) {
   SimOptions churn;
   churn.duration_seconds = 1200;
   churn.warmup_seconds = 60;
-  churn.enable_churn = true;
-  churn.partner_recovery_seconds = 60.0;
+  churn.churn.enable = true;
+  churn.churn.partner_recovery_seconds = 60.0;
   double prev = 1.0;
   for (int k = 1; k <= 3; ++k) {
     Configuration c;

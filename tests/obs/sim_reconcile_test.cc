@@ -58,8 +58,8 @@ TEST(SimReconcileTest, ReliabilityRunCountersMatchReport) {
   options.duration_seconds = 120.0;
   options.warmup_seconds = 10.0;
   options.seed = 5;
-  options.enable_churn = true;
-  options.partner_recovery_seconds = 20.0;
+  options.churn.enable = true;
+  options.churn.partner_recovery_seconds = 20.0;
 
   MetricsRegistry m;
   const SimReport report = RunWithMetrics(s, options, m);
@@ -114,8 +114,8 @@ TEST(SimReconcileTest, ChurnRecoveriesCounterMatchesReport) {
   options.duration_seconds = 150.0;
   options.warmup_seconds = 10.0;
   options.seed = 4;
-  options.enable_churn = true;
-  options.partner_recovery_seconds = 15.0;
+  options.churn.enable = true;
+  options.churn.partner_recovery_seconds = 15.0;
 
   MetricsRegistry m;
   const SimReport report = RunWithMetrics(s, options, m);
@@ -226,7 +226,7 @@ TEST(SimReconcileTest, CountersBitIdenticalAcrossRepeatedRuns) {
   options.duration_seconds = 90.0;
   options.warmup_seconds = 10.0;
   options.seed = 8;
-  options.enable_churn = true;
+  options.churn.enable = true;
 
   MetricsRegistry first, second;
   RunWithMetrics(s, options, first);
@@ -378,8 +378,8 @@ TEST(SimReconcileTest, WindowedDeltasSumToEndOfRunTotals) {
       options.walk_ttl = 32;
     }
     if (sc.churn) {
-      options.enable_churn = true;
-      options.partner_recovery_seconds = 20.0;
+      options.churn.enable = true;
+      options.churn.partner_recovery_seconds = 20.0;
     }
     if (sc.faults) {
       options.faults.crash_rate_per_partner = 4e-3;

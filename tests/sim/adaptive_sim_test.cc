@@ -178,7 +178,7 @@ TEST(AdaptiveSimTest, InactivePlanBitIdenticalToDefaultRun) {
   options.duration_seconds = 60.0;
   options.warmup_seconds = 10.0;
   options.seed = 31;
-  options.enable_churn = true;
+  options.churn.enable = true;
   const AdaptiveRun baseline = RunSim(config, 23, options);
 
   // An explicitly constructed inactive plan (interval 0, tweaked policy

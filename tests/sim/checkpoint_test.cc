@@ -135,8 +135,8 @@ Scenario ChurnScenario() {
   s.sim.seed = 15;
   s.sim.duration_seconds = 36.0;
   s.sim.warmup_seconds = 12.0;
-  s.sim.enable_churn = true;
-  s.sim.partner_recovery_seconds = 20.0;
+  s.sim.churn.enable = true;
+  s.sim.churn.partner_recovery_seconds = 20.0;
   s.stream.window_seconds = 6.0;
   s.num_windows = 8;
   return s;
@@ -594,7 +594,7 @@ TEST(CheckpointParallelismTest, StreamTrialsBitIdenticalAcrossParallelism) {
     options.num_windows = 6;
     options.sim.duration_seconds = 24.0;
     options.sim.warmup_seconds = 12.0;
-    options.sim.enable_churn = true;
+    options.sim.churn.enable = true;
     options.sim.engine = engine;
     options.sim.state_backend = backend;
     options.stream.window_seconds = 6.0;

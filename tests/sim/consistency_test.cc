@@ -61,12 +61,12 @@ TEST(ConsistencyPlanDeathTest, RejectsInvalidConfigs) {
 TEST(ConsistencyPlanTest, DefaultPlanIsValidAndInactive) {
   ConsistencyPlan plan;
   plan.Validate();
-  EXPECT_FALSE(plan.Active());
-  EXPECT_FALSE(plan.replication.Active());
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_FALSE(plan.replication.enabled());
   plan.change_rate_per_client = 0.05;
-  EXPECT_TRUE(plan.Active());
+  EXPECT_TRUE(plan.enabled());
   plan.replication.owner_replication = true;
-  EXPECT_TRUE(plan.replication.Active());
+  EXPECT_TRUE(plan.replication.enabled());
 }
 
 SimOptions ActiveConsistencyOptions(ConsistencyScheme scheme) {
@@ -111,12 +111,12 @@ TEST(ConsistencyGatingDeathTest, RejectsIncompatibleLayers) {
   }
   {
     SimOptions o = ActiveConsistencyOptions(ConsistencyScheme::kNone);
-    o.routing.enabled = true;
+    o.routing.enable = true;
     EXPECT_DEATH(o.Validate(), "content-aware routing");
   }
   {
     SimOptions o = ActiveConsistencyOptions(ConsistencyScheme::kPushInvalidate);
-    o.enable_churn = true;
+    o.churn.enable = true;
     EXPECT_DEATH(o.Validate(), "static membership");
   }
   {
@@ -209,7 +209,7 @@ TEST(ConsistencySimTest, InactivePlanIsBitIdenticalToNoConsistencyLayer) {
   inactive.consistency.ttr_seconds = 5.0;
   inactive.consistency.replication.owner_replication = true;
   inactive.consistency.replication.path_replication = true;
-  ASSERT_FALSE(inactive.consistency.Active());
+  ASSERT_FALSE(inactive.consistency.enabled());
   const SimReport control =
       Simulator(s.instance, s.config, s.inputs, inactive).Run();
 

@@ -197,8 +197,8 @@ std::vector<GoldenCase> GoldenCases() {
     c.config.cluster_size = 10.0;
     c.config.ttl = 4;
     c.config.avg_outdegree = 4.0;
-    c.options.enable_churn = true;
-    c.options.partner_recovery_seconds = 20.0;
+    c.options.churn.enable = true;
+    c.options.churn.partner_recovery_seconds = 20.0;
     c.options.seed = 15;
     cases.push_back(c);
   }
@@ -224,8 +224,8 @@ std::vector<GoldenCase> GoldenCases() {
     c.config.cluster_size = 10.0;
     c.config.ttl = 4;
     c.config.avg_outdegree = 4.0;
-    c.options.enable_churn = true;
-    c.options.partner_recovery_seconds = 20.0;
+    c.options.churn.enable = true;
+    c.options.churn.partner_recovery_seconds = 20.0;
     c.options.faults = ZeroRatePlan();
     c.options.seed = 15;
     cases.push_back(c);
@@ -241,8 +241,8 @@ std::vector<GoldenCase> GoldenCases() {
     c.config.cluster_size = 10.0;
     c.config.ttl = 4;
     c.config.avg_outdegree = 4.0;
-    c.options.enable_churn = true;
-    c.options.partner_recovery_seconds = 20.0;
+    c.options.churn.enable = true;
+    c.options.churn.partner_recovery_seconds = 20.0;
     c.options.adaptive.probe_interval_seconds = 0.0;
     c.options.adaptive.decision_interval_seconds = 7.0;
     c.options.adaptive.policy.suggested_outdegree = 25.0;
@@ -262,8 +262,8 @@ std::vector<GoldenCase> GoldenCases() {
     c.config.cluster_size = 10.0;
     c.config.ttl = 4;
     c.config.avg_outdegree = 4.0;
-    c.options.enable_churn = true;
-    c.options.partner_recovery_seconds = 20.0;
+    c.options.churn.enable = true;
+    c.options.churn.partner_recovery_seconds = 20.0;
     c.options.consistency.change_rate_per_client = 0.0;
     c.options.consistency.scheme = ConsistencyScheme::kPushInvalidate;
     c.options.consistency.ttr_seconds = 3.5;
@@ -317,7 +317,7 @@ std::vector<GoldenCase> GoldenCases() {
     c.config.cluster_size = 10.0;
     c.config.ttl = 4;
     c.config.avg_outdegree = 4.0;
-    c.options.routing.enabled = false;
+    c.options.routing.enable = false;
     c.options.routing.digest_bits = 1024;
     c.options.routing.num_hashes = 5;
     c.options.routing.refresh_interval_seconds = 7.0;
@@ -334,7 +334,7 @@ std::vector<GoldenCase> GoldenCases() {
     c.config.ttl = 4;
     c.config.avg_outdegree = 4.0;
     c.options.strategy = SearchStrategy::kRoutedFlood;
-    c.options.routing.enabled = true;
+    c.options.routing.enable = true;
     c.options.seed = 19;
     cases.push_back(c);
   }
@@ -354,7 +354,7 @@ std::vector<GoldenCase> GoldenCases() {
     cases.push_back(c);
   }
   {
-    // Routed expanding ring (ISSUE 8): routing.enabled pruning each
+    // Routed expanding ring (ISSUE 8): routing.enable pruning each
     // iterative-deepening wave, on the complete best case so the
     // per-destination digest path is exercised too. Digest generated at
     // introduction.
@@ -365,8 +365,51 @@ std::vector<GoldenCase> GoldenCases() {
     c.config.ttl = 2;
     c.options.strategy = SearchStrategy::kExpandingRing;
     c.options.ring_satisfaction_results = 10;
-    c.options.routing.enabled = true;
+    c.options.routing.enable = true;
     c.options.seed = 21;
+    cases.push_back(c);
+  }
+  {
+    // Same configuration and seeds as churn_plod but with an explicitly
+    // constructed INACTIVE capacity plan (every knob non-default,
+    // enable = false): pinned to the SAME digest — the inactive-plan
+    // bit-identity contract of the capacity layer, the exact analogue
+    // of churn_plod_zero_rate_plan. An inactive plan must never touch
+    // the capacity stream, schedule a window event or perturb a single
+    // protocol draw.
+    GoldenCase c{"churn_plod_inactive_capacity_plan", 0x69a0bd51b6db4f6aull,
+                 {}, 105, {}};
+    c.config.graph_size = 400;
+    c.config.cluster_size = 10.0;
+    c.config.ttl = 4;
+    c.config.avg_outdegree = 4.0;
+    c.options.churn.enable = true;
+    c.options.churn.partner_recovery_seconds = 20.0;
+    c.options.capacity.enable = false;
+    c.options.capacity.window_seconds = 3.5;
+    c.options.capacity.overload_utilization = 0.4;
+    c.options.capacity.capacity_aware_election = false;
+    c.options.capacity.demote_overloaded = false;
+    c.options.seed = 15;
+    cases.push_back(c);
+  }
+  {
+    // Live capacity plan over the Section 5.3 adaptation scenario
+    // (ISSUE 10): utilization windows, capacity-aware election on
+    // splits and sustained-overload head demotions all active. Digest
+    // generated at introduction.
+    GoldenCase c{"capacity_adaptive_plod", 0x7d01dfeabe2c4b53ull, {}, 112, {}};
+    c.config.graph_size = 400;
+    c.config.cluster_size = 4.0;
+    c.config.ttl = 5;
+    c.config.avg_outdegree = 3.1;
+    c.options.adaptive.probe_interval_seconds = 2.0;
+    c.options.adaptive.decision_interval_seconds = 10.0;
+    c.options.adaptive.policy.max_bandwidth_bps = 1.0e7;
+    c.options.adaptive.policy.max_proc_hz = 2.0e6;
+    c.options.capacity.enable = true;
+    c.options.capacity.window_seconds = 10.0;
+    c.options.seed = 22;
     cases.push_back(c);
   }
   for (GoldenCase& c : cases) {
@@ -450,6 +493,22 @@ TEST_P(EngineEquivalenceTest, MatrixBitIdenticalAndPinnedToPreOverhaulGolden) {
     EXPECT_EQ(run.report.adapt_converged, baseline.report.adapt_converged);
     EXPECT_EQ(run.report.adapt_converged_round,
               baseline.report.adapt_converged_round);
+    // The capacity-plane tallies also postdate the goldens; hold them
+    // equal across the matrix directly.
+    EXPECT_EQ(run.report.adapt_demotions, baseline.report.adapt_demotions);
+    EXPECT_EQ(run.report.capacity_windows, baseline.report.capacity_windows);
+    EXPECT_EQ(run.report.capacity_overload_episodes,
+              baseline.report.capacity_overload_episodes);
+    EXPECT_EQ(run.report.capacity_mean_utilization,
+              baseline.report.capacity_mean_utilization);
+    EXPECT_EQ(run.report.capacity_overloaded_fraction,
+              baseline.report.capacity_overloaded_fraction);
+    EXPECT_EQ(run.report.capacity_sp_mean_utilization,
+              baseline.report.capacity_sp_mean_utilization);
+    EXPECT_EQ(run.report.capacity_sp_overloaded_fraction,
+              baseline.report.capacity_sp_overloaded_fraction);
+    EXPECT_EQ(run.report.capacity_sp_p99_utilization,
+              baseline.report.capacity_sp_p99_utilization);
     EXPECT_EQ(run.report.final_clusters, baseline.report.final_clusters);
     EXPECT_EQ(run.report.final_ttl, baseline.report.final_ttl);
     EXPECT_EQ(run.report.final_avg_outdegree,
@@ -459,7 +518,9 @@ TEST_P(EngineEquivalenceTest, MatrixBitIdenticalAndPinnedToPreOverhaulGolden) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllGoldenCases, EngineEquivalenceTest,
-                         ::testing::Range<std::size_t>(0, 14),
+                         // Derived from the case table so a new golden can
+                         // never be silently skipped by a stale bound.
+                         ::testing::Range<std::size_t>(0, GoldenCases().size()),
                          [](const auto& info) {
                            return GoldenCases()[info.param].name;
                          });
@@ -481,7 +542,7 @@ TEST(EngineEquivalenceTrialsTest, BitIdenticalAcrossParallelismAndEngines) {
     options.parallelism = parallelism;
     options.sim.duration_seconds = 60.0;
     options.sim.warmup_seconds = 10.0;
-    options.sim.enable_churn = true;
+    options.sim.churn.enable = true;
     options.sim.faults = ActivePlan();
     options.sim.engine = engine;
     options.sim.state_backend = backend;
@@ -567,6 +628,60 @@ TEST(EngineEquivalenceTrialsTest,
 }
 
 TEST(EngineEquivalenceTrialsTest,
+     CapacityBitIdenticalAcrossParallelismAndEngines) {
+  Configuration config;
+  config.graph_size = 400;
+  config.cluster_size = 4.0;
+  config.ttl = 5;
+  config.avg_outdegree = 3.1;
+  const ModelInputs inputs = ModelInputs::Default();
+
+  const auto run = [&](SimEngine engine, SimStateBackend backend,
+                       std::size_t parallelism) {
+    SimTrialOptions options;
+    options.num_trials = 3;
+    options.seed = 80;
+    options.parallelism = parallelism;
+    options.sim.duration_seconds = 60.0;
+    options.sim.warmup_seconds = 10.0;
+    options.sim.adaptive.probe_interval_seconds = 2.0;
+    options.sim.adaptive.decision_interval_seconds = 10.0;
+    options.sim.adaptive.policy.max_bandwidth_bps = 1.0e7;
+    options.sim.adaptive.policy.max_proc_hz = 2.0e6;
+    options.sim.capacity.enable = true;
+    options.sim.capacity.window_seconds = 5.0;
+    options.sim.engine = engine;
+    options.sim.state_backend = backend;
+    MetricsRegistry metrics;
+    options.metrics = &metrics;
+    const SimTrialReport report = RunTrials(config, inputs, options);
+    // The sim.capacity.* instruments (including the utilization
+    // histogram) and sim.adaptive.demotions ride inside
+    // ProtocolMetricsJson: each per-trial capacity stream must land on
+    // identical windows regardless of engine, backend or how trials are
+    // spread over worker threads.
+    std::ostringstream out;
+    out << ProtocolMetricsJson(metrics) << report.trials << ','
+        << report.queries_submitted << ',' << report.responses_delivered
+        << ',' << report.query_success_rate.Mean();
+    return out.str();
+  };
+
+  const std::string reference =
+      run(SimEngine::kHeapReference, SimStateBackend::kMapReference, 1);
+  ASSERT_NE(reference.find("sim.capacity."), std::string::npos);
+  ASSERT_NE(reference.find("sim.adaptive.demotions"), std::string::npos);
+  for (const std::size_t parallelism : {std::size_t{1}, std::size_t{2},
+                                        std::size_t{8}}) {
+    EXPECT_EQ(run(SimEngine::kCalendar, SimStateBackend::kDense, parallelism),
+              reference)
+        << "parallelism=" << parallelism;
+  }
+  EXPECT_EQ(run(SimEngine::kHeapReference, SimStateBackend::kMapReference, 8),
+            reference);
+}
+
+TEST(EngineEquivalenceTrialsTest,
      RoutedFloodBitIdenticalAcrossParallelismAndEngines) {
   Configuration config;
   config.graph_size = 300;
@@ -584,7 +699,7 @@ TEST(EngineEquivalenceTrialsTest,
     options.sim.duration_seconds = 60.0;
     options.sim.warmup_seconds = 10.0;
     options.sim.strategy = SearchStrategy::kRoutedFlood;
-    options.sim.routing.enabled = true;
+    options.sim.routing.enable = true;
     options.sim.engine = engine;
     options.sim.state_backend = backend;
     MetricsRegistry metrics;

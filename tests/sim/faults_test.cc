@@ -92,10 +92,10 @@ TEST(FaultPlanDeathTest, RejectsInvalidConfigs) {
 TEST(FaultPlanTest, DefaultPlanIsValidAndInactive) {
   FaultPlan plan;
   plan.Validate();
-  EXPECT_FALSE(plan.Active());
+  EXPECT_FALSE(plan.enabled());
   EXPECT_FALSE(plan.TimeoutsEnabled());
   plan.request_timeout_seconds = 1.0;
-  EXPECT_TRUE(plan.Active());
+  EXPECT_TRUE(plan.enabled());
   EXPECT_TRUE(plan.TimeoutsEnabled());
 }
 
@@ -141,7 +141,7 @@ TEST(FaultSimTest, ZeroRatePlanIsBitIdenticalToNoFaultLayer) {
   base.duration_seconds = 200.0;
   base.warmup_seconds = 20.0;
   base.seed = 5;
-  base.enable_churn = true;  // fault layer must coexist with churn
+  base.churn.enable = true;  // fault layer must coexist with churn
 
   MetricsRegistry base_metrics;
   base.metrics = &base_metrics;
@@ -155,7 +155,7 @@ TEST(FaultSimTest, ZeroRatePlanIsBitIdenticalToNoFaultLayer) {
   zeroed.faults.max_retries = 11;
   zeroed.faults.backoff_base_seconds = 0.125;
   zeroed.faults.backoff_cap_seconds = 64.0;
-  ASSERT_FALSE(zeroed.faults.Active());
+  ASSERT_FALSE(zeroed.faults.enabled());
   const SimReport control = Simulator(s.instance, s.config, s.inputs,
                                       zeroed).Run();
 

@@ -199,7 +199,7 @@ TEST_F(SearchStrategyTest, RoutingPrunesExpandingRingWaves) {
   plain.strategy = SearchStrategy::kExpandingRing;
   plain.ring_satisfaction_results = 10;
   SimOptions routed = plain;
-  routed.routing.enabled = true;
+  routed.routing.enable = true;
 
   Simulator sim_plain(inst, c, inputs_, plain);
   Simulator sim_routed(inst, c, inputs_, routed);

@@ -197,8 +197,8 @@ std::vector<Scenario> Scenarios() {
     c.config.cluster_size = 10.0;
     c.config.ttl = 4;
     c.config.avg_outdegree = 4.0;
-    c.options.enable_churn = true;
-    c.options.partner_recovery_seconds = 20.0;
+    c.options.churn.enable = true;
+    c.options.churn.partner_recovery_seconds = 20.0;
     c.options.seed = 15;
     cases.push_back(c);
   }
@@ -380,8 +380,8 @@ TEST(ShardedEquivalenceTest, RaggedWindowsMatchBatchRun) {
     options.duration_seconds = 40.0;
     options.warmup_seconds = 8.0;
     options.seed = 20;
-    options.enable_churn = true;
-    options.partner_recovery_seconds = 20.0;
+    options.churn.enable = true;
+    options.churn.partner_recovery_seconds = 20.0;
     options.shards.num_shards = 3;
     options.shards.num_threads = 2;
     MetricsRegistry metrics;

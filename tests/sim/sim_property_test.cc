@@ -141,7 +141,7 @@ TEST(ShardedLookaheadPropertyTest, MergedEventsNeverLandBelowTheCellClose) {
     options.duration_seconds = 60;
     options.warmup_seconds = 10;
     options.strategy = point.strategy;
-    options.enable_churn = point.churn;
+    options.churn.enable = point.churn;
     options.num_walkers = 6;
     options.walk_ttl = 15;
     options.ring_satisfaction_results = 20;

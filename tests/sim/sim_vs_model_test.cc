@@ -5,14 +5,18 @@
 // seconds validates both the closed-form accounting and the protocol
 // implementation against each other.
 
+#include <algorithm>
 #include <tuple>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "sppnet/model/capacity_plane.h"
 #include "sppnet/model/consistency.h"
 #include "sppnet/model/evaluator.h"
 #include "sppnet/model/routing.h"
 #include "sppnet/sim/simulator.h"
+#include "sppnet/workload/capacity.h"
 
 namespace sppnet {
 namespace {
@@ -121,7 +125,7 @@ TEST_P(RoutedSimVsModelTest, RoutedLoadsAgree) {
   options.warmup_seconds = 50;
   options.seed = 23;
   options.strategy = s.strategy;
-  options.routing.enabled = true;
+  options.routing.enable = true;
   options.num_walkers = 8;
   options.walk_ttl = 16;
   options.ring_satisfaction_results = 10;
@@ -266,6 +270,109 @@ INSTANTIATE_TEST_SUITE_P(
         ConsistencyScenario{ConsistencyScheme::kPullTtr, 0.02, 120.0},
         // No maintenance: staleness accumulates from t = 0.
         ConsistencyScenario{ConsistencyScheme::kNone, 0.01, 60.0}));
+
+// --- Heterogeneous capacities (ISSUE 10): the simulator's windowed
+// utilization bookkeeping vs the analytical capacity plane
+// (model/capacity_plane.h). Both sides sample the SAME per-node
+// capacities (SampleNodeCapacities on the plan's salted stream), so
+// the comparison isolates the load accounting: sim utilization is
+// windowed traffic over capacity, model utilization is the mean-value
+// steady-state load over the same capacity.
+
+// The simulator's histogram buckets (sim.capacity.sp_utilization);
+// its p99 is a bucket upper bound, so the model's exact p99 is
+// compared after quantizing to the same grid.
+std::vector<double> SimUtilizationBounds() {
+  return {0.0625, 0.125, 0.25, 0.5, 0.75, 1.0,  1.25, 1.5,
+          2.0,    3.0,   4.0,  6.0, 8.0,  12.0, 16.0};
+}
+
+std::size_t BucketOf(double value, const std::vector<double>& bounds) {
+  std::size_t b = 0;
+  while (b < bounds.size() && value > bounds[b]) ++b;
+  return b;
+}
+
+TEST(CapacitySimVsModelTest, UtilizationPlanesAgree) {
+  const ModelInputs inputs = ModelInputs::Default();
+  Configuration c;
+  c.graph_size = 400;
+  c.cluster_size = 10.0;
+  c.ttl = 4;
+  c.avg_outdegree = 4.0;
+
+  Rng rng(17);
+  const NetworkInstance inst = GenerateInstance(c, inputs, rng);
+  const InstanceLoads analytic = EvaluateInstance(inst, c, inputs);
+
+  SimOptions options;
+  options.duration_seconds = 500;
+  options.warmup_seconds = 50;
+  options.seed = 23;
+  options.capacity.enable = true;
+  Simulator sim(inst, c, inputs, options);
+  const SimReport measured = sim.Run();
+  ASSERT_GT(measured.capacity_windows, 0u);
+
+  Rng cap_rng = Rng::Salted(options.seed, CapacityPlan::kStreamSalt);
+  const std::vector<PeerCapacity> caps = SampleNodeCapacities(
+      options.capacity.distribution, cap_rng,
+      inst.TotalPartners() + inst.TotalClients());
+  const CapacityPlaneReport model = EvaluateCapacityPlane(
+      analytic, caps, options.capacity.overload_utilization,
+      ElectionPolicy::kBlind);
+
+  EXPECT_NEAR(measured.capacity_mean_utilization, model.mean_utilization,
+              0.15 * model.mean_utilization + 0.005);
+  EXPECT_NEAR(measured.capacity_sp_mean_utilization,
+              model.sp_mean_utilization, 0.15 * model.sp_mean_utilization);
+  // Overload is a threshold crossing: nodes sitting near the line flip
+  // between windows, so the fraction gets a small absolute epsilon on
+  // top of the relative band.
+  EXPECT_NEAR(measured.capacity_overloaded_fraction,
+              model.overloaded_fraction,
+              0.15 * model.overloaded_fraction + 0.02);
+  EXPECT_NEAR(measured.capacity_sp_overloaded_fraction,
+              model.sp_overloaded_fraction,
+              0.15 * model.sp_overloaded_fraction + 0.02);
+  // p99: the sim reports a bucket upper bound; the exact model value
+  // must land in the same or an adjacent bucket of the same grid.
+  const std::vector<double> bounds = SimUtilizationBounds();
+  const std::size_t sim_bucket =
+      BucketOf(measured.capacity_sp_p99_utilization, bounds);
+  const std::size_t model_bucket =
+      BucketOf(model.sp_p99_utilization, bounds);
+  EXPECT_LE(sim_bucket > model_bucket ? sim_bucket - model_bucket
+                                      : model_bucket - sim_bucket,
+            1u)
+      << "sim p99 " << measured.capacity_sp_p99_utilization << " vs model p99 "
+      << model.sp_p99_utilization;
+}
+
+TEST(CapacityPlaneTest, AwareElectionDominatesBlindOnTheSpCut) {
+  // The paper's Section 5.2 claim in plane form: handing the head role
+  // to the most capable peers cannot make the super-peer cut worse.
+  const ModelInputs inputs = ModelInputs::Default();
+  Configuration c;
+  c.graph_size = 400;
+  c.cluster_size = 10.0;
+  c.ttl = 4;
+  c.avg_outdegree = 4.0;
+  Rng rng(17);
+  const NetworkInstance inst = GenerateInstance(c, inputs, rng);
+  const InstanceLoads analytic = EvaluateInstance(inst, c, inputs);
+  Rng cap_rng(29);
+  const std::vector<PeerCapacity> caps =
+      SampleNodeCapacities(CapacityDistribution::Default(), cap_rng,
+                           inst.TotalPartners() + inst.TotalClients());
+  const CapacityPlaneReport blind =
+      EvaluateCapacityPlane(analytic, caps, 1.0, ElectionPolicy::kBlind);
+  const CapacityPlaneReport aware =
+      EvaluateCapacityPlane(analytic, caps, 1.0, ElectionPolicy::kAware);
+  EXPECT_LE(aware.sp_overloaded_fraction, blind.sp_overloaded_fraction);
+  EXPECT_LE(aware.sp_mean_utilization, blind.sp_mean_utilization);
+  EXPECT_GE(aware.achievable_scale, blind.achievable_scale);
+}
 
 }  // namespace
 }  // namespace sppnet

@@ -141,8 +141,8 @@ TEST_F(SimulatorTest, ChurnDisconnectsClientsWithoutRedundancy) {
   SimOptions options;
   options.duration_seconds = 1500;
   options.warmup_seconds = 50;
-  options.enable_churn = true;
-  options.partner_recovery_seconds = 60.0;
+  options.churn.enable = true;
+  options.churn.partner_recovery_seconds = 60.0;
   Simulator sim(inst, c, inputs_, options);
   const SimReport report = sim.Run();
   EXPECT_GT(report.partner_failures, 0u);
@@ -159,8 +159,8 @@ TEST_F(SimulatorTest, RedundancyImprovesAvailability) {
   SimOptions options;
   options.duration_seconds = 1500;
   options.warmup_seconds = 50;
-  options.enable_churn = true;
-  options.partner_recovery_seconds = 60.0;
+  options.churn.enable = true;
+  options.churn.partner_recovery_seconds = 60.0;
 
   const NetworkInstance plain = Make(c, 8);
   Simulator sim_plain(plain, c, inputs_, options);

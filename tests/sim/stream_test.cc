@@ -138,8 +138,8 @@ std::vector<GoldenCase> GoldenCases() {
     c.config.cluster_size = 10.0;
     c.config.ttl = 4;
     c.config.avg_outdegree = 4.0;
-    c.options.enable_churn = true;
-    c.options.partner_recovery_seconds = 20.0;
+    c.options.churn.enable = true;
+    c.options.churn.partner_recovery_seconds = 20.0;
     c.options.seed = 15;
     cases.push_back(c);
   }

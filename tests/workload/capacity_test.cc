@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 namespace sppnet {
 namespace {
 
@@ -70,6 +73,108 @@ TEST(CapacityDistributionTest, Deterministic) {
     const PeerCapacity y = dist.Sample(b);
     EXPECT_DOUBLE_EQ(x.up_bps, y.up_bps);
   }
+}
+
+TEST(CapacityDistributionTest, EveryClassFrequencyMatchesItsFraction) {
+  // Mixture-fraction conservation across the whole default mixture:
+  // classify each sample by the nominal uplink it can only have come
+  // from (the +-25 % jitter bands of the five classes do not overlap
+  // on the uplink axis) and check each class's empirical share.
+  const CapacityDistribution dist = CapacityDistribution::Default();
+  std::vector<std::size_t> counts(dist.classes().size(), 0);
+  Rng rng(4);
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const PeerCapacity cap = dist.Sample(rng);
+    bool classified = false;
+    for (std::size_t k = 0; k < dist.classes().size(); ++k) {
+      const double nominal = dist.classes()[k].capacity.up_bps;
+      if (cap.up_bps >= nominal * 0.75 && cap.up_bps <= nominal * 1.25) {
+        ++counts[k];
+        classified = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(classified) << "sample outside every jitter band";
+  }
+  for (std::size_t k = 0; k < dist.classes().size(); ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / kSamples,
+                dist.classes()[k].fraction, 0.01)
+        << dist.classes()[k].name;
+  }
+}
+
+TEST(CapacityDistributionTest, JitterScalesAllAxesTogether) {
+  // One jitter draw scales every axis, so within-class axis ratios are
+  // exactly the nominal ratios (capacities stay internally coherent).
+  const CapacityDistribution dist = CapacityDistribution::Default();
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const PeerCapacity cap = dist.Sample(rng);
+    bool matched = false;
+    for (const auto& c : dist.classes()) {
+      const double scale = cap.up_bps / c.capacity.up_bps;
+      if (scale < 0.75 || scale > 1.25) continue;
+      EXPECT_NEAR(cap.down_bps, c.capacity.down_bps * scale,
+                  1e-9 * cap.down_bps);
+      EXPECT_NEAR(cap.proc_hz, c.capacity.proc_hz * scale,
+                  1e-9 * cap.proc_hz);
+      matched = true;
+      break;
+    }
+    EXPECT_TRUE(matched);
+  }
+}
+
+TEST(SampleNodeCapacitiesTest, SeedReproducible) {
+  const CapacityDistribution dist = CapacityDistribution::Default();
+  Rng a(42), b(42);
+  const std::vector<PeerCapacity> x = SampleNodeCapacities(dist, a, 500);
+  const std::vector<PeerCapacity> y = SampleNodeCapacities(dist, b, 500);
+  ASSERT_EQ(x.size(), 500u);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(x[i].down_bps, y[i].down_bps);
+    EXPECT_DOUBLE_EQ(x[i].up_bps, y[i].up_bps);
+    EXPECT_DOUBLE_EQ(x[i].proc_hz, y[i].proc_hz);
+  }
+}
+
+TEST(SampleNodeCapacitiesTest, PrefixStableInCount) {
+  // Index-order sampling: node i's capacity depends only on the stream
+  // position, so growing the population never re-rolls existing nodes.
+  const CapacityDistribution dist = CapacityDistribution::Default();
+  Rng a(43), b(43);
+  const std::vector<PeerCapacity> small = SampleNodeCapacities(dist, a, 50);
+  const std::vector<PeerCapacity> big = SampleNodeCapacities(dist, b, 200);
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    EXPECT_DOUBLE_EQ(small[i].up_bps, big[i].up_bps);
+  }
+}
+
+TEST(UtilizationOfTest, ReportsTheBindingAxis) {
+  const PeerCapacity cap{1000.0, 500.0, 2000.0};
+  EXPECT_DOUBLE_EQ(UtilizationOf(cap, 500.0, 50.0, 200.0), 0.5);   // in.
+  EXPECT_DOUBLE_EQ(UtilizationOf(cap, 100.0, 400.0, 200.0), 0.8);  // out.
+  EXPECT_DOUBLE_EQ(UtilizationOf(cap, 100.0, 50.0, 3000.0), 1.5);  // proc.
+  EXPECT_DOUBLE_EQ(UtilizationOf(cap, 0.0, 0.0, 0.0), 0.0);
+}
+
+TEST(UtilizationOfTest, AgreesWithFitsWithin) {
+  const CapacityDistribution dist = CapacityDistribution::Default();
+  Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    const PeerCapacity cap = dist.Sample(rng);
+    const double in = rng.NextDouble(0.0, 2.0 * cap.down_bps);
+    const double out = rng.NextDouble(0.0, 2.0 * cap.up_bps);
+    const double proc = rng.NextDouble(0.0, 2.0 * cap.proc_hz);
+    EXPECT_EQ(UtilizationOf(cap, in, out, proc) <= 1.0,
+              FitsWithin(cap, in, out, proc));
+  }
+}
+
+TEST(UtilizationOfTest, ZeroBudgetWithLoadIsInfinite) {
+  const PeerCapacity cap{0.0, 100.0, 100.0};
+  EXPECT_TRUE(std::isinf(UtilizationOf(cap, 1.0, 0.0, 0.0)));
 }
 
 }  // namespace

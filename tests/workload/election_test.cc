@@ -1,0 +1,84 @@
+#include "sppnet/workload/election.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sppnet/common/rng.h"
+#include "sppnet/workload/capacity.h"
+
+namespace sppnet {
+namespace {
+
+PeerCapacity Cap(double up, double proc = 0.0, double down = 0.0) {
+  PeerCapacity c;
+  c.up_bps = up;
+  c.proc_hz = proc;
+  c.down_bps = down;
+  return c;
+}
+
+TEST(CapacityRankHigherTest, UplinkIsThePrimaryKey) {
+  EXPECT_TRUE(CapacityRankHigher(Cap(200.0, 1.0), Cap(100.0, 999.0)));
+  EXPECT_FALSE(CapacityRankHigher(Cap(100.0, 999.0), Cap(200.0, 1.0)));
+}
+
+TEST(CapacityRankHigherTest, ProcessingThenDownstreamBreakTies) {
+  EXPECT_TRUE(CapacityRankHigher(Cap(100.0, 50.0), Cap(100.0, 40.0)));
+  EXPECT_TRUE(
+      CapacityRankHigher(Cap(100.0, 50.0, 9.0), Cap(100.0, 50.0, 8.0)));
+}
+
+TEST(CapacityRankHigherTest, ExactTiesRankNeitherHigher) {
+  const PeerCapacity a = Cap(100.0, 50.0, 9.0);
+  EXPECT_FALSE(CapacityRankHigher(a, a));
+}
+
+TEST(RankByCapacityTest, OrdersMostCapableFirstAndIsStableOnTies) {
+  const std::vector<PeerCapacity> caps = {Cap(10.0), Cap(30.0), Cap(20.0),
+                                          Cap(30.0)};
+  const std::vector<std::uint32_t> order = RankByCapacity(caps);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 1u);  // First of the tied maxima keeps its spot.
+  EXPECT_EQ(order[1], 3u);
+  EXPECT_EQ(order[2], 2u);
+  EXPECT_EQ(order[3], 0u);
+}
+
+TEST(RankByCapacityTest, IsAPermutation) {
+  const CapacityDistribution dist = CapacityDistribution::Default();
+  Rng rng(7);
+  const std::vector<PeerCapacity> caps = SampleNodeCapacities(dist, rng, 300);
+  const std::vector<std::uint32_t> order = RankByCapacity(caps);
+  std::vector<bool> seen(caps.size(), false);
+  for (const std::uint32_t i : order) {
+    ASSERT_LT(i, caps.size());
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    EXPECT_FALSE(CapacityRankHigher(caps[order[i + 1]], caps[order[i]]));
+  }
+}
+
+TEST(BestCandidateTest, PicksTheTopRankedCandidate) {
+  const std::vector<PeerCapacity> caps = {Cap(10.0), Cap(30.0), Cap(20.0)};
+  const std::vector<std::uint32_t> candidates = {0, 2, 1};
+  EXPECT_EQ(BestCandidate(candidates, caps), 2u);  // Position of node 1.
+}
+
+TEST(BestCandidateTest, FirstMaximumWinsOnExactTies) {
+  const std::vector<PeerCapacity> caps = {Cap(30.0), Cap(30.0)};
+  const std::vector<std::uint32_t> candidates = {1, 0};
+  EXPECT_EQ(BestCandidate(candidates, caps), 0u);
+}
+
+TEST(BestCandidateDeathTest, RejectsEmptyCandidateSets) {
+  const std::vector<PeerCapacity> caps = {Cap(10.0)};
+  const std::vector<std::uint32_t> empty;
+  EXPECT_DEATH(BestCandidate(empty, caps), "");
+}
+
+}  // namespace
+}  // namespace sppnet

@@ -97,6 +97,7 @@ def validate(path):
     validate_windowed_stream(doc, err)
     validate_sharded_rows(doc, err)
     validate_index_consistency(doc, err)
+    validate_capacity_mix(doc, err)
 
     return errors
 
@@ -192,6 +193,68 @@ def validate_index_consistency(doc, err):
         err("consistency bench missing the 'replication' trade table")
     elif len(replication.get("rows", [])) < 2:
         err("'replication' table must compare off vs on")
+
+
+def validate_capacity_mix(doc, err):
+    """Capacity-sweep schema for bench/capacity_mix.
+
+    A bench that reports any `sim.capacity.*` counter ran the
+    heterogeneous-capacity layer and must carry the full sweep surface:
+    non-zero utilization windows and super-peer samples, the super-peer
+    utilization histogram, and the mixture x election table with a
+    blind and an aware row per mixture (the pairing the bench's
+    dominance gate compares).
+    """
+    counters = doc.get("metrics", {}).get("counters")
+    if not isinstance(counters, dict) or not any(
+            key.startswith("sim.capacity.") for key in counters):
+        return
+
+    for key in ("sim.capacity.windows", "sim.capacity.peer_samples",
+                "sim.capacity.sp_samples"):
+        value = counters.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            err(f"capacity bench counter '{key}' missing or not > 0")
+    if "sim.capacity.overload_episodes" not in counters:
+        err("capacity bench missing counter 'sim.capacity.overload_episodes'")
+
+    gauges = doc.get("metrics", {}).get("gauges", {})
+    for key in ("sim.capacity.sp_p99_utilization",
+                "sim.capacity.mean_utilization"):
+        if not isinstance(gauges.get(key), (int, float)):
+            err(f"capacity bench missing numeric gauge '{key}'")
+
+    histograms = doc.get("metrics", {}).get("histograms", {})
+    if "sim.capacity.sp_utilization" not in histograms:
+        err("capacity bench missing the 'sim.capacity.sp_utilization' "
+            "histogram")
+
+    tables = {t.get("name"): t for t in doc.get("tables", [])
+              if isinstance(t, dict)}
+    main = tables.get("main")
+    if main is None:
+        err("capacity bench missing the 'main' sweep table")
+        return
+    columns = main.get("columns", [])
+    for column in ("Mixture", "Election", "SP p99 util", "SPs overloaded %"):
+        if column not in columns:
+            err(f"capacity sweep table missing column '{column}'")
+    try:
+        mixture_col = columns.index("Mixture")
+        election_col = columns.index("Election")
+    except ValueError:
+        return
+    rows = [r for r in main.get("rows", [])
+            if isinstance(r, list) and len(r) == len(columns)]
+    mixtures = {r[mixture_col] for r in rows}
+    if not mixtures:
+        err("capacity sweep table has no complete rows")
+    for mixture in sorted(mixtures):
+        policies = {r[election_col] for r in rows if r[mixture_col] == mixture}
+        for policy in ("blind", "aware"):
+            if policy not in policies:
+                err(f"capacity sweep table has no '{policy}' row for "
+                    f"mixture '{mixture}'")
 
 
 def validate_sharded_rows(doc, err):
